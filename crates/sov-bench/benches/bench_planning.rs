@@ -1,0 +1,58 @@
+//! Criterion benches of the two planners — the measured counterpart of the
+//! paper's "EM planner takes 100 ms, 33× more expensive than our planner".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sov_planning::em::{EmConfig, EmPlanner};
+use sov_planning::mpc::{MpcConfig, MpcPlanner};
+use sov_planning::{Planner, PlanningInput, PlanningObstacle};
+use std::hint::black_box;
+
+fn busy_input() -> PlanningInput {
+    PlanningInput::cruising(5.6, 5.6)
+        .with_obstacle(PlanningObstacle {
+            station_m: 14.0,
+            lateral_m: 0.1,
+            speed_along_mps: 2.0,
+            radius_m: 0.8,
+        })
+        .with_obstacle(PlanningObstacle {
+            station_m: 24.0,
+            lateral_m: -0.8,
+            speed_along_mps: 0.0,
+            radius_m: 0.3,
+        })
+        .with_obstacle(PlanningObstacle {
+            station_m: 32.0,
+            lateral_m: 1.2,
+            speed_along_mps: 1.0,
+            radius_m: 0.6,
+        })
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let input = busy_input();
+    let mut mpc = MpcPlanner::new(MpcConfig::default());
+    c.bench_function("planning/mpc_lane_granularity", |b| {
+        b.iter(|| black_box(mpc.plan(black_box(&input))));
+    });
+    let mut em = EmPlanner::new(EmConfig::default());
+    let mut group = c.benchmark_group("planning");
+    group.sample_size(20);
+    group.bench_function("em_dp_plus_qp", |b| {
+        b.iter(|| black_box(em.plan(black_box(&input))));
+    });
+    group.finish();
+}
+
+fn bench_qp_solver(c: &mut Criterion) {
+    use sov_planning::qp::{speed_tracking_qp, QpProblem};
+    let refs = vec![5.6; 50];
+    let (h, g) = speed_tracking_qp(&refs, 1.0, 4.0);
+    let qp = QpProblem::new(h, g, vec![0.0; 50], vec![8.9; 50]).unwrap();
+    c.bench_function("planning/qp_50_knots", |b| {
+        b.iter(|| black_box(qp.solve(600, 1e-7)));
+    });
+}
+
+criterion_group!(benches, bench_planners, bench_qp_solver);
+criterion_main!(benches);

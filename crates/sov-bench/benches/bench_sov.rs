@@ -1,0 +1,54 @@
+//! Criterion benches of the end-to-end SoV: one closed-loop control frame,
+//! the latency-model generator, and the sensor synchronization paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sov_core::config::VehicleConfig;
+use sov_core::pipeline::LatencyPipeline;
+use sov_core::sov::Sov;
+use sov_math::SovRng;
+use sov_sensors::sync::{SyncConfig, SyncStrategy, Synchronizer};
+use sov_world::scenario::Scenario;
+use std::hint::black_box;
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sov");
+    group.sample_size(10);
+    group.bench_function("drive_100_frames_fishers", |b| {
+        let scenario = Scenario::fishers_indiana(42);
+        b.iter(|| {
+            let mut sov = Sov::new(VehicleConfig::perceptin_pod(), 42);
+            black_box(sov.drive(&scenario, 100).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    let config = VehicleConfig::perceptin_pod();
+    let mut pipe = LatencyPipeline::new(&config, 1);
+    c.bench_function("sov/latency_model_frame", |b| {
+        b.iter(|| black_box(pipe.next_frame(black_box(0.4))));
+    });
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let hw = Synchronizer::new(SyncStrategy::HardwareAssisted, SyncConfig::default());
+    let sw = Synchronizer::new(SyncStrategy::SoftwareOnly, SyncConfig::default());
+    let mut rng = SovRng::seed_from_u64(1);
+    let mut k = 0u64;
+    c.bench_function("sync/hardware_camera_sample", |b| {
+        b.iter(|| {
+            k += 1;
+            black_box(hw.camera_sample(k, &mut rng))
+        });
+    });
+    c.bench_function("sync/software_camera_sample", |b| {
+        b.iter(|| {
+            k += 1;
+            black_box(sw.camera_sample(k, &mut rng))
+        });
+    });
+}
+
+criterion_group!(benches, bench_closed_loop, bench_latency_model, bench_sync);
+criterion_main!(benches);

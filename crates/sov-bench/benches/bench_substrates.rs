@@ -1,0 +1,95 @@
+//! Criterion benches of the substrate data structures: kd-tree queries
+//! (the irregular kernel of Sec. III-D), the LLC simulator, and the RPR
+//! engine simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sov_lidar::cloud::PointCloud;
+use sov_lidar::kdtree::KdTree;
+use sov_lidar::registration::{icp, IcpConfig};
+use sov_math::SovRng;
+use sov_platform::cache::CacheSim;
+use sov_platform::rpr::{RprEngine, RprPath};
+use std::hint::black_box;
+
+fn bench_kdtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let mut rng = SovRng::seed_from_u64(1);
+        let cloud = PointCloud::synthetic_street_scene(n, 0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("build", n), &cloud, |b, cloud| {
+            b.iter(|| KdTree::build(black_box(cloud)));
+        });
+        let tree = KdTree::build(&cloud);
+        group.bench_with_input(BenchmarkId::new("nearest", n), &tree, |b, tree| {
+            let mut qrng = SovRng::seed_from_u64(2);
+            b.iter(|| {
+                let q = [
+                    qrng.uniform(-30.0, 30.0),
+                    qrng.uniform(-10.0, 10.0),
+                    qrng.uniform(0.0, 5.0),
+                ];
+                black_box(tree.nearest(&q))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("radius_1m", n), &tree, |b, tree| {
+            let mut qrng = SovRng::seed_from_u64(3);
+            b.iter(|| {
+                let q = [qrng.uniform(-30.0, 30.0), qrng.uniform(-10.0, 10.0), 0.5];
+                black_box(tree.radius_search(&q, 1.0))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_icp(c: &mut Criterion) {
+    // The LiDAR localization workload: the paper measures 100 ms–1 s on a
+    // CPU+GPU machine. Our from-scratch ICP at Velodyne-like cloud sizes
+    // lands in the same order of magnitude.
+    let mut group = c.benchmark_group("icp_localization");
+    group.sample_size(10);
+    for &n in &[2_000usize, 10_000] {
+        let mut rng = SovRng::seed_from_u64(4);
+        let map = PointCloud::synthetic_street_scene(n, 0, &mut rng);
+        let tree = KdTree::build(&map);
+        let scan = map.transformed(0.02, 0.3, -0.2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| icp(black_box(&scan), black_box(&tree), &IcpConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    c.bench_function("cache_sim_1M_accesses", |b| {
+        b.iter(|| {
+            let mut cache = CacheSim::coffee_lake_llc();
+            let mut rng = SovRng::seed_from_u64(5);
+            for _ in 0..1_000_000u32 {
+                cache.access(black_box(rng.next_below(64 * 1024 * 1024)));
+            }
+            black_box(cache.stats())
+        });
+    });
+}
+
+fn bench_rpr(c: &mut Criterion) {
+    let engine = RprEngine::default();
+    c.bench_function("rpr_engine_1MB_simulation", |b| {
+        b.iter(|| engine.reconfigure(black_box(1024 * 1024), RprPath::DecoupledEngine));
+    });
+}
+
+fn bench_compression(c: &mut Criterion) {
+    use sov_cloud::compress::{compress, synthetic_operational_log};
+    let log = synthetic_operational_log(5_000, 1);
+    let mut group = c.benchmark_group("compress");
+    group.throughput(criterion::Throughput::Bytes(log.len() as u64));
+    group.bench_function("lzss_operational_log", |b| {
+        b.iter(|| black_box(compress(&log)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kdtree, bench_icp, bench_cache_sim, bench_rpr, bench_compression);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 4a — irregular data reuse in LiDAR localization.
+//!
+//! Runs ICP localization against two different synthetic scenes captured by
+//! the same (synthetic) LiDAR and prints the histogram of per-point reuse
+//! frequencies, plus the irregularity statistics the paper argues from.
+
+use sov_lidar::cloud::PointCloud;
+use sov_lidar::traffic::reuse_counts;
+use sov_math::stats::{coefficient_of_variation, Histogram};
+use sov_math::SovRng;
+
+fn histogram_for(scene_id: u64, seed: u64) -> (Vec<(f64, u64)>, f64, f64) {
+    let mut rng = SovRng::seed_from_u64(seed);
+    let map = PointCloud::synthetic_street_scene(6000, scene_id, &mut rng);
+    let scan = map.transformed(0.02, 0.25, -0.15);
+    let counts: Vec<f64> = reuse_counts(&map, &scan).into_iter().map(|c| c as f64).collect();
+    let max = counts.iter().copied().fold(0.0f64, f64::max);
+    let mut h = Histogram::new(0.0, max + 1.0, 16);
+    for &c in &counts {
+        h.record(c);
+    }
+    let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+    (h.centers().collect(), mean, coefficient_of_variation(&counts))
+}
+
+fn main() {
+    sov_bench::banner("Fig. 4a", "Irregular data reuse in LiDAR localization");
+    let seed = sov_bench::seed_from_args();
+    for (label, scene) in [("Frame 0 (scene A)", 0u64), ("Frame 1 (scene B)", 4u64)] {
+        sov_bench::section(label);
+        let (centers, mean, cv) = histogram_for(scene, seed);
+        println!("{:>22} | {:>12}", "reuse frequency", "num points");
+        println!("{:->22}-+-{:->12}", "", "");
+        for (center, count) in centers {
+            if count > 0 {
+                let bar = "#".repeat((count / 20).min(60) as usize);
+                println!("{center:>22.0} | {count:>12} {bar}");
+            }
+        }
+        println!("mean reuse = {mean:.1}, coefficient of variation = {cv:.2}");
+    }
+    println!(
+        "\nObservation (paper): reuse opportunity is abundant but the count\n\
+         varies widely within a cloud and across clouds — conventional\n\
+         memory optimizations are likely ineffective."
+    );
+}

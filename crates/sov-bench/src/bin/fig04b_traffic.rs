@@ -1,0 +1,59 @@
+//! Fig. 4b — off-chip memory traffic of four point-cloud algorithms,
+//! normalized to the all-reuse-captured optimum.
+//!
+//! The paper measures PCL on a Coffee Lake CPU with a 9 MB LLC; we run our
+//! from-scratch implementations through the same-geometry cache model. Use
+//! `--points N` to scale the cloud (default 20 000 — big enough that the
+//! kd-tree working set exceeds a scaled LLC while staying quick to run; the
+//! cache scales with the cloud to preserve the paper's working-set:LLC
+//! ratio).
+
+use sov_lidar::cloud::PointCloud;
+use sov_lidar::traffic::{measure, Workload, NODE_BYTES, POINT_RECORD_BYTES};
+use sov_math::SovRng;
+use sov_platform::cache::CacheSim;
+
+fn main() {
+    sov_bench::banner("Fig. 4b", "Normalized off-chip memory traffic (LLC model)");
+    let seed = sov_bench::seed_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let points: usize = args
+        .iter()
+        .position(|a| a == "--points")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let mut rng = SovRng::seed_from_u64(seed);
+    let cloud = PointCloud::synthetic_street_scene(points, 0, &mut rng);
+    // Preserve the paper's regime (working set ≫ LLC): a real 130k-point
+    // Velodyne frame's kd-tree+points exceed the 9 MB LLC ~... we scale the
+    // cache to 1/6 of the working set.
+    let working_set = points as u64 * (POINT_RECORD_BYTES + NODE_BYTES);
+    let cache_bytes = (working_set / 6).max(16 * 1024);
+    println!(
+        "cloud: {points} points; working set ≈ {} KB; modeled LLC = {} KB (16-way, 64 B lines)\n",
+        working_set / 1024,
+        cache_bytes / 1024
+    );
+    println!(
+        "{:<16} | {:>12} | {:>14} | {:>14} | {:>12}",
+        "workload", "accesses", "off-chip (KB)", "optimal (KB)", "normalized"
+    );
+    println!("{:-<16}-+-{:->12}-+-{:->14}-+-{:->14}-+-{:->12}", "", "", "", "", "");
+    for w in Workload::ALL {
+        let mut cache = CacheSim::new(cache_bytes, 64, 16);
+        let r = measure(w, &cloud, &mut cache, seed);
+        println!(
+            "{:<16} | {:>12} | {:>14} | {:>14} | {:>11.1}×",
+            w.name(),
+            r.accesses,
+            r.offchip_bytes / 1024,
+            r.optimal_bytes / 1024,
+            r.normalized()
+        );
+    }
+    println!(
+        "\nObservation (paper): existing systems require orders of magnitude\n\
+         more off-chip accesses than the optimal all-on-chip-reuse case."
+    );
+}

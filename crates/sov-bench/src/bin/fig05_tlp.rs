@@ -1,0 +1,63 @@
+//! Fig. 5 / Sec. IV — the software pipeline's task-level parallelism,
+//! demonstrated on real threads.
+//!
+//! "Sensing, perception, and planning are serialized; they are all on the
+//! critical path of the end-to-end latency. We pipeline the three modules
+//! to improve the throughput, which is dictated by the slowest stage."
+
+use sov_core::executor::{run_pipeline, Stage};
+use std::time::Duration;
+
+fn stage(name: &'static str, ms: u64) -> Stage<u64> {
+    Stage::new(name, move |x| {
+        std::thread::sleep(Duration::from_millis(ms));
+        x
+    })
+}
+
+fn main() {
+    sov_bench::banner("Fig. 5 / Sec. IV", "Task-level parallelism in the software pipeline");
+    // Scaled-down stage times preserving the paper's proportions
+    // (sensing ≈ perception ≫ planning): 8 / 8 / 1 ms.
+    let frames = 60;
+    println!("running {frames} frames through sensing(8 ms) → perception(8 ms) → planning(1 ms)\n");
+
+    sov_bench::section("pipelined (one thread per stage, Fig. 5 dataflow)");
+    let report = run_pipeline(
+        vec![stage("sensing", 8), stage("perception", 8), stage("planning", 1)],
+        (0..frames).collect(),
+    );
+    println!(
+        "  throughput {:.0} Hz (bounded by the slowest 8 ms stage → ≤125 Hz)",
+        report.throughput_hz()
+    );
+    println!(
+        "  per-frame latency {:.1} ms (sum of stages: 17 ms)",
+        report.mean_latency().as_secs_f64() * 1000.0
+    );
+
+    sov_bench::section("serialized (single stage doing all three)");
+    let serial = run_pipeline(
+        vec![Stage::new("all", |x: u64| {
+            std::thread::sleep(Duration::from_millis(17));
+            x
+        })],
+        (0..frames).collect(),
+    );
+    println!("  throughput {:.0} Hz", serial.throughput_hz());
+    println!(
+        "  per-frame latency {:.1} ms",
+        serial.mean_latency().as_secs_f64() * 1000.0
+    );
+
+    println!(
+        "\npipelining improves throughput {:.1}× without reducing latency —\n\
+         which is why the 10 Hz throughput requirement is 'relatively easier\n\
+         to meet than latency' (Sec. III-A).",
+        report.throughput_hz() / serial.throughput_hz()
+    );
+    println!(
+        "\nintra-perception parallelism (Fig. 5): localization ∥ scene\n\
+         understanding; the only serialized pair is detection → tracking."
+    );
+}

@@ -1,0 +1,69 @@
+//! Fig. 12 — the sensor processing pipeline and the two synchronization
+//! designs.
+//!
+//! Prints the per-stage latency structure of the camera pipeline
+//! (Fig. 12b), then shows the C0/M7 misassociation of software-only
+//! timestamping and the near-sensor correction of the hardware design.
+
+use sov_math::SovRng;
+use sov_sensors::pipeline::SensorPipeline;
+use sov_sensors::sync::{SyncConfig, SyncStrategy, Synchronizer, SynchronizerFootprint};
+use sov_sim::time::SimTime;
+
+fn main() {
+    sov_bench::banner("Fig. 12", "Sensor pipeline and synchronization designs");
+    let seed = sov_bench::seed_from_args();
+    let pipeline = SensorPipeline::camera_default();
+    sov_bench::section("(b) camera pipeline stages (trigger → application)");
+    println!(
+        "{:<18} | {:>12} | {:>12} | {:>14}",
+        "stage", "min (ms)", "mean (ms)", "compensatable?"
+    );
+    println!("{:-<18}-+-{:->12}-+-{:->12}-+-{:->14}", "", "", "", "");
+    for s in pipeline.stages() {
+        println!(
+            "{:<18} | {:>12.1} | {:>12.1} | {:>14}",
+            s.name,
+            s.latency.min().as_millis_f64(),
+            s.latency.mean().as_millis_f64(),
+            if s.compensatable { "yes (constant)" } else { "no (variable)" }
+        );
+    }
+    println!(
+        "\nconstant prefix (exposure+transmission+interface): {} — the hardware\n\
+         design timestamps at the sensor interface and subtracts exactly this.",
+        pipeline.constant_prefix_latency()
+    );
+
+    sov_bench::section("(a)/(c) what the application pairs together");
+    let mut rng = SovRng::seed_from_u64(seed);
+    for (label, strategy) in [
+        ("software-only (Fig. 12a)", SyncStrategy::SoftwareOnly),
+        ("hardware-assisted (Fig. 12c)", SyncStrategy::HardwareAssisted),
+    ] {
+        let sync = Synchronizer::new(strategy, SyncConfig { seed, ..SyncConfig::default() });
+        println!("\n  {label}:");
+        for k in [10u64, 11, 12] {
+            let cam = sync.camera_sample(k, &mut rng);
+            // Which IMU sample does the camera frame's assigned timestamp
+            // land next to? (240 Hz IMU → ~4.17 ms period.)
+            let imu_index =
+                (cam.assigned.as_secs_f64() * 240.0).round() as i64;
+            let true_index = (cam.true_capture.as_secs_f64() * 240.0).round() as i64;
+            println!(
+                "    frame C{k}: captured {} but stamped {} → paired with M{imu_index} (truth: M{true_index}, {} samples off)",
+                SimTime::from_secs_f64(cam.true_capture.as_secs_f64()),
+                SimTime::from_secs_f64(cam.assigned.as_secs_f64()),
+                (imu_index - true_index).abs()
+            );
+        }
+    }
+
+    sov_bench::section("hardware synchronizer footprint (Sec. VI-A3)");
+    let fp = SynchronizerFootprint::PAPER;
+    println!(
+        "  {} LUTs, {} registers, {} mW; adds <1 ms to the end-to-end latency;\n\
+         scales to more cameras by adding trigger lines only.",
+        fp.luts, fp.registers, fp.power_mw
+    );
+}

@@ -1,0 +1,84 @@
+//! Localization study: pure VIO (drifts with distance) vs GPS–VIO fusion
+//! (Sec. VI-B) vs map-based visual localization against the pre-built map
+//! (Sec. II-B) — all fed the same ego-motion increments on the same course.
+
+use sov_math::{Pose2, SovRng};
+use sov_perception::fusion::{FusionConfig, GpsVioFusion};
+use sov_perception::maploc::{MapLocConfig, MapLocalizer};
+use sov_perception::vio::{FrameKind, VioConfig, VioFilter, VisualDelta};
+use sov_sensors::camera::{Camera, Intrinsics};
+use sov_sensors::gps::{GnssQuality, GpsConfig, GpsReceiver};
+use sov_sim::time::SimTime;
+use sov_world::scenario::Scenario;
+
+fn main() {
+    sov_bench::banner("Localizer comparison", "VIO vs GPS–VIO vs map-based (Sec. II-B, VI-B)");
+    let seed = sov_bench::seed_from_args();
+    let world = Scenario::fishers_indiana(seed).world;
+    let camera = Camera::new(Intrinsics::hd1080(), 0.0, 1.2, 60.0, 0.5).unwrap();
+    let mut truth = world.route.pose_at(&world.map, 5.0).unwrap();
+
+    let mut vio = VioFilter::new(truth, VioConfig::default());
+    let mut fused_vio = VioFilter::new(truth, VioConfig::default());
+    let mut fusion = GpsVioFusion::new(FusionConfig::default());
+    let mut gps = GpsReceiver::new(GpsConfig::default(), seed);
+    let mut maploc = MapLocalizer::new(
+        &world.landmarks,
+        Pose2::new(truth.x + 1.0, truth.y - 1.0, truth.theta),
+        MapLocConfig::default(),
+    );
+
+    let mut rng = SovRng::seed_from_u64(seed);
+    let dt = 1.0 / 30.0;
+    let frames = 2400u64; // 80 s ≈ 360 m
+    // A deliberate 1% scale bias drives the VIO drift.
+    println!(
+        "{:>12} | {:>10} | {:>10} | {:>10}",
+        "distance (m)", "VIO (m)", "GPS-VIO (m)", "map-based"
+    );
+    println!("{:->12}-+-{:->10}-+-{:->10}-+-{:->10}", "", "", "", "");
+    let mut station = 5.0;
+    for k in 1..=frames {
+        let t_prev = SimTime::from_secs_f64((k - 1) as f64 * dt);
+        let t = SimTime::from_secs_f64(k as f64 * dt);
+        // Follow the deployment route so the vehicle stays inside the
+        // mapped landmark corridor.
+        station = (station + 4.5 * dt) % world.route.length_m();
+        let next = world.route.pose_at(&world.map, station).unwrap();
+        let rel = truth.between(&next);
+        let delta = VisualDelta {
+            t_from: t_prev,
+            t_to: t,
+            forward_m: rel.x * 1.01 + rng.normal(0.0, 0.01),
+            lateral_m: rel.y * 1.01 + rng.normal(0.0, 0.01),
+            dtheta: rel.theta + rng.normal(0.0, 0.001),
+            kind: FrameKind::Tracked,
+        };
+        vio.visual_update(&delta);
+        fused_vio.visual_update(&delta);
+        maploc.propagate(&delta);
+        truth = next;
+        if k % 3 == 0 {
+            let fix = gps.fix(t, &truth, GnssQuality::Strong);
+            let _ = fusion.ingest_fix(&mut fused_vio, &fix);
+        }
+        let frame = camera.capture(&truth, &world, &world.landmarks, t, &mut rng);
+        maploc.update_from_frame(&frame, camera.intrinsics());
+        if k % 300 == 0 {
+            println!(
+                "{:>12.0} | {:>10.2} | {:>10.2} | {:>9.2}m",
+                4.5 * k as f64 * dt,
+                vio.pose().distance(&truth),
+                fused_vio.pose().distance(&truth),
+                maploc.pose().distance(&truth)
+            );
+        }
+    }
+    println!(
+        "\nVIO drifts with distance; GPS–VIO bounds the error at GNSS accuracy;\n\
+         map-based localization is drift-free against the pre-built landmark\n\
+         map ({} bearing updates fused, {} gated).",
+        maploc.updates_applied(),
+        maploc.updates_gated()
+    );
+}

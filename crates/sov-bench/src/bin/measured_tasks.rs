@@ -1,0 +1,221 @@
+//! Table III, measured: wall-clock times of this repository's *real*
+//! implementations of each algorithm the paper names, on this machine.
+//!
+//! Absolute numbers depend on the host; the *orderings and ratios* are the
+//! reproduction targets (EM ≫ MPC; KCF ≫ spatial sync; extraction >
+//! tracking; LiDAR ICP ≫ visual localization steps).
+
+use sov_lidar::cloud::PointCloud;
+use sov_lidar::kdtree::KdTree;
+use sov_lidar::registration::{icp, IcpConfig};
+use sov_math::{Pose2, SovRng};
+use sov_perception::depth::DenseStereoMatcher;
+use sov_perception::features::{fast_corners, track_features};
+use sov_perception::fusion::{FusionConfig, GpsVioFusion};
+use sov_perception::image::render_scene;
+use sov_perception::maploc::{MapLocConfig, MapLocalizer};
+use sov_perception::tracking::{KcfConfig, KcfTracker};
+use sov_perception::vio::{FrameKind, VioConfig, VioFilter, VisualDelta};
+use sov_planning::em::{EmConfig, EmPlanner};
+use sov_planning::mpc::{MpcConfig, MpcPlanner};
+use sov_planning::{Planner, PlanningInput, PlanningObstacle};
+use sov_sensors::camera::{Camera, Intrinsics};
+use sov_sensors::gps::{GnssFix, GnssQuality};
+use sov_sim::time::SimTime;
+use sov_world::scenario::Scenario;
+use std::time::Instant;
+
+fn time_us(reps: u32, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(reps)
+}
+
+fn main() {
+    sov_bench::banner("Table III (measured)", "Real implementations on this host");
+    let seed = sov_bench::seed_from_args();
+    let mut rows: Vec<(&str, &str, f64)> = Vec::new();
+
+    // Depth estimation: ELAS-style dense matcher on a 256×128 pair.
+    {
+        let mut rng = SovRng::seed_from_u64(seed);
+        let blobs: Vec<(f64, f64, f64, f64)> = (0..60)
+            .map(|_| (rng.uniform(10.0, 240.0), rng.uniform(8.0, 120.0), 1.5, 0.7))
+            .collect();
+        let shifted: Vec<_> = blobs.iter().map(|&(x, y, r, i)| (x - 8.0, y, r, i)).collect();
+        let mut b1 = SovRng::seed_from_u64(seed + 1);
+        let mut b2 = SovRng::seed_from_u64(seed + 1);
+        let left = render_scene(256, 128, &blobs, 0.02, &mut b1);
+        let right = render_scene(256, 128, &shifted, 0.02, &mut b2);
+        let matcher = DenseStereoMatcher::default();
+        rows.push((
+            "depth estimation",
+            "ELAS-style dense stereo, 256×128",
+            time_us(5, || {
+                let _ = matcher.compute(&left, &right);
+            }),
+        ));
+    }
+
+    // Tracking: KCF vs radar spatial synchronization surrogate timing is in
+    // the criterion suite; here time one KCF update.
+    {
+        let mut rng = SovRng::seed_from_u64(seed + 2);
+        let frame = render_scene(128, 64, &[(40.0, 32.0, 3.0, 0.9)], 0.05, &mut rng);
+        let mut kcf = KcfTracker::init(&frame, 40.0, 32.0, KcfConfig::default());
+        rows.push((
+            "object tracking (fallback)",
+            "KCF, 32×32 patch",
+            time_us(50, || {
+                let _ = kcf.update(&frame);
+            }),
+        ));
+    }
+
+    // Localization candidates.
+    {
+        let world = Scenario::fishers_indiana(seed).world;
+        let camera = Camera::new(Intrinsics::hd1080(), 0.0, 1.2, 60.0, 0.5).unwrap();
+        let pose = world.route.pose_at(&world.map, 10.0).unwrap();
+        let mut rng = SovRng::seed_from_u64(seed + 3);
+        let cam_frame = camera.capture(&pose, &world, &world.landmarks, SimTime::ZERO, &mut rng);
+        let mut maploc =
+            MapLocalizer::new(&world.landmarks, pose, MapLocConfig::default());
+        rows.push((
+            "localization (map-based)",
+            "bearing EKF, one camera frame",
+            time_us(200, || {
+                maploc.update_from_frame(&cam_frame, camera.intrinsics());
+            }),
+        ));
+        let mut vio = VioFilter::new(Pose2::identity(), VioConfig::default());
+        let delta = VisualDelta {
+            t_from: SimTime::ZERO,
+            t_to: SimTime::from_millis(33),
+            forward_m: 0.187,
+            lateral_m: 0.0,
+            dtheta: 0.001,
+            kind: FrameKind::Tracked,
+        };
+        rows.push((
+            "localization (VIO step)",
+            "EKF propagate, one increment",
+            time_us(1000, || vio.visual_update(&delta)),
+        ));
+        let mut fusion = GpsVioFusion::new(FusionConfig::default());
+        let fix = GnssFix {
+            timestamp: SimTime::ZERO,
+            position: (0.05, -0.05),
+            quality: GnssQuality::Strong,
+        };
+        rows.push((
+            "GPS-VIO fusion",
+            "EKF update, one fix",
+            time_us(1000, || {
+                let _ = fusion.ingest_fix(&mut vio, &fix);
+            }),
+        ));
+        // LiDAR localization (the rejected alternative).
+        let mut lrng = SovRng::seed_from_u64(seed + 4);
+        let map = PointCloud::synthetic_street_scene(10_000, 0, &mut lrng);
+        let tree = KdTree::build(&map);
+        let scan = map.transformed(0.02, 0.3, -0.2);
+        rows.push((
+            "localization (LiDAR ICP)",
+            "10k-point scan-to-map",
+            time_us(3, || {
+                let _ = icp(&scan, &tree, &IcpConfig::default());
+            }),
+        ));
+    }
+
+    // Feature extraction vs tracking (Sec. V-B3's RPR pair).
+    {
+        let mut rng = SovRng::seed_from_u64(seed + 5);
+        let blobs: Vec<(f64, f64, f64, f64)> = (0..80)
+            .map(|_| (rng.uniform(8.0, 312.0), rng.uniform(8.0, 152.0), 1.0, 0.8))
+            .collect();
+        let mut b1 = SovRng::seed_from_u64(seed + 6);
+        let mut b2 = SovRng::seed_from_u64(seed + 6);
+        let prev = render_scene(320, 160, &blobs, 0.03, &mut b1);
+        let shifted: Vec<_> = blobs.iter().map(|&(x, y, r, i)| (x + 2.0, y + 1.0, r, i)).collect();
+        let next = render_scene(320, 160, &shifted, 0.03, &mut b2);
+        rows.push((
+            "feature extraction (keyframe)",
+            "FAST-9 + NMS, 320×160",
+            time_us(20, || {
+                let _ = fast_corners(&prev, 0.12);
+            }),
+        ));
+        let corners = fast_corners(&prev, 0.12);
+        let points: Vec<(usize, usize)> = corners.iter().take(60).map(|c| (c.x, c.y)).collect();
+        rows.push((
+            "feature tracking (non-key)",
+            "NCC search, 60 features",
+            time_us(20, || {
+                let _ = track_features(&prev, &next, &points, 9, 4, 0.5);
+            }),
+        ));
+    }
+
+    // Planning.
+    {
+        let input = PlanningInput::cruising(5.6, 5.6).with_obstacle(PlanningObstacle {
+            station_m: 14.0,
+            lateral_m: 0.0,
+            speed_along_mps: 0.0,
+            radius_m: 0.5,
+        });
+        let mut mpc = MpcPlanner::new(MpcConfig::default());
+        rows.push((
+            "planning (ours)",
+            "lane-granularity MPC",
+            time_us(100, || {
+                let _ = mpc.plan(&input);
+            }),
+        ));
+        let mut em = EmPlanner::new(EmConfig::default());
+        rows.push((
+            "planning (baseline)",
+            "EM-style DP+QP",
+            time_us(20, || {
+                let _ = em.plan(&input);
+            }),
+        ));
+    }
+
+    println!(
+        "{:<30} | {:<32} | {:>12}",
+        "task", "implementation", "time (µs)"
+    );
+    println!("{:-<30}-+-{:-<32}-+-{:->12}", "", "", "");
+    for (task, implementation, us) in &rows {
+        println!("{task:<30} | {implementation:<32} | {us:>12.1}");
+    }
+    let get = |name: &str| rows.iter().find(|r| r.0 == name).map(|r| r.2).unwrap_or(0.0);
+    sov_bench::section("ratios the paper reports");
+    println!(
+        "  EM / MPC planning:             {} (paper: 33×)",
+        sov_bench::times(get("planning (baseline)") / get("planning (ours)"))
+    );
+    println!(
+        "  extraction / tracking:         {} (paper: 2×, 20 ms vs 10 ms)",
+        sov_bench::times(get("feature extraction (keyframe)") / get("feature tracking (non-key)"))
+    );
+    println!(
+        "  LiDAR ICP / map-based visual:  {} (paper: 100 ms–1 s vs 25 ms)",
+        sov_bench::times(get("localization (LiDAR ICP)") / get("localization (map-based)"))
+    );
+    // The paper's 24 ms VIO cost is dominated by the feature front-end,
+    // which we measure separately (FAST extraction / NCC tracking above);
+    // the EKF fusion arithmetic is sub-microsecond. The co-design point —
+    // "in cases where sensing could replace computing, accelerating the
+    // computing algorithm has little value" — survives with a wide margin:
+    println!(
+        "  visual front-end {:.0} µs/frame vs GPS-fusion step {:.2} µs (paper: 24 ms vs 1 ms)",
+        get("feature extraction (keyframe)") + get("localization (VIO step)"),
+        get("GPS-VIO fusion")
+    );
+}

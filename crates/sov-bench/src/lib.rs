@@ -1,0 +1,50 @@
+//! Experiment harness for the SoV reproduction.
+//!
+//! Each paper table/figure has a binary in `src/bin/` that regenerates its
+//! rows/series (see DESIGN.md §4 for the index); criterion benches in
+//! `benches/` measure the real Rust implementations. This library holds the
+//! shared report formatting and argument handling.
+
+#![deny(missing_docs)]
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id} — {title}");
+    println!("==============================================================");
+}
+
+/// Prints a section divider.
+pub fn section(name: &str) {
+    println!("\n--- {name} ---");
+}
+
+/// Parses `--seed N` from the command line (default 42).
+#[must_use]
+pub fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Formats a ratio as `N.N×`.
+#[must_use]
+pub fn times(ratio: f64) -> String {
+    format!("{ratio:.1}×")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_seed() {
+        assert_eq!(super::seed_from_args(), 42);
+    }
+
+    #[test]
+    fn times_formats() {
+        assert_eq!(super::times(1.6), "1.6×");
+    }
+}

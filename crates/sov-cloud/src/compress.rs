@@ -1,0 +1,254 @@
+//! Log/sensor-data compression (Sec. II-B, Sec. VII).
+//!
+//! The raw training data is "enormous even after compression (as high as
+//! 1 TB per day)", and Sec. VII proposes swapping a compression accelerator
+//! into the FPGA once per hour via partial reconfiguration. This module
+//! provides the compression substrate: a from-scratch LZSS codec
+//! (dictionary matching with a rolling hash chain) plus helpers to generate
+//! realistic operational-log payloads.
+
+use sov_math::SovRng;
+
+/// Errors during decompression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressError {
+    /// Input ended in the middle of a token.
+    Truncated,
+    /// A back-reference pointed before the start of the output.
+    BadReference,
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "compressed stream truncated mid-token"),
+            Self::BadReference => write!(f, "back-reference outside the produced output"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 130;
+
+/// LZSS-compresses `input`.
+///
+/// Token format: `0x00 len byte…` for a literal run (len 1–255), or
+/// `0x01 off_hi off_lo len` for a back-reference of `len+MIN_MATCH` bytes
+/// at distance `off` (1–4096).
+#[must_use]
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Hash chains over 4-byte prefixes.
+    let mut head = vec![usize::MAX; 1 << 14];
+    let mut prev = vec![usize::MAX; input.len().max(1)];
+    let hash = |window: &[u8]| -> usize {
+        let h = u32::from(window[0])
+            .wrapping_mul(2654435761)
+            .wrapping_add(u32::from(window[1]).wrapping_mul(40503))
+            .wrapping_add(u32::from(window[2]).wrapping_mul(2654435789u32))
+            .wrapping_add(u32::from(window[3]));
+        (h as usize) & ((1 << 14) - 1)
+    };
+    let mut literals: Vec<u8> = Vec::new();
+    let flush_literals = |out: &mut Vec<u8>, literals: &mut Vec<u8>| {
+        for chunk in literals.chunks(255) {
+            out.push(0x00);
+            out.push(chunk.len() as u8);
+            out.extend_from_slice(chunk);
+        }
+        literals.clear();
+    };
+    let mut i = 0;
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash(&input[i..i + 4]);
+            let mut candidate = head[h];
+            let mut tries = 16;
+            while candidate != usize::MAX && tries > 0 {
+                if i - candidate <= WINDOW {
+                    let mut len = 0;
+                    let max = (input.len() - i).min(MAX_MATCH);
+                    while len < max && input[candidate + len] == input[i + len] {
+                        len += 1;
+                    }
+                    if len >= MIN_MATCH && len > best_len {
+                        best_len = len;
+                        best_off = i - candidate;
+                    }
+                } else {
+                    break; // chain entries only get older
+                }
+                candidate = prev[candidate];
+                tries -= 1;
+            }
+            prev[i] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, &mut literals);
+            out.push(0x01);
+            out.push(((best_off - 1) >> 8) as u8);
+            out.push(((best_off - 1) & 0xFF) as u8);
+            out.push((best_len - MIN_MATCH) as u8);
+            // Index the skipped positions so later matches can find them.
+            for j in i + 1..(i + best_len).min(input.len().saturating_sub(MIN_MATCH - 1)) {
+                if j + 4 <= input.len() {
+                    let h = hash(&input[j..j + 4]);
+                    prev[j] = head[h];
+                    head[h] = j;
+                }
+            }
+            i += best_len;
+        } else {
+            literals.push(input[i]);
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &mut literals);
+    out
+}
+
+/// Decompresses an LZSS stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`DecompressError`] on truncated input or invalid references.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(input.len() * 3);
+    let mut i = 0;
+    while i < input.len() {
+        match input[i] {
+            0x00 => {
+                let len = *input.get(i + 1).ok_or(DecompressError::Truncated)? as usize;
+                let start = i + 2;
+                let end = start + len;
+                if end > input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                out.extend_from_slice(&input[start..end]);
+                i = end;
+            }
+            0x01 => {
+                if i + 3 >= input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let off = ((usize::from(input[i + 1]) << 8) | usize::from(input[i + 2])) + 1;
+                let len = usize::from(input[i + 3]) + MIN_MATCH;
+                if off > out.len() {
+                    return Err(DecompressError::BadReference);
+                }
+                let start = out.len() - off;
+                for j in 0..len {
+                    let byte = out[start + j];
+                    out.push(byte);
+                }
+                i += 4;
+            }
+            _ => return Err(DecompressError::Truncated),
+        }
+    }
+    Ok(out)
+}
+
+/// Compression ratio (input/output); >1 means the data shrank.
+#[must_use]
+pub fn ratio(input_len: usize, output_len: usize) -> f64 {
+    if output_len == 0 {
+        return 0.0;
+    }
+    input_len as f64 / output_len as f64
+}
+
+/// Generates a synthetic condensed operational log: repetitive key/value
+/// telemetry lines of the kind the vehicle uplinks hourly.
+#[must_use]
+pub fn synthetic_operational_log(lines: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SovRng::seed_from_u64(seed ^ 0x4C4F47);
+    let mut out = Vec::new();
+    for i in 0..lines {
+        let line = format!(
+            "t={:08} lat_ms={:3} mode={} speed={:4.1} soc={:3}% overrides={}\n",
+            i * 100,
+            140 + rng.index(80),
+            if rng.bernoulli(0.95) { "proactive" } else { "reactive " },
+            rng.uniform(0.0, 8.9),
+            40 + rng.index(60),
+            rng.index(3)
+        );
+        out.extend_from_slice(line.as_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for input in [&b""[..], b"a", b"ab", b"abc"] {
+            let c = compress(input);
+            assert_eq!(decompress(&c).unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn roundtrip_repetitive_log() {
+        let log = synthetic_operational_log(500, 1);
+        let c = compress(&log);
+        assert_eq!(decompress(&c).unwrap(), log);
+        let r = ratio(log.len(), c.len());
+        assert!(r > 2.0, "telemetry logs should compress well, got {r:.2}×");
+    }
+
+    #[test]
+    fn roundtrip_random_bytes() {
+        let mut rng = SovRng::seed_from_u64(2);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.next_below(256) as u8).collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        // Random data does not compress; overhead stays modest.
+        assert!(c.len() < data.len() + data.len() / 64 + 16);
+    }
+
+    #[test]
+    fn roundtrip_long_runs() {
+        let mut data = vec![0u8; 5_000];
+        data.extend(vec![7u8; 5_000]);
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(ratio(data.len(), c.len()) > 20.0);
+    }
+
+    #[test]
+    fn overlapping_references_work() {
+        // "abcabcabc..." forces overlapping copies (off < len).
+        let data: Vec<u8> = b"abc".iter().copied().cycle().take(1000).collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let log = synthetic_operational_log(50, 3);
+        let c = compress(&log);
+        assert_eq!(decompress(&c[..c.len() - 1]).unwrap_err(), DecompressError::Truncated);
+    }
+
+    #[test]
+    fn bad_reference_is_an_error() {
+        // A back-reference with nothing in the output yet.
+        let stream = [0x01u8, 0x00, 0x00, 0x00];
+        assert_eq!(decompress(&stream).unwrap_err(), DecompressError::BadReference);
+    }
+
+    #[test]
+    fn garbage_token_is_an_error() {
+        assert_eq!(decompress(&[0x42]).unwrap_err(), DecompressError::Truncated);
+    }
+}

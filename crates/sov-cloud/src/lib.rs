@@ -1,0 +1,44 @@
+//! Offline cloud services for the autonomous-driving infrastructure
+//! (Fig. 1, Sec. II-B).
+//!
+//! "Our cloud workloads include map generation, simulation, and machine
+//! learning (ML) model training. Over time, the new ML models, algorithms,
+//! and maps are updated to the vehicles, which in turn continuously provide
+//! real-world observations and statistics to the cloud tasks."
+//!
+//! * [`compress`] — the LZSS codec behind the log-compression task that
+//!   Sec. VII proposes swapping onto the FPGA via partial reconfiguration.
+//! * [`telemetry`] — the vehicle→cloud data path: condensed hourly
+//!   operational logs (a few KB, uplinked in real time) versus raw training
+//!   data (up to 1 TB/day, stored on the on-vehicle SSD and uploaded
+//!   manually at end of day).
+//! * [`training`] — environment-specialized detector training: field
+//!   observations from a deployment site improve that site's model
+//!   (Sec. IV: "different models are specialized/trained using the
+//!   deployment environment-specific training data").
+//! * [`mapgen`] — map generation/annotation: drive logs reveal where
+//!   pedestrians cluster and where GPS degrades, and those observations
+//!   become OSM-style semantic annotations (Sec. II-B).
+//! * [`simulation`] — the cloud simulation service: candidate model/config
+//!   updates are regression-gated by replaying deployment scenarios before
+//!   being pushed to vehicles.
+//!
+//! # Example
+//!
+//! ```
+//! use sov_cloud::telemetry::{DataClass, UplinkPolicy};
+//!
+//! let policy = UplinkPolicy::perceptin_defaults();
+//! // Condensed logs go up in real time; raw camera data must wait for the
+//! // end-of-day manual upload.
+//! assert!(policy.realtime_allowed(DataClass::CondensedLog { bytes: 4 * 1024 }));
+//! assert!(!policy.realtime_allowed(DataClass::RawSensorData { bytes: 6_000_000 }));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod compress;
+pub mod mapgen;
+pub mod simulation;
+pub mod telemetry;
+pub mod training;

@@ -1,0 +1,245 @@
+//! Map generation and semantic annotation (Sec. II-B).
+//!
+//! "We use a pre-constructed map that marks lanes ... we use OpenStreetMap
+//! (OSM), and we frequently annotate OSM with semantic information of the
+//! environment."
+//!
+//! The annotation pipeline here consumes **drive logs** — per-frame vehicle
+//! poses, obstacle sightings and GNSS quality — and converts recurring
+//! observations into lane annotations: lanes where pedestrians cluster
+//! become [`Annotation::PointOfInterest`] / [`Annotation::Crosswalk`],
+//! stretches with chronic GNSS degradation become
+//! [`Annotation::GpsDegraded`], and dense static-obstacle regions become
+//! [`Annotation::WorkZone`].
+
+use sov_world::map::{Annotation, LaneId, LaneMap};
+use sov_world::obstacle::ObstacleClass;
+use std::collections::BTreeMap;
+
+/// One observation extracted from a drive log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LogObservation {
+    /// An obstacle of `class` was seen at world position `(x, y)`.
+    ObstacleSighting {
+        /// Obstacle class.
+        class: ObstacleClass,
+        /// World x (m).
+        x: f64,
+        /// World y (m).
+        y: f64,
+    },
+    /// GNSS was degraded while the vehicle was at `(x, y)`.
+    GnssDegraded {
+        /// World x (m).
+        x: f64,
+        /// World y (m).
+        y: f64,
+    },
+}
+
+/// Thresholds for promoting observations to annotations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnotationThresholds {
+    /// Pedestrian sightings on a lane before it becomes a crosswalk/POI.
+    pub pedestrian_sightings: u32,
+    /// Static-object sightings before a lane becomes a work zone.
+    pub static_sightings: u32,
+    /// Degraded-GNSS samples before a lane is marked GPS-degraded.
+    pub gnss_samples: u32,
+    /// Maximum lateral distance (m) for an observation to attach to a lane.
+    pub max_lateral_m: f64,
+}
+
+impl Default for AnnotationThresholds {
+    fn default() -> Self {
+        Self {
+            pedestrian_sightings: 20,
+            static_sightings: 10,
+            gnss_samples: 30,
+            max_lateral_m: 4.0,
+        }
+    }
+}
+
+/// Per-lane tallies accumulated from logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct LaneTally {
+    pedestrians: u32,
+    statics: u32,
+    gnss_degraded: u32,
+}
+
+/// The map-annotation service.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MapAnnotator {
+    tallies: BTreeMap<LaneId, LaneTally>,
+}
+
+impl MapAnnotator {
+    /// Creates an empty annotator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one drive-log observation against the current map.
+    pub fn ingest(
+        &mut self,
+        map: &LaneMap,
+        observation: LogObservation,
+        thresholds: &AnnotationThresholds,
+    ) {
+        let (x, y) = match observation {
+            LogObservation::ObstacleSighting { x, y, .. }
+            | LogObservation::GnssDegraded { x, y } => (x, y),
+        };
+        let Some((lane, _, lateral)) = map.nearest_lane(x, y) else {
+            return;
+        };
+        if lateral.abs() > thresholds.max_lateral_m {
+            return;
+        }
+        let tally = self.tallies.entry(lane).or_default();
+        match observation {
+            LogObservation::ObstacleSighting { class: ObstacleClass::Pedestrian, .. } => {
+                tally.pedestrians += 1;
+            }
+            LogObservation::ObstacleSighting { class: ObstacleClass::StaticObject, .. } => {
+                tally.statics += 1;
+            }
+            LogObservation::ObstacleSighting { .. } => {}
+            LogObservation::GnssDegraded { .. } => tally.gnss_degraded += 1,
+        }
+    }
+
+    /// Applies accumulated tallies as annotations; returns how many
+    /// annotations were added.
+    pub fn annotate(&self, map: &mut LaneMap, thresholds: &AnnotationThresholds) -> usize {
+        let mut added = 0;
+        for (&lane, tally) in &self.tallies {
+            let mut wanted = Vec::new();
+            if tally.pedestrians >= thresholds.pedestrian_sightings {
+                wanted.push(Annotation::PointOfInterest);
+                wanted.push(Annotation::Crosswalk);
+            }
+            if tally.statics >= thresholds.static_sightings {
+                wanted.push(Annotation::WorkZone);
+            }
+            if tally.gnss_degraded >= thresholds.gnss_samples {
+                wanted.push(Annotation::GpsDegraded);
+            }
+            for a in wanted {
+                let already = map
+                    .lane(lane)
+                    .is_some_and(|l| l.has_annotation(a));
+                if !already && map.annotate(lane, a).is_ok() {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_world::map::rectangular_loop;
+
+    #[test]
+    fn pedestrian_cluster_becomes_poi_and_crosswalk() {
+        let mut map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
+        let mut annotator = MapAnnotator::new();
+        let thresholds = AnnotationThresholds::default();
+        for _ in 0..25 {
+            annotator.ingest(
+                &map,
+                LogObservation::ObstacleSighting {
+                    class: ObstacleClass::Pedestrian,
+                    x: 40.0,
+                    y: 0.5,
+                },
+                &thresholds,
+            );
+        }
+        let added = annotator.annotate(&mut map, &thresholds);
+        assert_eq!(added, 2);
+        let lane = map.lane(LaneId(0)).unwrap();
+        assert!(lane.has_annotation(Annotation::PointOfInterest));
+        assert!(lane.has_annotation(Annotation::Crosswalk));
+    }
+
+    #[test]
+    fn below_threshold_adds_nothing() {
+        let mut map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
+        let mut annotator = MapAnnotator::new();
+        let thresholds = AnnotationThresholds::default();
+        for _ in 0..5 {
+            annotator.ingest(
+                &map,
+                LogObservation::ObstacleSighting {
+                    class: ObstacleClass::Pedestrian,
+                    x: 40.0,
+                    y: 0.5,
+                },
+                &thresholds,
+            );
+        }
+        assert_eq!(annotator.annotate(&mut map, &thresholds), 0);
+    }
+
+    #[test]
+    fn gnss_degradation_marks_lane() {
+        let mut map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
+        let mut annotator = MapAnnotator::new();
+        let thresholds = AnnotationThresholds { gnss_samples: 10, ..Default::default() };
+        for i in 0..12 {
+            annotator.ingest(
+                &map,
+                LogObservation::GnssDegraded { x: 100.0, y: 10.0 + f64::from(i) },
+                &thresholds,
+            );
+        }
+        let _ = annotator.annotate(&mut map, &thresholds);
+        assert!(map.lane(LaneId(1)).unwrap().has_annotation(Annotation::GpsDegraded));
+    }
+
+    #[test]
+    fn far_off_lane_observations_are_ignored() {
+        let mut map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
+        let mut annotator = MapAnnotator::new();
+        let thresholds = AnnotationThresholds::default();
+        for _ in 0..50 {
+            annotator.ingest(
+                &map,
+                LogObservation::ObstacleSighting {
+                    class: ObstacleClass::Pedestrian,
+                    x: 50.0,
+                    y: 25.0, // middle of the loop, >4 m from any lane
+                },
+                &thresholds,
+            );
+        }
+        assert_eq!(annotator.annotate(&mut map, &thresholds), 0);
+    }
+
+    #[test]
+    fn annotation_is_idempotent() {
+        let mut map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
+        let mut annotator = MapAnnotator::new();
+        let thresholds = AnnotationThresholds::default();
+        for _ in 0..25 {
+            annotator.ingest(
+                &map,
+                LogObservation::ObstacleSighting {
+                    class: ObstacleClass::Pedestrian,
+                    x: 40.0,
+                    y: 0.5,
+                },
+                &thresholds,
+            );
+        }
+        assert_eq!(annotator.annotate(&mut map, &thresholds), 2);
+        assert_eq!(annotator.annotate(&mut map, &thresholds), 0, "second pass adds nothing");
+    }
+}

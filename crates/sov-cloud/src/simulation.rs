@@ -1,0 +1,186 @@
+//! The cloud simulation service (Fig. 1): regression-gating updates before
+//! they reach vehicles.
+//!
+//! Before a new model or configuration is pushed to the fleet, the cloud
+//! replays deployment scenarios against it and compares safety and
+//! performance against the incumbent. A candidate is released only if it
+//! passes every gate on every site.
+
+use sov_core::config::VehicleConfig;
+use sov_core::sov::{DriveOutcome, Sov};
+use sov_world::scenario::Scenario;
+
+/// Safety/performance gates a candidate must pass. Collision, latency and
+/// localization gates apply per site; the proactive-time gate applies to
+/// the **fleet average**, matching how the paper reports the statistic
+/// (">90% of the time" across deployments — a single pedestrian-crossing
+/// wait can dominate one short site window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReleaseGates {
+    /// No collisions, ever.
+    pub forbid_collisions: bool,
+    /// Minimum fleet-wide proactive-time fraction.
+    pub min_proactive_fraction: f64,
+    /// Maximum acceptable mean computing latency (ms).
+    pub max_mean_computing_ms: f64,
+    /// Maximum acceptable fused localization error at end of run (m).
+    pub max_localization_error_m: f64,
+}
+
+impl Default for ReleaseGates {
+    fn default() -> Self {
+        Self {
+            forbid_collisions: true,
+            min_proactive_fraction: 0.9,
+            max_mean_computing_ms: 250.0,
+            max_localization_error_m: 3.0,
+        }
+    }
+}
+
+/// Result of simulating one site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteResult {
+    /// Site name.
+    pub site: &'static str,
+    /// Drive outcome.
+    pub outcome: DriveOutcome,
+    /// Proactive-time fraction.
+    pub proactive_fraction: f64,
+    /// Mean computing latency (ms).
+    pub mean_computing_ms: f64,
+    /// Final localization error (m).
+    pub localization_error_m: f64,
+    /// Which gate failed, if any.
+    pub failed_gate: Option<&'static str>,
+}
+
+impl SiteResult {
+    /// Whether every gate passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failed_gate.is_none()
+    }
+}
+
+/// A full regression run across sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionReport {
+    /// Per-site results.
+    pub sites: Vec<SiteResult>,
+    /// The fleet-average proactive gate threshold used.
+    pub min_proactive_fraction: f64,
+}
+
+impl RegressionReport {
+    /// Fleet-average proactive-time fraction.
+    #[must_use]
+    pub fn fleet_proactive_fraction(&self) -> f64 {
+        if self.sites.is_empty() {
+            return 0.0;
+        }
+        self.sites.iter().map(|s| s.proactive_fraction).sum::<f64>() / self.sites.len() as f64
+    }
+
+    /// Whether the candidate may be released to the fleet: every per-site
+    /// gate passes and the fleet stays proactive on average.
+    #[must_use]
+    pub fn release_approved(&self) -> bool {
+        !self.sites.is_empty()
+            && self.sites.iter().all(SiteResult::passed)
+            && self.fleet_proactive_fraction() >= self.min_proactive_fraction
+    }
+}
+
+/// Replays every deployment site against `config` with the given gates.
+#[must_use]
+pub fn regression_run(
+    config: &VehicleConfig,
+    gates: &ReleaseGates,
+    frames: u64,
+    seed: u64,
+) -> RegressionReport {
+    let sites = Scenario::all_sites(seed)
+        .into_iter()
+        .map(|scenario| {
+            let mut sov = Sov::new(config.clone(), seed);
+            let report = sov.drive(&scenario, frames).expect("frames > 0");
+            let mean_ms = report.computing.mean();
+            let failed_gate = if gates.forbid_collisions
+                && report.outcome == DriveOutcome::Collision
+            {
+                Some("collision")
+            } else if mean_ms > gates.max_mean_computing_ms {
+                Some("mean-computing-latency")
+            } else if report.final_localization_error_m > gates.max_localization_error_m {
+                Some("localization-error")
+            } else {
+                None
+            };
+            SiteResult {
+                site: scenario.name,
+                outcome: report.outcome,
+                proactive_fraction: report.proactive_fraction(),
+                mean_computing_ms: mean_ms,
+                localization_error_m: report.final_localization_error_m,
+                failed_gate,
+            }
+        })
+        .collect();
+    RegressionReport { sites, min_proactive_fraction: gates.min_proactive_fraction }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployed_config_passes_release_gates() {
+        let report = regression_run(
+            &VehicleConfig::perceptin_pod(),
+            &ReleaseGates::default(),
+            200,
+            42,
+        );
+        assert_eq!(report.sites.len(), 5);
+        for s in &report.sites {
+            assert!(s.passed(), "{} failed gate {:?}", s.site, s.failed_gate);
+        }
+        assert!(report.release_approved());
+    }
+
+    #[test]
+    fn mobile_soc_candidate_is_rejected_on_latency() {
+        let report = regression_run(
+            &VehicleConfig::mobile_soc_variant(),
+            &ReleaseGates::default(),
+            150,
+            42,
+        );
+        assert!(!report.release_approved());
+        assert!(report
+            .sites
+            .iter()
+            .any(|s| s.failed_gate == Some("mean-computing-latency")));
+    }
+
+    #[test]
+    fn empty_report_is_not_approved() {
+        let report = RegressionReport { sites: vec![], min_proactive_fraction: 0.9 };
+        assert!(!report.release_approved());
+    }
+
+    #[test]
+    fn fleet_proactive_gate_tolerates_one_busy_site() {
+        // Seed 3 puts a long pedestrian wait on the Fribourg window; the
+        // fleet average still clears the 90% bar.
+        let report = regression_run(
+            &VehicleConfig::perceptin_pod(),
+            &ReleaseGates::default(),
+            200,
+            3,
+        );
+        assert!(report.fleet_proactive_fraction() > 0.9);
+        assert!(report.release_approved());
+    }
+}

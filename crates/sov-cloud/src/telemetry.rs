@@ -1,0 +1,253 @@
+//! Vehicle→cloud telemetry (Sec. II-B).
+//!
+//! "Due to the limitation of communication bandwidth, the only data we
+//! upload to the cloud in real-time is the condensed operational log (once
+//! an hour), which is very small in size (a few KB). The raw training data
+//! (e.g., images) is enormous even after compression (as high as 1 TB per
+//! day) and, thus, the raw data is stored in the on-vehicle SSD and
+//! manually uploaded to the cloud at the end of each operational day."
+
+use sov_sim::time::{SimDuration, SimTime};
+
+/// A unit of data the vehicle wants to ship to the cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataClass {
+    /// Condensed operational log (hourly; a few KB).
+    CondensedLog {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Raw sensor data (images, point clouds) for training.
+    RawSensorData {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+}
+
+impl DataClass {
+    /// Payload size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            DataClass::CondensedLog { bytes } | DataClass::RawSensorData { bytes } => bytes,
+        }
+    }
+}
+
+/// The uplink policy: what may use the cellular link in real time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UplinkPolicy {
+    /// Real-time (cellular) uplink budget in bytes per hour.
+    pub realtime_budget_bytes_per_hour: u64,
+    /// Maximum single payload allowed on the real-time link.
+    pub realtime_max_payload_bytes: u64,
+}
+
+impl UplinkPolicy {
+    /// The paper's operating policy: only KB-scale condensed logs go up in
+    /// real time.
+    #[must_use]
+    pub fn perceptin_defaults() -> Self {
+        Self {
+            realtime_budget_bytes_per_hour: 1024 * 1024, // 1 MB/h of cellular headroom
+            realtime_max_payload_bytes: 64 * 1024,
+        }
+    }
+
+    /// Whether a payload is eligible for the real-time link.
+    #[must_use]
+    pub fn realtime_allowed(&self, data: DataClass) -> bool {
+        match data {
+            DataClass::CondensedLog { bytes } => bytes <= self.realtime_max_payload_bytes,
+            DataClass::RawSensorData { .. } => false,
+        }
+    }
+}
+
+/// Where a payload ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Disposition {
+    /// Sent over the cellular link immediately.
+    UplinkedRealtime,
+    /// Stored on the on-vehicle SSD for the end-of-day manual upload.
+    StoredForManualUpload,
+    /// Dropped: the SSD is full.
+    Dropped,
+}
+
+/// The on-vehicle store-and-forward telemetry agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryAgent {
+    policy: UplinkPolicy,
+    ssd_capacity_bytes: u64,
+    ssd_used_bytes: u64,
+    hour_window_start: SimTime,
+    hour_window_used: u64,
+    uplinked_bytes: u64,
+    stored_payloads: u64,
+    dropped_payloads: u64,
+}
+
+impl TelemetryAgent {
+    /// Creates an agent with the given SSD capacity.
+    #[must_use]
+    pub fn new(policy: UplinkPolicy, ssd_capacity_bytes: u64) -> Self {
+        Self {
+            policy,
+            ssd_capacity_bytes,
+            ssd_used_bytes: 0,
+            hour_window_start: SimTime::ZERO,
+            hour_window_used: 0,
+            uplinked_bytes: 0,
+            stored_payloads: 0,
+            dropped_payloads: 0,
+        }
+    }
+
+    /// The paper's vehicle: a multi-TB SSD sized for ~1 TB/day of raw data.
+    #[must_use]
+    pub fn perceptin_defaults() -> Self {
+        Self::new(UplinkPolicy::perceptin_defaults(), 2 * 1024 * 1024 * 1024 * 1024)
+    }
+
+    /// Bytes uplinked in real time so far.
+    #[must_use]
+    pub fn uplinked_bytes(&self) -> u64 {
+        self.uplinked_bytes
+    }
+
+    /// Bytes currently staged on the SSD.
+    #[must_use]
+    pub fn ssd_used_bytes(&self) -> u64 {
+        self.ssd_used_bytes
+    }
+
+    /// Payloads dropped because the SSD was full.
+    #[must_use]
+    pub fn dropped_payloads(&self) -> u64 {
+        self.dropped_payloads
+    }
+
+    /// Submits a payload at time `now`.
+    pub fn submit(&mut self, data: DataClass, now: SimTime) -> Disposition {
+        // Roll the hourly budget window.
+        if now.since(self.hour_window_start) >= SimDuration::from_secs(3600) {
+            self.hour_window_start = now;
+            self.hour_window_used = 0;
+        }
+        if self.policy.realtime_allowed(data)
+            && self.hour_window_used + data.bytes() <= self.policy.realtime_budget_bytes_per_hour
+        {
+            self.hour_window_used += data.bytes();
+            self.uplinked_bytes += data.bytes();
+            return Disposition::UplinkedRealtime;
+        }
+        if self.ssd_used_bytes + data.bytes() <= self.ssd_capacity_bytes {
+            self.ssd_used_bytes += data.bytes();
+            self.stored_payloads += 1;
+            return Disposition::StoredForManualUpload;
+        }
+        self.dropped_payloads += 1;
+        Disposition::Dropped
+    }
+
+    /// The end-of-day manual upload: drains the SSD and returns the number
+    /// of bytes handed to the cloud.
+    pub fn manual_upload(&mut self) -> u64 {
+        let bytes = self.ssd_used_bytes;
+        self.ssd_used_bytes = 0;
+        self.stored_payloads = 0;
+        bytes
+    }
+}
+
+/// One day of operation for a camera-based vehicle: raw data volume from
+/// the paper's numbers (4 cameras at 30 FPS, compressed).
+#[must_use]
+pub fn raw_data_volume_per_day_bytes(
+    cameras: u32,
+    fps: f64,
+    compressed_frame_bytes: u64,
+    operating_hours: f64,
+) -> u64 {
+    (f64::from(cameras) * fps * operating_hours * 3600.0) as u64 * compressed_frame_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condensed_logs_go_realtime() {
+        let mut agent = TelemetryAgent::perceptin_defaults();
+        let d = agent.submit(DataClass::CondensedLog { bytes: 4096 }, SimTime::ZERO);
+        assert_eq!(d, Disposition::UplinkedRealtime);
+        assert_eq!(agent.uplinked_bytes(), 4096);
+    }
+
+    #[test]
+    fn raw_data_is_stored_not_uplinked() {
+        let mut agent = TelemetryAgent::perceptin_defaults();
+        let d = agent.submit(
+            DataClass::RawSensorData { bytes: 6_000_000 },
+            SimTime::ZERO,
+        );
+        assert_eq!(d, Disposition::StoredForManualUpload);
+        assert_eq!(agent.uplinked_bytes(), 0);
+        assert_eq!(agent.ssd_used_bytes(), 6_000_000);
+    }
+
+    #[test]
+    fn hourly_budget_caps_realtime_traffic() {
+        let mut agent = TelemetryAgent::new(
+            UplinkPolicy { realtime_budget_bytes_per_hour: 10_000, realtime_max_payload_bytes: 8_000 },
+            1 << 30,
+        );
+        assert_eq!(
+            agent.submit(DataClass::CondensedLog { bytes: 8_000 }, SimTime::ZERO),
+            Disposition::UplinkedRealtime
+        );
+        // Second log exceeds the hourly budget → staged instead.
+        assert_eq!(
+            agent.submit(DataClass::CondensedLog { bytes: 8_000 }, SimTime::from_millis(60_000)),
+            Disposition::StoredForManualUpload
+        );
+        // After the window rolls, real-time is available again.
+        assert_eq!(
+            agent.submit(
+                DataClass::CondensedLog { bytes: 8_000 },
+                SimTime::from_millis(3_700_000)
+            ),
+            Disposition::UplinkedRealtime
+        );
+    }
+
+    #[test]
+    fn ssd_overflow_drops() {
+        let mut agent = TelemetryAgent::new(UplinkPolicy::perceptin_defaults(), 10_000_000);
+        for i in 0..3 {
+            let _ = agent.submit(
+                DataClass::RawSensorData { bytes: 4_000_000 },
+                SimTime::from_millis(i),
+            );
+        }
+        assert_eq!(agent.dropped_payloads(), 1);
+        assert!(agent.ssd_used_bytes() <= 10_000_000);
+    }
+
+    #[test]
+    fn manual_upload_drains_ssd() {
+        let mut agent = TelemetryAgent::perceptin_defaults();
+        let _ = agent.submit(DataClass::RawSensorData { bytes: 123_456 }, SimTime::ZERO);
+        assert_eq!(agent.manual_upload(), 123_456);
+        assert_eq!(agent.ssd_used_bytes(), 0);
+    }
+
+    #[test]
+    fn paper_scale_raw_volume_is_terabyte_class() {
+        // 4 cameras × 30 FPS × 10 h × ~240 KB compressed 1080p frames.
+        let volume = raw_data_volume_per_day_bytes(4, 30.0, 240 * 1024, 10.0);
+        let tb = volume as f64 / (1024.0f64.powi(4));
+        assert!((0.5..2.0).contains(&tb), "daily volume {tb:.2} TB (paper: up to 1 TB/day)");
+    }
+}

@@ -1,0 +1,166 @@
+//! Environment-specialized detector training (Sec. II-B, Sec. IV).
+//!
+//! "The DNN models are trained regularly using our field data. As the
+//! deployment environment can vary significantly, different models are
+//! specialized/trained using the deployment environment-specific training
+//! data."
+//!
+//! We model training at the level the paper treats it: a model registry per
+//! deployment site, where accumulating labeled field data from a site
+//! improves that site's [`DetectorProfile`] along a saturating learning
+//! curve, while deploying a model outside its training site costs accuracy.
+
+use sov_perception::detection::DetectorProfile;
+use std::collections::BTreeMap;
+
+/// Identifier of a deployment site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+/// A versioned, site-specialized detector model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelVersion {
+    /// Site the model was trained for.
+    pub site: SiteId,
+    /// Monotone version number.
+    pub version: u32,
+    /// Labeled frames the model was trained on.
+    pub training_frames: u64,
+    /// The resulting accuracy profile when deployed at its home site.
+    pub profile: DetectorProfile,
+}
+
+/// Saturating learning curve: miss rate decays from the mismatched level
+/// toward the matched level as labeled data accumulates.
+fn learned_profile(training_frames: u64) -> DetectorProfile {
+    let start = DetectorProfile::mismatched();
+    let target = DetectorProfile::matched();
+    // Half the remaining gap closes every 50k labeled frames.
+    let progress = 1.0 - 0.5f64.powf(training_frames as f64 / 50_000.0);
+    let lerp = |a: f64, b: f64| a + (b - a) * progress;
+    DetectorProfile {
+        miss_rate: lerp(start.miss_rate, target.miss_rate),
+        false_positives_per_frame: lerp(
+            start.false_positives_per_frame,
+            target.false_positives_per_frame,
+        ),
+        misclass_rate: lerp(start.misclass_rate, target.misclass_rate),
+        pixel_sigma: lerp(start.pixel_sigma, target.pixel_sigma),
+        depth_rel_sigma: lerp(start.depth_rel_sigma, target.depth_rel_sigma),
+    }
+}
+
+/// The cloud-side model registry and training service.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainingService {
+    /// Accumulated labeled frames per site.
+    data: BTreeMap<SiteId, u64>,
+    /// Latest model per site.
+    models: BTreeMap<SiteId, ModelVersion>,
+}
+
+impl TrainingService {
+    /// Creates an empty service.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests labeled field data from a site (frames extracted from the
+    /// end-of-day manual upload).
+    pub fn ingest(&mut self, site: SiteId, labeled_frames: u64) {
+        *self.data.entry(site).or_insert(0) += labeled_frames;
+    }
+
+    /// Labeled frames accumulated for a site.
+    #[must_use]
+    pub fn frames_for(&self, site: SiteId) -> u64 {
+        self.data.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Trains (or retrains) the site's model on everything ingested so far,
+    /// bumping the version. Returns the new model.
+    pub fn train(&mut self, site: SiteId) -> ModelVersion {
+        let frames = self.frames_for(site);
+        let version = self.models.get(&site).map_or(1, |m| m.version + 1);
+        let model = ModelVersion {
+            site,
+            version,
+            training_frames: frames,
+            profile: learned_profile(frames),
+        };
+        self.models.insert(site, model.clone());
+        model
+    }
+
+    /// The latest model for a site.
+    #[must_use]
+    pub fn latest(&self, site: SiteId) -> Option<&ModelVersion> {
+        self.models.get(&site)
+    }
+
+    /// The profile obtained by deploying `model` at `site`: home-site
+    /// deployments get the trained profile; cross-site deployments regress
+    /// toward the mismatched profile (the specialization penalty).
+    #[must_use]
+    pub fn deployed_profile(model: &ModelVersion, site: SiteId) -> DetectorProfile {
+        if model.site == site {
+            model.profile
+        } else {
+            // Specialization does not transfer: a cross-site deployment is
+            // no better than a generic (mismatched) model.
+            DetectorProfile::mismatched()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_data_means_better_models() {
+        let mut svc = TrainingService::new();
+        let site = SiteId(1);
+        svc.ingest(site, 10_000);
+        let v1 = svc.train(site);
+        svc.ingest(site, 200_000);
+        let v2 = svc.train(site);
+        assert_eq!(v1.version, 1);
+        assert_eq!(v2.version, 2);
+        assert!(v2.profile.miss_rate < v1.profile.miss_rate);
+        assert!(v2.profile.false_positives_per_frame < v1.profile.false_positives_per_frame);
+    }
+
+    #[test]
+    fn learning_curve_saturates_at_matched_profile() {
+        let huge = learned_profile(10_000_000);
+        let matched = DetectorProfile::matched();
+        assert!((huge.miss_rate - matched.miss_rate).abs() < 1e-3);
+        let zero = learned_profile(0);
+        assert_eq!(zero.miss_rate, DetectorProfile::mismatched().miss_rate);
+    }
+
+    #[test]
+    fn cross_site_deployment_loses_specialization() {
+        let mut svc = TrainingService::new();
+        svc.ingest(SiteId(1), 500_000);
+        let model = svc.train(SiteId(1));
+        let home = TrainingService::deployed_profile(&model, SiteId(1));
+        let away = TrainingService::deployed_profile(&model, SiteId(2));
+        assert!(home.miss_rate < away.miss_rate);
+        assert_eq!(away, DetectorProfile::mismatched());
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let mut svc = TrainingService::new();
+        svc.ingest(SiteId(1), 100_000);
+        svc.ingest(SiteId(2), 1_000);
+        let m1 = svc.train(SiteId(1));
+        let m2 = svc.train(SiteId(2));
+        assert!(m1.profile.miss_rate < m2.profile.miss_rate);
+        assert_eq!(svc.frames_for(SiteId(3)), 0);
+        assert!(svc.latest(SiteId(3)).is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the cloud services.
+
+use proptest::prelude::*;
+use sov_cloud::compress::{compress, decompress, synthetic_operational_log};
+use sov_cloud::telemetry::{DataClass, Disposition, TelemetryAgent, UplinkPolicy};
+use sov_cloud::training::{SiteId, TrainingService};
+use sov_sim::time::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compress_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn compress_roundtrips_repetitive_data(
+        pattern in prop::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..500,
+    ) {
+        let data: Vec<u8> = pattern.iter().copied().cycle().take(pattern.len() * reps).collect();
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data.clone());
+        if data.len() > 256 {
+            prop_assert!(c.len() < data.len(), "repetitive data must shrink");
+        }
+    }
+
+    #[test]
+    fn synthetic_logs_always_roundtrip(lines in 0usize..300, seed in 0u64..10_000) {
+        let log = synthetic_operational_log(lines, seed);
+        prop_assert_eq!(decompress(&compress(&log)).unwrap(), log);
+    }
+
+    #[test]
+    fn telemetry_never_loses_accounting(
+        payloads in prop::collection::vec((any::<bool>(), 1u64..100_000), 1..60),
+    ) {
+        let mut agent = TelemetryAgent::new(UplinkPolicy::perceptin_defaults(), 1_000_000);
+        let mut expected_ssd = 0u64;
+        for (i, &(is_log, bytes)) in payloads.iter().enumerate() {
+            let data = if is_log {
+                DataClass::CondensedLog { bytes }
+            } else {
+                DataClass::RawSensorData { bytes }
+            };
+            let d = agent.submit(data, SimTime::from_millis(i as u64));
+            if d == Disposition::StoredForManualUpload {
+                expected_ssd += bytes;
+            }
+        }
+        prop_assert_eq!(agent.ssd_used_bytes(), expected_ssd);
+        prop_assert_eq!(agent.manual_upload(), expected_ssd);
+        prop_assert_eq!(agent.ssd_used_bytes(), 0);
+    }
+
+    #[test]
+    fn training_monotonically_improves(frames_a in 0u64..500_000, frames_extra in 1u64..500_000) {
+        let mut svc = TrainingService::new();
+        let site = SiteId(0);
+        svc.ingest(site, frames_a);
+        let before = svc.train(site);
+        svc.ingest(site, frames_extra);
+        let after = svc.train(site);
+        prop_assert!(after.profile.miss_rate <= before.profile.miss_rate);
+        prop_assert!(after.version == before.version + 1);
+        prop_assert!(after.profile.miss_rate >= 0.0);
+    }
+}

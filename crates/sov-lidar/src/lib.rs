@@ -1,0 +1,50 @@
+//! LiDAR point-cloud substrate (Sec. III-D: the LiDAR-vs-camera case
+//! study).
+//!
+//! The paper's argument for abandoning LiDAR rests on the *irregularity* of
+//! point-cloud processing: sparse points arbitrarily spread across 3-D
+//! space force irregular kernels (neighbor search) whose data-reuse pattern
+//! varies wildly within and across clouds (Fig. 4a), defeating conventional
+//! memory hierarchies and inflating off-chip traffic by orders of magnitude
+//! over the all-reuse-captured optimum (Fig. 4b).
+//!
+//! To reproduce that argument we implement the four PCL workloads the paper
+//! measures, from scratch:
+//!
+//! * [`cloud`] — point clouds and a synthetic street-scene generator (our
+//!   stand-in for Velodyne captures).
+//! * [`kdtree`] — a kd-tree with nearest-neighbor / radius queries, with an
+//!   instrumented traversal that reports every node and point touched.
+//! * [`registration`] — ICP **localization** (planar rigid alignment).
+//! * [`recognition`] — normal estimation + keypoint matching.
+//! * [`reconstruction`] — voxel-grid surface reconstruction.
+//! * [`segmentation`] — Euclidean clustering.
+//! * [`traffic`] — drives the four algorithms' memory-access streams
+//!   through `sov-platform`'s LLC model to regenerate Fig. 4a/4b.
+//!
+//! # Example
+//!
+//! ```
+//! use sov_lidar::cloud::PointCloud;
+//! use sov_lidar::kdtree::KdTree;
+//! use sov_math::SovRng;
+//!
+//! let mut rng = SovRng::seed_from_u64(1);
+//! let cloud = PointCloud::synthetic_street_scene(500, 0, &mut rng);
+//! let tree = KdTree::build(&cloud);
+//! let (idx, _) = tree.nearest(&[0.0, 0.0, 0.0]).unwrap();
+//! assert!(idx < cloud.len());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cloud;
+pub mod kdtree;
+pub mod recognition;
+pub mod reconstruction;
+pub mod registration;
+pub mod segmentation;
+pub mod traffic;
+
+pub use cloud::PointCloud;
+pub use kdtree::KdTree;

@@ -1,0 +1,290 @@
+//! Normal estimation and keypoint matching — the **recognition** workload
+//! of Fig. 4.
+//!
+//! Object recognition in PCL pipelines starts from surface normals
+//! (k-NN neighborhoods + plane fits) and matches local descriptors between
+//! clouds. Both phases hammer the kd-tree with irregular queries.
+
+use crate::cloud::{Point, PointCloud};
+use crate::kdtree::{KdTree, Touch};
+use sov_math::matrix::{Matrix, Vector};
+
+/// Estimated surface normal at one point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Point index.
+    pub index: usize,
+    /// Unit normal.
+    pub normal: [f64; 3],
+    /// Surface curvature proxy (smallest eigenvalue ratio).
+    pub curvature: f64,
+}
+
+/// Estimates normals for all points using `k`-neighborhoods.
+#[must_use]
+pub fn estimate_normals(cloud: &PointCloud, tree: &KdTree, k: usize) -> Vec<Normal> {
+    estimate_normals_traced(cloud, tree, k, &mut |_| {})
+}
+
+/// Normal estimation with a memory-trace callback.
+pub fn estimate_normals_traced(
+    cloud: &PointCloud,
+    tree: &KdTree,
+    k: usize,
+    trace: &mut impl FnMut(Touch),
+) -> Vec<Normal> {
+    let mut out = Vec::with_capacity(cloud.len());
+    for (i, p) in cloud.points().iter().enumerate() {
+        // Neighborhood via radius expansion around the kth NN distance;
+        // trace the query cost through the kd-tree.
+        let neighbors = neighborhood(tree, p, k, trace);
+        if neighbors.len() < 3 {
+            continue;
+        }
+        if let Some((normal, curvature)) = plane_normal(&neighbors) {
+            out.push(Normal { index: i, normal, curvature });
+        }
+    }
+    out
+}
+
+/// Gathers ≈k neighbors of `p` by growing a traced radius search.
+fn neighborhood(
+    tree: &KdTree,
+    p: &Point,
+    k: usize,
+    trace: &mut impl FnMut(Touch),
+) -> Vec<Point> {
+    let mut radius = 0.3;
+    for _ in 0..6 {
+        let found = tree.radius_search_traced(p, radius, trace);
+        if found.len() >= k {
+            return found.into_iter().take(k * 2).map(|i| *tree.point(i)).collect();
+        }
+        radius *= 2.0;
+    }
+    tree.radius_search_traced(p, radius, trace)
+        .into_iter()
+        .map(|i| *tree.point(i))
+        .collect()
+}
+
+/// Fits a plane to points by eigen-decomposing the 3×3 covariance with
+/// Jacobi rotations; returns (unit normal, curvature).
+fn plane_normal(points: &[Point]) -> Option<([f64; 3], f64)> {
+    let n = points.len() as f64;
+    let mut c = [0.0f64; 3];
+    for p in points {
+        for d in 0..3 {
+            c[d] += p[d];
+        }
+    }
+    for d in &mut c {
+        *d /= n;
+    }
+    let mut cov = Matrix::<3, 3>::zeros();
+    for p in points {
+        let d = Vector::<3>::from_array([p[0] - c[0], p[1] - c[1], p[2] - c[2]]);
+        cov += d.outer(&d);
+    }
+    cov = cov.scale(1.0 / n);
+    let (eigenvalues, eigenvectors) = jacobi_eigen_3x3(&cov);
+    // Smallest eigenvalue's eigenvector is the normal.
+    let mut min_i = 0;
+    for i in 1..3 {
+        if eigenvalues[i] < eigenvalues[min_i] {
+            min_i = i;
+        }
+    }
+    let total: f64 = eigenvalues.iter().sum();
+    if total < 1e-15 {
+        return None;
+    }
+    let v = eigenvectors.col(min_i);
+    let norm = v.norm();
+    if norm < 1e-12 {
+        return None;
+    }
+    Some((
+        [v[0] / norm, v[1] / norm, v[2] / norm],
+        (eigenvalues[min_i] / total).max(0.0),
+    ))
+}
+
+/// Jacobi eigenvalue iteration for a symmetric 3×3 matrix. Returns
+/// `(eigenvalues, eigenvector-columns)`.
+fn jacobi_eigen_3x3(m: &Matrix<3, 3>) -> ([f64; 3], Matrix<3, 3>) {
+    let mut a = *m;
+    let mut v = Matrix::<3, 3>::identity();
+    for _sweep in 0..30 {
+        // Largest off-diagonal element.
+        let (mut p, mut q, mut max) = (0usize, 1usize, 0.0f64);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                if a[(i, j)].abs() > max {
+                    max = a[(i, j)].abs();
+                    p = i;
+                    q = j;
+                }
+            }
+        }
+        if max < 1e-14 {
+            break;
+        }
+        let app = a[(p, p)];
+        let aqq = a[(q, q)];
+        let apq = a[(p, q)];
+        // Standard Jacobi rotation angle.
+        let phi = 0.5 * (2.0 * apq).atan2(app - aqq);
+        let (s, c) = phi.sin_cos();
+        let mut rot = Matrix::<3, 3>::identity();
+        rot[(p, p)] = c;
+        rot[(q, q)] = c;
+        rot[(p, q)] = -s;
+        rot[(q, p)] = s;
+        a = rot.transpose() * a * rot;
+        v = v * rot;
+    }
+    ([a[(0, 0)], a[(1, 1)], a[(2, 2)]], v)
+}
+
+/// A simple local descriptor: sorted squared distances to the `k` nearest
+/// neighbors (rotation-invariant).
+#[must_use]
+pub fn descriptor(tree: &KdTree, p: &Point, k: usize) -> Vec<f64> {
+    tree.k_nearest(p, k + 1)
+        .into_iter()
+        .skip(1) // drop self
+        .map(|(_, d)| d)
+        .collect()
+}
+
+/// Matches keypoints of `a` against `b` by descriptor distance; returns
+/// `(index_in_a, index_in_b)` pairs passing a ratio test.
+#[must_use]
+pub fn match_keypoints(
+    a: &PointCloud,
+    tree_a: &KdTree,
+    b: &PointCloud,
+    tree_b: &KdTree,
+    k: usize,
+    stride: usize,
+) -> Vec<(usize, usize)> {
+    let stride = stride.max(1);
+    let descs_b: Vec<(usize, Vec<f64>)> = (0..b.len())
+        .step_by(stride)
+        .map(|i| (i, descriptor(tree_b, &b.points()[i], k)))
+        .collect();
+    let mut pairs = Vec::new();
+    for i in (0..a.len()).step_by(stride) {
+        let da = descriptor(tree_a, &a.points()[i], k);
+        let mut best = (usize::MAX, f64::INFINITY);
+        let mut second = f64::INFINITY;
+        for (j, db) in &descs_b {
+            let dist: f64 = da
+                .iter()
+                .zip(db)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            if dist < best.1 {
+                second = best.1;
+                best = (*j, dist);
+            } else if dist < second {
+                second = dist;
+            }
+        }
+        if best.0 != usize::MAX && best.1 < 0.7 * second {
+            pairs.push((i, best.0));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_math::SovRng;
+
+    fn flat_patch(n: usize, seed: u64) -> PointCloud {
+        let mut rng = SovRng::seed_from_u64(seed);
+        PointCloud::from_points(
+            (0..n)
+                .map(|_| [rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0), rng.normal(0.0, 0.001)])
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn normals_of_ground_plane_point_up() {
+        let cloud = flat_patch(300, 1);
+        let tree = KdTree::build(&cloud);
+        let normals = estimate_normals(&cloud, &tree, 12);
+        assert!(normals.len() > 250, "got {}", normals.len());
+        for nrm in &normals {
+            assert!(nrm.normal[2].abs() > 0.99, "normal {:?} not vertical", nrm.normal);
+            assert!(nrm.curvature < 0.01, "plane has ~zero curvature");
+        }
+    }
+
+    #[test]
+    fn normals_of_vertical_wall_point_sideways() {
+        let mut rng = SovRng::seed_from_u64(2);
+        let cloud = PointCloud::from_points(
+            (0..300)
+                .map(|_| [rng.uniform(-2.0, 2.0), rng.normal(0.0, 0.001), rng.uniform(0.0, 3.0)])
+                .collect(),
+        );
+        let tree = KdTree::build(&cloud);
+        let normals = estimate_normals(&cloud, &tree, 12);
+        for nrm in normals.iter().take(50) {
+            assert!(nrm.normal[1].abs() > 0.99, "wall normal {:?}", nrm.normal);
+        }
+    }
+
+    #[test]
+    fn jacobi_diagonalizes() {
+        let m = Matrix::<3, 3>::from_rows([
+            [4.0, 1.0, 0.5],
+            [1.0, 3.0, 0.2],
+            [0.5, 0.2, 2.0],
+        ]);
+        let (vals, vecs) = jacobi_eigen_3x3(&m);
+        // Reconstruct: V diag(vals) Vᵀ = M.
+        let d = Matrix::<3, 3>::from_diagonal(vals);
+        let rec = vecs * d * vecs.transpose();
+        assert!(rec.approx_eq(&m, 1e-8), "reconstruction failed: {rec:?}");
+        // Trace preserved.
+        assert!((vals.iter().sum::<f64>() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn descriptor_is_rotation_invariant() {
+        let cloud = flat_patch(200, 3);
+        let tree = KdTree::build(&cloud);
+        let rotated = cloud.transformed(0.8, 0.0, 0.0);
+        let tree_r = KdTree::build(&rotated);
+        let d1 = descriptor(&tree, &cloud.points()[10], 8);
+        let d2 = descriptor(&tree_r, &rotated.points()[10], 8);
+        for (a, b) in d1.iter().zip(&d2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn keypoints_match_between_transformed_clouds() {
+        let cloud = flat_patch(200, 4);
+        let moved = cloud.transformed(0.3, 1.0, 0.5);
+        let ta = KdTree::build(&cloud);
+        let tb = KdTree::build(&moved);
+        let pairs = match_keypoints(&cloud, &ta, &moved, &tb, 8, 5);
+        assert!(!pairs.is_empty());
+        // Since point order is preserved by transformed(), correct matches
+        // have equal indices.
+        let correct = pairs.iter().filter(|(i, j)| i == j).count();
+        assert!(
+            correct * 2 > pairs.len(),
+            "majority of {} matches should be correct, got {correct}",
+            pairs.len()
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Voxel-grid surface reconstruction — the **reconstruction** workload of
+//! Fig. 4.
+//!
+//! Downsamples a cloud into a voxel grid (centroid per occupied voxel) and
+//! extracts the surface voxels (occupied voxels with at least one empty
+//! 6-neighbor). The hash-grid accesses are data-dependent and scattered,
+//! like the rest of the LiDAR suite.
+
+use crate::cloud::{Point, PointCloud};
+use std::collections::HashMap;
+
+/// A voxel coordinate.
+pub type VoxelKey = (i64, i64, i64);
+
+/// The voxelization of a cloud.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoxelGrid {
+    voxel_size_m: f64,
+    /// Occupied voxels → (point count, centroid accumulator).
+    cells: HashMap<VoxelKey, (u32, Point)>,
+}
+
+impl VoxelGrid {
+    /// Voxelizes a cloud.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voxel_size_m` is not positive.
+    #[must_use]
+    pub fn build(cloud: &PointCloud, voxel_size_m: f64) -> Self {
+        assert!(voxel_size_m > 0.0, "voxel size must be positive");
+        let mut cells: HashMap<VoxelKey, (u32, Point)> = HashMap::new();
+        for p in cloud.points() {
+            let key = Self::key_of(p, voxel_size_m);
+            let entry = cells.entry(key).or_insert((0, [0.0; 3]));
+            entry.0 += 1;
+            for d in 0..3 {
+                entry.1[d] += p[d];
+            }
+        }
+        Self { voxel_size_m, cells }
+    }
+
+    fn key_of(p: &Point, size: f64) -> VoxelKey {
+        (
+            (p[0] / size).floor() as i64,
+            (p[1] / size).floor() as i64,
+            (p[2] / size).floor() as i64,
+        )
+    }
+
+    /// Number of occupied voxels.
+    #[must_use]
+    pub fn occupied(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Voxel size (m).
+    #[must_use]
+    pub fn voxel_size_m(&self) -> f64 {
+        self.voxel_size_m
+    }
+
+    /// Whether a voxel is occupied.
+    #[must_use]
+    pub fn contains(&self, key: VoxelKey) -> bool {
+        self.cells.contains_key(&key)
+    }
+
+    /// The downsampled cloud: one centroid per occupied voxel.
+    #[must_use]
+    pub fn downsampled(&self) -> PointCloud {
+        let mut points: Vec<Point> = self
+            .cells
+            .values()
+            .map(|(count, acc)| {
+                let n = f64::from(*count);
+                [acc[0] / n, acc[1] / n, acc[2] / n]
+            })
+            .collect();
+        // Deterministic order regardless of hash iteration.
+        points.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        PointCloud::from_points(points)
+    }
+
+    /// Surface voxels: occupied voxels with at least one empty 6-neighbor.
+    /// Returns them sorted for determinism.
+    #[must_use]
+    pub fn surface_voxels(&self) -> Vec<VoxelKey> {
+        const NEIGHBORS: [(i64, i64, i64); 6] = [
+            (1, 0, 0),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+        ];
+        let mut surface: Vec<VoxelKey> = self
+            .cells
+            .keys()
+            .filter(|&&(x, y, z)| {
+                NEIGHBORS
+                    .iter()
+                    .any(|&(dx, dy, dz)| !self.cells.contains_key(&(x + dx, y + dy, z + dz)))
+            })
+            .copied()
+            .collect();
+        surface.sort_unstable();
+        surface
+    }
+
+    /// Iterates occupied voxel keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = VoxelKey> + '_ {
+        self.cells.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_math::SovRng;
+
+    #[test]
+    fn downsampling_reduces_points() {
+        let mut rng = SovRng::seed_from_u64(1);
+        let cloud = PointCloud::synthetic_street_scene(5000, 0, &mut rng);
+        let grid = VoxelGrid::build(&cloud, 0.5);
+        let down = grid.downsampled();
+        assert!(down.len() < cloud.len());
+        assert_eq!(down.len(), grid.occupied());
+        assert!(down.len() > 100, "scene spans many voxels");
+    }
+
+    #[test]
+    fn single_voxel_centroid() {
+        let cloud = PointCloud::from_points(vec![
+            [0.1, 0.1, 0.1],
+            [0.3, 0.1, 0.1],
+            [0.2, 0.4, 0.1],
+        ]);
+        let grid = VoxelGrid::build(&cloud, 1.0);
+        assert_eq!(grid.occupied(), 1);
+        let down = grid.downsampled();
+        let c = down.points()[0];
+        assert!((c[0] - 0.2).abs() < 1e-12);
+        assert!((c[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solid_block_has_hollow_interior() {
+        // A 3×3×3 block of occupied voxels: 26 surface + 1 interior.
+        let mut points = Vec::new();
+        for x in 0..3 {
+            for y in 0..3 {
+                for z in 0..3 {
+                    points.push([x as f64 + 0.5, y as f64 + 0.5, z as f64 + 0.5]);
+                }
+            }
+        }
+        let grid = VoxelGrid::build(&PointCloud::from_points(points), 1.0);
+        assert_eq!(grid.occupied(), 27);
+        let surface = grid.surface_voxels();
+        assert_eq!(surface.len(), 26);
+        assert!(!surface.contains(&(1, 1, 1)), "center voxel is interior");
+    }
+
+    #[test]
+    fn negative_coordinates_bin_correctly() {
+        let cloud = PointCloud::from_points(vec![[-0.1, -0.1, -0.1], [0.1, 0.1, 0.1]]);
+        let grid = VoxelGrid::build(&cloud, 1.0);
+        assert_eq!(grid.occupied(), 2, "points straddling zero go to distinct voxels");
+        assert!(grid.contains((-1, -1, -1)));
+        assert!(grid.contains((0, 0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_voxel_size_panics() {
+        let _ = VoxelGrid::build(&PointCloud::new(), 0.0);
+    }
+}

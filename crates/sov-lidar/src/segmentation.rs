@@ -1,0 +1,174 @@
+//! Euclidean clustering — the **segmentation** workload of Fig. 4.
+//!
+//! PCL-style region growing: points within `cluster_tolerance` of a cluster
+//! member join the cluster, discovered through repeated kd-tree radius
+//! queries — another irregular-access kernel.
+
+use crate::cloud::PointCloud;
+use crate::kdtree::{KdTree, Touch};
+
+/// Segmentation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentationConfig {
+    /// Neighbor distance for region growing (m).
+    pub cluster_tolerance_m: f64,
+    /// Minimum points for a cluster to be reported.
+    pub min_cluster_size: usize,
+    /// Maximum points per cluster (larger clusters are split by the cap).
+    pub max_cluster_size: usize,
+}
+
+impl Default for SegmentationConfig {
+    fn default() -> Self {
+        Self { cluster_tolerance_m: 0.7, min_cluster_size: 10, max_cluster_size: 100_000 }
+    }
+}
+
+/// Euclidean cluster extraction. Returns clusters as lists of point
+/// indices, largest first.
+#[must_use]
+pub fn euclidean_clusters(
+    cloud: &PointCloud,
+    tree: &KdTree,
+    config: &SegmentationConfig,
+) -> Vec<Vec<usize>> {
+    euclidean_clusters_traced(cloud, tree, config, &mut |_| {})
+}
+
+/// Clustering with a memory-trace callback.
+pub fn euclidean_clusters_traced(
+    cloud: &PointCloud,
+    tree: &KdTree,
+    config: &SegmentationConfig,
+    trace: &mut impl FnMut(Touch),
+) -> Vec<Vec<usize>> {
+    let n = cloud.len();
+    let mut visited = vec![false; n];
+    let mut clusters = Vec::new();
+    for seed in 0..n {
+        if visited[seed] {
+            continue;
+        }
+        visited[seed] = true;
+        let mut cluster = vec![seed];
+        let mut frontier = vec![seed];
+        while let Some(idx) = frontier.pop() {
+            if cluster.len() >= config.max_cluster_size {
+                break;
+            }
+            let neighbors = tree.radius_search_traced(
+                cloud.points().get(idx).expect("index within cloud"),
+                config.cluster_tolerance_m,
+                trace,
+            );
+            for nb in neighbors {
+                if cluster.len() >= config.max_cluster_size {
+                    break;
+                }
+                if !visited[nb] {
+                    visited[nb] = true;
+                    cluster.push(nb);
+                    frontier.push(nb);
+                }
+            }
+        }
+        if cluster.len() >= config.min_cluster_size {
+            clusters.push(cluster);
+        }
+    }
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_math::SovRng;
+
+    fn two_blob_cloud() -> PointCloud {
+        let mut rng = SovRng::seed_from_u64(1);
+        let mut points = Vec::new();
+        for _ in 0..50 {
+            points.push([
+                rng.normal(0.0, 0.2),
+                rng.normal(0.0, 0.2),
+                rng.normal(0.0, 0.2),
+            ]);
+        }
+        for _ in 0..30 {
+            points.push([
+                10.0 + rng.normal(0.0, 0.2),
+                rng.normal(0.0, 0.2),
+                rng.normal(0.0, 0.2),
+            ]);
+        }
+        PointCloud::from_points(points)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let cloud = two_blob_cloud();
+        let tree = KdTree::build(&cloud);
+        let clusters = euclidean_clusters(&cloud, &tree, &SegmentationConfig::default());
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].len(), 50, "largest first");
+        assert_eq!(clusters[1].len(), 30);
+    }
+
+    #[test]
+    fn min_size_filters_noise() {
+        let mut cloud = two_blob_cloud();
+        cloud.push([100.0, 100.0, 100.0]); // isolated noise point
+        let tree = KdTree::build(&cloud);
+        let clusters = euclidean_clusters(&cloud, &tree, &SegmentationConfig::default());
+        assert_eq!(clusters.len(), 2, "noise must not form a cluster");
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 80);
+    }
+
+    #[test]
+    fn clusters_partition_points() {
+        let cloud = two_blob_cloud();
+        let tree = KdTree::build(&cloud);
+        let cfg = SegmentationConfig { min_cluster_size: 1, ..SegmentationConfig::default() };
+        let clusters = euclidean_clusters(&cloud, &tree, &cfg);
+        let mut all: Vec<usize> = clusters.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..cloud.len()).collect::<Vec<_>>(), "each point in exactly one cluster");
+    }
+
+    #[test]
+    fn max_size_caps_growth() {
+        let cloud = two_blob_cloud();
+        let tree = KdTree::build(&cloud);
+        let cfg = SegmentationConfig {
+            max_cluster_size: 20,
+            min_cluster_size: 1,
+            ..SegmentationConfig::default()
+        };
+        let clusters = euclidean_clusters(&cloud, &tree, &cfg);
+        assert!(clusters.iter().all(|c| c.len() <= 20), "capped at max size");
+        assert!(clusters.len() > 2, "capping splits the blobs");
+    }
+
+    #[test]
+    fn empty_cloud_no_clusters() {
+        let cloud = PointCloud::new();
+        let tree = KdTree::build(&cloud);
+        assert!(euclidean_clusters(&cloud, &tree, &SegmentationConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn tracing_counts_queries() {
+        let cloud = two_blob_cloud();
+        let tree = KdTree::build(&cloud);
+        let mut touches = 0u64;
+        let _ = euclidean_clusters_traced(
+            &cloud,
+            &tree,
+            &SegmentationConfig::default(),
+            &mut |_| touches += 1,
+        );
+        assert!(touches > cloud.len() as u64, "one radius query per point minimum");
+    }
+}

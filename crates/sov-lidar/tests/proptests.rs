@@ -1,0 +1,112 @@
+//! Property-based tests for the point-cloud substrate.
+
+use proptest::prelude::*;
+use sov_lidar::cloud::{dist_sq, PointCloud};
+use sov_lidar::kdtree::KdTree;
+use sov_lidar::reconstruction::VoxelGrid;
+use sov_math::SovRng;
+
+fn random_cloud(n: usize, seed: u64) -> PointCloud {
+    let mut rng = SovRng::seed_from_u64(seed);
+    PointCloud::from_points(
+        (0..n)
+            .map(|_| {
+                [
+                    rng.uniform(-20.0, 20.0),
+                    rng.uniform(-20.0, 20.0),
+                    rng.uniform(0.0, 8.0),
+                ]
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kdtree_nearest_matches_brute_force(
+        n in 1usize..300,
+        seed in 0u64..5_000,
+        qx in -25.0f64..25.0,
+        qy in -25.0f64..25.0,
+        qz in -2.0f64..10.0,
+    ) {
+        let cloud = random_cloud(n, seed);
+        let tree = KdTree::build(&cloud);
+        let q = [qx, qy, qz];
+        let (_, tree_dist) = tree.nearest(&q).expect("non-empty");
+        let brute = cloud
+            .points()
+            .iter()
+            .map(|p| dist_sq(&q, p).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((tree_dist - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kdtree_radius_matches_brute_force(
+        n in 1usize..200,
+        seed in 0u64..5_000,
+        r in 0.1f64..15.0,
+    ) {
+        let cloud = random_cloud(n, seed);
+        let tree = KdTree::build(&cloud);
+        let q = [0.0, 0.0, 4.0];
+        let mut found = tree.radius_search(&q, r);
+        found.sort_unstable();
+        let mut brute: Vec<usize> = cloud
+            .points()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| dist_sq(&q, p) <= r * r)
+            .map(|(i, _)| i)
+            .collect();
+        brute.sort_unstable();
+        prop_assert_eq!(found, brute);
+    }
+
+    #[test]
+    fn knn_distances_sorted_and_correct_count(
+        n in 1usize..200,
+        seed in 0u64..5_000,
+        k in 1usize..30,
+    ) {
+        let cloud = random_cloud(n, seed);
+        let tree = KdTree::build(&cloud);
+        let knn = tree.k_nearest(&[1.0, -1.0, 3.0], k);
+        prop_assert_eq!(knn.len(), k.min(n));
+        for w in knn.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn voxel_grid_counts_are_conservative(
+        n in 1usize..500,
+        seed in 0u64..5_000,
+        size in 0.1f64..5.0,
+    ) {
+        let cloud = random_cloud(n, seed);
+        let grid = VoxelGrid::build(&cloud, size);
+        prop_assert!(grid.occupied() <= n);
+        prop_assert!(grid.occupied() >= 1);
+        prop_assert_eq!(grid.downsampled().len(), grid.occupied());
+        // Surface voxels are a subset of occupied voxels.
+        prop_assert!(grid.surface_voxels().len() <= grid.occupied());
+    }
+
+    #[test]
+    fn rigid_transform_preserves_pairwise_distance(
+        seed in 0u64..5_000,
+        theta in -3.0f64..3.0,
+        tx in -10.0f64..10.0,
+        ty in -10.0f64..10.0,
+    ) {
+        let cloud = random_cloud(50, seed);
+        let moved = cloud.transformed(theta, tx, ty);
+        let d0 = dist_sq(&cloud.points()[0], &cloud.points()[25]);
+        let d1 = dist_sq(&moved.points()[0], &moved.points()[25]);
+        prop_assert!((d0 - d1).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,104 @@
+//! Angle wrapping and interpolation helpers.
+//!
+//! The planar pose math in [`crate::se3`], the VIO filter, and the MPC
+//! planner all need heading angles normalized to a common branch; this module
+//! centralizes that logic.
+
+use std::f64::consts::PI;
+
+/// Wraps an angle (radians) into `(-π, π]`.
+///
+/// # Example
+///
+/// ```
+/// use std::f64::consts::PI;
+/// let wrapped = sov_math::angle::wrap(3.0 * PI);
+/// assert!((wrapped - PI).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn wrap(theta: f64) -> f64 {
+    let mut t = theta % (2.0 * PI);
+    if t <= -PI {
+        t += 2.0 * PI;
+    } else if t > PI {
+        t -= 2.0 * PI;
+    }
+    t
+}
+
+/// Smallest signed difference `a - b`, wrapped into `(-π, π]`.
+#[must_use]
+pub fn diff(a: f64, b: f64) -> f64 {
+    wrap(a - b)
+}
+
+/// Linear interpolation between two angles along the shortest arc.
+///
+/// `t = 0` yields `a`, `t = 1` yields `b`.
+#[must_use]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    wrap(a + diff(b, a) * t)
+}
+
+/// Converts degrees to radians.
+#[must_use]
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * PI / 180.0
+}
+
+/// Converts radians to degrees.
+#[must_use]
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_identity_in_range() {
+        for &t in &[-3.0, -1.0, 0.0, 1.0, 3.0] {
+            assert!((wrap(t) - t).abs() < 1e-12 || t.abs() > PI);
+        }
+        assert!((wrap(0.5) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wrap_large_angles() {
+        assert!((wrap(2.0 * PI)).abs() < 1e-12);
+        assert!((wrap(-2.0 * PI)).abs() < 1e-12);
+        assert!((wrap(5.0 * PI) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_boundary_is_positive_pi() {
+        // -π maps to +π so the range is half-open (-π, π].
+        assert!((wrap(-PI) - PI).abs() < 1e-12);
+        assert!((wrap(PI) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_shortest_path() {
+        // 350° to 10° should be +20°, not -340°.
+        let d = diff(deg_to_rad(10.0), deg_to_rad(350.0));
+        assert!((d - deg_to_rad(20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = deg_to_rad(350.0);
+        let b = deg_to_rad(10.0);
+        assert!((diff(lerp(a, b, 0.0), a)).abs() < 1e-12);
+        assert!((diff(lerp(a, b, 1.0), b)).abs() < 1e-12);
+        // Midpoint crosses zero.
+        assert!(lerp(a, b, 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deg_rad_roundtrip() {
+        for &d in &[0.0, 45.0, 90.0, -120.0, 359.0] {
+            assert!((rad_to_deg(deg_to_rad(d)) - d).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! A generic Extended Kalman Filter over const-generic dimensions.
+//!
+//! The paper uses EKF machinery in two places we reproduce:
+//!
+//! * the VIO localization filter (`sov-perception::vio`), and
+//! * the lightweight **GPS–VIO fusion** of Sec. VI-B, where GNSS updates
+//!   correct VIO's cumulative drift in ~1 ms instead of running an expensive
+//!   optimization-based drift-correction algorithm.
+//!
+//! [`Ekf<S>`] holds a state of dimension `S` and a covariance; callers supply
+//! Jacobians for the predict and update steps, so the filter is reusable for
+//! any process/measurement model.
+
+use crate::matrix::{Matrix, SingularMatrixError, Vector};
+
+/// Extended Kalman Filter with an `S`-dimensional state.
+///
+/// # Example
+///
+/// A one-dimensional constant-position filter:
+///
+/// ```
+/// use sov_math::kalman::Ekf;
+/// use sov_math::matrix::{Matrix, Vector};
+///
+/// let mut ekf = Ekf::<1>::new(Vector::from_array([0.0]), Matrix::from_diagonal([1.0]));
+/// // Measure position = 2.0 with variance 1.0: estimate moves halfway.
+/// ekf.update::<1>(
+///     Vector::from_array([2.0]),
+///     Vector::from_array([ekf.state()[0]]),
+///     Matrix::from_rows([[1.0]]),
+///     Matrix::from_diagonal([1.0]),
+/// ).unwrap();
+/// assert!((ekf.state()[0] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ekf<const S: usize> {
+    state: Vector<S>,
+    covariance: Matrix<S, S>,
+}
+
+impl<const S: usize> Ekf<S> {
+    /// Creates a filter with the given initial state and covariance.
+    #[must_use]
+    pub fn new(state: Vector<S>, covariance: Matrix<S, S>) -> Self {
+        Self { state, covariance }
+    }
+
+    /// The current state estimate.
+    #[must_use]
+    pub fn state(&self) -> &Vector<S> {
+        &self.state
+    }
+
+    /// The current covariance estimate.
+    #[must_use]
+    pub fn covariance(&self) -> &Matrix<S, S> {
+        &self.covariance
+    }
+
+    /// Overwrites the state (e.g. to re-anchor VIO on a strong GNSS fix).
+    pub fn set_state(&mut self, state: Vector<S>) {
+        self.state = state;
+    }
+
+    /// Overwrites the covariance.
+    pub fn set_covariance(&mut self, covariance: Matrix<S, S>) {
+        self.covariance = covariance;
+    }
+
+    /// EKF predict step.
+    ///
+    /// `predicted_state` is `f(x)` evaluated by the caller's (possibly
+    /// nonlinear) process model; `jacobian` is `∂f/∂x`; `process_noise` is
+    /// `Q`.
+    pub fn predict(
+        &mut self,
+        predicted_state: Vector<S>,
+        jacobian: Matrix<S, S>,
+        process_noise: Matrix<S, S>,
+    ) {
+        self.state = predicted_state;
+        self.covariance = jacobian * self.covariance * jacobian.transpose() + process_noise;
+        self.covariance.symmetrize();
+    }
+
+    /// EKF update step with an `M`-dimensional measurement.
+    ///
+    /// `measurement` is `z`; `predicted_measurement` is `h(x)`; `jacobian` is
+    /// `H = ∂h/∂x`; `measurement_noise` is `R`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the innovation covariance
+    /// `H P Hᵀ + R` is singular (e.g. zero measurement noise on an
+    /// unobservable direction).
+    pub fn update<const M: usize>(
+        &mut self,
+        measurement: Vector<M>,
+        predicted_measurement: Vector<M>,
+        jacobian: Matrix<M, S>,
+        measurement_noise: Matrix<M, M>,
+    ) -> Result<(), SingularMatrixError> {
+        let innovation = measurement - predicted_measurement;
+        let ph_t = self.covariance * jacobian.transpose();
+        let s = jacobian * ph_t + measurement_noise;
+        let s_inv = s.inverse()?;
+        let gain = ph_t * s_inv;
+        self.state += gain * innovation;
+        // Joseph-free form; symmetrize to control round-off.
+        self.covariance = (Matrix::<S, S>::identity() - gain * jacobian) * self.covariance;
+        self.covariance.symmetrize();
+        Ok(())
+    }
+
+    /// Squared Mahalanobis distance of a measurement innovation — used for
+    /// outlier gating (e.g. rejecting GPS multipath fixes, Sec. VI-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the innovation covariance is
+    /// singular.
+    pub fn mahalanobis_sq<const M: usize>(
+        &self,
+        measurement: Vector<M>,
+        predicted_measurement: Vector<M>,
+        jacobian: Matrix<M, S>,
+        measurement_noise: Matrix<M, M>,
+    ) -> Result<f64, SingularMatrixError> {
+        let innovation = measurement - predicted_measurement;
+        let s = jacobian * self.covariance * jacobian.transpose() + measurement_noise;
+        let x = s.solve(&innovation)?;
+        Ok(innovation.dot(&x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2-state (position, velocity) constant-velocity filter helpers.
+    fn cv_predict(ekf: &mut Ekf<2>, dt: f64, q: f64) {
+        let x = *ekf.state();
+        let f = Matrix::from_rows([[1.0, dt], [0.0, 1.0]]);
+        let predicted = f * x;
+        let noise = Matrix::from_diagonal([q * dt, q * dt]);
+        ekf.predict(predicted, f, noise);
+    }
+
+    fn cv_update_pos(ekf: &mut Ekf<2>, z: f64, r: f64) {
+        let h = Matrix::<1, 2>::from_rows([[1.0, 0.0]]);
+        let pred = Vector::from_array([ekf.state()[0]]);
+        ekf.update(Vector::from_array([z]), pred, h, Matrix::from_diagonal([r]))
+            .unwrap();
+    }
+
+    #[test]
+    fn converges_to_constant_velocity_track() {
+        let mut ekf = Ekf::<2>::new(Vector::zeros(), Matrix::from_diagonal([10.0, 10.0]));
+        let dt = 0.1;
+        let true_v = 2.0;
+        for k in 1..=200 {
+            cv_predict(&mut ekf, dt, 1e-4);
+            let true_pos = true_v * dt * k as f64;
+            cv_update_pos(&mut ekf, true_pos, 1e-4);
+        }
+        assert!((ekf.state()[0] - true_v * dt * 200.0).abs() < 0.01);
+        assert!((ekf.state()[1] - true_v).abs() < 0.05);
+    }
+
+    #[test]
+    fn covariance_stays_symmetric_and_pd() {
+        let mut ekf = Ekf::<2>::new(Vector::zeros(), Matrix::from_diagonal([1.0, 1.0]));
+        for k in 0..100 {
+            cv_predict(&mut ekf, 0.05, 0.01);
+            if k % 3 == 0 {
+                cv_update_pos(&mut ekf, k as f64 * 0.1, 0.5);
+            }
+            let p = *ekf.covariance();
+            assert!(p.approx_eq(&p.transpose(), 1e-12));
+            assert!(p.is_positive_definite(), "covariance lost PD at step {k}");
+        }
+    }
+
+    #[test]
+    fn update_shrinks_uncertainty() {
+        let mut ekf = Ekf::<1>::new(Vector::from_array([0.0]), Matrix::from_diagonal([4.0]));
+        let before = ekf.covariance()[(0, 0)];
+        ekf.update::<1>(
+            Vector::from_array([1.0]),
+            Vector::from_array([0.0]),
+            Matrix::from_rows([[1.0]]),
+            Matrix::from_diagonal([1.0]),
+        )
+        .unwrap();
+        assert!(ekf.covariance()[(0, 0)] < before);
+    }
+
+    #[test]
+    fn predict_grows_uncertainty() {
+        let mut ekf = Ekf::<1>::new(Vector::from_array([0.0]), Matrix::from_diagonal([1.0]));
+        ekf.predict(
+            Vector::from_array([0.0]),
+            Matrix::identity(),
+            Matrix::from_diagonal([0.5]),
+        );
+        assert!((ekf.covariance()[(0, 0)] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mahalanobis_flags_outliers() {
+        let ekf = Ekf::<1>::new(Vector::from_array([0.0]), Matrix::from_diagonal([1.0]));
+        let h = Matrix::<1, 1>::identity();
+        let r = Matrix::from_diagonal([1.0]);
+        let near = ekf
+            .mahalanobis_sq(Vector::from_array([0.5]), Vector::from_array([0.0]), h, r)
+            .unwrap();
+        let far = ekf
+            .mahalanobis_sq(Vector::from_array([10.0]), Vector::from_array([0.0]), h, r)
+            .unwrap();
+        assert!(near < 1.0);
+        assert!(far > 9.0);
+    }
+
+    #[test]
+    fn singular_innovation_is_an_error() {
+        let mut ekf = Ekf::<1>::new(Vector::from_array([0.0]), Matrix::from_diagonal([0.0]));
+        let res = ekf.update::<1>(
+            Vector::from_array([1.0]),
+            Vector::from_array([0.0]),
+            Matrix::from_rows([[1.0]]),
+            Matrix::from_diagonal([0.0]),
+        );
+        assert!(res.is_err());
+    }
+}

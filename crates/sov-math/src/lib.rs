@@ -1,0 +1,44 @@
+//! Mathematical substrate for the SoV reproduction.
+//!
+//! This crate provides the numerical building blocks that every other crate
+//! in the workspace depends on:
+//!
+//! * [`matrix`] — const-generic dense matrices and vectors with LU and
+//!   Cholesky factorizations (no external linear-algebra dependency).
+//! * [`quaternion`] — unit quaternions for 3-D attitude.
+//! * [`se3`] — planar ([`se3::Pose2`]) and spatial ([`se3::Pose3`]) rigid
+//!   transforms.
+//! * [`kalman`] — a generic Extended Kalman Filter over const-generic state
+//!   and measurement dimensions, used by VIO and GPS–VIO fusion.
+//! * [`stats`] — streaming statistics, percentiles and histograms used by the
+//!   characterization harness (Fig. 10 of the paper).
+//! * [`rng`] — a deterministic, seedable xoshiro256** PRNG with Gaussian
+//!   sampling, so every experiment in the workspace is reproducible.
+//! * [`angle`] — angle wrapping helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use sov_math::matrix::{Matrix, Vector};
+//!
+//! let a = Matrix::<2, 2>::from_rows([[2.0, 0.0], [0.0, 4.0]]);
+//! let b = Vector::<2>::from_array([2.0, 8.0]);
+//! let x = a.solve(&b).expect("non-singular");
+//! assert!((x[0] - 1.0).abs() < 1e-12);
+//! assert!((x[1] - 2.0).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod angle;
+pub mod kalman;
+pub mod matrix;
+pub mod quaternion;
+pub mod rng;
+pub mod se3;
+pub mod stats;
+
+pub use matrix::{Matrix, Vector};
+pub use quaternion::Quaternion;
+pub use rng::SovRng;
+pub use se3::{Pose2, Pose3};

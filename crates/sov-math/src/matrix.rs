@@ -1,0 +1,676 @@
+//! Const-generic dense matrices and vectors.
+//!
+//! [`Matrix<R, C>`] stores `R × C` `f64` elements inline (row-major). A
+//! [`Vector<N>`] is a type alias for a single-column matrix. All sizes are
+//! compile-time constants, so arithmetic between mismatched shapes does not
+//! compile, and no heap allocation occurs anywhere in this module.
+//!
+//! The factorizations provided ([LU with partial pivoting](Matrix::lu) and
+//! [Cholesky](Matrix::cholesky)) are the ones the EKF ([`crate::kalman`]) and
+//! the QP solver in `sov-planning` rely on.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A dense, row-major `R × C` matrix of `f64` stored inline.
+///
+/// # Example
+///
+/// ```
+/// use sov_math::matrix::Matrix;
+///
+/// let a = Matrix::<2, 3>::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]);
+/// let b = a.transpose();
+/// assert_eq!(b[(2, 1)], 6.0);
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+pub struct Matrix<const R: usize, const C: usize> {
+    data: [[f64; C]; R],
+}
+
+/// A column vector of dimension `N`.
+pub type Vector<const N: usize> = Matrix<N, 1>;
+
+/// Error returned when a factorization or solve fails because the matrix is
+/// singular (or, for Cholesky, not positive definite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular or not positive definite")
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+impl<const R: usize, const C: usize> Matrix<R, C> {
+    /// Matrix of all zeros.
+    #[must_use]
+    pub const fn zeros() -> Self {
+        Self { data: [[0.0; C]; R] }
+    }
+
+    /// Matrix with every element set to `value`.
+    #[must_use]
+    pub const fn filled(value: f64) -> Self {
+        Self { data: [[value; C]; R] }
+    }
+
+    /// Builds a matrix from row arrays.
+    #[must_use]
+    pub const fn from_rows(rows: [[f64; C]; R]) -> Self {
+        Self { data: rows }
+    }
+
+    /// Builds a matrix element-wise from a function of `(row, col)`.
+    #[must_use]
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros();
+        for r in 0..R {
+            for c in 0..C {
+                m.data[r][c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows (the const parameter `R`).
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        R
+    }
+
+    /// Number of columns (the const parameter `C`).
+    #[must_use]
+    pub const fn cols(&self) -> usize {
+        C
+    }
+
+    /// The transpose of this matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix<C, R> {
+        Matrix::<C, R>::from_fn(|r, c| self.data[c][r])
+    }
+
+    /// Element-wise scaling by `k`.
+    #[must_use]
+    pub fn scale(&self, k: f64) -> Self {
+        Self::from_fn(|r, c| self.data[r][c] * k)
+    }
+
+    /// Frobenius norm: `sqrt(Σ aᵢⱼ²)`.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        let mut s = 0.0;
+        for r in 0..R {
+            for c in 0..C {
+                s += self.data[r][c] * self.data[r][c];
+            }
+        }
+        s.sqrt()
+    }
+
+    /// Maximum absolute element.
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        let mut m: f64 = 0.0;
+        for r in 0..R {
+            for c in 0..C {
+                m = m.max(self.data[r][c].abs());
+            }
+        }
+        m
+    }
+
+    /// Returns `true` if every element differs from `other`'s by at most
+    /// `tol`.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        (*self - *other).max_abs() <= tol
+    }
+
+    /// Borrow a single row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= R`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64; C] {
+        &self.data[r]
+    }
+
+    /// Extracts column `c` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= C`.
+    #[must_use]
+    pub fn col(&self, c: usize) -> Vector<R> {
+        Vector::<R>::from_fn(|r, _| self.data[r][c])
+    }
+
+    /// Iterates over all elements in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.data.iter().flat_map(|row| row.iter().copied())
+    }
+
+    /// Symmetrizes the matrix in place: `A ← (A + Aᵀ)/2`.
+    ///
+    /// Used by the EKF to keep covariance matrices numerically symmetric.
+    /// Only meaningful for square matrices; compiles for any shape where
+    /// `R == C` holds at runtime (asserted with `debug_assert`).
+    pub fn symmetrize(&mut self) {
+        debug_assert_eq!(R, C, "symmetrize requires a square matrix");
+        for r in 0..R {
+            for c in (r + 1)..C {
+                let avg = 0.5 * (self.data[r][c] + self.data[c][r]);
+                self.data[r][c] = avg;
+                self.data[c][r] = avg;
+            }
+        }
+    }
+}
+
+impl<const N: usize> Matrix<N, N> {
+    /// The `N × N` identity matrix.
+    #[must_use]
+    pub fn identity() -> Self {
+        Self::from_fn(|r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// A diagonal matrix with the given diagonal entries.
+    #[must_use]
+    pub fn from_diagonal(diag: [f64; N]) -> Self {
+        Self::from_fn(|r, c| if r == c { diag[r] } else { 0.0 })
+    }
+
+    /// Sum of diagonal elements.
+    #[must_use]
+    pub fn trace(&self) -> f64 {
+        (0..N).map(|i| self.data[i][i]).sum()
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// Returns `(lu, perm, sign)` where `lu` packs `L` (unit lower) and `U`,
+    /// `perm` is the row permutation, and `sign` is the permutation parity
+    /// (used for determinants).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a pivot is (numerically) zero.
+    pub fn lu(&self) -> Result<(Self, [usize; N], f64), SingularMatrixError> {
+        let mut lu = *self;
+        let mut perm = [0usize; N];
+        for (i, p) in perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        let mut sign = 1.0;
+        for k in 0..N {
+            // Pivot selection.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.data[k][k].abs();
+            for r in (k + 1)..N {
+                let v = lu.data[r][k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(SingularMatrixError);
+            }
+            if pivot_row != k {
+                lu.data.swap(pivot_row, k);
+                perm.swap(pivot_row, k);
+                sign = -sign;
+            }
+            for r in (k + 1)..N {
+                let factor = lu.data[r][k] / lu.data[k][k];
+                lu.data[r][k] = factor;
+                for c in (k + 1)..N {
+                    lu.data[r][c] -= factor * lu.data[k][c];
+                }
+            }
+        }
+        Ok((lu, perm, sign))
+    }
+
+    /// Determinant via LU factorization. Returns `0.0` for singular matrices.
+    #[must_use]
+    pub fn determinant(&self) -> f64 {
+        match self.lu() {
+            Ok((lu, _, sign)) => {
+                let mut det = sign;
+                for i in 0..N {
+                    det *= lu.data[i][i];
+                }
+                det
+            }
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Solves `A x = b` for `x` via LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if `A` is singular.
+    pub fn solve(&self, b: &Vector<N>) -> Result<Vector<N>, SingularMatrixError> {
+        let (lu, perm, _) = self.lu()?;
+        let mut x = Vector::<N>::zeros();
+        // Forward substitution with permuted b: L y = P b.
+        for i in 0..N {
+            let mut sum = b[(perm[i], 0)];
+            for j in 0..i {
+                sum -= lu.data[i][j] * x[(j, 0)];
+            }
+            x[(i, 0)] = sum;
+        }
+        // Back substitution: U x = y.
+        for i in (0..N).rev() {
+            let mut sum = x[(i, 0)];
+            for j in (i + 1)..N {
+                sum -= lu.data[i][j] * x[(j, 0)];
+            }
+            x[(i, 0)] = sum / lu.data[i][i];
+        }
+        Ok(x)
+    }
+
+    /// Matrix inverse via LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the matrix is singular.
+    pub fn inverse(&self) -> Result<Self, SingularMatrixError> {
+        let (lu, perm, _) = self.lu()?;
+        let mut inv = Self::zeros();
+        for col in 0..N {
+            // Solve A x = e_col using the precomputed factorization.
+            let mut x = [0.0f64; N];
+            for i in 0..N {
+                let mut sum = if perm[i] == col { 1.0 } else { 0.0 };
+                for j in 0..i {
+                    sum -= lu.data[i][j] * x[j];
+                }
+                x[i] = sum;
+            }
+            for i in (0..N).rev() {
+                let mut sum = x[i];
+                for j in (i + 1)..N {
+                    sum -= lu.data[i][j] * x[j];
+                }
+                x[i] = sum / lu.data[i][i];
+            }
+            for i in 0..N {
+                inv.data[i][col] = x[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+    /// matrix, returning the lower-triangular factor `L`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the matrix is not positive
+    /// definite.
+    pub fn cholesky(&self) -> Result<Self, SingularMatrixError> {
+        let mut l = Self::zeros();
+        for i in 0..N {
+            for j in 0..=i {
+                let mut sum = self.data[i][j];
+                for k in 0..j {
+                    sum -= l.data[i][k] * l.data[j][k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(SingularMatrixError);
+                    }
+                    l.data[i][j] = sum.sqrt();
+                } else {
+                    l.data[i][j] = sum / l.data[j][j];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Checks positive definiteness by attempting a Cholesky factorization.
+    #[must_use]
+    pub fn is_positive_definite(&self) -> bool {
+        self.cholesky().is_ok()
+    }
+}
+
+impl<const N: usize> Vector<N> {
+    /// Builds a vector from an array.
+    #[must_use]
+    pub fn from_array(values: [f64; N]) -> Self {
+        Self::from_fn(|r, _| values[r])
+    }
+
+    /// Copies the vector into a plain array.
+    #[must_use]
+    pub fn to_array(&self) -> [f64; N] {
+        let mut out = [0.0; N];
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = self.data[i][0];
+        }
+        out
+    }
+
+    /// Dot product with another vector.
+    #[must_use]
+    pub fn dot(&self, other: &Self) -> f64 {
+        (0..N).map(|i| self.data[i][0] * other.data[i][0]).sum()
+    }
+
+    /// Outer product `self · otherᵀ`.
+    #[must_use]
+    pub fn outer<const M: usize>(&self, other: &Vector<M>) -> Matrix<N, M> {
+        Matrix::<N, M>::from_fn(|r, c| self.data[r][0] * other[(c, 0)])
+    }
+}
+
+impl Vector<3> {
+    /// Cross product of two 3-vectors.
+    #[must_use]
+    pub fn cross(&self, other: &Self) -> Self {
+        let a = self.to_array();
+        let b = other.to_array();
+        Self::from_array([
+            a[1] * b[2] - a[2] * b[1],
+            a[2] * b[0] - a[0] * b[2],
+            a[0] * b[1] - a[1] * b[0],
+        ])
+    }
+
+    /// The skew-symmetric (hat) matrix such that `hat(a) b = a × b`.
+    #[must_use]
+    pub fn hat(&self) -> Matrix<3, 3> {
+        let a = self.to_array();
+        Matrix::from_rows([
+            [0.0, -a[2], a[1]],
+            [a[2], 0.0, -a[0]],
+            [-a[1], a[0], 0.0],
+        ])
+    }
+}
+
+impl<const R: usize, const C: usize> Default for Matrix<R, C> {
+    fn default() -> Self {
+        Self::zeros()
+    }
+}
+
+impl<const R: usize, const C: usize> fmt::Debug for Matrix<R, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix<{R}x{C}> [")?;
+        for r in 0..R {
+            write!(f, "  [")?;
+            for c in 0..C {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self.data[r][c])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<const R: usize, const C: usize> Index<(usize, usize)> for Matrix<R, C> {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r][c]
+    }
+}
+
+impl<const R: usize, const C: usize> IndexMut<(usize, usize)> for Matrix<R, C> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r][c]
+    }
+}
+
+impl<const N: usize> Index<usize> for Vector<N> {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i][0]
+    }
+}
+
+impl<const N: usize> IndexMut<usize> for Vector<N> {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i][0]
+    }
+}
+
+impl<const R: usize, const C: usize> Add for Matrix<R, C> {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self::from_fn(|r, c| self.data[r][c] + rhs.data[r][c])
+    }
+}
+
+impl<const R: usize, const C: usize> AddAssign for Matrix<R, C> {
+    fn add_assign(&mut self, rhs: Self) {
+        for r in 0..R {
+            for c in 0..C {
+                self.data[r][c] += rhs.data[r][c];
+            }
+        }
+    }
+}
+
+impl<const R: usize, const C: usize> Sub for Matrix<R, C> {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_fn(|r, c| self.data[r][c] - rhs.data[r][c])
+    }
+}
+
+impl<const R: usize, const C: usize> SubAssign for Matrix<R, C> {
+    fn sub_assign(&mut self, rhs: Self) {
+        for r in 0..R {
+            for c in 0..C {
+                self.data[r][c] -= rhs.data[r][c];
+            }
+        }
+    }
+}
+
+impl<const R: usize, const C: usize> Neg for Matrix<R, C> {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        self.scale(-1.0)
+    }
+}
+
+impl<const R: usize, const C: usize> Mul<f64> for Matrix<R, C> {
+    type Output = Self;
+
+    fn mul(self, k: f64) -> Self {
+        self.scale(k)
+    }
+}
+
+impl<const R: usize, const C: usize> MulAssign<f64> for Matrix<R, C> {
+    fn mul_assign(&mut self, k: f64) {
+        for r in 0..R {
+            for c in 0..C {
+                self.data[r][c] *= k;
+            }
+        }
+    }
+}
+
+impl<const R: usize, const K: usize, const C: usize> Mul<Matrix<K, C>> for Matrix<R, K> {
+    type Output = Matrix<R, C>;
+
+    fn mul(self, rhs: Matrix<K, C>) -> Matrix<R, C> {
+        let mut out = Matrix::<R, C>::zeros();
+        for r in 0..R {
+            for k in 0..K {
+                let a = self.data[r][k];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..C {
+                    out.data[r][c] += a * rhs.data[k][c];
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::<3, 3>::zeros();
+        let i = Matrix::<3, 3>::identity();
+        assert_eq!(z + i, i);
+        assert_eq!(i * i, i);
+        assert_eq!(i.trace(), 3.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::<2, 3>::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::<2, 2>::from_rows([[1.0, 2.0], [3.0, 4.0]]);
+        let b = Matrix::<2, 2>::from_rows([[5.0, 6.0], [7.0, 8.0]]);
+        let c = a * b;
+        assert_eq!(c, Matrix::from_rows([[19.0, 22.0], [43.0, 50.0]]));
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = Matrix::<3, 3>::from_rows([
+            [4.0, 1.0, 0.0],
+            [1.0, 3.0, 1.0],
+            [0.0, 1.0, 2.0],
+        ]);
+        let x_true = Vector::<3>::from_array([1.0, -2.0, 3.0]);
+        let b = a * x_true;
+        let x = a.solve(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let a = Matrix::<4, 4>::from_rows([
+            [2.0, 1.0, 0.0, 0.5],
+            [1.0, 3.0, 0.2, 0.0],
+            [0.0, 0.2, 4.0, 1.0],
+            [0.5, 0.0, 1.0, 5.0],
+        ]);
+        let inv = a.inverse().unwrap();
+        assert!((a * inv).approx_eq(&Matrix::identity(), 1e-10));
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::<2, 2>::from_rows([[1.0, 2.0], [2.0, 4.0]]);
+        assert!(a.inverse().is_err());
+        assert_eq!(a.determinant(), 0.0);
+    }
+
+    #[test]
+    fn determinant_of_permutation() {
+        let p = Matrix::<3, 3>::from_rows([
+            [0.0, 1.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ]);
+        assert!((p.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_of_spd() {
+        let a = Matrix::<3, 3>::from_rows([
+            [4.0, 2.0, 0.0],
+            [2.0, 5.0, 1.0],
+            [0.0, 1.0, 3.0],
+        ]);
+        let l = a.cholesky().unwrap();
+        assert!((l * l.transpose()).approx_eq(&a, 1e-12));
+        assert!(a.is_positive_definite());
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::<2, 2>::from_rows([[1.0, 2.0], [2.0, 1.0]]);
+        assert!(a.cholesky().is_err());
+        assert!(!a.is_positive_definite());
+    }
+
+    #[test]
+    fn cross_product_orthogonality() {
+        let a = Vector::<3>::from_array([1.0, 0.0, 0.0]);
+        let b = Vector::<3>::from_array([0.0, 1.0, 0.0]);
+        let c = a.cross(&b);
+        assert_eq!(c.to_array(), [0.0, 0.0, 1.0]);
+        assert_eq!(a.dot(&c), 0.0);
+    }
+
+    #[test]
+    fn hat_matrix_matches_cross() {
+        let a = Vector::<3>::from_array([0.3, -1.2, 2.0]);
+        let b = Vector::<3>::from_array([1.5, 0.4, -0.7]);
+        let via_hat = a.hat() * b;
+        assert!(via_hat.approx_eq(&a.cross(&b), 1e-12));
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let mut a = Matrix::<3, 3>::from_rows([
+            [1.0, 2.0, 3.0],
+            [0.0, 1.0, 4.0],
+            [1.0, 0.0, 1.0],
+        ]);
+        a.symmetrize();
+        assert!(a.approx_eq(&a.transpose(), 0.0));
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let a = Vector::<2>::from_array([1.0, 2.0]);
+        let b = Vector::<3>::from_array([3.0, 4.0, 5.0]);
+        let m = a.outer(&b);
+        assert_eq!(m[(1, 2)], 10.0);
+        assert_eq!(m[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn vector_indexing_and_dot() {
+        let mut v = Vector::<3>::from_array([1.0, 2.0, 3.0]);
+        v[1] = 5.0;
+        assert_eq!(v[1], 5.0);
+        assert_eq!(v.dot(&v), 1.0 + 25.0 + 9.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", Matrix::<1, 1>::zeros());
+        assert!(s.contains("Matrix<1x1>"));
+    }
+}

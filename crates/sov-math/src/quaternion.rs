@@ -1,0 +1,250 @@
+//! Unit quaternions for 3-D attitude representation.
+//!
+//! Used by the IMU model and the visual-inertial odometry filter in
+//! `sov-perception` to integrate angular rates without gimbal lock.
+
+use crate::matrix::{Matrix, Vector};
+
+/// A quaternion `w + xi + yj + zk`.
+///
+/// Construct rotations with [`Quaternion::from_axis_angle`] and apply them
+/// with [`Quaternion::rotate`]. All rotation constructors return unit
+/// quaternions; [`Quaternion::normalize`] restores the invariant after
+/// repeated integration steps.
+///
+/// # Example
+///
+/// ```
+/// use sov_math::{Quaternion, matrix::Vector};
+/// use std::f64::consts::FRAC_PI_2;
+///
+/// let q = Quaternion::from_axis_angle([0.0, 0.0, 1.0], FRAC_PI_2);
+/// let v = q.rotate(&Vector::from_array([1.0, 0.0, 0.0]));
+/// assert!((v[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quaternion {
+    /// Scalar part.
+    pub w: f64,
+    /// First imaginary component.
+    pub x: f64,
+    /// Second imaginary component.
+    pub y: f64,
+    /// Third imaginary component.
+    pub z: f64,
+}
+
+impl Quaternion {
+    /// The identity rotation.
+    #[must_use]
+    pub const fn identity() -> Self {
+        Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 }
+    }
+
+    /// Quaternion from raw components (not normalized).
+    #[must_use]
+    pub const fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
+        Self { w, x, y, z }
+    }
+
+    /// Unit quaternion for a rotation of `angle` radians about `axis`.
+    ///
+    /// A zero axis yields the identity rotation.
+    #[must_use]
+    pub fn from_axis_angle(axis: [f64; 3], angle: f64) -> Self {
+        let norm = (axis[0] * axis[0] + axis[1] * axis[1] + axis[2] * axis[2]).sqrt();
+        if norm < 1e-15 {
+            return Self::identity();
+        }
+        let half = angle / 2.0;
+        let s = half.sin() / norm;
+        Self {
+            w: half.cos(),
+            x: axis[0] * s,
+            y: axis[1] * s,
+            z: axis[2] * s,
+        }
+    }
+
+    /// Unit quaternion for a rotation of `theta` about the +Z axis (yaw).
+    #[must_use]
+    pub fn from_yaw(theta: f64) -> Self {
+        Self::from_axis_angle([0.0, 0.0, 1.0], theta)
+    }
+
+    /// The yaw (rotation about +Z) of this quaternion, in radians.
+    #[must_use]
+    pub fn yaw(&self) -> f64 {
+        let siny = 2.0 * (self.w * self.z + self.x * self.y);
+        let cosy = 1.0 - 2.0 * (self.y * self.y + self.z * self.z);
+        siny.atan2(cosy)
+    }
+
+    /// Euclidean norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns the normalized (unit) quaternion.
+    ///
+    /// Returns the identity if the norm is numerically zero.
+    #[must_use]
+    pub fn normalize(&self) -> Self {
+        let n = self.norm();
+        if n < 1e-15 {
+            return Self::identity();
+        }
+        Self { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+    }
+
+    /// The conjugate, which for unit quaternions is the inverse rotation.
+    #[must_use]
+    pub fn conjugate(&self) -> Self {
+        Self { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Hamilton product `self ⊗ rhs` (applies `rhs` first, then `self`).
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Self {
+            w: self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            x: self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            y: self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            z: self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        }
+    }
+
+    /// Rotates a 3-vector by this (unit) quaternion.
+    #[must_use]
+    pub fn rotate(&self, v: &Vector<3>) -> Vector<3> {
+        let p = Self { w: 0.0, x: v[0], y: v[1], z: v[2] };
+        let r = self.mul(&p).mul(&self.conjugate());
+        Vector::from_array([r.x, r.y, r.z])
+    }
+
+    /// Rotation matrix equivalent of this unit quaternion.
+    #[must_use]
+    pub fn to_rotation_matrix(&self) -> Matrix<3, 3> {
+        let (w, x, y, z) = (self.w, self.x, self.y, self.z);
+        Matrix::from_rows([
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        ])
+    }
+
+    /// Integrates a body-frame angular rate `omega` (rad/s) over `dt`
+    /// seconds, returning the updated (re-normalized) attitude.
+    ///
+    /// This is the first-order quaternion integration used by the IMU
+    /// propagation step in the VIO filter.
+    #[must_use]
+    pub fn integrate(&self, omega: [f64; 3], dt: f64) -> Self {
+        let angle = (omega[0] * omega[0] + omega[1] * omega[1] + omega[2] * omega[2]).sqrt() * dt;
+        let dq = if angle < 1e-12 {
+            Self::identity()
+        } else {
+            Self::from_axis_angle(omega, angle)
+        };
+        self.mul(&dq).normalize()
+    }
+}
+
+impl Default for Quaternion {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vector::from_array([1.0, 2.0, 3.0]);
+        let r = Quaternion::identity().rotate(&v);
+        assert!(r.approx_eq(&v, 1e-12));
+    }
+
+    #[test]
+    fn yaw_rotation_of_x_axis() {
+        let q = Quaternion::from_yaw(FRAC_PI_2);
+        let v = q.rotate(&Vector::from_array([1.0, 0.0, 0.0]));
+        assert!(v.approx_eq(&Vector::from_array([0.0, 1.0, 0.0]), 1e-12));
+        assert!((q.yaw() - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_inverts_rotation() {
+        let q = Quaternion::from_axis_angle([1.0, 2.0, 0.5], 0.7);
+        let v = Vector::from_array([0.3, -0.4, 1.2]);
+        let back = q.conjugate().rotate(&q.rotate(&v));
+        assert!(back.approx_eq(&v, 1e-12));
+    }
+
+    #[test]
+    fn rotation_matrix_matches_quaternion_rotate() {
+        let q = Quaternion::from_axis_angle([0.2, -0.8, 0.55], 1.3);
+        let v = Vector::from_array([1.0, -2.0, 0.5]);
+        let via_matrix = q.to_rotation_matrix() * v;
+        assert!(via_matrix.approx_eq(&q.rotate(&v), 1e-12));
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthonormal() {
+        let q = Quaternion::from_axis_angle([3.0, 1.0, -2.0], 2.4);
+        let r = q.to_rotation_matrix();
+        assert!((r * r.transpose()).approx_eq(&Matrix::identity(), 1e-12));
+        assert!((r.determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integration_accumulates_yaw() {
+        let mut q = Quaternion::identity();
+        let omega = [0.0, 0.0, 0.1]; // rad/s
+        for _ in 0..100 {
+            q = q.integrate(omega, 0.1);
+        }
+        // 100 steps × 0.1 s × 0.1 rad/s = 1 rad of yaw.
+        assert!((q.yaw() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integration_preserves_unit_norm() {
+        let mut q = Quaternion::from_yaw(0.3);
+        for i in 0..1000 {
+            q = q.integrate([0.05, -0.02, 0.1 + (i as f64) * 1e-4], 0.01);
+        }
+        assert!((q.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_axis_yields_identity() {
+        let q = Quaternion::from_axis_angle([0.0, 0.0, 0.0], 1.0);
+        assert_eq!(q, Quaternion::identity());
+    }
+
+    #[test]
+    fn composition_order() {
+        // q2 ⊗ q1 applies q1 first: yaw 90° then another yaw 90° = yaw 180°.
+        let q1 = Quaternion::from_yaw(FRAC_PI_2);
+        let q2 = Quaternion::from_yaw(FRAC_PI_2);
+        let q = q2.mul(&q1);
+        assert!((crate::angle::diff(q.yaw(), PI)).abs() < 1e-12);
+    }
+}

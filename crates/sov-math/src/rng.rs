@@ -1,0 +1,262 @@
+//! Deterministic, seedable pseudo-random number generation.
+//!
+//! Every stochastic component in the workspace (sensor noise, scene
+//! complexity, pipeline jitter, point-cloud synthesis) draws from [`SovRng`],
+//! a from-scratch xoshiro256** generator seeded via SplitMix64. Using one
+//! in-tree PRNG keeps every experiment reproducible across platforms and
+//! toolchains, with no dependency on `rand`'s stability guarantees.
+
+/// A xoshiro256** pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use sov_math::SovRng;
+///
+/// let mut a = SovRng::seed_from_u64(42);
+/// let mut b = SovRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SovRng {
+    state: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SovRng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+            gauss_spare: None,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "uniform range must be ordered");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's method (unbiased for the
+    /// purposes of this workspace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below requires n > 0");
+        // 128-bit multiply-shift; slight bias < 2^-64 is acceptable here.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.next_below(n as u64) as usize
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Rejection-free polar-form Box–Muller.
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+        self.gauss_spare = Some(r * s);
+        r * c
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Log-normal sample parameterized by the underlying normal's `mu` and
+    /// `sigma` (so the median is `exp(mu)`).
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponential sample with the given rate `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `lambda <= 0`.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        debug_assert!(lambda > 0.0, "exponential rate must be positive");
+        let u = loop {
+            let u = self.next_f64();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        -u.ln() / lambda
+    }
+
+    /// Derives an independent child generator (for splitting a simulation
+    /// into independently-seeded components).
+    pub fn fork(&mut self) -> Self {
+        Self::seed_from_u64(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SovRng::seed_from_u64(7);
+        let mut b = SovRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SovRng::seed_from_u64(1);
+        let mut b = SovRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = SovRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_bounds() {
+        let mut rng = SovRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(rng.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn normal_mean_and_variance() {
+        let mut rng = SovRng::seed_from_u64(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var was {var}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = SovRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SovRng::seed_from_u64(8);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = SovRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(rng.log_normal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = SovRng::seed_from_u64(10);
+        let mut child = parent.fork();
+        // Child stream is not identical to parent's continuation.
+        let same = (0..16)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SovRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>());
+    }
+}

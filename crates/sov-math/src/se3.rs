@@ -1,0 +1,266 @@
+//! Rigid transforms: planar poses ([`Pose2`]) and spatial poses ([`Pose3`]).
+//!
+//! The vehicle in the paper maneuvers at lane granularity on a locally planar
+//! road network, so most of the workspace reasons in [`Pose2`]. [`Pose3`] is
+//! used where full attitude matters (IMU propagation, camera extrinsics).
+
+use crate::angle;
+use crate::matrix::Vector;
+use crate::quaternion::Quaternion;
+
+/// A planar rigid pose `(x, y, θ)` in meters / radians.
+///
+/// # Example
+///
+/// ```
+/// use sov_math::Pose2;
+///
+/// let origin = Pose2::new(1.0, 2.0, std::f64::consts::FRAC_PI_2);
+/// let p = origin.transform_point(1.0, 0.0); // one meter "forward"
+/// assert!((p.0 - 1.0).abs() < 1e-12);
+/// assert!((p.1 - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pose2 {
+    /// X position (m).
+    pub x: f64,
+    /// Y position (m).
+    pub y: f64,
+    /// Heading (rad), wrapped to `(-π, π]`.
+    pub theta: f64,
+}
+
+impl Pose2 {
+    /// Creates a pose, wrapping the heading.
+    #[must_use]
+    pub fn new(x: f64, y: f64, theta: f64) -> Self {
+        Self { x, y, theta: angle::wrap(theta) }
+    }
+
+    /// The identity pose at the origin.
+    #[must_use]
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Euclidean distance between the positions of two poses.
+    #[must_use]
+    pub fn distance(&self, other: &Self) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Transforms a point from this pose's local frame into the world frame.
+    #[must_use]
+    pub fn transform_point(&self, lx: f64, ly: f64) -> (f64, f64) {
+        let (s, c) = self.theta.sin_cos();
+        (self.x + c * lx - s * ly, self.y + s * lx + c * ly)
+    }
+
+    /// Transforms a world-frame point into this pose's local frame.
+    #[must_use]
+    pub fn inverse_transform_point(&self, wx: f64, wy: f64) -> (f64, f64) {
+        let (s, c) = self.theta.sin_cos();
+        let dx = wx - self.x;
+        let dy = wy - self.y;
+        (c * dx + s * dy, -s * dx + c * dy)
+    }
+
+    /// Composes two poses: applies `other` in this pose's local frame.
+    #[must_use]
+    pub fn compose(&self, other: &Self) -> Self {
+        let (x, y) = self.transform_point(other.x, other.y);
+        Self::new(x, y, self.theta + other.theta)
+    }
+
+    /// The inverse pose such that `p.compose(&p.inverse()) == identity`.
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        let (s, c) = self.theta.sin_cos();
+        Self::new(-(c * self.x + s * self.y), s * self.x - c * self.y, -self.theta)
+    }
+
+    /// The relative pose taking `self` to `other` (`self⁻¹ ∘ other`).
+    #[must_use]
+    pub fn between(&self, other: &Self) -> Self {
+        self.inverse().compose(other)
+    }
+
+    /// Advances the pose along a unicycle model with forward speed `v` (m/s)
+    /// and yaw rate `omega` (rad/s) for `dt` seconds.
+    ///
+    /// Uses the exact arc solution rather than Euler integration, so the
+    /// result is accurate for large `dt`.
+    #[must_use]
+    pub fn step_unicycle(&self, v: f64, omega: f64, dt: f64) -> Self {
+        if omega.abs() < 1e-9 {
+            let (s, c) = self.theta.sin_cos();
+            Self::new(self.x + v * c * dt, self.y + v * s * dt, self.theta)
+        } else {
+            let r = v / omega;
+            let theta_next = self.theta + omega * dt;
+            Self::new(
+                self.x + r * (theta_next.sin() - self.theta.sin()),
+                self.y - r * (theta_next.cos() - self.theta.cos()),
+                theta_next,
+            )
+        }
+    }
+
+    /// Heading unit vector `(cos θ, sin θ)`.
+    #[must_use]
+    pub fn heading_vector(&self) -> (f64, f64) {
+        let (s, c) = self.theta.sin_cos();
+        (c, s)
+    }
+}
+
+/// A spatial rigid pose: rotation (unit quaternion) plus translation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pose3 {
+    /// Attitude (body → world rotation).
+    pub rotation: Quaternion,
+    /// Position in the world frame (m).
+    pub translation: Vector<3>,
+}
+
+impl Pose3 {
+    /// Creates a pose from rotation and translation.
+    #[must_use]
+    pub fn new(rotation: Quaternion, translation: Vector<3>) -> Self {
+        Self { rotation, translation }
+    }
+
+    /// The identity pose.
+    #[must_use]
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Lifts a planar pose into 3-D (z = 0, roll = pitch = 0).
+    #[must_use]
+    pub fn from_pose2(p: &Pose2) -> Self {
+        Self {
+            rotation: Quaternion::from_yaw(p.theta),
+            translation: Vector::from_array([p.x, p.y, 0.0]),
+        }
+    }
+
+    /// Projects onto the ground plane as a planar pose.
+    #[must_use]
+    pub fn to_pose2(&self) -> Pose2 {
+        Pose2::new(self.translation[0], self.translation[1], self.rotation.yaw())
+    }
+
+    /// Transforms a body-frame point to the world frame.
+    #[must_use]
+    pub fn transform_point(&self, p: &Vector<3>) -> Vector<3> {
+        self.rotation.rotate(p) + self.translation
+    }
+
+    /// Transforms a world-frame point to the body frame.
+    #[must_use]
+    pub fn inverse_transform_point(&self, p: &Vector<3>) -> Vector<3> {
+        self.rotation.conjugate().rotate(&(*p - self.translation))
+    }
+
+    /// Composes with another pose expressed in this pose's frame.
+    #[must_use]
+    pub fn compose(&self, other: &Self) -> Self {
+        Self {
+            rotation: self.rotation.mul(&other.rotation).normalize(),
+            translation: self.transform_point(&other.translation),
+        }
+    }
+
+    /// The inverse pose.
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        let inv_rot = self.rotation.conjugate();
+        Self {
+            rotation: inv_rot,
+            translation: inv_rot.rotate(&self.translation).scale(-1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn pose2_compose_inverse_is_identity() {
+        let p = Pose2::new(3.0, -2.0, 0.8);
+        let id = p.compose(&p.inverse());
+        assert!(id.x.abs() < 1e-12 && id.y.abs() < 1e-12 && id.theta.abs() < 1e-12);
+    }
+
+    #[test]
+    fn pose2_between_recovers_relative() {
+        let a = Pose2::new(1.0, 1.0, 0.3);
+        let rel = Pose2::new(2.0, 0.5, -0.2);
+        let b = a.compose(&rel);
+        let recovered = a.between(&b);
+        assert!((recovered.x - rel.x).abs() < 1e-12);
+        assert!((recovered.y - rel.y).abs() < 1e-12);
+        assert!((recovered.theta - rel.theta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_point_roundtrip() {
+        let p = Pose2::new(5.0, -1.0, 1.1);
+        let (wx, wy) = p.transform_point(2.0, 3.0);
+        let (lx, ly) = p.inverse_transform_point(wx, wy);
+        assert!((lx - 2.0).abs() < 1e-12 && (ly - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unicycle_straight_line() {
+        let p = Pose2::new(0.0, 0.0, 0.0).step_unicycle(5.6, 0.0, 2.0);
+        assert!((p.x - 11.2).abs() < 1e-12);
+        assert!(p.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn unicycle_quarter_circle() {
+        // v = r·ω: a quarter turn of radius 10.
+        let r = 10.0;
+        let omega = 0.5;
+        let dt = FRAC_PI_2 / omega;
+        let p = Pose2::new(0.0, 0.0, 0.0).step_unicycle(r * omega, omega, dt);
+        assert!((p.x - r).abs() < 1e-9);
+        assert!((p.y - r).abs() < 1e-9);
+        assert!((p.theta - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pose3_roundtrip_through_pose2() {
+        let p2 = Pose2::new(1.5, -0.5, 0.7);
+        let p3 = Pose3::from_pose2(&p2);
+        let back = p3.to_pose2();
+        assert!((back.x - p2.x).abs() < 1e-12);
+        assert!((back.theta - p2.theta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pose3_compose_inverse() {
+        let p = Pose3::new(
+            Quaternion::from_axis_angle([0.1, 0.9, 0.3], 0.6),
+            Vector::from_array([1.0, 2.0, 3.0]),
+        );
+        let id = p.compose(&p.inverse());
+        assert!(id.translation.norm() < 1e-12);
+        assert!((id.rotation.w.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pose3_point_roundtrip() {
+        let p = Pose3::new(
+            Quaternion::from_axis_angle([0.0, 0.0, 1.0], 0.4),
+            Vector::from_array([-2.0, 1.0, 0.5]),
+        );
+        let pt = Vector::from_array([3.0, -1.0, 2.0]);
+        let back = p.inverse_transform_point(&p.transform_point(&pt));
+        assert!(back.approx_eq(&pt, 1e-12));
+    }
+}

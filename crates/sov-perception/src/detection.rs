@@ -1,0 +1,327 @@
+//! Object detection (Table III: YOLO / Mask R-CNN).
+//!
+//! Detection is the only task in the paper's pipeline where a DNN is used,
+//! and the paper treats it as a latency/accuracy black box that is
+//! **specialized per deployment environment** ("different models are
+//! specialized/trained using the deployment environment-specific training
+//! data", Sec. IV). We model it the same way: a [`Detector`] consumes the
+//! camera's object observations and applies an accuracy profile — miss
+//! rate, false positives and classification errors — that degrades when the
+//! model's training environment does not match the deployment.
+//!
+//! Missed detections are one of the two safety hazards motivating the
+//! reactive path (Sec. III-C: "vision algorithms produce wrong results,
+//! e.g., missing an object").
+
+use sov_math::SovRng;
+use sov_sensors::camera::CameraFrame;
+use sov_sim::time::SimTime;
+use sov_world::obstacle::{ObstacleClass, ObstacleId};
+
+/// One detection output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Ground-truth obstacle identity; `None` for a false positive.
+    /// Evaluation only — downstream consumers must use pixel geometry.
+    pub truth: Option<ObstacleId>,
+    /// Predicted class.
+    pub class: ObstacleClass,
+    /// Bounding-box center in pixels.
+    pub pixel: (f64, f64),
+    /// Bounding-box radius in pixels.
+    pub radius_px: f64,
+    /// Estimated depth from the detector's context (m); coarse.
+    pub depth_m: f64,
+    /// Detection confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// Deployment-environment match between the trained model and the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelSpecialization {
+    /// Model trained on this deployment's data (the paper's normal case:
+    /// "the DNN models are trained regularly using our field data").
+    Matched,
+    /// Model trained on a different deployment's data.
+    Mismatched,
+}
+
+/// Accuracy profile of the detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorProfile {
+    /// Probability of missing a visible object.
+    pub miss_rate: f64,
+    /// Expected false positives per frame.
+    pub false_positives_per_frame: f64,
+    /// Probability of assigning the wrong class to a detected object.
+    pub misclass_rate: f64,
+    /// Pixel noise added to the reported box center.
+    pub pixel_sigma: f64,
+    /// Relative depth error σ (fraction of depth).
+    pub depth_rel_sigma: f64,
+}
+
+impl DetectorProfile {
+    /// Profile of a well-trained, environment-matched model.
+    #[must_use]
+    pub fn matched() -> Self {
+        Self {
+            miss_rate: 0.02,
+            false_positives_per_frame: 0.05,
+            misclass_rate: 0.03,
+            pixel_sigma: 2.0,
+            depth_rel_sigma: 0.05,
+        }
+    }
+
+    /// Profile of a model deployed outside its training environment.
+    #[must_use]
+    pub fn mismatched() -> Self {
+        Self {
+            miss_rate: 0.15,
+            false_positives_per_frame: 0.4,
+            misclass_rate: 0.2,
+            pixel_sigma: 6.0,
+            depth_rel_sigma: 0.15,
+        }
+    }
+
+    /// Profile for the given specialization.
+    #[must_use]
+    pub fn for_specialization(spec: ModelSpecialization) -> Self {
+        match spec {
+            ModelSpecialization::Matched => Self::matched(),
+            ModelSpecialization::Mismatched => Self::mismatched(),
+        }
+    }
+}
+
+/// The detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detector {
+    profile: DetectorProfile,
+    rng: SovRng,
+    classes: [ObstacleClass; 4],
+}
+
+impl Detector {
+    /// Creates a detector with the given profile.
+    #[must_use]
+    pub fn new(profile: DetectorProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            rng: SovRng::seed_from_u64(seed ^ 0x444554),
+            classes: [
+                ObstacleClass::Pedestrian,
+                ObstacleClass::Cyclist,
+                ObstacleClass::Vehicle,
+                ObstacleClass::StaticObject,
+            ],
+        }
+    }
+
+    /// The active accuracy profile.
+    #[must_use]
+    pub fn profile(&self) -> &DetectorProfile {
+        &self.profile
+    }
+
+    /// Swaps in a newly-trained model (the paper's regular retraining /
+    /// environment-specialized model update, Sec. II-B).
+    pub fn update_model(&mut self, profile: DetectorProfile) {
+        self.profile = profile;
+    }
+
+    /// Runs detection on one frame, given the ground-truth classes of the
+    /// visible objects (from the world; the detector corrupts them according
+    /// to its profile).
+    pub fn detect(
+        &mut self,
+        frame: &CameraFrame,
+        true_class_of: impl Fn(ObstacleId) -> ObstacleClass,
+    ) -> Vec<Detection> {
+        let mut out = Vec::new();
+        for obj in &frame.objects {
+            if self.rng.bernoulli(self.profile.miss_rate) {
+                continue; // missed object — the reactive path's raison d'être
+            }
+            let true_class = true_class_of(obj.obstacle);
+            let class = if self.rng.bernoulli(self.profile.misclass_rate) {
+                self.classes[self.rng.index(self.classes.len())]
+            } else {
+                true_class
+            };
+            out.push(Detection {
+                truth: Some(obj.obstacle),
+                class,
+                pixel: (
+                    obj.pixel.0 + self.rng.normal(0.0, self.profile.pixel_sigma),
+                    obj.pixel.1 + self.rng.normal(0.0, self.profile.pixel_sigma),
+                ),
+                radius_px: obj.apparent_radius_px,
+                depth_m: obj.true_depth
+                    * (1.0 + self.rng.normal(0.0, self.profile.depth_rel_sigma)),
+                confidence: self.rng.uniform(0.7, 1.0),
+            });
+        }
+        // Poisson-ish false positives (Bernoulli split over 4 slots).
+        let fp_trials = 4;
+        let p = (self.profile.false_positives_per_frame / f64::from(fp_trials)).min(1.0);
+        for _ in 0..fp_trials {
+            if self.rng.bernoulli(p) {
+                out.push(Detection {
+                    truth: None,
+                    class: self.classes[self.rng.index(self.classes.len())],
+                    pixel: (self.rng.uniform(0.0, 1920.0), self.rng.uniform(300.0, 800.0)),
+                    radius_px: self.rng.uniform(10.0, 60.0),
+                    depth_m: self.rng.uniform(5.0, 40.0),
+                    confidence: self.rng.uniform(0.3, 0.7),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Frame-level detection quality metrics, aggregated over an evaluation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DetectionMetrics {
+    /// Ground-truth objects presented.
+    pub total_objects: u64,
+    /// Correctly detected (any class).
+    pub detected: u64,
+    /// Detected with the correct class.
+    pub correctly_classified: u64,
+    /// False positives produced.
+    pub false_positives: u64,
+}
+
+impl DetectionMetrics {
+    /// Recall = detected / total.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        if self.total_objects == 0 {
+            return 0.0;
+        }
+        self.detected as f64 / self.total_objects as f64
+    }
+
+    /// Accumulates one frame's results.
+    pub fn accumulate(
+        &mut self,
+        frame: &CameraFrame,
+        detections: &[Detection],
+        true_class_of: impl Fn(ObstacleId) -> ObstacleClass,
+    ) {
+        self.total_objects += frame.objects.len() as u64;
+        for d in detections {
+            match d.truth {
+                Some(id) => {
+                    self.detected += 1;
+                    if d.class == true_class_of(id) {
+                        self.correctly_classified += 1;
+                    }
+                }
+                None => self.false_positives += 1,
+            }
+        }
+    }
+}
+
+/// Convenience: evaluates a detector over pre-captured frames at `_t`.
+pub fn evaluate_detector(
+    detector: &mut Detector,
+    frames: &[(SimTime, CameraFrame)],
+    true_class_of: impl Fn(ObstacleId) -> ObstacleClass + Copy,
+) -> DetectionMetrics {
+    let mut metrics = DetectionMetrics::default();
+    for (_t, frame) in frames {
+        let dets = detector.detect(frame, true_class_of);
+        metrics.accumulate(frame, &dets, true_class_of);
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_math::Pose2;
+    use sov_sensors::camera::Camera;
+    use sov_sensors::camera::Intrinsics;
+    use sov_world::scenario::Scenario;
+
+    fn capture_frames(n: usize) -> (Vec<(SimTime, CameraFrame)>, sov_world::scenario::World) {
+        let w = Scenario::fishers_indiana(1).world;
+        let cam = Camera::new(Intrinsics::hd1080(), 0.0, 1.2, 60.0, 0.5).unwrap();
+        let mut rng = SovRng::seed_from_u64(10);
+        let mut frames = Vec::new();
+        for i in 0..n {
+            let t = SimTime::from_millis(6_000 + (i as u64) * 33);
+            let pose = Pose2::new(40.0 + i as f64 * 0.2, 0.0, 0.0);
+            frames.push((t, cam.capture(&pose, &w, &w.landmarks, t, &mut rng)));
+        }
+        (frames, w)
+    }
+
+    #[test]
+    fn matched_model_has_high_recall() {
+        let (frames, w) = capture_frames(200);
+        let class_of = |id: ObstacleId| {
+            w.obstacles
+                .iter()
+                .find(|o| o.id == id)
+                .map_or(ObstacleClass::StaticObject, |o| o.class)
+        };
+        let mut det = Detector::new(DetectorProfile::matched(), 1);
+        let m = evaluate_detector(&mut det, &frames, class_of);
+        assert!(m.total_objects > 0);
+        assert!(m.recall() > 0.93, "recall {}", m.recall());
+    }
+
+    #[test]
+    fn mismatched_model_degrades() {
+        let (frames, w) = capture_frames(300);
+        let class_of = |id: ObstacleId| {
+            w.obstacles
+                .iter()
+                .find(|o| o.id == id)
+                .map_or(ObstacleClass::StaticObject, |o| o.class)
+        };
+        let mut matched = Detector::new(DetectorProfile::matched(), 2);
+        let mut mismatched = Detector::new(DetectorProfile::mismatched(), 2);
+        let m1 = evaluate_detector(&mut matched, &frames, class_of);
+        let m2 = evaluate_detector(&mut mismatched, &frames, class_of);
+        assert!(m2.recall() < m1.recall());
+        assert!(m2.false_positives > m1.false_positives);
+    }
+
+    #[test]
+    fn model_update_swaps_profile() {
+        let mut det = Detector::new(DetectorProfile::mismatched(), 3);
+        assert_eq!(det.profile(), &DetectorProfile::mismatched());
+        det.update_model(DetectorProfile::matched());
+        assert_eq!(det.profile(), &DetectorProfile::matched());
+    }
+
+    #[test]
+    fn empty_frame_yields_only_false_positives() {
+        let frame = CameraFrame { capture_time: SimTime::ZERO, features: vec![], objects: vec![] };
+        let mut det = Detector::new(DetectorProfile::matched(), 4);
+        let mut fp = 0;
+        for _ in 0..1000 {
+            fp += det
+                .detect(&frame, |_| ObstacleClass::StaticObject)
+                .iter()
+                .filter(|d| d.truth.is_none())
+                .count();
+        }
+        // ≈ 0.05 per frame.
+        assert!((10..150).contains(&fp), "false positives {fp}");
+    }
+
+    #[test]
+    fn metrics_recall_edge_cases() {
+        let m = DetectionMetrics::default();
+        assert_eq!(m.recall(), 0.0);
+    }
+}

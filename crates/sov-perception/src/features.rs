@@ -1,0 +1,285 @@
+//! Feature extraction and tracking (Sec. V-B3).
+//!
+//! "Our localization algorithm relies on salient features; features in key
+//! frames are extracted by a feature extraction algorithm (ORB in the
+//! paper), whereas features in non-key frames are tracked from previous
+//! frames (KLT); the latter executes in 10 ms, 50% faster than the former."
+//!
+//! This module implements the workload pair for real pixels: a FAST-9
+//! corner detector with non-maximum suppression ([`fast_corners`]) as the
+//! keyframe extractor, and an NCC-based local patch search
+//! ([`track_features`]) as the non-keyframe tracker. The criterion bench
+//! `bench_perception` measures both; extraction costs more than tracking,
+//! which is exactly the asymmetry the runtime-partial-reconfiguration
+//! engine exploits by time-sharing one FPGA region between the two kernels.
+
+use crate::image::{ncc, GrayImage};
+
+/// One detected corner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Pixel x.
+    pub x: usize,
+    /// Pixel y.
+    pub y: usize,
+    /// FAST score (sum of absolute circle-center differences of the
+    /// contiguous arc).
+    pub score: f32,
+}
+
+/// The 16-pixel Bresenham circle of radius 3 used by FAST.
+const CIRCLE: [(isize, isize); 16] = [
+    (0, -3),
+    (1, -3),
+    (2, -2),
+    (3, -1),
+    (3, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (0, 3),
+    (-1, 3),
+    (-2, 2),
+    (-3, 1),
+    (-3, 0),
+    (-3, -1),
+    (-2, -2),
+    (-1, -3),
+];
+
+/// FAST-9 corner detection with 3×3 non-maximum suppression.
+///
+/// A pixel is a corner if at least 9 contiguous pixels on the radius-3
+/// circle are all brighter than `center + threshold` or all darker than
+/// `center − threshold`.
+#[must_use]
+pub fn fast_corners(image: &GrayImage, threshold: f32) -> Vec<Corner> {
+    let (w, h) = (image.width(), image.height());
+    if w < 7 || h < 7 {
+        return Vec::new();
+    }
+    let mut scores = vec![0.0f32; w * h];
+    for y in 3..h - 3 {
+        for x in 3..w - 3 {
+            if let Some(score) = fast_score(image, x as isize, y as isize, threshold) {
+                scores[y * w + x] = score;
+            }
+        }
+    }
+    // Non-maximum suppression over 3×3 neighborhoods.
+    let mut corners = Vec::new();
+    for y in 3..h - 3 {
+        for x in 3..w - 3 {
+            let s = scores[y * w + x];
+            if s <= 0.0 {
+                continue;
+            }
+            let mut is_max = true;
+            'nms: for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let nx = (x as isize + dx) as usize;
+                    let ny = (y as isize + dy) as usize;
+                    let neighbor = scores[ny * w + nx];
+                    if neighbor > s || (neighbor == s && (dy < 0 || (dy == 0 && dx < 0))) {
+                        is_max = false;
+                        break 'nms;
+                    }
+                }
+            }
+            if is_max {
+                corners.push(Corner { x, y, score: s });
+            }
+        }
+    }
+    corners.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    corners
+}
+
+/// FAST-9 test at one pixel; returns the corner score if it passes.
+fn fast_score(image: &GrayImage, x: isize, y: isize, threshold: f32) -> Option<f32> {
+    let center = image.get(x, y);
+    // Classify each circle pixel: +1 brighter, −1 darker, 0 similar.
+    let mut classes = [0i8; 16];
+    let mut diffs = [0.0f32; 16];
+    for (i, &(dx, dy)) in CIRCLE.iter().enumerate() {
+        let v = image.get(x + dx, y + dy);
+        diffs[i] = (v - center).abs();
+        classes[i] = if v > center + threshold {
+            1
+        } else if v < center - threshold {
+            -1
+        } else {
+            0
+        };
+    }
+    // Longest contiguous arc of one non-zero class (wrap-around).
+    for &target in &[1i8, -1] {
+        let mut best_run = 0usize;
+        let mut run = 0usize;
+        let mut best_start = 0usize;
+        for i in 0..32 {
+            if classes[i % 16] == target {
+                if run == 0 {
+                    best_start = i;
+                }
+                run += 1;
+                if run > best_run {
+                    best_run = run;
+                    if best_run >= 16 {
+                        break;
+                    }
+                }
+            } else {
+                run = 0;
+            }
+        }
+        if best_run >= 9 {
+            let score: f32 = (best_start..best_start + best_run.min(16))
+                .map(|i| diffs[i % 16])
+                .sum();
+            return Some(score);
+        }
+    }
+    None
+}
+
+/// Tracks feature points from `prev` to `next` by NCC search over a square
+/// window; the KLT stand-in used for non-keyframes.
+///
+/// Returns one entry per input point: the new position, or `None` when the
+/// best correlation falls below `min_ncc` (track lost).
+#[must_use]
+pub fn track_features(
+    prev: &GrayImage,
+    next: &GrayImage,
+    points: &[(usize, usize)],
+    patch_size: usize,
+    search_radius: isize,
+    min_ncc: f64,
+) -> Vec<Option<(usize, usize)>> {
+    points
+        .iter()
+        .map(|&(px, py)| {
+            let template = prev.patch(px as isize, py as isize, patch_size);
+            let mut best: Option<(usize, usize, f64)> = None;
+            for dy in -search_radius..=search_radius {
+                for dx in -search_radius..=search_radius {
+                    let cx = px as isize + dx;
+                    let cy = py as isize + dy;
+                    if cx < 0 || cy < 0 {
+                        continue;
+                    }
+                    let candidate = next.patch(cx, cy, patch_size);
+                    let corr = ncc(&template, &candidate);
+                    if best.is_none_or(|(_, _, c)| corr > c) {
+                        best = Some((cx as usize, cy as usize, corr));
+                    }
+                }
+            }
+            best.and_then(|(x, y, c)| (c >= min_ncc).then_some((x, y)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Draws a bright axis-aligned rectangle on a dark background — crisp
+    /// corners for FAST.
+    fn rectangle_image(w: usize, h: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> GrayImage {
+        let mut img = GrayImage::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let inside = x >= x0 && x < x1 && y >= y0 && y < y1;
+                img.set(x as isize, y as isize, if inside { 0.9 } else { 0.1 });
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn detects_rectangle_corners() {
+        let img = rectangle_image(64, 64, 20, 20, 44, 44);
+        let corners = fast_corners(&img, 0.2);
+        assert!(!corners.is_empty(), "rectangle corners must fire FAST");
+        // Every detection is near one of the four true corners.
+        for c in &corners {
+            let near = [(20, 20), (43, 20), (20, 43), (43, 43)]
+                .iter()
+                .any(|&(tx, ty): &(i32, i32)| {
+                    (c.x as i32 - tx).abs() <= 3 && (c.y as i32 - ty).abs() <= 3
+                });
+            assert!(near, "spurious corner at ({}, {})", c.x, c.y);
+        }
+    }
+
+    #[test]
+    fn flat_image_has_no_corners() {
+        let img = GrayImage::new(64, 64);
+        assert!(fast_corners(&img, 0.1).is_empty());
+    }
+
+    #[test]
+    fn straight_edges_are_not_corners() {
+        // A half-plane: edges but no corners inside the detection band.
+        let mut img = GrayImage::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                img.set(x, y, if x < 32 { 0.1 } else { 0.9 });
+            }
+        }
+        let corners = fast_corners(&img, 0.2);
+        assert!(corners.is_empty(), "an edge alone fired FAST: {corners:?}");
+    }
+
+    #[test]
+    fn nms_keeps_detections_sparse() {
+        let img = rectangle_image(64, 64, 16, 16, 48, 48);
+        let corners = fast_corners(&img, 0.2);
+        // Without NMS a crisp corner fires on several adjacent pixels; with
+        // NMS a handful of detections remain.
+        assert!(corners.len() <= 12, "NMS left {} detections", corners.len());
+        // Sorted by score, descending.
+        for w in corners.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn tracking_recovers_known_shift() {
+        let prev = rectangle_image(96, 64, 30, 20, 60, 44);
+        let next = rectangle_image(96, 64, 35, 22, 65, 46); // shift (+5, +2)
+        let corners = fast_corners(&prev, 0.2);
+        assert!(!corners.is_empty());
+        let points: Vec<(usize, usize)> = corners.iter().map(|c| (c.x, c.y)).collect();
+        let tracked = track_features(&prev, &next, &points, 9, 8, 0.6);
+        let mut matched = 0;
+        for (i, t) in tracked.iter().enumerate() {
+            if let Some((nx, ny)) = t {
+                matched += 1;
+                let dx = *nx as i32 - points[i].0 as i32;
+                let dy = *ny as i32 - points[i].1 as i32;
+                assert!((dx - 5).abs() <= 1 && (dy - 2).abs() <= 1, "shift ({dx}, {dy})");
+            }
+        }
+        assert!(matched >= points.len() / 2, "only {matched}/{} tracked", points.len());
+    }
+
+    #[test]
+    fn lost_tracks_return_none() {
+        let prev = rectangle_image(64, 64, 20, 20, 44, 44);
+        let next = GrayImage::new(64, 64); // target vanished
+        let tracked = track_features(&prev, &next, &[(20, 20)], 9, 6, 0.6);
+        assert_eq!(tracked, vec![None]);
+    }
+
+    #[test]
+    fn tiny_image_is_safe() {
+        let img = GrayImage::new(5, 5);
+        assert!(fast_corners(&img, 0.1).is_empty());
+    }
+}

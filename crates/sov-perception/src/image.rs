@@ -1,0 +1,232 @@
+//! Grayscale images and synthetic scene rendering.
+//!
+//! The dense stereo matcher and the KCF tracker operate on real pixel
+//! arrays. Since we have no physical cameras, scenes are *rendered*: each
+//! landmark in view becomes a textured Gaussian blob at its projected pixel
+//! location, over a low-contrast noise background. Shifting the rendering
+//! camera produces geometrically-consistent stereo pairs and tracking
+//! sequences.
+
+use sov_math::SovRng;
+
+/// A row-major grayscale image of `f32` intensities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Self { width, height, data: vec![0.0; width * height] }
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel intensity at `(x, y)`; returns 0.0 outside bounds.
+    #[must_use]
+    pub fn get(&self, x: isize, y: isize) -> f32 {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return 0.0;
+        }
+        self.data[y as usize * self.width + x as usize]
+    }
+
+    /// Sets pixel intensity (clamped to `[0, 1]`); ignores out-of-bounds.
+    pub fn set(&mut self, x: isize, y: isize, value: f32) {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return;
+        }
+        self.data[y as usize * self.width + x as usize] = value.clamp(0.0, 1.0);
+    }
+
+    /// Adds to a pixel (clamped); ignores out-of-bounds.
+    pub fn add(&mut self, x: isize, y: isize, value: f32) {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return;
+        }
+        let px = &mut self.data[y as usize * self.width + x as usize];
+        *px = (*px + value).clamp(0.0, 1.0);
+    }
+
+    /// Raw data slice (row-major).
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Extracts a `size × size` patch centered at `(cx, cy)`; pixels outside
+    /// the image read as 0.
+    #[must_use]
+    pub fn patch(&self, cx: isize, cy: isize, size: usize) -> GrayImage {
+        let mut out = GrayImage::new(size, size);
+        let half = (size / 2) as isize;
+        for y in 0..size as isize {
+            for x in 0..size as isize {
+                out.set(x, y, self.get(cx - half + x, cy - half + y));
+            }
+        }
+        out
+    }
+
+    /// Mean intensity.
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+}
+
+/// Renders a textured scene: background noise plus Gaussian blobs.
+///
+/// Each blob is `(center_x, center_y, radius_px, intensity)`. The same blob
+/// list rendered with shifted centers produces a consistent stereo pair.
+#[must_use]
+pub fn render_scene(
+    width: usize,
+    height: usize,
+    blobs: &[(f64, f64, f64, f64)],
+    background_noise: f32,
+    rng: &mut SovRng,
+) -> GrayImage {
+    let mut img = GrayImage::new(width, height);
+    // Low-contrast background texture.
+    for y in 0..height as isize {
+        for x in 0..width as isize {
+            img.set(x, y, 0.2 + background_noise * rng.next_f64() as f32);
+        }
+    }
+    for &(cx, cy, radius, intensity) in blobs {
+        let r = radius.max(0.5);
+        let span = (3.0 * r).ceil() as isize;
+        let (icx, icy) = (cx.round() as isize, cy.round() as isize);
+        for dy in -span..=span {
+            for dx in -span..=span {
+                let d2 = ((icx + dx) as f64 - cx).powi(2) + ((icy + dy) as f64 - cy).powi(2);
+                let v = intensity * (-d2 / (2.0 * r * r)).exp();
+                img.add(icx + dx, icy + dy, v as f32);
+            }
+        }
+    }
+    img
+}
+
+/// Normalized cross-correlation of two equally-sized images, in `[-1, 1]`.
+///
+/// Returns 0.0 if either image has zero variance.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+#[must_use]
+pub fn ncc(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "ncc requires equal dimensions"
+    );
+    let ma = f64::from(a.mean());
+    let mb = f64::from(b.mean());
+    let (mut num, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for (pa, pb) in a.data().iter().zip(b.data()) {
+        let da = f64::from(*pa) - ma;
+        let db = f64::from(*pb) - mb;
+        num += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va < 1e-12 || vb < 1e-12 {
+        return 0.0;
+    }
+    num / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip_and_bounds() {
+        let mut img = GrayImage::new(8, 4);
+        img.set(3, 2, 0.7);
+        assert!((img.get(3, 2) - 0.7).abs() < 1e-6);
+        assert_eq!(img.get(-1, 0), 0.0);
+        assert_eq!(img.get(8, 0), 0.0);
+        img.set(100, 100, 1.0); // silently ignored
+        img.set(2, 2, 5.0);
+        assert_eq!(img.get(2, 2), 1.0, "clamped to [0,1]");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        let _ = GrayImage::new(0, 4);
+    }
+
+    #[test]
+    fn patch_extraction() {
+        let mut img = GrayImage::new(16, 16);
+        img.set(8, 8, 1.0);
+        let p = img.patch(8, 8, 5);
+        assert_eq!(p.width(), 5);
+        assert_eq!(p.get(2, 2), 1.0, "center of patch is source center");
+        // Patch at the border zero-pads.
+        let edge = img.patch(0, 0, 5);
+        assert_eq!(edge.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn render_scene_places_blobs() {
+        let mut rng = SovRng::seed_from_u64(1);
+        let img = render_scene(64, 64, &[(32.0, 32.0, 2.0, 0.8)], 0.05, &mut rng);
+        let center = img.get(32, 32);
+        let corner = img.get(2, 2);
+        assert!(center > corner + 0.3, "blob should dominate background");
+    }
+
+    #[test]
+    fn ncc_detects_identical_and_shifted() {
+        let mut rng = SovRng::seed_from_u64(2);
+        let img = render_scene(32, 32, &[(16.0, 16.0, 3.0, 0.9)], 0.1, &mut rng);
+        assert!((ncc(&img, &img) - 1.0).abs() < 1e-9);
+        let shifted = img.patch(20, 16, 32);
+        let same = img.patch(16, 16, 32);
+        assert!(ncc(&img, &same) > ncc(&img, &shifted));
+    }
+
+    #[test]
+    fn ncc_zero_variance_is_zero() {
+        let flat = GrayImage::new(8, 8);
+        let other = GrayImage::new(8, 8);
+        assert_eq!(ncc(&flat, &other), 0.0);
+    }
+
+    #[test]
+    fn deterministic_rendering() {
+        let mut r1 = SovRng::seed_from_u64(3);
+        let mut r2 = SovRng::seed_from_u64(3);
+        let a = render_scene(16, 16, &[(8.0, 8.0, 1.5, 0.5)], 0.1, &mut r1);
+        let b = render_scene(16, 16, &[(8.0, 8.0, 1.5, 0.5)], 0.1, &mut r2);
+        assert_eq!(a, b);
+    }
+}

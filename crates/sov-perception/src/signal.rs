@@ -1,0 +1,410 @@
+//! Complex arithmetic and radix-2 FFTs.
+//!
+//! Substrate for the Kernelized Correlation Filter ([`crate::tracking`]),
+//! which trains and evaluates in the Fourier domain. Implemented from
+//! scratch: an iterative radix-2 Cooley–Tukey FFT and a row-column 2-D
+//! transform.
+
+use std::ops::{Add, Mul, Sub};
+
+/// A complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+
+    /// Creates a complex number.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(&self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    #[must_use]
+    pub fn norm_sq(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// `e^{iθ}`.
+    #[must_use]
+    pub fn from_polar(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self { re: c, im: s }
+    }
+
+    /// Division; no special handling of division by zero (propagates
+    /// infinities like `f64`).
+    #[must_use]
+    pub fn div(&self, rhs: Self) -> Self {
+        let d = rhs.norm_sq();
+        Self {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+
+    fn mul(self, k: f64) -> Complex {
+        Complex::new(self.re * k, self.im * k)
+    }
+}
+
+/// In-place iterative radix-2 FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft(data: &mut [Complex]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT (includes the `1/N` normalization).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = *x * (1.0 / n);
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let theta = sign * std::f64::consts::TAU / len as f64;
+        let w_len = Complex::from_polar(theta);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w = w * w_len;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// A 2-D spectrum / complex image, row-major, power-of-two dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum2d {
+    width: usize,
+    height: usize,
+    data: Vec<Complex>,
+}
+
+impl Spectrum2d {
+    /// Creates a zero spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not a power of two.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(
+            width.is_power_of_two() && height.is_power_of_two(),
+            "spectrum dimensions must be powers of two"
+        );
+        Self { width, height, data: vec![Complex::ZERO; width * height] }
+    }
+
+    /// Builds from real-valued row-major samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != width * height` or dimensions are not
+    /// powers of two.
+    #[must_use]
+    pub fn from_real(width: usize, height: usize, samples: &[f32]) -> Self {
+        assert_eq!(samples.len(), width * height, "sample count mismatch");
+        let mut s = Self::new(width, height);
+        for (dst, &src) in s.data.iter_mut().zip(samples) {
+            *dst = Complex::new(f64::from(src), 0.0);
+        }
+        s
+    }
+
+    /// Width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Element at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> Complex {
+        self.data[y * self.width + x]
+    }
+
+    /// Mutable element at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get_mut(&mut self, x: usize, y: usize) -> &mut Complex {
+        &mut self.data[y * self.width + x]
+    }
+
+    /// Forward 2-D FFT in place (rows then columns).
+    pub fn fft2(&mut self) {
+        self.transform(false);
+    }
+
+    /// Inverse 2-D FFT in place (normalized).
+    pub fn ifft2(&mut self) {
+        self.transform(true);
+        let n = (self.width * self.height) as f64;
+        for x in &mut self.data {
+            *x = *x * (1.0 / n);
+        }
+    }
+
+    fn transform(&mut self, inverse: bool) {
+        // Rows.
+        for row in self.data.chunks_mut(self.width) {
+            fft_dir(row, inverse);
+        }
+        // Columns.
+        let mut col = vec![Complex::ZERO; self.height];
+        for x in 0..self.width {
+            for y in 0..self.height {
+                col[y] = self.data[y * self.width + x];
+            }
+            fft_dir(&mut col, inverse);
+            for y in 0..self.height {
+                self.data[y * self.width + x] = col[y];
+            }
+        }
+    }
+
+    /// Element-wise product with another spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn hadamard(&self, other: &Self) -> Self {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a = *a * *b;
+        }
+        out
+    }
+
+    /// Element-wise product with the conjugate of another spectrum
+    /// (cross-correlation in the frequency domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn hadamard_conj(&self, other: &Self) -> Self {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a = *a * b.conj();
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    #[must_use]
+    pub fn sum(&self) -> Complex {
+        self.data.iter().fold(Complex::ZERO, |acc, &x| acc + x)
+    }
+
+    /// Index `(x, y)` of the element with the largest real part.
+    #[must_use]
+    pub fn argmax_re(&self) -> (usize, usize) {
+        let mut best = (0, 0, f64::NEG_INFINITY);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.get(x, y).re;
+                if v > best.2 {
+                    best = (x, y, v);
+                }
+            }
+        }
+        (best.0, best.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data);
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let original: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let input: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
+        let mut fast = input.clone();
+        fft(&mut fast);
+        let n = input.len();
+        for (k, fast_k) in fast.iter().enumerate() {
+            let mut acc = Complex::ZERO;
+            for (j, x) in input.iter().enumerate() {
+                acc = acc + *x * Complex::from_polar(-std::f64::consts::TAU * (k * j) as f64 / n as f64);
+            }
+            assert!((fast_k.re - acc.re).abs() < 1e-9);
+            assert!((fast_k.im - acc.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Complex::ZERO; 6];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let input: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 1.3).cos(), 0.0))
+            .collect();
+        let time_energy: f64 = input.iter().map(Complex::norm_sq).sum();
+        let mut freq = input;
+        fft(&mut freq);
+        let freq_energy: f64 = freq.iter().map(Complex::norm_sq).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fft2_roundtrip() {
+        let samples: Vec<f32> = (0..16 * 8).map(|i| ((i * 7 % 13) as f32) / 13.0).collect();
+        let original = Spectrum2d::from_real(16, 8, &samples);
+        let mut s = original.clone();
+        s.fft2();
+        s.ifft2();
+        for y in 0..8 {
+            for x in 0..16 {
+                assert!((s.get(x, y).re - original.get(x, y).re).abs() < 1e-10);
+                assert!(s.get(x, y).im.abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_correlation_finds_shift() {
+        // Cross-correlation via FFT: peak location reveals the 2-D shift.
+        let mut base = vec![0.0f32; 32 * 32];
+        base[5 * 32 + 7] = 1.0;
+        let mut shifted = vec![0.0f32; 32 * 32];
+        shifted[9 * 32 + 12] = 1.0; // shift (+5, +4)
+        let mut fa = Spectrum2d::from_real(32, 32, &base);
+        let mut fb = Spectrum2d::from_real(32, 32, &shifted);
+        fa.fft2();
+        fb.fft2();
+        let mut cross = fb.hadamard_conj(&fa);
+        cross.ifft2();
+        let (dx, dy) = cross.argmax_re();
+        assert_eq!((dx, dy), (5, 4));
+    }
+
+    #[test]
+    fn complex_division() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let q = a.div(b);
+        let back = q * b;
+        assert!((back.re - a.re).abs() < 1e-12 && (back.im - a.im).abs() < 1e-12);
+    }
+}

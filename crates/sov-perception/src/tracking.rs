@@ -1,0 +1,601 @@
+//! Object tracking: KCF and radar-based tracking with spatial
+//! synchronization (Table III, Sec. VI-B).
+//!
+//! The paper's baseline visual tracker is the **Kernelized Correlation
+//! Filter** (Henriques et al.), used "when Radar signals are unstable". The
+//! production path instead offloads tracking to radar, which directly
+//! measures radial velocity; the remaining work is **spatial
+//! synchronization** — projecting radar returns into the camera frame and
+//! matching them with detections — which runs in ~1 ms on a CPU, about 100×
+//! cheaper than KCF (Sec. VI-B).
+//!
+//! [`KcfTracker`] is a from-scratch KCF: Gaussian-kernel ridge regression
+//! trained and evaluated in the Fourier domain via [`crate::signal`].
+//! [`RadarTracker`] maintains radar tracks; [`spatial_synchronize`] performs
+//! the radar→camera association.
+
+use crate::image::GrayImage;
+use crate::signal::{Complex, Spectrum2d};
+use crate::detection::Detection;
+use sov_sensors::camera::Intrinsics;
+use sov_sensors::radar::RadarScan;
+use sov_sim::time::SimTime;
+use sov_world::obstacle::ObstacleClass;
+
+/// KCF configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KcfConfig {
+    /// Square patch size (must be a power of two).
+    pub patch_size: usize,
+    /// Gaussian kernel bandwidth.
+    pub kernel_sigma: f64,
+    /// Ridge regularization.
+    pub lambda: f64,
+    /// Width of the Gaussian regression target relative to patch size.
+    pub output_sigma_factor: f64,
+    /// Model interpolation (learning) rate per frame.
+    pub interp_factor: f64,
+}
+
+impl Default for KcfConfig {
+    fn default() -> Self {
+        Self {
+            patch_size: 32,
+            kernel_sigma: 0.6,
+            lambda: 1e-4,
+            output_sigma_factor: 0.1,
+            interp_factor: 0.075,
+        }
+    }
+}
+
+/// A Kernelized Correlation Filter tracker for one target.
+#[derive(Debug, Clone)]
+pub struct KcfTracker {
+    config: KcfConfig,
+    /// Current target center in image coordinates.
+    position: (f64, f64),
+    /// Fourier transform of the learned template patch.
+    template_f: Spectrum2d,
+    /// Fourier-domain dual coefficients.
+    alpha_f: Spectrum2d,
+    /// Fourier transform of the regression target.
+    label_f: Spectrum2d,
+}
+
+impl KcfTracker {
+    /// Initializes a tracker on the patch centered at `(cx, cy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.patch_size` is not a power of two.
+    #[must_use]
+    pub fn init(image: &GrayImage, cx: f64, cy: f64, config: KcfConfig) -> Self {
+        assert!(
+            config.patch_size.is_power_of_two(),
+            "KCF patch size must be a power of two"
+        );
+        let n = config.patch_size;
+        // Gaussian regression target centered at (0,0) with wrap-around.
+        let sigma = config.output_sigma_factor * n as f64;
+        let mut label = Spectrum2d::new(n, n);
+        for y in 0..n {
+            for x in 0..n {
+                let dx = shift_dist(x, n);
+                let dy = shift_dist(y, n);
+                let v = (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+                *label.get_mut(x, y) = Complex::new(v, 0.0);
+            }
+        }
+        label.fft2();
+        let mut tracker = Self {
+            config,
+            position: (cx, cy),
+            template_f: Spectrum2d::new(n, n),
+            alpha_f: Spectrum2d::new(n, n),
+            label_f: label,
+        };
+        let patch = extract_patch(image, cx, cy, n);
+        let (tf, af) = tracker.train(&patch);
+        tracker.template_f = tf;
+        tracker.alpha_f = af;
+        tracker
+    }
+
+    /// Current estimated target center.
+    #[must_use]
+    pub fn position(&self) -> (f64, f64) {
+        self.position
+    }
+
+    /// Processes a new frame: localizes the target near the previous
+    /// position and updates the model. Returns the new center estimate.
+    pub fn update(&mut self, image: &GrayImage) -> (f64, f64) {
+        let n = self.config.patch_size;
+        let patch = extract_patch(image, self.position.0, self.position.1, n);
+        // Detection: response = ifft( k^xz_f ⊙ alpha_f ).
+        let z_f = patch.clone();
+        let k_f = self.gaussian_correlation(&z_f, &self.template_f.clone());
+        let mut response = k_f.hadamard(&self.alpha_f);
+        response.ifft2();
+        let (px, py) = response.argmax_re();
+        // Convert wrap-around peak index to a signed shift.
+        let dx = shift_dist(px, n);
+        let dy = shift_dist(py, n);
+        self.position.0 += dx;
+        self.position.1 += dy;
+        // Model update at the new position.
+        let new_patch = extract_patch(image, self.position.0, self.position.1, n);
+        let (tf, af) = self.train(&new_patch);
+        let rate = self.config.interp_factor;
+        blend(&mut self.template_f, &tf, rate);
+        blend(&mut self.alpha_f, &af, rate);
+        self.position
+    }
+
+    /// Trains template and alpha spectra on a patch.
+    fn train(&self, patch_f: &Spectrum2d) -> (Spectrum2d, Spectrum2d) {
+        let k_f = self.gaussian_correlation(patch_f, patch_f);
+        let n = self.config.patch_size;
+        let mut alpha = Spectrum2d::new(n, n);
+        for y in 0..n {
+            for x in 0..n {
+                let denom = k_f.get(x, y) + Complex::new(self.config.lambda, 0.0);
+                *alpha.get_mut(x, y) = self.label_f.get(x, y).div(denom);
+            }
+        }
+        (patch_f.clone(), alpha)
+    }
+
+    /// Fourier transform of the Gaussian kernel correlation of two patches
+    /// already given in the Fourier domain.
+    fn gaussian_correlation(&self, a_f: &Spectrum2d, b_f: &Spectrum2d) -> Spectrum2d {
+        let n = self.config.patch_size;
+        let count = (n * n) as f64;
+        // ||a||^2 and ||b||^2 via Parseval.
+        let norm_a: f64 = spectrum_energy(a_f) / count;
+        let norm_b: f64 = spectrum_energy(b_f) / count;
+        // Cross-correlation a ⋆ b via F⁻¹(A ⊙ B*).
+        let mut cross = a_f.hadamard_conj(b_f);
+        cross.ifft2();
+        let sigma_sq = self.config.kernel_sigma * self.config.kernel_sigma;
+        let mut k = Spectrum2d::new(n, n);
+        for y in 0..n {
+            for x in 0..n {
+                let c = cross.get(x, y).re;
+                let d = ((norm_a + norm_b - 2.0 * c) / count).max(0.0);
+                *k.get_mut(x, y) = Complex::new((-d / sigma_sq).exp(), 0.0);
+            }
+        }
+        k.fft2();
+        k
+    }
+}
+
+fn spectrum_energy(s: &Spectrum2d) -> f64 {
+    let mut e = 0.0;
+    for y in 0..s.height() {
+        for x in 0..s.width() {
+            e += s.get(x, y).norm_sq();
+        }
+    }
+    e
+}
+
+fn blend(dst: &mut Spectrum2d, src: &Spectrum2d, rate: f64) {
+    for y in 0..dst.height() {
+        for x in 0..dst.width() {
+            let d = dst.get(x, y);
+            let s = src.get(x, y);
+            *dst.get_mut(x, y) = d * (1.0 - rate) + s * rate;
+        }
+    }
+}
+
+/// Signed wrap-around distance for an FFT index.
+fn shift_dist(idx: usize, n: usize) -> f64 {
+    if idx > n / 2 {
+        idx as f64 - n as f64
+    } else {
+        idx as f64
+    }
+}
+
+/// Extracts a mean-subtracted, Hann-windowed patch in the Fourier domain.
+fn extract_patch(image: &GrayImage, cx: f64, cy: f64, n: usize) -> Spectrum2d {
+    let patch = image.patch(cx.round() as isize, cy.round() as isize, n);
+    let mean = patch.mean();
+    let mut spec = Spectrum2d::new(n, n);
+    for y in 0..n {
+        for x in 0..n {
+            let hann_x = 0.5 - 0.5 * (std::f64::consts::TAU * x as f64 / n as f64).cos();
+            let hann_y = 0.5 - 0.5 * (std::f64::consts::TAU * y as f64 / n as f64).cos();
+            let v = f64::from(patch.get(x as isize, y as isize) - mean) * hann_x * hann_y;
+            *spec.get_mut(x, y) = Complex::new(v, 0.0);
+        }
+    }
+    spec.fft2();
+    spec
+}
+
+/// Identifier of a radar track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(pub u32);
+
+/// One maintained radar track.
+///
+/// Range and radial velocity are the outputs of a per-track
+/// constant-velocity Kalman filter over `[range, range-rate]` — "combining
+/// consecutive observations of the same target into a trajectory"
+/// (Sec. VI-B) — so they are smoother than any single radar return.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadarTrack {
+    /// Track identifier.
+    pub id: TrackId,
+    /// Filtered range (m).
+    pub range_m: f64,
+    /// Smoothed azimuth (rad).
+    pub azimuth_rad: f64,
+    /// Filtered radial velocity (m/s).
+    pub radial_velocity_mps: f64,
+    /// Class from the last associated camera detection, if any.
+    pub class: Option<ObstacleClass>,
+    /// Last update time.
+    pub last_update: SimTime,
+    /// Consecutive updates received (track confidence).
+    pub hits: u32,
+    /// Kalman covariance over `[range, range-rate]`.
+    kf_cov: sov_math::matrix::Matrix<2, 2>,
+}
+
+/// Radar-based multi-target tracker (Sec. VI-B): combines consecutive radar
+/// observations of the same target into a trajectory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RadarTracker {
+    tracks: Vec<RadarTrack>,
+    next_id: u32,
+    /// Association gate: max range difference (m).
+    gate_range_m: f64,
+    /// Association gate: max azimuth difference (rad).
+    gate_azimuth_rad: f64,
+    /// Drop tracks not updated for this long (s).
+    timeout_s: f64,
+    /// Assumed radar range noise sigma (m) for the per-track filter.
+    range_sigma_m: f64,
+    /// Assumed radial-velocity noise sigma (m/s) for the per-track filter.
+    velocity_sigma_mps: f64,
+}
+
+impl RadarTracker {
+    /// Creates a tracker with default gates (1.5 m, 0.1 rad, 0.5 s).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            tracks: Vec::new(),
+            next_id: 0,
+            gate_range_m: 1.5,
+            gate_azimuth_rad: 0.1,
+            timeout_s: 0.5,
+            range_sigma_m: 0.15,
+            velocity_sigma_mps: 0.1,
+        }
+    }
+
+    /// Current tracks.
+    #[must_use]
+    pub fn tracks(&self) -> &[RadarTrack] {
+        &self.tracks
+    }
+
+    /// Ingests one radar scan. Unstable scans are ignored (the pipeline
+    /// falls back to KCF for those frames, Table III).
+    pub fn update(&mut self, scan: &RadarScan) {
+        use sov_math::matrix::{Matrix, Vector};
+        if !scan.stable {
+            self.prune(scan.timestamp);
+            return;
+        }
+        let mut claimed = vec![false; self.tracks.len()];
+        for target in &scan.targets {
+            // Nearest unclaimed track within the gate (against the track's
+            // constant-velocity prediction).
+            let mut best: Option<(usize, f64)> = None;
+            for (i, track) in self.tracks.iter().enumerate() {
+                if claimed[i] {
+                    continue;
+                }
+                let dt = scan.timestamp.since(track.last_update).as_secs_f64();
+                let predicted_range = track.range_m + track.radial_velocity_mps * dt;
+                let dr = (target.range_m - predicted_range).abs();
+                let da = (target.azimuth_rad - track.azimuth_rad).abs();
+                if dr <= self.gate_range_m && da <= self.gate_azimuth_rad {
+                    let cost = dr + 10.0 * da;
+                    if best.is_none_or(|(_, c)| cost < c) {
+                        best = Some((i, cost));
+                    }
+                }
+            }
+            match best {
+                Some((i, _)) => {
+                    claimed[i] = true;
+                    let track = &mut self.tracks[i];
+                    let dt = scan.timestamp.since(track.last_update).as_secs_f64();
+                    // Kalman predict over [range, range-rate].
+                    let f = Matrix::from_rows([[1.0, dt], [0.0, 1.0]]);
+                    let mut x = Vector::from_array([track.range_m, track.radial_velocity_mps]);
+                    x = f * x;
+                    let q = Matrix::from_diagonal([0.02 * dt, 0.3 * dt]);
+                    let mut p = f * track.kf_cov * f.transpose() + q;
+                    // Kalman update with the measured range and radial
+                    // velocity (H = I).
+                    let r = Matrix::from_diagonal([
+                        self.range_sigma_m * self.range_sigma_m,
+                        self.velocity_sigma_mps * self.velocity_sigma_mps,
+                    ]);
+                    if let Ok(s_inv) = (p + r).inverse() {
+                        let gain = p * s_inv;
+                        let z = Vector::from_array([target.range_m, target.radial_velocity_mps]);
+                        x += gain * (z - x);
+                        p = (Matrix::<2, 2>::identity() - gain) * p;
+                        p.symmetrize();
+                    }
+                    track.range_m = x[0];
+                    track.radial_velocity_mps = x[1];
+                    track.kf_cov = p;
+                    // Azimuth: exponential smoothing.
+                    track.azimuth_rad = 0.5 * track.azimuth_rad + 0.5 * target.azimuth_rad;
+                    track.last_update = scan.timestamp;
+                    track.hits += 1;
+                }
+                None => {
+                    claimed.push(true); // keep claimed in step with tracks
+                    self.tracks.push(RadarTrack {
+                        id: TrackId(self.next_id),
+                        range_m: target.range_m,
+                        azimuth_rad: target.azimuth_rad,
+                        radial_velocity_mps: target.radial_velocity_mps,
+                        class: None,
+                        last_update: scan.timestamp,
+                        hits: 1,
+                        kf_cov: Matrix::from_diagonal([1.0, 4.0]),
+                    });
+                    self.next_id += 1;
+                }
+            }
+        }
+        self.prune(scan.timestamp);
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        let timeout = self.timeout_s;
+        self.tracks
+            .retain(|t| now.since(t.last_update).as_secs_f64() <= timeout);
+    }
+}
+
+/// Spatial synchronization (Sec. VI-B): projects each radar track into the
+/// camera image and associates it with the nearest detection, labeling the
+/// track with the detection's class.
+///
+/// Returns `(track_id, detection_index)` pairs for tracks that matched
+/// within `gate_px` pixels horizontally.
+pub fn spatial_synchronize(
+    tracker: &mut RadarTracker,
+    detections: &[Detection],
+    intrinsics: &Intrinsics,
+    gate_px: f64,
+) -> Vec<(TrackId, usize)> {
+    let mut pairs = Vec::new();
+    for track in &mut tracker.tracks {
+        // Radar target in the vehicle frame: x = r·cos(az) forward,
+        // y = r·sin(az) left. Camera: u = cx + fx·(x_c/z_c), x_c = −y.
+        let zc = track.range_m * track.azimuth_rad.cos();
+        if zc <= 0.1 {
+            continue;
+        }
+        let xc = -(track.range_m * track.azimuth_rad.sin());
+        let u = intrinsics.cx + intrinsics.fx * (xc / zc);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, det) in detections.iter().enumerate() {
+            let du = (det.pixel.0 - u).abs();
+            // Depth consistency: detection depth should roughly match range.
+            let depth_ok = (det.depth_m - zc).abs() < 0.3 * zc + 2.0;
+            if du <= gate_px && depth_ok && best.is_none_or(|(_, d)| du < d) {
+                best = Some((i, du));
+            }
+        }
+        if let Some((i, _)) = best {
+            track.class = Some(detections[i].class);
+            pairs.push((track.id, i));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::render_scene;
+    use sov_math::SovRng;
+    use sov_sensors::radar::RadarTarget;
+    use sov_world::obstacle::ObstacleId;
+
+    #[test]
+    fn kcf_tracks_moving_blob() {
+        let mut rng = SovRng::seed_from_u64(1);
+        let mut blobs = vec![(40.0, 32.0, 3.0, 0.9), (90.0, 20.0, 2.0, 0.5)];
+        let first = render_scene(128, 64, &blobs, 0.05, &mut rng);
+        let mut tracker = KcfTracker::init(&first, 40.0, 32.0, KcfConfig::default());
+        // Move the target 2 px right and 1 px down per frame for 10 frames.
+        for _ in 0..10 {
+            blobs[0].0 += 2.0;
+            blobs[0].1 += 1.0;
+            let mut frame_rng = SovRng::seed_from_u64(1);
+            let frame = render_scene(128, 64, &blobs, 0.05, &mut frame_rng);
+            tracker.update(&frame);
+        }
+        let (x, y) = tracker.position();
+        assert!((x - 60.0).abs() < 3.0, "x drifted to {x}");
+        assert!((y - 42.0).abs() < 3.0, "y drifted to {y}");
+    }
+
+    #[test]
+    fn kcf_stationary_target_stays_put() {
+        let mut rng = SovRng::seed_from_u64(2);
+        let blobs = vec![(64.0, 32.0, 3.0, 0.9)];
+        let frame = render_scene(128, 64, &blobs, 0.05, &mut rng);
+        let mut tracker = KcfTracker::init(&frame, 64.0, 32.0, KcfConfig::default());
+        for _ in 0..5 {
+            tracker.update(&frame);
+        }
+        let (x, y) = tracker.position();
+        assert!((x - 64.0).abs() < 1.5 && (y - 32.0).abs() < 1.5, "({x},{y})");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn kcf_rejects_bad_patch_size() {
+        let img = GrayImage::new(64, 64);
+        let _ = KcfTracker::init(&img, 32.0, 32.0, KcfConfig { patch_size: 33, ..KcfConfig::default() });
+    }
+
+    fn scan_with(range: f64, azimuth: f64, vel: f64, t_ms: u64, stable: bool) -> RadarScan {
+        RadarScan {
+            timestamp: SimTime::from_millis(t_ms),
+            targets: vec![RadarTarget {
+                truth: ObstacleId(0),
+                range_m: range,
+                azimuth_rad: azimuth,
+                radial_velocity_mps: vel,
+            }],
+            stable,
+        }
+    }
+
+    #[test]
+    fn radar_tracker_maintains_one_track() {
+        let mut tracker = RadarTracker::new();
+        for i in 0..10u64 {
+            // Target approaching at 5 m/s, scans every 50 ms.
+            let range = 30.0 - 5.0 * (i as f64) * 0.05;
+            tracker.update(&scan_with(range, 0.02, -5.0, i * 50, true));
+        }
+        assert_eq!(tracker.tracks().len(), 1, "should coalesce into one track");
+        let track = &tracker.tracks()[0];
+        assert_eq!(track.hits, 10);
+        assert!((track.radial_velocity_mps + 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn unstable_scans_are_ignored() {
+        let mut tracker = RadarTracker::new();
+        tracker.update(&scan_with(20.0, 0.0, -3.0, 0, false));
+        assert!(tracker.tracks().is_empty());
+        tracker.update(&scan_with(20.0, 0.0, -3.0, 50, true));
+        assert_eq!(tracker.tracks().len(), 1);
+    }
+
+    #[test]
+    fn tracks_time_out() {
+        let mut tracker = RadarTracker::new();
+        tracker.update(&scan_with(20.0, 0.0, -3.0, 0, true));
+        // A scan 1 s later with no targets prunes the stale track.
+        tracker.update(&RadarScan {
+            timestamp: SimTime::from_millis(1_000),
+            targets: vec![],
+            stable: true,
+        });
+        assert!(tracker.tracks().is_empty());
+    }
+
+    #[test]
+    fn kalman_filter_beats_raw_measurements() {
+        use sov_math::SovRng;
+        let mut tracker = RadarTracker::new();
+        let mut rng = SovRng::seed_from_u64(9);
+        let true_vel = -5.0;
+        let mut raw_err_sum = 0.0;
+        let mut filt_err_sum = 0.0;
+        let n = 40u64;
+        for i in 0..n {
+            let t = i as f64 * 0.05;
+            let true_range = 50.0 + true_vel * t;
+            let noisy_range = true_range + rng.normal(0.0, 0.3);
+            let noisy_vel = true_vel + rng.normal(0.0, 0.5);
+            tracker.update(&scan_with(noisy_range, 0.0, noisy_vel, (t * 1000.0) as u64, true));
+            if i >= 10 {
+                raw_err_sum += (noisy_vel - true_vel).abs();
+                filt_err_sum += (tracker.tracks()[0].radial_velocity_mps - true_vel).abs();
+            }
+        }
+        assert!(
+            filt_err_sum < raw_err_sum * 0.8,
+            "filtered velocity error {filt_err_sum:.2} must beat raw {raw_err_sum:.2}"
+        );
+    }
+
+    #[test]
+    fn distinct_targets_get_distinct_tracks() {
+        let mut tracker = RadarTracker::new();
+        tracker.update(&RadarScan {
+            timestamp: SimTime::ZERO,
+            targets: vec![
+                RadarTarget { truth: ObstacleId(0), range_m: 10.0, azimuth_rad: 0.0, radial_velocity_mps: 0.0 },
+                RadarTarget { truth: ObstacleId(1), range_m: 30.0, azimuth_rad: 0.3, radial_velocity_mps: -2.0 },
+            ],
+            stable: true,
+        });
+        assert_eq!(tracker.tracks().len(), 2);
+    }
+
+    #[test]
+    fn spatial_sync_matches_track_to_detection() {
+        let intr = Intrinsics::hd1080();
+        let mut tracker = RadarTracker::new();
+        // Target 20 m ahead, slightly left (azimuth +0.05 rad).
+        tracker.update(&scan_with(20.0, 0.05, -5.0, 0, true));
+        // Matching detection: projected u = cx + fx·(−sin·r / cos·r).
+        let zc = 20.0 * 0.05f64.cos();
+        let u = intr.cx + intr.fx * (-(20.0 * 0.05f64.sin()) / zc);
+        let detections = vec![
+            Detection {
+                truth: Some(ObstacleId(0)),
+                class: ObstacleClass::Pedestrian,
+                pixel: (u + 3.0, 500.0),
+                radius_px: 30.0,
+                depth_m: 19.5,
+                confidence: 0.9,
+            },
+            Detection {
+                truth: Some(ObstacleId(1)),
+                class: ObstacleClass::Vehicle,
+                pixel: (u + 400.0, 500.0),
+                radius_px: 60.0,
+                depth_m: 35.0,
+                confidence: 0.9,
+            },
+        ];
+        let pairs = spatial_synchronize(&mut tracker, &detections, &intr, 50.0);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].1, 0, "must match the nearer detection");
+        assert_eq!(tracker.tracks()[0].class, Some(ObstacleClass::Pedestrian));
+    }
+
+    #[test]
+    fn spatial_sync_respects_depth_gate() {
+        let intr = Intrinsics::hd1080();
+        let mut tracker = RadarTracker::new();
+        tracker.update(&scan_with(20.0, 0.0, -5.0, 0, true));
+        // Pixel-aligned detection but at a wildly different depth.
+        let detections = vec![Detection {
+            truth: None,
+            class: ObstacleClass::Vehicle,
+            pixel: (intr.cx, 500.0),
+            radius_px: 30.0,
+            depth_m: 60.0,
+            confidence: 0.9,
+        }];
+        let pairs = spatial_synchronize(&mut tracker, &detections, &intr, 50.0);
+        assert!(pairs.is_empty(), "depth-inconsistent match must be rejected");
+    }
+}

@@ -1,0 +1,146 @@
+//! Collision checking (the "Collision Detection" block of Fig. 5).
+//!
+//! Checks a planned trajectory against predicted obstacle motion in route
+//! coordinates. Used by the planners to validate candidate plans and by the
+//! evaluation harness to score safety outcomes.
+
+use crate::prediction::predict;
+use crate::{PlanningObstacle, TrajectoryPoint};
+
+/// A detected conflict between the plan and an obstacle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Conflict {
+    /// Time of the conflict (s from now).
+    pub t_s: f64,
+    /// Index of the obstacle in the input list.
+    pub obstacle_index: usize,
+    /// Separation at the conflict (m; includes radii).
+    pub separation_m: f64,
+}
+
+/// Checks a trajectory against obstacles; returns the earliest conflict
+/// where separation falls below `ego_radius_m + obstacle.radius_m +
+/// margin_m`.
+#[must_use]
+pub fn first_conflict(
+    trajectory: &[TrajectoryPoint],
+    obstacles: &[PlanningObstacle],
+    ego_radius_m: f64,
+    margin_m: f64,
+) -> Option<Conflict> {
+    let horizon = trajectory.last().map_or(0.0, |p| p.t_s);
+    let mut best: Option<Conflict> = None;
+    for (idx, obstacle) in obstacles.iter().enumerate() {
+        // Predict at the trajectory's own time steps.
+        let dt = if trajectory.len() >= 2 {
+            (trajectory[1].t_s - trajectory[0].t_s).max(1e-6)
+        } else {
+            0.1
+        };
+        let preds = predict(obstacle, horizon, dt);
+        for point in trajectory {
+            // Nearest prediction in time.
+            let pred = preds
+                .iter()
+                .min_by(|a, b| {
+                    (a.t_s - point.t_s)
+                        .abs()
+                        .partial_cmp(&(b.t_s - point.t_s).abs())
+                        .expect("finite")
+                })
+                .expect("predict returns at least one point");
+            let ds = point.station_m - pred.station_m;
+            let dl = point.lateral_m - pred.lateral_m;
+            let separation = (ds * ds + dl * dl).sqrt();
+            let limit = ego_radius_m + obstacle.radius_m + margin_m;
+            if separation < limit && best.is_none_or(|c| point.t_s < c.t_s) {
+                best = Some(Conflict { t_s: point.t_s, obstacle_index: idx, separation_m: separation });
+            }
+        }
+    }
+    best
+}
+
+/// Whether a trajectory is collision-free.
+#[must_use]
+pub fn is_safe(
+    trajectory: &[TrajectoryPoint],
+    obstacles: &[PlanningObstacle],
+    ego_radius_m: f64,
+    margin_m: f64,
+) -> bool {
+    first_conflict(trajectory, obstacles, ego_radius_m, margin_m).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_trajectory(speed: f64, horizon_s: f64, lateral: f64) -> Vec<TrajectoryPoint> {
+        let dt = 0.1;
+        (0..=(horizon_s / dt) as usize)
+            .map(|k| {
+                let t = k as f64 * dt;
+                TrajectoryPoint { t_s: t, station_m: speed * t, lateral_m: lateral, speed_mps: speed }
+            })
+            .collect()
+    }
+
+    fn static_obstacle(station: f64, lateral: f64) -> PlanningObstacle {
+        PlanningObstacle { station_m: station, lateral_m: lateral, speed_along_mps: 0.0, radius_m: 0.5 }
+    }
+
+    #[test]
+    fn head_on_conflict_detected() {
+        let traj = straight_trajectory(5.6, 4.0, 0.0);
+        let obstacles = vec![static_obstacle(10.0, 0.0)];
+        let conflict = first_conflict(&traj, &obstacles, 0.8, 0.3).expect("must conflict");
+        // Conflict occurs roughly when station reaches 10 − (0.8+0.5+0.3).
+        let expected_t = (10.0 - 1.6) / 5.6;
+        assert!((conflict.t_s - expected_t).abs() < 0.2, "t = {}", conflict.t_s);
+        assert_eq!(conflict.obstacle_index, 0);
+    }
+
+    #[test]
+    fn lateral_clearance_is_safe() {
+        let traj = straight_trajectory(5.6, 4.0, 0.0);
+        // Obstacle in the adjacent lane (2.5 m left).
+        let obstacles = vec![static_obstacle(10.0, 2.5)];
+        assert!(is_safe(&traj, &obstacles, 0.8, 0.3));
+    }
+
+    #[test]
+    fn lane_change_avoids_conflict() {
+        let blocked = straight_trajectory(5.6, 4.0, 0.0);
+        let switched = straight_trajectory(5.6, 4.0, 2.5);
+        let obstacles = vec![static_obstacle(12.0, 0.0)];
+        assert!(!is_safe(&blocked, &obstacles, 0.8, 0.3));
+        assert!(is_safe(&switched, &obstacles, 0.8, 0.3));
+    }
+
+    #[test]
+    fn moving_obstacle_pulling_away_is_safe() {
+        let traj = straight_trajectory(5.0, 4.0, 0.0);
+        let obstacles = vec![PlanningObstacle {
+            station_m: 8.0,
+            lateral_m: 0.0,
+            speed_along_mps: 7.0,
+            radius_m: 0.5,
+        }];
+        assert!(is_safe(&traj, &obstacles, 0.8, 0.3));
+    }
+
+    #[test]
+    fn earliest_conflict_wins() {
+        let traj = straight_trajectory(5.6, 6.0, 0.0);
+        let obstacles = vec![static_obstacle(25.0, 0.0), static_obstacle(10.0, 0.0)];
+        let conflict = first_conflict(&traj, &obstacles, 0.8, 0.3).unwrap();
+        assert_eq!(conflict.obstacle_index, 1, "nearer obstacle conflicts first");
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert!(is_safe(&[], &[static_obstacle(5.0, 0.0)], 0.8, 0.3));
+        assert!(is_safe(&straight_trajectory(5.6, 2.0, 0.0), &[], 0.8, 0.3));
+    }
+}

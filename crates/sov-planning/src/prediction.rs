@@ -1,0 +1,109 @@
+//! Obstacle motion prediction (the "Action/Traffic Prediction" block of
+//! Fig. 5).
+//!
+//! At micromobility speeds and planning horizons of a few seconds, constant-
+//! velocity extrapolation in route coordinates is the paper's operative
+//! model; the prediction feeds both path planning and collision detection.
+
+use crate::PlanningObstacle;
+
+/// A predicted obstacle position at one future time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedPosition {
+    /// Time offset from now (s).
+    pub t_s: f64,
+    /// Station along the route (m).
+    pub station_m: f64,
+    /// Lateral offset (m).
+    pub lateral_m: f64,
+}
+
+/// Predicts an obstacle's route-frame positions over `horizon_s` at `dt_s`
+/// steps (constant-velocity along the route; lateral assumed constant).
+///
+/// # Panics
+///
+/// Panics (debug builds) if `dt_s` is not positive.
+#[must_use]
+pub fn predict(obstacle: &PlanningObstacle, horizon_s: f64, dt_s: f64) -> Vec<PredictedPosition> {
+    debug_assert!(dt_s > 0.0, "prediction step must be positive");
+    let steps = (horizon_s / dt_s).ceil() as usize;
+    (0..=steps)
+        .map(|k| {
+            let t = k as f64 * dt_s;
+            PredictedPosition {
+                t_s: t,
+                station_m: obstacle.station_m + obstacle.speed_along_mps * t,
+                lateral_m: obstacle.lateral_m,
+            }
+        })
+        .collect()
+}
+
+/// The soonest time (s) at which the obstacle's predicted station falls
+/// within `gap_m` of the ego vehicle's predicted station, assuming the ego
+/// travels at constant `ego_speed_mps`. `None` if never within the horizon.
+#[must_use]
+pub fn time_to_encounter_s(
+    obstacle: &PlanningObstacle,
+    ego_speed_mps: f64,
+    gap_m: f64,
+    horizon_s: f64,
+) -> Option<f64> {
+    // Relative closing speed along the route.
+    let closing = ego_speed_mps - obstacle.speed_along_mps;
+    let initial_gap = obstacle.station_m;
+    if initial_gap <= gap_m {
+        return Some(0.0);
+    }
+    if closing <= 0.0 {
+        return None; // obstacle pulling away
+    }
+    let t = (initial_gap - gap_m) / closing;
+    (t <= horizon_s).then_some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obstacle(station: f64, speed: f64) -> PlanningObstacle {
+        PlanningObstacle { station_m: station, lateral_m: 0.0, speed_along_mps: speed, radius_m: 0.5 }
+    }
+
+    #[test]
+    fn static_obstacle_prediction_is_constant() {
+        let preds = predict(&obstacle(20.0, 0.0), 2.0, 0.5);
+        assert_eq!(preds.len(), 5);
+        assert!(preds.iter().all(|p| (p.station_m - 20.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn moving_obstacle_advances() {
+        let preds = predict(&obstacle(10.0, 2.0), 3.0, 1.0);
+        assert!((preds[3].station_m - 16.0).abs() < 1e-12);
+        assert!((preds[3].t_s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encounter_with_static_obstacle() {
+        // Ego at 5.6 m/s, static obstacle 20 m ahead, 2 m gap: t = 18/5.6.
+        let t = time_to_encounter_s(&obstacle(20.0, 0.0), 5.6, 2.0, 10.0).unwrap();
+        assert!((t - 18.0 / 5.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_encounter_with_fleeing_obstacle() {
+        assert!(time_to_encounter_s(&obstacle(20.0, 8.0), 5.6, 2.0, 10.0).is_none());
+    }
+
+    #[test]
+    fn already_inside_gap() {
+        assert_eq!(time_to_encounter_s(&obstacle(1.0, 0.0), 5.6, 2.0, 10.0), Some(0.0));
+    }
+
+    #[test]
+    fn encounter_beyond_horizon_is_none() {
+        assert!(time_to_encounter_s(&obstacle(200.0, 0.0), 5.6, 2.0, 5.0).is_none());
+    }
+}

@@ -1,0 +1,293 @@
+//! Box-constrained quadratic programming.
+//!
+//! Minimizes `½ xᵀHx + gᵀx` subject to `lo ≤ x ≤ hi`, with `H` symmetric
+//! positive semi-definite. Solved by projected gradient descent with a
+//! Lipschitz step size estimated by power iteration — simple, allocation-
+//! light, and deterministic, which is what both the MPC tracker and the EM
+//! planner's speed smoother need.
+
+use std::fmt;
+
+/// A box-constrained QP instance with dynamically-sized `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpProblem {
+    n: usize,
+    /// Row-major `n × n` Hessian.
+    h: Vec<f64>,
+    /// Linear term.
+    g: Vec<f64>,
+    /// Lower bounds.
+    lo: Vec<f64>,
+    /// Upper bounds.
+    hi: Vec<f64>,
+}
+
+/// Errors constructing or solving a QP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QpError {
+    /// Dimension mismatch between H, g and bounds.
+    DimensionMismatch,
+    /// Some `lo[i] > hi[i]`.
+    InfeasibleBounds(usize),
+    /// The Hessian has a negative curvature direction (not PSD).
+    NotPsd,
+}
+
+impl fmt::Display for QpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch => write!(f, "QP dimensions do not match"),
+            Self::InfeasibleBounds(i) => write!(f, "bounds are infeasible at index {i}"),
+            Self::NotPsd => write!(f, "hessian is not positive semi-definite"),
+        }
+    }
+}
+
+impl std::error::Error for QpError {}
+
+/// Result of a QP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpSolution {
+    /// The minimizer (within the box).
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the projected-gradient fixed point was reached within
+    /// tolerance.
+    pub converged: bool,
+}
+
+impl QpProblem {
+    /// Builds a QP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QpError::DimensionMismatch`] if the array sizes disagree or
+    /// [`QpError::InfeasibleBounds`] if any `lo[i] > hi[i]`.
+    pub fn new(h: Vec<f64>, g: Vec<f64>, lo: Vec<f64>, hi: Vec<f64>) -> Result<Self, QpError> {
+        let n = g.len();
+        if h.len() != n * n || lo.len() != n || hi.len() != n {
+            return Err(QpError::DimensionMismatch);
+        }
+        for i in 0..n {
+            if lo[i] > hi[i] {
+                return Err(QpError::InfeasibleBounds(i));
+            }
+        }
+        Ok(Self { n, h, g, lo, hi })
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Objective `½ xᵀHx + gᵀx`.
+    #[must_use]
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        let hx = self.h_mul(x);
+        0.5 * dot(x, &hx) + dot(&self.g, x)
+    }
+
+    fn h_mul(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        for (i, out_i) in out.iter_mut().enumerate() {
+            let row = &self.h[i * self.n..(i + 1) * self.n];
+            *out_i = dot(row, x);
+        }
+        out
+    }
+
+    /// Largest eigenvalue estimate (power iteration). The start vector is
+    /// deliberately asymmetric so it cannot be orthogonal to the dominant
+    /// eigenvector of structured (e.g. banded) Hessians.
+    fn lipschitz(&self) -> f64 {
+        let mut v: Vec<f64> = (0..self.n)
+            .map(|i| 0.5 + ((i.wrapping_mul(2_654_435_761)) % 997) as f64 / 997.0)
+            .collect();
+        let mut lambda = 1.0;
+        for _ in 0..50 {
+            let hv = self.h_mul(&v);
+            let norm = dot(&hv, &hv).sqrt();
+            if norm < 1e-12 {
+                return 1.0;
+            }
+            lambda = norm / dot(&v, &v).sqrt().max(1e-300);
+            v = hv.iter().map(|x| x / norm).collect();
+        }
+        lambda.max(1e-9)
+    }
+
+    /// Solves by projected gradient descent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QpError::NotPsd`] if negative curvature is detected along
+    /// the iterates (the objective diverges).
+    pub fn solve(&self, max_iters: usize, tol: f64) -> Result<QpSolution, QpError> {
+        let mut step = 1.0 / (1.05 * self.lipschitz());
+        // Start at the box-projected origin.
+        let mut x: Vec<f64> = (0..self.n).map(|i| 0.0f64.clamp(self.lo[i], self.hi[i])).collect();
+        let mut prev_obj = self.objective(&x);
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut backtracks = 0u32;
+        for it in 0..max_iters {
+            iterations = it + 1;
+            let grad: Vec<f64> = self
+                .h_mul(&x)
+                .iter()
+                .zip(&self.g)
+                .map(|(hx, g)| hx + g)
+                .collect();
+            let candidate: Vec<f64> = (0..self.n)
+                .map(|i| (x[i] - step * grad[i]).clamp(self.lo[i], self.hi[i]))
+                .collect();
+            let obj = self.objective(&candidate);
+            if obj > prev_obj + 1e-9 * (1.0 + prev_obj.abs()) {
+                // Step too long (eigenvalue underestimated) — backtrack.
+                step *= 0.5;
+                backtracks += 1;
+                if backtracks > 60 {
+                    return Err(QpError::NotPsd);
+                }
+                continue;
+            }
+            let max_move = candidate
+                .iter()
+                .zip(&x)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            x = candidate;
+            prev_obj = obj;
+            if max_move < tol {
+                converged = true;
+                break;
+            }
+        }
+        Ok(QpSolution { objective: prev_obj, x, iterations, converged })
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Builds the banded Hessian and linear term for a speed-tracking problem:
+/// minimize `Σ w_v (v_k − r_k)² + w_a Σ (v_{k+1} − v_k)²` — the canonical
+/// form used by both planners' longitudinal smoothers.
+///
+/// Returns `(h, g)` for [`QpProblem::new`].
+///
+/// # Panics
+///
+/// Panics if `refs` is empty.
+#[must_use]
+pub fn speed_tracking_qp(refs: &[f64], w_v: f64, w_a: f64) -> (Vec<f64>, Vec<f64>) {
+    let n = refs.len();
+    assert!(n > 0, "speed tracking needs at least one knot");
+    let mut h = vec![0.0; n * n];
+    let mut g = vec![0.0; n];
+    for k in 0..n {
+        h[k * n + k] += 2.0 * w_v;
+        g[k] -= 2.0 * w_v * refs[k];
+        if k + 1 < n {
+            h[k * n + k] += 2.0 * w_a;
+            h[(k + 1) * n + k + 1] += 2.0 * w_a;
+            h[k * n + k + 1] -= 2.0 * w_a;
+            h[(k + 1) * n + k] -= 2.0 * w_a;
+        }
+    }
+    (h, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_quadratic_minimum() {
+        // min (x-3)²  →  H = 2, g = -6.
+        let qp = QpProblem::new(vec![2.0], vec![-6.0], vec![-10.0], vec![10.0]).unwrap();
+        let sol = qp.solve(1000, 1e-10).unwrap();
+        assert!((sol.x[0] - 3.0).abs() < 1e-6);
+        assert!(sol.converged);
+    }
+
+    #[test]
+    fn active_box_constraint() {
+        // min (x-3)² with x ≤ 1 → x* = 1.
+        let qp = QpProblem::new(vec![2.0], vec![-6.0], vec![-10.0], vec![1.0]).unwrap();
+        let sol = qp.solve(1000, 1e-10).unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_dimensional_coupled() {
+        // min x² + y² + (x−y−2)² — analytic minimum at (2/3, −2/3).
+        // H = [[4, -2], [-2, 4]], g = [-4, 4].
+        let qp = QpProblem::new(
+            vec![4.0, -2.0, -2.0, 4.0],
+            vec![-4.0, 4.0],
+            vec![-10.0, -10.0],
+            vec![10.0, 10.0],
+        )
+        .unwrap();
+        let sol = qp.solve(5000, 1e-12).unwrap();
+        assert!((sol.x[0] - 2.0 / 3.0).abs() < 1e-6, "x = {:?}", sol.x);
+        assert!((sol.x[1] + 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_bounds_rejected() {
+        let err = QpProblem::new(vec![2.0], vec![0.0], vec![1.0], vec![0.0]).unwrap_err();
+        assert_eq!(err, QpError::InfeasibleBounds(0));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let err = QpProblem::new(vec![2.0, 0.0], vec![0.0], vec![0.0], vec![1.0]).unwrap_err();
+        assert_eq!(err, QpError::DimensionMismatch);
+    }
+
+    #[test]
+    fn speed_tracking_follows_reference() {
+        let refs = vec![5.6; 20];
+        let (h, g) = speed_tracking_qp(&refs, 1.0, 0.5);
+        let qp = QpProblem::new(h, g, vec![0.0; 20], vec![8.9; 20]).unwrap();
+        let sol = qp.solve(5000, 1e-10).unwrap();
+        for v in &sol.x {
+            assert!((v - 5.6).abs() < 1e-4, "speed {v}");
+        }
+    }
+
+    #[test]
+    fn speed_tracking_smooths_step_reference() {
+        // Reference steps from 6 to 0 at knot 10; smoothing spreads it.
+        let mut refs = vec![6.0; 10];
+        refs.extend(vec![0.0; 10]);
+        let (h, g) = speed_tracking_qp(&refs, 1.0, 10.0);
+        let qp = QpProblem::new(h, g, vec![0.0; 20], vec![8.9; 20]).unwrap();
+        let sol = qp.solve(20_000, 1e-10).unwrap();
+        // Smoothness: max adjacent delta much smaller than the 6 m/s step.
+        let max_delta = sol
+            .x
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_delta < 1.5, "max delta {max_delta}");
+        // Still ends near the low reference.
+        assert!(sol.x[19] < 2.5, "end speed {}", sol.x[19]);
+    }
+
+    #[test]
+    fn objective_decreases_monotonically_by_contract() {
+        // The solver errors on divergence; a valid PSD problem solves.
+        let (h, g) = speed_tracking_qp(&[3.0, 4.0, 5.0], 1.0, 1.0);
+        let qp = QpProblem::new(h, g, vec![0.0; 3], vec![10.0; 3]).unwrap();
+        assert!(qp.solve(1000, 1e-9).is_ok());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for planning.
+
+use proptest::prelude::*;
+use sov_planning::mpc::{MpcConfig, MpcPlanner};
+use sov_planning::qp::{speed_tracking_qp, QpProblem};
+use sov_planning::{Planner, PlanningInput, PlanningObstacle};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qp_solution_stays_in_box(
+        refs in prop::collection::vec(0.0f64..9.0, 2..30),
+        w_a in 0.1f64..10.0,
+    ) {
+        let (h, g) = speed_tracking_qp(&refs, 1.0, w_a);
+        let n = refs.len();
+        let lo = vec![0.0; n];
+        let hi = vec![8.9; n];
+        let qp = QpProblem::new(h, g, lo.clone(), hi.clone()).unwrap();
+        let sol = qp.solve(2000, 1e-8).unwrap();
+        for (i, x) in sol.x.iter().enumerate() {
+            prop_assert!(*x >= lo[i] - 1e-9 && *x <= hi[i] + 1e-9);
+        }
+        // Objective at the solution is no worse than at the projected refs.
+        let clamped: Vec<f64> = refs.iter().map(|r| r.clamp(0.0, 8.9)).collect();
+        prop_assert!(sol.objective <= qp.objective(&clamped) + 1e-6);
+    }
+
+    #[test]
+    fn mpc_commands_respect_actuator_limits(
+        speed in 0.0f64..8.9,
+        station in 1.0f64..60.0,
+        obstacle_speed in 0.0f64..8.0,
+    ) {
+        let mut planner = MpcPlanner::new(MpcConfig::default());
+        let input = PlanningInput::cruising(speed, 5.6).with_obstacle(PlanningObstacle {
+            station_m: station,
+            lateral_m: 0.0,
+            speed_along_mps: obstacle_speed,
+            radius_m: 0.5,
+        });
+        let plan = planner.plan(&input);
+        prop_assert!(plan.command.throttle_mps2 >= 0.0);
+        prop_assert!(plan.command.throttle_mps2 <= 2.0 + 1e-9);
+        prop_assert!(plan.command.brake_mps2 >= 0.0);
+        prop_assert!(plan.command.brake_mps2 <= 4.0 + 1e-9);
+        prop_assert!(plan.command.yaw_rate_rps.abs() <= 0.6 + 1e-9);
+    }
+
+    #[test]
+    fn mpc_trajectory_speeds_within_physics(
+        speed in 0.0f64..8.9,
+        lateral in -1.0f64..1.0,
+    ) {
+        let mut planner = MpcPlanner::new(MpcConfig::default());
+        let input = PlanningInput {
+            lateral_offset_m: lateral,
+            ..PlanningInput::cruising(speed, 5.6)
+        };
+        let plan = planner.plan(&input);
+        for (k, point) in plan.trajectory.iter().enumerate() {
+            let t = point.t_s;
+            prop_assert!(point.speed_mps >= -1e-9, "negative speed at {k}");
+            prop_assert!(
+                point.speed_mps <= speed + 2.0 * t + 1e-6,
+                "speed {} unreachable at t={t}",
+                point.speed_mps
+            );
+        }
+        // Stations are non-decreasing.
+        for w in plan.trajectory.windows(2) {
+            prop_assert!(w[1].station_m >= w[0].station_m - 1e-9);
+        }
+    }
+
+    #[test]
+    fn closer_obstacles_never_increase_planned_speed(
+        speed in 2.0f64..8.0,
+    ) {
+        let mut planner = MpcPlanner::new(MpcConfig::default());
+        let mut prev_end_speed = f64::INFINITY;
+        for station in [40.0, 25.0, 15.0, 9.0] {
+            let input = PlanningInput::cruising(speed, 5.6).with_obstacle(PlanningObstacle {
+                station_m: station,
+                lateral_m: 0.0,
+                speed_along_mps: 0.0,
+                radius_m: 0.5,
+            });
+            let plan = planner.plan(&input);
+            let end_speed = plan.trajectory.last().unwrap().speed_mps;
+            prop_assert!(
+                end_speed <= prev_end_speed + 0.3,
+                "end speed {end_speed} grew as obstacle closed to {station} m"
+            );
+            prev_end_speed = end_speed;
+        }
+    }
+}

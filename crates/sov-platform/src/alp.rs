@@ -1,0 +1,341 @@
+//! Accelerator-level parallelism (ALP) exploration (Sec. VII).
+//!
+//! "Meaningful gains at the system level are possible only if we expand
+//! beyond optimizing individual accelerators to exploiting the interactions
+//! across accelerators, a.k.a. accelerator-level parallelism. ... ALP in
+//! autonomous vehicles usually exists across multiple chips. ... Soon
+//! on-vehicle processing tasks might be offloaded to edge servers or even
+//! the cloud."
+//!
+//! This module models the Fig. 5 task graph as a DAG, schedules it onto an
+//! arbitrary assignment of tasks → execution sites (the four on-vehicle
+//! platforms plus an **edge server** reachable over a network hop), and
+//! computes the resulting end-to-end latency and energy. A brute-force
+//! sweep over assignments yields the Pareto frontier the paper's "holistic
+//! SoV optimization" argument is about.
+
+use crate::processor::{Platform, Task};
+use std::collections::BTreeMap;
+
+/// An execution site: an on-vehicle platform or the edge server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Site {
+    /// One of the on-vehicle platforms.
+    OnVehicle(Platform),
+    /// An edge server across a network hop: faster than the on-vehicle GPU
+    /// but every input/output crossing the vehicle boundary pays `rtt_ms`.
+    Edge,
+}
+
+impl Site {
+    /// Candidate sites for the DSE sweep.
+    #[must_use]
+    pub fn candidates() -> Vec<Site> {
+        let mut v: Vec<Site> = Platform::ALL.iter().map(|&p| Site::OnVehicle(p)).collect();
+        v.push(Site::Edge);
+        v
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Site::OnVehicle(p) => p.name(),
+            Site::Edge => "EDGE",
+        }
+    }
+}
+
+/// Edge-server characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeConfig {
+    /// One-way network latency per boundary crossing (ms).
+    pub rtt_ms: f64,
+    /// Speedup of the edge server relative to the on-vehicle GPU.
+    pub speedup_vs_gpu: f64,
+    /// Power attributed to the vehicle for using the edge (radio), W.
+    pub radio_power_w: f64,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        Self { rtt_ms: 15.0, speedup_vs_gpu: 2.0, radio_power_w: 4.0 }
+    }
+}
+
+/// A node of the Fig. 5 perception/planning DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DagNode {
+    /// Sensor capture + transfer (fixed on the FPGA sensor hub).
+    Sensing,
+    /// Stereo depth estimation.
+    Depth,
+    /// DNN object detection.
+    Detection,
+    /// Object tracking (after detection).
+    Tracking,
+    /// VIO localization.
+    Localization,
+    /// MPC planning (after everything).
+    Planning,
+}
+
+impl DagNode {
+    /// All nodes in topological order.
+    pub const TOPO: [DagNode; 6] = [
+        DagNode::Sensing,
+        DagNode::Depth,
+        DagNode::Detection,
+        DagNode::Tracking,
+        DagNode::Localization,
+        DagNode::Planning,
+    ];
+
+    /// The movable compute nodes (sensing stays on the sensor hub).
+    pub const MOVABLE: [DagNode; 5] = [
+        DagNode::Depth,
+        DagNode::Detection,
+        DagNode::Tracking,
+        DagNode::Localization,
+        DagNode::Planning,
+    ];
+
+    /// Immediate predecessors (Fig. 5 dataflow).
+    #[must_use]
+    pub fn predecessors(&self) -> &'static [DagNode] {
+        match self {
+            DagNode::Sensing => &[],
+            DagNode::Depth | DagNode::Detection | DagNode::Localization => &[DagNode::Sensing],
+            DagNode::Tracking => &[DagNode::Detection],
+            DagNode::Planning => &[
+                DagNode::Depth,
+                DagNode::Tracking,
+                DagNode::Localization,
+            ],
+        }
+    }
+
+    fn task(&self) -> Option<Task> {
+        match self {
+            DagNode::Sensing => None,
+            DagNode::Depth => Some(Task::DepthEstimation),
+            DagNode::Detection => Some(Task::ObjectDetection),
+            DagNode::Tracking => Some(Task::SpatialSync),
+            DagNode::Localization => Some(Task::LocalizationKeyframe),
+            DagNode::Planning => Some(Task::MpcPlanning),
+        }
+    }
+}
+
+/// A complete assignment of movable nodes to sites.
+pub type Assignment = BTreeMap<DagNode, Site>;
+
+/// Result of scheduling one assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// The assignment evaluated.
+    pub assignment: Assignment,
+    /// Completion time of each node (ms from frame start).
+    pub finish_ms: BTreeMap<DagNode, f64>,
+    /// End-to-end latency (ms): planning's completion.
+    pub latency_ms: f64,
+    /// Energy per frame (J), including radio energy for edge crossings.
+    pub energy_j: f64,
+}
+
+/// Mean sensing latency charged before the compute DAG (ms).
+pub const SENSING_MS: f64 = 83.0;
+
+/// Mean execution time of `node` at `site` (ms).
+fn exec_ms(node: DagNode, site: Site, edge: &EdgeConfig) -> f64 {
+    let Some(task) = node.task() else {
+        return 0.0;
+    };
+    match site {
+        Site::OnVehicle(p) => task.profile(p).mean_latency_ms(),
+        Site::Edge => {
+            task.profile(Platform::Gtx1060Gpu).mean_latency_ms() / edge.speedup_vs_gpu
+        }
+    }
+}
+
+/// Energy of `node` at `site` (J), charged to the vehicle.
+fn exec_energy_j(node: DagNode, site: Site, edge: &EdgeConfig, runtime_ms: f64) -> f64 {
+    match site {
+        Site::OnVehicle(p) => {
+            let _ = node;
+            p.active_power_w() * runtime_ms / 1000.0
+        }
+        // The vehicle pays only the radio, not the edge server's compute.
+        Site::Edge => edge.radio_power_w * runtime_ms / 1000.0,
+    }
+}
+
+/// Schedules the DAG under an assignment: list scheduling in topological
+/// order, serializing nodes that share a site, and charging `rtt_ms` for
+/// every edge whose endpoints sit on different machines (vehicle ↔ edge).
+#[must_use]
+pub fn schedule(assignment: &Assignment, edge: &EdgeConfig) -> Schedule {
+    let mut finish: BTreeMap<DagNode, f64> = BTreeMap::new();
+    let mut site_free: BTreeMap<Site, f64> = BTreeMap::new();
+    let mut energy = 0.0;
+    for node in DagNode::TOPO {
+        let site = if node == DagNode::Sensing {
+            Site::OnVehicle(Platform::ZynqFpga)
+        } else {
+            *assignment.get(&node).expect("assignment covers all movable nodes")
+        };
+        // Ready when all predecessors have finished (+ network hop if the
+        // data crosses the vehicle/edge boundary).
+        let mut ready = 0.0f64;
+        for &pred in node.predecessors() {
+            let pred_site = if pred == DagNode::Sensing {
+                Site::OnVehicle(Platform::ZynqFpga)
+            } else {
+                assignment[&pred]
+            };
+            let crossing = matches!(pred_site, Site::Edge) != matches!(site, Site::Edge);
+            let hop = if crossing { edge.rtt_ms } else { 0.0 };
+            ready = ready.max(finish[&pred] + hop);
+        }
+        let free = site_free.get(&site).copied().unwrap_or(0.0);
+        let start = ready.max(free);
+        let runtime = if node == DagNode::Sensing {
+            SENSING_MS
+        } else {
+            exec_ms(node, site, edge)
+        };
+        let end = start + runtime;
+        energy += exec_energy_j(node, site, edge, runtime);
+        site_free.insert(site, end);
+        finish.insert(node, end);
+    }
+    let latency_ms = finish[&DagNode::Planning];
+    Schedule { assignment: assignment.clone(), finish_ms: finish, latency_ms, energy_j: energy }
+}
+
+/// The paper's deployed assignment: scene understanding on the GPU,
+/// localization on the FPGA, planning on the CPU.
+#[must_use]
+pub fn deployed_assignment() -> Assignment {
+    BTreeMap::from([
+        (DagNode::Depth, Site::OnVehicle(Platform::Gtx1060Gpu)),
+        (DagNode::Detection, Site::OnVehicle(Platform::Gtx1060Gpu)),
+        (DagNode::Tracking, Site::OnVehicle(Platform::CoffeeLakeCpu)),
+        (DagNode::Localization, Site::OnVehicle(Platform::ZynqFpga)),
+        (DagNode::Planning, Site::OnVehicle(Platform::CoffeeLakeCpu)),
+    ])
+}
+
+/// Exhaustively sweeps all assignments (5 sites ^ 5 nodes = 3125) and
+/// returns the latency/energy Pareto frontier, sorted by latency.
+#[must_use]
+pub fn pareto_frontier(edge: &EdgeConfig) -> Vec<Schedule> {
+    let sites = Site::candidates();
+    let mut all = Vec::with_capacity(sites.len().pow(5));
+    let n = sites.len();
+    for code in 0..n.pow(5) {
+        let mut c = code;
+        let mut assignment = Assignment::new();
+        for &node in &DagNode::MOVABLE {
+            assignment.insert(node, sites[c % n]);
+            c /= n;
+        }
+        all.push(schedule(&assignment, edge));
+    }
+    // Pareto filter: keep schedules not dominated in (latency, energy).
+    let mut frontier: Vec<Schedule> = Vec::new();
+    all.sort_by(|a, b| {
+        a.latency_ms
+            .partial_cmp(&b.latency_ms)
+            .expect("finite")
+            .then(a.energy_j.partial_cmp(&b.energy_j).expect("finite"))
+    });
+    let mut best_energy = f64::INFINITY;
+    for s in all {
+        if s.energy_j < best_energy - 1e-12 {
+            best_energy = s.energy_j;
+            frontier.push(s);
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployed_assignment_matches_characterization() {
+        let s = schedule(&deployed_assignment(), &EdgeConfig::default());
+        // Sensing 83 + SU (26+48) + tracking + planning ≈ 164 ms.
+        assert!((150.0..180.0).contains(&s.latency_ms), "latency {}", s.latency_ms);
+        // Localization on the FPGA overlaps scene understanding entirely.
+        assert!(s.finish_ms[&DagNode::Localization] < s.finish_ms[&DagNode::Tracking]);
+    }
+
+    #[test]
+    fn shared_site_serializes() {
+        let mut all_gpu = deployed_assignment();
+        for node in DagNode::MOVABLE {
+            all_gpu.insert(node, Site::OnVehicle(Platform::Gtx1060Gpu));
+        }
+        let serial = schedule(&all_gpu, &EdgeConfig::default());
+        let parallel = schedule(&deployed_assignment(), &EdgeConfig::default());
+        assert!(serial.latency_ms > parallel.latency_ms, "sharing one engine must cost latency");
+    }
+
+    #[test]
+    fn edge_offload_pays_network_hops() {
+        let mut offload = deployed_assignment();
+        offload.insert(DagNode::Detection, Site::Edge);
+        let cfg = EdgeConfig { rtt_ms: 15.0, speedup_vs_gpu: 2.0, radio_power_w: 4.0 };
+        let s = schedule(&offload, &cfg);
+        // Detection: 15 ms up + 24 ms compute, then 15 ms back to tracking.
+        let detection_finish = s.finish_ms[&DagNode::Detection] - SENSING_MS;
+        assert!((detection_finish - 39.0).abs() < 1.0, "detection at {detection_finish}");
+        let tracking_start_gap =
+            s.finish_ms[&DagNode::Tracking] - s.finish_ms[&DagNode::Detection];
+        assert!(tracking_start_gap >= 15.0, "return hop must be paid");
+    }
+
+    #[test]
+    fn fast_network_makes_edge_attractive_slow_network_does_not() {
+        let mut offload = deployed_assignment();
+        offload.insert(DagNode::Detection, Site::Edge);
+        offload.insert(DagNode::Depth, Site::Edge);
+        let fast = schedule(&offload, &EdgeConfig { rtt_ms: 2.0, ..EdgeConfig::default() });
+        let slow = schedule(&offload, &EdgeConfig { rtt_ms: 60.0, ..EdgeConfig::default() });
+        let local = schedule(&deployed_assignment(), &EdgeConfig::default());
+        assert!(fast.latency_ms < local.latency_ms, "fast edge should win: {} vs {}", fast.latency_ms, local.latency_ms);
+        assert!(slow.latency_ms > local.latency_ms, "slow edge should lose");
+    }
+
+    #[test]
+    fn pareto_frontier_is_sorted_and_nondominated() {
+        let frontier = pareto_frontier(&EdgeConfig::default());
+        assert!(frontier.len() >= 3, "expect a real frontier, got {}", frontier.len());
+        for w in frontier.windows(2) {
+            assert!(w[0].latency_ms <= w[1].latency_ms);
+            assert!(w[0].energy_j > w[1].energy_j, "energy must strictly improve along the frontier");
+        }
+    }
+
+    #[test]
+    fn deployed_design_is_near_the_frontier() {
+        let frontier = pareto_frontier(&EdgeConfig::default());
+        let deployed = schedule(&deployed_assignment(), &EdgeConfig::default());
+        // The paper's design should be within 15% latency of the best
+        // equal-or-cheaper frontier point.
+        let best_latency = frontier
+            .iter()
+            .map(|s| s.latency_ms)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            deployed.latency_ms < best_latency * 1.5,
+            "deployed {} vs frontier best {}",
+            deployed.latency_ms,
+            best_latency
+        );
+    }
+}

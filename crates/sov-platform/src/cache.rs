@@ -1,0 +1,229 @@
+//! Set-associative LRU cache simulator.
+//!
+//! Fig. 4b measures the off-chip memory traffic of four point-cloud
+//! algorithms on a CPU with a 9 MB LLC, normalized to the optimal case
+//! where all reuse is captured on-chip. This module provides the LLC model;
+//! `sov-lidar` instruments its algorithms to emit address streams through
+//! it.
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; 0 when no accesses.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.misses as f64 / self.accesses as f64
+    }
+}
+
+/// A set-associative LRU cache.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    line_bytes: u64,
+    num_sets: u64,
+    ways: usize,
+    /// `sets[set][way] = (tag, lru_stamp)`; empty ways hold `None`.
+    sets: Vec<Vec<Option<(u64, u64)>>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Creates a cache of `size_bytes` with the given line size and
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, size not divisible
+    /// into sets).
+    #[must_use]
+    pub fn new(size_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        assert!(line_bytes > 0 && ways > 0, "degenerate cache geometry");
+        let num_lines = size_bytes / line_bytes;
+        assert!(num_lines >= ways as u64, "cache smaller than one set");
+        let num_sets = num_lines / ways as u64;
+        assert!(num_sets > 0, "cache needs at least one set");
+        Self {
+            line_bytes,
+            num_sets,
+            ways,
+            sets: vec![vec![None; ways]; num_sets as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The 9 MB, 16-way, 64 B-line LLC of the paper's Coffee Lake CPU.
+    #[must_use]
+    pub fn coffee_lake_llc() -> Self {
+        Self::new(9 * 1024 * 1024, 64, 16)
+    }
+
+    /// Line size (bytes).
+    #[must_use]
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Associativity (ways per set).
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Accesses one byte address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line = addr / self.line_bytes;
+        let set_idx = (line % self.num_sets) as usize;
+        let tag = line / self.num_sets;
+        let set = &mut self.sets[set_idx];
+        // Hit?
+        for way in set.iter_mut() {
+            if let Some((t, stamp)) = way {
+                if *t == tag {
+                    *stamp = self.clock;
+                    self.stats.hits += 1;
+                    return true;
+                }
+            }
+        }
+        // Miss: fill an empty way or evict LRU.
+        self.stats.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.map_or(0, |(_, stamp)| stamp))
+            .expect("ways > 0");
+        *victim = Some((tag, self.clock));
+        false
+    }
+
+    /// Accesses a byte range (e.g. one point record), touching every line
+    /// it spans.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) {
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes.max(1) - 1) / self.line_bytes;
+        for line in first..=last {
+            self.access(line * self.line_bytes);
+        }
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Off-chip traffic so far (bytes = misses × line size).
+    #[must_use]
+    pub fn offchip_traffic_bytes(&self) -> u64 {
+        self.stats.misses * self.line_bytes
+    }
+
+    /// Resets statistics (keeps contents — useful for warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(32)); // same line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2 sets × 2 ways × 64 B = 256 B cache. Lines 0, 2, 4 map to set 0.
+        let line = |i: u64| i * 64;
+        let mut c = CacheSim::new(256, 64, 2);
+        c.access(line(0));
+        c.access(line(2));
+        c.access(line(0)); // refresh line 0
+        c.access(line(4)); // evicts line 2 (LRU)
+        assert!(c.access(line(0)), "line 0 must still be resident");
+        assert!(!c.access(line(2)), "line 2 was evicted");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = CacheSim::new(4096, 64, 4);
+        // Stream 4× the cache size twice: second pass still misses (LRU
+        // streaming pattern).
+        for pass in 0..2 {
+            for addr in (0..16384u64).step_by(64) {
+                c.access(addr);
+            }
+            if pass == 0 {
+                assert_eq!(c.stats().miss_ratio(), 1.0);
+            }
+        }
+        assert!(c.stats().miss_ratio() > 0.99, "streaming must thrash LRU");
+    }
+
+    #[test]
+    fn working_set_within_cache_hits_on_reuse() {
+        let mut c = CacheSim::new(8192, 64, 4);
+        for _ in 0..10 {
+            for addr in (0..4096u64).step_by(64) {
+                c.access(addr);
+            }
+        }
+        // First pass misses (64 lines), the rest hit.
+        assert_eq!(c.stats().misses, 64);
+        assert_eq!(c.stats().hits, 64 * 9);
+    }
+
+    #[test]
+    fn access_range_touches_spanning_lines() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        c.access_range(60, 8); // spans lines 0 and 1
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.offchip_traffic_bytes(), 128);
+    }
+
+    #[test]
+    fn coffee_lake_llc_geometry() {
+        let c = CacheSim::coffee_lake_llc();
+        assert_eq!(c.line_bytes(), 64);
+        // 9 MB / 64 B / 16 ways = 9216 sets.
+        assert_eq!(c.num_sets, 9216);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_line_size_panics() {
+        let _ = CacheSim::new(1024, 0, 2);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        c.access(0);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0), "contents survive a stats reset");
+    }
+}

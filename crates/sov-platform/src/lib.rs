@@ -1,0 +1,53 @@
+//! Hardware platform models for the SoV (Sec. V).
+//!
+//! The paper's computing platform is a heterogeneous pairing: a Xilinx Zynq
+//! UltraScale+ FPGA (sensing + localization acceleration + synchronization)
+//! and an on-vehicle PC with an Intel Coffee Lake CPU and an Nvidia GTX 1060
+//! GPU (scene understanding + planning). The design-space exploration of
+//! Sec. V-A also measures an Nvidia TX2 as the representative mobile SoC.
+//!
+//! Since we have none of that hardware, this crate models it:
+//!
+//! * [`processor`] — per-task execution profiles (latency distributions and
+//!   power) for the four platforms, calibrated to the paper's Fig. 6 and
+//!   Sec. V-C measurements.
+//! * [`mapping`] — algorithm→hardware mapping strategies with a GPU
+//!   contention model, reproducing Fig. 8 (offloading localization to the
+//!   FPGA speeds perception 1.6×).
+//! * [`rpr`] — the runtime-partial-reconfiguration engine of Fig. 9: a
+//!   decoupled Tx/FIFO/Rx/ICAP transfer pipeline reaching ≥350 MB/s versus
+//!   the 300 KB/s CPU-driven baseline.
+//! * [`cache`] — a set-associative LRU last-level-cache simulator used by
+//!   the LiDAR memory-traffic study (Fig. 4b).
+//! * [`power`] — platform power constants and SoV power aggregation.
+//! * [`timeshare`] — the spatial-vs-temporal FPGA sharing economics of
+//!   Sec. V-B3/Sec. VII (RPR for infrequent tasks like hourly log
+//!   compression).
+//! * [`alp`] — accelerator-level-parallelism exploration (Sec. VII): the
+//!   Fig. 5 DAG scheduled across platforms and an edge server, with a
+//!   latency/energy Pareto sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use sov_platform::processor::{Platform, Task};
+//!
+//! let fpga = Task::LocalizationKeyframe.profile(Platform::ZynqFpga);
+//! let gpu = Task::LocalizationKeyframe.profile(Platform::Gtx1060Gpu);
+//! // Localization is the one task where the embedded FPGA beats the GPU.
+//! assert!(fpga.mean_latency_ms() < gpu.mean_latency_ms());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod alp;
+pub mod cache;
+pub mod mapping;
+pub mod power;
+pub mod processor;
+pub mod rpr;
+pub mod timeshare;
+
+pub use cache::CacheSim;
+pub use processor::{ExecutionProfile, Platform, Task};
+pub use rpr::RprEngine;

@@ -1,0 +1,430 @@
+//! Pinhole and stereo camera models.
+//!
+//! The vehicle carries two stereo pairs (front and back, Sec. V-B1). The
+//! camera model projects world landmarks ([`sov_world::landmark`]) and
+//! obstacles into pixel observations; stereo geometry recovers depth via
+//! disparity (`z = f·B/d`, Sec. III-D / Table III).
+//!
+//! The convention is the standard computer-vision camera frame: `z` forward,
+//! `x` right, `y` down. The camera is mounted looking along the vehicle's
+//! heading.
+
+use sov_math::{Pose2, SovRng};
+use sov_sim::time::SimTime;
+use sov_world::landmark::{LandmarkField, LandmarkId};
+use sov_world::obstacle::ObstacleId;
+use sov_world::scenario::World;
+use std::fmt;
+
+/// Camera intrinsic parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Intrinsics {
+    /// Focal length in pixels (x).
+    pub fx: f64,
+    /// Focal length in pixels (y).
+    pub fy: f64,
+    /// Principal point x (pixels).
+    pub cx: f64,
+    /// Principal point y (pixels).
+    pub cy: f64,
+    /// Image width (pixels).
+    pub width: u32,
+    /// Image height (pixels).
+    pub height: u32,
+}
+
+impl Intrinsics {
+    /// A 1080p sensor with ~60° horizontal field of view, similar to the
+    /// automotive global-shutter cameras in the paper's vision module.
+    #[must_use]
+    pub fn hd1080() -> Self {
+        Self { fx: 1662.0, fy: 1662.0, cx: 960.0, cy: 540.0, width: 1920, height: 1080 }
+    }
+
+    /// Horizontal field of view in radians.
+    #[must_use]
+    pub fn horizontal_fov(&self) -> f64 {
+        2.0 * (f64::from(self.width) / (2.0 * self.fx)).atan()
+    }
+}
+
+/// One projected landmark feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureObservation {
+    /// Which landmark produced this feature.
+    pub landmark: LandmarkId,
+    /// Pixel coordinates `(u, v)`.
+    pub pixel: (f64, f64),
+    /// Ground-truth depth along the optical axis (m). Available to
+    /// evaluation code only; perception must not use it.
+    pub true_depth: f64,
+}
+
+/// One projected obstacle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectObservation {
+    /// Which obstacle produced this observation.
+    pub obstacle: ObstacleId,
+    /// Pixel coordinates of the obstacle center `(u, v)`.
+    pub pixel: (f64, f64),
+    /// Apparent radius in pixels.
+    pub apparent_radius_px: f64,
+    /// Ground-truth depth along the optical axis (m).
+    pub true_depth: f64,
+}
+
+/// A captured frame: features plus visible objects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CameraFrame {
+    /// Capture (trigger) time.
+    pub capture_time: SimTime,
+    /// Landmark features in view.
+    pub features: Vec<FeatureObservation>,
+    /// Obstacles in view.
+    pub objects: Vec<ObjectObservation>,
+}
+
+impl CameraFrame {
+    /// Looks up a feature by landmark id.
+    #[must_use]
+    pub fn feature(&self, id: LandmarkId) -> Option<&FeatureObservation> {
+        self.features.iter().find(|f| f.landmark == id)
+    }
+}
+
+/// Error constructing a camera.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidCameraError(&'static str);
+
+impl fmt::Display for InvalidCameraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid camera: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidCameraError {}
+
+/// A single pinhole camera rigidly mounted on the vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    intrinsics: Intrinsics,
+    /// Lateral mounting offset from the vehicle centerline (m, +left).
+    lateral_offset_m: f64,
+    /// Mounting height above ground (m).
+    height_m: f64,
+    /// Maximum sensing range (m).
+    max_range_m: f64,
+    /// Pixel measurement noise σ.
+    pixel_noise: f64,
+}
+
+impl Camera {
+    /// Creates a camera.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCameraError`] if range or noise are not positive /
+    /// non-negative respectively.
+    pub fn new(
+        intrinsics: Intrinsics,
+        lateral_offset_m: f64,
+        height_m: f64,
+        max_range_m: f64,
+        pixel_noise: f64,
+    ) -> Result<Self, InvalidCameraError> {
+        if max_range_m <= 0.0 {
+            return Err(InvalidCameraError("max range must be positive"));
+        }
+        if pixel_noise < 0.0 {
+            return Err(InvalidCameraError("pixel noise must be non-negative"));
+        }
+        Ok(Self { intrinsics, lateral_offset_m, height_m, max_range_m, pixel_noise })
+    }
+
+    /// Camera intrinsics.
+    #[must_use]
+    pub fn intrinsics(&self) -> &Intrinsics {
+        &self.intrinsics
+    }
+
+    /// Projects a world-frame 3-D point given the vehicle pose. Returns the
+    /// pixel and depth, or `None` if behind the camera, out of range, or
+    /// outside the image.
+    #[must_use]
+    pub fn project(
+        &self,
+        vehicle: &Pose2,
+        wx: f64,
+        wy: f64,
+        wz: f64,
+    ) -> Option<((f64, f64), f64)> {
+        // Vehicle frame: x forward, y left.
+        let (vx, vy) = vehicle.inverse_transform_point(wx, wy);
+        // Camera frame: z forward, x right, y down; camera displaced
+        // laterally by `lateral_offset_m` (+left) and raised by height.
+        let zc = vx;
+        let xc = -(vy - self.lateral_offset_m);
+        let yc = self.height_m - wz;
+        if zc <= 0.1 || zc > self.max_range_m {
+            return None;
+        }
+        let u = self.intrinsics.cx + self.intrinsics.fx * (xc / zc);
+        let v = self.intrinsics.cy + self.intrinsics.fy * (yc / zc);
+        if u < 0.0
+            || u >= f64::from(self.intrinsics.width)
+            || v < 0.0
+            || v >= f64::from(self.intrinsics.height)
+        {
+            return None;
+        }
+        Some(((u, v), zc))
+    }
+
+    /// Captures a frame at time `t` with the vehicle at `vehicle`.
+    ///
+    /// Landmarks and active obstacles in the field of view are projected
+    /// with Gaussian pixel noise.
+    pub fn capture(
+        &self,
+        vehicle: &Pose2,
+        world: &World,
+        landmarks: &LandmarkField,
+        t: SimTime,
+        rng: &mut SovRng,
+    ) -> CameraFrame {
+        let mut features = Vec::new();
+        for lm in landmarks.within_radius(vehicle.x, vehicle.y, self.max_range_m) {
+            if let Some(((u, v), depth)) =
+                self.project(vehicle, lm.position[0], lm.position[1], lm.position[2])
+            {
+                features.push(FeatureObservation {
+                    landmark: lm.id,
+                    pixel: (
+                        u + rng.normal(0.0, self.pixel_noise),
+                        v + rng.normal(0.0, self.pixel_noise),
+                    ),
+                    true_depth: depth,
+                });
+            }
+        }
+        let mut objects = Vec::new();
+        for (obstacle, pose) in world.active_obstacles(t) {
+            if let Some(((u, v), depth)) = self.project(vehicle, pose.x, pose.y, 0.8) {
+                objects.push(ObjectObservation {
+                    obstacle: obstacle.id,
+                    pixel: (
+                        u + rng.normal(0.0, self.pixel_noise),
+                        v + rng.normal(0.0, self.pixel_noise),
+                    ),
+                    apparent_radius_px: self.intrinsics.fx * obstacle.radius_m() / depth,
+                    true_depth: depth,
+                });
+            }
+        }
+        CameraFrame { capture_time: t, features, objects }
+    }
+}
+
+/// A stereo pair: two cameras separated by a horizontal baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StereoRig {
+    left: Camera,
+    right: Camera,
+    baseline_m: f64,
+}
+
+impl StereoRig {
+    /// Creates a stereo rig with the given baseline (m); the cameras sit at
+    /// `±baseline/2` around the vehicle centerline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCameraError`] if the baseline is not positive or the
+    /// camera parameters are invalid.
+    pub fn new(
+        intrinsics: Intrinsics,
+        baseline_m: f64,
+        height_m: f64,
+        max_range_m: f64,
+        pixel_noise: f64,
+    ) -> Result<Self, InvalidCameraError> {
+        if baseline_m <= 0.0 {
+            return Err(InvalidCameraError("baseline must be positive"));
+        }
+        Ok(Self {
+            left: Camera::new(intrinsics, baseline_m / 2.0, height_m, max_range_m, pixel_noise)?,
+            right: Camera::new(
+                intrinsics,
+                -baseline_m / 2.0,
+                height_m,
+                max_range_m,
+                pixel_noise,
+            )?,
+            baseline_m,
+        })
+    }
+
+    /// The rig used on the paper's vehicle: 1080p cameras, 12 cm baseline.
+    #[must_use]
+    pub fn perceptin_default() -> Self {
+        Self::new(Intrinsics::hd1080(), 0.12, 1.2, 60.0, 0.5).expect("valid constants")
+    }
+
+    /// The left camera.
+    #[must_use]
+    pub fn left(&self) -> &Camera {
+        &self.left
+    }
+
+    /// The right camera.
+    #[must_use]
+    pub fn right(&self) -> &Camera {
+        &self.right
+    }
+
+    /// Stereo baseline (m).
+    #[must_use]
+    pub fn baseline_m(&self) -> f64 {
+        self.baseline_m
+    }
+
+    /// Captures a synchronized pair (both cameras triggered at `t` with the
+    /// vehicle at `vehicle`).
+    pub fn capture_pair(
+        &self,
+        vehicle: &Pose2,
+        world: &World,
+        t: SimTime,
+        rng: &mut SovRng,
+    ) -> (CameraFrame, CameraFrame) {
+        (
+            self.left.capture(vehicle, world, &world.landmarks, t, rng),
+            self.right.capture(vehicle, world, &world.landmarks, t, rng),
+        )
+    }
+
+    /// Captures an *unsynchronized* pair: the right camera fires when the
+    /// vehicle has moved to `vehicle_late` (the pose at `t + Δ`). This is
+    /// the failure mode of Fig. 11a.
+    pub fn capture_pair_unsynced(
+        &self,
+        vehicle_at_left: &Pose2,
+        vehicle_at_right: &Pose2,
+        world: &World,
+        t_left: SimTime,
+        t_right: SimTime,
+        rng: &mut SovRng,
+    ) -> (CameraFrame, CameraFrame) {
+        (
+            self.left
+                .capture(vehicle_at_left, world, &world.landmarks, t_left, rng),
+            self.right
+                .capture(vehicle_at_right, world, &world.landmarks, t_right, rng),
+        )
+    }
+
+    /// Depth from disparity: `z = f·B/d`.
+    ///
+    /// Returns `None` for non-positive disparity.
+    #[must_use]
+    pub fn depth_from_disparity(&self, disparity_px: f64) -> Option<f64> {
+        if disparity_px <= 0.0 {
+            return None;
+        }
+        Some(self.left.intrinsics().fx * self.baseline_m / disparity_px)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_world::scenario::Scenario;
+
+    fn world() -> World {
+        Scenario::fishers_indiana(1).world
+    }
+
+    #[test]
+    fn projection_centered_point() {
+        let cam = Camera::new(Intrinsics::hd1080(), 0.0, 1.2, 60.0, 0.0).unwrap();
+        let vehicle = Pose2::identity();
+        // A point 10 m straight ahead at camera height projects to the
+        // principal point.
+        let ((u, v), depth) = cam.project(&vehicle, 10.0, 0.0, 1.2).unwrap();
+        assert!((u - 960.0).abs() < 1e-9);
+        assert!((v - 540.0).abs() < 1e-9);
+        assert!((depth - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_rejects_out_of_view() {
+        let cam = Camera::new(Intrinsics::hd1080(), 0.0, 1.2, 60.0, 0.0).unwrap();
+        let vehicle = Pose2::identity();
+        assert!(cam.project(&vehicle, -5.0, 0.0, 1.0).is_none(), "behind");
+        assert!(cam.project(&vehicle, 100.0, 0.0, 1.0).is_none(), "too far");
+        assert!(cam.project(&vehicle, 5.0, 50.0, 1.0).is_none(), "outside fov");
+    }
+
+    #[test]
+    fn stereo_disparity_recovers_depth() {
+        let rig = StereoRig::new(Intrinsics::hd1080(), 0.12, 1.2, 60.0, 0.0).unwrap();
+        let vehicle = Pose2::identity();
+        let (pt_x, pt_y, pt_z) = (15.0, 1.0, 2.0);
+        let ((ul, _), zl) = rig.left().project(&vehicle, pt_x, pt_y, pt_z).unwrap();
+        let ((ur, _), _) = rig.right().project(&vehicle, pt_x, pt_y, pt_z).unwrap();
+        let disparity = ul - ur; // point appears further right in the left image
+        let depth = rig.depth_from_disparity(disparity).unwrap();
+        assert!((depth - zl).abs() < 1e-6, "depth {depth} vs true {zl}");
+    }
+
+    #[test]
+    fn depth_from_nonpositive_disparity_is_none() {
+        let rig = StereoRig::perceptin_default();
+        assert!(rig.depth_from_disparity(0.0).is_none());
+        assert!(rig.depth_from_disparity(-1.0).is_none());
+    }
+
+    #[test]
+    fn capture_sees_landmarks_ahead() {
+        let w = world();
+        let cam = Camera::new(Intrinsics::hd1080(), 0.0, 1.2, 60.0, 0.5).unwrap();
+        let mut rng = SovRng::seed_from_u64(3);
+        let pose = w.route.pose_at(&w.map, 10.0).unwrap();
+        let frame = cam.capture(&pose, &w, &w.landmarks, SimTime::ZERO, &mut rng);
+        assert!(
+            frame.features.len() > 5,
+            "expected features in a 1200-landmark world, saw {}",
+            frame.features.len()
+        );
+        for f in &frame.features {
+            assert!(f.true_depth > 0.0 && f.true_depth <= 60.0);
+        }
+    }
+
+    #[test]
+    fn capture_sees_spawned_obstacle() {
+        let w = world();
+        let cam = Camera::new(Intrinsics::hd1080(), 0.0, 1.2, 60.0, 0.5).unwrap();
+        let mut rng = SovRng::seed_from_u64(4);
+        // Obstacle 0 at (60, 0.3) spawns at 5 s; stand 15 m before it.
+        let pose = Pose2::new(45.0, 0.0, 0.0);
+        let t = SimTime::from_millis(6_000);
+        let frame = cam.capture(&pose, &w, &w.landmarks, t, &mut rng);
+        assert!(frame.objects.iter().any(|o| o.obstacle.0 == 0));
+        let before = cam.capture(&pose, &w, &w.landmarks, SimTime::ZERO, &mut rng);
+        assert!(!before.objects.iter().any(|o| o.obstacle.0 == 0));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Camera::new(Intrinsics::hd1080(), 0.0, 1.0, 0.0, 0.1).is_err());
+        assert!(Camera::new(Intrinsics::hd1080(), 0.0, 1.0, 10.0, -0.1).is_err());
+        assert!(StereoRig::new(Intrinsics::hd1080(), 0.0, 1.0, 10.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn fov_sane() {
+        let fov = Intrinsics::hd1080().horizontal_fov();
+        assert!((0.9..1.2).contains(&fov), "fov {fov} rad");
+    }
+}

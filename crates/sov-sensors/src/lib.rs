@@ -1,0 +1,53 @@
+//! Sensor models and synchronization for the SoV.
+//!
+//! The paper's vehicle carries four cameras (two stereo pairs), an IMU, a
+//! GPS receiver, six radars and eight sonars (Table I/II), and Sec. VI-A
+//! shows that *synchronizing* these sensors is as important as processing
+//! them: 30 ms of stereo desync produces >5 m of depth error (Fig. 11a) and
+//! 40 ms of camera–IMU desync produces ~10 m of localization error
+//! (Fig. 11b).
+//!
+//! This crate models:
+//!
+//! * [`camera`] — pinhole/stereo cameras that project world landmarks and
+//!   obstacles into pixel observations (30 FPS).
+//! * [`imu`] — a 240 Hz gyro+accelerometer with bias random walk.
+//! * [`gps`] — GNSS fixes with outage and multipath models (Sec. VI-B).
+//! * [`radar`] — frontal range/radial-velocity measurements used by both the
+//!   reactive path (Sec. IV) and radar-based tracking (Sec. VI-B).
+//! * [`sonar`] — short-range ultrasonic ranging.
+//! * [`pipeline`] — the variable-latency sensor processing pipeline of
+//!   Fig. 12b (exposure → transmission → ISP → DRAM → driver → application).
+//! * [`sync`] — software-only vs. hardware-assisted synchronization
+//!   (Fig. 12a/12c), including the GPS-disciplined common trigger and
+//!   near-sensor timestamping with constant-delay compensation.
+//!
+//! # Example
+//!
+//! ```
+//! use sov_sensors::sync::{SyncConfig, Synchronizer, SyncStrategy};
+//! use sov_math::SovRng;
+//!
+//! let mut rng = SovRng::seed_from_u64(1);
+//! let hw = Synchronizer::new(SyncStrategy::HardwareAssisted, SyncConfig::default());
+//! let sample = hw.camera_sample(0, &mut rng);
+//! // Hardware-assisted timestamps are within 1 ms of the true trigger.
+//! assert!(sample.timestamp_error_ms().abs() < 1.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod camera;
+pub mod gps;
+pub mod imu;
+pub mod pipeline;
+pub mod radar;
+pub mod sonar;
+pub mod sync;
+
+pub use camera::{Camera, CameraFrame, StereoRig};
+pub use gps::GpsReceiver;
+pub use imu::Imu;
+pub use radar::Radar;
+pub use sonar::Sonar;
+pub use sync::{SyncStrategy, Synchronizer};

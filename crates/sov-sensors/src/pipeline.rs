@@ -1,0 +1,255 @@
+//! The sensor processing pipeline of Fig. 12b.
+//!
+//! Between a camera's trigger and the frame reaching the application, the
+//! paper identifies: exposure (fixed), transmission to the SoC (fixed),
+//! sensor interface, ISP (~10 ms variation), DRAM, kernel/driver, and the
+//! application-layer software stack (up to ~100 ms variation). A
+//! [`SensorPipeline`] chains named stages, each with a
+//! [`LatencyModel`]; sampling the pipeline yields per-stage transit times,
+//! which the synchronization layer uses to decide *where* a timestamp is
+//! taken (near-sensor vs. at the application).
+
+use sov_math::SovRng;
+use sov_sim::latency::LatencyModel;
+use sov_sim::time::{SimDuration, SimTime};
+
+/// One named pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStage {
+    /// Stage name (e.g. `"isp"`).
+    pub name: &'static str,
+    /// Latency distribution of the stage.
+    pub latency: LatencyModel,
+    /// Whether the stage's latency is constant and can therefore be
+    /// compensated in software (Sec. VI-A2: "known constant latency could be
+    /// compensated in software; variable latency is hard to capture").
+    pub compensatable: bool,
+}
+
+/// A chain of pipeline stages from sensor trigger to application delivery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorPipeline {
+    stages: Vec<PipelineStage>,
+}
+
+/// The transit record of one sample through a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transit {
+    /// When the sensor was triggered.
+    pub trigger: SimTime,
+    /// Cumulative arrival time after each stage (same order as stages).
+    pub stage_arrivals: Vec<SimTime>,
+}
+
+impl Transit {
+    /// Final arrival time at the application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline had no stages (never constructed that way).
+    #[must_use]
+    pub fn application_arrival(&self) -> SimTime {
+        *self.stage_arrivals.last().expect("pipeline has stages")
+    }
+
+    /// Total transit latency.
+    #[must_use]
+    pub fn total_latency(&self) -> SimDuration {
+        self.application_arrival().since(self.trigger)
+    }
+
+    /// Arrival time after the stage at `index`.
+    #[must_use]
+    pub fn arrival_after(&self, index: usize) -> Option<SimTime> {
+        self.stage_arrivals.get(index).copied()
+    }
+}
+
+impl SensorPipeline {
+    /// Builds a pipeline from stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    #[must_use]
+    pub fn new(stages: Vec<PipelineStage>) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        Self { stages }
+    }
+
+    /// The camera pipeline of Fig. 12b with the paper's latency structure:
+    /// fixed exposure and transmission, ~10 ms of ISP variation, and up to
+    /// ~100 ms of variation in the CPU-side software stack.
+    #[must_use]
+    pub fn camera_default() -> Self {
+        Self::new(vec![
+            PipelineStage {
+                name: "exposure",
+                latency: LatencyModel::constant_millis(10.0),
+                compensatable: true,
+            },
+            PipelineStage {
+                name: "transmission",
+                latency: LatencyModel::constant_millis(8.0),
+                compensatable: true,
+            },
+            PipelineStage {
+                name: "sensor-interface",
+                latency: LatencyModel::constant_millis(0.5),
+                compensatable: true,
+            },
+            PipelineStage {
+                name: "isp",
+                latency: LatencyModel::uniform_millis(15.0, 25.0),
+                compensatable: false,
+            },
+            PipelineStage {
+                name: "dram",
+                latency: LatencyModel::uniform_millis(1.0, 2.0),
+                compensatable: false,
+            },
+            PipelineStage {
+                name: "kernel-driver",
+                latency: LatencyModel::uniform_millis(5.0, 15.0),
+                compensatable: false,
+            },
+            PipelineStage {
+                name: "application",
+                latency: LatencyModel::LogNormal { median_ms: 12.0, sigma: 0.9, floor_ms: 15.0 },
+                compensatable: false,
+            },
+        ])
+    }
+
+    /// The IMU pipeline: tiny samples (20 bytes), constant transmission, but
+    /// variable CPU-side latency (Sec. VI-A1).
+    #[must_use]
+    pub fn imu_default() -> Self {
+        Self::new(vec![
+            PipelineStage {
+                name: "transmission",
+                latency: LatencyModel::constant_millis(0.2),
+                compensatable: true,
+            },
+            PipelineStage {
+                name: "kernel-driver",
+                latency: LatencyModel::uniform_millis(0.2, 2.0),
+                compensatable: false,
+            },
+            PipelineStage {
+                name: "application",
+                latency: LatencyModel::LogNormal { median_ms: 2.0, sigma: 0.8, floor_ms: 0.5 },
+                compensatable: false,
+            },
+        ])
+    }
+
+    /// Stages in order.
+    #[must_use]
+    pub fn stages(&self) -> &[PipelineStage] {
+        &self.stages
+    }
+
+    /// Index of the first non-compensatable stage: timestamps taken *before*
+    /// this point can be corrected to the trigger time by subtracting known
+    /// constants (the hardware-assisted design of Fig. 12c does exactly
+    /// this at the sensor interface).
+    #[must_use]
+    pub fn first_variable_stage(&self) -> usize {
+        self.stages
+            .iter()
+            .position(|s| !s.compensatable)
+            .unwrap_or(self.stages.len())
+    }
+
+    /// Sum of the constant (compensatable) latency prefix.
+    #[must_use]
+    pub fn constant_prefix_latency(&self) -> SimDuration {
+        self.stages
+            .iter()
+            .take_while(|s| s.compensatable)
+            .map(|s| s.latency.min())
+            .sum()
+    }
+
+    /// Simulates one sample's transit starting at `trigger`.
+    pub fn transit(&self, trigger: SimTime, rng: &mut SovRng) -> Transit {
+        let mut t = trigger;
+        let mut stage_arrivals = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            t += stage.latency.sample(rng);
+            stage_arrivals.push(t);
+        }
+        Transit { trigger, stage_arrivals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_is_monotone() {
+        let p = SensorPipeline::camera_default();
+        let mut rng = SovRng::seed_from_u64(1);
+        let tr = p.transit(SimTime::from_millis(100), &mut rng);
+        let mut prev = SimTime::from_millis(100);
+        for &a in &tr.stage_arrivals {
+            assert!(a >= prev);
+            prev = a;
+        }
+        assert_eq!(tr.stage_arrivals.len(), p.stages().len());
+    }
+
+    #[test]
+    fn camera_pipeline_has_tens_of_ms_latency() {
+        let p = SensorPipeline::camera_default();
+        let mut rng = SovRng::seed_from_u64(2);
+        let mut total = 0.0;
+        let n = 2000;
+        for _ in 0..n {
+            total += p.transit(SimTime::ZERO, &mut rng).total_latency().as_millis_f64();
+        }
+        let mean = total / f64::from(n);
+        // Fig. 10a: sensing is a large fraction of a ~164 ms budget.
+        assert!((30.0..120.0).contains(&mean), "mean transit {mean} ms");
+    }
+
+    #[test]
+    fn camera_variation_dominated_by_software_stack() {
+        let p = SensorPipeline::camera_default();
+        let mut rng = SovRng::seed_from_u64(3);
+        let mut isp_spread = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut app_spread = (f64::INFINITY, f64::NEG_INFINITY);
+        for _ in 0..3000 {
+            let tr = p.transit(SimTime::ZERO, &mut rng);
+            let isp = tr.stage_arrivals[3].since(tr.stage_arrivals[2]).as_millis_f64();
+            let app = tr.stage_arrivals[6].since(tr.stage_arrivals[5]).as_millis_f64();
+            isp_spread = (isp_spread.0.min(isp), isp_spread.1.max(isp));
+            app_spread = (app_spread.0.min(app), app_spread.1.max(app));
+        }
+        let isp_var = isp_spread.1 - isp_spread.0;
+        let app_var = app_spread.1 - app_spread.0;
+        // ISP varies ~10 ms; application layer varies much more (Fig. 12b).
+        assert!((5.0..=15.0).contains(&isp_var), "isp variation {isp_var}");
+        assert!(app_var > isp_var, "app {app_var} vs isp {isp_var}");
+    }
+
+    #[test]
+    fn first_variable_stage_splits_pipeline() {
+        let cam = SensorPipeline::camera_default();
+        assert_eq!(cam.first_variable_stage(), 3); // exposure/transmit/iface
+        assert_eq!(
+            cam.constant_prefix_latency(),
+            SimDuration::from_micros(18_500)
+        );
+        let imu = SensorPipeline::imu_default();
+        assert_eq!(imu.first_variable_stage(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_panics() {
+        let _ = SensorPipeline::new(vec![]);
+    }
+}

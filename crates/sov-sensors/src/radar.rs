@@ -1,0 +1,333 @@
+//! Radar model.
+//!
+//! The vehicle carries six radars (Table I, $500 each — Table II notes
+//! "today's automotive Radars cost only about $500"). Radar serves two roles
+//! in the paper:
+//!
+//! 1. the **reactive path** (Sec. IV): range to the nearest frontal object
+//!    feeds the ECU directly, bypassing the computing system, and
+//! 2. **radar-based tracking** (Sec. VI-B): radial velocity measurements
+//!    replace the compute-intensive KCF visual tracker, with a 1 ms spatial
+//!    synchronization step matching radar tracks to camera detections.
+//!
+//! Radar occasionally returns *unstable* scans (clutter), in which case the
+//! pipeline falls back to KCF (Table III).
+
+use sov_math::{Pose2, SovRng};
+use sov_sim::time::SimTime;
+use sov_world::obstacle::ObstacleId;
+use sov_world::scenario::World;
+
+/// One radar target return.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadarTarget {
+    /// Ground-truth obstacle identity (for evaluation; the tracking code
+    /// must associate targets spatially, not via this field).
+    pub truth: ObstacleId,
+    /// Range to target (m).
+    pub range_m: f64,
+    /// Azimuth in the radar frame (rad, +left).
+    pub azimuth_rad: f64,
+    /// Radial velocity (m/s, negative = approaching).
+    pub radial_velocity_mps: f64,
+}
+
+/// One radar scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadarScan {
+    /// Scan timestamp.
+    pub timestamp: SimTime,
+    /// Detected targets.
+    pub targets: Vec<RadarTarget>,
+    /// Whether this scan is stable; unstable scans should not be used for
+    /// tracking (fall back to KCF, Table III).
+    pub stable: bool,
+}
+
+impl RadarScan {
+    /// The closest target, if any.
+    #[must_use]
+    pub fn nearest(&self) -> Option<&RadarTarget> {
+        self.targets
+            .iter()
+            .min_by(|a, b| a.range_m.partial_cmp(&b.range_m).expect("finite range"))
+    }
+}
+
+/// Radar configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadarConfig {
+    /// Maximum range (m). Automotive mid-range radar: ~70 m.
+    pub max_range_m: f64,
+    /// Half field of view (rad).
+    pub half_fov_rad: f64,
+    /// Range noise σ (m).
+    pub range_sigma_m: f64,
+    /// Radial velocity noise σ (m/s).
+    pub velocity_sigma_mps: f64,
+    /// Probability that a scan is unstable (clutter, interference).
+    pub instability_prob: f64,
+    /// Scan rate (Hz).
+    pub rate_hz: f64,
+}
+
+impl Default for RadarConfig {
+    fn default() -> Self {
+        Self {
+            max_range_m: 70.0,
+            half_fov_rad: 0.6,
+            range_sigma_m: 0.15,
+            velocity_sigma_mps: 0.1,
+            instability_prob: 0.05,
+            rate_hz: 20.0,
+        }
+    }
+}
+
+/// A stateful radar sensor mounted looking along the vehicle heading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Radar {
+    config: RadarConfig,
+    rng: SovRng,
+}
+
+impl Radar {
+    /// Creates a radar.
+    #[must_use]
+    pub fn new(config: RadarConfig, seed: u64) -> Self {
+        Self { config, rng: SovRng::seed_from_u64(seed ^ 0x524144) }
+    }
+
+    /// Scan period (s).
+    #[must_use]
+    pub fn period_s(&self) -> f64 {
+        1.0 / self.config.rate_hz
+    }
+
+    /// Performs a scan at `t` from `vehicle` (with the vehicle's own
+    /// velocity used to compute relative radial velocities).
+    pub fn scan(
+        &mut self,
+        vehicle: &Pose2,
+        vehicle_speed_mps: f64,
+        world: &World,
+        t: SimTime,
+    ) -> RadarScan {
+        let stable = !self.rng.bernoulli(self.config.instability_prob);
+        let mut targets = Vec::new();
+        for (obstacle, opose) in world.active_obstacles(t) {
+            let (lx, ly) = vehicle.inverse_transform_point(opose.x, opose.y);
+            if lx <= 0.0 {
+                continue;
+            }
+            let range = (lx * lx + ly * ly).sqrt();
+            if range > self.config.max_range_m {
+                continue;
+            }
+            let azimuth = ly.atan2(lx);
+            if azimuth.abs() > self.config.half_fov_rad {
+                continue;
+            }
+            // Radial velocity: projection of relative velocity onto the
+            // line of sight. Vehicle moves forward at vehicle_speed.
+            let (hx, hy) = vehicle.heading_vector();
+            let rel_vx = obstacle.velocity.0 - vehicle_speed_mps * hx;
+            let rel_vy = obstacle.velocity.1 - vehicle_speed_mps * hy;
+            // Line of sight unit vector (world frame).
+            let losx = (opose.x - vehicle.x) / range.max(1e-9);
+            let losy = (opose.y - vehicle.y) / range.max(1e-9);
+            let radial = rel_vx * losx + rel_vy * losy;
+            targets.push(RadarTarget {
+                truth: obstacle.id,
+                range_m: (range - obstacle.radius_m()
+                    + self.rng.normal(0.0, self.config.range_sigma_m))
+                .max(0.0),
+                azimuth_rad: azimuth + self.rng.normal(0.0, 0.01),
+                radial_velocity_mps: radial
+                    + self.rng.normal(0.0, self.config.velocity_sigma_mps),
+            });
+        }
+        RadarScan { timestamp: t, targets, stable }
+    }
+}
+
+/// The surround radar array: six units at fixed mounting yaws (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadarArray {
+    units: Vec<(f64, Radar)>,
+}
+
+impl RadarArray {
+    /// The paper's six-radar arrangement: front, front-left, front-right,
+    /// rear, rear-left, rear-right.
+    #[must_use]
+    pub fn perceptin_six(config: RadarConfig, seed: u64) -> Self {
+        use std::f64::consts::PI;
+        let yaws = [0.0, 0.9, -0.9, PI, PI - 0.9, -(PI - 0.9)];
+        Self {
+            units: yaws
+                .iter()
+                .enumerate()
+                .map(|(i, &yaw)| (yaw, Radar::new(config, seed.wrapping_add(i as u64 * 7919))))
+                .collect(),
+        }
+    }
+
+    /// Number of radar units.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the array is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Scans all units and merges the returns into the **vehicle** frame
+    /// (azimuths adjusted by each unit's mounting yaw). The merged scan is
+    /// stable only if every contributing unit's scan was stable.
+    pub fn scan_all(
+        &mut self,
+        vehicle: &sov_math::Pose2,
+        vehicle_speed_mps: f64,
+        world: &World,
+        t: SimTime,
+    ) -> RadarScan {
+        let mut targets = Vec::new();
+        let mut stable = true;
+        for (yaw, radar) in &mut self.units {
+            // Each unit looks along vehicle heading + mounting yaw.
+            let unit_pose =
+                sov_math::Pose2::new(vehicle.x, vehicle.y, vehicle.theta + *yaw);
+            let scan = radar.scan(&unit_pose, vehicle_speed_mps, world, t);
+            stable &= scan.stable;
+            for mut target in scan.targets {
+                target.azimuth_rad += *yaw;
+                targets.push(target);
+            }
+        }
+        // De-duplicate targets seen by neighboring units: keep the closest
+        // return per ground-truth object.
+        targets.sort_by(|a, b| {
+            a.truth
+                .cmp(&b.truth)
+                .then(a.range_m.partial_cmp(&b.range_m).expect("finite"))
+        });
+        targets.dedup_by_key(|t| t.truth);
+        RadarScan { timestamp: t, targets, stable }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_world::scenario::Scenario;
+
+    #[test]
+    fn detects_frontal_obstacle_with_range() {
+        let w = Scenario::fishers_indiana(1).world;
+        let mut radar = Radar::new(RadarConfig { instability_prob: 0.0, ..RadarConfig::default() }, 1);
+        let pose = Pose2::new(40.0, 0.0, 0.0);
+        let t = SimTime::from_millis(6_000); // obstacle 0 at (60, 0.3) active
+        let scan = radar.scan(&pose, 5.6, &w, t);
+        let target = scan
+            .targets
+            .iter()
+            .find(|tg| tg.truth.0 == 0)
+            .expect("obstacle in fov");
+        assert!((target.range_m - 19.5).abs() < 1.0, "range {}", target.range_m);
+        assert!(scan.stable);
+    }
+
+    #[test]
+    fn approaching_target_has_negative_radial_velocity() {
+        let w = Scenario::fishers_indiana(1).world;
+        let mut radar = Radar::new(RadarConfig { instability_prob: 0.0, ..RadarConfig::default() }, 2);
+        let pose = Pose2::new(40.0, 0.0, 0.0);
+        let t = SimTime::from_millis(6_000);
+        // Driving toward a static obstacle at 5.6 m/s → radial ≈ -5.6.
+        let scan = radar.scan(&pose, 5.6, &w, t);
+        let target = scan.targets.iter().find(|tg| tg.truth.0 == 0).unwrap();
+        assert!(
+            (target.radial_velocity_mps + 5.6).abs() < 0.5,
+            "radial {}",
+            target.radial_velocity_mps
+        );
+    }
+
+    #[test]
+    fn out_of_fov_not_detected() {
+        let w = Scenario::fishers_indiana(1).world;
+        let mut radar = Radar::new(RadarConfig { instability_prob: 0.0, ..RadarConfig::default() }, 3);
+        // Face away from the obstacle.
+        let pose = Pose2::new(40.0, 0.0, std::f64::consts::PI);
+        let scan = radar.scan(&pose, 5.6, &w, SimTime::from_millis(6_000));
+        assert!(!scan.targets.iter().any(|tg| tg.truth.0 == 0));
+    }
+
+    #[test]
+    fn instability_rate_matches_config() {
+        let w = Scenario::fishers_indiana(1).world;
+        let mut radar =
+            Radar::new(RadarConfig { instability_prob: 0.3, ..RadarConfig::default() }, 4);
+        let pose = Pose2::new(0.0, 0.0, 0.0);
+        let unstable = (0..2000)
+            .filter(|&i| !radar.scan(&pose, 0.0, &w, SimTime::from_millis(i * 50)).stable)
+            .count();
+        let rate = unstable as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "instability rate {rate}");
+    }
+
+    #[test]
+    fn array_covers_the_rear() {
+        let w = Scenario::fishers_indiana(1).world;
+        let cfg = RadarConfig { instability_prob: 0.0, ..RadarConfig::default() };
+        // Obstacle 0 at (60, 0.3) active at t=6 s; vehicle ahead of it,
+        // facing away: the obstacle is directly behind.
+        let pose = Pose2::new(80.0, 0.0, 0.0);
+        let t = SimTime::from_millis(6_000);
+        let mut single = Radar::new(cfg, 2);
+        assert!(
+            !single.scan(&pose, 5.6, &w, t).targets.iter().any(|tg| tg.truth.0 == 0),
+            "a single forward radar cannot see behind"
+        );
+        let mut array = RadarArray::perceptin_six(cfg, 2);
+        let scan = array.scan_all(&pose, 5.6, &w, t);
+        let rear = scan.targets.iter().find(|tg| tg.truth.0 == 0).expect("rear radar sees it");
+        // Azimuth in the vehicle frame points backwards (~±π).
+        assert!(rear.azimuth_rad.abs() > 2.5, "azimuth {}", rear.azimuth_rad);
+        assert!((rear.range_m - 19.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn array_deduplicates_overlapping_units() {
+        let w = Scenario::fishers_indiana(1).world;
+        let cfg = RadarConfig { instability_prob: 0.0, ..RadarConfig::default() };
+        let mut array = RadarArray::perceptin_six(cfg, 3);
+        // Obstacle straight ahead is inside both the front and (slightly)
+        // the front-side units' fields of view; the merged scan must report
+        // it once.
+        let pose = Pose2::new(40.0, 0.0, 0.0);
+        let scan = array.scan_all(&pose, 5.6, &w, SimTime::from_millis(6_000));
+        let count = scan.targets.iter().filter(|tg| tg.truth.0 == 0).count();
+        assert_eq!(count, 1, "deduplicated to one return");
+        assert_eq!(array.len(), 6);
+    }
+
+    #[test]
+    fn nearest_picks_minimum_range() {
+        let scan = RadarScan {
+            timestamp: SimTime::ZERO,
+            targets: vec![
+                RadarTarget { truth: ObstacleId(0), range_m: 12.0, azimuth_rad: 0.0, radial_velocity_mps: 0.0 },
+                RadarTarget { truth: ObstacleId(1), range_m: 4.0, azimuth_rad: 0.1, radial_velocity_mps: 0.0 },
+            ],
+            stable: true,
+        };
+        assert_eq!(scan.nearest().unwrap().truth, ObstacleId(1));
+        let empty = RadarScan { timestamp: SimTime::ZERO, targets: vec![], stable: true };
+        assert!(empty.nearest().is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! Sonar (ultrasonic) model.
+//!
+//! The vehicle carries eight sonars (Table I) as very-short-range sensors
+//! feeding the reactive safety path together with radar (Sec. IV: "Radar
+//! (and Sonar when available)").
+
+use sov_math::{Pose2, SovRng};
+use sov_sim::time::SimTime;
+use sov_world::scenario::World;
+
+/// One sonar range reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SonarReading {
+    /// Reading timestamp.
+    pub timestamp: SimTime,
+    /// Measured range (m); `None` when nothing within range.
+    pub range_m: Option<f64>,
+}
+
+/// Sonar configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SonarConfig {
+    /// Maximum range (m). Automotive ultrasonic: ~5 m.
+    pub max_range_m: f64,
+    /// Half beam width (rad). Sonar beams are wide.
+    pub half_beam_rad: f64,
+    /// Range noise σ (m).
+    pub sigma_m: f64,
+    /// Reading rate (Hz).
+    pub rate_hz: f64,
+}
+
+impl Default for SonarConfig {
+    fn default() -> Self {
+        Self { max_range_m: 5.0, half_beam_rad: 0.7, sigma_m: 0.03, rate_hz: 20.0 }
+    }
+}
+
+/// A forward-facing sonar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sonar {
+    config: SonarConfig,
+    rng: SovRng,
+}
+
+impl Sonar {
+    /// Creates a sonar.
+    #[must_use]
+    pub fn new(config: SonarConfig, seed: u64) -> Self {
+        Self { config, rng: SovRng::seed_from_u64(seed ^ 0x534F4E) }
+    }
+
+    /// Reading period (s).
+    #[must_use]
+    pub fn period_s(&self) -> f64 {
+        1.0 / self.config.rate_hz
+    }
+
+    /// Takes a reading at `t` from `vehicle`.
+    pub fn read(&mut self, vehicle: &Pose2, world: &World, t: SimTime) -> SonarReading {
+        let nearest = world.nearest_frontal_obstacle(vehicle, t, self.config.half_beam_rad);
+        let range_m = nearest.and_then(|(_, dist)| {
+            if dist <= self.config.max_range_m {
+                Some((dist + self.rng.normal(0.0, self.config.sigma_m)).max(0.0))
+            } else {
+                None
+            }
+        });
+        SonarReading { timestamp: t, range_m }
+    }
+}
+
+/// The eight-sonar bumper array (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SonarArray {
+    units: Vec<(f64, Sonar)>,
+}
+
+impl SonarArray {
+    /// Eight units spread around the bumpers: three front, one per side,
+    /// three rear.
+    #[must_use]
+    pub fn perceptin_eight(config: SonarConfig, seed: u64) -> Self {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        let yaws = [
+            0.0, 0.6, -0.6, // front
+            FRAC_PI_2, -FRAC_PI_2, // sides
+            PI, PI - 0.6, -(PI - 0.6), // rear
+        ];
+        Self {
+            units: yaws
+                .iter()
+                .enumerate()
+                .map(|(i, &yaw)| (yaw, Sonar::new(config, seed.wrapping_add(i as u64 * 104_729))))
+                .collect(),
+        }
+    }
+
+    /// Number of units.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the array is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Minimum range over the *front-facing* units (mounting yaw within
+    /// ±0.7 rad — the three bow sonars) — the reading the reactive path
+    /// consumes while driving forward. Side and rear units serve parking
+    /// maneuvers and are excluded here.
+    pub fn min_frontal_range(
+        &mut self,
+        vehicle: &sov_math::Pose2,
+        world: &World,
+        t: SimTime,
+    ) -> Option<f64> {
+        let mut min: Option<f64> = None;
+        for (yaw, sonar) in &mut self.units {
+            if yaw.abs() >= 0.7 {
+                continue;
+            }
+            let unit_pose = sov_math::Pose2::new(vehicle.x, vehicle.y, vehicle.theta + *yaw);
+            if let Some(r) = sonar.read(&unit_pose, world, t).range_m {
+                min = Some(min.map_or(r, |m: f64| m.min(r)));
+            }
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_world::obstacle::{Obstacle, ObstacleClass, ObstacleId};
+    use sov_world::scenario::Scenario;
+
+    fn world_with_obstacle_at(x: f64) -> World {
+        let mut w = Scenario::fishers_indiana(1).world;
+        w.obstacles = vec![Obstacle::fixed(
+            ObstacleId(0),
+            ObstacleClass::StaticObject,
+            Pose2::new(x, 0.0, 0.0),
+            SimTime::ZERO,
+        )];
+        w
+    }
+
+    #[test]
+    fn reads_close_obstacle() {
+        let w = world_with_obstacle_at(3.0);
+        let mut sonar = Sonar::new(SonarConfig::default(), 1);
+        let r = sonar.read(&Pose2::identity(), &w, SimTime::ZERO);
+        let range = r.range_m.expect("within sonar range");
+        // 3 m minus the 0.5 m static-object radius.
+        assert!((range - 2.5).abs() < 0.2, "range {range}");
+    }
+
+    #[test]
+    fn far_obstacle_not_detected() {
+        let w = world_with_obstacle_at(10.0);
+        let mut sonar = Sonar::new(SonarConfig::default(), 2);
+        let r = sonar.read(&Pose2::identity(), &w, SimTime::ZERO);
+        assert!(r.range_m.is_none());
+    }
+
+    #[test]
+    fn array_ignores_rear_objects_for_frontal_minimum() {
+        let w = world_with_obstacle_at(-3.0); // behind the vehicle
+        let mut array = SonarArray::perceptin_eight(SonarConfig::default(), 4);
+        assert_eq!(array.len(), 8);
+        assert!(
+            array
+                .min_frontal_range(&Pose2::identity(), &w, SimTime::ZERO)
+                .is_none(),
+            "rear obstacle must not trigger the frontal reading"
+        );
+        // But a frontal obstacle does.
+        let w2 = world_with_obstacle_at(3.0);
+        let r = array
+            .min_frontal_range(&Pose2::identity(), &w2, SimTime::ZERO)
+            .expect("frontal obstacle in range");
+        assert!((r - 2.5).abs() < 0.3, "range {r}");
+    }
+
+    #[test]
+    fn empty_world_reads_none() {
+        let mut w = Scenario::fishers_indiana(1).world;
+        w.obstacles.clear();
+        let mut sonar = Sonar::new(SonarConfig::default(), 3);
+        assert!(sonar.read(&Pose2::identity(), &w, SimTime::ZERO).range_m.is_none());
+    }
+}

@@ -1,0 +1,426 @@
+//! Sensor synchronization: software-only vs. hardware-assisted (Sec. VI-A).
+//!
+//! An ideal synchronization design satisfies two requirements (Sec. VI-A1):
+//! all sensors are **triggered simultaneously**, and each sample carries a
+//! **precise timestamp** of its capture instant.
+//!
+//! * In the **software-only** design (Fig. 12a), each sensor free-runs on
+//!   its own timer (unknown phase and drift), and the application stamps a
+//!   sample when it *arrives* — after the variable-latency pipeline of
+//!   Fig. 12b. Timestamp error is therefore tens of milliseconds and
+//!   unpredictable, so the application pairs samples that did not capture
+//!   the same event (the paper's `C0`/`M7` example).
+//! * In the **hardware-assisted** design (Fig. 12c), a hardware synchronizer
+//!   disciplined by GPS atomic time triggers the IMU at 240 Hz and derives
+//!   the 30 FPS camera trigger by 8× downsampling, guaranteeing each camera
+//!   frame aligns with an IMU sample. IMU samples (20 bytes) are timestamped
+//!   *in* the synchronizer; camera frames (~6 MB) are timestamped at the
+//!   SoC's sensor interface and corrected in software by subtracting the
+//!   *constant* exposure + transmission delay.
+
+use crate::pipeline::SensorPipeline;
+use sov_math::SovRng;
+use sov_sim::time::{SimDuration, SimTime};
+
+/// Which synchronization design is in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncStrategy {
+    /// Application-layer timestamping with free-running sensor timers
+    /// (Fig. 12a).
+    SoftwareOnly,
+    /// GPS-disciplined common trigger with near-sensor timestamping
+    /// (Fig. 12c).
+    HardwareAssisted,
+}
+
+/// Configuration of the synchronization subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncConfig {
+    /// IMU sample rate (paper: 240 Hz).
+    pub imu_rate_hz: f64,
+    /// Camera trigger = every `camera_downsample`-th IMU trigger
+    /// (paper: 8, giving 30 FPS).
+    pub camera_downsample: u32,
+    /// Per-sensor clock drift magnitude for free-running timers (parts per
+    /// million). Only relevant to [`SyncStrategy::SoftwareOnly`].
+    pub clock_drift_ppm: f64,
+    /// Camera processing pipeline.
+    pub camera_pipeline: SensorPipeline,
+    /// IMU processing pipeline.
+    pub imu_pipeline: SensorPipeline,
+    /// Timestamping jitter of the hardware synchronizer / sensor interface
+    /// (sub-millisecond; the paper's synchronizer adds <1 ms end to end).
+    pub hardware_jitter_ms: f64,
+    /// Seed for the per-sensor phase offsets of free-running timers.
+    pub seed: u64,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        Self {
+            imu_rate_hz: 240.0,
+            camera_downsample: 8,
+            clock_drift_ppm: 50.0,
+            camera_pipeline: SensorPipeline::camera_default(),
+            imu_pipeline: SensorPipeline::imu_default(),
+            hardware_jitter_ms: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// A sample as seen by the application, with ground truth for evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncSample {
+    /// True capture instant (ground truth; not visible to the application).
+    pub true_capture: SimTime,
+    /// Timestamp the application associates with the sample.
+    pub assigned: SimTime,
+    /// When the sample became available to the application.
+    pub arrival: SimTime,
+}
+
+impl SyncSample {
+    /// Signed timestamp error in milliseconds
+    /// (`assigned − true_capture`).
+    #[must_use]
+    pub fn timestamp_error_ms(&self) -> f64 {
+        self.assigned.as_millis_f64() - self.true_capture.as_millis_f64()
+    }
+}
+
+/// Identifies one of the four cameras (two stereo pairs, Sec. V-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CameraId {
+    /// Front stereo, left camera.
+    FrontLeft,
+    /// Front stereo, right camera.
+    FrontRight,
+    /// Back stereo, left camera.
+    BackLeft,
+    /// Back stereo, right camera.
+    BackRight,
+}
+
+impl CameraId {
+    /// All four cameras.
+    pub const ALL: [CameraId; 4] = [
+        CameraId::FrontLeft,
+        CameraId::FrontRight,
+        CameraId::BackLeft,
+        CameraId::BackRight,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            CameraId::FrontLeft => 0,
+            CameraId::FrontRight => 1,
+            CameraId::BackLeft => 2,
+            CameraId::BackRight => 3,
+        }
+    }
+}
+
+/// The synchronization subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Synchronizer {
+    strategy: SyncStrategy,
+    config: SyncConfig,
+    /// Free-running phase offset of each camera timer (s).
+    camera_phases: [f64; 4],
+    /// Free-running drift factor of each camera timer.
+    camera_drifts: [f64; 4],
+    /// IMU timer phase (s) and drift.
+    imu_phase: f64,
+    imu_drift: f64,
+}
+
+impl Synchronizer {
+    /// Creates a synchronizer. Phase offsets and drifts of free-running
+    /// timers are derived deterministically from `config.seed`.
+    #[must_use]
+    pub fn new(strategy: SyncStrategy, config: SyncConfig) -> Self {
+        let mut rng = SovRng::seed_from_u64(config.seed ^ 0x53594E43);
+        let camera_period = f64::from(config.camera_downsample) / config.imu_rate_hz;
+        let imu_period = 1.0 / config.imu_rate_hz;
+        let drift = config.clock_drift_ppm * 1e-6;
+        let mut camera_phases = [0.0; 4];
+        let mut camera_drifts = [0.0; 4];
+        for i in 0..4 {
+            camera_phases[i] = rng.uniform(0.0, camera_period);
+            camera_drifts[i] = rng.uniform(-drift, drift);
+        }
+        Self {
+            strategy,
+            config,
+            camera_phases,
+            camera_drifts,
+            imu_phase: rng.uniform(0.0, imu_period),
+            imu_drift: rng.uniform(-drift, drift),
+        }
+    }
+
+    /// The active strategy.
+    #[must_use]
+    pub fn strategy(&self) -> SyncStrategy {
+        self.strategy
+    }
+
+    /// Camera frame period (s).
+    #[must_use]
+    pub fn camera_period_s(&self) -> f64 {
+        f64::from(self.config.camera_downsample) / self.config.imu_rate_hz
+    }
+
+    /// IMU sample period (s).
+    #[must_use]
+    pub fn imu_period_s(&self) -> f64 {
+        1.0 / self.config.imu_rate_hz
+    }
+
+    /// True trigger time of camera `cam`'s `k`-th frame.
+    #[must_use]
+    pub fn camera_trigger(&self, cam: CameraId, k: u64) -> SimTime {
+        let period = self.camera_period_s();
+        match self.strategy {
+            SyncStrategy::HardwareAssisted => {
+                // Common GPS-disciplined timer: all cameras share triggers.
+                SimTime::from_secs_f64(k as f64 * period)
+            }
+            SyncStrategy::SoftwareOnly => {
+                let i = cam.index();
+                SimTime::from_secs_f64(
+                    self.camera_phases[i] + k as f64 * period * (1.0 + self.camera_drifts[i]),
+                )
+            }
+        }
+    }
+
+    /// True trigger time of the `k`-th IMU sample.
+    #[must_use]
+    pub fn imu_trigger(&self, k: u64) -> SimTime {
+        let period = self.imu_period_s();
+        match self.strategy {
+            SyncStrategy::HardwareAssisted => SimTime::from_secs_f64(k as f64 * period),
+            SyncStrategy::SoftwareOnly => SimTime::from_secs_f64(
+                self.imu_phase + k as f64 * period * (1.0 + self.imu_drift),
+            ),
+        }
+    }
+
+    /// Simulates capture, transit and timestamping of one frame from the
+    /// front-left camera (see [`Self::camera_sample_from`]).
+    pub fn camera_sample(&self, k: u64, rng: &mut SovRng) -> SyncSample {
+        self.camera_sample_from(CameraId::FrontLeft, k, rng)
+    }
+
+    /// Simulates capture, transit and timestamping of camera `cam`'s `k`-th
+    /// frame.
+    pub fn camera_sample_from(&self, cam: CameraId, k: u64, rng: &mut SovRng) -> SyncSample {
+        let trigger = self.camera_trigger(cam, k);
+        let transit = self.config.camera_pipeline.transit(trigger, rng);
+        let arrival = transit.application_arrival();
+        let assigned = match self.strategy {
+            SyncStrategy::SoftwareOnly => arrival,
+            SyncStrategy::HardwareAssisted => {
+                // Timestamp at the sensor interface (end of the constant
+                // prefix), then compensate the known constant delay.
+                let iface_idx = self.config.camera_pipeline.first_variable_stage();
+                let stamped = transit
+                    .arrival_after(iface_idx.saturating_sub(1))
+                    .unwrap_or(arrival);
+                let compensated = SimTime::from_secs_f64(
+                    stamped.as_secs_f64()
+                        - self.config.camera_pipeline.constant_prefix_latency().as_secs_f64(),
+                );
+                let jitter = rng.uniform(0.0, self.config.hardware_jitter_ms);
+                compensated + SimDuration::from_millis_f64(jitter)
+            }
+        };
+        SyncSample { true_capture: trigger, assigned, arrival }
+    }
+
+    /// Simulates one IMU sample.
+    pub fn imu_sample(&self, k: u64, rng: &mut SovRng) -> SyncSample {
+        let trigger = self.imu_trigger(k);
+        let transit = self.config.imu_pipeline.transit(trigger, rng);
+        let arrival = transit.application_arrival();
+        let assigned = match self.strategy {
+            SyncStrategy::SoftwareOnly => arrival,
+            SyncStrategy::HardwareAssisted => {
+                // Timestamp packed with the 20-byte sample inside the
+                // synchronizer itself: essentially exact.
+                let jitter = rng.uniform(0.0, self.config.hardware_jitter_ms);
+                trigger + SimDuration::from_millis_f64(jitter)
+            }
+        };
+        SyncSample { true_capture: trigger, assigned, arrival }
+    }
+
+    /// True capture-time misalignment (ms, absolute) between the two frames
+    /// of a stereo pair that the *application* pairs together for frame `k`.
+    ///
+    /// Under hardware sync both cameras share a trigger, so the offset is
+    /// zero; under software sync the application pairs the right-camera
+    /// frame whose assigned timestamp is closest to the left's, which can be
+    /// off by up to half a frame period plus pipeline noise — the cause of
+    /// the depth error in Fig. 11a.
+    pub fn stereo_capture_offset_ms(&self, k: u64, rng: &mut SovRng) -> f64 {
+        let left = self.camera_sample_from(CameraId::FrontLeft, k, rng);
+        // Candidate right frames around k.
+        let mut best: Option<(f64, f64)> = None; // (assigned delta, true delta)
+        for kr in k.saturating_sub(1)..=k + 1 {
+            let right = self.camera_sample_from(CameraId::FrontRight, kr, rng);
+            let assigned_delta =
+                (right.assigned.as_millis_f64() - left.assigned.as_millis_f64()).abs();
+            let true_delta =
+                (right.true_capture.as_millis_f64() - left.true_capture.as_millis_f64()).abs();
+            if best.is_none_or(|(d, _)| assigned_delta < d) {
+                best = Some((assigned_delta, true_delta));
+            }
+        }
+        best.expect("at least one candidate").1
+    }
+
+    /// True capture-time misalignment (ms, absolute) between a camera frame
+    /// and the IMU sample the application associates with it — the input
+    /// error of the VIO drift experiment (Fig. 11b).
+    pub fn camera_imu_offset_ms(&self, k: u64, rng: &mut SovRng) -> f64 {
+        let cam = self.camera_sample_from(CameraId::FrontLeft, k, rng);
+        // The application searches IMU samples near the camera's assigned
+        // timestamp. IMU index guess from assigned time:
+        let guess = (cam.assigned.as_secs_f64() / self.imu_period_s()).round() as i64;
+        let mut best: Option<(f64, f64)> = None;
+        for di in -3..=3i64 {
+            let ki = guess + di;
+            if ki < 0 {
+                continue;
+            }
+            let imu = self.imu_sample(ki as u64, rng);
+            let assigned_delta =
+                (imu.assigned.as_millis_f64() - cam.assigned.as_millis_f64()).abs();
+            let true_delta =
+                (imu.true_capture.as_millis_f64() - cam.true_capture.as_millis_f64()).abs();
+            if best.is_none_or(|(d, _)| assigned_delta < d) {
+                best = Some((assigned_delta, true_delta));
+            }
+        }
+        best.map_or(0.0, |(_, t)| t)
+    }
+}
+
+/// FPGA resource footprint of the hardware synchronizer (Sec. VI-A3):
+/// "extremely lightweight ... only 1,443 LUTs and 1,587 registers and
+/// consumes 5 mW".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynchronizerFootprint {
+    /// Look-up tables used.
+    pub luts: u32,
+    /// Flip-flop registers used.
+    pub registers: u32,
+    /// Power in milliwatts.
+    pub power_mw: u32,
+}
+
+impl SynchronizerFootprint {
+    /// The footprint reported in the paper.
+    pub const PAPER: Self = Self { luts: 1_443, registers: 1_587, power_mw: 5 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SovRng {
+        SovRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn hardware_timestamps_are_sub_millisecond() {
+        let sync = Synchronizer::new(SyncStrategy::HardwareAssisted, SyncConfig::default());
+        let mut r = rng();
+        for k in 0..200 {
+            let cam = sync.camera_sample(k, &mut r);
+            let imu = sync.imu_sample(k, &mut r);
+            assert!(cam.timestamp_error_ms().abs() < 1.0, "camera err {}", cam.timestamp_error_ms());
+            assert!(imu.timestamp_error_ms().abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn software_timestamps_carry_pipeline_latency() {
+        let sync = Synchronizer::new(SyncStrategy::SoftwareOnly, SyncConfig::default());
+        let mut r = rng();
+        let mut total = 0.0;
+        for k in 0..200 {
+            let cam = sync.camera_sample(k, &mut r);
+            assert!(cam.timestamp_error_ms() > 0.0, "arrival stamping is late");
+            total += cam.timestamp_error_ms();
+        }
+        let mean = total / 200.0;
+        assert!(mean > 20.0, "mean software timestamp error {mean} ms");
+    }
+
+    #[test]
+    fn hardware_stereo_is_aligned_software_is_not() {
+        let cfg = SyncConfig::default();
+        let hw = Synchronizer::new(SyncStrategy::HardwareAssisted, cfg.clone());
+        let sw = Synchronizer::new(SyncStrategy::SoftwareOnly, cfg);
+        let mut r = rng();
+        let hw_mean: f64 =
+            (0..100).map(|k| hw.stereo_capture_offset_ms(k, &mut r)).sum::<f64>() / 100.0;
+        let sw_mean: f64 =
+            (1..101).map(|k| sw.stereo_capture_offset_ms(k, &mut r)).sum::<f64>() / 100.0;
+        assert!(hw_mean < 0.01, "hardware stereo offset {hw_mean} ms");
+        assert!(sw_mean > 3.0, "software stereo offset {sw_mean} ms");
+    }
+
+    #[test]
+    fn camera_trigger_downsampled_from_imu() {
+        let sync = Synchronizer::new(SyncStrategy::HardwareAssisted, SyncConfig::default());
+        // Every camera trigger coincides with an IMU trigger (8× down).
+        for k in 0..50 {
+            let cam_t = sync.camera_trigger(CameraId::FrontLeft, k);
+            let imu_t = sync.imu_trigger(k * 8);
+            assert_eq!(cam_t, imu_t, "frame {k} not aligned to an IMU sample");
+        }
+    }
+
+    #[test]
+    fn camera_imu_association_error() {
+        let cfg = SyncConfig::default();
+        let hw = Synchronizer::new(SyncStrategy::HardwareAssisted, cfg.clone());
+        let sw = Synchronizer::new(SyncStrategy::SoftwareOnly, cfg);
+        let mut r = rng();
+        let hw_mean: f64 =
+            (0..100).map(|k| hw.camera_imu_offset_ms(k, &mut r)).sum::<f64>() / 100.0;
+        let sw_mean: f64 =
+            (1..101).map(|k| sw.camera_imu_offset_ms(k, &mut r)).sum::<f64>() / 100.0;
+        assert!(hw_mean < 0.5, "hardware cam-imu offset {hw_mean} ms");
+        assert!(sw_mean > hw_mean * 4.0, "software should be much worse: {sw_mean} vs {hw_mean}");
+    }
+
+    #[test]
+    fn software_phases_differ_per_camera() {
+        let sync = Synchronizer::new(SyncStrategy::SoftwareOnly, SyncConfig::default());
+        let t_left = sync.camera_trigger(CameraId::FrontLeft, 0);
+        let t_right = sync.camera_trigger(CameraId::FrontRight, 0);
+        assert_ne!(t_left, t_right, "free-running timers must have distinct phases");
+    }
+
+    #[test]
+    fn synchronizer_footprint_constants() {
+        let fp = SynchronizerFootprint::PAPER;
+        assert_eq!(fp.luts, 1_443);
+        assert_eq!(fp.registers, 1_587);
+        assert_eq!(fp.power_mw, 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SyncConfig { seed: 7, ..SyncConfig::default() };
+        let a = Synchronizer::new(SyncStrategy::SoftwareOnly, cfg.clone());
+        let b = Synchronizer::new(SyncStrategy::SoftwareOnly, cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the sensor models.
+
+use proptest::prelude::*;
+use sov_math::{Pose2, SovRng};
+use sov_sensors::camera::{Camera, Intrinsics, StereoRig};
+use sov_sensors::sync::{SyncConfig, SyncStrategy, Synchronizer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hardware_sync_error_bounded_by_jitter(seed in 0u64..2_000, k in 0u64..10_000) {
+        let cfg = SyncConfig { seed, ..SyncConfig::default() };
+        let jitter = cfg.hardware_jitter_ms;
+        let sync = Synchronizer::new(SyncStrategy::HardwareAssisted, cfg);
+        let mut rng = SovRng::seed_from_u64(seed);
+        let cam = sync.camera_sample(k, &mut rng);
+        let imu = sync.imu_sample(k, &mut rng);
+        prop_assert!(cam.timestamp_error_ms().abs() <= jitter + 0.5);
+        prop_assert!(imu.timestamp_error_ms().abs() <= jitter + 1e-9);
+    }
+
+    #[test]
+    fn software_sync_always_stamps_late(seed in 0u64..2_000, k in 0u64..1_000) {
+        let sync = Synchronizer::new(
+            SyncStrategy::SoftwareOnly,
+            SyncConfig { seed, ..SyncConfig::default() },
+        );
+        let mut rng = SovRng::seed_from_u64(seed ^ 1);
+        // Arrival-time stamping can never be earlier than the capture.
+        prop_assert!(sync.camera_sample(k, &mut rng).timestamp_error_ms() > 0.0);
+        prop_assert!(sync.imu_sample(k, &mut rng).timestamp_error_ms() > 0.0);
+    }
+
+    #[test]
+    fn camera_triggers_are_strictly_increasing(seed in 0u64..2_000, k in 0u64..10_000) {
+        for strategy in [SyncStrategy::SoftwareOnly, SyncStrategy::HardwareAssisted] {
+            let sync = Synchronizer::new(strategy, SyncConfig { seed, ..SyncConfig::default() });
+            let t0 = sync.camera_trigger(sov_sensors::sync::CameraId::FrontLeft, k);
+            let t1 = sync.camera_trigger(sov_sensors::sync::CameraId::FrontLeft, k + 1);
+            prop_assert!(t1 > t0);
+        }
+    }
+
+    #[test]
+    fn projection_depth_matches_geometry(
+        x in 1.0f64..50.0,
+        y in -3.0f64..3.0,
+        z in 0.0f64..3.0,
+        vx in -10.0f64..10.0,
+        vtheta in -3.0f64..3.0,
+    ) {
+        let cam = Camera::new(Intrinsics::hd1080(), 0.0, 1.2, 60.0, 0.0).unwrap();
+        let vehicle = Pose2::new(vx, 0.0, vtheta);
+        let (wx, wy) = vehicle.transform_point(x, y);
+        if let Some((_, depth)) = cam.project(&vehicle, wx, wy, z) {
+            prop_assert!((depth - x).abs() < 1e-9, "depth {depth} vs forward {x}");
+        }
+    }
+
+    #[test]
+    fn stereo_depth_from_disparity_roundtrip(
+        x in 2.0f64..50.0,
+        y in -2.0f64..2.0,
+        z in 0.5f64..3.0,
+    ) {
+        let rig = StereoRig::new(Intrinsics::hd1080(), 0.12, 1.2, 60.0, 0.0).unwrap();
+        let vehicle = Pose2::identity();
+        let left = rig.left().project(&vehicle, x, y, z);
+        let right = rig.right().project(&vehicle, x, y, z);
+        if let (Some(((ul, _), depth)), Some(((ur, _), _))) = (left, right) {
+            let est = rig.depth_from_disparity(ul - ur).expect("positive disparity");
+            prop_assert!((est - depth).abs() < 1e-6);
+        }
+    }
+}

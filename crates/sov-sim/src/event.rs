@@ -1,0 +1,205 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events scheduled at the same timestamp pop in insertion (FIFO) order, so
+//! simulations are bit-for-bit reproducible regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One pending event: a payload due at a time, with a FIFO sequence number.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    due: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap: earliest due first, then lowest seq.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use sov_sim::event::EventQueue;
+/// use sov_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(2), "late");
+/// q.schedule(SimTime::from_millis(1), "early");
+/// let (t, what) = q.pop().unwrap();
+/// assert_eq!((t, what), (SimTime::from_millis(1), "early"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue with the clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `due`.
+    ///
+    /// Scheduling in the past is allowed (the event pops immediately); this
+    /// mirrors hardware queues where a late interrupt still fires.
+    pub fn schedule(&mut self, due: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { due, seq, payload });
+    }
+
+    /// Pops the earliest event, advancing the clock to its due time.
+    ///
+    /// The clock never moves backwards: an event scheduled in the past pops
+    /// at the current clock value.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let entry = self.heap.pop()?;
+        if entry.due > self.now {
+            self.now = entry.due;
+        }
+        Some((self.now, entry.payload))
+    }
+
+    /// Peeks at the due time of the next event without popping.
+    #[must_use]
+    pub fn peek_due(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.due)
+    }
+
+    /// Drains and returns all events due at or before `t`, in order.
+    pub fn pop_until(&mut self, t: SimTime) -> Vec<(SimTime, T)> {
+        let mut out = Vec::new();
+        while self.peek_due().is_some_and(|due| due <= t) {
+            if let Some(ev) = self.pop() {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_at_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_millis(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, (0..100).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(5), "b");
+        let (t1, _) = q.pop().unwrap();
+        // Schedule an event "in the past" relative to the next pop.
+        q.schedule(SimTime::from_millis(1), "late");
+        let (t2, v2) = q.pop().unwrap();
+        assert_eq!(t1, SimTime::from_millis(5));
+        assert_eq!(v2, "late");
+        assert_eq!(t2, SimTime::from_millis(5), "clock must not run backwards");
+        assert_eq!(q.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn pop_until_partitions_correctly() {
+        let mut q = EventQueue::new();
+        for ms in [1u64, 2, 3, 10, 20] {
+            q.schedule(SimTime::from_millis(ms), ms);
+        }
+        let early = q.pop_until(SimTime::from_millis(3));
+        assert_eq!(early.len(), 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_due(), Some(SimTime::from_millis(10)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert!(q.peek_due().is_none());
+        assert!(q.pop_until(SimTime::from_millis(100)).is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 1);
+        let (t, _) = q.pop().unwrap();
+        q.schedule(t + SimDuration::from_millis(2), 2);
+        q.schedule(t + SimDuration::from_millis(1), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+}

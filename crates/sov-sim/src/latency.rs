@@ -1,0 +1,220 @@
+//! Parametric latency models for pipeline stages.
+//!
+//! Fig. 12b of the paper decomposes the camera pipeline into stages with
+//! *fixed* delays (exposure, transmission) and stages with *variable* delays
+//! (ISP ≈ 10 ms of jitter, CPU software stack up to ≈ 100 ms). The
+//! characterization in Fig. 10a likewise shows a mean close to best-case with
+//! a long tail. [`LatencyModel`] captures exactly these shapes.
+
+use crate::time::SimDuration;
+use sov_math::SovRng;
+
+/// A distribution over stage latencies.
+///
+/// All variants are truncated at zero (durations cannot be negative) and
+/// sampled with the workspace's deterministic [`SovRng`].
+///
+/// # Example
+///
+/// ```
+/// use sov_sim::latency::LatencyModel;
+/// use sov_sim::time::SimDuration;
+/// use sov_math::SovRng;
+///
+/// let model = LatencyModel::constant_millis(19.0); // T_mech from the paper
+/// let mut rng = SovRng::seed_from_u64(1);
+/// assert_eq!(model.sample(&mut rng), SimDuration::from_millis(19));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Always exactly this duration (e.g. CAN transmission, exposure).
+    Constant(SimDuration),
+    /// Uniform between `lo` and `hi` (e.g. ISP jitter window).
+    Uniform {
+        /// Lower bound.
+        lo: SimDuration,
+        /// Upper bound (inclusive of the open interval end for sampling).
+        hi: SimDuration,
+    },
+    /// Normal with the given mean/σ in milliseconds, truncated at `floor`.
+    Normal {
+        /// Mean latency (ms).
+        mean_ms: f64,
+        /// Standard deviation (ms).
+        std_ms: f64,
+        /// Minimum possible latency (ms); samples are clamped here.
+        floor_ms: f64,
+    },
+    /// Log-normal parameterized by the *median* latency and a shape factor
+    /// `sigma`, shifted by `floor`. Produces the long right tail seen in the
+    /// paper's application-layer jitter and 99th-percentile latencies.
+    LogNormal {
+        /// Median of the unshifted distribution (ms).
+        median_ms: f64,
+        /// Shape parameter of the underlying normal.
+        sigma: f64,
+        /// Additive floor (ms).
+        floor_ms: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Convenience constructor for a constant latency in milliseconds.
+    #[must_use]
+    pub fn constant_millis(ms: f64) -> Self {
+        Self::Constant(SimDuration::from_millis_f64(ms))
+    }
+
+    /// Convenience constructor for a uniform latency window in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo_ms > hi_ms`.
+    #[must_use]
+    pub fn uniform_millis(lo_ms: f64, hi_ms: f64) -> Self {
+        assert!(lo_ms <= hi_ms, "uniform window must be ordered");
+        Self::Uniform {
+            lo: SimDuration::from_millis_f64(lo_ms),
+            hi: SimDuration::from_millis_f64(hi_ms),
+        }
+    }
+
+    /// Convenience constructor for a truncated normal in milliseconds with
+    /// the floor at `mean - 2σ` (clamped at zero).
+    #[must_use]
+    pub fn normal_millis(mean_ms: f64, std_ms: f64) -> Self {
+        Self::Normal {
+            mean_ms,
+            std_ms,
+            floor_ms: (mean_ms - 2.0 * std_ms).max(0.0),
+        }
+    }
+
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut SovRng) -> SimDuration {
+        match *self {
+            Self::Constant(d) => d,
+            Self::Uniform { lo, hi } => {
+                let ns = rng.uniform(lo.as_nanos() as f64, hi.as_nanos() as f64 + 1.0);
+                SimDuration::from_nanos(ns as u64)
+            }
+            Self::Normal { mean_ms, std_ms, floor_ms } => {
+                let ms = rng.normal(mean_ms, std_ms).max(floor_ms).max(0.0);
+                SimDuration::from_millis_f64(ms)
+            }
+            Self::LogNormal { median_ms, sigma, floor_ms } => {
+                let ms = floor_ms + rng.log_normal(median_ms.max(1e-9).ln(), sigma);
+                SimDuration::from_millis_f64(ms.max(0.0))
+            }
+        }
+    }
+
+    /// The minimum latency this model can produce (the "best case").
+    #[must_use]
+    pub fn min(&self) -> SimDuration {
+        match *self {
+            Self::Constant(d) => d,
+            Self::Uniform { lo, .. } => lo,
+            Self::Normal { floor_ms, .. } => SimDuration::from_millis_f64(floor_ms.max(0.0)),
+            Self::LogNormal { floor_ms, .. } => SimDuration::from_millis_f64(floor_ms.max(0.0)),
+        }
+    }
+
+    /// The distribution mean (exact for all variants).
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            Self::Constant(d) => d,
+            Self::Uniform { lo, hi } => (lo + hi) / 2,
+            // Truncation bias is negligible at the 2σ floor used here.
+            Self::Normal { mean_ms, .. } => SimDuration::from_millis_f64(mean_ms.max(0.0)),
+            Self::LogNormal { median_ms, sigma, floor_ms } => {
+                SimDuration::from_millis_f64(floor_ms + median_ms * (sigma * sigma / 2.0).exp())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_exact() {
+        let m = LatencyModel::constant_millis(19.0);
+        let mut rng = SovRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(19));
+        }
+        assert_eq!(m.min(), SimDuration::from_millis(19));
+        assert_eq!(m.mean(), SimDuration::from_millis(19));
+    }
+
+    #[test]
+    fn uniform_stays_in_window() {
+        let m = LatencyModel::uniform_millis(5.0, 15.0);
+        let mut rng = SovRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let s = m.sample(&mut rng).as_millis_f64();
+            assert!((5.0..=15.01).contains(&s), "sample {s} out of window");
+        }
+        assert_eq!(m.mean(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn normal_respects_floor() {
+        let m = LatencyModel::normal_millis(25.0, 14.0);
+        let mut rng = SovRng::seed_from_u64(2);
+        let floor = m.min().as_millis_f64();
+        for _ in 0..2000 {
+            assert!(m.sample(&mut rng).as_millis_f64() >= floor - 1e-9);
+        }
+    }
+
+    #[test]
+    fn normal_sample_mean_close() {
+        let m = LatencyModel::normal_millis(100.0, 10.0);
+        let mut rng = SovRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| m.sample(&mut rng).as_millis_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean was {mean}");
+    }
+
+    #[test]
+    fn log_normal_has_long_tail() {
+        let m = LatencyModel::LogNormal { median_ms: 10.0, sigma: 0.8, floor_ms: 140.0 };
+        let mut rng = SovRng::seed_from_u64(4);
+        let mut s: Vec<f64> = (0..20_000).map(|_| m.sample(&mut rng).as_millis_f64()).collect();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = s[s.len() / 2];
+        let p99 = s[(s.len() as f64 * 0.99) as usize];
+        // Mean above median and p99 far above median: right-skewed.
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!(mean > median);
+        assert!(p99 > median + 3.0 * (median - 140.0));
+        assert!(s[0] >= 140.0);
+    }
+
+    #[test]
+    fn min_is_lower_bound_for_all_models() {
+        let models = [
+            LatencyModel::constant_millis(3.0),
+            LatencyModel::uniform_millis(1.0, 2.0),
+            LatencyModel::normal_millis(30.0, 5.0),
+            LatencyModel::LogNormal { median_ms: 5.0, sigma: 0.5, floor_ms: 2.0 },
+        ];
+        let mut rng = SovRng::seed_from_u64(5);
+        for m in &models {
+            let lo = m.min();
+            for _ in 0..500 {
+                assert!(m.sample(&mut rng) >= lo.saturating_sub(SimDuration::from_nanos(1)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn uniform_rejects_inverted_window() {
+        let _ = LatencyModel::uniform_millis(2.0, 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Discrete-event simulation kernel for the SoV reproduction.
+//!
+//! The paper measures a physical vehicle; we reproduce its timing behaviour
+//! with a deterministic event-driven simulation. This crate provides:
+//!
+//! * [`time`] — integer-nanosecond [`time::SimTime`] and
+//!   [`time::SimDuration`] newtypes (no floating-point clock drift).
+//! * [`latency`] — parametric latency distributions
+//!   ([`latency::LatencyModel`]) used to model every pipeline stage: constant
+//!   transmission delays, uniform ISP jitter (~10 ms in Fig. 12b), log-normal
+//!   application-layer jitter (~100 ms tails), etc.
+//! * [`event`] — a deterministic event queue ([`event::EventQueue`]) with
+//!   FIFO tie-breaking at equal timestamps.
+//! * [`trace`] — span recording ([`trace::TraceLog`]) so end-to-end latency
+//!   can be decomposed into sensing/perception/planning exactly as in
+//!   Fig. 10a.
+//!
+//! # Example
+//!
+//! ```
+//! use sov_sim::event::EventQueue;
+//! use sov_sim::time::{SimDuration, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "b");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(1), "a");
+//! assert_eq!(q.pop().unwrap().1, "a");
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod latency;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use latency::LatencyModel;
+pub use time::{SimDuration, SimTime};

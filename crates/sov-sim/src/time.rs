@@ -1,0 +1,327 @@
+//! Integer-nanosecond simulation time.
+//!
+//! All timestamps in the workspace are [`SimTime`] (nanoseconds since
+//! simulation start) and all intervals are [`SimDuration`]. Using integers
+//! keeps event ordering exact; conversions to floating-point seconds or
+//! milliseconds happen only at reporting boundaries.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, in nanoseconds since simulation start.
+///
+/// # Example
+///
+/// ```
+/// use sov_sim::time::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(164);
+/// assert_eq!(t.as_secs_f64(), 0.164);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: Self = Self(0);
+
+    /// Constructs from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// Constructs from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000)
+    }
+
+    /// Constructs from floating-point seconds (rounds to nearest ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `secs` is negative or non-finite.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs.is_finite() && secs >= 0.0);
+        Self((secs * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds since epoch.
+    #[must_use]
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since epoch as `f64` (for reporting only).
+    #[must_use]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Milliseconds since epoch as `f64` (for reporting only).
+    #[must_use]
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Duration since an earlier instant; saturates to zero if `earlier`
+    /// is in the future.
+    #[must_use]
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: Self = Self(0);
+
+    /// Constructs from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// Constructs from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000)
+    }
+
+    /// Constructs from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000_000_000)
+    }
+
+    /// Constructs from floating-point seconds (rounds to nearest ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `secs` is negative or non-finite.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        Self((secs * 1e9).round() as u64)
+    }
+
+    /// Constructs from floating-point milliseconds (rounds to nearest ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `ms` is negative or non-finite.
+    #[must_use]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        debug_assert!(ms.is_finite() && ms >= 0.0, "duration must be finite and non-negative");
+        Self((ms * 1e6).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as `f64`.
+    #[must_use]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Milliseconds as `f64`.
+    #[must_use]
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(&self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self` (use [`SimTime::since`] for a
+    /// saturating variant).
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow; use since() for saturating behaviour"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics on underflow (use [`SimDuration::saturating_sub`] otherwise).
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let d = SimDuration::from_secs_f64(0.164);
+        assert!((d.as_secs_f64() - 0.164).abs() < 1e-12);
+        assert!((d.as_millis_f64() - 164.0).abs() < 1e-9);
+        let d2 = SimDuration::from_millis_f64(19.5);
+        assert_eq!(d2.as_nanos(), 19_500_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(10);
+        let t2 = t + SimDuration::from_millis(5);
+        assert_eq!(t2 - t, SimDuration::from_millis(5));
+        assert_eq!(t2.since(t), SimDuration::from_millis(5));
+        assert_eq!(t.since(t2), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_sub_underflow_panics() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+
+    #[test]
+    fn duration_scaling_and_sum() {
+        let d = SimDuration::from_millis(4) * 3;
+        assert_eq!(d, SimDuration::from_millis(12));
+        assert_eq!(d / 4, SimDuration::from_millis(3));
+        let total: SimDuration = vec![
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(3),
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total, SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimDuration::from_micros(999) < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_millis(164)), "164.000ms");
+        assert_eq!(format!("{}", SimDuration::from_nanos(500)), "500ns");
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "t=1.500000s");
+    }
+}

@@ -1,0 +1,230 @@
+//! Span recording for end-to-end latency decomposition.
+//!
+//! The paper's Fig. 10a decomposes computing latency into sensing,
+//! perception, and planning per frame. [`TraceLog`] records `(stage, start,
+//! end)` spans keyed by frame, and [`FrameBreakdown`] reconstructs the
+//! per-stage and total latency of each frame.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Pipeline stage labels used across the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Sensor capture + sensor processing stack (Fig. 12b pipeline).
+    Sensing,
+    /// Perception: localization ∥ scene understanding.
+    Perception,
+    /// Planning: MPC and command generation.
+    Planning,
+    /// CAN-bus transmission (T_data, ≈1 ms).
+    CanBus,
+    /// Mechanical actuation onset (T_mech, ≈19 ms).
+    Mechanical,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Sensing,
+        Stage::Perception,
+        Stage::Planning,
+        Stage::CanBus,
+        Stage::Mechanical,
+    ];
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Sensing => "sensing",
+            Stage::Perception => "perception",
+            Stage::Planning => "planning",
+            Stage::CanBus => "can-bus",
+            Stage::Mechanical => "mechanical",
+        }
+    }
+}
+
+/// A single recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Frame (pipeline iteration) this span belongs to.
+    pub frame: u64,
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Span start time.
+    pub start: SimTime,
+    /// Span end time.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Span duration.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Per-frame latency breakdown reconstructed from spans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameBreakdown {
+    /// Total duration attributed to each stage.
+    pub per_stage: BTreeMap<Stage, SimDuration>,
+    /// Earliest span start in the frame.
+    pub start: SimTime,
+    /// Latest span end in the frame.
+    pub end: SimTime,
+}
+
+impl FrameBreakdown {
+    /// Wall-clock latency of the frame (last end − first start).
+    #[must_use]
+    pub fn total(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// Duration of one stage (zero if absent).
+    #[must_use]
+    pub fn stage(&self, stage: Stage) -> SimDuration {
+        self.per_stage.get(&stage).copied().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// An append-only log of spans with per-frame aggregation.
+///
+/// # Example
+///
+/// ```
+/// use sov_sim::trace::{Stage, TraceLog};
+/// use sov_sim::time::SimTime;
+///
+/// let mut log = TraceLog::new();
+/// log.record(0, Stage::Sensing, SimTime::ZERO, SimTime::from_millis(80));
+/// let frames = log.frames();
+/// assert_eq!(frames[&0].stage(Stage::Sensing), SimTime::from_millis(80).since(SimTime::ZERO));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    spans: Vec<Span>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one span.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `end < start`.
+    pub fn record(&mut self, frame: u64, stage: Stage, start: SimTime, end: SimTime) {
+        debug_assert!(end >= start, "span must end after it starts");
+        self.spans.push(Span { frame, stage, start, end });
+    }
+
+    /// All recorded spans in insertion order.
+    #[must_use]
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Aggregates spans into per-frame breakdowns.
+    ///
+    /// Parallel spans within a stage are summed (the caller decides whether a
+    /// stage's spans are serial); the frame's `total()` uses wall-clock
+    /// extent, so overlapping stages are not double-counted there.
+    #[must_use]
+    pub fn frames(&self) -> BTreeMap<u64, FrameBreakdown> {
+        let mut out: BTreeMap<u64, FrameBreakdown> = BTreeMap::new();
+        for span in &self.spans {
+            let fb = out.entry(span.frame).or_insert_with(|| FrameBreakdown {
+                per_stage: BTreeMap::new(),
+                start: span.start,
+                end: span.end,
+            });
+            if span.start < fb.start {
+                fb.start = span.start;
+            }
+            if span.end > fb.end {
+                fb.end = span.end;
+            }
+            *fb.per_stage.entry(span.stage).or_insert(SimDuration::ZERO) += span.duration();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_distinct() {
+        let names: std::collections::HashSet<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn frame_aggregation() {
+        let mut log = TraceLog::new();
+        log.record(0, Stage::Sensing, SimTime::ZERO, SimTime::from_millis(80));
+        log.record(0, Stage::Perception, SimTime::from_millis(80), SimTime::from_millis(160));
+        log.record(0, Stage::Planning, SimTime::from_millis(160), SimTime::from_millis(163));
+        let frames = log.frames();
+        let fb = &frames[&0];
+        assert_eq!(fb.stage(Stage::Sensing).as_millis_f64(), 80.0);
+        assert_eq!(fb.stage(Stage::Planning).as_millis_f64(), 3.0);
+        assert_eq!(fb.total().as_millis_f64(), 163.0);
+        assert_eq!(fb.stage(Stage::CanBus), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overlapping_spans_do_not_inflate_total() {
+        let mut log = TraceLog::new();
+        // Localization and scene understanding run in parallel inside
+        // perception (Fig. 5).
+        log.record(1, Stage::Perception, SimTime::ZERO, SimTime::from_millis(24));
+        log.record(1, Stage::Perception, SimTime::ZERO, SimTime::from_millis(77));
+        let frames = log.frames();
+        let fb = &frames[&1];
+        assert_eq!(fb.total().as_millis_f64(), 77.0);
+        // Per-stage sums both, by contract.
+        assert_eq!(fb.stage(Stage::Perception).as_millis_f64(), 101.0);
+    }
+
+    #[test]
+    fn multiple_frames_keyed_separately() {
+        let mut log = TraceLog::new();
+        for f in 0..5u64 {
+            let base = SimTime::from_millis(f * 100);
+            log.record(f, Stage::Sensing, base, base + SimDuration::from_millis(10));
+        }
+        let frames = log.frames();
+        assert_eq!(frames.len(), 5);
+        assert!(frames.values().all(|fb| fb.total() == SimDuration::from_millis(10)));
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = TraceLog::new();
+        assert!(log.is_empty());
+        assert!(log.frames().is_empty());
+    }
+}

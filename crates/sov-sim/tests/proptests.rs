@@ -1,0 +1,71 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use sov_sim::event::EventQueue;
+use sov_sim::latency::LatencyModel;
+use sov_sim::time::{SimDuration, SimTime};
+use sov_math::SovRng;
+
+proptest! {
+    #[test]
+    fn queue_pops_in_nondecreasing_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut prev = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn queue_is_fifo_for_equal_times(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_millis(7), i);
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn latency_samples_at_least_min(
+        seed in 0u64..5_000,
+        mean in 1.0f64..200.0,
+        std in 0.1f64..50.0,
+    ) {
+        let model = LatencyModel::normal_millis(mean, std);
+        let lo = model.min();
+        let mut rng = SovRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(model.sample(&mut rng) + SimDuration::from_nanos(1) >= lo);
+        }
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        prop_assert_eq!(da.saturating_sub(db).as_nanos(), a.saturating_sub(b));
+        let t = SimTime::from_nanos(a) + db;
+        prop_assert_eq!(t.since(SimTime::from_nanos(a)), db);
+    }
+
+    #[test]
+    fn pop_until_splits_exactly(times in prop::collection::vec(0u64..1000, 1..100), cut in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_nanos(t), t);
+        }
+        let early = q.pop_until(SimTime::from_nanos(cut));
+        let expected_early = times.iter().filter(|&&t| t <= cut).count();
+        prop_assert_eq!(early.len(), expected_early);
+        prop_assert_eq!(q.len(), times.len() - expected_early);
+    }
+}

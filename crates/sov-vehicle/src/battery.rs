@@ -1,0 +1,228 @@
+//! Energy and driving-time model (Eq. 2, Fig. 3b, Table I).
+//!
+//! The vehicle is battery-electric: a 6 kWh pack, a 0.6 kW average base
+//! load (`P_V`), and the autonomous-driving subsystem adding `P_AD` on top
+//! (175 W in the deployed configuration, Table I). Eq. 2 gives the driving
+//! time lost to autonomy:
+//!
+//! ```text
+//! T_reduced = E / P_V − E / (P_V + P_AD)
+//! ```
+//!
+//! [`DrivingTimeModel`] evaluates this sweep (Fig. 3b) and the what-if
+//! points the paper discusses: adding a server (idle +31 W, full load
+//! +118 W) and switching to Waymo's LiDAR suite (+92 W).
+
+use sov_sim::time::SimDuration;
+
+/// The driving-time model of Eq. 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrivingTimeModel {
+    /// Battery capacity `E` (kWh).
+    pub capacity_kwh: f64,
+    /// Vehicle base load `P_V` (kW), without autonomy.
+    pub base_load_kw: f64,
+}
+
+impl DrivingTimeModel {
+    /// The paper's vehicle: 6 kWh pack, 0.6 kW average base load.
+    #[must_use]
+    pub fn perceptin_defaults() -> Self {
+        Self { capacity_kwh: 6.0, base_load_kw: 0.6 }
+    }
+
+    /// Driving time (hours) on a single charge with autonomy drawing
+    /// `p_ad_kw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `p_ad_kw` is negative.
+    #[must_use]
+    pub fn driving_time_h(&self, p_ad_kw: f64) -> f64 {
+        debug_assert!(p_ad_kw >= 0.0, "autonomy load cannot be negative");
+        self.capacity_kwh / (self.base_load_kw + p_ad_kw)
+    }
+
+    /// Driving time lost to autonomy (hours) — Eq. 2.
+    #[must_use]
+    pub fn reduced_driving_time_h(&self, p_ad_kw: f64) -> f64 {
+        self.driving_time_h(0.0) - self.driving_time_h(p_ad_kw)
+    }
+
+    /// Fractional revenue loss for a site operating `operating_hours` per
+    /// day (Sec. III-B's "3% revenue lost per day" example).
+    #[must_use]
+    pub fn revenue_loss_fraction(&self, p_ad_base_kw: f64, p_ad_extra_kw: f64, operating_hours: f64) -> f64 {
+        let before = self.driving_time_h(p_ad_base_kw).min(operating_hours);
+        let after = self.driving_time_h(p_ad_base_kw + p_ad_extra_kw).min(operating_hours);
+        (before - after) / operating_hours
+    }
+}
+
+/// One row of the power breakdown of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerComponent {
+    /// Component name.
+    pub name: &'static str,
+    /// Power per unit (W).
+    pub power_w: f64,
+    /// Quantity installed.
+    pub quantity: u32,
+}
+
+impl PowerComponent {
+    /// Total power of this row (W).
+    #[must_use]
+    pub fn total_w(&self) -> f64 {
+        self.power_w * f64::from(self.quantity)
+    }
+}
+
+/// The autonomous-driving power breakdown of Table I.
+#[must_use]
+pub fn table1_power_breakdown() -> Vec<PowerComponent> {
+    vec![
+        PowerComponent { name: "Main computing server (dynamic)", power_w: 118.0, quantity: 1 },
+        PowerComponent { name: "Main computing server (idle)", power_w: 31.0, quantity: 1 },
+        PowerComponent { name: "Embedded vision module (FPGA+cameras/IMU/GPS)", power_w: 11.0, quantity: 1 },
+        PowerComponent { name: "Radar", power_w: 13.0 / 6.0, quantity: 6 },
+        PowerComponent { name: "Sonar", power_w: 2.0 / 8.0, quantity: 8 },
+    ]
+}
+
+/// Total autonomous-driving power `P_AD` of Table I (W): server dynamic +
+/// idle + vision module + radars + sonars = 175 W.
+#[must_use]
+pub fn table1_total_pad_w() -> f64 {
+    table1_power_breakdown().iter().map(PowerComponent::total_w).sum()
+}
+
+/// Reference LiDAR powers from Table I (not used by the paper's vehicle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LidarPower;
+
+impl LidarPower {
+    /// Long-range LiDAR (Velodyne HDL-64E class), W.
+    pub const LONG_RANGE_W: f64 = 60.0;
+    /// Short-range LiDAR (Velodyne Puck class), W.
+    pub const SHORT_RANGE_W: f64 = 8.0;
+
+    /// Waymo-style suite: 1 long-range + 4 short-range ≈ 92 W (Sec. III-D).
+    #[must_use]
+    pub fn waymo_suite_w() -> f64 {
+        Self::LONG_RANGE_W + 4.0 * Self::SHORT_RANGE_W
+    }
+}
+
+/// A battery being drained in simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    capacity_kwh: f64,
+    remaining_kwh: f64,
+}
+
+impl Battery {
+    /// A fully-charged battery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity is not positive.
+    #[must_use]
+    pub fn full(capacity_kwh: f64) -> Self {
+        assert!(capacity_kwh > 0.0, "capacity must be positive");
+        Self { capacity_kwh, remaining_kwh: capacity_kwh }
+    }
+
+    /// Remaining energy (kWh).
+    #[must_use]
+    pub fn remaining_kwh(&self) -> f64 {
+        self.remaining_kwh
+    }
+
+    /// State of charge in `[0, 1]`.
+    #[must_use]
+    pub fn soc(&self) -> f64 {
+        self.remaining_kwh / self.capacity_kwh
+    }
+
+    /// Drains the battery at `load_kw` for `dt`; returns `false` once empty.
+    pub fn drain(&mut self, load_kw: f64, dt: SimDuration) -> bool {
+        let used = load_kw * dt.as_secs_f64() / 3600.0;
+        self.remaining_kwh = (self.remaining_kwh - used).max(0.0);
+        self.remaining_kwh > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_total_is_175w() {
+        assert!((table1_total_pad_w() - 175.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autonomy_cuts_driving_time_from_10_to_7_7_hours() {
+        let m = DrivingTimeModel::perceptin_defaults();
+        // Paper: "supporting autonomous driving reduces the driving time on
+        // a single charge from 10 hours to 7.7 hours."
+        assert!((m.driving_time_h(0.0) - 10.0).abs() < 1e-9);
+        let with_ad = m.driving_time_h(0.175);
+        assert!((with_ad - 7.74).abs() < 0.02, "driving time {with_ad}");
+    }
+
+    #[test]
+    fn extra_idle_server_costs_point_three_hours_and_3_percent() {
+        let m = DrivingTimeModel::perceptin_defaults();
+        // Paper: +31 W idle server → −0.3 h, ≈3% revenue over a 10 h day.
+        let delta = m.driving_time_h(0.175) - m.driving_time_h(0.175 + 0.031);
+        assert!((delta - 0.3).abs() < 0.02, "lost {delta} h");
+        let loss = m.revenue_loss_fraction(0.175, 0.031, 10.0);
+        assert!((loss - 0.03).abs() < 0.005, "revenue loss {loss}");
+    }
+
+    #[test]
+    fn full_load_server_costs_3_5_hours_vs_no_autonomy() {
+        let m = DrivingTimeModel::perceptin_defaults();
+        // Fig. 3b: "+1 server full load" end of the sweep: driving time
+        // reduction ≈ 3.5 h relative to the no-autonomy baseline.
+        let reduction = m.reduced_driving_time_h(0.175 + 0.118 + 0.031);
+        assert!((reduction - 3.5).abs() < 0.15, "reduction {reduction} h");
+    }
+
+    #[test]
+    fn lidar_suite_costs_another_0_8_hours() {
+        let m = DrivingTimeModel::perceptin_defaults();
+        // Paper: Waymo's LiDAR config would reduce driving time by a
+        // further 0.8 h compared to the current system.
+        let delta =
+            m.driving_time_h(0.175) - m.driving_time_h(0.175 + LidarPower::waymo_suite_w() / 1000.0);
+        assert!((delta - 0.8).abs() < 0.1, "lidar cost {delta} h");
+        assert!((LidarPower::waymo_suite_w() - 92.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_is_monotone_in_pad() {
+        let m = DrivingTimeModel::perceptin_defaults();
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let pad = 0.15 + 0.01 * f64::from(i);
+            let r = m.reduced_driving_time_h(pad);
+            assert!(r > prev, "Fig. 3b must be monotone");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn battery_drains_and_empties() {
+        let mut b = Battery::full(6.0);
+        assert_eq!(b.soc(), 1.0);
+        // 0.775 kW for 2 hours = 1.55 kWh.
+        assert!(b.drain(0.775, SimDuration::from_secs(7200)));
+        assert!((b.remaining_kwh() - 4.45).abs() < 1e-9);
+        // Drain far beyond capacity.
+        assert!(!b.drain(10.0, SimDuration::from_secs(36_000)));
+        assert_eq!(b.remaining_kwh(), 0.0);
+    }
+}

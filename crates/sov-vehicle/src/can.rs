@@ -1,0 +1,266 @@
+//! Controller Area Network model.
+//!
+//! Control commands travel from the on-vehicle server to the ECU over the
+//! CAN bus (Fig. 7); the paper measures `T_data ≈ 1 ms`. The model here is
+//! frame-level: classical CAN 2.0 at 500 kbit/s, 8-byte payloads, priority
+//! arbitration by identifier (lower id wins), non-preemptive transmission.
+//! The reactive path's emergency frames use a lower (higher-priority)
+//! identifier than the proactive path's commands, so an override is never
+//! queued behind routine traffic.
+
+use sov_sim::time::{SimDuration, SimTime};
+use std::collections::BinaryHeap;
+
+/// CAN identifier (lower value = higher priority, as on a real bus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanId(pub u16);
+
+impl CanId {
+    /// Identifier used by reactive-path emergency frames.
+    pub const REACTIVE_OVERRIDE: CanId = CanId(0x010);
+    /// Identifier used by proactive-path control commands.
+    pub const CONTROL_COMMAND: CanId = CanId(0x100);
+    /// Identifier used by telemetry/log frames.
+    pub const TELEMETRY: CanId = CanId(0x400);
+}
+
+/// One CAN frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanFrame {
+    /// Arbitration identifier.
+    pub id: CanId,
+    /// Payload (up to 8 bytes for classical CAN).
+    pub data: Vec<u8>,
+    /// When the frame was enqueued.
+    pub enqueued_at: SimTime,
+}
+
+/// Error for invalid frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLargeError(pub usize);
+
+impl std::fmt::Display for FrameTooLargeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CAN payload of {} bytes exceeds the 8-byte classical CAN limit", self.0)
+    }
+}
+
+impl std::error::Error for FrameTooLargeError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pending {
+    id: CanId,
+    seq: u64,
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the lowest id (highest
+        // priority) pops first, FIFO within an id.
+        other.id.cmp(&self.id).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A delivered frame with its bus latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The frame.
+    pub frame: CanFrame,
+    /// Delivery time at the receiver.
+    pub delivered_at: SimTime,
+}
+
+impl Delivery {
+    /// Bus latency (queueing + transmission).
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.delivered_at.since(self.frame.enqueued_at)
+    }
+}
+
+/// The CAN bus.
+#[derive(Debug, Clone)]
+pub struct CanBus {
+    bitrate_bps: f64,
+    queue: BinaryHeap<Pending>,
+    frames: Vec<Option<CanFrame>>,
+    next_seq: u64,
+    /// Time at which the bus becomes free.
+    busy_until: SimTime,
+}
+
+impl CanBus {
+    /// A 500 kbit/s classical CAN bus (typical automotive control bus).
+    #[must_use]
+    pub fn new_500kbps() -> Self {
+        Self::with_bitrate(500_000.0)
+    }
+
+    /// A bus with the given bitrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitrate is not positive.
+    #[must_use]
+    pub fn with_bitrate(bitrate_bps: f64) -> Self {
+        assert!(bitrate_bps > 0.0, "bitrate must be positive");
+        Self {
+            bitrate_bps,
+            queue: BinaryHeap::new(),
+            frames: Vec::new(),
+            next_seq: 0,
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// On-wire time of a frame: ~44 overhead bits + 8·payload bits, plus
+    /// worst-case stuffing (~20%).
+    #[must_use]
+    pub fn frame_time(&self, payload_len: usize) -> SimDuration {
+        let bits = (44.0 + 8.0 * payload_len as f64) * 1.2;
+        SimDuration::from_secs_f64(bits / self.bitrate_bps)
+    }
+
+    /// Enqueues a frame at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameTooLargeError`] if the payload exceeds 8 bytes.
+    pub fn send(
+        &mut self,
+        id: CanId,
+        data: Vec<u8>,
+        now: SimTime,
+    ) -> Result<(), FrameTooLargeError> {
+        if data.len() > 8 {
+            return Err(FrameTooLargeError(data.len()));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Pending { id, seq });
+        if self.frames.len() <= seq as usize {
+            self.frames.resize(seq as usize + 1, None);
+        }
+        self.frames[seq as usize] = Some(CanFrame { id, data, enqueued_at: now });
+        Ok(())
+    }
+
+    /// Delivers all queued frames, arbitrating by priority, starting no
+    /// earlier than `now`. Returns deliveries in bus order.
+    pub fn deliver_all(&mut self, now: SimTime) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        let mut clock = if self.busy_until > now { self.busy_until } else { now };
+        while let Some(pending) = self.queue.pop() {
+            let frame = self.frames[pending.seq as usize]
+                .take()
+                .expect("frame stored at send()");
+            // Transmission cannot start before the frame exists.
+            if frame.enqueued_at > clock {
+                clock = frame.enqueued_at;
+            }
+            clock += self.frame_time(frame.data.len());
+            out.push(Delivery { frame, delivered_at: clock });
+        }
+        self.busy_until = clock;
+        out
+    }
+
+    /// Number of frames waiting.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Default for CanBus {
+    fn default() -> Self {
+        Self::new_500kbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_latency_well_under_1ms() {
+        let mut bus = CanBus::new_500kbps();
+        bus.send(CanId::CONTROL_COMMAND, vec![1, 2, 3, 4, 5, 6, 7, 8], SimTime::ZERO)
+            .unwrap();
+        let deliveries = bus.deliver_all(SimTime::ZERO);
+        assert_eq!(deliveries.len(), 1);
+        let lat = deliveries[0].latency().as_millis_f64();
+        // Paper: T_data ≈ 1 ms end-to-end (incl. software); wire time for
+        // one frame is a fraction of that.
+        assert!(lat < 1.0, "frame latency {lat} ms");
+        assert!(lat > 0.1, "frame latency {lat} ms should be non-trivial");
+    }
+
+    #[test]
+    fn arbitration_prefers_low_ids() {
+        let mut bus = CanBus::new_500kbps();
+        bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO).unwrap();
+        bus.send(CanId::CONTROL_COMMAND, vec![0; 8], SimTime::ZERO).unwrap();
+        bus.send(CanId::REACTIVE_OVERRIDE, vec![0; 8], SimTime::ZERO).unwrap();
+        let order: Vec<CanId> = bus
+            .deliver_all(SimTime::ZERO)
+            .into_iter()
+            .map(|d| d.frame.id)
+            .collect();
+        assert_eq!(
+            order,
+            vec![CanId::REACTIVE_OVERRIDE, CanId::CONTROL_COMMAND, CanId::TELEMETRY]
+        );
+    }
+
+    #[test]
+    fn fifo_within_same_id() {
+        let mut bus = CanBus::new_500kbps();
+        for i in 0..5u8 {
+            bus.send(CanId::CONTROL_COMMAND, vec![i], SimTime::ZERO).unwrap();
+        }
+        let payloads: Vec<u8> = bus
+            .deliver_all(SimTime::ZERO)
+            .into_iter()
+            .map(|d| d.frame.data[0])
+            .collect();
+        assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn queueing_delay_accumulates() {
+        let mut bus = CanBus::new_500kbps();
+        for _ in 0..10 {
+            bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO).unwrap();
+        }
+        let deliveries = bus.deliver_all(SimTime::ZERO);
+        let first = deliveries.first().unwrap().latency();
+        let last = deliveries.last().unwrap().latency();
+        assert!(last > first * 5, "later frames queue behind earlier ones");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut bus = CanBus::new_500kbps();
+        let err = bus.send(CanId::TELEMETRY, vec![0; 9], SimTime::ZERO).unwrap_err();
+        assert_eq!(err, FrameTooLargeError(9));
+        assert_eq!(bus.pending(), 0);
+    }
+
+    #[test]
+    fn bus_stays_busy_across_calls() {
+        let mut bus = CanBus::new_500kbps();
+        bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO).unwrap();
+        let d1 = bus.deliver_all(SimTime::ZERO);
+        // A frame sent immediately after must wait for the bus to free.
+        bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO).unwrap();
+        let d2 = bus.deliver_all(SimTime::ZERO);
+        assert!(d2[0].delivered_at > d1[0].delivered_at);
+    }
+}

@@ -1,0 +1,245 @@
+//! Longitudinal dynamics and the end-to-end latency model (Eq. 1, Fig. 2).
+//!
+//! The latency chain of Fig. 2 is:
+//!
+//! ```text
+//! new event sensed → T_comp → T_data (CAN, ≈1 ms) → T_mech (≈19 ms)
+//!                  → vehicle starts reacting → T_stop = v/a → fully stopped
+//! ```
+//!
+//! Eq. 1 requires `(T_comp + T_data + T_mech)·v + v²/(2a) ≤ D` for an object
+//! at distance `D`. [`LatencyBudget`] answers both directions of that
+//! inequality: the latency requirement for a given distance (Fig. 3a) and
+//! the minimum avoidable distance for a given latency.
+
+use sov_math::Pose2;
+
+/// A control command sent from planning to the ECU over the CAN bus.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ControlCommand {
+    /// Requested acceleration (m/s², ≥ 0).
+    pub throttle_mps2: f64,
+    /// Requested deceleration (m/s², ≥ 0).
+    pub brake_mps2: f64,
+    /// Steering: requested yaw rate (rad/s); lane-granularity maneuvers
+    /// (Sec. III-D) keep this small.
+    pub yaw_rate_rps: f64,
+}
+
+impl ControlCommand {
+    /// A full emergency brake at the vehicle's maximum deceleration.
+    #[must_use]
+    pub fn emergency_brake(max_decel_mps2: f64) -> Self {
+        Self { throttle_mps2: 0.0, brake_mps2: max_decel_mps2, yaw_rate_rps: 0.0 }
+    }
+
+    /// Coasting (no inputs).
+    #[must_use]
+    pub fn coast() -> Self {
+        Self::default()
+    }
+
+    /// Net longitudinal acceleration (m/s²).
+    #[must_use]
+    pub fn net_accel_mps2(&self) -> f64 {
+        self.throttle_mps2 - self.brake_mps2
+    }
+}
+
+/// Physical parameters of the vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VehicleParams {
+    /// Maximum service deceleration (paper: ≈4 m/s²).
+    pub max_decel_mps2: f64,
+    /// Maximum acceleration (m/s²).
+    pub max_accel_mps2: f64,
+    /// Speed cap (paper: 20 mph ≈ 8.9 m/s).
+    pub max_speed_mps: f64,
+    /// Typical cruise speed (paper: 5.6 m/s).
+    pub cruise_speed_mps: f64,
+}
+
+impl VehicleParams {
+    /// The paper's 2-seater pod / 8-seater shuttle parameters.
+    #[must_use]
+    pub fn perceptin_defaults() -> Self {
+        Self {
+            max_decel_mps2: 4.0,
+            max_accel_mps2: 2.0,
+            max_speed_mps: 8.9,
+            cruise_speed_mps: 5.6,
+        }
+    }
+
+    /// Braking distance from speed `v`: `v²/(2a)`.
+    #[must_use]
+    pub fn braking_distance_m(&self, v_mps: f64) -> f64 {
+        v_mps * v_mps / (2.0 * self.max_decel_mps2)
+    }
+
+    /// Time to fully stop from speed `v`: `v/a` (Eq. 1b).
+    #[must_use]
+    pub fn stopping_time_s(&self, v_mps: f64) -> f64 {
+        v_mps / self.max_decel_mps2
+    }
+}
+
+/// Kinematic state of the vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VehicleState {
+    /// Planar pose.
+    pub pose: Pose2,
+    /// Forward speed (m/s, ≥ 0).
+    pub speed_mps: f64,
+}
+
+impl VehicleState {
+    /// Advances the state under `accel` and `yaw_rate` for `dt` seconds,
+    /// clamping speed into `[0, params.max_speed]`.
+    #[must_use]
+    pub fn step(&self, accel_mps2: f64, yaw_rate_rps: f64, dt: f64, params: &VehicleParams) -> Self {
+        let new_speed = (self.speed_mps + accel_mps2 * dt).clamp(0.0, params.max_speed_mps);
+        // Integrate position with the average speed over the step.
+        let avg_speed = 0.5 * (self.speed_mps + new_speed);
+        Self {
+            pose: self.pose.step_unicycle(avg_speed, yaw_rate_rps, dt),
+            speed_mps: new_speed,
+        }
+    }
+}
+
+/// The end-to-end latency budget of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBudget {
+    /// Vehicle speed `v` (m/s).
+    pub speed_mps: f64,
+    /// Brake deceleration `a` (m/s²).
+    pub decel_mps2: f64,
+    /// CAN transmission latency `T_data` (s; paper: ≈1 ms).
+    pub t_data_s: f64,
+    /// Mechanical onset latency `T_mech` (s; paper: ≈19 ms).
+    pub t_mech_s: f64,
+}
+
+impl LatencyBudget {
+    /// The paper's measured parameters: v = 5.6 m/s, a = 4 m/s²,
+    /// T_data = 1 ms, T_mech = 19 ms.
+    #[must_use]
+    pub fn perceptin_defaults() -> Self {
+        Self { speed_mps: 5.6, decel_mps2: 4.0, t_data_s: 0.001, t_mech_s: 0.019 }
+    }
+
+    /// Theoretical lower bound of obstacle avoidance: the braking distance
+    /// `v²/(2a)` (4 m at the defaults — Sec. III-A).
+    #[must_use]
+    pub fn braking_distance_m(&self) -> f64 {
+        self.speed_mps * self.speed_mps / (2.0 * self.decel_mps2)
+    }
+
+    /// Maximum computing latency (s) that still avoids an object sensed at
+    /// distance `d_m` (Fig. 3a's y-axis). Negative values mean the object is
+    /// within the braking distance and unavoidable at any latency.
+    #[must_use]
+    pub fn max_tcomp_s(&self, d_m: f64) -> f64 {
+        (d_m - self.braking_distance_m()) / self.speed_mps - self.t_data_s - self.t_mech_s
+    }
+
+    /// Minimum distance (m) at which an object can be sensed and still
+    /// avoided, for a given computing latency (Eq. 1 solved for `D`).
+    #[must_use]
+    pub fn min_avoidable_distance_m(&self, tcomp_s: f64) -> f64 {
+        (tcomp_s + self.t_data_s + self.t_mech_s) * self.speed_mps + self.braking_distance_m()
+    }
+
+    /// Whether an object sensed at `d_m` is avoidable with latency
+    /// `tcomp_s`.
+    #[must_use]
+    pub fn avoidable(&self, d_m: f64, tcomp_s: f64) -> bool {
+        self.max_tcomp_s(d_m) >= tcomp_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn braking_distance_matches_paper() {
+        let b = LatencyBudget::perceptin_defaults();
+        // Paper: "with an a of 4 m/s² and v of 5.6 m/s, the vehicle's
+        // braking distance is 4 m".
+        assert!((b.braking_distance_m() - 3.92).abs() < 0.01);
+    }
+
+    #[test]
+    fn mean_latency_avoids_five_meters() {
+        let b = LatencyBudget::perceptin_defaults();
+        // Paper: 164 ms mean T_comp → avoid objects ≥ 5 m away.
+        let d = b.min_avoidable_distance_m(0.164);
+        assert!((d - 4.95).abs() < 0.1, "min distance {d}");
+        assert!(b.avoidable(5.0, 0.164));
+        assert!(!b.avoidable(4.5, 0.164));
+    }
+
+    #[test]
+    fn worst_case_latency_needs_8_3_meters() {
+        let b = LatencyBudget::perceptin_defaults();
+        // Paper: 740 ms worst case → avoid objects detected ≥ 8.3 m away.
+        let d = b.min_avoidable_distance_m(0.740);
+        assert!((d - 8.3).abs() < 0.15, "worst-case distance {d}");
+    }
+
+    #[test]
+    fn reactive_path_approaches_braking_limit() {
+        let b = LatencyBudget::perceptin_defaults();
+        // Paper: the 30 ms reactive path avoids objects 4.1 m away,
+        // approaching the 4 m braking-distance limit.
+        let d = b.min_avoidable_distance_m(0.030);
+        assert!((d - 4.2).abs() < 0.1, "reactive distance {d}");
+    }
+
+    #[test]
+    fn tighter_distance_means_tighter_latency() {
+        let b = LatencyBudget::perceptin_defaults();
+        let t9 = b.max_tcomp_s(9.0);
+        let t6 = b.max_tcomp_s(6.0);
+        let t4 = b.max_tcomp_s(4.0);
+        assert!(t9 > t6);
+        assert!(t4 < 0.0, "inside braking distance is unavoidable");
+    }
+
+    #[test]
+    fn vehicle_step_brakes_to_zero() {
+        let params = VehicleParams::perceptin_defaults();
+        let mut state = VehicleState {
+            pose: Pose2::identity(),
+            speed_mps: 5.6,
+        };
+        let mut dist = 0.0;
+        let dt = 0.01;
+        while state.speed_mps > 0.0 {
+            let prev = state.pose;
+            state = state.step(-params.max_decel_mps2, 0.0, dt, &params);
+            dist += prev.distance(&state.pose);
+        }
+        assert!((dist - params.braking_distance_m(5.6)).abs() < 0.05, "stopped in {dist} m");
+        assert_eq!(state.speed_mps, 0.0);
+    }
+
+    #[test]
+    fn speed_clamped_at_cap() {
+        let params = VehicleParams::perceptin_defaults();
+        let mut state = VehicleState { pose: Pose2::identity(), speed_mps: 8.5 };
+        for _ in 0..100 {
+            state = state.step(2.0, 0.0, 0.1, &params);
+        }
+        assert_eq!(state.speed_mps, params.max_speed_mps);
+    }
+
+    #[test]
+    fn emergency_brake_command() {
+        let cmd = ControlCommand::emergency_brake(4.0);
+        assert_eq!(cmd.net_accel_mps2(), -4.0);
+        assert_eq!(ControlCommand::coast().net_accel_mps2(), 0.0);
+    }
+}

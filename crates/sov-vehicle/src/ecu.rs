@@ -1,0 +1,237 @@
+//! Engine Control Unit and actuator.
+//!
+//! The ECU (Fig. 7) is the meeting point of the two control paths:
+//!
+//! * the **proactive path** delivers [`ControlCommand`]s from the planner
+//!   over the CAN bus, and
+//! * the **reactive path** feeds radar/sonar range readings *directly* into
+//!   the ECU, which overrides the current command with an emergency brake
+//!   when an object is dangerously close (Sec. IV) — "these signals directly
+//!   enter the vehicle's ECU and override the current control commands".
+//!
+//! The ECU and actuator are tightly integrated with ns-level delay
+//! (footnote 3); the dominant lag is the ~19 ms *mechanical* onset
+//! (`T_mech`), modeled as a delay between accepting a command and the
+//! actuator following it.
+
+use crate::dynamics::{ControlCommand, VehicleParams};
+use sov_sim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Why the ECU is applying its current actuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActuationSource {
+    /// Following the proactive path's latest command.
+    Proactive,
+    /// The reactive path has overridden the command (emergency braking).
+    ReactiveOverride,
+    /// No command received yet: coasting.
+    None,
+}
+
+/// ECU configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcuConfig {
+    /// Mechanical onset latency `T_mech` (paper: ≈19 ms).
+    pub t_mech: SimDuration,
+    /// Reactive override engages when the nearest range reading is below
+    /// this distance (m).
+    pub override_range_m: f64,
+    /// Override releases when the range clears above this distance (m)
+    /// (hysteresis to avoid chattering).
+    pub release_range_m: f64,
+}
+
+impl EcuConfig {
+    /// The paper's parameters: 19 ms mechanical latency; the reactive path
+    /// engages for objects within ~4.1 m (its avoidance limit).
+    #[must_use]
+    pub fn perceptin_defaults() -> Self {
+        Self {
+            t_mech: SimDuration::from_millis(19),
+            override_range_m: 4.1,
+            release_range_m: 5.0,
+        }
+    }
+}
+
+/// The ECU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecu {
+    config: EcuConfig,
+    params: VehicleParams,
+    /// Commands accepted but not yet mechanically effective, in arrival
+    /// order (commands stream continuously at the control rate; each takes
+    /// effect `t_mech` after acceptance).
+    pending: VecDeque<(SimTime, ControlCommand, ActuationSource)>,
+    /// Command the actuator is currently following.
+    active: ControlCommand,
+    active_source: ActuationSource,
+    override_engaged: bool,
+    overrides_engaged_count: u64,
+}
+
+impl Ecu {
+    /// Creates an ECU.
+    #[must_use]
+    pub fn new(config: EcuConfig, params: VehicleParams) -> Self {
+        Self {
+            config,
+            params,
+            pending: VecDeque::new(),
+            active: ControlCommand::coast(),
+            active_source: ActuationSource::None,
+            override_engaged: false,
+            overrides_engaged_count: 0,
+        }
+    }
+
+    /// Whether the reactive override is currently engaged.
+    #[must_use]
+    pub fn override_engaged(&self) -> bool {
+        self.override_engaged
+    }
+
+    /// How many times the reactive override has engaged.
+    #[must_use]
+    pub fn overrides_engaged_count(&self) -> u64 {
+        self.overrides_engaged_count
+    }
+
+    /// Source of the actuation currently being applied.
+    #[must_use]
+    pub fn active_source(&self) -> ActuationSource {
+        self.active_source
+    }
+
+    /// Accepts a proactive-path command at time `now` (already past the CAN
+    /// bus). Ignored while the reactive override is engaged.
+    pub fn accept_command(&mut self, cmd: ControlCommand, now: SimTime) {
+        if self.override_engaged {
+            return;
+        }
+        self.pending
+            .push_back((now + self.config.t_mech, cmd, ActuationSource::Proactive));
+    }
+
+    /// Feeds a reactive-path range reading (radar/sonar minimum, m) at time
+    /// `now`. Pass `None` when no object is in range.
+    pub fn reactive_range(&mut self, range_m: Option<f64>, now: SimTime) {
+        match range_m {
+            Some(r) if r <= self.config.override_range_m => {
+                if !self.override_engaged {
+                    self.override_engaged = true;
+                    self.overrides_engaged_count += 1;
+                    // Emergency braking flushes whatever was pending.
+                    self.pending.clear();
+                    self.pending.push_back((
+                        now + self.config.t_mech,
+                        ControlCommand::emergency_brake(self.params.max_decel_mps2),
+                        ActuationSource::ReactiveOverride,
+                    ));
+                }
+            }
+            Some(r) if r >= self.config.release_range_m => {
+                self.override_engaged = false;
+            }
+            Some(_) => {} // inside the hysteresis band: hold state
+            None => {
+                self.override_engaged = false;
+            }
+        }
+    }
+
+    /// The actuation in effect at time `now` (promotes every pending
+    /// command whose mechanical latency has elapsed; the latest matured
+    /// command wins).
+    pub fn actuation(&mut self, now: SimTime) -> ControlCommand {
+        while let Some(&(effective_at, cmd, source)) = self.pending.front() {
+            if now >= effective_at {
+                self.active = cmd;
+                self.active_source = source;
+                self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecu() -> Ecu {
+        Ecu::new(EcuConfig::perceptin_defaults(), VehicleParams::perceptin_defaults())
+    }
+
+    #[test]
+    fn command_takes_effect_after_t_mech() {
+        let mut ecu = ecu();
+        let cmd = ControlCommand { throttle_mps2: 1.0, brake_mps2: 0.0, yaw_rate_rps: 0.0 };
+        ecu.accept_command(cmd, SimTime::ZERO);
+        // Before 19 ms: still coasting.
+        assert_eq!(ecu.actuation(SimTime::from_millis(10)), ControlCommand::coast());
+        // At/after 19 ms: active.
+        assert_eq!(ecu.actuation(SimTime::from_millis(19)), cmd);
+        assert_eq!(ecu.active_source(), ActuationSource::Proactive);
+    }
+
+    #[test]
+    fn reactive_override_engages_and_brakes() {
+        let mut ecu = ecu();
+        ecu.reactive_range(Some(3.5), SimTime::ZERO);
+        assert!(ecu.override_engaged());
+        assert_eq!(ecu.overrides_engaged_count(), 1);
+        let act = ecu.actuation(SimTime::from_millis(19));
+        assert_eq!(act.net_accel_mps2(), -4.0);
+        assert_eq!(ecu.active_source(), ActuationSource::ReactiveOverride);
+    }
+
+    #[test]
+    fn override_blocks_proactive_commands() {
+        let mut ecu = ecu();
+        ecu.reactive_range(Some(2.0), SimTime::ZERO);
+        let _ = ecu.actuation(SimTime::from_millis(19));
+        // Proactive command during override is ignored.
+        ecu.accept_command(
+            ControlCommand { throttle_mps2: 2.0, brake_mps2: 0.0, yaw_rate_rps: 0.0 },
+            SimTime::from_millis(20),
+        );
+        let act = ecu.actuation(SimTime::from_millis(100));
+        assert_eq!(act.net_accel_mps2(), -4.0, "override must persist");
+    }
+
+    #[test]
+    fn hysteresis_prevents_chattering() {
+        let mut ecu = ecu();
+        ecu.reactive_range(Some(3.0), SimTime::ZERO);
+        assert!(ecu.override_engaged());
+        // Range inside the hysteresis band (4.1..5.0): stays engaged.
+        ecu.reactive_range(Some(4.5), SimTime::from_millis(100));
+        assert!(ecu.override_engaged());
+        // Clear beyond the release threshold: disengages.
+        ecu.reactive_range(Some(6.0), SimTime::from_millis(200));
+        assert!(!ecu.override_engaged());
+        // Re-engaging increments the counter.
+        ecu.reactive_range(Some(3.0), SimTime::from_millis(300));
+        assert_eq!(ecu.overrides_engaged_count(), 2);
+    }
+
+    #[test]
+    fn no_reading_releases_override() {
+        let mut ecu = ecu();
+        ecu.reactive_range(Some(3.0), SimTime::ZERO);
+        ecu.reactive_range(None, SimTime::from_millis(50));
+        assert!(!ecu.override_engaged());
+    }
+
+    #[test]
+    fn far_reading_does_not_engage() {
+        let mut ecu = ecu();
+        ecu.reactive_range(Some(10.0), SimTime::ZERO);
+        assert!(!ecu.override_engaged());
+        assert_eq!(ecu.overrides_engaged_count(), 0);
+    }
+}

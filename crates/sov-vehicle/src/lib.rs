@@ -1,0 +1,42 @@
+//! Vehicle substrate: dynamics, energy, CAN bus, ECU and cost models.
+//!
+//! Sec. III of the paper derives the design constraints of the SoV from
+//! simple analytical models of the vehicle itself; this crate implements
+//! those models plus the physical components the computing system talks to:
+//!
+//! * [`dynamics`] — the end-to-end latency model of Eq. 1 / Fig. 2
+//!   ([`dynamics::LatencyBudget`]) and longitudinal vehicle dynamics with
+//!   the paper's parameters (v = 5.6 m/s, a = 4 m/s², 20 mph cap).
+//! * [`battery`] — the driving-time model of Eq. 2 / Fig. 3b
+//!   ([`battery::DrivingTimeModel`]): 6 kWh pack, 0.6 kW base load, 175 W
+//!   autonomous-driving load.
+//! * [`can`] — a frame-level Controller Area Network model with priority
+//!   arbitration (T_data ≈ 1 ms).
+//! * [`ecu`] — the Engine Control Unit: executes control commands with the
+//!   ~19 ms mechanical latency, and implements the **reactive-path
+//!   override** port (Sec. IV) that radar/sonar ranges drive directly.
+//! * [`cost`] — the bill-of-materials cost model of Table II (camera-based
+//!   vs. LiDAR-based vehicles).
+//!
+//! # Example
+//!
+//! ```
+//! use sov_vehicle::dynamics::LatencyBudget;
+//!
+//! let budget = LatencyBudget::perceptin_defaults();
+//! // Fig. 3a: with a 164 ms computing latency, the vehicle avoids objects
+//! // sensed at 5 m or farther.
+//! let d = budget.min_avoidable_distance_m(0.164);
+//! assert!((d - 5.0).abs() < 0.1);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod battery;
+pub mod can;
+pub mod cost;
+pub mod dynamics;
+pub mod ecu;
+
+pub use dynamics::{ControlCommand, LatencyBudget, VehicleParams, VehicleState};
+pub use ecu::Ecu;

@@ -1,0 +1,77 @@
+//! Property-based tests for the vehicle substrate.
+
+use proptest::prelude::*;
+use sov_sim::time::{SimDuration, SimTime};
+use sov_vehicle::battery::{Battery, DrivingTimeModel};
+use sov_vehicle::can::{CanBus, CanId};
+use sov_vehicle::dynamics::{LatencyBudget, VehicleParams, VehicleState};
+
+proptest! {
+    #[test]
+    fn braking_distance_monotone_in_speed(v1 in 0.0f64..8.9, dv in 0.01f64..3.0) {
+        let p = VehicleParams::perceptin_defaults();
+        prop_assert!(p.braking_distance_m(v1 + dv) > p.braking_distance_m(v1));
+    }
+
+    #[test]
+    fn latency_budget_inversion_is_consistent(tcomp in 0.0f64..2.0) {
+        let b = LatencyBudget::perceptin_defaults();
+        let d = b.min_avoidable_distance_m(tcomp);
+        // At exactly the minimum distance, the latency is exactly allowed.
+        prop_assert!((b.max_tcomp_s(d) - tcomp).abs() < 1e-9);
+        prop_assert!(b.avoidable(d + 0.01, tcomp));
+        prop_assert!(!b.avoidable(d - 0.01, tcomp));
+    }
+
+    #[test]
+    fn driving_time_decreases_with_pad(pad in 0.0f64..1.0, extra in 0.001f64..0.5) {
+        let m = DrivingTimeModel::perceptin_defaults();
+        prop_assert!(m.driving_time_h(pad + extra) < m.driving_time_h(pad));
+        prop_assert!(m.reduced_driving_time_h(pad + extra) > m.reduced_driving_time_h(pad));
+    }
+
+    #[test]
+    fn battery_never_goes_negative(
+        loads in prop::collection::vec(0.0f64..5.0, 1..50),
+    ) {
+        let mut b = Battery::full(6.0);
+        for load in loads {
+            let _ = b.drain(load, SimDuration::from_secs(1800));
+            prop_assert!(b.remaining_kwh() >= 0.0);
+            prop_assert!(b.soc() >= 0.0 && b.soc() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn vehicle_speed_always_within_limits(
+        accels in prop::collection::vec(-6.0f64..4.0, 1..100),
+    ) {
+        let params = VehicleParams::perceptin_defaults();
+        let mut state = VehicleState::default();
+        for a in accels {
+            state = state.step(a, 0.1, 0.1, &params);
+            prop_assert!(state.speed_mps >= 0.0);
+            prop_assert!(state.speed_mps <= params.max_speed_mps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn can_bus_delivers_every_frame_exactly_once(
+        frames in prop::collection::vec((0u16..1024, 0usize..9), 1..60),
+    ) {
+        let mut bus = CanBus::new_500kbps();
+        for (i, &(id, len)) in frames.iter().enumerate() {
+            bus.send(CanId(id), vec![i as u8; len], SimTime::ZERO).unwrap();
+        }
+        let deliveries = bus.deliver_all(SimTime::ZERO);
+        prop_assert_eq!(deliveries.len(), frames.len());
+        prop_assert_eq!(bus.pending(), 0);
+        // Delivery times strictly increase (one bus, non-preemptive).
+        for w in deliveries.windows(2) {
+            prop_assert!(w[1].delivered_at > w[0].delivered_at);
+        }
+        // Priority: the first delivered frame has the minimum id.
+        let min_id = frames.iter().map(|&(id, _)| id).min().unwrap();
+        prop_assert_eq!(deliveries[0].frame.id, CanId(min_id));
+    }
+}

@@ -1,0 +1,151 @@
+//! Visual landmarks for the VIO pipeline.
+//!
+//! The VIO localization algorithm (Table III, Sec. VI-A) tracks salient
+//! visual features. We model the environment's features as a field of 3-D
+//! landmarks scattered along the lane network; the camera model in
+//! `sov-sensors` projects them, and the VIO filter in `sov-perception`
+//! consumes the projections.
+//!
+//! Landmark *density* varies along the route, which is what produces the
+//! paper's "scene complexity"-driven localization latency variation
+//! (Sec. V-C: dynamic scenes force new feature extraction every frame).
+
+use sov_math::matrix::Vector;
+use sov_math::SovRng;
+
+/// Identifier of a landmark within a [`LandmarkField`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LandmarkId(pub u32);
+
+/// One 3-D landmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Landmark {
+    /// Identifier.
+    pub id: LandmarkId,
+    /// World-frame position (m).
+    pub position: Vector<3>,
+}
+
+/// A field of landmarks with spatial queries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LandmarkField {
+    landmarks: Vec<Landmark>,
+}
+
+impl LandmarkField {
+    /// Creates an empty field.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates `count` landmarks uniformly in the box
+    /// `[x0, x1] × [y0, y1]` at heights `[0.5, 4]` m (building façades,
+    /// signage, vegetation — the features VIO actually tracks).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the box is inverted.
+    #[must_use]
+    pub fn generate(count: usize, bounds: (f64, f64, f64, f64), rng: &mut SovRng) -> Self {
+        let (x0, x1, y0, y1) = bounds;
+        debug_assert!(x0 <= x1 && y0 <= y1, "landmark bounds must be ordered");
+        let landmarks = (0..count)
+            .map(|i| Landmark {
+                id: LandmarkId(i as u32),
+                position: Vector::from_array([
+                    rng.uniform(x0, x1),
+                    rng.uniform(y0, y1),
+                    rng.uniform(0.5, 4.0),
+                ]),
+            })
+            .collect();
+        Self { landmarks }
+    }
+
+    /// All landmarks.
+    #[must_use]
+    pub fn landmarks(&self) -> &[Landmark] {
+        &self.landmarks
+    }
+
+    /// Number of landmarks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Whether the field is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.landmarks.is_empty()
+    }
+
+    /// Landmarks within `radius` meters (in the ground plane) of `(x, y)`.
+    pub fn within_radius(&self, x: f64, y: f64, radius: f64) -> impl Iterator<Item = &Landmark> {
+        let r_sq = radius * radius;
+        self.landmarks.iter().filter(move |lm| {
+            let dx = lm.position[0] - x;
+            let dy = lm.position[1] - y;
+            dx * dx + dy * dy <= r_sq
+        })
+    }
+
+    /// Appends extra landmarks (e.g. densifying a point-of-interest area).
+    pub fn extend_from(&mut self, other: &LandmarkField) {
+        let base = self.landmarks.len() as u32;
+        self.landmarks.extend(other.landmarks.iter().map(|lm| Landmark {
+            id: LandmarkId(base + lm.id.0),
+            position: lm.position,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut r1 = SovRng::seed_from_u64(1);
+        let mut r2 = SovRng::seed_from_u64(1);
+        let a = LandmarkField::generate(50, (0.0, 10.0, 0.0, 10.0), &mut r1);
+        let b = LandmarkField::generate(50, (0.0, 10.0, 0.0, 10.0), &mut r2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn landmarks_within_bounds() {
+        let mut rng = SovRng::seed_from_u64(2);
+        let field = LandmarkField::generate(200, (-5.0, 5.0, 0.0, 20.0), &mut rng);
+        for lm in field.landmarks() {
+            assert!((-5.0..=5.0).contains(&lm.position[0]));
+            assert!((0.0..=20.0).contains(&lm.position[1]));
+            assert!((0.5..=4.0).contains(&lm.position[2]));
+        }
+    }
+
+    #[test]
+    fn radius_query_filters() {
+        let mut rng = SovRng::seed_from_u64(3);
+        let field = LandmarkField::generate(500, (0.0, 100.0, 0.0, 100.0), &mut rng);
+        let near: Vec<_> = field.within_radius(50.0, 50.0, 10.0).collect();
+        assert!(!near.is_empty());
+        for lm in near {
+            let d = ((lm.position[0] - 50.0).powi(2) + (lm.position[1] - 50.0).powi(2)).sqrt();
+            assert!(d <= 10.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn extend_renumbers_ids() {
+        let mut rng = SovRng::seed_from_u64(4);
+        let mut a = LandmarkField::generate(10, (0.0, 1.0, 0.0, 1.0), &mut rng);
+        let b = LandmarkField::generate(5, (0.0, 1.0, 0.0, 1.0), &mut rng);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 15);
+        let ids: std::collections::HashSet<_> = a.landmarks().iter().map(|l| l.id).collect();
+        assert_eq!(ids.len(), 15, "ids must remain unique after extend");
+    }
+}

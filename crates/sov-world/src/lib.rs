@@ -1,0 +1,44 @@
+//! World model: lane-graph maps, obstacles, landmarks and deployment
+//! scenarios.
+//!
+//! The paper's vehicles operate in constrained environments — the city of
+//! Fishers (Indiana), tourist sites in Nara and Fukuoka (Japan), an
+//! industrial park in Shenzhen (China) and a university campus in Fribourg
+//! (Switzerland) — on pre-constructed OpenStreetMap-derived lane maps
+//! annotated with semantic information (Sec. II-B). This crate reproduces
+//! that substrate:
+//!
+//! * [`map`] — a lane-graph road network ([`map::LaneMap`]) with per-lane
+//!   widths (1–3 m, Sec. III-D), speed limits and semantic annotations.
+//! * [`obstacle`] — dynamic and static obstacles with simple motion models
+//!   and appearance scripting.
+//! * [`landmark`] — 3-D visual landmarks observed by the cameras and used by
+//!   the VIO pipeline.
+//! * [`osm`] — a minimal OpenStreetMap-style text format for lane maps
+//!   (parse + serialize), mirroring the paper's OSM-based map workflow.
+//! * [`trajectory`] — ground-truth routes along the lane graph.
+//! * [`scenario`] — the five deployment sites as reproducible scenario
+//!   generators, including scene-complexity profiles that drive the latency
+//!   variation observed in Sec. V-C.
+//!
+//! # Example
+//!
+//! ```
+//! use sov_world::scenario::Scenario;
+//!
+//! let scenario = Scenario::nara_japan(7);
+//! assert!(scenario.world.map.total_length_m() > 100.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod landmark;
+pub mod map;
+pub mod obstacle;
+pub mod osm;
+pub mod scenario;
+pub mod trajectory;
+
+pub use map::LaneMap;
+pub use obstacle::{Obstacle, ObstacleClass};
+pub use scenario::{Scenario, World};

@@ -1,0 +1,699 @@
+//! Lane-graph road network.
+//!
+//! The vehicles maneuver at *lane granularity* (Sec. III-D): lanes are 1–3 m
+//! wide and the planner stays in a lane or switches lanes, never maneuvering
+//! within one. The map is therefore a graph of lane centerlines (polylines)
+//! with widths, speed limits and OSM-style semantic annotations.
+
+use sov_math::Pose2;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a lane within a [`LaneMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LaneId(pub u32);
+
+impl fmt::Display for LaneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lane#{}", self.0)
+    }
+}
+
+/// Semantic annotation attached to a lane, mirroring the manual OSM
+/// annotations described in Sec. II-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Annotation {
+    /// A pedestrian crosswalk intersects this lane.
+    Crosswalk,
+    /// A transit/bus stop adjoins this lane.
+    TransitStop,
+    /// The lane passes through a tunnel or under heavy canopy — GPS
+    /// reception is degraded here (Sec. VI-B).
+    GpsDegraded,
+    /// A construction or loading zone with frequent static obstacles.
+    WorkZone,
+    /// A tourist point-of-interest with dense pedestrian traffic.
+    PointOfInterest,
+}
+
+/// One lane: a polyline centerline with width and speed limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lane {
+    id: LaneId,
+    centerline: Vec<(f64, f64)>,
+    cumulative: Vec<f64>,
+    width_m: f64,
+    speed_limit_mps: f64,
+    successors: Vec<LaneId>,
+    annotations: Vec<Annotation>,
+    left_neighbor: Option<LaneId>,
+    right_neighbor: Option<LaneId>,
+}
+
+/// Error returned when constructing an invalid lane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaneError {
+    /// Fewer than two centerline points.
+    TooFewPoints,
+    /// Width outside the micromobility lane range.
+    InvalidWidth(f64),
+    /// Non-positive speed limit.
+    InvalidSpeedLimit(f64),
+    /// Two consecutive centerline points coincide.
+    DegenerateSegment(usize),
+}
+
+impl fmt::Display for LaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooFewPoints => write!(f, "lane centerline needs at least two points"),
+            Self::InvalidWidth(w) => write!(f, "lane width {w} m outside (0, 10]"),
+            Self::InvalidSpeedLimit(v) => write!(f, "speed limit {v} m/s must be positive"),
+            Self::DegenerateSegment(i) => write!(f, "zero-length segment at index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for LaneError {}
+
+impl Lane {
+    /// Creates a lane from its centerline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LaneError`] if the centerline has fewer than two points,
+    /// contains a zero-length segment, or if width/speed limit are invalid.
+    pub fn new(
+        id: LaneId,
+        centerline: Vec<(f64, f64)>,
+        width_m: f64,
+        speed_limit_mps: f64,
+    ) -> Result<Self, LaneError> {
+        if centerline.len() < 2 {
+            return Err(LaneError::TooFewPoints);
+        }
+        if !(0.0..=10.0).contains(&width_m) || width_m == 0.0 {
+            return Err(LaneError::InvalidWidth(width_m));
+        }
+        if speed_limit_mps <= 0.0 {
+            return Err(LaneError::InvalidSpeedLimit(speed_limit_mps));
+        }
+        let mut cumulative = Vec::with_capacity(centerline.len());
+        cumulative.push(0.0);
+        for i in 1..centerline.len() {
+            let (x0, y0) = centerline[i - 1];
+            let (x1, y1) = centerline[i];
+            let seg = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+            if seg < 1e-9 {
+                return Err(LaneError::DegenerateSegment(i));
+            }
+            cumulative.push(cumulative[i - 1] + seg);
+        }
+        Ok(Self {
+            id,
+            centerline,
+            cumulative,
+            width_m,
+            speed_limit_mps,
+            successors: Vec::new(),
+            annotations: Vec::new(),
+            left_neighbor: None,
+            right_neighbor: None,
+        })
+    }
+
+    /// Lane identifier.
+    #[must_use]
+    pub fn id(&self) -> LaneId {
+        self.id
+    }
+
+    /// Lane width in meters (1–3 m for our deployments).
+    #[must_use]
+    pub fn width_m(&self) -> f64 {
+        self.width_m
+    }
+
+    /// Speed limit in m/s.
+    #[must_use]
+    pub fn speed_limit_mps(&self) -> f64 {
+        self.speed_limit_mps
+    }
+
+    /// Total centerline length in meters.
+    #[must_use]
+    pub fn length_m(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty by construction")
+    }
+
+    /// Lanes reachable from the end of this lane.
+    #[must_use]
+    pub fn successors(&self) -> &[LaneId] {
+        &self.successors
+    }
+
+    /// Semantic annotations on this lane.
+    #[must_use]
+    pub fn annotations(&self) -> &[Annotation] {
+        &self.annotations
+    }
+
+    /// The adjacent lane to the left of travel, if any.
+    #[must_use]
+    pub fn left_neighbor(&self) -> Option<LaneId> {
+        self.left_neighbor
+    }
+
+    /// The adjacent lane to the right of travel, if any.
+    #[must_use]
+    pub fn right_neighbor(&self) -> Option<LaneId> {
+        self.right_neighbor
+    }
+
+    /// Whether the lane carries a given annotation.
+    #[must_use]
+    pub fn has_annotation(&self, a: Annotation) -> bool {
+        self.annotations.contains(&a)
+    }
+
+    /// Pose (position + tangent heading) at arclength `s` along the lane.
+    ///
+    /// `s` is clamped to `[0, length]`.
+    #[must_use]
+    pub fn pose_at(&self, s: f64) -> Pose2 {
+        let s = s.clamp(0.0, self.length_m());
+        // Binary search for the segment containing s.
+        let i = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite"))
+        {
+            Ok(i) => i.min(self.centerline.len() - 2),
+            Err(i) => (i - 1).min(self.centerline.len() - 2),
+        };
+        let (x0, y0) = self.centerline[i];
+        let (x1, y1) = self.centerline[i + 1];
+        let seg_len = self.cumulative[i + 1] - self.cumulative[i];
+        let t = if seg_len > 0.0 { (s - self.cumulative[i]) / seg_len } else { 0.0 };
+        Pose2::new(
+            x0 + (x1 - x0) * t,
+            y0 + (y1 - y0) * t,
+            (y1 - y0).atan2(x1 - x0),
+        )
+    }
+
+    /// Arclength of the centerline point closest to `(x, y)`, with the
+    /// lateral offset (meters, positive = left of travel direction).
+    #[must_use]
+    pub fn project(&self, x: f64, y: f64) -> (f64, f64) {
+        let mut best = (0.0, f64::INFINITY, 0.0);
+        for i in 0..self.centerline.len() - 1 {
+            let (x0, y0) = self.centerline[i];
+            let (x1, y1) = self.centerline[i + 1];
+            let (dx, dy) = (x1 - x0, y1 - y0);
+            let seg_sq = dx * dx + dy * dy;
+            let t = (((x - x0) * dx + (y - y0) * dy) / seg_sq).clamp(0.0, 1.0);
+            let (px, py) = (x0 + t * dx, y0 + t * dy);
+            let dist_sq = (x - px).powi(2) + (y - py).powi(2);
+            if dist_sq < best.1 {
+                let seg_len = seg_sq.sqrt();
+                // Signed lateral: cross product of tangent and offset.
+                let cross = dx * (y - py) - dy * (x - px);
+                best = (
+                    self.cumulative[i] + t * seg_len,
+                    dist_sq,
+                    cross.signum() * dist_sq.sqrt(),
+                );
+            }
+        }
+        (best.0, best.2)
+    }
+}
+
+/// A road network of lanes (the OSM-derived map of Sec. II-B).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaneMap {
+    lanes: BTreeMap<LaneId, Lane>,
+}
+
+/// Error returned by [`LaneMap`] queries that reference unknown lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownLaneError(pub LaneId);
+
+impl fmt::Display for UnknownLaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownLaneError {}
+
+impl LaneMap {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a lane, replacing any existing lane with the same id.
+    pub fn insert(&mut self, lane: Lane) {
+        self.lanes.insert(lane.id(), lane);
+    }
+
+    /// Connects `from`'s end to `to`'s start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownLaneError`] if either lane is absent.
+    pub fn connect(&mut self, from: LaneId, to: LaneId) -> Result<(), UnknownLaneError> {
+        if !self.lanes.contains_key(&to) {
+            return Err(UnknownLaneError(to));
+        }
+        let lane = self.lanes.get_mut(&from).ok_or(UnknownLaneError(from))?;
+        if !lane.successors.contains(&to) {
+            lane.successors.push(to);
+        }
+        Ok(())
+    }
+
+    /// Declares `right` to be the right-of-travel neighbor of `left` (and
+    /// symmetrically `left` the left neighbor of `right`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownLaneError`] if either lane is absent.
+    pub fn set_adjacent(&mut self, left: LaneId, right: LaneId) -> Result<(), UnknownLaneError> {
+        if !self.lanes.contains_key(&right) {
+            return Err(UnknownLaneError(right));
+        }
+        {
+            let lane = self.lanes.get_mut(&left).ok_or(UnknownLaneError(left))?;
+            lane.right_neighbor = Some(right);
+        }
+        let lane = self.lanes.get_mut(&right).expect("checked above");
+        lane.left_neighbor = Some(left);
+        Ok(())
+    }
+
+    /// Adds a semantic annotation to a lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownLaneError`] if the lane is absent.
+    pub fn annotate(&mut self, id: LaneId, a: Annotation) -> Result<(), UnknownLaneError> {
+        let lane = self.lanes.get_mut(&id).ok_or(UnknownLaneError(id))?;
+        if !lane.annotations.contains(&a) {
+            lane.annotations.push(a);
+        }
+        Ok(())
+    }
+
+    /// Looks up a lane.
+    #[must_use]
+    pub fn lane(&self, id: LaneId) -> Option<&Lane> {
+        self.lanes.get(&id)
+    }
+
+    /// Iterates over all lanes in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Lane> {
+        self.lanes.values()
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the map has no lanes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Total centerline length of all lanes, in meters.
+    #[must_use]
+    pub fn total_length_m(&self) -> f64 {
+        self.lanes.values().map(Lane::length_m).sum()
+    }
+
+    /// The lane whose centerline is closest to `(x, y)`, with projection.
+    ///
+    /// Returns `None` for an empty map.
+    #[must_use]
+    pub fn nearest_lane(&self, x: f64, y: f64) -> Option<(LaneId, f64, f64)> {
+        self.lanes
+            .values()
+            .map(|lane| {
+                let (s, lateral) = lane.project(x, y);
+                (lane.id(), s, lateral)
+            })
+            .min_by(|a, b| a.2.abs().partial_cmp(&b.2.abs()).expect("finite"))
+    }
+
+    /// Breadth-first route (list of lane ids) from `start` to `goal`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownLaneError`] if either endpoint is absent. Returns
+    /// `Ok(None)` if no route exists.
+    pub fn route(
+        &self,
+        start: LaneId,
+        goal: LaneId,
+    ) -> Result<Option<Vec<LaneId>>, UnknownLaneError> {
+        if !self.lanes.contains_key(&start) {
+            return Err(UnknownLaneError(start));
+        }
+        if !self.lanes.contains_key(&goal) {
+            return Err(UnknownLaneError(goal));
+        }
+        let mut prev: BTreeMap<LaneId, LaneId> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut seen = std::collections::BTreeSet::from([start]);
+        while let Some(cur) = queue.pop_front() {
+            if cur == goal {
+                let mut path = vec![goal];
+                let mut node = goal;
+                while node != start {
+                    node = prev[&node];
+                    path.push(node);
+                }
+                path.reverse();
+                return Ok(Some(path));
+            }
+            for &next in self.lanes[&cur].successors() {
+                if seen.insert(next) {
+                    prev.insert(next, cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Builds a closed rectangular loop of four lanes — the standard test
+/// course used throughout the workspace's tests and scenarios.
+///
+/// `width` and `height` are the loop's extents in meters.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is not positive.
+#[must_use]
+pub fn rectangular_loop(width: f64, height: f64, lane_width_m: f64, speed_mps: f64) -> LaneMap {
+    assert!(width > 0.0 && height > 0.0, "loop extents must be positive");
+    let mut map = LaneMap::new();
+    let corners = [
+        (0.0, 0.0),
+        (width, 0.0),
+        (width, height),
+        (0.0, height),
+    ];
+    for i in 0..4 {
+        let a = corners[i];
+        let b = corners[(i + 1) % 4];
+        let lane = Lane::new(LaneId(i as u32), vec![a, b], lane_width_m, speed_mps)
+            .expect("valid by construction");
+        map.insert(lane);
+    }
+    for i in 0..4u32 {
+        map.connect(LaneId(i), LaneId((i + 1) % 4))
+            .expect("lanes exist");
+    }
+    map
+}
+
+/// Builds a two-lane closed rectangular loop: an inner loop (lanes 0–3, the
+/// default route) and an outer loop (lanes 4–7) offset outward by
+/// `lane_width_m`, declared as the inner lanes' right-of-travel neighbors.
+/// Lane-change maneuvers (Sec. III-D) become possible on this course.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is not positive.
+#[must_use]
+pub fn two_lane_loop(width: f64, height: f64, lane_width_m: f64, speed_mps: f64) -> LaneMap {
+    assert!(width > 0.0 && height > 0.0, "loop extents must be positive");
+    let mut map = rectangular_loop(width, height, lane_width_m, speed_mps);
+    // Outer loop: offset outward by one lane width; traveling CCW, outward
+    // is to the right of travel.
+    let o = lane_width_m;
+    let outer = [
+        ((-o, -o), (width + o, -o)),
+        ((width + o, -o), (width + o, height + o)),
+        ((width + o, height + o), (-o, height + o)),
+        ((-o, height + o), (-o, -o)),
+    ];
+    for (i, &(a, b)) in outer.iter().enumerate() {
+        map.insert(
+            Lane::new(LaneId(4 + i as u32), vec![a, b], lane_width_m, speed_mps)
+                .expect("valid by construction"),
+        );
+    }
+    for i in 0..4u32 {
+        map.connect(LaneId(4 + i), LaneId(4 + (i + 1) % 4)).expect("lanes exist");
+        map.set_adjacent(LaneId(i), LaneId(4 + i)).expect("lanes exist");
+    }
+    map
+}
+
+/// Builds a closed loop with quarter-circle corners: each of the four lanes
+/// is a straight stretch followed by an arc of `corner_radius`, so heading
+/// varies continuously along the route (unlike [`rectangular_loop`], whose
+/// corners are instantaneous 90° turns).
+///
+/// `width`/`height` are the outer extents; `corner_radius` must fit twice
+/// into each extent.
+///
+/// # Panics
+///
+/// Panics if the radius does not fit the extents or any argument is not
+/// positive.
+#[must_use]
+pub fn rounded_loop(
+    width: f64,
+    height: f64,
+    corner_radius: f64,
+    lane_width_m: f64,
+    speed_mps: f64,
+) -> LaneMap {
+    assert!(width > 0.0 && height > 0.0 && corner_radius > 0.0, "extents must be positive");
+    assert!(
+        2.0 * corner_radius <= width && 2.0 * corner_radius <= height,
+        "corner radius must fit the loop extents"
+    );
+    use std::f64::consts::FRAC_PI_2;
+    let r = corner_radius;
+    const ARC_POINTS: usize = 12;
+    // Each lane: straight edge then the following corner arc.
+    // Lane 0: bottom edge (left→right) + bottom-right arc, etc.
+    let mut map = LaneMap::new();
+    // (start point, straight direction, arc center) per side.
+    let sides = [
+        ((r, 0.0), (1.0, 0.0), (width - r, r)),
+        ((width, r), (0.0, 1.0), (width - r, height - r)),
+        ((width - r, height), (-1.0, 0.0), (r, height - r)),
+        ((0.0, height - r), (0.0, -1.0), (r, r)),
+    ];
+    for (i, &((sx, sy), (dx, dy), (cx, cy))) in sides.iter().enumerate() {
+        let straight_len = if i % 2 == 0 { width - 2.0 * r } else { height - 2.0 * r };
+        let mut pts = vec![(sx, sy), (sx + dx * straight_len, sy + dy * straight_len)];
+        // Quarter arc from the straight's end heading to the next side's.
+        let heading = dy.atan2(dx);
+        let start_angle = heading - FRAC_PI_2; // center sits 90° left
+        for k in 1..=ARC_POINTS {
+            let a = start_angle + FRAC_PI_2 * k as f64 / ARC_POINTS as f64;
+            pts.push((cx + r * a.cos(), cy + r * a.sin()));
+        }
+        map.insert(
+            Lane::new(LaneId(i as u32), pts, lane_width_m, speed_mps)
+                .expect("valid by construction"),
+        );
+    }
+    for i in 0..4u32 {
+        map.connect(LaneId(i), LaneId((i + 1) % 4)).expect("lanes exist");
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_lane(id: u32, len: f64) -> Lane {
+        Lane::new(LaneId(id), vec![(0.0, 0.0), (len, 0.0)], 2.0, 8.9).unwrap()
+    }
+
+    #[test]
+    fn lane_validation() {
+        assert!(matches!(
+            Lane::new(LaneId(0), vec![(0.0, 0.0)], 2.0, 5.0),
+            Err(LaneError::TooFewPoints)
+        ));
+        assert!(matches!(
+            Lane::new(LaneId(0), vec![(0.0, 0.0), (1.0, 0.0)], 0.0, 5.0),
+            Err(LaneError::InvalidWidth(_))
+        ));
+        assert!(matches!(
+            Lane::new(LaneId(0), vec![(0.0, 0.0), (1.0, 0.0)], 2.0, -1.0),
+            Err(LaneError::InvalidSpeedLimit(_))
+        ));
+        assert!(matches!(
+            Lane::new(LaneId(0), vec![(0.0, 0.0), (0.0, 0.0), (1.0, 0.0)], 2.0, 5.0),
+            Err(LaneError::DegenerateSegment(1))
+        ));
+    }
+
+    #[test]
+    fn lane_length_and_pose() {
+        let lane = Lane::new(
+            LaneId(1),
+            vec![(0.0, 0.0), (3.0, 0.0), (3.0, 4.0)],
+            2.0,
+            5.0,
+        )
+        .unwrap();
+        assert!((lane.length_m() - 7.0).abs() < 1e-12);
+        let p = lane.pose_at(3.0);
+        assert!((p.x - 3.0).abs() < 1e-12 && p.y.abs() < 1e-9);
+        let p2 = lane.pose_at(5.0);
+        assert!((p2.x - 3.0).abs() < 1e-12 && (p2.y - 2.0).abs() < 1e-12);
+        // Heading on second segment points +y.
+        assert!((p2.theta - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        // Clamping.
+        let end = lane.pose_at(100.0);
+        assert!((end.y - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_recovers_arclength_and_lateral() {
+        let lane = straight_lane(0, 10.0);
+        let (s, lat) = lane.project(4.0, 1.5);
+        assert!((s - 4.0).abs() < 1e-12);
+        assert!((lat - 1.5).abs() < 1e-12);
+        let (_, lat_r) = lane.project(4.0, -0.5);
+        assert!((lat_r + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_connect_and_route() {
+        let mut map = LaneMap::new();
+        for i in 0..4 {
+            map.insert(straight_lane(i, 10.0));
+        }
+        map.connect(LaneId(0), LaneId(1)).unwrap();
+        map.connect(LaneId(1), LaneId(2)).unwrap();
+        map.connect(LaneId(1), LaneId(3)).unwrap();
+        let route = map.route(LaneId(0), LaneId(3)).unwrap().unwrap();
+        assert_eq!(route, vec![LaneId(0), LaneId(1), LaneId(3)]);
+        // Unreachable in reverse.
+        assert_eq!(map.route(LaneId(3), LaneId(0)).unwrap(), None);
+        // Unknown lanes error.
+        assert!(map.route(LaneId(99), LaneId(0)).is_err());
+        assert!(map.connect(LaneId(0), LaneId(99)).is_err());
+    }
+
+    #[test]
+    fn annotations() {
+        let mut map = LaneMap::new();
+        map.insert(straight_lane(0, 5.0));
+        map.annotate(LaneId(0), Annotation::GpsDegraded).unwrap();
+        map.annotate(LaneId(0), Annotation::GpsDegraded).unwrap(); // idempotent
+        let lane = map.lane(LaneId(0)).unwrap();
+        assert!(lane.has_annotation(Annotation::GpsDegraded));
+        assert!(!lane.has_annotation(Annotation::Crosswalk));
+        assert_eq!(lane.annotations().len(), 1);
+        assert!(map.annotate(LaneId(9), Annotation::Crosswalk).is_err());
+    }
+
+    #[test]
+    fn rectangular_loop_is_closed() {
+        let map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
+        assert_eq!(map.len(), 4);
+        assert!((map.total_length_m() - 300.0).abs() < 1e-9);
+        // Route all the way around.
+        let route = map.route(LaneId(0), LaneId(3)).unwrap().unwrap();
+        assert_eq!(route.len(), 4);
+    }
+
+    #[test]
+    fn nearest_lane_picks_closest() {
+        let map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
+        let (id, _, lateral) = map.nearest_lane(50.0, 1.0).unwrap();
+        assert_eq!(id, LaneId(0));
+        assert!((lateral.abs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_lane_loop_adjacency() {
+        let map = two_lane_loop(100.0, 50.0, 2.5, 8.9);
+        assert_eq!(map.len(), 8);
+        for i in 0..4u32 {
+            let inner = map.lane(LaneId(i)).unwrap();
+            let outer = map.lane(LaneId(4 + i)).unwrap();
+            assert_eq!(inner.right_neighbor(), Some(LaneId(4 + i)));
+            assert_eq!(outer.left_neighbor(), Some(LaneId(i)));
+            assert_eq!(inner.left_neighbor(), None);
+            assert_eq!(outer.right_neighbor(), None);
+        }
+        // Outer loop is itself routable.
+        let route = map.route(LaneId(4), LaneId(7)).unwrap().unwrap();
+        assert_eq!(route.len(), 4);
+        // The outer bottom lane runs one lane width to the right of travel
+        // (below) the inner bottom lane.
+        let (_, lateral) = map.lane(LaneId(4)).unwrap().project(50.0, 0.0);
+        assert!((lateral - 2.5).abs() < 1e-9, "outer lane offset {lateral}");
+    }
+
+    #[test]
+    fn rounded_loop_is_connected_and_smooth() {
+        let map = rounded_loop(100.0, 60.0, 10.0, 2.5, 8.9);
+        assert_eq!(map.len(), 4);
+        // Route all the way around.
+        let route = map.route(LaneId(0), LaneId(3)).unwrap().unwrap();
+        assert_eq!(route.len(), 4);
+        // Length ≈ straights + full circle: 2(80+40) + 2π·10 ≈ 302.8.
+        let expected = 2.0 * (80.0 + 40.0) + std::f64::consts::TAU * 10.0;
+        assert!((map.total_length_m() - expected).abs() < 1.0, "len {}", map.total_length_m());
+        // Heading continuity: walk each lane at 0.5 m steps; no jump
+        // exceeds what a 12-segment quarter arc implies (~7.5° + slack).
+        for lane in map.iter() {
+            let mut s = 0.0;
+            let mut prev = lane.pose_at(0.0).theta;
+            while s < lane.length_m() {
+                s += 0.5;
+                let theta = lane.pose_at(s).theta;
+                let jump = sov_math::angle::diff(theta, prev).abs();
+                assert!(jump < 0.20, "heading jump {jump} rad on {}", lane.id());
+                prev = theta;
+            }
+        }
+    }
+
+    #[test]
+    fn rounded_loop_endpoints_meet() {
+        let map = rounded_loop(100.0, 60.0, 10.0, 2.5, 8.9);
+        for i in 0..4u32 {
+            let a = map.lane(LaneId(i)).unwrap();
+            let b = map.lane(LaneId((i + 1) % 4)).unwrap();
+            let end = a.pose_at(a.length_m());
+            let start = b.pose_at(0.0);
+            assert!(end.distance(&start) < 1e-6, "gap between lane {i} and next");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must fit")]
+    fn rounded_loop_rejects_oversized_radius() {
+        let _ = rounded_loop(10.0, 10.0, 6.0, 2.5, 8.9);
+    }
+
+    #[test]
+    fn empty_map_queries() {
+        let map = LaneMap::new();
+        assert!(map.is_empty());
+        assert!(map.nearest_lane(0.0, 0.0).is_none());
+        assert_eq!(map.total_length_m(), 0.0);
+    }
+}

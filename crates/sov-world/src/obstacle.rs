@@ -1,0 +1,199 @@
+//! Dynamic and static obstacles.
+//!
+//! Obstacles are what the perception module must detect (Sec. IV) and the
+//! reactive path must stop for (Sec. V). Each obstacle has a class, a
+//! footprint, and a simple scripted motion model; the scenario layer decides
+//! when obstacles appear.
+
+use sov_math::Pose2;
+use sov_sim::time::SimTime;
+use std::fmt;
+
+/// Object classes produced by the detection DNN (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObstacleClass {
+    /// A walking person.
+    Pedestrian,
+    /// A cyclist or scooter rider.
+    Cyclist,
+    /// Another vehicle.
+    Vehicle,
+    /// A static object (cone, barrier, parked cart).
+    StaticObject,
+}
+
+impl ObstacleClass {
+    /// Typical footprint radius (m) used for collision checks.
+    #[must_use]
+    pub fn radius_m(&self) -> f64 {
+        match self {
+            Self::Pedestrian => 0.3,
+            Self::Cyclist => 0.6,
+            Self::Vehicle => 1.2,
+            Self::StaticObject => 0.5,
+        }
+    }
+}
+
+impl fmt::Display for ObstacleClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Pedestrian => "pedestrian",
+            Self::Cyclist => "cyclist",
+            Self::Vehicle => "vehicle",
+            Self::StaticObject => "static",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Identifier of an obstacle within a [`crate::scenario::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObstacleId(pub u32);
+
+/// An obstacle with a scripted constant-velocity motion model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Obstacle {
+    /// Identifier.
+    pub id: ObstacleId,
+    /// Class label (ground truth; the detector may mislabel it).
+    pub class: ObstacleClass,
+    /// Pose at `spawn_time`.
+    pub initial_pose: Pose2,
+    /// World-frame velocity (vx, vy) in m/s.
+    pub velocity: (f64, f64),
+    /// Time at which the obstacle appears in the world.
+    pub spawn_time: SimTime,
+    /// Optional time at which it disappears (cleared the road).
+    pub despawn_time: Option<SimTime>,
+}
+
+impl Obstacle {
+    /// Creates a static obstacle present from `spawn_time` onwards.
+    #[must_use]
+    pub fn fixed(id: ObstacleId, class: ObstacleClass, pose: Pose2, spawn_time: SimTime) -> Self {
+        Self {
+            id,
+            class,
+            initial_pose: pose,
+            velocity: (0.0, 0.0),
+            spawn_time,
+            despawn_time: None,
+        }
+    }
+
+    /// Creates a moving obstacle.
+    #[must_use]
+    pub fn moving(
+        id: ObstacleId,
+        class: ObstacleClass,
+        pose: Pose2,
+        velocity: (f64, f64),
+        spawn_time: SimTime,
+    ) -> Self {
+        Self {
+            id,
+            class,
+            initial_pose: pose,
+            velocity,
+            spawn_time,
+            despawn_time: None,
+        }
+    }
+
+    /// Sets the despawn time (builder-style).
+    #[must_use]
+    pub fn until(mut self, despawn_time: SimTime) -> Self {
+        self.despawn_time = Some(despawn_time);
+        self
+    }
+
+    /// Whether the obstacle exists at time `t`.
+    #[must_use]
+    pub fn is_active(&self, t: SimTime) -> bool {
+        t >= self.spawn_time && self.despawn_time.is_none_or(|d| t < d)
+    }
+
+    /// Ground-truth pose at time `t` (constant-velocity extrapolation from
+    /// spawn). Returns `None` if inactive.
+    #[must_use]
+    pub fn pose_at(&self, t: SimTime) -> Option<Pose2> {
+        if !self.is_active(t) {
+            return None;
+        }
+        let dt = t.since(self.spawn_time).as_secs_f64();
+        Some(Pose2::new(
+            self.initial_pose.x + self.velocity.0 * dt,
+            self.initial_pose.y + self.velocity.1 * dt,
+            self.initial_pose.theta,
+        ))
+    }
+
+    /// Speed magnitude in m/s.
+    #[must_use]
+    pub fn speed(&self) -> f64 {
+        (self.velocity.0.powi(2) + self.velocity.1.powi(2)).sqrt()
+    }
+
+    /// Collision-check radius (class footprint).
+    #[must_use]
+    pub fn radius_m(&self) -> f64 {
+        self.class.radius_m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_sim::time::SimDuration;
+
+    #[test]
+    fn static_obstacle_never_moves() {
+        let o = Obstacle::fixed(
+            ObstacleId(0),
+            ObstacleClass::StaticObject,
+            Pose2::new(5.0, 0.0, 0.0),
+            SimTime::ZERO,
+        );
+        let later = SimTime::ZERO + SimDuration::from_secs(100);
+        assert_eq!(o.pose_at(later).unwrap(), Pose2::new(5.0, 0.0, 0.0));
+        assert_eq!(o.speed(), 0.0);
+    }
+
+    #[test]
+    fn moving_obstacle_extrapolates() {
+        let o = Obstacle::moving(
+            ObstacleId(1),
+            ObstacleClass::Pedestrian,
+            Pose2::new(0.0, 0.0, 0.0),
+            (1.0, -0.5),
+            SimTime::from_millis(1000),
+        );
+        let t = SimTime::from_millis(3000);
+        let p = o.pose_at(t).unwrap();
+        assert!((p.x - 2.0).abs() < 1e-12);
+        assert!((p.y + 1.0).abs() < 1e-12);
+        assert!((o.speed() - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spawn_and_despawn_window() {
+        let o = Obstacle::fixed(
+            ObstacleId(2),
+            ObstacleClass::Vehicle,
+            Pose2::identity(),
+            SimTime::from_millis(100),
+        )
+        .until(SimTime::from_millis(200));
+        assert!(!o.is_active(SimTime::from_millis(50)));
+        assert!(o.is_active(SimTime::from_millis(150)));
+        assert!(!o.is_active(SimTime::from_millis(200)));
+        assert!(o.pose_at(SimTime::from_millis(250)).is_none());
+    }
+
+    #[test]
+    fn class_radii_ordering() {
+        assert!(ObstacleClass::Vehicle.radius_m() > ObstacleClass::Pedestrian.radius_m());
+        assert_eq!(format!("{}", ObstacleClass::Cyclist), "cyclist");
+    }
+}

@@ -1,0 +1,380 @@
+//! A minimal OpenStreetMap-style text format for lane maps.
+//!
+//! Sec. II-B: "we use OpenStreetMap (OSM), and we frequently annotate OSM
+//! with semantic information of the environment." This module parses a
+//! compact OSM-like plain-text format into a [`LaneMap`], so deployment
+//! maps can live as data files rather than code:
+//!
+//! ```text
+//! # comment
+//! node 1 0.0 0.0
+//! node 2 100.0 0.0
+//! way 0 width=3.0 speed=8.9 nodes=1,2
+//! connect 0 1
+//! annotate 0 crosswalk
+//! adjacent 0 4
+//! ```
+
+use crate::map::{Annotation, Lane, LaneError, LaneId, LaneMap, UnknownLaneError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors parsing the OSM-like text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OsmParseError {
+    /// A line had an unknown directive.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The directive word.
+        directive: String,
+    },
+    /// A line was malformed for its directive.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A way referenced an undeclared node.
+    UnknownNode {
+        /// 1-based line number.
+        line: usize,
+        /// The node id.
+        node: u64,
+    },
+    /// Lane construction failed (degenerate geometry etc.).
+    BadLane {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying lane error.
+        source: LaneError,
+    },
+    /// A connect/annotate/adjacent referenced an unknown way.
+    UnknownWay {
+        /// 1-based line number.
+        line: usize,
+        /// The way id.
+        way: u32,
+    },
+}
+
+impl fmt::Display for OsmParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownDirective { line, directive } => {
+                write!(f, "line {line}: unknown directive '{directive}'")
+            }
+            Self::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            Self::UnknownNode { line, node } => write!(f, "line {line}: unknown node {node}"),
+            Self::BadLane { line, source } => write!(f, "line {line}: invalid lane: {source}"),
+            Self::UnknownWay { line, way } => write!(f, "line {line}: unknown way {way}"),
+        }
+    }
+}
+
+impl std::error::Error for OsmParseError {}
+
+fn annotation_from_str(s: &str) -> Option<Annotation> {
+    match s {
+        "crosswalk" => Some(Annotation::Crosswalk),
+        "transit-stop" => Some(Annotation::TransitStop),
+        "gps-degraded" => Some(Annotation::GpsDegraded),
+        "work-zone" => Some(Annotation::WorkZone),
+        "poi" => Some(Annotation::PointOfInterest),
+        _ => None,
+    }
+}
+
+fn annotation_to_str(a: Annotation) -> &'static str {
+    match a {
+        Annotation::Crosswalk => "crosswalk",
+        Annotation::TransitStop => "transit-stop",
+        Annotation::GpsDegraded => "gps-degraded",
+        Annotation::WorkZone => "work-zone",
+        Annotation::PointOfInterest => "poi",
+    }
+}
+
+/// Parses the OSM-like text format into a [`LaneMap`].
+///
+/// # Errors
+///
+/// Returns an [`OsmParseError`] describing the first offending line.
+pub fn parse(text: &str) -> Result<LaneMap, OsmParseError> {
+    let mut nodes: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
+    let mut map = LaneMap::new();
+    let unknown_way = |line: usize| move |e: UnknownLaneError| OsmParseError::UnknownWay {
+        line,
+        way: e.0 .0,
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let directive = parts.next().expect("non-empty line");
+        let malformed = |reason: &str| OsmParseError::Malformed {
+            line,
+            reason: reason.to_string(),
+        };
+        match directive {
+            "node" => {
+                let id: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("node needs 'node <id> <x> <y>'"))?;
+                let x: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("node x must be a number"))?;
+                let y: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("node y must be a number"))?;
+                nodes.insert(id, (x, y));
+            }
+            "way" => {
+                let id: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("way needs an integer id"))?;
+                let mut width = 2.5;
+                let mut speed = 8.9;
+                let mut node_ids: Vec<u64> = Vec::new();
+                for kv in parts {
+                    let (key, value) = kv
+                        .split_once('=')
+                        .ok_or_else(|| malformed("way options must be key=value"))?;
+                    match key {
+                        "width" => {
+                            width = value
+                                .parse()
+                                .map_err(|_| malformed("width must be a number"))?;
+                        }
+                        "speed" => {
+                            speed = value
+                                .parse()
+                                .map_err(|_| malformed("speed must be a number"))?;
+                        }
+                        "nodes" => {
+                            for n in value.split(',') {
+                                node_ids.push(
+                                    n.parse()
+                                        .map_err(|_| malformed("nodes must be integers"))?,
+                                );
+                            }
+                        }
+                        _ => return Err(malformed(&format!("unknown way option '{key}'"))),
+                    }
+                }
+                let mut centerline = Vec::with_capacity(node_ids.len());
+                for n in node_ids {
+                    let &(x, y) = nodes
+                        .get(&n)
+                        .ok_or(OsmParseError::UnknownNode { line, node: n })?;
+                    centerline.push((x, y));
+                }
+                let lane = Lane::new(LaneId(id), centerline, width, speed)
+                    .map_err(|source| OsmParseError::BadLane { line, source })?;
+                map.insert(lane);
+            }
+            "connect" => {
+                let from: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("connect needs two way ids"))?;
+                let to: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("connect needs two way ids"))?;
+                map.connect(LaneId(from), LaneId(to)).map_err(unknown_way(line))?;
+            }
+            "annotate" => {
+                let way: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("annotate needs a way id"))?;
+                let tag = parts.next().ok_or_else(|| malformed("annotate needs a tag"))?;
+                let annotation = annotation_from_str(tag)
+                    .ok_or_else(|| malformed(&format!("unknown annotation '{tag}'")))?;
+                map.annotate(LaneId(way), annotation).map_err(unknown_way(line))?;
+            }
+            "adjacent" => {
+                let left: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("adjacent needs two way ids"))?;
+                let right: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("adjacent needs two way ids"))?;
+                map.set_adjacent(LaneId(left), LaneId(right))
+                    .map_err(unknown_way(line))?;
+            }
+            other => {
+                return Err(OsmParseError::UnknownDirective {
+                    line,
+                    directive: other.to_string(),
+                })
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Serializes a [`LaneMap`] back into the text format ([`parse`] ∘
+/// [`serialize`] is the identity on the map's structure).
+#[must_use]
+pub fn serialize(map: &LaneMap) -> String {
+    let mut out = String::from("# sov lane map\n");
+    let mut node_id: u64 = 1;
+    let mut way_lines = Vec::new();
+    let mut tail_lines = Vec::new();
+    for lane in map.iter() {
+        let mut node_refs = Vec::new();
+        let mut s = 0.0;
+        // Reconstruct the centerline by sampling its vertices: Lane does
+        // not expose raw points, so sample at cumulative breakpoints via
+        // pose_at on a fine grid and deduplicate collinear runs. Simpler
+        // and lossless for our generators: sample every vertex distance.
+        // We instead expose vertices through project()-free iteration:
+        // sample at 0 and at each meter, keeping direction changes.
+        let mut pts = vec![lane.pose_at(0.0)];
+        let step = 0.5;
+        while s < lane.length_m() {
+            s = (s + step).min(lane.length_m());
+            let p = lane.pose_at(s);
+            pts.push(p);
+        }
+        // Keep endpoints and direction changes only.
+        let mut kept = vec![pts[0]];
+        for w in pts.windows(3) {
+            if (w[1].theta - w[0].theta).abs() > 1e-9 || (w[2].theta - w[1].theta).abs() > 1e-9 {
+                kept.push(w[1]);
+            }
+        }
+        kept.push(*pts.last().expect("non-empty"));
+        let mut refs = Vec::new();
+        for p in kept {
+            out.push_str(&format!("node {node_id} {:.6} {:.6}\n", p.x, p.y));
+            refs.push(node_id.to_string());
+            node_id += 1;
+        }
+        node_refs.extend(refs);
+        way_lines.push(format!(
+            "way {} width={} speed={} nodes={}",
+            lane.id().0,
+            lane.width_m(),
+            lane.speed_limit_mps(),
+            node_refs.join(",")
+        ));
+        for &succ in lane.successors() {
+            tail_lines.push(format!("connect {} {}", lane.id().0, succ.0));
+        }
+        for &a in lane.annotations() {
+            tail_lines.push(format!("annotate {} {}", lane.id().0, annotation_to_str(a)));
+        }
+        if let Some(right) = lane.right_neighbor() {
+            tail_lines.push(format!("adjacent {} {}", lane.id().0, right.0));
+        }
+    }
+    for l in way_lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    for l in tail_lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::two_lane_loop;
+
+    const SAMPLE: &str = "\
+# a simple two-way map
+node 1 0.0 0.0
+node 2 100.0 0.0
+node 3 100.0 50.0
+way 0 width=3.0 speed=8.9 nodes=1,2
+way 1 width=3.0 speed=5.0 nodes=2,3
+connect 0 1
+annotate 1 crosswalk
+";
+
+    #[test]
+    fn parses_a_simple_map() {
+        let map = parse(SAMPLE).unwrap();
+        assert_eq!(map.len(), 2);
+        let lane0 = map.lane(LaneId(0)).unwrap();
+        assert_eq!(lane0.width_m(), 3.0);
+        assert!((lane0.length_m() - 100.0).abs() < 1e-9);
+        assert_eq!(lane0.successors(), &[LaneId(1)]);
+        assert!(map.lane(LaneId(1)).unwrap().has_annotation(Annotation::Crosswalk));
+        assert_eq!(map.lane(LaneId(1)).unwrap().speed_limit_mps(), 5.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let map = parse("\n# only comments\n\n").unwrap();
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn unknown_directive_errors_with_line_number() {
+        let err = parse("node 1 0 0\nfrobnicate 3\n").unwrap_err();
+        assert_eq!(
+            err,
+            OsmParseError::UnknownDirective { line: 2, directive: "frobnicate".into() }
+        );
+    }
+
+    #[test]
+    fn unknown_node_reference_errors() {
+        let err = parse("way 0 nodes=1,2\n").unwrap_err();
+        assert!(matches!(err, OsmParseError::UnknownNode { line: 1, node: 1 }));
+    }
+
+    #[test]
+    fn bad_geometry_is_reported() {
+        let err = parse("node 1 0 0\nway 0 nodes=1,1\n").unwrap_err();
+        assert!(matches!(err, OsmParseError::BadLane { line: 2, .. }));
+    }
+
+    #[test]
+    fn connect_to_missing_way_errors() {
+        let err = parse("node 1 0 0\nnode 2 5 0\nway 0 nodes=1,2\nconnect 0 9\n").unwrap_err();
+        assert_eq!(err, OsmParseError::UnknownWay { line: 4, way: 9 });
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip_preserves_structure() {
+        let original = two_lane_loop(100.0, 50.0, 2.5, 8.9);
+        let text = serialize(&original);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        for lane in original.iter() {
+            let round = parsed.lane(lane.id()).expect("lane survives");
+            assert!((round.length_m() - lane.length_m()).abs() < 0.6, "length drift on {}", lane.id());
+            assert_eq!(round.successors(), lane.successors());
+            assert_eq!(round.right_neighbor(), lane.right_neighbor());
+            assert_eq!(round.width_m(), lane.width_m());
+        }
+    }
+
+    #[test]
+    fn annotations_roundtrip() {
+        let mut map = two_lane_loop(60.0, 30.0, 2.5, 8.9);
+        map.annotate(LaneId(0), Annotation::PointOfInterest).unwrap();
+        map.annotate(LaneId(1), Annotation::GpsDegraded).unwrap();
+        let parsed = parse(&serialize(&map)).unwrap();
+        assert!(parsed.lane(LaneId(0)).unwrap().has_annotation(Annotation::PointOfInterest));
+        assert!(parsed.lane(LaneId(1)).unwrap().has_annotation(Annotation::GpsDegraded));
+    }
+}

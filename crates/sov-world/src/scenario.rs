@@ -1,0 +1,518 @@
+//! Deployment scenarios.
+//!
+//! Sec. II-A lists the commercial deployments of the paper's vehicles:
+//! Fishers (Indiana, US), tourist sites at Nara and Fukuoka (Japan), an
+//! industrial park in Shenzhen (China), and a university campus in Fribourg
+//! (Switzerland). Each constructor here builds a reproducible [`World`] with
+//! a lane map, a ground-truth route, a landmark field, scripted obstacles,
+//! and profiles for scene complexity and GPS quality — the environmental
+//! inputs that drive the latency variation and co-design experiments.
+
+use crate::landmark::LandmarkField;
+use crate::map::{rectangular_loop, Annotation, LaneId, LaneMap};
+use crate::obstacle::{Obstacle, ObstacleClass, ObstacleId};
+use crate::trajectory::Route;
+use sov_math::{Pose2, SovRng};
+use sov_sim::time::SimTime;
+
+/// The complete simulated environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct World {
+    /// Road network.
+    pub map: LaneMap,
+    /// Ground-truth route the vehicle should follow.
+    pub route: Route,
+    /// Visual landmarks for VIO.
+    pub landmarks: LandmarkField,
+    /// Scripted obstacles.
+    pub obstacles: Vec<Obstacle>,
+}
+
+impl World {
+    /// Obstacles active at time `t` with their ground-truth poses.
+    pub fn active_obstacles(&self, t: SimTime) -> impl Iterator<Item = (&Obstacle, Pose2)> {
+        self.obstacles
+            .iter()
+            .filter_map(move |o| o.pose_at(t).map(|p| (o, p)))
+    }
+
+    /// Ground-truth distance (m) from `pose` to the nearest active obstacle
+    /// lying within the ±`half_angle` rad frontal cone of the vehicle.
+    ///
+    /// Returns `None` if no active obstacle is in the cone. This is the
+    /// quantity both the radar model and the safety analysis use.
+    #[must_use]
+    pub fn nearest_frontal_obstacle(
+        &self,
+        pose: &Pose2,
+        t: SimTime,
+        half_angle: f64,
+    ) -> Option<(ObstacleId, f64)> {
+        let mut best: Option<(ObstacleId, f64)> = None;
+        for (obstacle, opose) in self.active_obstacles(t) {
+            let (lx, ly) = pose.inverse_transform_point(opose.x, opose.y);
+            if lx <= 0.0 {
+                continue; // behind the vehicle
+            }
+            let bearing = ly.atan2(lx);
+            if bearing.abs() > half_angle {
+                continue;
+            }
+            let dist = (lx * lx + ly * ly).sqrt() - obstacle.radius_m();
+            let dist = dist.max(0.0);
+            if best.is_none_or(|(_, d)| dist < d) {
+                best = Some((obstacle.id, dist));
+            }
+        }
+        best
+    }
+}
+
+/// Scene-complexity profile: how visually busy the environment is along the
+/// route, in `[0, 1]`.
+///
+/// High complexity means many new features per frame, which slows
+/// localization (Sec. V-C: "in dynamic scenes, new features can be extracted
+/// in every frame") and produces the long latency tail of Fig. 10a.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexityProfile {
+    /// `(route_arclength_fraction, complexity)` control points, sorted.
+    control_points: Vec<(f64, f64)>,
+}
+
+impl ComplexityProfile {
+    /// Creates a profile from control points; clamps inputs into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "profile needs at least one point");
+        let mut control_points: Vec<(f64, f64)> = points
+            .into_iter()
+            .map(|(s, c)| (s.clamp(0.0, 1.0), c.clamp(0.0, 1.0)))
+            .collect();
+        control_points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        Self { control_points }
+    }
+
+    /// A flat profile at a fixed complexity.
+    #[must_use]
+    pub fn uniform(complexity: f64) -> Self {
+        Self::new(vec![(0.0, complexity)])
+    }
+
+    /// Complexity at route fraction `frac` (linear interpolation).
+    #[must_use]
+    pub fn at(&self, frac: f64) -> f64 {
+        let frac = frac.clamp(0.0, 1.0);
+        let pts = &self.control_points;
+        if frac <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (s0, c0) = w[0];
+            let (s1, c1) = w[1];
+            if frac <= s1 {
+                let t = if s1 > s0 { (frac - s0) / (s1 - s0) } else { 0.0 };
+                return c0 + (c1 - c0) * t;
+            }
+        }
+        pts.last().expect("non-empty").1
+    }
+}
+
+/// A reproducible deployment scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable site name.
+    pub name: &'static str,
+    /// The environment.
+    pub world: World,
+    /// Scene-complexity profile along the route.
+    pub complexity: ComplexityProfile,
+    /// Fraction of the route (by arclength) with degraded GPS, expressed as
+    /// `(start_frac, end_frac)` windows.
+    pub gps_outages: Vec<(f64, f64)>,
+    /// Typical cruise speed (m/s). The paper's vehicles are capped at
+    /// 20 mph ≈ 8.9 m/s and typically drive 5.6 m/s.
+    pub cruise_speed_mps: f64,
+    /// Seed this scenario was generated with.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Whether GPS is degraded at route fraction `frac`.
+    #[must_use]
+    pub fn gps_degraded_at(&self, frac: f64) -> bool {
+        self.gps_outages
+            .iter()
+            .any(|&(a, b)| frac >= a && frac < b)
+    }
+
+    fn build(
+        name: &'static str,
+        seed: u64,
+        loop_w: f64,
+        loop_h: f64,
+        lane_width: f64,
+        landmark_count: usize,
+        landmark_margin: f64,
+        complexity: ComplexityProfile,
+        gps_outages: Vec<(f64, f64)>,
+        cruise_speed_mps: f64,
+    ) -> Self {
+        let mut rng = SovRng::seed_from_u64(seed);
+        let map = rectangular_loop(loop_w, loop_h, lane_width, 8.9);
+        let route = Route::through(&map, vec![LaneId(0), LaneId(1), LaneId(2), LaneId(3)])
+            .expect("loop route is connected by construction");
+        let landmarks = LandmarkField::generate(
+            landmark_count,
+            (
+                -landmark_margin,
+                loop_w + landmark_margin,
+                -landmark_margin,
+                loop_h + landmark_margin,
+            ),
+            &mut rng,
+        );
+        Self {
+            name,
+            world: World { map, route, landmarks, obstacles: Vec::new() },
+            complexity,
+            gps_outages,
+            cruise_speed_mps,
+            seed,
+        }
+    }
+
+    /// Fishers, Indiana, with a rounded (continuous-curvature) loop — the
+    /// same deployment on a course whose corners are drivable arcs rather
+    /// than the instantaneous 90° turns of the test loop. Used by the
+    /// control-fidelity studies.
+    #[must_use]
+    pub fn fishers_smooth(seed: u64) -> Self {
+        let mut s = Self::fishers_indiana(seed);
+        let mut rng = SovRng::seed_from_u64(seed);
+        let map = crate::map::rounded_loop(200.0, 120.0, 18.0, 3.0, 8.9);
+        let route = Route::through(&map, vec![LaneId(0), LaneId(1), LaneId(2), LaneId(3)])
+            .expect("rounded loop is connected by construction");
+        let landmarks = LandmarkField::generate(1200, (-20.0, 220.0, -20.0, 140.0), &mut rng);
+        s.name = "Fishers, Indiana (US) — rounded course";
+        s.world = World { map, route, landmarks, obstacles: s.world.obstacles };
+        s
+    }
+
+    /// Fishers, Indiana: suburban streets, moderate complexity, occasional
+    /// vehicles crossing, good GPS.
+    #[must_use]
+    pub fn fishers_indiana(seed: u64) -> Self {
+        let obstacles = vec![
+            Obstacle::fixed(
+                ObstacleId(0),
+                ObstacleClass::StaticObject,
+                Pose2::new(60.0, 0.3, 0.0),
+                SimTime::from_millis(5_000),
+            )
+            .until(SimTime::from_millis(25_000)),
+            Obstacle::moving(
+                ObstacleId(1),
+                ObstacleClass::Vehicle,
+                Pose2::new(100.0, -20.0, std::f64::consts::FRAC_PI_2),
+                (0.0, 3.0),
+                SimTime::from_millis(12_000),
+            )
+            .until(SimTime::from_millis(40_000)),
+        ];
+        let mut s = Self::build(
+            "Fishers, Indiana (US)",
+            seed,
+            200.0,
+            120.0,
+            3.0,
+            1200,
+            20.0,
+            ComplexityProfile::new(vec![(0.0, 0.3), (0.5, 0.5), (1.0, 0.3)]),
+            vec![],
+            5.6,
+        );
+        s.world.obstacles = obstacles;
+        s.world
+            .map
+            .annotate(LaneId(1), Annotation::Crosswalk)
+            .expect("lane exists");
+        s
+    }
+
+    /// Nara, Japan: tourist site, dense pedestrians near points of interest,
+    /// high scene complexity, canopy-degraded GPS on one stretch.
+    #[must_use]
+    pub fn nara_japan(seed: u64) -> Self {
+        let mut rng = SovRng::seed_from_u64(seed ^ 0x4E41_5241);
+        let mut obstacles = Vec::new();
+        // Pedestrian clusters at the point of interest (lane 1 region).
+        for i in 0..8u32 {
+            let x = 150.0 + rng.uniform(-6.0, 6.0);
+            let y = rng.uniform(-2.0, 2.0);
+            obstacles.push(
+                Obstacle::moving(
+                    ObstacleId(i),
+                    ObstacleClass::Pedestrian,
+                    Pose2::new(x, y, 0.0),
+                    (rng.uniform(-0.8, 0.8), rng.uniform(-0.8, 0.8)),
+                    SimTime::from_millis(2_000 + u64::from(i) * 1_500),
+                )
+                .until(SimTime::from_millis(60_000)),
+            );
+        }
+        let mut s = Self::build(
+            "Nara tourist site (Japan)",
+            seed,
+            180.0,
+            80.0,
+            2.0,
+            2400,
+            15.0,
+            ComplexityProfile::new(vec![(0.0, 0.5), (0.3, 0.9), (0.6, 0.8), (1.0, 0.5)]),
+            vec![(0.55, 0.7)],
+            4.5,
+        );
+        s.world.obstacles = obstacles;
+        s.world
+            .map
+            .annotate(LaneId(1), Annotation::PointOfInterest)
+            .expect("lane exists");
+        s.world
+            .map
+            .annotate(LaneId(2), Annotation::GpsDegraded)
+            .expect("lane exists");
+        s
+    }
+
+    /// Fukuoka, Japan: compact tourist loop with transit stops.
+    #[must_use]
+    pub fn fukuoka_japan(seed: u64) -> Self {
+        let obstacles = vec![Obstacle::moving(
+            ObstacleId(0),
+            ObstacleClass::Cyclist,
+            Pose2::new(40.0, 1.0, 0.0),
+            (2.5, 0.0),
+            SimTime::from_millis(3_000),
+        )
+        .until(SimTime::from_millis(45_000))];
+        let mut s = Self::build(
+            "Fukuoka tourist site (Japan)",
+            seed,
+            140.0,
+            70.0,
+            2.0,
+            1800,
+            15.0,
+            ComplexityProfile::new(vec![(0.0, 0.6), (0.5, 0.7), (1.0, 0.6)]),
+            vec![],
+            4.5,
+        );
+        s.world.obstacles = obstacles;
+        s.world
+            .map
+            .annotate(LaneId(0), Annotation::TransitStop)
+            .expect("lane exists");
+        s
+    }
+
+    /// Shenzhen industrial park: wide lanes, work zones, forklifts.
+    #[must_use]
+    pub fn shenzhen_industrial(seed: u64) -> Self {
+        let obstacles = vec![
+            Obstacle::fixed(
+                ObstacleId(0),
+                ObstacleClass::StaticObject,
+                Pose2::new(120.0, -0.5, 0.0),
+                SimTime::ZERO,
+            ),
+            Obstacle::moving(
+                ObstacleId(1),
+                ObstacleClass::Vehicle,
+                Pose2::new(250.0, 10.0, -std::f64::consts::FRAC_PI_2),
+                (0.0, -1.5),
+                SimTime::from_millis(8_000),
+            )
+            .until(SimTime::from_millis(50_000)),
+        ];
+        let mut s = Self::build(
+            "Shenzhen industrial park (China)",
+            seed,
+            260.0,
+            140.0,
+            3.0,
+            900,
+            25.0,
+            ComplexityProfile::new(vec![(0.0, 0.2), (0.4, 0.6), (0.7, 0.3), (1.0, 0.2)]),
+            vec![(0.35, 0.45)], // metal warehouses cause multipath
+            5.6,
+        );
+        s.world.obstacles = obstacles;
+        s.world
+            .map
+            .annotate(LaneId(1), Annotation::WorkZone)
+            .expect("lane exists");
+        s
+    }
+
+    /// Shenzhen industrial park on a two-lane course: a slow forklift
+    /// occupies the inner lane, and the outer lane is available for the
+    /// lane-change maneuver of Sec. III-D.
+    #[must_use]
+    pub fn shenzhen_two_lane(seed: u64) -> Self {
+        let mut s = Self::shenzhen_industrial(seed);
+        let mut rng = SovRng::seed_from_u64(seed ^ 0x325F4C);
+        let map = crate::map::two_lane_loop(260.0, 140.0, 3.0, 8.9);
+        let route = Route::through(&map, vec![LaneId(0), LaneId(1), LaneId(2), LaneId(3)])
+            .expect("two-lane loop inner route is connected");
+        let landmarks = LandmarkField::generate(900, (-25.0, 285.0, -25.0, 165.0), &mut rng);
+        s.name = "Shenzhen industrial park (China) — two-lane";
+        s.world = World {
+            map,
+            route,
+            landmarks,
+            obstacles: vec![
+                // A forklift trundling along the inner lane at 1.5 m/s.
+                Obstacle::moving(
+                    ObstacleId(0),
+                    ObstacleClass::Vehicle,
+                    Pose2::new(45.0, 0.0, 0.0),
+                    (1.5, 0.0),
+                    SimTime::ZERO,
+                )
+                .until(SimTime::from_millis(90_000)),
+            ],
+        };
+        s
+    }
+
+    /// Fribourg university campus: narrow lanes, students everywhere.
+    #[must_use]
+    pub fn fribourg_campus(seed: u64) -> Self {
+        let mut rng = SovRng::seed_from_u64(seed ^ 0x4652_4942);
+        let mut obstacles = Vec::new();
+        // Students crossing the campus path at staggered times: each enters
+        // from one side, walks across, and is gone ~8 s later.
+        for i in 0..5u32 {
+            let side = if i % 2 == 0 { -1.0 } else { 1.0 };
+            let spawn_ms = 2_000 + u64::from(i) * 6_000;
+            obstacles.push(
+                Obstacle::moving(
+                    ObstacleId(i),
+                    ObstacleClass::Pedestrian,
+                    Pose2::new(rng.uniform(25.0, 95.0), side * 3.0, 0.0),
+                    (rng.uniform(-0.2, 0.2), -side * rng.uniform(0.7, 1.1)),
+                    SimTime::from_millis(spawn_ms),
+                )
+                .until(SimTime::from_millis(spawn_ms + 8_000)),
+            );
+        }
+        let mut s = Self::build(
+            "Fribourg university campus (Switzerland)",
+            seed,
+            120.0,
+            60.0,
+            1.5,
+            2000,
+            12.0,
+            ComplexityProfile::new(vec![(0.0, 0.7), (0.5, 0.8), (1.0, 0.7)]),
+            vec![],
+            3.5,
+        );
+        s.world.obstacles = obstacles;
+        s
+    }
+
+    /// All five deployment sites with the same seed.
+    #[must_use]
+    pub fn all_sites(seed: u64) -> Vec<Scenario> {
+        vec![
+            Self::fishers_indiana(seed),
+            Self::nara_japan(seed),
+            Self::fukuoka_japan(seed),
+            Self::shenzhen_industrial(seed),
+            Self::fribourg_campus(seed),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        assert_eq!(Scenario::nara_japan(5), Scenario::nara_japan(5));
+        assert_ne!(
+            Scenario::nara_japan(5).world.landmarks,
+            Scenario::nara_japan(6).world.landmarks
+        );
+    }
+
+    #[test]
+    fn all_sites_have_valid_worlds() {
+        for s in Scenario::all_sites(42) {
+            assert!(s.world.map.len() >= 4, "{} map too small", s.name);
+            assert!(s.world.route.length_m() > 100.0);
+            assert!(!s.world.landmarks.is_empty());
+            assert!(s.cruise_speed_mps <= 8.9, "micromobility speed cap");
+            // Complexity profile valid over the whole route.
+            for i in 0..=10 {
+                let c = s.complexity.at(i as f64 / 10.0);
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn complexity_profile_interpolates() {
+        let p = ComplexityProfile::new(vec![(0.0, 0.0), (1.0, 1.0)]);
+        assert!((p.at(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(p.at(-1.0), 0.0);
+        assert_eq!(p.at(2.0), 1.0);
+        let flat = ComplexityProfile::uniform(0.4);
+        assert_eq!(flat.at(0.9), 0.4);
+    }
+
+    #[test]
+    fn gps_outage_windows() {
+        let s = Scenario::nara_japan(1);
+        assert!(s.gps_degraded_at(0.6));
+        assert!(!s.gps_degraded_at(0.1));
+        assert!(!Scenario::fishers_indiana(1).gps_degraded_at(0.5));
+    }
+
+    #[test]
+    fn frontal_obstacle_query() {
+        let s = Scenario::fishers_indiana(1);
+        // Static obstacle at (60, 0.3) spawns at t=5s; vehicle at (50, 0)
+        // heading +x should see it ~10 m ahead.
+        let t = SimTime::from_millis(6_000);
+        let pose = Pose2::new(50.0, 0.0, 0.0);
+        let (id, dist) = s
+            .world
+            .nearest_frontal_obstacle(&pose, t, 0.5)
+            .expect("obstacle visible");
+        assert_eq!(id, ObstacleId(0));
+        assert!((dist - (10.0 - 0.5)).abs() < 0.2, "dist was {dist}");
+        // Before spawn: nothing.
+        assert!(s
+            .world
+            .nearest_frontal_obstacle(&pose, SimTime::ZERO, 0.5)
+            .is_none());
+        // Facing away: nothing.
+        assert!(s
+            .world
+            .nearest_frontal_obstacle(
+                &Pose2::new(50.0, 0.0, std::f64::consts::PI),
+                t,
+                0.5
+            )
+            .is_none());
+    }
+}

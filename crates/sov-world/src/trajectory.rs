@@ -1,0 +1,219 @@
+//! Ground-truth routes along the lane graph.
+//!
+//! A [`Route`] concatenates lanes into one continuous arclength
+//! parameterization, so the vehicle model can answer "where should I be at
+//! arclength `s`" and the evaluation harness can compute cross-track error
+//! against ground truth.
+
+use crate::map::{LaneId, LaneMap, UnknownLaneError};
+use sov_math::Pose2;
+
+/// A contiguous sequence of lanes traversed start-to-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    lane_ids: Vec<LaneId>,
+    /// Cumulative arclength at the start of each lane, plus total at end.
+    offsets: Vec<f64>,
+    /// Per-lane speed limits sampled at lane starts.
+    speed_limits: Vec<f64>,
+    /// Poses cached at lane boundaries for continuity checks.
+    total_length: f64,
+}
+
+/// Error building a route.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// Route must contain at least one lane.
+    Empty,
+    /// A lane id was not present in the map.
+    UnknownLane(LaneId),
+    /// Consecutive lanes are not connected in the map.
+    Disconnected(LaneId, LaneId),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "route must contain at least one lane"),
+            Self::UnknownLane(id) => write!(f, "route references unknown {id}"),
+            Self::Disconnected(a, b) => write!(f, "{a} is not connected to {b}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+impl From<UnknownLaneError> for RouteError {
+    fn from(e: UnknownLaneError) -> Self {
+        Self::UnknownLane(e.0)
+    }
+}
+
+impl Route {
+    /// Builds a route through the given lane ids, validating connectivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RouteError`] if the list is empty, references an unknown
+    /// lane, or contains a pair of consecutive lanes that are not connected.
+    pub fn through(map: &LaneMap, lane_ids: Vec<LaneId>) -> Result<Self, RouteError> {
+        if lane_ids.is_empty() {
+            return Err(RouteError::Empty);
+        }
+        let mut offsets = Vec::with_capacity(lane_ids.len() + 1);
+        let mut speed_limits = Vec::with_capacity(lane_ids.len());
+        offsets.push(0.0);
+        for (i, &id) in lane_ids.iter().enumerate() {
+            let lane = map.lane(id).ok_or(RouteError::UnknownLane(id))?;
+            if i > 0 {
+                let prev = map
+                    .lane(lane_ids[i - 1])
+                    .ok_or(RouteError::UnknownLane(lane_ids[i - 1]))?;
+                if !prev.successors().contains(&id) {
+                    return Err(RouteError::Disconnected(prev.id(), id));
+                }
+            }
+            speed_limits.push(lane.speed_limit_mps());
+            offsets.push(offsets[i] + lane.length_m());
+        }
+        let total_length = *offsets.last().expect("non-empty");
+        Ok(Self { lane_ids, offsets, speed_limits, total_length })
+    }
+
+    /// Total route length in meters.
+    #[must_use]
+    pub fn length_m(&self) -> f64 {
+        self.total_length
+    }
+
+    /// Lanes in traversal order.
+    #[must_use]
+    pub fn lane_ids(&self) -> &[LaneId] {
+        &self.lane_ids
+    }
+
+    /// The lane active at route arclength `s`, with the within-lane
+    /// arclength. `s` is clamped to the route.
+    #[must_use]
+    pub fn lane_at(&self, s: f64) -> (LaneId, f64) {
+        let s = s.clamp(0.0, self.total_length);
+        // Find the lane whose [offset, next_offset) contains s.
+        let mut idx = match self
+            .offsets
+            .binary_search_by(|o| o.partial_cmp(&s).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        idx = idx.min(self.lane_ids.len() - 1);
+        (self.lane_ids[idx], s - self.offsets[idx])
+    }
+
+    /// Ground-truth pose at route arclength `s` (requires the map).
+    ///
+    /// Returns `None` if the map no longer contains the lane (the route has
+    /// outlived its map).
+    #[must_use]
+    pub fn pose_at(&self, map: &LaneMap, s: f64) -> Option<Pose2> {
+        let (lane_id, local_s) = self.lane_at(s);
+        Some(map.lane(lane_id)?.pose_at(local_s))
+    }
+
+    /// Projects a world position onto the route: returns `(station,
+    /// lateral_offset)` of the closest point across all route lanes.
+    ///
+    /// Returns `None` if the map no longer contains a route lane.
+    #[must_use]
+    pub fn project(&self, map: &LaneMap, x: f64, y: f64) -> Option<(f64, f64)> {
+        let mut best: Option<(f64, f64, f64)> = None; // (station, lateral, |lateral|)
+        for (i, &id) in self.lane_ids.iter().enumerate() {
+            let lane = map.lane(id)?;
+            let (s_local, lateral) = lane.project(x, y);
+            let station = self.offsets[i] + s_local;
+            if best.is_none_or(|(_, _, d)| lateral.abs() < d) {
+                best = Some((station, lateral, lateral.abs()));
+            }
+        }
+        best.map(|(s, l, _)| (s, l))
+    }
+
+    /// Speed limit at route arclength `s`.
+    #[must_use]
+    pub fn speed_limit_at(&self, s: f64) -> f64 {
+        let (lane_id, _) = self.lane_at(s);
+        let idx = self
+            .lane_ids
+            .iter()
+            .position(|&id| id == lane_id)
+            .expect("lane_at returns member lanes");
+        self.speed_limits[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::rectangular_loop;
+
+    fn loop_route() -> (LaneMap, Route) {
+        let map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
+        let route = Route::through(
+            &map,
+            vec![LaneId(0), LaneId(1), LaneId(2), LaneId(3)],
+        )
+        .unwrap();
+        (map, route)
+    }
+
+    #[test]
+    fn route_length_sums_lanes() {
+        let (_, route) = loop_route();
+        assert!((route.length_m() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lane_at_boundaries() {
+        let (_, route) = loop_route();
+        assert_eq!(route.lane_at(0.0), (LaneId(0), 0.0));
+        let (id, s) = route.lane_at(100.0);
+        assert_eq!(id, LaneId(1));
+        assert!(s.abs() < 1e-12);
+        let (id_end, _) = route.lane_at(299.9);
+        assert_eq!(id_end, LaneId(3));
+        // Clamped beyond the end.
+        let (id_over, s_over) = route.lane_at(1000.0);
+        assert_eq!(id_over, LaneId(3));
+        assert!((s_over - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pose_at_is_continuous_across_lanes() {
+        let (map, route) = loop_route();
+        let before = route.pose_at(&map, 99.999).unwrap();
+        let after = route.pose_at(&map, 100.001).unwrap();
+        assert!(before.distance(&after) < 0.01);
+    }
+
+    #[test]
+    fn disconnected_route_rejected() {
+        let map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
+        let err = Route::through(&map, vec![LaneId(0), LaneId(2)]).unwrap_err();
+        assert_eq!(err, RouteError::Disconnected(LaneId(0), LaneId(2)));
+    }
+
+    #[test]
+    fn empty_and_unknown_rejected() {
+        let map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
+        assert_eq!(Route::through(&map, vec![]).unwrap_err(), RouteError::Empty);
+        assert!(matches!(
+            Route::through(&map, vec![LaneId(7)]).unwrap_err(),
+            RouteError::UnknownLane(LaneId(7))
+        ));
+    }
+
+    #[test]
+    fn speed_limit_lookup() {
+        let (_, route) = loop_route();
+        assert_eq!(route.speed_limit_at(10.0), 8.9);
+    }
+}

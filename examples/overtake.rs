@@ -1,0 +1,51 @@
+//! The lane-granularity maneuver of Sec. III-D in action: on a two-lane
+//! course the vehicle overtakes a slow forklift instead of crawling behind
+//! it, then merges back.
+//!
+//! ```sh
+//! cargo run --release --example overtake
+//! ```
+
+use sov::core::config::VehicleConfig;
+use sov::core::sov::Sov;
+use sov::world::scenario::Scenario;
+
+fn main() {
+    let scenario = Scenario::shenzhen_two_lane(42);
+    println!("site: {}", scenario.name);
+    println!(
+        "course: {} lanes ({} on the route + adjacent passing lanes), {:.0} m loop",
+        scenario.world.map.len(),
+        scenario.world.route.lane_ids().len(),
+        scenario.world.route.length_m()
+    );
+    println!("obstacle: a forklift trundling along the inner lane at 1.5 m/s\n");
+
+    let mut sov = Sov::new(VehicleConfig::perceptin_pod(), 42);
+    let report = sov.drive(&scenario, 500).expect("frames > 0");
+
+    println!("drive report (50 s):");
+    println!("  outcome:            {:?}", report.outcome);
+    println!("  distance:           {:.0} m", report.distance_m);
+    println!(
+        "  average speed:      {:.1} m/s (the forklift manages 1.5 m/s)",
+        report.distance_m / (report.frames as f64 * 0.1)
+    );
+    println!("  closest approach:   {:.1} m", report.min_obstacle_gap_m);
+    println!(
+        "  mean lane offset:   {:.2} m (time spent in the passing lane)",
+        report.mean_cross_track_error_m
+    );
+    println!(
+        "  reactive overrides: {} — the planner handles the pass; the\n\
+         \x20                     reactive path only guards the merge",
+        report.override_engagements
+    );
+    println!(
+        "\nfollowing the forklift for 50 s would have covered ~{:.0} m;\n\
+         the lane change recovered cruise speed (Sec. III-D: the vehicle\n\
+         maneuvers at lane granularity — staying in a lane or switching\n\
+         lanes — which is what keeps planning at ~3 ms).",
+        1.5 * 50.0 + 40.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Hardware design-space exploration (Sec. V): task latencies per
+//! platform, mapping strategies, and the partial-reconfiguration engine.
+//!
+//! ```sh
+//! cargo run --release --example platform_explorer
+//! ```
+
+use sov::platform::mapping::PerceptionMapping;
+use sov::platform::processor::{Platform, Task};
+use sov::platform::rpr::{RprEngine, RprPath};
+
+fn main() {
+    println!("== task latencies across candidate platforms (Fig. 6a) ==\n");
+    println!("{:<26} {:>8} {:>8} {:>8} {:>8}", "task", "CPU", "GPU", "TX2", "FPGA");
+    for task in [
+        Task::DepthEstimation,
+        Task::ObjectDetection,
+        Task::LocalizationKeyframe,
+        Task::LocalizationTracked,
+        Task::KcfTracking,
+        Task::SpatialSync,
+        Task::MpcPlanning,
+        Task::EmPlanning,
+        Task::EkfFusion,
+    ] {
+        print!("{:<26}", task.name());
+        for p in Platform::ALL {
+            print!(" {:>7.1}m", task.profile(p).mean_latency_ms());
+        }
+        println!();
+    }
+
+    println!("\n== perception mapping strategies (Fig. 8) ==\n");
+    for m in PerceptionMapping::fig8_strategies() {
+        let lat = m.latency();
+        let ours = if m == PerceptionMapping::ours() { "  ← deployed" } else { "" };
+        println!(
+            "  SU@{:<5} loc@{:<5} → perception {:>6.1} ms{ours}",
+            m.scene_understanding.name(),
+            m.localization.name(),
+            lat.perception_ms()
+        );
+    }
+
+    println!("\n== runtime partial reconfiguration (Fig. 9) ==\n");
+    let engine = RprEngine::default();
+    for (label, path) in [
+        ("CPU-driven", RprPath::CpuDriven),
+        ("decoupled engine", RprPath::DecoupledEngine),
+    ] {
+        let r = engine.reconfigure(1024 * 1024, path);
+        println!(
+            "  {label:<18} 1 MB bitstream: {:>12} ({:>6.1} MB/s, {:.1} mJ)",
+            format!("{}", r.duration),
+            r.throughput_mbps(),
+            r.energy_j * 1000.0
+        );
+    }
+    println!(
+        "\n  swapping the 20 ms feature-extraction and 10 ms feature-tracking\n\
+         \x20 kernels per keyframe costs <3 ms of reconfiguration — cheaper than\n\
+         \x20 holding both resident (Sec. V-B3)."
+    );
+}

@@ -1,0 +1,84 @@
+//! Sensor synchronization end to end (Sec. VI-A): what each design's
+//! timestamps look like, and what that does to perception.
+//!
+//! ```sh
+//! cargo run --release --example sensor_sync
+//! ```
+
+use sov::math::{Pose2, SovRng};
+use sov::perception::depth::{depth_with_sync_offset, mean_abs_error_m};
+use sov::perception::vio::{final_error_m, run_vio_with_offset};
+use sov::sensors::camera::StereoRig;
+use sov::sensors::sync::{SyncConfig, SyncStrategy, Synchronizer};
+use sov::sim::time::{SimDuration, SimTime};
+use sov::world::scenario::Scenario;
+
+fn main() {
+    let seed = 11;
+    println!("== timestamp quality of the two designs (Fig. 12a vs 12c) ==\n");
+    let mut rng = SovRng::seed_from_u64(seed);
+    for (label, strategy) in [
+        ("software-only", SyncStrategy::SoftwareOnly),
+        ("hardware-assisted", SyncStrategy::HardwareAssisted),
+    ] {
+        let sync = Synchronizer::new(strategy, SyncConfig { seed, ..SyncConfig::default() });
+        let mut cam_err = 0.0;
+        let mut stereo_off = 0.0;
+        let mut cam_imu = 0.0;
+        let n = 100u64;
+        for k in 1..=n {
+            cam_err += sync.camera_sample(k, &mut rng).timestamp_error_ms().abs();
+            stereo_off += sync.stereo_capture_offset_ms(k, &mut rng);
+            cam_imu += sync.camera_imu_offset_ms(k, &mut rng);
+        }
+        println!("{label}:");
+        println!("  mean camera timestamp error:   {:>7.2} ms", cam_err / n as f64);
+        println!("  mean stereo capture offset:    {:>7.2} ms", stereo_off / n as f64);
+        println!("  mean camera-IMU misassociation:{:>7.2} ms\n", cam_imu / n as f64);
+    }
+
+    println!("== consequence 1: stereo depth (Fig. 11a) ==\n");
+    let world = Scenario::nara_japan(seed).world;
+    let rig = StereoRig::perceptin_default();
+    let pose_of =
+        |t: SimTime| Pose2::new(20.0, 5.0, 0.2).step_unicycle(4.5, 0.04, t.as_secs_f64());
+    for offset_ms in [0u64, 30, 90] {
+        let mut rng = SovRng::seed_from_u64(seed ^ offset_ms);
+        let mut est = depth_with_sync_offset(
+            &rig,
+            &world,
+            pose_of,
+            SimTime::ZERO,
+            SimDuration::from_millis(offset_ms),
+            &mut rng,
+        );
+        est.retain(|e| e.true_depth_m <= 25.0);
+        for e in &mut est {
+            e.depth_m = e.depth_m.min(60.0);
+        }
+        println!(
+            "  stereo offset {offset_ms:>3} ms → mean depth error {:>6.2} m over {} features",
+            mean_abs_error_m(&est),
+            est.len()
+        );
+    }
+
+    println!("\n== consequence 2: VIO localization (Fig. 11b) ==\n");
+    let dt = 1.0 / 240.0;
+    let n = (40.0 / dt) as usize;
+    let mut poses = Vec::with_capacity(n);
+    let mut rates = Vec::with_capacity(n);
+    let mut pose = Pose2::identity();
+    for i in 0..n {
+        let t = i as f64 * dt;
+        let omega = if (t / 4.0) as u64 % 3 == 0 { 0.0 } else { 0.4 };
+        pose = pose.step_unicycle(5.6, omega, dt);
+        poses.push((SimTime::from_secs_f64(t), pose));
+        rates.push(omega);
+    }
+    for offset in [0.0, 20.0, 40.0] {
+        let err = final_error_m(&run_vio_with_offset(&poses, &rates, offset, seed));
+        println!("  camera-IMU offset {offset:>4.0} ms → trajectory error {err:>6.2} m");
+    }
+    println!("\nhardware synchronizer cost: 1,443 LUTs, 1,587 registers, 5 mW (Sec. VI-A3).");
+}

@@ -1,0 +1,75 @@
+//! Deployment economics of the Nara tourist-site shuttle (Sec. II-A,
+//! III-B, III-C): driving time, revenue impact of hardware choices, and
+//! cost per trip.
+//!
+//! ```sh
+//! cargo run --release --example tourist_shuttle
+//! ```
+
+use sov::core::config::VehicleConfig;
+use sov::core::sov::Sov;
+use sov::platform::power::{ServerLoad, SovPowerModel};
+use sov::vehicle::battery::DrivingTimeModel;
+use sov::vehicle::cost::{TcoModel, VehicleBom};
+use sov::world::scenario::Scenario;
+
+fn main() {
+    let scenario = Scenario::nara_japan(7);
+    println!("deployment: {}\n", scenario.name);
+
+    // A short closed-loop sortie through the pedestrian-dense site.
+    let mut sov = Sov::new(VehicleConfig::perceptin_pod(), 7);
+    let report = sov.drive(&scenario, 400).expect("frames > 0");
+    println!(
+        "40 s sortie: {:?}, {:.0} m, mean computing latency {:.0} ms, proactive {:.1}%",
+        report.outcome,
+        report.distance_m,
+        report.computing.mean(),
+        report.proactive_fraction() * 100.0
+    );
+
+    // Energy economics (Eq. 2): each extra watt is driving time lost.
+    let m = DrivingTimeModel::perceptin_defaults();
+    println!("\ndriving time per charge (6 kWh pack, 0.6 kW base load):");
+    let configs = [
+        ("no autonomy", 0.0),
+        ("deployed SoV (175 W)", SovPowerModel::deployed().total_pad_kw()),
+        (
+            "+1 idle server",
+            SovPowerModel { num_servers: 2, ..SovPowerModel::deployed() }.total_pad_kw(),
+        ),
+        (
+            "+1 full-load server",
+            SovPowerModel {
+                num_servers: 2,
+                extra_server_load: ServerLoad::FullLoad,
+                ..SovPowerModel::deployed()
+            }
+            .total_pad_kw(),
+        ),
+        (
+            "LiDAR suite",
+            SovPowerModel { lidar_suite: true, ..SovPowerModel::deployed() }.total_pad_kw(),
+        ),
+    ];
+    for (name, pad) in configs {
+        println!(
+            "  {name:<24} {:>5.2} h  (revenue impact on a 10 h day: {:>4.1}%)",
+            m.driving_time_h(pad),
+            (10.0f64.min(m.driving_time_h(0.175)) - 10.0f64.min(m.driving_time_h(pad)))
+                .max(0.0)
+                / 10.0
+                * 100.0
+        );
+    }
+
+    // Cost per trip (Table II + the Sec. VII TCO sketch).
+    println!("\ncost per passenger trip (80 trips/day, 300 days/year, 5-year life):");
+    let camera = TcoModel::tourist_site_defaults();
+    let lidar = TcoModel {
+        vehicle_usd: VehicleBom::lidar_based().retail_price_usd,
+        ..TcoModel::tourist_site_defaults()
+    };
+    println!("  camera-based ($70k vehicle): ${:.2}/trip — the $1 fare works", camera.cost_per_trip_usd());
+    println!("  LiDAR-based ($300k vehicle): ${:.2}/trip — the $1 fare does not", lidar.cost_per_trip_usd());
+}

@@ -1,0 +1,150 @@
+//! Cross-crate integration: the full SoV driving every deployment site.
+
+use sov::core::config::VehicleConfig;
+use sov::core::sov::{DriveOutcome, Sov};
+use sov::world::scenario::Scenario;
+
+#[test]
+fn all_deployment_sites_complete_without_collision() {
+    for scenario in Scenario::all_sites(42) {
+        let mut sov = Sov::new(VehicleConfig::perceptin_pod(), 42);
+        let report = sov
+            .drive(&scenario, 300)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        assert_ne!(
+            report.outcome,
+            DriveOutcome::Collision,
+            "{}: collision (min gap {:.2} m)",
+            scenario.name,
+            report.min_obstacle_gap_m
+        );
+        assert!(
+            report.distance_m > 20.0,
+            "{}: only covered {:.1} m",
+            scenario.name,
+            report.distance_m
+        );
+    }
+}
+
+#[test]
+fn deployed_vehicles_stay_proactive_90_percent() {
+    // The paper's field statistic, across all sites.
+    let mut total_frames = 0u64;
+    let mut total_override = 0u64;
+    for scenario in Scenario::all_sites(7) {
+        let mut sov = Sov::new(VehicleConfig::perceptin_pod(), 7);
+        let report = sov.drive(&scenario, 300).expect("frames > 0");
+        total_frames += report.frames;
+        total_override += report.override_ticks;
+    }
+    let proactive = 1.0 - total_override as f64 / total_frames as f64;
+    assert!(proactive > 0.9, "fleet proactive fraction {proactive}");
+}
+
+#[test]
+fn latency_profile_is_stable_across_seeds() {
+    let mut means = Vec::new();
+    for seed in [1, 2, 3] {
+        let mut scenario = Scenario::fishers_indiana(seed);
+        scenario.world.obstacles.clear();
+        let mut sov = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        let report = sov.drive(&scenario, 300).unwrap();
+        means.push(report.computing.mean());
+    }
+    for m in &means {
+        assert!((130.0..210.0).contains(m), "mean latency {m} ms out of family");
+    }
+}
+
+#[test]
+fn mobile_soc_variant_would_blow_the_latency_budget() {
+    let mut scenario = Scenario::fishers_indiana(9);
+    scenario.world.obstacles.clear();
+    let mut pod = Sov::new(VehicleConfig::perceptin_pod(), 9);
+    let mut tx2 = Sov::new(VehicleConfig::mobile_soc_variant(), 9);
+    let pod_mean = pod.drive(&scenario, 200).unwrap().computing.mean();
+    let tx2_mean = tx2.drive(&scenario, 200).unwrap().computing.mean();
+    assert!(
+        tx2_mean > 4.0 * pod_mean,
+        "TX2 {tx2_mean} ms vs deployed {pod_mean} ms"
+    );
+    // At the TX2's latency, the avoidance envelope balloons (Eq. 1).
+    let budget = VehicleConfig::perceptin_pod().latency_budget();
+    let pod_d = budget.min_avoidable_distance_m(pod_mean / 1000.0);
+    let tx2_d = budget.min_avoidable_distance_m(tx2_mean / 1000.0);
+    assert!(tx2_d > pod_d + 3.0, "TX2 needs {tx2_d:.1} m vs {pod_d:.1} m");
+}
+
+#[test]
+fn reactive_path_covers_for_a_bad_detector() {
+    // Sec. III-C: safety issues arise when "vision algorithms produce wrong
+    // results, e.g., missing an object". A vehicle running a mismatched
+    // (high-miss-rate) detector must still not collide: radar feeds both
+    // the planner and the reactive override independently of vision.
+    use sov::math::Pose2;
+    use sov::perception::detection::DetectorProfile;
+    use sov::sim::time::SimTime;
+    use sov::world::obstacle::{Obstacle, ObstacleClass, ObstacleId};
+    let mut scenario = Scenario::fishers_indiana(13);
+    scenario.world.obstacles = vec![Obstacle::fixed(
+        ObstacleId(0),
+        ObstacleClass::Pedestrian,
+        Pose2::new(16.0, 0.3, 0.0),
+        SimTime::from_millis(3_000),
+    )
+    .until(SimTime::from_millis(6_000))];
+    let mut sov = Sov::new(VehicleConfig::perceptin_pod(), 13);
+    // Swap in a badly mismatched model mid-deployment.
+    sov_core_detector_downgrade(&mut sov);
+    let report = sov.drive(&scenario, 250).unwrap();
+    assert_ne!(report.outcome, DriveOutcome::Collision, "gap {}", report.min_obstacle_gap_m);
+    assert!(report.min_obstacle_gap_m > 0.05);
+
+    fn sov_core_detector_downgrade(sov: &mut Sov) {
+        sov.detector_mut().update_model(DetectorProfile {
+            miss_rate: 0.9, // the detector barely sees anything
+            ..DetectorProfile::mismatched()
+        });
+    }
+}
+
+#[test]
+fn rounded_course_improves_tracking_fidelity() {
+    // The rectangular test loop has instantaneous 90° corners that no
+    // yaw-rate-limited vehicle can track; the rounded course's arcs are
+    // drivable, so ground-truth cross-track error drops.
+    let mut sharp = Scenario::fishers_indiana(15);
+    sharp.world.obstacles.clear();
+    let mut smooth = Scenario::fishers_smooth(15);
+    smooth.world.obstacles.clear();
+    let mut sov_a = Sov::new(VehicleConfig::perceptin_pod(), 15);
+    let mut sov_b = Sov::new(VehicleConfig::perceptin_pod(), 15);
+    let r_sharp = sov_a.drive(&sharp, 600).unwrap();
+    let r_smooth = sov_b.drive(&smooth, 600).unwrap();
+    assert_ne!(r_smooth.outcome, DriveOutcome::Collision);
+    assert!(
+        r_smooth.mean_cross_track_error_m < r_sharp.mean_cross_track_error_m,
+        "smooth {:.2} m vs sharp {:.2} m",
+        r_smooth.mean_cross_track_error_m,
+        r_sharp.mean_cross_track_error_m
+    );
+    assert!(
+        r_smooth.mean_cross_track_error_m < 1.0,
+        "rounded course tracked within a lane: {:.2} m",
+        r_smooth.mean_cross_track_error_m
+    );
+}
+
+#[test]
+fn runs_are_deterministic_given_seed() {
+    let scenario = Scenario::nara_japan(5);
+    let mut a = Sov::new(VehicleConfig::perceptin_pod(), 5);
+    let mut b = Sov::new(VehicleConfig::perceptin_pod(), 5);
+    let ra = a.drive(&scenario, 150).unwrap();
+    let rb = b.drive(&scenario, 150).unwrap();
+    assert_eq!(ra.outcome, rb.outcome);
+    assert_eq!(ra.frames, rb.frames);
+    assert!((ra.distance_m - rb.distance_m).abs() < 1e-9);
+    assert!((ra.computing.mean() - rb.computing.mean()).abs() < 1e-9);
+}
