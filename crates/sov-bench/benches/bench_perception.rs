@@ -3,7 +3,6 @@
 //! (KCF vs spatial sync; VIO vs EKF fusion) whose *ratios* the paper
 //! reports.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sov_math::{Pose2, SovRng};
 use sov_perception::depth::DenseStereoMatcher;
 use sov_perception::detection::Detection;
@@ -16,6 +15,7 @@ use sov_sensors::camera::Intrinsics;
 use sov_sensors::gps::{GnssFix, GnssQuality};
 use sov_sensors::radar::{RadarScan, RadarTarget};
 use sov_sim::time::SimTime;
+use sov_testkit::bench::{criterion_group, criterion_main, Criterion};
 use sov_world::obstacle::{ObstacleClass, ObstacleId};
 use std::hint::black_box;
 
@@ -77,8 +77,10 @@ fn bench_dense_stereo(c: &mut Criterion) {
             )
         })
         .collect();
-    let shifted: Vec<(f64, f64, f64, f64)> =
-        blobs.iter().map(|&(x, y, r, i)| (x - 8.0, y, r, i)).collect();
+    let shifted: Vec<(f64, f64, f64, f64)> = blobs
+        .iter()
+        .map(|&(x, y, r, i)| (x - 8.0, y, r, i))
+        .collect();
     let mut bg1 = SovRng::seed_from_u64(3);
     let mut bg2 = SovRng::seed_from_u64(3);
     let left = render_scene(256, 128, &blobs, 0.02, &mut bg1);
@@ -136,15 +138,16 @@ fn bench_extraction_vs_tracking(c: &mut Criterion) {
     let mut bg1 = SovRng::seed_from_u64(10);
     let mut bg2 = SovRng::seed_from_u64(10);
     let prev = render_scene(320, 160, &blobs, 0.03, &mut bg1);
-    let shifted: Vec<(f64, f64, f64, f64)> =
-        blobs.iter().map(|&(x, y, r, i)| (x + 2.0, y + 1.0, r, i)).collect();
+    let shifted: Vec<(f64, f64, f64, f64)> = blobs
+        .iter()
+        .map(|&(x, y, r, i)| (x + 2.0, y + 1.0, r, i))
+        .collect();
     let next = render_scene(320, 160, &shifted, 0.03, &mut bg2);
     c.bench_function("features/keyframe_extraction_fast9", |b| {
         b.iter(|| black_box(fast_corners(&prev, 0.12)));
     });
     let corners = fast_corners(&prev, 0.12);
-    let points: Vec<(usize, usize)> =
-        corners.iter().take(60).map(|c| (c.x, c.y)).collect();
+    let points: Vec<(usize, usize)> = corners.iter().take(60).map(|c| (c.x, c.y)).collect();
     c.bench_function("features/nonkeyframe_tracking_ncc", |b| {
         b.iter(|| black_box(track_features(&prev, &next, &points, 9, 4, 0.5)));
     });

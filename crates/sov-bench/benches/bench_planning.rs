@@ -1,10 +1,10 @@
 //! Criterion benches of the two planners — the measured counterpart of the
 //! paper's "EM planner takes 100 ms, 33× more expensive than our planner".
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sov_planning::em::{EmConfig, EmPlanner};
 use sov_planning::mpc::{MpcConfig, MpcPlanner};
 use sov_planning::{Planner, PlanningInput, PlanningObstacle};
+use sov_testkit::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn busy_input() -> PlanningInput {

@@ -1,12 +1,12 @@
 //! Criterion benches of the end-to-end SoV: one closed-loop control frame,
 //! the latency-model generator, and the sensor synchronization paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sov_core::config::VehicleConfig;
 use sov_core::pipeline::LatencyPipeline;
 use sov_core::sov::Sov;
 use sov_math::SovRng;
 use sov_sensors::sync::{SyncConfig, SyncStrategy, Synchronizer};
+use sov_testkit::bench::{criterion_group, criterion_main, Criterion};
 use sov_world::scenario::Scenario;
 use std::hint::black_box;
 

@@ -2,13 +2,13 @@
 //! (the irregular kernel of Sec. III-D), the LLC simulator, and the RPR
 //! engine simulation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sov_lidar::cloud::PointCloud;
 use sov_lidar::kdtree::KdTree;
 use sov_lidar::registration::{icp, IcpConfig};
 use sov_math::SovRng;
 use sov_platform::cache::CacheSim;
 use sov_platform::rpr::{RprEngine, RprPath};
+use sov_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_kdtree(c: &mut Criterion) {
@@ -84,12 +84,19 @@ fn bench_compression(c: &mut Criterion) {
     use sov_cloud::compress::{compress, synthetic_operational_log};
     let log = synthetic_operational_log(5_000, 1);
     let mut group = c.benchmark_group("compress");
-    group.throughput(criterion::Throughput::Bytes(log.len() as u64));
+    group.throughput(sov_testkit::bench::Throughput::Bytes(log.len() as u64));
     group.bench_function("lzss_operational_log", |b| {
         b.iter(|| black_box(compress(&log)));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_kdtree, bench_icp, bench_cache_sim, bench_rpr, bench_compression);
+criterion_group!(
+    benches,
+    bench_kdtree,
+    bench_icp,
+    bench_cache_sim,
+    bench_rpr,
+    bench_compression
+);
 criterion_main!(benches);

@@ -26,7 +26,10 @@ fn evaluate(cfg: MpcConfig, seed: u64) -> (DriveOutcome, f64, u64, f64) {
     // Closed loop with the candidate planner configuration: we measure
     // safety (outcome, min gap), reactive engagements, and plan cost.
     let scenario = scenario_with_pedestrian(seed);
-    let config = VehicleConfig { mpc: cfg, ..VehicleConfig::perceptin_pod() };
+    let config = VehicleConfig {
+        mpc: cfg,
+        ..VehicleConfig::perceptin_pod()
+    };
     let mut sov = Sov::new(config, seed);
     // Time the raw planner on a representative input for the cost column.
     let mut planner = sov_planning::mpc::MpcPlanner::new(cfg);
@@ -43,7 +46,12 @@ fn evaluate(cfg: MpcConfig, seed: u64) -> (DriveOutcome, f64, u64, f64) {
     }
     let plan_us = start.elapsed().as_secs_f64() * 1e4;
     let report = sov.drive(&scenario, 250).expect("frames > 0");
-    (report.outcome, report.min_obstacle_gap_m, report.override_engagements, plan_us)
+    (
+        report.outcome,
+        report.min_obstacle_gap_m,
+        report.override_engagements,
+        plan_us,
+    )
 }
 
 fn main() {
@@ -53,16 +61,40 @@ fn main() {
         "{:<34} | {:>11} | {:>9} | {:>9} | {:>10}",
         "configuration", "outcome", "min gap", "overrides", "plan (µs)"
     );
-    println!("{:-<34}-+-{:->11}-+-{:->9}-+-{:->9}-+-{:->10}", "", "", "", "", "");
+    println!(
+        "{:-<34}-+-{:->11}-+-{:->9}-+-{:->9}-+-{:->10}",
+        "", "", "", "", ""
+    );
     let base = MpcConfig::default();
     let variants: Vec<(&str, MpcConfig)> = vec![
         ("default (20×0.1 s, margin 4.5)", base),
         ("short horizon (5 steps)", MpcConfig { horizon: 5, ..base }),
-        ("long horizon (60 steps)", MpcConfig { horizon: 60, ..base }),
-        ("thin stop margin (1.0 m)", MpcConfig { stop_margin_m: 1.0, ..base }),
-        ("fat stop margin (8.0 m)", MpcConfig { stop_margin_m: 8.0, ..base }),
+        (
+            "long horizon (60 steps)",
+            MpcConfig {
+                horizon: 60,
+                ..base
+            },
+        ),
+        (
+            "thin stop margin (1.0 m)",
+            MpcConfig {
+                stop_margin_m: 1.0,
+                ..base
+            },
+        ),
+        (
+            "fat stop margin (8.0 m)",
+            MpcConfig {
+                stop_margin_m: 8.0,
+                ..base
+            },
+        ),
         ("no smoothing (w_a = 0)", MpcConfig { w_a: 0.0, ..base }),
-        ("heavy smoothing (w_a = 20)", MpcConfig { w_a: 20.0, ..base }),
+        (
+            "heavy smoothing (w_a = 20)",
+            MpcConfig { w_a: 20.0, ..base },
+        ),
     ];
     for (name, cfg) in variants {
         let (outcome, gap, overrides, plan_us) = evaluate(cfg, seed);

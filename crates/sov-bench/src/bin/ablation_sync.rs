@@ -17,7 +17,10 @@ fn mean_offset_ms(strategy: SyncStrategy, config: SyncConfig, seed: u64) -> f64 
 }
 
 fn main() {
-    sov_bench::banner("Sync ablation", "Synchronizer design parameters (Sec. VI-A)");
+    sov_bench::banner(
+        "Sync ablation",
+        "Synchronizer design parameters (Sec. VI-A)",
+    );
     let seed = sov_bench::seed_from_args();
 
     sov_bench::section("hardware path: near-sensor timestamp jitter");
@@ -27,7 +30,11 @@ fn main() {
     );
     println!("{:->22}-+-{:->24}-+-{:->18}", "", "", "");
     for jitter in [0.01, 0.05, 0.2, 0.5, 1.0, 2.0] {
-        let cfg = SyncConfig { hardware_jitter_ms: jitter, seed, ..SyncConfig::default() };
+        let cfg = SyncConfig {
+            hardware_jitter_ms: jitter,
+            seed,
+            ..SyncConfig::default()
+        };
         let sync = Synchronizer::new(SyncStrategy::HardwareAssisted, cfg.clone());
         let mut rng = SovRng::seed_from_u64(seed);
         let stamp_err: f64 = (1..200)
@@ -46,10 +53,17 @@ the Sec. VI-A1 requirement are separable)"
     );
 
     sov_bench::section("software path: free-running clock drift");
-    println!("{:>22} | {:>28}", "drift (ppm)", "camera-IMU assoc. error (ms)");
+    println!(
+        "{:>22} | {:>28}",
+        "drift (ppm)", "camera-IMU assoc. error (ms)"
+    );
     println!("{:->22}-+-{:->28}", "", "");
     for drift in [0.0, 10.0, 50.0, 200.0, 1000.0] {
-        let cfg = SyncConfig { clock_drift_ppm: drift, seed, ..SyncConfig::default() };
+        let cfg = SyncConfig {
+            clock_drift_ppm: drift,
+            seed,
+            ..SyncConfig::default()
+        };
         println!(
             "{drift:>22} | {:>28.2}",
             mean_offset_ms(SyncStrategy::SoftwareOnly, cfg, seed)

@@ -30,28 +30,33 @@ fn main() {
     );
 
     sov_bench::section("latency/energy Pareto frontier over 3125 assignments");
-    println!(
-        "{:>12} | {:>12} | assignment",
-        "latency (ms)", "energy (J)"
-    );
+    println!("{:>12} | {:>12} | assignment", "latency (ms)", "energy (J)");
     println!("{:->12}-+-{:->12}-+-{:->50}", "", "", "");
     for s in pareto_frontier(&edge).iter().take(12) {
-        println!("{:>12.1} | {:>12.2} | {}", s.latency_ms, s.energy_j, describe(&s.assignment));
+        println!(
+            "{:>12.1} | {:>12.2} | {}",
+            s.latency_ms,
+            s.energy_j,
+            describe(&s.assignment)
+        );
     }
 
     sov_bench::section("edge-offload sensitivity (detection offloaded)");
     let mut offload = deployed_assignment();
     offload.insert(DagNode::Detection, Site::Edge);
-    println!("{:>14} | {:>14} | {:>10}", "RTT (ms)", "latency (ms)", "vs local");
+    println!(
+        "{:>14} | {:>14} | {:>10}",
+        "RTT (ms)", "latency (ms)", "vs local"
+    );
     println!("{:->14}-+-{:->14}-+-{:->10}", "", "", "");
     for rtt in [2.0, 5.0, 10.0, 15.0, 30.0, 60.0] {
-        let cfg = EdgeConfig { rtt_ms: rtt, ..EdgeConfig::default() };
+        let cfg = EdgeConfig {
+            rtt_ms: rtt,
+            ..EdgeConfig::default()
+        };
         let s = schedule(&offload, &cfg);
         let delta = s.latency_ms - deployed.latency_ms;
-        println!(
-            "{rtt:>14.0} | {:>14.1} | {:>+9.1}ms",
-            s.latency_ms, delta
-        );
+        println!("{rtt:>14.0} | {:>14.1} | {:>+9.1}ms", s.latency_ms, delta);
     }
     println!(
         "\nthe paper: 'efforts that exploit ALP while taking into account\n\

@@ -54,7 +54,10 @@ fn main() {
         agent.uplinked_bytes() / 1024
     );
     let uploaded = agent.manual_upload();
-    println!("  manual upload ships {:.2} TB to the cloud", uploaded as f64 / 1024f64.powi(4));
+    println!(
+        "  manual upload ships {:.2} TB to the cloud",
+        uploaded as f64 / 1024f64.powi(4)
+    );
 
     sov_bench::section("3. training: environment-specialized model improves with data");
     let mut svc = TrainingService::new();
@@ -95,7 +98,12 @@ fn main() {
     println!("  {added} new semantic annotations derived from the drive logs");
 
     sov_bench::section("5. release gate: replay every site before pushing the update");
-    let gate_report = regression_run(&VehicleConfig::perceptin_pod(), &ReleaseGates::default(), 200, seed);
+    let gate_report = regression_run(
+        &VehicleConfig::perceptin_pod(),
+        &ReleaseGates::default(),
+        200,
+        seed,
+    );
     for s in &gate_report.sites {
         println!(
             "  {:<42} {:?}  proactive {:>5.1}%  {}",
@@ -107,6 +115,10 @@ fn main() {
     }
     println!(
         "\n  release {} — the loop closes: better models and maps flow back to the fleet.",
-        if gate_report.release_approved() { "APPROVED" } else { "BLOCKED" }
+        if gate_report.release_approved() {
+            "APPROVED"
+        } else {
+            "BLOCKED"
+        }
     );
 }

@@ -51,7 +51,10 @@ fn drive(with_gps: bool, frames: u64, seed: u64) -> Vec<(f64, f64)> {
 }
 
 fn main() {
-    sov_bench::banner("Co-design: GPS–VIO", "EKF fusion corrects cumulative VIO drift (Sec. VI-B)");
+    sov_bench::banner(
+        "Co-design: GPS–VIO",
+        "EKF fusion corrects cumulative VIO drift (Sec. VI-B)",
+    );
     let seed = sov_bench::seed_from_args();
     let frames = 6000;
     let raw = drive(false, frames, seed);
@@ -70,8 +73,12 @@ fn main() {
         println!("{d:>14.0} | {e_raw:>18.2} | {e_fused:>18.2}{note}");
     }
     sov_bench::section("compute cost (platform profiles)");
-    let vio_ms = Task::LocalizationKeyframe.profile(Platform::ZynqFpga).mean_latency_ms();
-    let ekf_ms = Task::EkfFusion.profile(Platform::CoffeeLakeCpu).mean_latency_ms();
+    let vio_ms = Task::LocalizationKeyframe
+        .profile(Platform::ZynqFpga)
+        .mean_latency_ms();
+    let ekf_ms = Task::EkfFusion
+        .profile(Platform::CoffeeLakeCpu)
+        .mean_latency_ms();
     println!(
         "  VIO localization step: {vio_ms:.0} ms; EKF fusion step: {ekf_ms:.0} ms \
          ({} lighter — paper: 1 ms vs 24 ms)",

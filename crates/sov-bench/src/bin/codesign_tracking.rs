@@ -5,9 +5,9 @@
 //! claim).
 
 use sov_math::SovRng;
+use sov_perception::detection::Detection;
 use sov_perception::image::render_scene;
 use sov_perception::tracking::{spatial_synchronize, KcfConfig, KcfTracker, RadarTracker};
-use sov_perception::detection::Detection;
 use sov_platform::processor::{Platform, Task};
 use sov_sensors::camera::Intrinsics;
 use sov_sensors::radar::{RadarScan, RadarTarget};
@@ -15,7 +15,10 @@ use sov_sim::time::SimTime;
 use sov_world::obstacle::{ObstacleClass, ObstacleId};
 
 fn main() {
-    sov_bench::banner("Co-design: tracking", "Radar spatial sync replaces KCF (Sec. VI-B)");
+    sov_bench::banner(
+        "Co-design: tracking",
+        "Radar spatial sync replaces KCF (Sec. VI-B)",
+    );
     let seed = sov_bench::seed_from_args();
 
     sov_bench::section("radar tracking of an approaching pedestrian");
@@ -76,12 +79,18 @@ fn main() {
     );
 
     sov_bench::section("compute cost (platform profiles)");
-    let kcf_ms = Task::KcfTracking.profile(Platform::CoffeeLakeCpu).mean_latency_ms();
-    let sync_ms = Task::SpatialSync.profile(Platform::CoffeeLakeCpu).mean_latency_ms();
+    let kcf_ms = Task::KcfTracking
+        .profile(Platform::CoffeeLakeCpu)
+        .mean_latency_ms();
+    let sync_ms = Task::SpatialSync
+        .profile(Platform::CoffeeLakeCpu)
+        .mean_latency_ms();
     println!(
         "  KCF: {kcf_ms:.0} ms/frame; spatial sync: {sync_ms:.0} ms/frame \
          ({} lighter — paper: 100×)",
         sov_bench::times(kcf_ms / sync_ms)
     );
-    println!("  radar BOM cost: 6 × $500 (Table II) — 'increases the vehicle's cost only modestly'.");
+    println!(
+        "  radar BOM cost: 6 × $500 (Table II) — 'increases the vehicle's cost only modestly'."
+    );
 }

@@ -12,7 +12,10 @@ fn main() {
     println!("  v       = {:.1} m/s (typical speed)", b.speed_mps);
     println!("  a       = {:.1} m/s² (brake deceleration)", b.decel_mps2);
     println!("  T_data  = {:.0} ms (CAN bus)", b.t_data_s * 1000.0);
-    println!("  T_mech  = {:.0} ms (mechanical onset)", b.t_mech_s * 1000.0);
+    println!(
+        "  T_mech  = {:.0} ms (mechanical onset)",
+        b.t_mech_s * 1000.0
+    );
     println!("  T_stop  = v/a = {:.2} s", b.speed_mps / b.decel_mps2);
     sov_bench::section("derived quantities");
     println!(

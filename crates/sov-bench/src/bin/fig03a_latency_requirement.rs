@@ -7,7 +7,10 @@
 use sov_vehicle::dynamics::LatencyBudget;
 
 fn main() {
-    sov_bench::banner("Fig. 3a", "Computing latency requirement vs object distance");
+    sov_bench::banner(
+        "Fig. 3a",
+        "Computing latency requirement vs object distance",
+    );
     let b = LatencyBudget::perceptin_defaults();
     println!("{:>14} | {:>22}", "distance (m)", "T_comp requirement (s)");
     println!("{:->14}-+-{:->22}", "", "");

@@ -16,7 +16,10 @@ fn main() {
         m.base_load_kw,
         m.driving_time_h(0.0)
     );
-    println!("{:>12} | {:>18} | {:>20}", "P_AD (kW)", "driving time (h)", "reduction (h)");
+    println!(
+        "{:>12} | {:>18} | {:>20}",
+        "P_AD (kW)", "driving time (h)", "reduction (h)"
+    );
     println!("{:->12}-+-{:->18}-+-{:->20}", "", "", "");
     let mut pad = 0.15;
     while pad <= 0.351 {
@@ -32,11 +35,17 @@ fn main() {
         ("current system", SovPowerModel::deployed()),
         (
             "use LiDAR",
-            SovPowerModel { lidar_suite: true, ..SovPowerModel::deployed() },
+            SovPowerModel {
+                lidar_suite: true,
+                ..SovPowerModel::deployed()
+            },
         ),
         (
             "+1 server idle",
-            SovPowerModel { num_servers: 2, ..SovPowerModel::deployed() },
+            SovPowerModel {
+                num_servers: 2,
+                ..SovPowerModel::deployed()
+            },
         ),
         (
             "+1 server full load",

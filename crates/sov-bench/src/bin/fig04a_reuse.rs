@@ -13,14 +13,21 @@ fn histogram_for(scene_id: u64, seed: u64) -> (Vec<(f64, u64)>, f64, f64) {
     let mut rng = SovRng::seed_from_u64(seed);
     let map = PointCloud::synthetic_street_scene(6000, scene_id, &mut rng);
     let scan = map.transformed(0.02, 0.25, -0.15);
-    let counts: Vec<f64> = reuse_counts(&map, &scan).into_iter().map(|c| c as f64).collect();
+    let counts: Vec<f64> = reuse_counts(&map, &scan)
+        .into_iter()
+        .map(|c| c as f64)
+        .collect();
     let max = counts.iter().copied().fold(0.0f64, f64::max);
     let mut h = Histogram::new(0.0, max + 1.0, 16);
     for &c in &counts {
         h.record(c);
     }
     let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-    (h.centers().collect(), mean, coefficient_of_variation(&counts))
+    (
+        h.centers().collect(),
+        mean,
+        coefficient_of_variation(&counts),
+    )
 }
 
 fn main() {

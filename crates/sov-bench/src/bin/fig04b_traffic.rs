@@ -39,7 +39,10 @@ fn main() {
         "{:<16} | {:>12} | {:>14} | {:>14} | {:>12}",
         "workload", "accesses", "off-chip (KB)", "optimal (KB)", "normalized"
     );
-    println!("{:-<16}-+-{:->12}-+-{:->14}-+-{:->14}-+-{:->12}", "", "", "", "", "");
+    println!(
+        "{:-<16}-+-{:->12}-+-{:->14}-+-{:->14}-+-{:->12}",
+        "", "", "", "", ""
+    );
     for w in Workload::ALL {
         let mut cache = CacheSim::new(cache_bytes, 64, 16);
         let r = measure(w, &cloud, &mut cache, seed);

@@ -16,7 +16,10 @@ fn stage(name: &'static str, ms: u64) -> Stage<u64> {
 }
 
 fn main() {
-    sov_bench::banner("Fig. 5 / Sec. IV", "Task-level parallelism in the software pipeline");
+    sov_bench::banner(
+        "Fig. 5 / Sec. IV",
+        "Task-level parallelism in the software pipeline",
+    );
     // Scaled-down stage times preserving the paper's proportions
     // (sensing ≈ perception ≫ planning): 8 / 8 / 1 ms.
     let frames = 60;
@@ -24,7 +27,11 @@ fn main() {
 
     sov_bench::section("pipelined (one thread per stage, Fig. 5 dataflow)");
     let report = run_pipeline(
-        vec![stage("sensing", 8), stage("perception", 8), stage("planning", 1)],
+        vec![
+            stage("sensing", 8),
+            stage("perception", 8),
+            stage("planning", 1),
+        ],
         (0..frames).collect(),
     );
     println!(

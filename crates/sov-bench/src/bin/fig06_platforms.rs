@@ -11,7 +11,10 @@ fn main() {
         print!(" | {:>9}", p.name());
     }
     println!();
-    println!("{:-<24}-+-{:->9}-+-{:->9}-+-{:->9}-+-{:->9}", "", "", "", "", "");
+    println!(
+        "{:-<24}-+-{:->9}-+-{:->9}-+-{:->9}-+-{:->9}",
+        "", "", "", "", ""
+    );
     for t in Task::FIG6_TASKS {
         print!("{:<24}", t.name());
         for p in Platform::ALL {
@@ -31,7 +34,10 @@ fn main() {
         print!(" | {:>9}", p.name());
     }
     println!();
-    println!("{:-<24}-+-{:->9}-+-{:->9}-+-{:->9}-+-{:->9}", "", "", "", "", "");
+    println!(
+        "{:-<24}-+-{:->9}-+-{:->9}-+-{:->9}-+-{:->9}",
+        "", "", "", "", ""
+    );
     for t in Task::FIG6_TASKS {
         print!("{:<24}", t.name());
         for p in Platform::ALL {

@@ -5,7 +5,10 @@ use sov_core::config::VehicleConfig;
 use sov_world::scenario::ComplexityProfile;
 
 fn main() {
-    sov_bench::banner("Fig. 10a", "Computing latency distribution (sensing/perception/planning)");
+    sov_bench::banner(
+        "Fig. 10a",
+        "Computing latency distribution (sensing/perception/planning)",
+    );
     let seed = sov_bench::seed_from_args();
     let config = VehicleConfig::perceptin_pod();
     let profile = ComplexityProfile::new(vec![(0.0, 0.3), (0.5, 0.6), (1.0, 0.3)]);

@@ -10,7 +10,10 @@ fn main() {
     let config = VehicleConfig::perceptin_pod();
     let profile = ComplexityProfile::new(vec![(0.0, 0.3), (0.5, 0.6), (1.0, 0.3)]);
     let mut c = Characterization::run(&config, &profile, 20_000, seed);
-    println!("{:<16} | {:>12} | {:>12} | {:>12}", "task", "mean (ms)", "median (ms)", "σ (ms)");
+    println!(
+        "{:<16} | {:>12} | {:>12} | {:>12}",
+        "task", "mean (ms)", "median (ms)", "σ (ms)"
+    );
     println!("{:-<16}-+-{:->12}-+-{:->12}-+-{:->12}", "", "", "", "");
     let rows: [(&str, &mut sov_math::stats::Summary); 4] = [
         ("depth", &mut c.depth),

@@ -19,9 +19,11 @@ fn main() {
     // two unsynchronized captures shifts every feature laterally, which
     // corrupts disparity (a 0.04 rad/s yaw over 30 ms is ~2 px at this
     // focal length — comparable to the disparity of a 20 m target).
-    let pose_of =
-        |t: SimTime| Pose2::new(20.0, 5.0, 0.2).step_unicycle(4.5, 0.04, t.as_secs_f64());
-    println!("{:>18} | {:>20} | {:>10}", "sync error (ms)", "mean depth error (m)", "features");
+    let pose_of = |t: SimTime| Pose2::new(20.0, 5.0, 0.2).step_unicycle(4.5, 0.04, t.as_secs_f64());
+    println!(
+        "{:>18} | {:>20} | {:>10}",
+        "sync error (ms)", "mean depth error (m)", "features"
+    );
     println!("{:->18}-+-{:->20}-+-{:->10}", "", "", "");
     for offset_ms in [0u64, 10, 30, 50, 70, 90, 110, 130, 150] {
         // Average over several capture instants.

@@ -18,7 +18,11 @@ fn course(duration_s: f64) -> (Vec<(SimTime, Pose2)>, Vec<f64>) {
     let mut pose = Pose2::identity();
     for i in 0..n {
         let t = i as f64 * dt;
-        let omega = if (t / 4.0) as u64 % 3 == 0 { 0.0 } else { 0.4 };
+        let omega = if ((t / 4.0) as u64).is_multiple_of(3) {
+            0.0
+        } else {
+            0.4
+        };
         pose = pose.step_unicycle(5.6, omega, dt);
         poses.push((SimTime::from_secs_f64(t), pose));
         rates.push(omega);
@@ -56,11 +60,22 @@ fn main() {
     let mut rng = SovRng::seed_from_u64(seed);
     for (label, strategy) in [
         ("software-only (Fig. 12a)", SyncStrategy::SoftwareOnly),
-        ("hardware-assisted (Fig. 12c)", SyncStrategy::HardwareAssisted),
+        (
+            "hardware-assisted (Fig. 12c)",
+            SyncStrategy::HardwareAssisted,
+        ),
     ] {
-        let sync = Synchronizer::new(strategy, SyncConfig { seed, ..SyncConfig::default() });
-        let mean: f64 =
-            (1..200).map(|k| sync.camera_imu_offset_ms(k, &mut rng)).sum::<f64>() / 199.0;
+        let sync = Synchronizer::new(
+            strategy,
+            SyncConfig {
+                seed,
+                ..SyncConfig::default()
+            },
+        );
+        let mean: f64 = (1..200)
+            .map(|k| sync.camera_imu_offset_ms(k, &mut rng))
+            .sum::<f64>()
+            / 199.0;
         println!("  {label:<30} mean camera–IMU association error = {mean:.2} ms");
     }
     println!(

@@ -26,7 +26,11 @@ fn main() {
             s.name,
             s.latency.min().as_millis_f64(),
             s.latency.mean().as_millis_f64(),
-            if s.compensatable { "yes (constant)" } else { "no (variable)" }
+            if s.compensatable {
+                "yes (constant)"
+            } else {
+                "no (variable)"
+            }
         );
     }
     println!(
@@ -39,16 +43,24 @@ fn main() {
     let mut rng = SovRng::seed_from_u64(seed);
     for (label, strategy) in [
         ("software-only (Fig. 12a)", SyncStrategy::SoftwareOnly),
-        ("hardware-assisted (Fig. 12c)", SyncStrategy::HardwareAssisted),
+        (
+            "hardware-assisted (Fig. 12c)",
+            SyncStrategy::HardwareAssisted,
+        ),
     ] {
-        let sync = Synchronizer::new(strategy, SyncConfig { seed, ..SyncConfig::default() });
+        let sync = Synchronizer::new(
+            strategy,
+            SyncConfig {
+                seed,
+                ..SyncConfig::default()
+            },
+        );
         println!("\n  {label}:");
         for k in [10u64, 11, 12] {
             let cam = sync.camera_sample(k, &mut rng);
             // Which IMU sample does the camera frame's assigned timestamp
             // land next to? (240 Hz IMU → ~4.17 ms period.)
-            let imu_index =
-                (cam.assigned.as_secs_f64() * 240.0).round() as i64;
+            let imu_index = (cam.assigned.as_secs_f64() * 240.0).round() as i64;
             let true_index = (cam.true_capture.as_secs_f64() * 240.0).round() as i64;
             println!(
                 "    frame C{k}: captured {} but stamped {} → paired with M{imu_index} (truth: M{true_index}, {} samples off)",

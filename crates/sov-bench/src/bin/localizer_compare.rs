@@ -12,7 +12,10 @@ use sov_sim::time::SimTime;
 use sov_world::scenario::Scenario;
 
 fn main() {
-    sov_bench::banner("Localizer comparison", "VIO vs GPS–VIO vs map-based (Sec. II-B, VI-B)");
+    sov_bench::banner(
+        "Localizer comparison",
+        "VIO vs GPS–VIO vs map-based (Sec. II-B, VI-B)",
+    );
     let seed = sov_bench::seed_from_args();
     let world = Scenario::fishers_indiana(seed).world;
     let camera = Camera::new(Intrinsics::hd1080(), 0.0, 1.2, 60.0, 0.5).unwrap();
@@ -31,7 +34,7 @@ fn main() {
     let mut rng = SovRng::seed_from_u64(seed);
     let dt = 1.0 / 30.0;
     let frames = 2400u64; // 80 s ≈ 360 m
-    // A deliberate 1% scale bias drives the VIO drift.
+                          // A deliberate 1% scale bias drives the VIO drift.
     println!(
         "{:>12} | {:>10} | {:>10} | {:>10}",
         "distance (m)", "VIO (m)", "GPS-VIO (m)", "map-based"

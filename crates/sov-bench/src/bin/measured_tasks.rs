@@ -44,7 +44,10 @@ fn main() {
         let blobs: Vec<(f64, f64, f64, f64)> = (0..60)
             .map(|_| (rng.uniform(10.0, 240.0), rng.uniform(8.0, 120.0), 1.5, 0.7))
             .collect();
-        let shifted: Vec<_> = blobs.iter().map(|&(x, y, r, i)| (x - 8.0, y, r, i)).collect();
+        let shifted: Vec<_> = blobs
+            .iter()
+            .map(|&(x, y, r, i)| (x - 8.0, y, r, i))
+            .collect();
         let mut b1 = SovRng::seed_from_u64(seed + 1);
         let mut b2 = SovRng::seed_from_u64(seed + 1);
         let left = render_scene(256, 128, &blobs, 0.02, &mut b1);
@@ -81,8 +84,7 @@ fn main() {
         let pose = world.route.pose_at(&world.map, 10.0).unwrap();
         let mut rng = SovRng::seed_from_u64(seed + 3);
         let cam_frame = camera.capture(&pose, &world, &world.landmarks, SimTime::ZERO, &mut rng);
-        let mut maploc =
-            MapLocalizer::new(&world.landmarks, pose, MapLocConfig::default());
+        let mut maploc = MapLocalizer::new(&world.landmarks, pose, MapLocConfig::default());
         rows.push((
             "localization (map-based)",
             "bearing EKF, one camera frame",
@@ -140,7 +142,10 @@ fn main() {
         let mut b1 = SovRng::seed_from_u64(seed + 6);
         let mut b2 = SovRng::seed_from_u64(seed + 6);
         let prev = render_scene(320, 160, &blobs, 0.03, &mut b1);
-        let shifted: Vec<_> = blobs.iter().map(|&(x, y, r, i)| (x + 2.0, y + 1.0, r, i)).collect();
+        let shifted: Vec<_> = blobs
+            .iter()
+            .map(|&(x, y, r, i)| (x + 2.0, y + 1.0, r, i))
+            .collect();
         let next = render_scene(320, 160, &shifted, 0.03, &mut b2);
         rows.push((
             "feature extraction (keyframe)",
@@ -194,7 +199,12 @@ fn main() {
     for (task, implementation, us) in &rows {
         println!("{task:<30} | {implementation:<32} | {us:>12.1}");
     }
-    let get = |name: &str| rows.iter().find(|r| r.0 == name).map(|r| r.2).unwrap_or(0.0);
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.0 == name)
+            .map(|r| r.2)
+            .unwrap_or(0.0)
+    };
     sov_bench::section("ratios the paper reports");
     println!(
         "  EM / MPC planning:             {} (paper: 33×)",

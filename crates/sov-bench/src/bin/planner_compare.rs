@@ -50,7 +50,10 @@ fn time_planner(planner: &mut dyn Planner, input: &PlanningInput, reps: u32) -> 
 }
 
 fn main() {
-    sov_bench::banner("Planner comparison", "MPC (ours) vs EM-style DP+QP (Sec. V-C)");
+    sov_bench::banner(
+        "Planner comparison",
+        "MPC (ours) vs EM-style DP+QP (Sec. V-C)",
+    );
     let mut mpc = MpcPlanner::new(MpcConfig::default());
     let mut em = EmPlanner::new(EmConfig::default());
     println!(
@@ -69,10 +72,17 @@ fn main() {
         );
     }
     let gm = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
-    println!("\ngeometric-mean implementation ratio: {}", sov_bench::times(gm.exp()));
+    println!(
+        "\ngeometric-mean implementation ratio: {}",
+        sov_bench::times(gm.exp())
+    );
     sov_bench::section("platform-profile latencies (the paper's measurements)");
-    let mpc_ms = Task::MpcPlanning.profile(Platform::CoffeeLakeCpu).mean_latency_ms();
-    let em_ms = Task::EmPlanning.profile(Platform::CoffeeLakeCpu).mean_latency_ms();
+    let mpc_ms = Task::MpcPlanning
+        .profile(Platform::CoffeeLakeCpu)
+        .mean_latency_ms();
+    let em_ms = Task::EmPlanning
+        .profile(Platform::CoffeeLakeCpu)
+        .mean_latency_ms();
     println!(
         "  MPC {mpc_ms:.0} ms vs EM {em_ms:.0} ms → {} (paper: 3 ms vs 100 ms, 33×)",
         sov_bench::times(em_ms / mpc_ms)

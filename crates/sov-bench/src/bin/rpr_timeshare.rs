@@ -8,7 +8,10 @@ use sov_platform::timeshare::{analyze, AcceleratorTask};
 use std::time::Instant;
 
 fn main() {
-    sov_bench::banner("RPR time-sharing", "Spatial vs temporal FPGA sharing (Sec. V-B3, VII)");
+    sov_bench::banner(
+        "RPR time-sharing",
+        "Spatial vs temporal FPGA sharing (Sec. V-B3, VII)",
+    );
     let engine = RprEngine::default();
 
     sov_bench::section("localization kernel pair (swap every keyframe boundary)");
@@ -17,9 +20,16 @@ fn main() {
         AcceleratorTask::feature_tracking(),
     ];
     let a = analyze(&loc, &engine, 12.0 * 3600.0);
-    println!("  spatial:  {:>7} LUTs, {:.1} W static", a.spatial_luts, a.spatial_static_w);
-    println!("  temporal: {:>7} LUTs, {:.1} W static (area saving {:.0}%)",
-        a.temporal_luts, a.temporal_static_w, a.area_saving() * 100.0);
+    println!(
+        "  spatial:  {:>7} LUTs, {:.1} W static",
+        a.spatial_luts, a.spatial_static_w
+    );
+    println!(
+        "  temporal: {:>7} LUTs, {:.1} W static (area saving {:.0}%)",
+        a.temporal_luts,
+        a.temporal_static_w,
+        a.area_saving() * 100.0
+    );
     println!(
         "  reconfig cost: {:.1} s/hour ({:.2}% of time), {:.1} J/hour",
         a.reconfig_time_per_hour_s,

@@ -21,7 +21,13 @@ fn main() {
         ("hardware-assisted", SyncStrategy::HardwareAssisted),
     ] {
         sov_bench::section(label);
-        let sync = Synchronizer::new(strategy, SyncConfig { seed, ..SyncConfig::default() });
+        let sync = Synchronizer::new(
+            strategy,
+            SyncConfig {
+                seed,
+                ..SyncConfig::default()
+            },
+        );
         println!(
             "{:>24} | {:>24} | {:>18}",
             "camera pair", "mean trigger offset (ms)", "max offset (ms)"

@@ -175,7 +175,11 @@ pub fn synthetic_operational_log(lines: usize, seed: u64) -> Vec<u8> {
             "t={:08} lat_ms={:3} mode={} speed={:4.1} soc={:3}% overrides={}\n",
             i * 100,
             140 + rng.index(80),
-            if rng.bernoulli(0.95) { "proactive" } else { "reactive " },
+            if rng.bernoulli(0.95) {
+                "proactive"
+            } else {
+                "reactive "
+            },
             rng.uniform(0.0, 8.9),
             40 + rng.index(60),
             rng.index(3)
@@ -237,14 +241,20 @@ mod tests {
     fn truncated_stream_is_an_error() {
         let log = synthetic_operational_log(50, 3);
         let c = compress(&log);
-        assert_eq!(decompress(&c[..c.len() - 1]).unwrap_err(), DecompressError::Truncated);
+        assert_eq!(
+            decompress(&c[..c.len() - 1]).unwrap_err(),
+            DecompressError::Truncated
+        );
     }
 
     #[test]
     fn bad_reference_is_an_error() {
         // A back-reference with nothing in the output yet.
         let stream = [0x01u8, 0x00, 0x00, 0x00];
-        assert_eq!(decompress(&stream).unwrap_err(), DecompressError::BadReference);
+        assert_eq!(
+            decompress(&stream).unwrap_err(),
+            DecompressError::BadReference
+        );
     }
 
     #[test]

@@ -101,10 +101,16 @@ impl MapAnnotator {
         }
         let tally = self.tallies.entry(lane).or_default();
         match observation {
-            LogObservation::ObstacleSighting { class: ObstacleClass::Pedestrian, .. } => {
+            LogObservation::ObstacleSighting {
+                class: ObstacleClass::Pedestrian,
+                ..
+            } => {
                 tally.pedestrians += 1;
             }
-            LogObservation::ObstacleSighting { class: ObstacleClass::StaticObject, .. } => {
+            LogObservation::ObstacleSighting {
+                class: ObstacleClass::StaticObject,
+                ..
+            } => {
                 tally.statics += 1;
             }
             LogObservation::ObstacleSighting { .. } => {}
@@ -129,9 +135,7 @@ impl MapAnnotator {
                 wanted.push(Annotation::GpsDegraded);
             }
             for a in wanted {
-                let already = map
-                    .lane(lane)
-                    .is_some_and(|l| l.has_annotation(a));
+                let already = map.lane(lane).is_some_and(|l| l.has_annotation(a));
                 if !already && map.annotate(lane, a).is_ok() {
                     added += 1;
                 }
@@ -192,16 +196,25 @@ mod tests {
     fn gnss_degradation_marks_lane() {
         let mut map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
         let mut annotator = MapAnnotator::new();
-        let thresholds = AnnotationThresholds { gnss_samples: 10, ..Default::default() };
+        let thresholds = AnnotationThresholds {
+            gnss_samples: 10,
+            ..Default::default()
+        };
         for i in 0..12 {
             annotator.ingest(
                 &map,
-                LogObservation::GnssDegraded { x: 100.0, y: 10.0 + f64::from(i) },
+                LogObservation::GnssDegraded {
+                    x: 100.0,
+                    y: 10.0 + f64::from(i),
+                },
                 &thresholds,
             );
         }
         let _ = annotator.annotate(&mut map, &thresholds);
-        assert!(map.lane(LaneId(1)).unwrap().has_annotation(Annotation::GpsDegraded));
+        assert!(map
+            .lane(LaneId(1))
+            .unwrap()
+            .has_annotation(Annotation::GpsDegraded));
     }
 
     #[test]
@@ -240,6 +253,10 @@ mod tests {
             );
         }
         assert_eq!(annotator.annotate(&mut map, &thresholds), 2);
-        assert_eq!(annotator.annotate(&mut map, &thresholds), 0, "second pass adds nothing");
+        assert_eq!(
+            annotator.annotate(&mut map, &thresholds),
+            0,
+            "second pass adds nothing"
+        );
     }
 }

@@ -106,17 +106,16 @@ pub fn regression_run(
             let mut sov = Sov::new(config.clone(), seed);
             let report = sov.drive(&scenario, frames).expect("frames > 0");
             let mean_ms = report.computing.mean();
-            let failed_gate = if gates.forbid_collisions
-                && report.outcome == DriveOutcome::Collision
-            {
-                Some("collision")
-            } else if mean_ms > gates.max_mean_computing_ms {
-                Some("mean-computing-latency")
-            } else if report.final_localization_error_m > gates.max_localization_error_m {
-                Some("localization-error")
-            } else {
-                None
-            };
+            let failed_gate =
+                if gates.forbid_collisions && report.outcome == DriveOutcome::Collision {
+                    Some("collision")
+                } else if mean_ms > gates.max_mean_computing_ms {
+                    Some("mean-computing-latency")
+                } else if report.final_localization_error_m > gates.max_localization_error_m {
+                    Some("localization-error")
+                } else {
+                    None
+                };
             SiteResult {
                 site: scenario.name,
                 outcome: report.outcome,
@@ -127,7 +126,10 @@ pub fn regression_run(
             }
         })
         .collect();
-    RegressionReport { sites, min_proactive_fraction: gates.min_proactive_fraction }
+    RegressionReport {
+        sites,
+        min_proactive_fraction: gates.min_proactive_fraction,
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +168,10 @@ mod tests {
 
     #[test]
     fn empty_report_is_not_approved() {
-        let report = RegressionReport { sites: vec![], min_proactive_fraction: 0.9 };
+        let report = RegressionReport {
+            sites: vec![],
+            min_proactive_fraction: 0.9,
+        };
         assert!(!report.release_approved());
     }
 

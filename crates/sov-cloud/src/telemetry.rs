@@ -107,7 +107,10 @@ impl TelemetryAgent {
     /// The paper's vehicle: a multi-TB SSD sized for ~1 TB/day of raw data.
     #[must_use]
     pub fn perceptin_defaults() -> Self {
-        Self::new(UplinkPolicy::perceptin_defaults(), 2 * 1024 * 1024 * 1024 * 1024)
+        Self::new(
+            UplinkPolicy::perceptin_defaults(),
+            2 * 1024 * 1024 * 1024 * 1024,
+        )
     }
 
     /// Bytes uplinked in real time so far.
@@ -188,10 +191,7 @@ mod tests {
     #[test]
     fn raw_data_is_stored_not_uplinked() {
         let mut agent = TelemetryAgent::perceptin_defaults();
-        let d = agent.submit(
-            DataClass::RawSensorData { bytes: 6_000_000 },
-            SimTime::ZERO,
-        );
+        let d = agent.submit(DataClass::RawSensorData { bytes: 6_000_000 }, SimTime::ZERO);
         assert_eq!(d, Disposition::StoredForManualUpload);
         assert_eq!(agent.uplinked_bytes(), 0);
         assert_eq!(agent.ssd_used_bytes(), 6_000_000);
@@ -200,7 +200,10 @@ mod tests {
     #[test]
     fn hourly_budget_caps_realtime_traffic() {
         let mut agent = TelemetryAgent::new(
-            UplinkPolicy { realtime_budget_bytes_per_hour: 10_000, realtime_max_payload_bytes: 8_000 },
+            UplinkPolicy {
+                realtime_budget_bytes_per_hour: 10_000,
+                realtime_max_payload_bytes: 8_000,
+            },
             1 << 30,
         );
         assert_eq!(
@@ -209,7 +212,10 @@ mod tests {
         );
         // Second log exceeds the hourly budget → staged instead.
         assert_eq!(
-            agent.submit(DataClass::CondensedLog { bytes: 8_000 }, SimTime::from_millis(60_000)),
+            agent.submit(
+                DataClass::CondensedLog { bytes: 8_000 },
+                SimTime::from_millis(60_000)
+            ),
             Disposition::StoredForManualUpload
         );
         // After the window rolls, real-time is available again.
@@ -248,6 +254,9 @@ mod tests {
         // 4 cameras × 30 FPS × 10 h × ~240 KB compressed 1080p frames.
         let volume = raw_data_volume_per_day_bytes(4, 30.0, 240 * 1024, 10.0);
         let tb = volume as f64 / (1024.0f64.powi(4));
-        assert!((0.5..2.0).contains(&tb), "daily volume {tb:.2} TB (paper: up to 1 TB/day)");
+        assert!(
+            (0.5..2.0).contains(&tb),
+            "daily volume {tb:.2} TB (paper: up to 1 TB/day)"
+        );
     }
 }

@@ -1,10 +1,10 @@
 //! Property-based tests for the cloud services.
 
-use proptest::prelude::*;
 use sov_cloud::compress::{compress, decompress, synthetic_operational_log};
 use sov_cloud::telemetry::{DataClass, Disposition, TelemetryAgent, UplinkPolicy};
 use sov_cloud::training::{SiteId, TrainingService};
 use sov_sim::time::SimTime;
+use sov_testkit::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

@@ -89,7 +89,11 @@ impl Characterization {
 
     /// Fig. 10a row: `(best, mean, p99)` of the computing latency (ms).
     pub fn computing_row(&mut self) -> (f64, f64, f64) {
-        (self.computing.min(), self.computing.mean(), self.computing.p99())
+        (
+            self.computing.min(),
+            self.computing.mean(),
+            self.computing.p99(),
+        )
     }
 
     /// Minimum avoidable obstacle distance (m) at the mean computing

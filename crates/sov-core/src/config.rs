@@ -110,7 +110,10 @@ impl VehicleConfig {
         Self {
             name: "LiDAR-based variant — rejected",
             sensors: SensorSuite::LidarBased,
-            power: SovPowerModel { lidar_suite: true, ..SovPowerModel::deployed() },
+            power: SovPowerModel {
+                lidar_suite: true,
+                ..SovPowerModel::deployed()
+            },
             ..Self::perceptin_pod()
         }
     }

@@ -6,13 +6,26 @@
 //! to improve the throughput, which is dictated by the slowest stage."
 //!
 //! [`run_pipeline`] executes stages on real threads connected by bounded
-//! crossbeam channels, so the throughput-vs-latency property is observed,
+//! std `mpsc` channels, so the throughput-vs-latency property is observed,
 //! not asserted. It is generic over the work items, and is also what the
 //! quickstart example uses to run the SoV stages concurrently.
+//!
+//! The hardened entry point, [`try_run_pipeline`], adds the robustness
+//! shapes a deployed vehicle (and any serving stack) needs:
+//!
+//! * **panic isolation** — a stage panic is caught per item; the worker
+//!   thread survives and the caller gets a [`PipelineError`] instead of a
+//!   process abort,
+//! * **retry with backoff** — transient per-item panics are retried up to
+//!   [`PipelinePolicy::max_retries`] times with exponential backoff, and
+//! * **deadline accounting** — items whose stage work exceeds
+//!   [`PipelinePolicy::stage_deadline`] are counted as overruns, the
+//!   signal the health monitor uses to drop the proactive path.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A pipeline stage: a name plus a function applied to each item.
@@ -27,7 +40,10 @@ impl<T> Stage<T> {
     /// Creates a stage.
     #[must_use]
     pub fn new(name: &'static str, work: impl Fn(T) -> T + Send + Sync + 'static) -> Self {
-        Self { name, work: Box::new(work) }
+        Self {
+            name,
+            work: Box::new(work),
+        }
     }
 }
 
@@ -37,15 +53,81 @@ impl<T> std::fmt::Debug for Stage<T> {
     }
 }
 
+/// Why a pipelined run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The stage list was empty.
+    NoStages,
+    /// A stage kept panicking on at least one item even after every retry;
+    /// the affected items were dropped and the rest of the run completed.
+    StageFailed {
+        /// Name of the first failing stage.
+        stage: &'static str,
+        /// Items abandoned after exhausting retries (across all stages).
+        dropped: usize,
+    },
+    /// A worker thread itself died (never expected: per-item panics are
+    /// caught inside the worker loop).
+    WorkerDied {
+        /// Name of the stage whose thread was lost.
+        stage: &'static str,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoStages => write!(f, "pipeline needs at least one stage"),
+            Self::StageFailed { stage, dropped } => {
+                write!(f, "stage '{stage}' failed; {dropped} item(s) dropped")
+            }
+            Self::WorkerDied { stage } => write!(f, "worker thread for stage '{stage}' died"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Robustness policy for a pipelined run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelinePolicy {
+    /// Bounded-channel capacity between stages (≥ 1; 1 = true pipeline,
+    /// no batching).
+    pub channel_capacity: usize,
+    /// How many times to re-run a panicking stage on the same item before
+    /// dropping it.
+    pub max_retries: u32,
+    /// Base backoff between retries; doubles per attempt.
+    pub backoff: Duration,
+    /// Per-item, per-stage soft deadline; exceeding it increments
+    /// [`PipelineReport::deadline_misses`].
+    pub stage_deadline: Option<Duration>,
+}
+
+impl Default for PipelinePolicy {
+    fn default() -> Self {
+        Self {
+            channel_capacity: 1,
+            max_retries: 0,
+            backoff: Duration::from_micros(100),
+            stage_deadline: None,
+        }
+    }
+}
+
 /// Timing report of a pipelined run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineReport {
-    /// Items processed.
+    /// Items processed end to end.
     pub items: usize,
     /// Wall-clock duration of the whole run.
     pub wall: Duration,
     /// Per-item end-to-end latencies, in completion order.
     pub latencies: Vec<Duration>,
+    /// Stage executions that exceeded the policy's soft deadline.
+    pub deadline_misses: u64,
+    /// Panicking stage executions that were retried.
+    pub retries: u64,
 }
 
 impl PipelineReport {
@@ -71,61 +153,167 @@ impl PipelineReport {
 /// Runs `items` through `stages` on one thread per stage, connected by
 /// bounded channels (capacity 1: a true pipeline, no batching).
 ///
+/// Thin wrapper over [`try_run_pipeline`] with the default
+/// [`PipelinePolicy`], kept for the common no-fault case.
+///
 /// # Panics
 ///
-/// Panics if `stages` is empty or a worker thread panics.
+/// Panics if `stages` is empty or a stage panics on an item (use
+/// [`try_run_pipeline`] to get a [`PipelineError`] instead).
 #[must_use]
-pub fn run_pipeline<T: Send + 'static>(stages: Vec<Stage<T>>, items: Vec<T>) -> PipelineReport {
-    assert!(!stages.is_empty(), "pipeline needs at least one stage");
+pub fn run_pipeline<T: Send + Clone + 'static>(
+    stages: Vec<Stage<T>>,
+    items: Vec<T>,
+) -> PipelineReport {
+    match try_run_pipeline(stages, items, &PipelinePolicy::default()) {
+        Ok(report) => report,
+        Err(PipelineError::NoStages) => panic!("pipeline needs at least one stage"),
+        Err(e) => panic!("pipeline failed: {e}"),
+    }
+}
+
+/// Runs `items` through `stages` under `policy`, isolating stage panics.
+///
+/// Every stage runs on its own thread; items flow through bounded
+/// channels sized by `policy.channel_capacity`. A stage panic on an item
+/// is caught, retried `policy.max_retries` times with exponential
+/// backoff, and — if still failing — the item is dropped and the run
+/// continues, returning [`PipelineError::StageFailed`] at the end. The
+/// caller's process never aborts because of a bad stage.
+///
+/// # Errors
+///
+/// [`PipelineError::NoStages`] for an empty stage list;
+/// [`PipelineError::StageFailed`] when retries were exhausted on any item;
+/// [`PipelineError::WorkerDied`] if a worker thread was lost entirely.
+pub fn try_run_pipeline<T: Send + Clone + 'static>(
+    stages: Vec<Stage<T>>,
+    items: Vec<T>,
+    policy: &PipelinePolicy,
+) -> Result<PipelineReport, PipelineError> {
+    if stages.is_empty() {
+        return Err(PipelineError::NoStages);
+    }
+    let capacity = policy.channel_capacity.max(1);
     let n_items = items.len();
     let latencies = Arc::new(Mutex::new(Vec::with_capacity(n_items)));
+    let deadline_misses = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+    let failed_stage: Arc<Mutex<Option<&'static str>>> = Arc::new(Mutex::new(None));
+    let policy = *policy;
     let start = Instant::now();
+    let mut worker_died: Option<&'static str> = None;
     std::thread::scope(|scope| {
         // Channel chain: injector → s1 → s2 → ... → collector.
-        let (inject_tx, mut prev_rx) = channel::bounded::<(Instant, T)>(1);
+        let (inject_tx, mut prev_rx) = sync_channel::<(Instant, T)>(capacity);
         let mut handles = Vec::new();
         for stage in stages {
-            let (tx, rx) = channel::bounded::<(Instant, T)>(1);
+            let (tx, rx) = sync_channel::<(Instant, T)>(capacity);
             let input = prev_rx;
-            handles.push(scope.spawn(move || {
-                for (born, item) in input {
-                    let out = (stage.work)(item);
-                    if tx.send((born, out)).is_err() {
-                        break;
+            let deadline_misses = Arc::clone(&deadline_misses);
+            let retries = Arc::clone(&retries);
+            let dropped = Arc::clone(&dropped);
+            let failed_stage = Arc::clone(&failed_stage);
+            let name = stage.name;
+            handles.push((
+                name,
+                scope.spawn(move || {
+                    for (born, item) in input {
+                        let mut attempt = 0u32;
+                        let out = loop {
+                            let attempt_input = item.clone();
+                            let attempt_start = Instant::now();
+                            let result =
+                                catch_unwind(AssertUnwindSafe(|| (stage.work)(attempt_input)));
+                            if let Some(deadline) = policy.stage_deadline {
+                                if attempt_start.elapsed() > deadline {
+                                    deadline_misses.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            match result {
+                                Ok(out) => break Some(out),
+                                Err(_) if attempt < policy.max_retries => {
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::sleep(policy.backoff * 2u32.pow(attempt));
+                                    attempt += 1;
+                                }
+                                Err(_) => {
+                                    dropped.fetch_add(1, Ordering::Relaxed);
+                                    failed_stage
+                                        .lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                        .get_or_insert(stage.name);
+                                    break None;
+                                }
+                            }
+                        };
+                        if let Some(out) = out {
+                            if tx.send((born, out)).is_err() {
+                                break;
+                            }
+                        }
                     }
-                }
-            }));
+                }),
+            ));
             prev_rx = rx;
         }
         let collector = {
             let latencies = Arc::clone(&latencies);
             scope.spawn(move || {
                 for (born, _item) in prev_rx {
-                    latencies.lock().push(born.elapsed());
+                    latencies
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(born.elapsed());
                 }
             })
         };
         for item in items {
-            inject_tx
-                .send((Instant::now(), item))
-                .expect("pipeline alive while injecting");
+            if inject_tx.send((Instant::now(), item)).is_err() {
+                break; // every downstream worker is gone; error surfaces below
+            }
         }
         drop(inject_tx);
-        for h in handles {
-            h.join().expect("stage thread panicked");
+        for (name, h) in handles {
+            if h.join().is_err() {
+                worker_died.get_or_insert(name);
+            }
         }
-        collector.join().expect("collector thread panicked");
+        let _ = collector.join();
     });
+    if let Some(stage) = worker_died {
+        return Err(PipelineError::WorkerDied { stage });
+    }
     let wall = start.elapsed();
-    let latencies = Arc::try_unwrap(latencies)
-        .expect("all threads joined")
-        .into_inner();
-    PipelineReport { items: n_items, wall, latencies }
+    let latencies = std::mem::take(
+        &mut *latencies
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    let report = PipelineReport {
+        items: latencies.len(),
+        wall,
+        latencies,
+        deadline_misses: deadline_misses.load(Ordering::Relaxed),
+        retries: retries.load(Ordering::Relaxed),
+    };
+    let failed = failed_stage
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match *failed {
+        Some(stage) => Err(PipelineError::StageFailed {
+            stage,
+            dropped: dropped.load(Ordering::Relaxed) as usize,
+        }),
+        None => Ok(report),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
 
     fn busy(ms: u64) -> impl Fn(u64) -> u64 + Send + Sync {
         move |x| {
@@ -144,6 +332,8 @@ mod tests {
         let report = run_pipeline(stages, (0..20).collect());
         assert_eq!(report.items, 20);
         assert_eq!(report.latencies.len(), 20);
+        assert_eq!(report.deadline_misses, 0);
+        assert_eq!(report.retries, 0);
     }
 
     #[test]
@@ -162,10 +352,20 @@ mod tests {
             per_item_ms < 11.0,
             "pipelining must beat the 12 ms serial time, got {per_item_ms:.1} ms/item"
         );
-        assert!(per_item_ms > 7.0, "cannot beat the slowest stage, got {per_item_ms:.1}");
+        assert!(
+            per_item_ms > 7.0,
+            "cannot beat the slowest stage, got {per_item_ms:.1}"
+        );
         let mean_latency_ms = report.mean_latency().as_secs_f64() * 1000.0;
-        assert!(mean_latency_ms >= 11.0, "latency is the sum of stages, got {mean_latency_ms:.1}");
-        assert!(report.throughput_hz() > 90.0, "throughput {}", report.throughput_hz());
+        assert!(
+            mean_latency_ms >= 11.0,
+            "latency is the sum of stages, got {mean_latency_ms:.1}"
+        );
+        assert!(
+            report.throughput_hz() > 90.0,
+            "throughput {}",
+            report.throughput_hz()
+        );
     }
 
     #[test]
@@ -185,5 +385,111 @@ mod tests {
         let report = run_pipeline(vec![Stage::new("a", |x: u64| x)], vec![]);
         assert_eq!(report.items, 0);
         assert_eq!(report.mean_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_panic_returns_error_not_abort() {
+        let stages = vec![
+            Stage::new("ok", |x: u64| x + 1),
+            Stage::new("poison", |x: u64| {
+                assert!(x != 3, "injected stage fault");
+                x
+            }),
+        ];
+        let err = try_run_pipeline(stages, (0..8).collect(), &PipelinePolicy::default())
+            .expect_err("poisoned item must surface as an error");
+        assert_eq!(
+            err,
+            PipelineError::StageFailed {
+                stage: "poison",
+                dropped: 1
+            }
+        );
+    }
+
+    #[test]
+    fn healthy_items_survive_a_poisoned_one() {
+        // The pipeline keeps flowing around the dropped item.
+        let stages = vec![Stage::new("poison", |x: u64| {
+            assert!(x != 2, "injected stage fault");
+            x * 10
+        })];
+        let err = try_run_pipeline(stages, (0..6).collect(), &PipelinePolicy::default());
+        assert!(err.is_err());
+        // 5 of 6 items completed; verified via a side channel.
+        let seen = Arc::new(AtomicU32::new(0));
+        let seen2 = Arc::clone(&seen);
+        let stages = vec![Stage::new("poison", move |x: u64| {
+            assert!(x != 2, "injected stage fault");
+            seen2.fetch_add(1, Ordering::Relaxed);
+            x
+        })];
+        let _ = try_run_pipeline(stages, (0..6).collect(), &PipelinePolicy::default());
+        assert_eq!(seen.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn transient_panics_are_retried_with_backoff() {
+        let fails_left = Arc::new(AtomicU32::new(2));
+        let fl = Arc::clone(&fails_left);
+        let stages = vec![Stage::new("flaky", move |x: u64| {
+            if fl.load(Ordering::Relaxed) > 0 {
+                fl.fetch_sub(1, Ordering::Relaxed);
+                panic!("transient fault");
+            }
+            x + 100
+        })];
+        let policy = PipelinePolicy {
+            max_retries: 3,
+            backoff: Duration::from_micros(10),
+            ..PipelinePolicy::default()
+        };
+        let report = try_run_pipeline(stages, vec![1, 2, 3], &policy)
+            .expect("retries absorb transient faults");
+        assert_eq!(report.items, 3);
+        assert_eq!(report.retries, 2);
+    }
+
+    #[test]
+    fn deadline_overruns_are_counted() {
+        let policy = PipelinePolicy {
+            stage_deadline: Some(Duration::from_millis(1)),
+            ..PipelinePolicy::default()
+        };
+        let report = try_run_pipeline(
+            vec![Stage::new("slow", busy(5)), Stage::new("fast", |x: u64| x)],
+            (0..4).collect(),
+            &policy,
+        )
+        .expect("slow stages are not errors");
+        assert_eq!(report.deadline_misses, 4, "every slow-stage item overruns");
+    }
+
+    #[test]
+    fn wider_channels_accepted() {
+        let policy = PipelinePolicy {
+            channel_capacity: 8,
+            ..PipelinePolicy::default()
+        };
+        let report = try_run_pipeline(
+            vec![
+                Stage::new("a", |x: u64| x + 1),
+                Stage::new("b", |x: u64| x * 2),
+            ],
+            (0..50).collect(),
+            &policy,
+        )
+        .unwrap();
+        assert_eq!(report.items, 50);
+    }
+
+    #[test]
+    fn no_stages_is_an_error() {
+        let err = try_run_pipeline(
+            Vec::<Stage<u64>>::new(),
+            vec![1],
+            &PipelinePolicy::default(),
+        );
+        assert_eq!(err.unwrap_err(), PipelineError::NoStages);
     }
 }

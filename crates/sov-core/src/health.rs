@@ -1,0 +1,571 @@
+//! Health monitoring and graceful degradation.
+//!
+//! The paper's deployed vehicles survive sensor loss because the
+//! architecture is redundant by construction: GPS–VIO fusion tolerates
+//! losing either localization modality (Sec. VI), and the radar+sonar
+//! reactive path keeps the vehicle safe when the camera-based proactive
+//! pipeline is late or blind (Sec. IV). This module makes that argument
+//! explicit as a **degradation state machine** driven by per-sensor
+//! stale-data watchdogs and a computing-deadline watchdog:
+//!
+//! ```text
+//! Nominal → DegradedLocalization   (GPS lost → VIO-only fusion fallback)
+//!         → ReactiveOnly           (camera stalled or compute past
+//!                                   deadline → radar+sonar envelope)
+//!         → SafeStop               (reactive envelope itself lost)
+//! ```
+//!
+//! Downgrades are immediate — a missing safety input must bite within one
+//! control tick. Upgrades (recovery) require the inputs to stay healthy
+//! for a hold-down period so a flapping sensor cannot bounce the vehicle
+//! between modes.
+
+use sov_sim::time::{SimDuration, SimTime};
+
+/// Operating mode of the vehicle, ordered from most to least capable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradationMode {
+    /// Every subsystem healthy: full proactive driving.
+    Nominal = 0,
+    /// GNSS lost or rejected: localization rides on VIO alone (the
+    /// paper's fusion fallback), speed trimmed to bound drift.
+    DegradedLocalization = 1,
+    /// Proactive perception unavailable (camera stalled, or computing
+    /// latency repeatedly past its deadline): creep inside the radar+sonar
+    /// reactive envelope.
+    ReactiveOnly = 2,
+    /// The reactive envelope itself is gone: brake to a stop and hold.
+    SafeStop = 3,
+}
+
+impl DegradationMode {
+    /// All modes, most-capable first (index = discriminant).
+    pub const ALL: [DegradationMode; 4] = [
+        DegradationMode::Nominal,
+        DegradationMode::DegradedLocalization,
+        DegradationMode::ReactiveOnly,
+        DegradationMode::SafeStop,
+    ];
+
+    /// Short name used by reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationMode::Nominal => "nominal",
+            DegradationMode::DegradedLocalization => "degraded-localization",
+            DegradationMode::ReactiveOnly => "reactive-only",
+            DegradationMode::SafeStop => "safe-stop",
+        }
+    }
+}
+
+/// A stale-data watchdog for one sensor feed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Watchdog {
+    last_seen: SimTime,
+    timeout: SimDuration,
+}
+
+impl Watchdog {
+    /// A watchdog considering the feed fresh as of `now`, stale after
+    /// `timeout` without data.
+    #[must_use]
+    pub fn new(now: SimTime, timeout: SimDuration) -> Self {
+        Self {
+            last_seen: now,
+            timeout,
+        }
+    }
+
+    /// Records a delivery from the feed.
+    pub fn feed(&mut self, t: SimTime) {
+        if t > self.last_seen {
+            self.last_seen = t;
+        }
+    }
+
+    /// Whether the feed has been silent longer than its timeout.
+    #[must_use]
+    pub fn stale(&self, now: SimTime) -> bool {
+        now.since(self.last_seen) > self.timeout
+    }
+
+    /// Time since the last delivery.
+    #[must_use]
+    pub fn silence(&self, now: SimTime) -> SimDuration {
+        now.since(self.last_seen)
+    }
+}
+
+/// Watchdog timeouts and deadline thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Camera feed timeout (camera runs at 30 FPS; a few missed frames
+    /// are tolerated before the proactive path is declared blind).
+    pub camera_timeout: SimDuration,
+    /// GNSS feed timeout (10 Hz nominal).
+    pub gps_timeout: SimDuration,
+    /// Radar feed timeout (20 Hz nominal).
+    pub radar_timeout: SimDuration,
+    /// Sonar feed timeout (20 Hz nominal).
+    pub sonar_timeout: SimDuration,
+    /// Computing-latency deadline per control frame; the paper's latency
+    /// requirement analysis (Fig. 3) allows ~300 ms at micromobility
+    /// speed.
+    pub compute_deadline: SimDuration,
+    /// Consecutive deadline overruns before the proactive path is
+    /// considered unusable (tail latency, not mean, is what breaks
+    /// safety).
+    pub max_consecutive_overruns: u32,
+    /// Consecutive healthy control ticks required before re-entering a
+    /// more capable mode.
+    pub recovery_hold_ticks: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            camera_timeout: SimDuration::from_millis(350),
+            gps_timeout: SimDuration::from_millis(450),
+            radar_timeout: SimDuration::from_millis(250),
+            sonar_timeout: SimDuration::from_millis(250),
+            compute_deadline: SimDuration::from_millis(300),
+            max_consecutive_overruns: 3,
+            recovery_hold_ticks: 8,
+        }
+    }
+}
+
+/// Sensor-feed freshness flags observed at one control tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthInputs {
+    /// Camera delivering frames.
+    pub camera_ok: bool,
+    /// GNSS delivering usable fixes.
+    pub gps_ok: bool,
+    /// Radar delivering scans.
+    pub radar_ok: bool,
+    /// Sonar delivering readings.
+    pub sonar_ok: bool,
+    /// Proactive compute chain meeting its deadline.
+    pub compute_ok: bool,
+}
+
+/// One mode change, for reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeTransition {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// Mode left.
+    pub from: DegradationMode,
+    /// Mode entered.
+    pub to: DegradationMode,
+}
+
+/// The health monitor: watchdogs + degradation state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    camera: Watchdog,
+    gps: Watchdog,
+    radar: Watchdog,
+    sonar: Watchdog,
+    consecutive_overruns: u32,
+    deadline_misses: u64,
+    mode: DegradationMode,
+    healthy_streak: u32,
+    /// When the vehicle last left `Nominal` (recovery stopwatch).
+    degraded_since: Option<SimTime>,
+    transitions: Vec<ModeTransition>,
+}
+
+impl HealthMonitor {
+    /// A monitor with every feed considered fresh at `now`.
+    #[must_use]
+    pub fn new(config: HealthConfig, now: SimTime) -> Self {
+        Self {
+            camera: Watchdog::new(now, config.camera_timeout),
+            gps: Watchdog::new(now, config.gps_timeout),
+            radar: Watchdog::new(now, config.radar_timeout),
+            sonar: Watchdog::new(now, config.sonar_timeout),
+            config,
+            consecutive_overruns: 0,
+            deadline_misses: 0,
+            mode: DegradationMode::Nominal,
+            healthy_streak: 0,
+            degraded_since: None,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Records a camera frame delivery.
+    pub fn camera_seen(&mut self, t: SimTime) {
+        self.camera.feed(t);
+    }
+
+    /// Records a usable GNSS fix delivery.
+    pub fn gps_seen(&mut self, t: SimTime) {
+        self.gps.feed(t);
+    }
+
+    /// Records a radar scan delivery.
+    pub fn radar_seen(&mut self, t: SimTime) {
+        self.radar.feed(t);
+    }
+
+    /// Records a sonar reading delivery.
+    pub fn sonar_seen(&mut self, t: SimTime) {
+        self.sonar.feed(t);
+    }
+
+    /// Records one control frame's computing latency against the
+    /// deadline.
+    pub fn compute_latency(&mut self, latency: SimDuration) {
+        if latency > self.config.compute_deadline {
+            self.deadline_misses += 1;
+            self.consecutive_overruns += 1;
+        } else {
+            self.consecutive_overruns = 0;
+        }
+    }
+
+    /// Computing frames that missed the deadline so far.
+    #[must_use]
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses
+    }
+
+    /// The current mode.
+    #[must_use]
+    pub fn mode(&self) -> DegradationMode {
+        self.mode
+    }
+
+    /// Whether the camera feed is currently stale.
+    #[must_use]
+    pub fn camera_stale(&self, now: SimTime) -> bool {
+        self.camera.stale(now)
+    }
+
+    /// Every mode change so far.
+    #[must_use]
+    pub fn transitions(&self) -> &[ModeTransition] {
+        &self.transitions
+    }
+
+    /// The feed freshness as of `now`.
+    #[must_use]
+    pub fn inputs(&self, now: SimTime) -> HealthInputs {
+        HealthInputs {
+            camera_ok: !self.camera.stale(now),
+            gps_ok: !self.gps.stale(now),
+            radar_ok: !self.radar.stale(now),
+            sonar_ok: !self.sonar.stale(now),
+            compute_ok: self.consecutive_overruns < self.config.max_consecutive_overruns,
+        }
+    }
+
+    /// The mode the inputs warrant, ignoring hysteresis. Table-driven:
+    /// worst applicable row wins.
+    #[must_use]
+    pub fn target_mode(inputs: HealthInputs) -> DegradationMode {
+        if !inputs.radar_ok && !inputs.sonar_ok {
+            // No reactive envelope at all: nothing can guarantee safety.
+            DegradationMode::SafeStop
+        } else if !inputs.camera_ok || !inputs.compute_ok {
+            // Proactive path blind or too late: fall back to the
+            // radar+sonar envelope (Sec. IV).
+            DegradationMode::ReactiveOnly
+        } else if !inputs.gps_ok {
+            // Localization loses GNSS: VIO-only fusion (Sec. VI).
+            DegradationMode::DegradedLocalization
+        } else {
+            DegradationMode::Nominal
+        }
+    }
+
+    /// Advances the state machine at a control tick. Downgrades apply
+    /// immediately; upgrades require `recovery_hold_ticks` consecutive
+    /// healthy assessments. Returns the (possibly unchanged) mode, plus
+    /// the completed recovery duration when the vehicle just returned to
+    /// `Nominal`.
+    pub fn assess(&mut self, now: SimTime) -> (DegradationMode, Option<SimDuration>) {
+        let target = Self::target_mode(self.inputs(now));
+        let mut recovered = None;
+        if target > self.mode {
+            // Worse: degrade now.
+            if self.mode == DegradationMode::Nominal {
+                self.degraded_since = Some(now);
+            }
+            self.transitions.push(ModeTransition {
+                at: now,
+                from: self.mode,
+                to: target,
+            });
+            self.mode = target;
+            self.healthy_streak = 0;
+        } else if target < self.mode {
+            // Better: hold down before trusting it.
+            self.healthy_streak += 1;
+            if self.healthy_streak >= self.config.recovery_hold_ticks {
+                self.transitions.push(ModeTransition {
+                    at: now,
+                    from: self.mode,
+                    to: target,
+                });
+                self.mode = target;
+                self.healthy_streak = 0;
+                if target == DegradationMode::Nominal {
+                    if let Some(since) = self.degraded_since.take() {
+                        recovered = Some(now.since(since));
+                    }
+                }
+            }
+        } else {
+            self.healthy_streak = 0;
+        }
+        (self.mode, recovered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_OK: HealthInputs = HealthInputs {
+        camera_ok: true,
+        gps_ok: true,
+        radar_ok: true,
+        sonar_ok: true,
+        compute_ok: true,
+    };
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn target_mode_table() {
+        // Table-driven: every single-fault row and the compound rows.
+        let rows: &[(HealthInputs, DegradationMode)] = &[
+            (ALL_OK, DegradationMode::Nominal),
+            (
+                HealthInputs {
+                    gps_ok: false,
+                    ..ALL_OK
+                },
+                DegradationMode::DegradedLocalization,
+            ),
+            (
+                HealthInputs {
+                    camera_ok: false,
+                    ..ALL_OK
+                },
+                DegradationMode::ReactiveOnly,
+            ),
+            (
+                HealthInputs {
+                    compute_ok: false,
+                    ..ALL_OK
+                },
+                DegradationMode::ReactiveOnly,
+            ),
+            // Camera loss dominates GPS loss.
+            (
+                HealthInputs {
+                    camera_ok: false,
+                    gps_ok: false,
+                    ..ALL_OK
+                },
+                DegradationMode::ReactiveOnly,
+            ),
+            // One reactive sensor alone keeps the envelope alive.
+            (
+                HealthInputs {
+                    radar_ok: false,
+                    ..ALL_OK
+                },
+                DegradationMode::Nominal,
+            ),
+            (
+                HealthInputs {
+                    sonar_ok: false,
+                    ..ALL_OK
+                },
+                DegradationMode::Nominal,
+            ),
+            // Both gone: stop.
+            (
+                HealthInputs {
+                    radar_ok: false,
+                    sonar_ok: false,
+                    ..ALL_OK
+                },
+                DegradationMode::SafeStop,
+            ),
+            (
+                HealthInputs {
+                    camera_ok: false,
+                    radar_ok: false,
+                    sonar_ok: false,
+                    ..ALL_OK
+                },
+                DegradationMode::SafeStop,
+            ),
+        ];
+        for &(inputs, expected) in rows {
+            assert_eq!(
+                HealthMonitor::target_mode(inputs),
+                expected,
+                "inputs {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_goes_stale_and_recovers() {
+        let mut w = Watchdog::new(ms(0), SimDuration::from_millis(100));
+        assert!(!w.stale(ms(100)));
+        assert!(w.stale(ms(101)));
+        w.feed(ms(150));
+        assert!(!w.stale(ms(200)));
+        assert_eq!(w.silence(ms(250)), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn downgrade_is_immediate() {
+        let mut m = HealthMonitor::new(HealthConfig::default(), ms(0));
+        // Camera silent past its timeout while the rest stays fresh.
+        m.gps_seen(ms(380));
+        m.radar_seen(ms(380));
+        m.sonar_seen(ms(380));
+        let (mode, _) = m.assess(ms(400));
+        assert_eq!(mode, DegradationMode::ReactiveOnly);
+        assert_eq!(m.transitions().len(), 1);
+    }
+
+    #[test]
+    fn recovery_requires_hold_down() {
+        let config = HealthConfig {
+            recovery_hold_ticks: 3,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(config, ms(0));
+        // GPS silent → degraded localization at t=500 ms.
+        m.camera_seen(ms(480));
+        m.radar_seen(ms(480));
+        m.sonar_seen(ms(480));
+        let (mode, _) = m.assess(ms(500));
+        assert_eq!(mode, DegradationMode::DegradedLocalization);
+        // GPS returns; the next two healthy ticks must NOT yet upgrade.
+        for tick in 1..=2u64 {
+            let t = ms(500 + tick * 100);
+            m.camera_seen(t);
+            m.gps_seen(t);
+            m.radar_seen(t);
+            m.sonar_seen(t);
+            let (mode, rec) = m.assess(t);
+            assert_eq!(mode, DegradationMode::DegradedLocalization, "tick {tick}");
+            assert!(rec.is_none());
+        }
+        // Third healthy tick: recovery, with the stopwatch measured from
+        // the original downgrade.
+        let t = ms(800);
+        m.camera_seen(t);
+        m.gps_seen(t);
+        m.radar_seen(t);
+        m.sonar_seen(t);
+        let (mode, rec) = m.assess(t);
+        assert_eq!(mode, DegradationMode::Nominal);
+        assert_eq!(rec, Some(SimDuration::from_millis(300)));
+    }
+
+    #[test]
+    fn flapping_sensor_resets_the_streak() {
+        let config = HealthConfig {
+            recovery_hold_ticks: 2,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(config, ms(0));
+        let keep_reactive_alive = |m: &mut HealthMonitor, t: SimTime| {
+            m.camera_seen(t);
+            m.radar_seen(t);
+            m.sonar_seen(t);
+        };
+        keep_reactive_alive(&mut m, ms(480));
+        assert_eq!(m.assess(ms(500)).0, DegradationMode::DegradedLocalization);
+        // One healthy tick...
+        keep_reactive_alive(&mut m, ms(600));
+        m.gps_seen(ms(600));
+        assert_eq!(m.assess(ms(600)).0, DegradationMode::DegradedLocalization);
+        // ...then GPS flaps again: streak resets, still degraded 3 ticks on.
+        keep_reactive_alive(&mut m, ms(1200));
+        assert_eq!(m.assess(ms(1200)).0, DegradationMode::DegradedLocalization);
+        keep_reactive_alive(&mut m, ms(1300));
+        m.gps_seen(ms(1300));
+        assert_eq!(m.assess(ms(1300)).0, DegradationMode::DegradedLocalization);
+        keep_reactive_alive(&mut m, ms(1400));
+        m.gps_seen(ms(1400));
+        assert_eq!(
+            m.assess(ms(1400)).0,
+            DegradationMode::Nominal,
+            "2-tick hold satisfied"
+        );
+    }
+
+    #[test]
+    fn consecutive_overruns_trip_the_compute_watchdog() {
+        let config = HealthConfig {
+            max_consecutive_overruns: 3,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(config, ms(0));
+        let slow = SimDuration::from_millis(500);
+        let fast = SimDuration::from_millis(150);
+        m.compute_latency(slow);
+        m.compute_latency(slow);
+        assert!(m.inputs(ms(0)).compute_ok, "two overruns tolerated");
+        m.compute_latency(fast);
+        m.compute_latency(slow);
+        m.compute_latency(slow);
+        assert!(m.inputs(ms(0)).compute_ok, "a fast frame resets the run");
+        m.compute_latency(slow);
+        assert!(
+            !m.inputs(ms(0)).compute_ok,
+            "three consecutive overruns trip"
+        );
+        assert_eq!(m.deadline_misses(), 5);
+    }
+
+    #[test]
+    fn safe_stop_recovers_stepwise_toward_nominal() {
+        let config = HealthConfig {
+            recovery_hold_ticks: 1,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(config, ms(0));
+        // Everything silent at 600 ms → SafeStop.
+        assert_eq!(m.assess(ms(600)).0, DegradationMode::SafeStop);
+        // Radar+sonar return but the camera is still dark → ReactiveOnly.
+        m.radar_seen(ms(700));
+        m.sonar_seen(ms(700));
+        assert_eq!(m.assess(ms(700)).0, DegradationMode::ReactiveOnly);
+        // Camera returns, GPS still dark → DegradedLocalization.
+        m.camera_seen(ms(800));
+        m.radar_seen(ms(800));
+        m.sonar_seen(ms(800));
+        let (mode, rec) = m.assess(ms(800));
+        assert_eq!(mode, DegradationMode::DegradedLocalization);
+        assert!(rec.is_none(), "not yet back to Nominal");
+        // GPS returns → Nominal, recovery measured from the first
+        // downgrade.
+        m.camera_seen(ms(900));
+        m.gps_seen(ms(900));
+        m.radar_seen(ms(900));
+        m.sonar_seen(ms(900));
+        let (mode, rec) = m.assess(ms(900));
+        assert_eq!(mode, DegradationMode::Nominal);
+        assert_eq!(rec, Some(SimDuration::from_millis(300)));
+        assert_eq!(m.transitions().len(), 4);
+    }
+}

@@ -5,9 +5,13 @@
 //!
 //! * [`config`] — vehicle configurations: the deployed camera-based pod,
 //!   the hypothetical LiDAR variant, and the rejected mobile-SoC variant.
-//! * [`executor`] — a real threaded pipeline executor (crossbeam channels)
-//!   demonstrating the task-level parallelism of Sec. IV: throughput is set
-//!   by the slowest stage while latency is the sum of stages.
+//! * [`executor`] — a real threaded pipeline executor (bounded channels,
+//!   panic isolation, per-stage deadlines) demonstrating the task-level
+//!   parallelism of Sec. IV: throughput is set by the slowest stage while
+//!   latency is the sum of stages.
+//! * [`health`] — stale-data watchdogs and the degradation state machine
+//!   (`Nominal → DegradedLocalization → ReactiveOnly → SafeStop`) that
+//!   keeps the vehicle safe when sensors or compute fail.
 //! * [`pipeline`] — the frame-latency model: sensing (camera pipeline
 //!   transit) → perception (localization ∥ scene understanding, with
 //!   detection→tracking serialized) → planning, using the platform
@@ -39,8 +43,10 @@
 pub mod characterize;
 pub mod config;
 pub mod executor;
+pub mod health;
 pub mod pipeline;
 pub mod sov;
 
 pub use config::VehicleConfig;
+pub use health::{DegradationMode, HealthConfig, HealthMonitor};
 pub use sov::{DriveOutcome, DriveReport, Sov};

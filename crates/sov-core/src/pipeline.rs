@@ -110,7 +110,7 @@ impl LatencyPipeline {
     /// vehicle's current position.
     pub fn next_frame(&mut self, complexity: f64) -> FrameLatency {
         let complexity = complexity.clamp(0.0, 1.0);
-        let keyframe = self.frame_index % self.keyframe_interval == 0
+        let keyframe = self.frame_index.is_multiple_of(self.keyframe_interval)
             // Dynamic scenes force fresh extraction in non-key frames too.
             || self.rng.bernoulli(0.8 * complexity);
         self.frame_index += 1;
@@ -122,7 +122,11 @@ impl LatencyPipeline {
             .total_latency();
 
         let contended = self.mapping_su == self.mapping_loc;
-        let contention = if contended { GPU_CONTENTION_FACTOR } else { 1.0 };
+        let contention = if contended {
+            GPU_CONTENTION_FACTOR
+        } else {
+            1.0
+        };
 
         let loc_task = if keyframe {
             Task::LocalizationKeyframe
@@ -136,9 +140,8 @@ impl LatencyPipeline {
             .as_millis_f64();
         // Scene complexity stretches feature work (Sec. V-C: σ ≈ 14 ms from
         // varying scene complexity).
-        let localization = SimDuration::from_millis_f64(
-            loc_raw * (0.8 + 0.7 * complexity) * contention,
-        );
+        let localization =
+            SimDuration::from_millis_f64(loc_raw * (0.8 + 0.7 * complexity) * contention);
 
         let depth = SimDuration::from_millis_f64(
             Task::DepthEstimation
@@ -156,7 +159,11 @@ impl LatencyPipeline {
                 .as_millis_f64()
                 * contention,
         );
-        let tracking_task = if kcf_fallback { Task::KcfTracking } else { Task::SpatialSync };
+        let tracking_task = if kcf_fallback {
+            Task::KcfTracking
+        } else {
+            Task::SpatialSync
+        };
         let tracking = tracking_task
             .profile(Platform::CoffeeLakeCpu)
             .latency
@@ -248,7 +255,10 @@ mod tests {
             .map(|_| busy.next_frame(0.9).localization.as_millis_f64())
             .sum::<f64>()
             / f64::from(n);
-        assert!(busy_loc > calm_loc * 1.3, "busy {busy_loc} vs calm {calm_loc}");
+        assert!(
+            busy_loc > calm_loc * 1.3,
+            "busy {busy_loc} vs calm {calm_loc}"
+        );
     }
 
     #[test]
@@ -267,7 +277,10 @@ mod tests {
         assert!(!kcf_frames.is_empty(), "fallback should occur at 5% rate");
         let kcf_mean = kcf_frames.iter().sum::<f64>() / kcf_frames.len() as f64;
         let sync_mean = sync_frames.iter().sum::<f64>() / sync_frames.len() as f64;
-        assert!(kcf_mean > 50.0 * sync_mean, "KCF {kcf_mean} vs sync {sync_mean}");
+        assert!(
+            kcf_mean > 50.0 * sync_mean,
+            "KCF {kcf_mean} vs sync {sync_mean}"
+        );
     }
 
     #[test]

@@ -15,9 +15,18 @@
 //! The report records how the drive went and the latency/engagement
 //! statistics the paper quotes ("our deployed vehicles stay in the
 //! proactive path for over 90% of the time").
+//!
+//! [`Sov::drive_with_plan`] additionally injects a [`FaultPlan`] —
+//! camera stalls, GPS outages, ghost radar returns, CAN losses, compute
+//! overruns — and a [`HealthMonitor`](crate::health::HealthMonitor)
+//! degrades the vehicle through the modes of
+//! [`DegradationMode`](crate::health::DegradationMode) instead of letting
+//! a silent sensor drive the vehicle into an obstacle.
 
 use crate::config::VehicleConfig;
+use crate::health::{DegradationMode, HealthConfig, HealthMonitor};
 use crate::pipeline::LatencyPipeline;
+use sov_fault::{FaultKind, FaultPlan};
 use sov_math::stats::Summary;
 use sov_math::{angle, SovRng};
 use sov_perception::detection::{Detector, DetectorProfile};
@@ -91,6 +100,18 @@ pub struct DriveReport {
     pub final_localization_error_m: f64,
     /// Mean ground-truth cross-track error against the route (m).
     pub mean_cross_track_error_m: f64,
+    /// Control ticks spent in each degradation mode, indexed like
+    /// [`DegradationMode::ALL`].
+    pub mode_ticks: [u64; 4],
+    /// Degradation-mode transitions taken during the drive.
+    pub mode_transitions: u64,
+    /// Completed recoveries back to [`DegradationMode::Nominal`], in ms
+    /// from the first downgrade to re-entering nominal.
+    pub recovery_ms: Summary,
+    /// Control frames whose computing latency missed the health deadline.
+    pub deadline_misses: u64,
+    /// Planner→ECU command frames lost to CAN fault injection.
+    pub can_frames_lost: u64,
 }
 
 impl DriveReport {
@@ -101,6 +122,19 @@ impl DriveReport {
             return 1.0;
         }
         1.0 - self.override_ticks as f64 / self.frames as f64
+    }
+
+    /// Fraction of control ticks spent in `mode`.
+    #[must_use]
+    pub fn mode_fraction(&self, mode: DegradationMode) -> f64 {
+        if self.frames == 0 {
+            return if mode == DegradationMode::Nominal {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        self.mode_ticks[mode as usize] as f64 / self.frames as f64
     }
 }
 
@@ -151,12 +185,32 @@ impl Sov {
         &mut self.detector
     }
 
-    /// Drives the scenario for up to `max_frames` control frames.
+    /// Drives the scenario for up to `max_frames` control frames with no
+    /// injected faults.
     ///
     /// # Errors
     ///
     /// Returns [`SovError::NoFrames`] if `max_frames == 0`.
     pub fn drive(&mut self, scenario: &Scenario, max_frames: u64) -> Result<DriveReport, SovError> {
+        self.drive_with_plan(scenario, max_frames, &FaultPlan::nominal())
+    }
+
+    /// Drives the scenario while injecting the faults scheduled in
+    /// `faults`. The health monitor watches every sensor feed and the
+    /// computing deadline, and degrades the vehicle (`Nominal →
+    /// DegradedLocalization → ReactiveOnly → SafeStop`) rather than let a
+    /// dead input steer it; recovery is automatic once the inputs return.
+    /// Driving under [`FaultPlan::nominal`] is exactly [`Sov::drive`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SovError::NoFrames`] if `max_frames == 0`.
+    pub fn drive_with_plan(
+        &mut self,
+        scenario: &Scenario,
+        max_frames: u64,
+        faults: &FaultPlan,
+    ) -> Result<DriveReport, SovError> {
         if max_frames == 0 {
             return Err(SovError::NoFrames);
         }
@@ -167,7 +221,10 @@ impl Sov {
             .route
             .pose_at(&world.map, 0.0)
             .expect("route built from this map");
-        let mut state = VehicleState { pose: start_pose, speed_mps: 0.0 };
+        let mut state = VehicleState {
+            pose: start_pose,
+            speed_mps: 0.0,
+        };
         let mut ecu = Ecu::new(self.config.ecu, self.config.vehicle);
         let mut vio = VioFilter::new(start_pose, VioConfig::default());
         let mut fusion = GpsVioFusion::new(FusionConfig::default());
@@ -184,7 +241,13 @@ impl Sov {
             energy_used_kwh: 0.0,
             final_localization_error_m: 0.0,
             mean_cross_track_error_m: 0.0,
+            mode_ticks: [0; 4],
+            mode_transitions: 0,
+            recovery_ms: Summary::new(),
+            deadline_misses: 0,
+            can_frames_lost: 0,
         };
+        let mut health = HealthMonitor::new(HealthConfig::default(), SimTime::ZERO);
         let mut cross_track_sum = 0.0f64;
         let mut station = 0.0f64;
         let cruise = scenario
@@ -222,6 +285,8 @@ impl Sov {
         let mut last_camera_t = SimTime::ZERO;
         // Physics integration cursor.
         let mut physics_t = SimTime::ZERO;
+        // Counter for the radar/sonar events' fault draws.
+        let mut radar_k: u64 = 0;
 
         'sim: while let Some((t, ev)) = queue.pop() {
             // Advance the vehicle to `t` under the ECU's actuation,
@@ -244,8 +309,27 @@ impl Sov {
             match ev {
                 Ev::RadarSonar => {
                     // ---- Reactive path: straight into the ECU. ----
-                    let scan = self.radars.scan_all(&state.pose, state.speed_mps, world, t);
-                    let sonar_range = self.sonars.min_frontal_range(&state.pose, world, t);
+                    let mut scan = self.radars.scan_all(&state.pose, state.speed_mps, world, t);
+                    if faults.strikes(FaultKind::RadarGhost, t, radar_k) {
+                        // A phantom frontal return: the reactive path and
+                        // the planner both see it, causing spurious braking
+                        // — the failure is availability, never safety.
+                        scan.targets.push(sov_sensors::radar::RadarTarget {
+                            truth: sov_world::obstacle::ObstacleId(u32::MAX),
+                            range_m: faults.uniform(FaultKind::RadarGhost, radar_k, 2.0, 12.0),
+                            azimuth_rad: 0.0,
+                            radial_velocity_mps: -state.speed_mps,
+                        });
+                    }
+                    let sonar_range = if faults.is_active(FaultKind::SonarDropout, t) {
+                        None
+                    } else {
+                        let range = self.sonars.min_frontal_range(&state.pose, world, t);
+                        health.sonar_seen(t);
+                        range
+                    };
+                    health.radar_seen(t);
+                    radar_k += 1;
                     // Brake for obstructions in the vehicle's *swept
                     // corridor*: ahead (|azimuth| < 90°) and within ~1.2 m
                     // of the path centerline — a pedestrian standing beside
@@ -267,15 +351,24 @@ impl Sov {
                     };
                     let overrides_before = ecu.overrides_engaged_count();
                     ecu.reactive_range(min_range, t);
-                    report.override_engagements +=
-                        ecu.overrides_engaged_count() - overrides_before;
+                    report.override_engagements += ecu.overrides_engaged_count() - overrides_before;
                     last_scan = Some(scan);
                     queue.schedule(t + radar_period, Ev::RadarSonar);
+                }
+                Ev::Camera(k)
+                    if faults.is_active(FaultKind::CameraStall, t)
+                        || faults.strikes(FaultKind::CameraDrop, t, k) =>
+                {
+                    // The frame never arrives: no detections, no VIO
+                    // update, and the camera watchdog keeps starving. The
+                    // camera clock itself keeps ticking.
+                    queue.schedule(t + camera_period, Ev::Camera(k + 1));
                 }
                 Ev::Camera(k) => {
                     // Detection runs at the camera rate.
                     let cam_frame =
-                        self.camera.capture(&state.pose, world, &world.landmarks, t, &mut self.rng);
+                        self.camera
+                            .capture(&state.pose, world, &world.landmarks, t, &mut self.rng);
                     last_detections = self.detector.detect(&cam_frame, |id| {
                         world
                             .obstacles
@@ -289,8 +382,7 @@ impl Sov {
                     // corrupts the increment via the rotation–translation
                     // ambiguity leak.
                     if k > 0 {
-                        let offset_ms =
-                            self.synchronizer.camera_imu_offset_ms(k, &mut self.rng);
+                        let offset_ms = self.synchronizer.camera_imu_offset_ms(k, &mut self.rng);
                         let shift = SimDuration::from_millis_f64(offset_ms);
                         let mut delta = frontend.measure(
                             &last_camera_pose,
@@ -301,20 +393,39 @@ impl Sov {
                         let yaw_rate = ecu.actuation(t).yaw_rate_rps;
                         let epsilon = yaw_rate * offset_ms * 1e-3;
                         delta.lateral_m += 0.15 * epsilon * 12.0; // leak × ε × Z̄
+                                                                  // Injected IMU bias leaks spurious lateral motion
+                                                                  // into the visual-inertial increment.
+                        delta.lateral_m += faults.magnitude(FaultKind::ImuBiasJump, t, k);
                         vio.visual_update(&delta);
                     }
                     last_camera_pose = state.pose;
                     last_camera_t = t;
+                    health.camera_seen(t);
                     queue.schedule(t + camera_period, Ev::Camera(k + 1));
                 }
+                Ev::Gps(k) if faults.is_active(FaultKind::GpsOutage, t) => {
+                    // Tunnel/canopy outage: no fix at all. Fusion keeps
+                    // riding the VIO dead-reckoning (Sec. VI) while the
+                    // GPS watchdog starves.
+                    queue.schedule(t + gps_period, Ev::Gps(k + 1));
+                }
                 Ev::Gps(k) => {
-                    let quality = if scenario.gps_degraded_at(frac) {
-                        if k % 2 == 0 { GnssQuality::Multipath } else { GnssQuality::NoFix }
+                    let quality = if faults.is_active(FaultKind::GpsMultipath, t) {
+                        GnssQuality::Multipath
+                    } else if scenario.gps_degraded_at(frac) {
+                        if k % 2 == 0 {
+                            GnssQuality::Multipath
+                        } else {
+                            GnssQuality::NoFix
+                        }
                     } else {
                         GnssQuality::Strong
                     };
                     let fix = self.gps.fix(t, &state.pose, quality);
                     let _ = fusion.ingest_fix(&mut vio, &fix);
+                    if quality != GnssQuality::NoFix {
+                        health.gps_seen(t);
+                    }
                     queue.schedule(t + gps_period, Ev::Gps(k + 1));
                 }
                 Ev::Control(frame) => {
@@ -324,8 +435,37 @@ impl Sov {
                     }
                     let complexity = scenario.complexity.at(frac);
                     let frame_latency = self.latency.next_frame(complexity);
-                    let computing = frame_latency.computing();
+                    let mut computing = frame_latency.computing();
+                    // Compute faults stretch this frame's critical path:
+                    // a constant overrun (throttling/contention) and a
+                    // per-frame RPR reconfiguration spike (Sec. V-B).
+                    if let Some(w) = faults.active(FaultKind::StageOverrun, t) {
+                        computing += SimDuration::from_millis_f64(w.intensity);
+                    }
+                    let spike = faults.magnitude(FaultKind::RprDelaySpike, t, frame);
+                    if spike > 0.0 {
+                        computing += SimDuration::from_millis_f64(spike);
+                    }
                     report.computing.record(computing.as_millis_f64());
+
+                    // Degradation state machine: watchdogs + compute
+                    // deadline decide the operating mode for this tick.
+                    health.compute_latency(computing);
+                    let (mode, recovered) = health.assess(t);
+                    if let Some(d) = recovered {
+                        report.recovery_ms.record(d.as_millis_f64());
+                    }
+                    report.mode_ticks[mode as usize] += 1;
+                    let ref_speed = match mode {
+                        DegradationMode::Nominal => cruise,
+                        // VIO-only localization drifts; trim speed so the
+                        // drift stays inside the lane over the outage.
+                        DegradationMode::DegradedLocalization => cruise * 0.8,
+                        // Creep inside the radar+sonar reactive envelope
+                        // (4.1 m engage range ≫ braking distance at 2 m/s).
+                        DegradationMode::ReactiveOnly => cruise.min(2.0),
+                        DegradationMode::SafeStop => 0.0,
+                    };
 
                     // Localization estimate drives the lane-keeping inputs.
                     let est = fusion.position(&vio);
@@ -346,25 +486,28 @@ impl Sov {
                                 .map(|tg| PlanningObstacle {
                                     station_m: tg.range_m * tg.azimuth_rad.cos(),
                                     lateral_m: lateral + tg.range_m * tg.azimuth_rad.sin(),
-                                    speed_along_mps: (state.speed_mps
-                                        + tg.radial_velocity_mps)
+                                    speed_along_mps: (state.speed_mps + tg.radial_velocity_mps)
                                         .max(0.0),
                                     radius_m: 0.6,
                                 })
                                 .collect()
                         })
                         .unwrap_or_default();
-                    for det in &last_detections {
-                        let covered = obstacles
-                            .iter()
-                            .any(|o| (o.station_m - det.depth_m).abs() < 3.0);
-                        if !covered {
-                            obstacles.push(PlanningObstacle {
-                                station_m: det.depth_m,
-                                lateral_m: 0.0,
-                                speed_along_mps: 0.0,
-                                radius_m: det.class.radius_m(),
-                            });
+                    // With the proactive perception path degraded the
+                    // camera detections are stale — plan on radar alone.
+                    if mode < DegradationMode::ReactiveOnly {
+                        for det in &last_detections {
+                            let covered = obstacles
+                                .iter()
+                                .any(|o| (o.station_m - det.depth_m).abs() < 3.0);
+                            if !covered {
+                                obstacles.push(PlanningObstacle {
+                                    station_m: det.depth_m,
+                                    lateral_m: 0.0,
+                                    speed_along_mps: 0.0,
+                                    radius_m: det.class.radius_m(),
+                                });
+                            }
                         }
                     }
 
@@ -376,19 +519,20 @@ impl Sov {
                     // Lane-change availability from the map's adjacency
                     // (the lane-granularity maneuver space of Sec. III-D).
                     let (current_lane, _) = world.route.lane_at(est_station);
-                    let (left_ok, right_ok, lane_width) = world
-                        .map
-                        .lane(current_lane)
-                        .map_or((false, false, 2.5), |l| {
-                            (
-                                l.left_neighbor().is_some(),
-                                l.right_neighbor().is_some(),
-                                l.width_m(),
-                            )
-                        });
+                    let (left_ok, right_ok, lane_width) =
+                        world
+                            .map
+                            .lane(current_lane)
+                            .map_or((false, false, 2.5), |l| {
+                                (
+                                    l.left_neighbor().is_some(),
+                                    l.right_neighbor().is_some(),
+                                    l.width_m(),
+                                )
+                            });
                     let input = PlanningInput {
                         speed_mps: state.speed_mps,
-                        ref_speed_mps: cruise,
+                        ref_speed_mps: ref_speed,
                         lateral_offset_m: lateral,
                         heading_error_rad: heading_error,
                         obstacles,
@@ -397,9 +541,15 @@ impl Sov {
                         right_lane_available: right_ok,
                     };
                     let plan = self.planner.plan(&input);
-                    // The command reaches the ECU after computing + CAN.
-                    let arrival = t + computing + SimDuration::from_millis(1);
-                    ecu.accept_command(plan.command, arrival);
+                    // The command reaches the ECU after computing + CAN —
+                    // unless the CAN frame is lost, in which case the ECU
+                    // simply keeps actuating the previous command.
+                    if faults.strikes(FaultKind::CanFrameLoss, t, frame) {
+                        report.can_frames_lost += 1;
+                    } else {
+                        let arrival = t + computing + SimDuration::from_millis(1);
+                        ecu.accept_command(plan.command, arrival);
+                    }
 
                     // ---- Bookkeeping (per control tick). ----
                     battery.drain(
@@ -435,8 +585,9 @@ impl Sov {
                 }
             }
         }
-        report.energy_used_kwh =
-            self.config.battery.capacity_kwh - battery.remaining_kwh();
+        report.energy_used_kwh = self.config.battery.capacity_kwh - battery.remaining_kwh();
+        report.mode_transitions = health.transitions().len() as u64;
+        report.deadline_misses = health.deadline_misses();
         report.mean_cross_track_error_m = cross_track_sum / report.frames.max(1) as f64;
         report.final_localization_error_m = fusion.position(&vio).distance(&state.pose);
         if report.outcome != DriveOutcome::Collision && state.speed_mps < 0.1 {
@@ -475,18 +626,31 @@ mod tests {
         let mut sov = Sov::new(VehicleConfig::perceptin_pod(), 3);
         // Long enough to reach the obstacle at 60 m and wait it out.
         let report = sov.drive(&scenario, 250).unwrap();
-        assert_ne!(report.outcome, DriveOutcome::Collision, "gap {}", report.min_obstacle_gap_m);
-        assert!(report.min_obstacle_gap_m > 1.0, "gap {}", report.min_obstacle_gap_m);
+        assert_ne!(
+            report.outcome,
+            DriveOutcome::Collision,
+            "gap {}",
+            report.min_obstacle_gap_m
+        );
+        assert!(
+            report.min_obstacle_gap_m > 1.0,
+            "gap {}",
+            report.min_obstacle_gap_m
+        );
         // A planned stop keeps the vehicle outside the reactive envelope —
         // the paper's vehicles stay proactive > 90% of the time.
-        assert!(report.proactive_fraction() > 0.9, "proactive {}", report.proactive_fraction());
+        assert!(
+            report.proactive_fraction() > 0.9,
+            "proactive {}",
+            report.proactive_fraction()
+        );
     }
 
     #[test]
     fn sudden_obstacle_triggers_reactive_override() {
+        use sov_math::Pose2;
         use sov_sim::time::SimTime;
         use sov_world::obstacle::{Obstacle, ObstacleId};
-        use sov_math::Pose2;
         let mut scenario = Scenario::fishers_indiana(8);
         // A pedestrian steps out ~8 m in front of the accelerating vehicle
         // at t = 3 s and clears the road at t = 6 s — close enough that the
@@ -500,9 +664,21 @@ mod tests {
         .until(SimTime::from_millis(6_000))];
         let mut sov = Sov::new(VehicleConfig::perceptin_pod(), 8);
         let report = sov.drive(&scenario, 250).unwrap();
-        assert_ne!(report.outcome, DriveOutcome::Collision, "gap {}", report.min_obstacle_gap_m);
-        assert!(report.min_obstacle_gap_m > 0.05, "gap {}", report.min_obstacle_gap_m);
-        assert!(report.override_engagements >= 1, "reactive path must engage");
+        assert_ne!(
+            report.outcome,
+            DriveOutcome::Collision,
+            "gap {}",
+            report.min_obstacle_gap_m
+        );
+        assert!(
+            report.min_obstacle_gap_m > 0.05,
+            "gap {}",
+            report.min_obstacle_gap_m
+        );
+        assert!(
+            report.override_engagements >= 1,
+            "reactive path must engage"
+        );
         // The override is brief; most of the drive stays proactive.
         let frac = report.proactive_fraction();
         assert!((0.5..1.0).contains(&frac), "proactive {frac}");
@@ -580,11 +756,24 @@ mod tests {
         let scenario = Scenario::shenzhen_two_lane(42);
         let mut sov = Sov::new(VehicleConfig::perceptin_pod(), 42);
         let report = sov.drive(&scenario, 500).unwrap();
-        assert_ne!(report.outcome, DriveOutcome::Collision, "gap {}", report.min_obstacle_gap_m);
-        assert!(report.min_obstacle_gap_m > 0.5, "gap {}", report.min_obstacle_gap_m);
+        assert_ne!(
+            report.outcome,
+            DriveOutcome::Collision,
+            "gap {}",
+            report.min_obstacle_gap_m
+        );
+        assert!(
+            report.min_obstacle_gap_m > 0.5,
+            "gap {}",
+            report.min_obstacle_gap_m
+        );
         // Following the forklift for 50 s would cover ~≤110 m; overtaking
         // restores cruise speed.
-        assert!(report.distance_m > 150.0, "only covered {:.0} m — no overtake", report.distance_m);
+        assert!(
+            report.distance_m > 150.0,
+            "only covered {:.0} m — no overtake",
+            report.distance_m
+        );
         // Time spent in the outer lane shows up as cross-track offset.
         assert!(report.mean_cross_track_error_m > 0.4, "never left the lane");
     }
@@ -596,12 +785,20 @@ mod tests {
         // the remaining stable scans + sonar keep the vehicle safe.
         let scenario = Scenario::fishers_indiana(21);
         let config = VehicleConfig {
-            radar: RadarConfig { instability_prob: 0.4, ..RadarConfig::default() },
+            radar: RadarConfig {
+                instability_prob: 0.4,
+                ..RadarConfig::default()
+            },
             ..VehicleConfig::perceptin_pod()
         };
         let mut sov = Sov::new(config, 21);
         let report = sov.drive(&scenario, 250).unwrap();
-        assert_ne!(report.outcome, DriveOutcome::Collision, "gap {}", report.min_obstacle_gap_m);
+        assert_ne!(
+            report.outcome,
+            DriveOutcome::Collision,
+            "gap {}",
+            report.min_obstacle_gap_m
+        );
         assert!(report.min_obstacle_gap_m > 0.05);
     }
 

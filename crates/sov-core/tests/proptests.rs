@@ -1,10 +1,10 @@
 //! Property-based tests for the SoV core.
 
-use proptest::prelude::*;
 use sov_core::config::VehicleConfig;
 use sov_core::pipeline::LatencyPipeline;
 use sov_sim::time::SimTime;
 use sov_sim::trace::{Stage, TraceLog};
+use sov_testkit::prelude::*;
 use sov_vehicle::dynamics::{ControlCommand, VehicleParams};
 use sov_vehicle::ecu::{Ecu, EcuConfig};
 

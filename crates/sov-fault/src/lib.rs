@@ -1,0 +1,373 @@
+//! Deterministic fault injection for the SoV.
+//!
+//! The paper's central safety argument (Sec. IV) is the hybrid
+//! proactive/reactive design: when the camera-based proactive pipeline is
+//! late or wrong, the radar+sonar reactive path keeps the vehicle safe,
+//! and GPS–VIO fusion (Sec. VI) exists precisely so localization survives
+//! the loss of one modality. A reproduction of that argument needs a way
+//! to *remove* modalities mid-run and observe what the system does.
+//!
+//! A [`FaultPlan`] is a seeded schedule of [`FaultWindow`]s, each making
+//! one [`FaultKind`] active over a `[start, end)` interval of simulated
+//! time with a per-kind `intensity`. Probabilistic faults (frame drops,
+//! ghost returns, CAN losses) are decided by a counter-based hash of
+//! `(plan seed, kind, event index)` — **not** by any shared RNG stream —
+//! so injecting a fault never perturbs the draws of the nominal
+//! simulation, and a fixed seed reproduces the exact same fault pattern
+//! byte for byte.
+
+#![deny(missing_docs)]
+
+use sov_sim::time::SimTime;
+use std::fmt;
+
+/// The failure modes the plan can inject, spanning every layer the paper's
+/// field deployments stress (camera dropouts, GPS multipath, compute tail
+/// latency, CAN losses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Individual camera frames are lost with probability `intensity`.
+    CameraDrop,
+    /// The camera delivers nothing for the whole window (cable/ISP hang).
+    CameraStall,
+    /// No GNSS fix at all (tunnel, dense canopy).
+    GpsOutage,
+    /// Fixes arrive but are multipath-biased (urban canyon).
+    GpsMultipath,
+    /// The IMU picks up a bias, leaking `intensity` metres of spurious
+    /// lateral motion into each visual-inertial increment.
+    ImuBiasJump,
+    /// Radar reports a ghost target per scan with probability `intensity`.
+    RadarGhost,
+    /// Sonar returns nothing for the whole window.
+    SonarDropout,
+    /// Planner→ECU CAN frames are lost with probability `intensity`.
+    CanFrameLoss,
+    /// Each pipeline frame's computing latency is stretched by
+    /// `intensity` ms (thermal throttling, contention — the tail-latency
+    /// stall COLA identifies as the Level-4 safety breaker).
+    StageOverrun,
+    /// RPR reconfiguration delay spike: adds up to `intensity` ms to a
+    /// frame's computing latency, drawn per frame (Sec. V-B, Fig. 9).
+    RprDelaySpike,
+}
+
+impl FaultKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [FaultKind; 10] = [
+        FaultKind::CameraDrop,
+        FaultKind::CameraStall,
+        FaultKind::GpsOutage,
+        FaultKind::GpsMultipath,
+        FaultKind::ImuBiasJump,
+        FaultKind::RadarGhost,
+        FaultKind::SonarDropout,
+        FaultKind::CanFrameLoss,
+        FaultKind::StageOverrun,
+        FaultKind::RprDelaySpike,
+    ];
+
+    /// A reasonable severity when the caller does not specify one.
+    #[must_use]
+    pub fn default_intensity(self) -> f64 {
+        match self {
+            FaultKind::CameraDrop => 0.5,      // P(frame lost)
+            FaultKind::CameraStall => 1.0,     // window is absolute
+            FaultKind::GpsOutage => 1.0,       // window is absolute
+            FaultKind::GpsMultipath => 1.0,    // window is absolute
+            FaultKind::ImuBiasJump => 0.05,    // m of lateral leak / frame
+            FaultKind::RadarGhost => 0.3,      // P(ghost target) per scan
+            FaultKind::SonarDropout => 1.0,    // window is absolute
+            FaultKind::CanFrameLoss => 0.4,    // P(command frame lost)
+            FaultKind::StageOverrun => 250.0,  // extra computing ms
+            FaultKind::RprDelaySpike => 400.0, // max extra ms per frame
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            FaultKind::CameraDrop => 1,
+            FaultKind::CameraStall => 2,
+            FaultKind::GpsOutage => 3,
+            FaultKind::GpsMultipath => 4,
+            FaultKind::ImuBiasJump => 5,
+            FaultKind::RadarGhost => 6,
+            FaultKind::SonarDropout => 7,
+            FaultKind::CanFrameLoss => 8,
+            FaultKind::StageOverrun => 9,
+            FaultKind::RprDelaySpike => 10,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultKind::CameraDrop => "camera-drop",
+            FaultKind::CameraStall => "camera-stall",
+            FaultKind::GpsOutage => "gps-outage",
+            FaultKind::GpsMultipath => "gps-multipath",
+            FaultKind::ImuBiasJump => "imu-bias-jump",
+            FaultKind::RadarGhost => "radar-ghost",
+            FaultKind::SonarDropout => "sonar-dropout",
+            FaultKind::CanFrameLoss => "can-frame-loss",
+            FaultKind::StageOverrun => "stage-overrun",
+            FaultKind::RprDelaySpike => "rpr-delay-spike",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One scheduled fault: `kind` is active over `[start, end)` at
+/// `intensity`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// Which failure mode.
+    pub kind: FaultKind,
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Kind-specific severity (probability, metres, or milliseconds — see
+    /// [`FaultKind`]).
+    pub intensity: f64,
+}
+
+impl FaultWindow {
+    /// Whether this window covers `t`.
+    #[must_use]
+    pub fn covers(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// A seeded, schedulable fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever fails. Driving under the nominal plan
+    /// is bit-identical to driving without one.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self {
+            seed: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// An empty plan with a seed for its probabilistic decisions.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Adds a window at the kind's default intensity (builder style).
+    #[must_use]
+    pub fn with(self, kind: FaultKind, start: SimTime, end: SimTime) -> Self {
+        let intensity = kind.default_intensity();
+        self.with_intensity(kind, start, end, intensity)
+    }
+
+    /// Adds a window with an explicit intensity (builder style).
+    #[must_use]
+    pub fn with_intensity(
+        mut self,
+        kind: FaultKind,
+        start: SimTime,
+        end: SimTime,
+        intensity: f64,
+    ) -> Self {
+        assert!(end > start, "fault window must be non-empty");
+        assert!(intensity >= 0.0, "intensity must be non-negative");
+        self.windows.push(FaultWindow {
+            kind,
+            start,
+            end,
+            intensity,
+        });
+        self
+    }
+
+    /// The scheduled windows.
+    #[must_use]
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Whether the plan schedules no faults at all.
+    #[must_use]
+    pub fn is_nominal(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The active window for `kind` at `t`, if any. With overlapping
+    /// windows of the same kind, the most intense wins.
+    #[must_use]
+    pub fn active(&self, kind: FaultKind, t: SimTime) -> Option<&FaultWindow> {
+        self.windows
+            .iter()
+            .filter(|w| w.kind == kind && w.covers(t))
+            .max_by(|a, b| a.intensity.total_cmp(&b.intensity))
+    }
+
+    /// Whether `kind` is active at `t`.
+    #[must_use]
+    pub fn is_active(&self, kind: FaultKind, t: SimTime) -> bool {
+        self.active(kind, t).is_some()
+    }
+
+    /// Deterministic Bernoulli draw for the `k`-th event of `kind`: true
+    /// with the active window's intensity as probability, never true when
+    /// the kind is inactive. Counter-based, so it consumes no shared RNG
+    /// state.
+    #[must_use]
+    pub fn strikes(&self, kind: FaultKind, t: SimTime, k: u64) -> bool {
+        self.active(kind, t)
+            .is_some_and(|w| Self::unit(self.seed, kind, k, 0) < w.intensity)
+    }
+
+    /// Deterministic uniform draw in `[0, active intensity)` for the
+    /// `k`-th event of `kind`; zero when inactive. Used for magnitude
+    /// faults (delay spikes).
+    #[must_use]
+    pub fn magnitude(&self, kind: FaultKind, t: SimTime, k: u64) -> f64 {
+        self.active(kind, t)
+            .map_or(0.0, |w| Self::unit(self.seed, kind, k, 1) * w.intensity)
+    }
+
+    /// Deterministic uniform draw in `[lo, hi)` for the `k`-th event of
+    /// `kind` (e.g. a ghost target's range). Independent of the strike
+    /// and magnitude draws for the same event.
+    #[must_use]
+    pub fn uniform(&self, kind: FaultKind, k: u64, lo: f64, hi: f64) -> f64 {
+        lo + Self::unit(self.seed, kind, k, 2) * (hi - lo)
+    }
+
+    /// A uniform value in `[0, 1)` from a splitmix64 hash of
+    /// `(seed, kind, k, stream)`.
+    fn unit(seed: u64, kind: FaultKind, k: u64, stream: u64) -> f64 {
+        let mut z = seed
+            ^ kind.code().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ k.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            ^ stream.wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // 53 mantissa bits → uniform in [0, 1).
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_sim::time::SimDuration;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn nominal_plan_never_strikes() {
+        let plan = FaultPlan::nominal();
+        for kind in FaultKind::ALL {
+            assert!(!plan.is_active(kind, secs(5)));
+            assert!(!plan.strikes(kind, secs(5), 3));
+            assert_eq!(plan.magnitude(kind, secs(5), 3), 0.0);
+        }
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let plan = FaultPlan::new(1).with(FaultKind::GpsOutage, secs(2), secs(6));
+        assert!(!plan.is_active(FaultKind::GpsOutage, secs(1)));
+        assert!(plan.is_active(FaultKind::GpsOutage, secs(2)));
+        assert!(plan.is_active(FaultKind::GpsOutage, secs(5)));
+        assert!(!plan.is_active(FaultKind::GpsOutage, secs(6)));
+        // Other kinds stay inactive.
+        assert!(!plan.is_active(FaultKind::CameraStall, secs(3)));
+    }
+
+    #[test]
+    fn strikes_are_deterministic_and_seed_dependent() {
+        let a = FaultPlan::new(7).with(FaultKind::CameraDrop, secs(0), secs(10));
+        let b = FaultPlan::new(7).with(FaultKind::CameraDrop, secs(0), secs(10));
+        let c = FaultPlan::new(8).with(FaultKind::CameraDrop, secs(0), secs(10));
+        let pat = |p: &FaultPlan| -> Vec<bool> {
+            (0..200)
+                .map(|k| p.strikes(FaultKind::CameraDrop, secs(1), k))
+                .collect()
+        };
+        assert_eq!(pat(&a), pat(&b), "same seed, same pattern");
+        assert_ne!(pat(&a), pat(&c), "different seed, different pattern");
+    }
+
+    #[test]
+    fn strike_rate_tracks_intensity() {
+        let plan =
+            FaultPlan::new(3).with_intensity(FaultKind::CanFrameLoss, secs(0), secs(10), 0.25);
+        let hits = (0..4000)
+            .filter(|&k| plan.strikes(FaultKind::CanFrameLoss, secs(1), k))
+            .count();
+        let rate = hits as f64 / 4000.0;
+        assert!((0.2..0.3).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn magnitude_bounded_by_intensity() {
+        let plan =
+            FaultPlan::new(4).with_intensity(FaultKind::RprDelaySpike, secs(0), secs(10), 400.0);
+        for k in 0..500 {
+            let m = plan.magnitude(FaultKind::RprDelaySpike, secs(2), k);
+            assert!((0.0..400.0).contains(&m), "magnitude {m}");
+        }
+    }
+
+    #[test]
+    fn overlapping_windows_most_intense_wins() {
+        let plan = FaultPlan::new(5)
+            .with_intensity(FaultKind::CameraDrop, secs(0), secs(10), 0.1)
+            .with_intensity(FaultKind::CameraDrop, secs(4), secs(6), 0.9);
+        assert_eq!(
+            plan.active(FaultKind::CameraDrop, secs(5))
+                .unwrap()
+                .intensity,
+            0.9
+        );
+        assert_eq!(
+            plan.active(FaultKind::CameraDrop, secs(1))
+                .unwrap()
+                .intensity,
+            0.1
+        );
+    }
+
+    #[test]
+    fn uniform_draws_stay_in_range() {
+        let plan = FaultPlan::new(6);
+        for k in 0..500 {
+            let r = plan.uniform(FaultKind::RadarGhost, k, 2.0, 15.0);
+            assert!((2.0..15.0).contains(&r), "range {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let _ = FaultPlan::new(0).with(FaultKind::GpsOutage, secs(3), secs(3));
+    }
+}

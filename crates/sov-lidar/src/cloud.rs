@@ -193,11 +193,8 @@ mod tests {
 
     #[test]
     fn bounds_and_centroid() {
-        let cloud = PointCloud::from_points(vec![
-            [0.0, 0.0, 0.0],
-            [2.0, -2.0, 4.0],
-            [4.0, 2.0, 2.0],
-        ]);
+        let cloud =
+            PointCloud::from_points(vec![[0.0, 0.0, 0.0], [2.0, -2.0, 4.0], [4.0, 2.0, 2.0]]);
         let (lo, hi) = cloud.bounds().unwrap();
         assert_eq!(lo, [0.0, -2.0, 0.0]);
         assert_eq!(hi, [4.0, 2.0, 4.0]);

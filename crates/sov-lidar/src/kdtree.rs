@@ -51,7 +51,11 @@ impl KdTree {
         let mut indices: Vec<usize> = (0..points.len()).collect();
         let mut nodes = Vec::with_capacity(points.len());
         let root = Self::build_rec(&points, &mut indices[..], 0, &mut nodes);
-        Self { nodes, root, points }
+        Self {
+            nodes,
+            root,
+            points,
+        }
     }
 
     fn build_rec(
@@ -72,7 +76,12 @@ impl KdTree {
         let mid = indices.len() / 2;
         let point = indices[mid];
         let node_idx = nodes.len();
-        nodes.push(Node { point, axis, left: NONE, right: NONE });
+        nodes.push(Node {
+            point,
+            axis,
+            left: NONE,
+            right: NONE,
+        });
         let (left_slice, rest) = indices.split_at_mut(mid);
         let right_slice = &mut rest[1..];
         let left = Self::build_rec(points, left_slice, depth + 1, nodes);

@@ -42,24 +42,27 @@ pub fn estimate_normals_traced(
             continue;
         }
         if let Some((normal, curvature)) = plane_normal(&neighbors) {
-            out.push(Normal { index: i, normal, curvature });
+            out.push(Normal {
+                index: i,
+                normal,
+                curvature,
+            });
         }
     }
     out
 }
 
 /// Gathers ≈k neighbors of `p` by growing a traced radius search.
-fn neighborhood(
-    tree: &KdTree,
-    p: &Point,
-    k: usize,
-    trace: &mut impl FnMut(Touch),
-) -> Vec<Point> {
+fn neighborhood(tree: &KdTree, p: &Point, k: usize, trace: &mut impl FnMut(Touch)) -> Vec<Point> {
     let mut radius = 0.3;
     for _ in 0..6 {
         let found = tree.radius_search_traced(p, radius, trace);
         if found.len() >= k {
-            return found.into_iter().take(k * 2).map(|i| *tree.point(i)).collect();
+            return found
+                .into_iter()
+                .take(k * 2)
+                .map(|i| *tree.point(i))
+                .collect();
         }
         radius *= 2.0;
     }
@@ -181,11 +184,7 @@ pub fn match_keypoints(
         let mut best = (usize::MAX, f64::INFINITY);
         let mut second = f64::INFINITY;
         for (j, db) in &descs_b {
-            let dist: f64 = da
-                .iter()
-                .zip(db)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum();
+            let dist: f64 = da.iter().zip(db).map(|(x, y)| (x - y) * (x - y)).sum();
             if dist < best.1 {
                 second = best.1;
                 best = (*j, dist);
@@ -209,7 +208,13 @@ mod tests {
         let mut rng = SovRng::seed_from_u64(seed);
         PointCloud::from_points(
             (0..n)
-                .map(|_| [rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0), rng.normal(0.0, 0.001)])
+                .map(|_| {
+                    [
+                        rng.uniform(-2.0, 2.0),
+                        rng.uniform(-2.0, 2.0),
+                        rng.normal(0.0, 0.001),
+                    ]
+                })
                 .collect(),
         )
     }
@@ -221,7 +226,11 @@ mod tests {
         let normals = estimate_normals(&cloud, &tree, 12);
         assert!(normals.len() > 250, "got {}", normals.len());
         for nrm in &normals {
-            assert!(nrm.normal[2].abs() > 0.99, "normal {:?} not vertical", nrm.normal);
+            assert!(
+                nrm.normal[2].abs() > 0.99,
+                "normal {:?} not vertical",
+                nrm.normal
+            );
             assert!(nrm.curvature < 0.01, "plane has ~zero curvature");
         }
     }
@@ -231,7 +240,13 @@ mod tests {
         let mut rng = SovRng::seed_from_u64(2);
         let cloud = PointCloud::from_points(
             (0..300)
-                .map(|_| [rng.uniform(-2.0, 2.0), rng.normal(0.0, 0.001), rng.uniform(0.0, 3.0)])
+                .map(|_| {
+                    [
+                        rng.uniform(-2.0, 2.0),
+                        rng.normal(0.0, 0.001),
+                        rng.uniform(0.0, 3.0),
+                    ]
+                })
                 .collect(),
         );
         let tree = KdTree::build(&cloud);
@@ -243,11 +258,7 @@ mod tests {
 
     #[test]
     fn jacobi_diagonalizes() {
-        let m = Matrix::<3, 3>::from_rows([
-            [4.0, 1.0, 0.5],
-            [1.0, 3.0, 0.2],
-            [0.5, 0.2, 2.0],
-        ]);
+        let m = Matrix::<3, 3>::from_rows([[4.0, 1.0, 0.5], [1.0, 3.0, 0.2], [0.5, 0.2, 2.0]]);
         let (vals, vecs) = jacobi_eigen_3x3(&m);
         // Reconstruct: V diag(vals) Vᵀ = M.
         let d = Matrix::<3, 3>::from_diagonal(vals);

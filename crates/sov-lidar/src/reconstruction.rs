@@ -34,11 +34,14 @@ impl VoxelGrid {
             let key = Self::key_of(p, voxel_size_m);
             let entry = cells.entry(key).or_insert((0, [0.0; 3]));
             entry.0 += 1;
-            for d in 0..3 {
-                entry.1[d] += p[d];
+            for (acc, v) in entry.1.iter_mut().zip(p) {
+                *acc += v;
             }
         }
-        Self { voxel_size_m, cells }
+        Self {
+            voxel_size_m,
+            cells,
+        }
     }
 
     fn key_of(p: &Point, size: f64) -> VoxelKey {
@@ -133,11 +136,8 @@ mod tests {
 
     #[test]
     fn single_voxel_centroid() {
-        let cloud = PointCloud::from_points(vec![
-            [0.1, 0.1, 0.1],
-            [0.3, 0.1, 0.1],
-            [0.2, 0.4, 0.1],
-        ]);
+        let cloud =
+            PointCloud::from_points(vec![[0.1, 0.1, 0.1], [0.3, 0.1, 0.1], [0.2, 0.4, 0.1]]);
         let grid = VoxelGrid::build(&cloud, 1.0);
         assert_eq!(grid.occupied(), 1);
         let down = grid.downsampled();
@@ -168,7 +168,11 @@ mod tests {
     fn negative_coordinates_bin_correctly() {
         let cloud = PointCloud::from_points(vec![[-0.1, -0.1, -0.1], [0.1, 0.1, 0.1]]);
         let grid = VoxelGrid::build(&cloud, 1.0);
-        assert_eq!(grid.occupied(), 2, "points straddling zero go to distinct voxels");
+        assert_eq!(
+            grid.occupied(),
+            2,
+            "points straddling zero go to distinct voxels"
+        );
         assert!(grid.contains((-1, -1, -1)));
         assert!(grid.contains((0, 0, 0)));
     }

@@ -33,7 +33,11 @@ pub struct IcpConfig {
 
 impl Default for IcpConfig {
     fn default() -> Self {
-        Self { max_iterations: 30, tolerance: 1e-5, max_correspondence_m: 2.0 }
+        Self {
+            max_iterations: 30,
+            tolerance: 1e-5,
+            max_correspondence_m: 2.0,
+        }
     }
 }
 
@@ -124,7 +128,12 @@ pub fn icp_traced(
             break;
         }
     }
-    Some(IcpResult { transform: total, iterations, mean_residual_m: mean_residual, converged })
+    Some(IcpResult {
+        transform: total,
+        iterations,
+        mean_residual_m: mean_residual,
+        converged,
+    })
 }
 
 fn compose(t: &PlanarTransform, dtheta: f64, dtx: f64, dty: f64) -> PlanarTransform {
@@ -154,16 +163,32 @@ mod tests {
         let tree = KdTree::build(&map);
         // Live scan: the map observed from a displaced pose, i.e. the map
         // transformed by the inverse of (θ=0.05, t=(0.4, −0.3)).
-        let truth = PlanarTransform { theta: 0.05, tx: 0.4, ty: -0.3 };
+        let truth = PlanarTransform {
+            theta: 0.05,
+            tx: 0.4,
+            ty: -0.3,
+        };
         let (s, c) = (-truth.theta).sin_cos();
         let inv_tx = -(c * truth.tx - s * truth.ty);
         let inv_ty = -(s * truth.tx + c * truth.ty);
         let scan = map.transformed(-truth.theta, inv_tx, inv_ty);
         let result = icp(&scan, &tree, &IcpConfig::default()).expect("clouds align");
         assert!(result.converged, "ICP should converge");
-        assert!((result.transform.theta - truth.theta).abs() < 1e-3, "theta {}", result.transform.theta);
-        assert!((result.transform.tx - truth.tx).abs() < 0.02, "tx {}", result.transform.tx);
-        assert!((result.transform.ty - truth.ty).abs() < 0.02, "ty {}", result.transform.ty);
+        assert!(
+            (result.transform.theta - truth.theta).abs() < 1e-3,
+            "theta {}",
+            result.transform.theta
+        );
+        assert!(
+            (result.transform.tx - truth.tx).abs() < 0.02,
+            "tx {}",
+            result.transform.tx
+        );
+        assert!(
+            (result.transform.ty - truth.ty).abs() < 0.02,
+            "ty {}",
+            result.transform.ty
+        );
         assert!(result.mean_residual_m < 0.01);
     }
 
@@ -193,7 +218,10 @@ mod tests {
         let tree = KdTree::build(&map);
         // A scan displaced far beyond the gate.
         let scan = map.transformed(0.0, 500.0, 500.0);
-        let cfg = IcpConfig { max_correspondence_m: 0.5, ..IcpConfig::default() };
+        let cfg = IcpConfig {
+            max_correspondence_m: 0.5,
+            ..IcpConfig::default()
+        };
         // All correspondences are gated out except possibly chance overlaps;
         // far clouds produce None or a non-converged, high-residual result.
         match icp(&scan, &tree, &cfg) {

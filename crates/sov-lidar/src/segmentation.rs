@@ -20,7 +20,11 @@ pub struct SegmentationConfig {
 
 impl Default for SegmentationConfig {
     fn default() -> Self {
-        Self { cluster_tolerance_m: 0.7, min_cluster_size: 10, max_cluster_size: 100_000 }
+        Self {
+            cluster_tolerance_m: 0.7,
+            min_cluster_size: 10,
+            max_cluster_size: 100_000,
+        }
     }
 }
 
@@ -130,11 +134,18 @@ mod tests {
     fn clusters_partition_points() {
         let cloud = two_blob_cloud();
         let tree = KdTree::build(&cloud);
-        let cfg = SegmentationConfig { min_cluster_size: 1, ..SegmentationConfig::default() };
+        let cfg = SegmentationConfig {
+            min_cluster_size: 1,
+            ..SegmentationConfig::default()
+        };
         let clusters = euclidean_clusters(&cloud, &tree, &cfg);
         let mut all: Vec<usize> = clusters.into_iter().flatten().collect();
         all.sort_unstable();
-        assert_eq!(all, (0..cloud.len()).collect::<Vec<_>>(), "each point in exactly one cluster");
+        assert_eq!(
+            all,
+            (0..cloud.len()).collect::<Vec<_>>(),
+            "each point in exactly one cluster"
+        );
     }
 
     #[test]
@@ -163,12 +174,13 @@ mod tests {
         let cloud = two_blob_cloud();
         let tree = KdTree::build(&cloud);
         let mut touches = 0u64;
-        let _ = euclidean_clusters_traced(
-            &cloud,
-            &tree,
-            &SegmentationConfig::default(),
-            &mut |_| touches += 1,
+        let _ =
+            euclidean_clusters_traced(&cloud, &tree, &SegmentationConfig::default(), &mut |_| {
+                touches += 1
+            });
+        assert!(
+            touches > cloud.len() as u64,
+            "one radius query per point minimum"
         );
-        assert!(touches > cloud.len() as u64, "one radius query per point minimum");
     }
 }

@@ -14,8 +14,8 @@
 use crate::cloud::PointCloud;
 use crate::kdtree::{KdTree, Touch};
 use crate::recognition::estimate_normals_traced;
-use crate::registration::{icp_traced, IcpConfig};
 use crate::reconstruction::VoxelGrid;
+use crate::registration::{icp_traced, IcpConfig};
 use crate::segmentation::{euclidean_clusters_traced, SegmentationConfig};
 use sov_math::SovRng;
 use sov_platform::cache::CacheSim;
@@ -107,7 +107,10 @@ pub fn reuse_counts(map: &PointCloud, scan: &PointCloud) -> Vec<u64> {
 fn touch_to_access(t: Touch, cache: &mut CacheSim, unique_lines: &mut HashSet<u64>) {
     let (addr, bytes) = match t {
         Touch::Node(i) => (NODE_BASE + i as u64 * NODE_BYTES, NODE_BYTES),
-        Touch::Point(i) => (POINT_BASE + i as u64 * POINT_RECORD_BYTES, POINT_RECORD_BYTES),
+        Touch::Point(i) => (
+            POINT_BASE + i as u64 * POINT_RECORD_BYTES,
+            POINT_RECORD_BYTES,
+        ),
     };
     record(addr, bytes, cache, unique_lines);
 }
@@ -141,7 +144,10 @@ pub fn measure(
                 rng.uniform(0.1, 0.4),
                 rng.uniform(-0.4, -0.1),
             );
-            let cfg = IcpConfig { max_iterations: 8, ..IcpConfig::default() };
+            let cfg = IcpConfig {
+                max_iterations: 8,
+                ..IcpConfig::default()
+            };
             let _ = icp_traced(&scan, &tree, &cfg, &mut |t| {
                 touch_to_access(t, cache, &mut unique_lines);
             });
@@ -154,12 +160,10 @@ pub fn measure(
         }
         Workload::Segmentation => {
             let tree = KdTree::build(cloud);
-            let _ = euclidean_clusters_traced(
-                cloud,
-                &tree,
-                &SegmentationConfig::default(),
-                &mut |t| touch_to_access(t, cache, &mut unique_lines),
-            );
+            let _ =
+                euclidean_clusters_traced(cloud, &tree, &SegmentationConfig::default(), &mut |t| {
+                    touch_to_access(t, cache, &mut unique_lines)
+                });
         }
         Workload::Reconstruction => {
             // Greedy-projection-style surface reconstruction: a voxel hash
@@ -190,9 +194,14 @@ pub fn measure(
             }
             for key in grid.keys() {
                 record(voxel_addr(key), 32, cache, &mut unique_lines);
-                for &(dx, dy, dz) in
-                    &[(1i64, 0i64, 0i64), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
-                {
+                for &(dx, dy, dz) in &[
+                    (1i64, 0i64, 0i64),
+                    (-1, 0, 0),
+                    (0, 1, 0),
+                    (0, -1, 0),
+                    (0, 0, 1),
+                    (0, 0, -1),
+                ] {
                     record(
                         voxel_addr((key.0 + dx, key.1 + dy, key.2 + dz)),
                         32,

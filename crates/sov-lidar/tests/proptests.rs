@@ -1,10 +1,10 @@
 //! Property-based tests for the point-cloud substrate.
 
-use proptest::prelude::*;
 use sov_lidar::cloud::{dist_sq, PointCloud};
 use sov_lidar::kdtree::KdTree;
 use sov_lidar::reconstruction::VoxelGrid;
 use sov_math::SovRng;
+use sov_testkit::prelude::*;
 
 fn random_cloud(n: usize, seed: u64) -> PointCloud {
     let mut rng = SovRng::seed_from_u64(seed);

@@ -48,13 +48,17 @@ impl<const R: usize, const C: usize> Matrix<R, C> {
     /// Matrix of all zeros.
     #[must_use]
     pub const fn zeros() -> Self {
-        Self { data: [[0.0; C]; R] }
+        Self {
+            data: [[0.0; C]; R],
+        }
     }
 
     /// Matrix with every element set to `value`.
     #[must_use]
     pub const fn filled(value: f64) -> Self {
-        Self { data: [[value; C]; R] }
+        Self {
+            data: [[value; C]; R],
+        }
     }
 
     /// Builds a matrix from row arrays.
@@ -284,6 +288,7 @@ impl<const N: usize> Matrix<N, N> {
     /// # Errors
     ///
     /// Returns [`SingularMatrixError`] if the matrix is singular.
+    #[allow(clippy::needless_range_loop)] // triangular solves index by position
     pub fn inverse(&self) -> Result<Self, SingularMatrixError> {
         let (lu, perm, _) = self.lu()?;
         let mut inv = Self::zeros();
@@ -393,11 +398,7 @@ impl Vector<3> {
     #[must_use]
     pub fn hat(&self) -> Matrix<3, 3> {
         let a = self.to_array();
-        Matrix::from_rows([
-            [0.0, -a[2], a[1]],
-            [a[2], 0.0, -a[0]],
-            [-a[1], a[0], 0.0],
-        ])
+        Matrix::from_rows([[0.0, -a[2], a[1]], [a[2], 0.0, -a[0]], [-a[1], a[0], 0.0]])
     }
 }
 
@@ -564,11 +565,7 @@ mod tests {
 
     #[test]
     fn solve_recovers_solution() {
-        let a = Matrix::<3, 3>::from_rows([
-            [4.0, 1.0, 0.0],
-            [1.0, 3.0, 1.0],
-            [0.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::<3, 3>::from_rows([[4.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]]);
         let x_true = Vector::<3>::from_array([1.0, -2.0, 3.0]);
         let b = a * x_true;
         let x = a.solve(&b).unwrap();
@@ -596,21 +593,13 @@ mod tests {
 
     #[test]
     fn determinant_of_permutation() {
-        let p = Matrix::<3, 3>::from_rows([
-            [0.0, 1.0, 0.0],
-            [1.0, 0.0, 0.0],
-            [0.0, 0.0, 1.0],
-        ]);
+        let p = Matrix::<3, 3>::from_rows([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]);
         assert!((p.determinant() + 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn cholesky_of_spd() {
-        let a = Matrix::<3, 3>::from_rows([
-            [4.0, 2.0, 0.0],
-            [2.0, 5.0, 1.0],
-            [0.0, 1.0, 3.0],
-        ]);
+        let a = Matrix::<3, 3>::from_rows([[4.0, 2.0, 0.0], [2.0, 5.0, 1.0], [0.0, 1.0, 3.0]]);
         let l = a.cholesky().unwrap();
         assert!((l * l.transpose()).approx_eq(&a, 1e-12));
         assert!(a.is_positive_definite());
@@ -642,11 +631,7 @@ mod tests {
 
     #[test]
     fn symmetrize_makes_symmetric() {
-        let mut a = Matrix::<3, 3>::from_rows([
-            [1.0, 2.0, 3.0],
-            [0.0, 1.0, 4.0],
-            [1.0, 0.0, 1.0],
-        ]);
+        let mut a = Matrix::<3, 3>::from_rows([[1.0, 2.0, 3.0], [0.0, 1.0, 4.0], [1.0, 0.0, 1.0]]);
         a.symmetrize();
         assert!(a.approx_eq(&a.transpose(), 0.0));
     }

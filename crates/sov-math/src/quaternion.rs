@@ -38,7 +38,12 @@ impl Quaternion {
     /// The identity rotation.
     #[must_use]
     pub const fn identity() -> Self {
-        Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 }
+        Self {
+            w: 1.0,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        }
     }
 
     /// Quaternion from raw components (not normalized).
@@ -95,13 +100,23 @@ impl Quaternion {
         if n < 1e-15 {
             return Self::identity();
         }
-        Self { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+        Self {
+            w: self.w / n,
+            x: self.x / n,
+            y: self.y / n,
+            z: self.z / n,
+        }
     }
 
     /// The conjugate, which for unit quaternions is the inverse rotation.
     #[must_use]
     pub fn conjugate(&self) -> Self {
-        Self { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Self {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Hamilton product `self ⊗ rhs` (applies `rhs` first, then `self`).
@@ -118,7 +133,12 @@ impl Quaternion {
     /// Rotates a 3-vector by this (unit) quaternion.
     #[must_use]
     pub fn rotate(&self, v: &Vector<3>) -> Vector<3> {
-        let p = Self { w: 0.0, x: v[0], y: v[1], z: v[2] };
+        let p = Self {
+            w: 0.0,
+            x: v[0],
+            y: v[1],
+            z: v[2],
+        };
         let r = self.mul(&p).mul(&self.conjugate());
         Vector::from_array([r.x, r.y, r.z])
     }

@@ -34,7 +34,11 @@ impl Pose2 {
     /// Creates a pose, wrapping the heading.
     #[must_use]
     pub fn new(x: f64, y: f64, theta: f64) -> Self {
-        Self { x, y, theta: angle::wrap(theta) }
+        Self {
+            x,
+            y,
+            theta: angle::wrap(theta),
+        }
     }
 
     /// The identity pose at the origin.
@@ -76,7 +80,11 @@ impl Pose2 {
     #[must_use]
     pub fn inverse(&self) -> Self {
         let (s, c) = self.theta.sin_cos();
-        Self::new(-(c * self.x + s * self.y), s * self.x - c * self.y, -self.theta)
+        Self::new(
+            -(c * self.x + s * self.y),
+            s * self.x - c * self.y,
+            -self.theta,
+        )
     }
 
     /// The relative pose taking `self` to `other` (`self⁻¹ ∘ other`).
@@ -127,7 +135,10 @@ impl Pose3 {
     /// Creates a pose from rotation and translation.
     #[must_use]
     pub fn new(rotation: Quaternion, translation: Vector<3>) -> Self {
-        Self { rotation, translation }
+        Self {
+            rotation,
+            translation,
+        }
     }
 
     /// The identity pose.
@@ -148,7 +159,11 @@ impl Pose3 {
     /// Projects onto the ground plane as a planar pose.
     #[must_use]
     pub fn to_pose2(&self) -> Pose2 {
-        Pose2::new(self.translation[0], self.translation[1], self.rotation.yaw())
+        Pose2::new(
+            self.translation[0],
+            self.translation[1],
+            self.rotation.yaw(),
+        )
     }
 
     /// Transforms a body-frame point to the world frame.

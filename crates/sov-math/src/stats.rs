@@ -70,11 +70,7 @@ impl Summary {
             return 0.0;
         }
         let mean = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|x| (x - mean).powi(2))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
             / self.samples.len() as f64;
         var.sqrt()
     }
@@ -96,7 +92,10 @@ impl Summary {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Exact percentile `p ∈ [0, 100]` by nearest-rank on the sorted samples.
@@ -179,7 +178,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo < hi, "histogram range must be non-empty");
-        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records one value.
@@ -272,7 +277,9 @@ mod tests {
 
     #[test]
     fn summary_basic_stats() {
-        let mut s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let mut s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.mean(), 5.0);
         assert_eq!(s.std_dev(), 2.0);
         assert_eq!(s.min(), 2.0);

@@ -1,12 +1,12 @@
 //! Property-based tests for the math substrate.
 
-use proptest::prelude::*;
 use sov_math::angle;
 use sov_math::kalman::Ekf;
 use sov_math::matrix::{Matrix, Vector};
 use sov_math::quaternion::Quaternion;
 use sov_math::stats::Summary;
 use sov_math::{Pose2, SovRng};
+use sov_testkit::prelude::*;
 
 fn finite(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
     prop::num::f64::NORMAL.prop_map(move |x| {

@@ -73,7 +73,11 @@ pub fn mean_abs_error_m(estimates: &[DepthEstimate]) -> f64 {
     if estimates.is_empty() {
         return 0.0;
     }
-    estimates.iter().map(DepthEstimate::abs_error_m).sum::<f64>() / estimates.len() as f64
+    estimates
+        .iter()
+        .map(DepthEstimate::abs_error_m)
+        .sum::<f64>()
+        / estimates.len() as f64
 }
 
 /// Runs the Fig. 11a experiment kernel once: captures a stereo pair where
@@ -90,14 +94,8 @@ pub fn depth_with_sync_offset(
     rng: &mut SovRng,
 ) -> Vec<DepthEstimate> {
     let t_right = t + offset;
-    let (left, right) = rig.capture_pair_unsynced(
-        &pose_of(t),
-        &pose_of(t_right),
-        world,
-        t,
-        t_right,
-        rng,
-    );
+    let (left, right) =
+        rig.capture_pair_unsynced(&pose_of(t), &pose_of(t_right), world, t, t_right, rng);
     feature_depth_map(rig, &left, &right)
 }
 
@@ -160,7 +158,12 @@ pub struct DenseStereoMatcher {
 
 impl Default for DenseStereoMatcher {
     fn default() -> Self {
-        Self { block_radius: 3, max_disparity: 48, grid_step: 4, uniqueness: 0.85 }
+        Self {
+            block_radius: 3,
+            max_disparity: 48,
+            grid_step: 4,
+            uniqueness: 0.85,
+        }
     }
 }
 
@@ -215,7 +218,11 @@ impl DenseStereoMatcher {
                 }
             }
         }
-        DisparityMap { width: w, height: h, data }
+        DisparityMap {
+            width: w,
+            height: h,
+            data,
+        }
     }
 
     /// SAD block match of the left block at `(x, y)` against right-image
@@ -290,7 +297,11 @@ mod tests {
         let pose = world.route.pose_at(&world.map, 20.0).unwrap();
         let (l, r) = rig.capture_pair(&pose, &world, SimTime::ZERO, &mut rng);
         let depths = feature_depth_map(&rig, &l, &r);
-        assert!(depths.len() > 5, "need matched features, got {}", depths.len());
+        assert!(
+            depths.len() > 5,
+            "need matched features, got {}",
+            depths.len()
+        );
         // With sub-pixel noise on a 12 cm baseline, nearby features should
         // be well under 1 m of error on average.
         let close: Vec<DepthEstimate> = depths
@@ -308,14 +319,23 @@ mod tests {
         let rig = StereoRig::perceptin_default();
         let mut rng = SovRng::seed_from_u64(2);
         // Vehicle turning: lateral motion between left and right captures.
-        let pose_of = |t: SimTime| {
-            Pose2::new(10.0, 0.0, 0.0).step_unicycle(5.6, 0.35, t.as_secs_f64())
-        };
+        let pose_of =
+            |t: SimTime| Pose2::new(10.0, 0.0, 0.0).step_unicycle(5.6, 0.35, t.as_secs_f64());
         let synced = depth_with_sync_offset(
-            &rig, &world, pose_of, SimTime::ZERO, SimDuration::ZERO, &mut rng,
+            &rig,
+            &world,
+            pose_of,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            &mut rng,
         );
         let unsynced = depth_with_sync_offset(
-            &rig, &world, pose_of, SimTime::ZERO, SimDuration::from_millis(30), &mut rng,
+            &rig,
+            &world,
+            pose_of,
+            SimTime::ZERO,
+            SimDuration::from_millis(30),
+            &mut rng,
         );
         let e_sync = mean_abs_error_m(&synced);
         let e_unsync = mean_abs_error_m(&unsynced);
@@ -342,11 +362,16 @@ mod tests {
         let mut bg_rng = SovRng::seed_from_u64(4);
         let left = render_scene(128, 64, &blobs, 0.02, &mut bg_rng);
         // Right image: every blob shifted left by 6 px (disparity 6).
-        let shifted: Vec<(f64, f64, f64, f64)> =
-            blobs.iter().map(|&(x, y, r, i)| (x - 6.0, y, r, i)).collect();
+        let shifted: Vec<(f64, f64, f64, f64)> = blobs
+            .iter()
+            .map(|&(x, y, r, i)| (x - 6.0, y, r, i))
+            .collect();
         let mut bg_rng2 = SovRng::seed_from_u64(4);
         let right = render_scene(128, 64, &shifted, 0.02, &mut bg_rng2);
-        let matcher = DenseStereoMatcher { max_disparity: 16, ..DenseStereoMatcher::default() };
+        let matcher = DenseStereoMatcher {
+            max_disparity: 16,
+            ..DenseStereoMatcher::default()
+        };
         let disp = matcher.compute(&left, &right);
         assert!(disp.density() > 0.5, "density {}", disp.density());
         // Median disparity should be 6.

@@ -172,7 +172,10 @@ impl Detector {
                 out.push(Detection {
                     truth: None,
                     class: self.classes[self.rng.index(self.classes.len())],
-                    pixel: (self.rng.uniform(0.0, 1920.0), self.rng.uniform(300.0, 800.0)),
+                    pixel: (
+                        self.rng.uniform(0.0, 1920.0),
+                        self.rng.uniform(300.0, 800.0),
+                    ),
                     radius_px: self.rng.uniform(10.0, 60.0),
                     depth_m: self.rng.uniform(5.0, 40.0),
                     confidence: self.rng.uniform(0.3, 0.7),
@@ -305,7 +308,11 @@ mod tests {
 
     #[test]
     fn empty_frame_yields_only_false_positives() {
-        let frame = CameraFrame { capture_time: SimTime::ZERO, features: vec![], objects: vec![] };
+        let frame = CameraFrame {
+            capture_time: SimTime::ZERO,
+            features: vec![],
+            objects: vec![],
+        };
         let mut det = Detector::new(DetectorProfile::matched(), 4);
         let mut fp = 0;
         for _ in 0..1000 {

@@ -190,7 +190,14 @@ mod tests {
 
     /// Draws a bright axis-aligned rectangle on a dark background — crisp
     /// corners for FAST.
-    fn rectangle_image(w: usize, h: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> GrayImage {
+    fn rectangle_image(
+        w: usize,
+        h: usize,
+        x0: usize,
+        y0: usize,
+        x1: usize,
+        y1: usize,
+    ) -> GrayImage {
         let mut img = GrayImage::new(w, h);
         for y in 0..h {
             for x in 0..w {
@@ -208,11 +215,12 @@ mod tests {
         assert!(!corners.is_empty(), "rectangle corners must fire FAST");
         // Every detection is near one of the four true corners.
         for c in &corners {
-            let near = [(20, 20), (43, 20), (20, 43), (43, 43)]
-                .iter()
-                .any(|&(tx, ty): &(i32, i32)| {
-                    (c.x as i32 - tx).abs() <= 3 && (c.y as i32 - ty).abs() <= 3
-                });
+            let near =
+                [(20, 20), (43, 20), (20, 43), (43, 43)]
+                    .iter()
+                    .any(|&(tx, ty): &(i32, i32)| {
+                        (c.x as i32 - tx).abs() <= 3 && (c.y as i32 - ty).abs() <= 3
+                    });
             assert!(near, "spurious corner at ({}, {})", c.x, c.y);
         }
     }
@@ -263,10 +271,17 @@ mod tests {
                 matched += 1;
                 let dx = *nx as i32 - points[i].0 as i32;
                 let dy = *ny as i32 - points[i].1 as i32;
-                assert!((dx - 5).abs() <= 1 && (dy - 2).abs() <= 1, "shift ({dx}, {dy})");
+                assert!(
+                    (dx - 5).abs() <= 1 && (dy - 2).abs() <= 1,
+                    "shift ({dx}, {dy})"
+                );
             }
         }
-        assert!(matched >= points.len() / 2, "only {matched}/{} tracked", points.len());
+        assert!(
+            matched >= points.len() / 2,
+            "only {matched}/{} tracked",
+            points.len()
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct FusionConfig {
 
 impl Default for FusionConfig {
     fn default() -> Self {
-        Self { gnss_sigma_m: 0.7, gate_chi2: 13.8 }
+        Self {
+            gnss_sigma_m: 0.7,
+            gate_chi2: 13.8,
+        }
     }
 }
 
@@ -58,7 +61,11 @@ impl GpsVioFusion {
     /// Creates the fusion layer.
     #[must_use]
     pub fn new(config: FusionConfig) -> Self {
-        Self { config, fixes_fused: 0, fixes_gated: 0 }
+        Self {
+            config,
+            fixes_fused: 0,
+            fixes_gated: 0,
+        }
     }
 
     /// Number of fixes fused so far.
@@ -78,10 +85,7 @@ impl GpsVioFusion {
     /// Strong fixes update the EKF position; degraded fixes are subjected to
     /// the Mahalanobis gate first; absent fixes leave VIO untouched.
     pub fn ingest_fix(&mut self, vio: &mut VioFilter, fix: &GnssFix) -> FixOutcome {
-        if fix.quality == GnssQuality::NoFix
-            || fix.position.0.is_nan()
-            || fix.position.1.is_nan()
-        {
+        if fix.quality == GnssQuality::NoFix || fix.position.0.is_nan() || fix.position.1.is_nan() {
             return FixOutcome::NoSignal;
         }
         let z = Vector::from_array([fix.position.0, fix.position.1]);
@@ -126,7 +130,7 @@ impl GpsVioFusion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::vio::{VioConfig, VisualDelta, FrameKind};
+    use crate::vio::{FrameKind, VioConfig, VisualDelta};
     use sov_math::SovRng;
     use sov_sensors::gps::{GpsConfig, GpsReceiver};
     use sov_sim::time::SimTime;
@@ -150,8 +154,7 @@ mod tests {
             vio.visual_update(&VisualDelta {
                 t_from: t_prev,
                 t_to: t,
-                forward_m: next_truth.distance(&truth) * 1.01
-                    + rng.normal(0.0, 0.01),
+                forward_m: next_truth.distance(&truth) * 1.01 + rng.normal(0.0, 0.01),
                 lateral_m: rng.normal(0.0, 0.01),
                 dtheta: 0.0,
                 kind: FrameKind::Tracked,

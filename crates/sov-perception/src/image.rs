@@ -26,7 +26,11 @@ impl GrayImage {
     #[must_use]
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        Self { width, height, data: vec![0.0; width * height] }
+        Self {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
     }
 
     /// Image width in pixels.

@@ -114,14 +114,11 @@ impl MapLocalizer {
         let dy = sin_h * delta.forward_m + cos_h * delta.lateral_m;
         let predicted =
             Vector::from_array([s[0] + dx, s[1] + dy, angle::wrap(s[2] + delta.dtheta)]);
-        let jac = Matrix::from_rows([
-            [1.0, 0.0, -dy],
-            [0.0, 1.0, dx],
-            [0.0, 0.0, 1.0],
-        ]);
+        let jac = Matrix::from_rows([[1.0, 0.0, -dy], [0.0, 1.0, dx], [0.0, 0.0, 1.0]]);
         let tq = self.config.trans_sigma_m.powi(2);
         let rq = self.config.rot_sigma_rad.powi(2);
-        self.ekf.predict(predicted, jac, Matrix::from_diagonal([tq, tq, rq]));
+        self.ekf
+            .predict(predicted, jac, Matrix::from_diagonal([tq, tq, rq]));
     }
 
     /// Fuses one camera frame: each feature whose landmark id exists in the
@@ -230,8 +227,14 @@ mod tests {
         let (loc_long, truth_long) = drive_course((0.2, 0.2, 0.0), 900, 2);
         let err_short = loc_short.pose().distance(&truth_short);
         let err_long = loc_long.pose().distance(&truth_long);
-        assert!(err_long < err_short + 0.3, "short {err_short} vs long {err_long}");
-        assert!(err_long < 0.5, "map-anchored error stays bounded: {err_long}");
+        assert!(
+            err_long < err_short + 0.3,
+            "short {err_short} vs long {err_long}"
+        );
+        assert!(
+            err_long < 0.5,
+            "map-anchored error stays bounded: {err_long}"
+        );
     }
 
     #[test]
@@ -266,12 +269,16 @@ mod tests {
         let mut rng = SovRng::seed_from_u64(5);
         let frame = camera.capture(&truth, &world, &world.landmarks, SimTime::ZERO, &mut rng);
         loc.update_from_frame(&frame, camera.intrinsics());
-        assert!(loc.updates_gated() > 0, "inconsistent bearings must be gated");
+        assert!(
+            loc.updates_gated() > 0,
+            "inconsistent bearings must be gated"
+        );
     }
 
     impl MapLocalizer {
         fn ekf_set_tight(&mut self) {
-            self.ekf.set_covariance(Matrix::from_diagonal([1e-4, 1e-4, 1e-6]));
+            self.ekf
+                .set_covariance(Matrix::from_diagonal([1e-4, 1e-4, 1e-6]));
         }
     }
 }

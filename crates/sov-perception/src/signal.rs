@@ -29,7 +29,10 @@ impl Complex {
     /// Complex conjugate.
     #[must_use]
     pub fn conj(&self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -116,7 +119,10 @@ pub fn ifft(data: &mut [Complex]) {
 
 fn fft_dir(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -168,7 +174,11 @@ impl Spectrum2d {
             width.is_power_of_two() && height.is_power_of_two(),
             "spectrum dimensions must be powers of two"
         );
-        Self { width, height, data: vec![Complex::ZERO; width * height] }
+        Self {
+            width,
+            height,
+            data: vec![Complex::ZERO; width * height],
+        }
     }
 
     /// Builds from real-valued row-major samples.
@@ -232,6 +242,7 @@ impl Spectrum2d {
         }
     }
 
+    #[allow(clippy::needless_range_loop)] // strided column gather/scatter
     fn transform(&mut self, inverse: bool) {
         // Rows.
         for row in self.data.chunks_mut(self.width) {
@@ -341,7 +352,8 @@ mod tests {
         for (k, fast_k) in fast.iter().enumerate() {
             let mut acc = Complex::ZERO;
             for (j, x) in input.iter().enumerate() {
-                acc = acc + *x * Complex::from_polar(-std::f64::consts::TAU * (k * j) as f64 / n as f64);
+                acc = acc
+                    + *x * Complex::from_polar(-std::f64::consts::TAU * (k * j) as f64 / n as f64);
             }
             assert!((fast_k.re - acc.re).abs() < 1e-9);
             assert!((fast_k.im - acc.im).abs() < 1e-9);

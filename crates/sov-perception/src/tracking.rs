@@ -14,9 +14,9 @@
 //! [`RadarTracker`] maintains radar tracks; [`spatial_synchronize`] performs
 //! the radar→camera association.
 
+use crate::detection::Detection;
 use crate::image::GrayImage;
 use crate::signal::{Complex, Spectrum2d};
-use crate::detection::Detection;
 use sov_sensors::camera::Intrinsics;
 use sov_sensors::radar::RadarScan;
 use sov_sim::time::SimTime;
@@ -449,14 +449,25 @@ mod tests {
             tracker.update(&frame);
         }
         let (x, y) = tracker.position();
-        assert!((x - 64.0).abs() < 1.5 && (y - 32.0).abs() < 1.5, "({x},{y})");
+        assert!(
+            (x - 64.0).abs() < 1.5 && (y - 32.0).abs() < 1.5,
+            "({x},{y})"
+        );
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn kcf_rejects_bad_patch_size() {
         let img = GrayImage::new(64, 64);
-        let _ = KcfTracker::init(&img, 32.0, 32.0, KcfConfig { patch_size: 33, ..KcfConfig::default() });
+        let _ = KcfTracker::init(
+            &img,
+            32.0,
+            32.0,
+            KcfConfig {
+                patch_size: 33,
+                ..KcfConfig::default()
+            },
+        );
     }
 
     fn scan_with(range: f64, azimuth: f64, vel: f64, t_ms: u64, stable: bool) -> RadarScan {
@@ -522,7 +533,13 @@ mod tests {
             let true_range = 50.0 + true_vel * t;
             let noisy_range = true_range + rng.normal(0.0, 0.3);
             let noisy_vel = true_vel + rng.normal(0.0, 0.5);
-            tracker.update(&scan_with(noisy_range, 0.0, noisy_vel, (t * 1000.0) as u64, true));
+            tracker.update(&scan_with(
+                noisy_range,
+                0.0,
+                noisy_vel,
+                (t * 1000.0) as u64,
+                true,
+            ));
             if i >= 10 {
                 raw_err_sum += (noisy_vel - true_vel).abs();
                 filt_err_sum += (tracker.tracks()[0].radial_velocity_mps - true_vel).abs();
@@ -540,8 +557,18 @@ mod tests {
         tracker.update(&RadarScan {
             timestamp: SimTime::ZERO,
             targets: vec![
-                RadarTarget { truth: ObstacleId(0), range_m: 10.0, azimuth_rad: 0.0, radial_velocity_mps: 0.0 },
-                RadarTarget { truth: ObstacleId(1), range_m: 30.0, azimuth_rad: 0.3, radial_velocity_mps: -2.0 },
+                RadarTarget {
+                    truth: ObstacleId(0),
+                    range_m: 10.0,
+                    azimuth_rad: 0.0,
+                    radial_velocity_mps: 0.0,
+                },
+                RadarTarget {
+                    truth: ObstacleId(1),
+                    range_m: 30.0,
+                    azimuth_rad: 0.3,
+                    radial_velocity_mps: -2.0,
+                },
             ],
             stable: true,
         });
@@ -596,6 +623,9 @@ mod tests {
             confidence: 0.9,
         }];
         let pairs = spatial_synchronize(&mut tracker, &detections, &intr, 50.0);
-        assert!(pairs.is_empty(), "depth-inconsistent match must be rejected");
+        assert!(
+            pairs.is_empty(),
+            "depth-inconsistent match must be rejected"
+        );
     }
 }

@@ -192,11 +192,7 @@ impl VioFilter {
         let theta_next = angle::wrap(theta_from + delta.dtheta);
         let predicted = Vector::from_array([s[0] + dx_world, s[1] + dy_world, theta_next]);
         // Jacobian of the world displacement w.r.t. heading.
-        let jac = Matrix::from_rows([
-            [1.0, 0.0, -dy_world],
-            [0.0, 1.0, dx_world],
-            [0.0, 0.0, 1.0],
-        ]);
+        let jac = Matrix::from_rows([[1.0, 0.0, -dy_world], [0.0, 1.0, dx_world], [0.0, 0.0, 1.0]]);
         let tq = self.config.trans_sigma_m * self.config.trans_sigma_m;
         let rq = self.config.rot_sigma_rad * self.config.rot_sigma_rad;
         self.ekf
@@ -288,7 +284,7 @@ impl VisualFrontEnd {
         t_to_assigned: SimTime,
     ) -> VisualDelta {
         let rel = true_from.between(true_to);
-        let kind = if self.frame_index % self.keyframe_interval == 0 {
+        let kind = if self.frame_index.is_multiple_of(self.keyframe_interval) {
             FrameKind::Keyframe
         } else {
             FrameKind::Tracked
@@ -350,9 +346,8 @@ pub fn run_vio_with_offset(
         if i % 8 == 0 && i >= 8 {
             let (t_prev, prev_truth) = poses[i - 8];
             let offset = camera_offset_ms * 1e-3;
-            let assign = |time: SimTime| {
-                SimTime::from_secs_f64((time.as_secs_f64() + offset).max(0.0))
-            };
+            let assign =
+                |time: SimTime| SimTime::from_secs_f64((time.as_secs_f64() + offset).max(0.0));
             let mut delta = frontend.measure(&prev_truth, &truth, assign(t_prev), assign(t));
             // Rotation–translation ambiguity leak: misaligned gyro
             // compensation of ε = ω·δ radians appears as lateral
@@ -369,9 +364,7 @@ pub fn run_vio_with_offset(
 /// Final-position error (m) of a [`run_vio_with_offset`] run.
 #[must_use]
 pub fn final_error_m(trace: &[(Pose2, Pose2)]) -> f64 {
-    trace
-        .last()
-        .map_or(0.0, |(est, truth)| est.distance(truth))
+    trace.last().map_or(0.0, |(est, truth)| est.distance(truth))
 }
 
 #[cfg(test)]
@@ -391,7 +384,11 @@ mod tests {
             let t = i as f64 * dt;
             // Mostly-turning course (a winding tourist loop): one straight
             // stretch every three segments.
-            let omega = if (t / 3.0) as u64 % 3 == 0 { 0.0 } else { 0.4 };
+            let omega = if ((t / 3.0) as u64).is_multiple_of(3) {
+                0.0
+            } else {
+                0.4
+            };
             pose = pose.step_unicycle(v, omega, dt);
             poses.push((SimTime::from_secs_f64(t), pose));
             rates.push(omega);
@@ -414,9 +411,15 @@ mod tests {
         let synced = final_error_m(&run_vio_with_offset(&poses, &rates, 0.0, 2));
         let off20 = final_error_m(&run_vio_with_offset(&poses, &rates, 20.0, 2));
         let off40 = final_error_m(&run_vio_with_offset(&poses, &rates, 40.0, 2));
-        assert!(off20 > synced, "20 ms offset must hurt: {off20} vs {synced}");
+        assert!(
+            off20 > synced,
+            "20 ms offset must hurt: {off20} vs {synced}"
+        );
         assert!(off40 > off20, "more offset, more error: {off40} vs {off20}");
-        assert!(off40 > 1.0, "40 ms offset should cost meters, got {off40} m");
+        assert!(
+            off40 > 1.0,
+            "40 ms offset should cost meters, got {off40} m"
+        );
     }
 
     #[test]
@@ -469,7 +472,10 @@ mod tests {
         assert_eq!(kinds[0], FrameKind::Keyframe);
         assert_eq!(kinds[5], FrameKind::Keyframe);
         assert_eq!(kinds[1], FrameKind::Tracked);
-        assert_eq!(kinds.iter().filter(|k| **k == FrameKind::Keyframe).count(), 2);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == FrameKind::Keyframe).count(),
+            2
+        );
     }
 
     #[test]
@@ -489,11 +495,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "one yaw rate per pose")]
     fn mismatched_inputs_panic() {
-        let _ = run_vio_with_offset(
-            &[(SimTime::ZERO, Pose2::identity())],
-            &[],
-            0.0,
-            0,
-        );
+        let _ = run_vio_with_offset(&[(SimTime::ZERO, Pose2::identity())], &[], 0.0, 0);
     }
 }

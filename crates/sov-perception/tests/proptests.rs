@@ -1,9 +1,9 @@
 //! Property-based tests for perception.
 
-use proptest::prelude::*;
 use sov_math::SovRng;
 use sov_perception::image::{ncc, render_scene, GrayImage};
 use sov_perception::signal::{fft, ifft, Complex, Spectrum2d};
+use sov_testkit::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

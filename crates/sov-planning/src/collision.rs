@@ -54,7 +54,11 @@ pub fn first_conflict(
             let separation = (ds * ds + dl * dl).sqrt();
             let limit = ego_radius_m + obstacle.radius_m + margin_m;
             if separation < limit && best.is_none_or(|c| point.t_s < c.t_s) {
-                best = Some(Conflict { t_s: point.t_s, obstacle_index: idx, separation_m: separation });
+                best = Some(Conflict {
+                    t_s: point.t_s,
+                    obstacle_index: idx,
+                    separation_m: separation,
+                });
             }
         }
     }
@@ -81,13 +85,23 @@ mod tests {
         (0..=(horizon_s / dt) as usize)
             .map(|k| {
                 let t = k as f64 * dt;
-                TrajectoryPoint { t_s: t, station_m: speed * t, lateral_m: lateral, speed_mps: speed }
+                TrajectoryPoint {
+                    t_s: t,
+                    station_m: speed * t,
+                    lateral_m: lateral,
+                    speed_mps: speed,
+                }
             })
             .collect()
     }
 
     fn static_obstacle(station: f64, lateral: f64) -> PlanningObstacle {
-        PlanningObstacle { station_m: station, lateral_m: lateral, speed_along_mps: 0.0, radius_m: 0.5 }
+        PlanningObstacle {
+            station_m: station,
+            lateral_m: lateral,
+            speed_along_mps: 0.0,
+            radius_m: 0.5,
+        }
     }
 
     #[test]
@@ -97,7 +111,11 @@ mod tests {
         let conflict = first_conflict(&traj, &obstacles, 0.8, 0.3).expect("must conflict");
         // Conflict occurs roughly when station reaches 10 − (0.8+0.5+0.3).
         let expected_t = (10.0 - 1.6) / 5.6;
-        assert!((conflict.t_s - expected_t).abs() < 0.2, "t = {}", conflict.t_s);
+        assert!(
+            (conflict.t_s - expected_t).abs() < 0.2,
+            "t = {}",
+            conflict.t_s
+        );
         assert_eq!(conflict.obstacle_index, 0);
     }
 
@@ -135,7 +153,10 @@ mod tests {
         let traj = straight_trajectory(5.6, 6.0, 0.0);
         let obstacles = vec![static_obstacle(25.0, 0.0), static_obstacle(10.0, 0.0)];
         let conflict = first_conflict(&traj, &obstacles, 0.8, 0.3).unwrap();
-        assert_eq!(conflict.obstacle_index, 1, "nearer obstacle conflicts first");
+        assert_eq!(
+            conflict.obstacle_index, 1,
+            "nearer obstacle conflicts first"
+        );
     }
 
     #[test]

@@ -101,6 +101,7 @@ impl EmPlanner {
 
     /// Phase 1: DP over the station × lateral lattice. Returns the chosen
     /// lateral offset per station.
+    #[allow(clippy::needless_range_loop)] // lattice indices feed lateral_of(l)
     fn path_dp(&self, input: &PlanningInput) -> Vec<f64> {
         let cfg = &self.config;
         let (s_n, l_n) = (cfg.num_stations, cfg.num_laterals);
@@ -110,15 +111,15 @@ impl EmPlanner {
         for l in 0..l_n {
             let lat = self.lateral_of(l);
             let centering = (lat - input.lateral_offset_m).powi(2);
-            cost[0][l] =
-                self.obstacle_cost(input, cfg.station_step_m, lat) + lat * lat * 0.5 + centering * 4.0;
+            cost[0][l] = self.obstacle_cost(input, cfg.station_step_m, lat)
+                + lat * lat * 0.5
+                + centering * 4.0;
         }
         for s in 1..s_n {
             let station = (s + 1) as f64 * cfg.station_step_m;
             for l in 0..l_n {
                 let lat = self.lateral_of(l);
-                let node_cost =
-                    self.obstacle_cost(input, station, lat) + lat * lat * 0.5;
+                let node_cost = self.obstacle_cost(input, station, lat) + lat * lat * 0.5;
                 for lp in 0..l_n {
                     let lat_prev = self.lateral_of(lp);
                     let smooth = (lat - lat_prev).powi(2) * 8.0;
@@ -132,7 +133,11 @@ impl EmPlanner {
         }
         // Backtrack from the cheapest terminal node.
         let mut l = (0..l_n)
-            .min_by(|&a, &b| cost[s_n - 1][a].partial_cmp(&cost[s_n - 1][b]).expect("finite"))
+            .min_by(|&a, &b| {
+                cost[s_n - 1][a]
+                    .partial_cmp(&cost[s_n - 1][b])
+                    .expect("finite")
+            })
             .expect("non-empty lattice");
         let mut path = vec![0.0; s_n];
         for s in (0..s_n).rev() {
@@ -188,12 +193,11 @@ impl Planner for EmPlanner {
         let path = self.path_dp(input);
         let speeds = self.speed_qp(input, &path);
 
-        let accel = ((speeds[0] - input.speed_mps) / cfg.speed_dt_s)
-            .clamp(-cfg.max_decel, cfg.max_accel);
+        let accel =
+            ((speeds[0] - input.speed_mps) / cfg.speed_dt_s).clamp(-cfg.max_decel, cfg.max_accel);
         // Steering toward the first path point.
         let target_l = path[0];
-        let yaw_rate = (0.8 * (target_l - input.lateral_offset_m)
-            - 1.5 * input.heading_error_rad)
+        let yaw_rate = (0.8 * (target_l - input.lateral_offset_m) - 1.5 * input.heading_error_rad)
             .clamp(-0.6, 0.6);
         let command = ControlCommand {
             throttle_mps2: accel.max(0.0),
@@ -233,7 +237,11 @@ impl Planner for EmPlanner {
         } else {
             LaneDecision::Keep
         };
-        Plan { command, trajectory, decision }
+        Plan {
+            command,
+            trajectory,
+            decision,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -248,7 +256,12 @@ mod tests {
     use crate::PlanningObstacle;
 
     fn static_obstacle(station: f64, lateral: f64) -> PlanningObstacle {
-        PlanningObstacle { station_m: station, lateral_m: lateral, speed_along_mps: 0.0, radius_m: 0.5 }
+        PlanningObstacle {
+            station_m: station,
+            lateral_m: lateral,
+            speed_along_mps: 0.0,
+            radius_m: 0.5,
+        }
     }
 
     #[test]
@@ -273,7 +286,10 @@ mod tests {
             .iter()
             .map(|p| p.lateral_m.abs())
             .fold(0.0f64, f64::max);
-        assert!(max_lateral > 0.8, "EM path should deviate, got {max_lateral}");
+        assert!(
+            max_lateral > 0.8,
+            "EM path should deviate, got {max_lateral}"
+        );
         assert!(is_safe(&plan.trajectory, &input.obstacles, 0.8, 0.0));
     }
 
@@ -286,9 +302,16 @@ mod tests {
             input = input.with_obstacle(static_obstacle(10.0, f64::from(i) * 0.9));
         }
         let plan = p.plan(&input);
-        assert!(plan.command.brake_mps2 > 0.5, "brake {}", plan.command.brake_mps2);
+        assert!(
+            plan.command.brake_mps2 > 0.5,
+            "brake {}",
+            plan.command.brake_mps2
+        );
         let final_station = plan.trajectory.last().unwrap().station_m;
-        assert!(final_station < 10.0, "stops before the wall, got {final_station}");
+        assert!(
+            final_station < 10.0,
+            "stops before the wall, got {final_station}"
+        );
     }
 
     #[test]

@@ -85,8 +85,7 @@ impl MpcPlanner {
             .iter()
             .filter(|o| {
                 o.station_m > 0.0
-                    && (o.lateral_m - lane_l).abs()
-                        < input.lane_width_m / 2.0 + o.radius_m
+                    && (o.lateral_m - lane_l).abs() < input.lane_width_m / 2.0 + o.radius_m
                     && o.speed_along_mps < input.ref_speed_mps * 0.9
             })
             .min_by(|a, b| a.station_m.partial_cmp(&b.station_m).expect("finite"))
@@ -94,7 +93,10 @@ impl MpcPlanner {
 
     /// Free distance (m) before `blocker`, accounting for radii and margin.
     fn free_distance(&self, blocker: &PlanningObstacle) -> f64 {
-        (blocker.station_m - blocker.radius_m - self.config.ego_radius_m - self.config.stop_margin_m)
+        (blocker.station_m
+            - blocker.radius_m
+            - self.config.ego_radius_m
+            - self.config.stop_margin_m)
             .max(0.0)
     }
 
@@ -117,8 +119,8 @@ impl MpcPlanner {
         if !stopping_needed {
             return (LaneDecision::Keep, 0.0);
         }
-        let left_clear = input.left_lane_available
-            && self.nearest_blocker(input, input.lane_width_m).is_none();
+        let left_clear =
+            input.left_lane_available && self.nearest_blocker(input, input.lane_width_m).is_none();
         if left_clear {
             return (LaneDecision::SwitchLeft, input.lane_width_m);
         }
@@ -180,8 +182,7 @@ impl Planner for MpcPlanner {
             .unwrap_or(refs);
 
         // First-step command.
-        let accel = ((speeds[0] - input.speed_mps) / cfg.dt_s)
-            .clamp(-cfg.max_decel, cfg.max_accel);
+        let accel = ((speeds[0] - input.speed_mps) / cfg.dt_s).clamp(-cfg.max_decel, cfg.max_accel);
         let yaw_rate = (cfg.k_lateral * (target_l - input.lateral_offset_m)
             - cfg.k_heading * input.heading_error_rad)
             .clamp(-0.6, 0.6);
@@ -213,7 +214,8 @@ impl Planner for MpcPlanner {
             });
         }
         // Safety fallback: if the plan still conflicts, brake hard in lane.
-        if !is_safe(&trajectory, &input.obstacles, cfg.ego_radius_m, 0.0) && decision != LaneDecision::Stop
+        if !is_safe(&trajectory, &input.obstacles, cfg.ego_radius_m, 0.0)
+            && decision != LaneDecision::Stop
         {
             return Plan {
                 command: ControlCommand::emergency_brake(cfg.max_decel),
@@ -221,7 +223,11 @@ impl Planner for MpcPlanner {
                 decision: LaneDecision::Stop,
             };
         }
-        Plan { command, trajectory, decision }
+        Plan {
+            command,
+            trajectory,
+            decision,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -234,7 +240,12 @@ mod tests {
     use super::*;
 
     fn static_obstacle(station: f64, lateral: f64) -> PlanningObstacle {
-        PlanningObstacle { station_m: station, lateral_m: lateral, speed_along_mps: 0.0, radius_m: 0.5 }
+        PlanningObstacle {
+            station_m: station,
+            lateral_m: lateral,
+            speed_along_mps: 0.0,
+            radius_m: 0.5,
+        }
     }
 
     #[test]
@@ -250,7 +261,11 @@ mod tests {
     fn accelerates_from_standstill() {
         let mut p = MpcPlanner::new(MpcConfig::default());
         let plan = p.plan(&PlanningInput::cruising(0.0, 5.6));
-        assert!(plan.command.throttle_mps2 > 0.5, "throttle {}", plan.command.throttle_mps2);
+        assert!(
+            plan.command.throttle_mps2 > 0.5,
+            "throttle {}",
+            plan.command.throttle_mps2
+        );
     }
 
     #[test]
@@ -258,7 +273,11 @@ mod tests {
         let mut p = MpcPlanner::new(MpcConfig::default());
         let input = PlanningInput::cruising(5.6, 5.6).with_obstacle(static_obstacle(8.0, 0.0));
         let plan = p.plan(&input);
-        assert!(plan.command.brake_mps2 > 1.0, "brake {}", plan.command.brake_mps2);
+        assert!(
+            plan.command.brake_mps2 > 1.0,
+            "brake {}",
+            plan.command.brake_mps2
+        );
         // Plan must not run into the obstacle.
         let final_station = plan.trajectory.last().unwrap().station_m;
         assert!(final_station < 8.0, "final station {final_station}");
@@ -271,7 +290,11 @@ mod tests {
         input.left_lane_available = true;
         let plan = p.plan(&input);
         assert_eq!(plan.decision, LaneDecision::SwitchLeft);
-        assert!(plan.command.yaw_rate_rps > 0.1, "steer left: {}", plan.command.yaw_rate_rps);
+        assert!(
+            plan.command.yaw_rate_rps > 0.1,
+            "steer left: {}",
+            plan.command.yaw_rate_rps
+        );
     }
 
     #[test]
@@ -292,7 +315,11 @@ mod tests {
             .with_obstacle(static_obstacle(12.0, 2.5));
         input.left_lane_available = true;
         let plan = p.plan(&input);
-        assert_ne!(plan.decision, LaneDecision::SwitchLeft, "left lane is occupied");
+        assert_ne!(
+            plan.decision,
+            LaneDecision::SwitchLeft,
+            "left lane is occupied"
+        );
         assert!(plan.command.brake_mps2 > 0.5);
     }
 
@@ -306,7 +333,10 @@ mod tests {
             radius_m: 0.8,
         });
         let plan = p.plan(&input);
-        assert!(plan.command.brake_mps2 < 0.2, "no need to brake for a faster leader");
+        assert!(
+            plan.command.brake_mps2 < 0.2,
+            "no need to brake for a faster leader"
+        );
     }
 
     #[test]
@@ -330,6 +360,9 @@ mod tests {
             ..PlanningInput::cruising(5.6, 5.6)
         };
         let plan = p.plan(&input);
-        assert!(plan.command.yaw_rate_rps < -0.1, "steer back toward the lane tangent");
+        assert!(
+            plan.command.yaw_rate_rps < -0.1,
+            "steer back toward the lane tangent"
+        );
     }
 }

@@ -68,7 +68,12 @@ mod tests {
     use super::*;
 
     fn obstacle(station: f64, speed: f64) -> PlanningObstacle {
-        PlanningObstacle { station_m: station, lateral_m: 0.0, speed_along_mps: speed, radius_m: 0.5 }
+        PlanningObstacle {
+            station_m: station,
+            lateral_m: 0.0,
+            speed_along_mps: speed,
+            radius_m: 0.5,
+        }
     }
 
     #[test]
@@ -99,7 +104,10 @@ mod tests {
 
     #[test]
     fn already_inside_gap() {
-        assert_eq!(time_to_encounter_s(&obstacle(1.0, 0.0), 5.6, 2.0, 10.0), Some(0.0));
+        assert_eq!(
+            time_to_encounter_s(&obstacle(1.0, 0.0), 5.6, 2.0, 10.0),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -130,7 +130,9 @@ impl QpProblem {
     pub fn solve(&self, max_iters: usize, tol: f64) -> Result<QpSolution, QpError> {
         let mut step = 1.0 / (1.05 * self.lipschitz());
         // Start at the box-projected origin.
-        let mut x: Vec<f64> = (0..self.n).map(|i| 0.0f64.clamp(self.lo[i], self.hi[i])).collect();
+        let mut x: Vec<f64> = (0..self.n)
+            .map(|i| 0.0f64.clamp(self.lo[i], self.hi[i]))
+            .collect();
         let mut prev_obj = self.objective(&x);
         let mut iterations = 0;
         let mut converged = false;
@@ -168,7 +170,12 @@ impl QpProblem {
                 break;
             }
         }
-        Ok(QpSolution { objective: prev_obj, x, iterations, converged })
+        Ok(QpSolution {
+            objective: prev_obj,
+            x,
+            iterations,
+            converged,
+        })
     }
 }
 

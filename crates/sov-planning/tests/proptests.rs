@@ -1,9 +1,9 @@
 //! Property-based tests for planning.
 
-use proptest::prelude::*;
 use sov_planning::mpc::{MpcConfig, MpcPlanner};
 use sov_planning::qp::{speed_tracking_qp, QpProblem};
 use sov_planning::{Planner, PlanningInput, PlanningObstacle};
+use sov_testkit::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

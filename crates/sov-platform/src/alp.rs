@@ -59,7 +59,11 @@ pub struct EdgeConfig {
 
 impl Default for EdgeConfig {
     fn default() -> Self {
-        Self { rtt_ms: 15.0, speedup_vs_gpu: 2.0, radio_power_w: 4.0 }
+        Self {
+            rtt_ms: 15.0,
+            speedup_vs_gpu: 2.0,
+            radio_power_w: 4.0,
+        }
     }
 }
 
@@ -107,11 +111,7 @@ impl DagNode {
             DagNode::Sensing => &[],
             DagNode::Depth | DagNode::Detection | DagNode::Localization => &[DagNode::Sensing],
             DagNode::Tracking => &[DagNode::Detection],
-            DagNode::Planning => &[
-                DagNode::Depth,
-                DagNode::Tracking,
-                DagNode::Localization,
-            ],
+            DagNode::Planning => &[DagNode::Depth, DagNode::Tracking, DagNode::Localization],
         }
     }
 
@@ -153,9 +153,7 @@ fn exec_ms(node: DagNode, site: Site, edge: &EdgeConfig) -> f64 {
     };
     match site {
         Site::OnVehicle(p) => task.profile(p).mean_latency_ms(),
-        Site::Edge => {
-            task.profile(Platform::Gtx1060Gpu).mean_latency_ms() / edge.speedup_vs_gpu
-        }
+        Site::Edge => task.profile(Platform::Gtx1060Gpu).mean_latency_ms() / edge.speedup_vs_gpu,
     }
 }
 
@@ -183,7 +181,9 @@ pub fn schedule(assignment: &Assignment, edge: &EdgeConfig) -> Schedule {
         let site = if node == DagNode::Sensing {
             Site::OnVehicle(Platform::ZynqFpga)
         } else {
-            *assignment.get(&node).expect("assignment covers all movable nodes")
+            *assignment
+                .get(&node)
+                .expect("assignment covers all movable nodes")
         };
         // Ready when all predecessors have finished (+ network hop if the
         // data crosses the vehicle/edge boundary).
@@ -211,7 +211,12 @@ pub fn schedule(assignment: &Assignment, edge: &EdgeConfig) -> Schedule {
         finish.insert(node, end);
     }
     let latency_ms = finish[&DagNode::Planning];
-    Schedule { assignment: assignment.clone(), finish_ms: finish, latency_ms, energy_j: energy }
+    Schedule {
+        assignment: assignment.clone(),
+        finish_ms: finish,
+        latency_ms,
+        energy_j: energy,
+    }
 }
 
 /// The paper's deployed assignment: scene understanding on the GPU,
@@ -269,7 +274,11 @@ mod tests {
     fn deployed_assignment_matches_characterization() {
         let s = schedule(&deployed_assignment(), &EdgeConfig::default());
         // Sensing 83 + SU (26+48) + tracking + planning ≈ 164 ms.
-        assert!((150.0..180.0).contains(&s.latency_ms), "latency {}", s.latency_ms);
+        assert!(
+            (150.0..180.0).contains(&s.latency_ms),
+            "latency {}",
+            s.latency_ms
+        );
         // Localization on the FPGA overlaps scene understanding entirely.
         assert!(s.finish_ms[&DagNode::Localization] < s.finish_ms[&DagNode::Tracking]);
     }
@@ -282,20 +291,29 @@ mod tests {
         }
         let serial = schedule(&all_gpu, &EdgeConfig::default());
         let parallel = schedule(&deployed_assignment(), &EdgeConfig::default());
-        assert!(serial.latency_ms > parallel.latency_ms, "sharing one engine must cost latency");
+        assert!(
+            serial.latency_ms > parallel.latency_ms,
+            "sharing one engine must cost latency"
+        );
     }
 
     #[test]
     fn edge_offload_pays_network_hops() {
         let mut offload = deployed_assignment();
         offload.insert(DagNode::Detection, Site::Edge);
-        let cfg = EdgeConfig { rtt_ms: 15.0, speedup_vs_gpu: 2.0, radio_power_w: 4.0 };
+        let cfg = EdgeConfig {
+            rtt_ms: 15.0,
+            speedup_vs_gpu: 2.0,
+            radio_power_w: 4.0,
+        };
         let s = schedule(&offload, &cfg);
         // Detection: 15 ms up + 24 ms compute, then 15 ms back to tracking.
         let detection_finish = s.finish_ms[&DagNode::Detection] - SENSING_MS;
-        assert!((detection_finish - 39.0).abs() < 1.0, "detection at {detection_finish}");
-        let tracking_start_gap =
-            s.finish_ms[&DagNode::Tracking] - s.finish_ms[&DagNode::Detection];
+        assert!(
+            (detection_finish - 39.0).abs() < 1.0,
+            "detection at {detection_finish}"
+        );
+        let tracking_start_gap = s.finish_ms[&DagNode::Tracking] - s.finish_ms[&DagNode::Detection];
         assert!(tracking_start_gap >= 15.0, "return hop must be paid");
     }
 
@@ -304,20 +322,44 @@ mod tests {
         let mut offload = deployed_assignment();
         offload.insert(DagNode::Detection, Site::Edge);
         offload.insert(DagNode::Depth, Site::Edge);
-        let fast = schedule(&offload, &EdgeConfig { rtt_ms: 2.0, ..EdgeConfig::default() });
-        let slow = schedule(&offload, &EdgeConfig { rtt_ms: 60.0, ..EdgeConfig::default() });
+        let fast = schedule(
+            &offload,
+            &EdgeConfig {
+                rtt_ms: 2.0,
+                ..EdgeConfig::default()
+            },
+        );
+        let slow = schedule(
+            &offload,
+            &EdgeConfig {
+                rtt_ms: 60.0,
+                ..EdgeConfig::default()
+            },
+        );
         let local = schedule(&deployed_assignment(), &EdgeConfig::default());
-        assert!(fast.latency_ms < local.latency_ms, "fast edge should win: {} vs {}", fast.latency_ms, local.latency_ms);
+        assert!(
+            fast.latency_ms < local.latency_ms,
+            "fast edge should win: {} vs {}",
+            fast.latency_ms,
+            local.latency_ms
+        );
         assert!(slow.latency_ms > local.latency_ms, "slow edge should lose");
     }
 
     #[test]
     fn pareto_frontier_is_sorted_and_nondominated() {
         let frontier = pareto_frontier(&EdgeConfig::default());
-        assert!(frontier.len() >= 3, "expect a real frontier, got {}", frontier.len());
+        assert!(
+            frontier.len() >= 3,
+            "expect a real frontier, got {}",
+            frontier.len()
+        );
         for w in frontier.windows(2) {
             assert!(w[0].latency_ms <= w[1].latency_ms);
-            assert!(w[0].energy_j > w[1].energy_j, "energy must strictly improve along the frontier");
+            assert!(
+                w[0].energy_j > w[1].energy_j,
+                "energy must strictly improve along the frontier"
+            );
         }
     }
 

@@ -92,13 +92,11 @@ impl CacheSim {
         let tag = line / self.num_sets;
         let set = &mut self.sets[set_idx];
         // Hit?
-        for way in set.iter_mut() {
-            if let Some((t, stamp)) = way {
-                if *t == tag {
-                    *stamp = self.clock;
-                    self.stats.hits += 1;
-                    return true;
-                }
+        for (t, stamp) in set.iter_mut().flatten() {
+            if *t == tag {
+                *stamp = self.clock;
+                self.stats.hits += 1;
+                return true;
             }
         }
         // Miss: fill an empty way or evict LRU.

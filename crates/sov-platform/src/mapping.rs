@@ -46,7 +46,10 @@ impl PerceptionMapping {
     /// localization on the FPGA.
     #[must_use]
     pub fn ours() -> Self {
-        Self { scene_understanding: Platform::Gtx1060Gpu, localization: Platform::ZynqFpga }
+        Self {
+            scene_understanding: Platform::Gtx1060Gpu,
+            localization: Platform::ZynqFpga,
+        }
     }
 
     /// The strategies compared in Fig. 8.
@@ -54,15 +57,27 @@ impl PerceptionMapping {
     pub fn fig8_strategies() -> Vec<PerceptionMapping> {
         vec![
             // Both on the GPU (contended).
-            Self { scene_understanding: Platform::Gtx1060Gpu, localization: Platform::Gtx1060Gpu },
+            Self {
+                scene_understanding: Platform::Gtx1060Gpu,
+                localization: Platform::Gtx1060Gpu,
+            },
             // Ours: SU on GPU, localization on FPGA.
             Self::ours(),
             // TX2 as the localization sidecar.
-            Self { scene_understanding: Platform::Gtx1060Gpu, localization: Platform::JetsonTx2 },
+            Self {
+                scene_understanding: Platform::Gtx1060Gpu,
+                localization: Platform::JetsonTx2,
+            },
             // TX2 carrying scene understanding.
-            Self { scene_understanding: Platform::JetsonTx2, localization: Platform::Gtx1060Gpu },
+            Self {
+                scene_understanding: Platform::JetsonTx2,
+                localization: Platform::Gtx1060Gpu,
+            },
             // Everything on TX2.
-            Self { scene_understanding: Platform::JetsonTx2, localization: Platform::JetsonTx2 },
+            Self {
+                scene_understanding: Platform::JetsonTx2,
+                localization: Platform::JetsonTx2,
+            },
         ]
     }
 
@@ -78,13 +93,18 @@ impl PerceptionMapping {
         let depth = Task::DepthEstimation.profile(su_platform).mean_latency_ms();
         let detect = Task::ObjectDetection.profile(su_platform).mean_latency_ms();
         let mut su = detect + depth;
-        let mut loc = Task::LocalizationKeyframe.profile(self.localization).mean_latency_ms();
+        let mut loc = Task::LocalizationKeyframe
+            .profile(self.localization)
+            .mean_latency_ms();
         if self.scene_understanding == self.localization {
             // Shared device: both groups contend.
             su *= GPU_CONTENTION_FACTOR;
             loc *= GPU_CONTENTION_FACTOR;
         }
-        MappingLatency { scene_understanding_ms: su, localization_ms: loc }
+        MappingLatency {
+            scene_understanding_ms: su,
+            localization_ms: loc,
+        }
     }
 
     /// Perception speedup of this mapping relative to `baseline`.
@@ -117,7 +137,11 @@ mod tests {
         let ours = PerceptionMapping::ours().latency();
         // Fig. 8: SU 77 ms on the GPU once localization is on the FPGA;
         // localization 24–27 ms on the FPGA.
-        assert!((ours.scene_understanding_ms - 77.0).abs() < 5.0, "SU {}", ours.scene_understanding_ms);
+        assert!(
+            (ours.scene_understanding_ms - 77.0).abs() < 5.0,
+            "SU {}",
+            ours.scene_understanding_ms
+        );
         assert!((ours.localization_ms - 27.0).abs() < 5.0);
         assert!((ours.perception_ms() - 77.0).abs() < 5.0);
     }
@@ -162,8 +186,7 @@ mod tests {
         // Sec. V-B2: "TX2 is always a latency bottleneck".
         let ours = PerceptionMapping::ours().latency().perception_ms();
         for m in PerceptionMapping::fig8_strategies() {
-            if m.scene_understanding == Platform::JetsonTx2
-                || m.localization == Platform::JetsonTx2
+            if m.scene_understanding == Platform::JetsonTx2 || m.localization == Platform::JetsonTx2
             {
                 assert!(
                     m.latency().perception_ms() > ours,

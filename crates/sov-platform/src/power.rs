@@ -44,7 +44,11 @@ impl SovPowerModel {
     /// The deployed configuration: one server, no LiDAR → 175 W.
     #[must_use]
     pub fn deployed() -> Self {
-        Self { num_servers: 1, extra_server_load: ServerLoad::Idle, lidar_suite: false }
+        Self {
+            num_servers: 1,
+            extra_server_load: ServerLoad::Idle,
+            lidar_suite: false,
+        }
     }
 
     /// Total autonomous-driving power `P_AD` (W).
@@ -93,7 +97,10 @@ pub struct ThermalModel {
 
 impl Default for ThermalModel {
     fn default() -> Self {
-        Self { thermal_resistance_k_per_w: 0.25, max_component_temp_c: 85.0 }
+        Self {
+            thermal_resistance_k_per_w: 0.25,
+            max_component_temp_c: 85.0,
+        }
     }
 }
 
@@ -158,7 +165,10 @@ mod tests {
 
     #[test]
     fn extra_idle_server_adds_31w() {
-        let two = SovPowerModel { num_servers: 2, ..SovPowerModel::deployed() };
+        let two = SovPowerModel {
+            num_servers: 2,
+            ..SovPowerModel::deployed()
+        };
         assert!((two.total_pad_w() - 206.0).abs() < 1e-9);
     }
 
@@ -174,7 +184,10 @@ mod tests {
 
     #[test]
     fn lidar_suite_adds_92w() {
-        let with_lidar = SovPowerModel { lidar_suite: true, ..SovPowerModel::deployed() };
+        let with_lidar = SovPowerModel {
+            lidar_suite: true,
+            ..SovPowerModel::deployed()
+        };
         assert!((with_lidar.total_pad_w() - 267.0).abs() < 1e-9);
     }
 }

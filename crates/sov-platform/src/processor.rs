@@ -230,8 +230,13 @@ pub struct LocalizationAcceleratorFootprint {
 
 impl LocalizationAcceleratorFootprint {
     /// The paper's reported footprint.
-    pub const PAPER: Self =
-        Self { luts: 200_000, registers: 120_000, brams: 600, dsps: 800, power_w: 6 };
+    pub const PAPER: Self = Self {
+        luts: 200_000,
+        registers: 120_000,
+        brams: 600,
+        dsps: 800,
+        power_w: 6,
+    };
 }
 
 #[cfg(test)]
@@ -278,26 +283,45 @@ mod tests {
     fn tx2_energy_advantage_is_marginal_or_negative() {
         // Fig. 6b: TX2 has "only marginal, sometimes even worse, energy
         // reduction compared to the GPU due to the long latency".
-        let det_tx2 = Task::ObjectDetection.profile(Platform::JetsonTx2).mean_energy_j();
-        let det_gpu = Task::ObjectDetection.profile(Platform::Gtx1060Gpu).mean_energy_j();
-        assert!(det_tx2 > det_gpu, "TX2 detection energy {det_tx2} vs GPU {det_gpu}");
+        let det_tx2 = Task::ObjectDetection
+            .profile(Platform::JetsonTx2)
+            .mean_energy_j();
+        let det_gpu = Task::ObjectDetection
+            .profile(Platform::Gtx1060Gpu)
+            .mean_energy_j();
+        assert!(
+            det_tx2 > det_gpu,
+            "TX2 detection energy {det_tx2} vs GPU {det_gpu}"
+        );
         // FPGA is the clear energy winner for localization.
-        let loc_fpga = Task::LocalizationKeyframe.profile(Platform::ZynqFpga).mean_energy_j();
-        let loc_gpu = Task::LocalizationKeyframe.profile(Platform::Gtx1060Gpu).mean_energy_j();
+        let loc_fpga = Task::LocalizationKeyframe
+            .profile(Platform::ZynqFpga)
+            .mean_energy_j();
+        let loc_gpu = Task::LocalizationKeyframe
+            .profile(Platform::Gtx1060Gpu)
+            .mean_energy_j();
         assert!(loc_fpga < loc_gpu / 5.0);
     }
 
     #[test]
     fn em_planner_is_33x_mpc() {
-        let em = Task::EmPlanning.profile(Platform::CoffeeLakeCpu).mean_latency_ms();
-        let mpc = Task::MpcPlanning.profile(Platform::CoffeeLakeCpu).mean_latency_ms();
+        let em = Task::EmPlanning
+            .profile(Platform::CoffeeLakeCpu)
+            .mean_latency_ms();
+        let mpc = Task::MpcPlanning
+            .profile(Platform::CoffeeLakeCpu)
+            .mean_latency_ms();
         assert!((em / mpc - 33.3).abs() < 1.0, "ratio {}", em / mpc);
     }
 
     #[test]
     fn spatial_sync_is_100x_lighter_than_kcf() {
-        let kcf = Task::KcfTracking.profile(Platform::CoffeeLakeCpu).mean_latency_ms();
-        let sync = Task::SpatialSync.profile(Platform::CoffeeLakeCpu).mean_latency_ms();
+        let kcf = Task::KcfTracking
+            .profile(Platform::CoffeeLakeCpu)
+            .mean_latency_ms();
+        let sync = Task::SpatialSync
+            .profile(Platform::CoffeeLakeCpu)
+            .mean_latency_ms();
         assert!((kcf / sync - 100.0).abs() < 1.0);
     }
 
@@ -319,7 +343,10 @@ mod tests {
             .map(|_| p.latency.sample(&mut rng).as_millis_f64())
             .sum::<f64>()
             / f64::from(n);
-        assert!((mean - p.mean_latency_ms()).abs() < 2.0, "sampled mean {mean}");
+        assert!(
+            (mean - p.mean_latency_ms()).abs() < 2.0,
+            "sampled mean {mean}"
+        );
     }
 
     #[test]
@@ -331,8 +358,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<_> =
-            Platform::ALL.iter().map(|p| p.name()).collect();
+        let names: std::collections::HashSet<_> = Platform::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), 4);
     }
 }

@@ -88,7 +88,10 @@ pub struct RprFootprint {
 
 impl RprFootprint {
     /// The paper's reported footprint.
-    pub const PAPER: Self = Self { ffs: 400, luts: 400 };
+    pub const PAPER: Self = Self {
+        ffs: 400,
+        luts: 400,
+    };
 }
 
 /// The reconfiguration engine simulator.
@@ -151,8 +154,7 @@ impl RprEngine {
             if burst_countdown > 0 {
                 burst_countdown -= 1;
                 if burst_countdown == 0 {
-                    let chunk =
-                        (cfg.tx_burst_bytes as u64).min(bitstream_bytes - fetched) as usize;
+                    let chunk = (cfg.tx_burst_bytes as u64).min(bitstream_bytes - fetched) as usize;
                     fifo += chunk;
                     fetched += chunk as u64;
                     peak = peak.max(fifo);
@@ -214,7 +216,11 @@ mod tests {
         // The localization bitstreams are < 10 MB; a 1 MB partial bitstream
         // loads well under 3 ms.
         let small = engine.reconfigure(1024 * 1024, RprPath::DecoupledEngine);
-        assert!(small.duration.as_millis_f64() < 3.0, "took {}", small.duration);
+        assert!(
+            small.duration.as_millis_f64() < 3.0,
+            "took {}",
+            small.duration
+        );
     }
 
     #[test]
@@ -263,7 +269,11 @@ mod tests {
     #[test]
     fn shallower_fifo_throttles_throughput() {
         let deep = RprEngine::default();
-        let shallow = RprEngine::new(RprConfig { fifo_bytes: 8, tx_burst_bytes: 8, ..RprConfig::default() });
+        let shallow = RprEngine::new(RprConfig {
+            fifo_bytes: 8,
+            tx_burst_bytes: 8,
+            ..RprConfig::default()
+        });
         let fast = deep.reconfigure(TEN_MB, RprPath::DecoupledEngine);
         let slow = shallow.reconfigure(TEN_MB, RprPath::DecoupledEngine);
         assert!(
@@ -276,6 +286,12 @@ mod tests {
 
     #[test]
     fn footprint_constants() {
-        assert_eq!(RprFootprint::PAPER, RprFootprint { ffs: 400, luts: 400 });
+        assert_eq!(
+            RprFootprint::PAPER,
+            RprFootprint {
+                ffs: 400,
+                luts: 400
+            }
+        );
     }
 }

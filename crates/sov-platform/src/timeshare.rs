@@ -143,8 +143,7 @@ pub fn analyze(
         tasks[0].static_power_w
     };
     // Reconfiguration cost: average bitstream through the engine.
-    let avg_bitstream =
-        tasks.iter().map(|t| t.bitstream_bytes).sum::<u64>() / tasks.len() as u64;
+    let avg_bitstream = tasks.iter().map(|t| t.bitstream_bytes).sum::<u64>() / tasks.len() as u64;
     let one_swap = engine.reconfigure(avg_bitstream.max(1), RprPath::DecoupledEngine);
     let reconfig_time_per_hour_s = one_swap.duration.as_secs_f64() * swaps_per_hour;
     TimeSharingAnalysis {
@@ -171,7 +170,11 @@ mod tests {
             AcceleratorTask::feature_tracking(),
         ];
         let analysis = analyze(&tasks, &RprEngine::default(), 12.0 * 3600.0);
-        assert!(analysis.area_saving() > 0.4, "area saving {}", analysis.area_saving());
+        assert!(
+            analysis.area_saving() > 0.4,
+            "area saving {}",
+            analysis.area_saving()
+        );
         assert!(analysis.temporal_luts < analysis.spatial_luts);
         // 12 swaps/s × ~2.6 ms each ≈ 3% — noticeable but the paper's
         // kernels are ≤1 MB partials; still under the 20+10 ms compute.

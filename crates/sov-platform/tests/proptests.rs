@@ -1,8 +1,8 @@
 //! Property-based tests for the platform models.
 
-use proptest::prelude::*;
 use sov_platform::cache::CacheSim;
 use sov_platform::rpr::{RprEngine, RprPath};
+use sov_testkit::prelude::*;
 use std::collections::HashSet;
 
 proptest! {

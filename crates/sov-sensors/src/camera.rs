@@ -38,7 +38,14 @@ impl Intrinsics {
     /// automotive global-shutter cameras in the paper's vision module.
     #[must_use]
     pub fn hd1080() -> Self {
-        Self { fx: 1662.0, fy: 1662.0, cx: 960.0, cy: 540.0, width: 1920, height: 1080 }
+        Self {
+            fx: 1662.0,
+            fy: 1662.0,
+            cx: 960.0,
+            cy: 540.0,
+            width: 1920,
+            height: 1080,
+        }
     }
 
     /// Horizontal field of view in radians.
@@ -138,7 +145,13 @@ impl Camera {
         if pixel_noise < 0.0 {
             return Err(InvalidCameraError("pixel noise must be non-negative"));
         }
-        Ok(Self { intrinsics, lateral_offset_m, height_m, max_range_m, pixel_noise })
+        Ok(Self {
+            intrinsics,
+            lateral_offset_m,
+            height_m,
+            max_range_m,
+            pixel_noise,
+        })
     }
 
     /// Camera intrinsics.
@@ -151,13 +164,7 @@ impl Camera {
     /// pixel and depth, or `None` if behind the camera, out of range, or
     /// outside the image.
     #[must_use]
-    pub fn project(
-        &self,
-        vehicle: &Pose2,
-        wx: f64,
-        wy: f64,
-        wz: f64,
-    ) -> Option<((f64, f64), f64)> {
+    pub fn project(&self, vehicle: &Pose2, wx: f64, wy: f64, wz: f64) -> Option<((f64, f64), f64)> {
         // Vehicle frame: x forward, y left.
         let (vx, vy) = vehicle.inverse_transform_point(wx, wy);
         // Camera frame: z forward, x right, y down; camera displaced
@@ -221,7 +228,11 @@ impl Camera {
                 });
             }
         }
-        CameraFrame { capture_time: t, features, objects }
+        CameraFrame {
+            capture_time: t,
+            features,
+            objects,
+        }
     }
 }
 
@@ -252,7 +263,13 @@ impl StereoRig {
             return Err(InvalidCameraError("baseline must be positive"));
         }
         Ok(Self {
-            left: Camera::new(intrinsics, baseline_m / 2.0, height_m, max_range_m, pixel_noise)?,
+            left: Camera::new(
+                intrinsics,
+                baseline_m / 2.0,
+                height_m,
+                max_range_m,
+                pixel_noise,
+            )?,
             right: Camera::new(
                 intrinsics,
                 -baseline_m / 2.0,
@@ -362,7 +379,10 @@ mod tests {
         let vehicle = Pose2::identity();
         assert!(cam.project(&vehicle, -5.0, 0.0, 1.0).is_none(), "behind");
         assert!(cam.project(&vehicle, 100.0, 0.0, 1.0).is_none(), "too far");
-        assert!(cam.project(&vehicle, 5.0, 50.0, 1.0).is_none(), "outside fov");
+        assert!(
+            cam.project(&vehicle, 5.0, 50.0, 1.0).is_none(),
+            "outside fov"
+        );
     }
 
     #[test]

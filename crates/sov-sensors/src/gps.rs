@@ -47,7 +47,12 @@ pub struct GpsConfig {
 
 impl Default for GpsConfig {
     fn default() -> Self {
-        Self { rate_hz: 10.0, strong_sigma_m: 0.5, multipath_bias_m: 6.0, multipath_sigma_m: 2.0 }
+        Self {
+            rate_hz: 10.0,
+            strong_sigma_m: 0.5,
+            multipath_bias_m: 6.0,
+            multipath_sigma_m: 2.0,
+        }
     }
 }
 
@@ -66,7 +71,11 @@ impl GpsReceiver {
     pub fn new(config: GpsConfig, seed: u64) -> Self {
         let mut rng = SovRng::seed_from_u64(seed ^ 0x475053);
         let multipath_dir = rng.uniform(0.0, std::f64::consts::TAU);
-        Self { config, rng, multipath_dir }
+        Self {
+            config,
+            rng,
+            multipath_dir,
+        }
     }
 
     /// Fix period in seconds.
@@ -96,7 +105,11 @@ impl GpsReceiver {
             }
             GnssQuality::NoFix => (f64::NAN, f64::NAN),
         };
-        GnssFix { timestamp: t, position, quality }
+        GnssFix {
+            timestamp: t,
+            position,
+            quality,
+        }
     }
 }
 

@@ -74,7 +74,12 @@ impl Imu {
     #[must_use]
     pub fn ideal(seed: u64) -> Self {
         Self::new(
-            ImuNoise { gyro_noise: 0.0, accel_noise: 0.0, gyro_bias_walk: 0.0, accel_bias_walk: 0.0 },
+            ImuNoise {
+                gyro_noise: 0.0,
+                accel_noise: 0.0,
+                gyro_bias_walk: 0.0,
+                accel_bias_walk: 0.0,
+            },
             seed,
         )
     }
@@ -132,7 +137,10 @@ mod tests {
 
     #[test]
     fn bias_random_walk_accumulates() {
-        let noise = ImuNoise { gyro_bias_walk: 1e-3, ..ImuNoise::default() };
+        let noise = ImuNoise {
+            gyro_bias_walk: 1e-3,
+            ..ImuNoise::default()
+        };
         let mut imu = Imu::new(noise, 3);
         for i in 0..50_000u64 {
             let _ = imu.sample(SimTime::from_millis(i), 0.0, 0.0, 0.0);

@@ -115,7 +115,11 @@ impl SensorPipeline {
             },
             PipelineStage {
                 name: "application",
-                latency: LatencyModel::LogNormal { median_ms: 12.0, sigma: 0.9, floor_ms: 15.0 },
+                latency: LatencyModel::LogNormal {
+                    median_ms: 12.0,
+                    sigma: 0.9,
+                    floor_ms: 15.0,
+                },
                 compensatable: false,
             },
         ])
@@ -138,7 +142,11 @@ impl SensorPipeline {
             },
             PipelineStage {
                 name: "application",
-                latency: LatencyModel::LogNormal { median_ms: 2.0, sigma: 0.8, floor_ms: 0.5 },
+                latency: LatencyModel::LogNormal {
+                    median_ms: 2.0,
+                    sigma: 0.8,
+                    floor_ms: 0.5,
+                },
                 compensatable: false,
             },
         ])
@@ -180,7 +188,10 @@ impl SensorPipeline {
             t += stage.latency.sample(rng);
             stage_arrivals.push(t);
         }
-        Transit { trigger, stage_arrivals }
+        Transit {
+            trigger,
+            stage_arrivals,
+        }
     }
 }
 
@@ -208,7 +219,10 @@ mod tests {
         let mut total = 0.0;
         let n = 2000;
         for _ in 0..n {
-            total += p.transit(SimTime::ZERO, &mut rng).total_latency().as_millis_f64();
+            total += p
+                .transit(SimTime::ZERO, &mut rng)
+                .total_latency()
+                .as_millis_f64();
         }
         let mean = total / f64::from(n);
         // Fig. 10a: sensing is a large fraction of a ~164 ms budget.
@@ -223,8 +237,12 @@ mod tests {
         let mut app_spread = (f64::INFINITY, f64::NEG_INFINITY);
         for _ in 0..3000 {
             let tr = p.transit(SimTime::ZERO, &mut rng);
-            let isp = tr.stage_arrivals[3].since(tr.stage_arrivals[2]).as_millis_f64();
-            let app = tr.stage_arrivals[6].since(tr.stage_arrivals[5]).as_millis_f64();
+            let isp = tr.stage_arrivals[3]
+                .since(tr.stage_arrivals[2])
+                .as_millis_f64();
+            let app = tr.stage_arrivals[6]
+                .since(tr.stage_arrivals[5])
+                .as_millis_f64();
             isp_spread = (isp_spread.0.min(isp), isp_spread.1.max(isp));
             app_spread = (app_spread.0.min(app), app_spread.1.max(app));
         }

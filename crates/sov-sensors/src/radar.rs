@@ -95,7 +95,10 @@ impl Radar {
     /// Creates a radar.
     #[must_use]
     pub fn new(config: RadarConfig, seed: u64) -> Self {
-        Self { config, rng: SovRng::seed_from_u64(seed ^ 0x524144) }
+        Self {
+            config,
+            rng: SovRng::seed_from_u64(seed ^ 0x524144),
+        }
     }
 
     /// Scan period (s).
@@ -143,11 +146,14 @@ impl Radar {
                     + self.rng.normal(0.0, self.config.range_sigma_m))
                 .max(0.0),
                 azimuth_rad: azimuth + self.rng.normal(0.0, 0.01),
-                radial_velocity_mps: radial
-                    + self.rng.normal(0.0, self.config.velocity_sigma_mps),
+                radial_velocity_mps: radial + self.rng.normal(0.0, self.config.velocity_sigma_mps),
             });
         }
-        RadarScan { timestamp: t, targets, stable }
+        RadarScan {
+            timestamp: t,
+            targets,
+            stable,
+        }
     }
 }
 
@@ -199,8 +205,7 @@ impl RadarArray {
         let mut stable = true;
         for (yaw, radar) in &mut self.units {
             // Each unit looks along vehicle heading + mounting yaw.
-            let unit_pose =
-                sov_math::Pose2::new(vehicle.x, vehicle.y, vehicle.theta + *yaw);
+            let unit_pose = sov_math::Pose2::new(vehicle.x, vehicle.y, vehicle.theta + *yaw);
             let scan = radar.scan(&unit_pose, vehicle_speed_mps, world, t);
             stable &= scan.stable;
             for mut target in scan.targets {
@@ -216,7 +221,11 @@ impl RadarArray {
                 .then(a.range_m.partial_cmp(&b.range_m).expect("finite"))
         });
         targets.dedup_by_key(|t| t.truth);
-        RadarScan { timestamp: t, targets, stable }
+        RadarScan {
+            timestamp: t,
+            targets,
+            stable,
+        }
     }
 }
 
@@ -228,7 +237,13 @@ mod tests {
     #[test]
     fn detects_frontal_obstacle_with_range() {
         let w = Scenario::fishers_indiana(1).world;
-        let mut radar = Radar::new(RadarConfig { instability_prob: 0.0, ..RadarConfig::default() }, 1);
+        let mut radar = Radar::new(
+            RadarConfig {
+                instability_prob: 0.0,
+                ..RadarConfig::default()
+            },
+            1,
+        );
         let pose = Pose2::new(40.0, 0.0, 0.0);
         let t = SimTime::from_millis(6_000); // obstacle 0 at (60, 0.3) active
         let scan = radar.scan(&pose, 5.6, &w, t);
@@ -237,14 +252,24 @@ mod tests {
             .iter()
             .find(|tg| tg.truth.0 == 0)
             .expect("obstacle in fov");
-        assert!((target.range_m - 19.5).abs() < 1.0, "range {}", target.range_m);
+        assert!(
+            (target.range_m - 19.5).abs() < 1.0,
+            "range {}",
+            target.range_m
+        );
         assert!(scan.stable);
     }
 
     #[test]
     fn approaching_target_has_negative_radial_velocity() {
         let w = Scenario::fishers_indiana(1).world;
-        let mut radar = Radar::new(RadarConfig { instability_prob: 0.0, ..RadarConfig::default() }, 2);
+        let mut radar = Radar::new(
+            RadarConfig {
+                instability_prob: 0.0,
+                ..RadarConfig::default()
+            },
+            2,
+        );
         let pose = Pose2::new(40.0, 0.0, 0.0);
         let t = SimTime::from_millis(6_000);
         // Driving toward a static obstacle at 5.6 m/s → radial ≈ -5.6.
@@ -260,7 +285,13 @@ mod tests {
     #[test]
     fn out_of_fov_not_detected() {
         let w = Scenario::fishers_indiana(1).world;
-        let mut radar = Radar::new(RadarConfig { instability_prob: 0.0, ..RadarConfig::default() }, 3);
+        let mut radar = Radar::new(
+            RadarConfig {
+                instability_prob: 0.0,
+                ..RadarConfig::default()
+            },
+            3,
+        );
         // Face away from the obstacle.
         let pose = Pose2::new(40.0, 0.0, std::f64::consts::PI);
         let scan = radar.scan(&pose, 5.6, &w, SimTime::from_millis(6_000));
@@ -270,11 +301,20 @@ mod tests {
     #[test]
     fn instability_rate_matches_config() {
         let w = Scenario::fishers_indiana(1).world;
-        let mut radar =
-            Radar::new(RadarConfig { instability_prob: 0.3, ..RadarConfig::default() }, 4);
+        let mut radar = Radar::new(
+            RadarConfig {
+                instability_prob: 0.3,
+                ..RadarConfig::default()
+            },
+            4,
+        );
         let pose = Pose2::new(0.0, 0.0, 0.0);
         let unstable = (0..2000)
-            .filter(|&i| !radar.scan(&pose, 0.0, &w, SimTime::from_millis(i * 50)).stable)
+            .filter(|&i| {
+                !radar
+                    .scan(&pose, 0.0, &w, SimTime::from_millis(i * 50))
+                    .stable
+            })
             .count();
         let rate = unstable as f64 / 2000.0;
         assert!((rate - 0.3).abs() < 0.05, "instability rate {rate}");
@@ -283,19 +323,30 @@ mod tests {
     #[test]
     fn array_covers_the_rear() {
         let w = Scenario::fishers_indiana(1).world;
-        let cfg = RadarConfig { instability_prob: 0.0, ..RadarConfig::default() };
+        let cfg = RadarConfig {
+            instability_prob: 0.0,
+            ..RadarConfig::default()
+        };
         // Obstacle 0 at (60, 0.3) active at t=6 s; vehicle ahead of it,
         // facing away: the obstacle is directly behind.
         let pose = Pose2::new(80.0, 0.0, 0.0);
         let t = SimTime::from_millis(6_000);
         let mut single = Radar::new(cfg, 2);
         assert!(
-            !single.scan(&pose, 5.6, &w, t).targets.iter().any(|tg| tg.truth.0 == 0),
+            !single
+                .scan(&pose, 5.6, &w, t)
+                .targets
+                .iter()
+                .any(|tg| tg.truth.0 == 0),
             "a single forward radar cannot see behind"
         );
         let mut array = RadarArray::perceptin_six(cfg, 2);
         let scan = array.scan_all(&pose, 5.6, &w, t);
-        let rear = scan.targets.iter().find(|tg| tg.truth.0 == 0).expect("rear radar sees it");
+        let rear = scan
+            .targets
+            .iter()
+            .find(|tg| tg.truth.0 == 0)
+            .expect("rear radar sees it");
         // Azimuth in the vehicle frame points backwards (~±π).
         assert!(rear.azimuth_rad.abs() > 2.5, "azimuth {}", rear.azimuth_rad);
         assert!((rear.range_m - 19.5).abs() < 1.0);
@@ -304,7 +355,10 @@ mod tests {
     #[test]
     fn array_deduplicates_overlapping_units() {
         let w = Scenario::fishers_indiana(1).world;
-        let cfg = RadarConfig { instability_prob: 0.0, ..RadarConfig::default() };
+        let cfg = RadarConfig {
+            instability_prob: 0.0,
+            ..RadarConfig::default()
+        };
         let mut array = RadarArray::perceptin_six(cfg, 3);
         // Obstacle straight ahead is inside both the front and (slightly)
         // the front-side units' fields of view; the merged scan must report
@@ -321,13 +375,27 @@ mod tests {
         let scan = RadarScan {
             timestamp: SimTime::ZERO,
             targets: vec![
-                RadarTarget { truth: ObstacleId(0), range_m: 12.0, azimuth_rad: 0.0, radial_velocity_mps: 0.0 },
-                RadarTarget { truth: ObstacleId(1), range_m: 4.0, azimuth_rad: 0.1, radial_velocity_mps: 0.0 },
+                RadarTarget {
+                    truth: ObstacleId(0),
+                    range_m: 12.0,
+                    azimuth_rad: 0.0,
+                    radial_velocity_mps: 0.0,
+                },
+                RadarTarget {
+                    truth: ObstacleId(1),
+                    range_m: 4.0,
+                    azimuth_rad: 0.1,
+                    radial_velocity_mps: 0.0,
+                },
             ],
             stable: true,
         };
         assert_eq!(scan.nearest().unwrap().truth, ObstacleId(1));
-        let empty = RadarScan { timestamp: SimTime::ZERO, targets: vec![], stable: true };
+        let empty = RadarScan {
+            timestamp: SimTime::ZERO,
+            targets: vec![],
+            stable: true,
+        };
         assert!(empty.nearest().is_none());
     }
 }

@@ -32,7 +32,12 @@ pub struct SonarConfig {
 
 impl Default for SonarConfig {
     fn default() -> Self {
-        Self { max_range_m: 5.0, half_beam_rad: 0.7, sigma_m: 0.03, rate_hz: 20.0 }
+        Self {
+            max_range_m: 5.0,
+            half_beam_rad: 0.7,
+            sigma_m: 0.03,
+            rate_hz: 20.0,
+        }
     }
 }
 
@@ -47,7 +52,10 @@ impl Sonar {
     /// Creates a sonar.
     #[must_use]
     pub fn new(config: SonarConfig, seed: u64) -> Self {
-        Self { config, rng: SovRng::seed_from_u64(seed ^ 0x534F4E) }
+        Self {
+            config,
+            rng: SovRng::seed_from_u64(seed ^ 0x534F4E),
+        }
     }
 
     /// Reading period (s).
@@ -66,7 +74,10 @@ impl Sonar {
                 None
             }
         });
-        SonarReading { timestamp: t, range_m }
+        SonarReading {
+            timestamp: t,
+            range_m,
+        }
     }
 }
 
@@ -83,15 +94,25 @@ impl SonarArray {
     pub fn perceptin_eight(config: SonarConfig, seed: u64) -> Self {
         use std::f64::consts::{FRAC_PI_2, PI};
         let yaws = [
-            0.0, 0.6, -0.6, // front
-            FRAC_PI_2, -FRAC_PI_2, // sides
-            PI, PI - 0.6, -(PI - 0.6), // rear
+            0.0,
+            0.6,
+            -0.6, // front
+            FRAC_PI_2,
+            -FRAC_PI_2, // sides
+            PI,
+            PI - 0.6,
+            -(PI - 0.6), // rear
         ];
         Self {
             units: yaws
                 .iter()
                 .enumerate()
-                .map(|(i, &yaw)| (yaw, Sonar::new(config, seed.wrapping_add(i as u64 * 104_729))))
+                .map(|(i, &yaw)| {
+                    (
+                        yaw,
+                        Sonar::new(config, seed.wrapping_add(i as u64 * 104_729)),
+                    )
+                })
                 .collect(),
         }
     }
@@ -191,6 +212,9 @@ mod tests {
         let mut w = Scenario::fishers_indiana(1).world;
         w.obstacles.clear();
         let mut sonar = Sonar::new(SonarConfig::default(), 3);
-        assert!(sonar.read(&Pose2::identity(), &w, SimTime::ZERO).range_m.is_none());
+        assert!(sonar
+            .read(&Pose2::identity(), &w, SimTime::ZERO)
+            .range_m
+            .is_none());
     }
 }

@@ -202,9 +202,9 @@ impl Synchronizer {
         let period = self.imu_period_s();
         match self.strategy {
             SyncStrategy::HardwareAssisted => SimTime::from_secs_f64(k as f64 * period),
-            SyncStrategy::SoftwareOnly => SimTime::from_secs_f64(
-                self.imu_phase + k as f64 * period * (1.0 + self.imu_drift),
-            ),
+            SyncStrategy::SoftwareOnly => {
+                SimTime::from_secs_f64(self.imu_phase + k as f64 * period * (1.0 + self.imu_drift))
+            }
         }
     }
 
@@ -231,13 +231,21 @@ impl Synchronizer {
                     .unwrap_or(arrival);
                 let compensated = SimTime::from_secs_f64(
                     stamped.as_secs_f64()
-                        - self.config.camera_pipeline.constant_prefix_latency().as_secs_f64(),
+                        - self
+                            .config
+                            .camera_pipeline
+                            .constant_prefix_latency()
+                            .as_secs_f64(),
                 );
                 let jitter = rng.uniform(0.0, self.config.hardware_jitter_ms);
                 compensated + SimDuration::from_millis_f64(jitter)
             }
         };
-        SyncSample { true_capture: trigger, assigned, arrival }
+        SyncSample {
+            true_capture: trigger,
+            assigned,
+            arrival,
+        }
     }
 
     /// Simulates one IMU sample.
@@ -254,7 +262,11 @@ impl Synchronizer {
                 trigger + SimDuration::from_millis_f64(jitter)
             }
         };
-        SyncSample { true_capture: trigger, assigned, arrival }
+        SyncSample {
+            true_capture: trigger,
+            assigned,
+            arrival,
+        }
     }
 
     /// True capture-time misalignment (ms, absolute) between the two frames
@@ -324,7 +336,11 @@ pub struct SynchronizerFootprint {
 
 impl SynchronizerFootprint {
     /// The footprint reported in the paper.
-    pub const PAPER: Self = Self { luts: 1_443, registers: 1_587, power_mw: 5 };
+    pub const PAPER: Self = Self {
+        luts: 1_443,
+        registers: 1_587,
+        power_mw: 5,
+    };
 }
 
 #[cfg(test)]
@@ -342,7 +358,11 @@ mod tests {
         for k in 0..200 {
             let cam = sync.camera_sample(k, &mut r);
             let imu = sync.imu_sample(k, &mut r);
-            assert!(cam.timestamp_error_ms().abs() < 1.0, "camera err {}", cam.timestamp_error_ms());
+            assert!(
+                cam.timestamp_error_ms().abs() < 1.0,
+                "camera err {}",
+                cam.timestamp_error_ms()
+            );
             assert!(imu.timestamp_error_ms().abs() < 1.0);
         }
     }
@@ -367,10 +387,14 @@ mod tests {
         let hw = Synchronizer::new(SyncStrategy::HardwareAssisted, cfg.clone());
         let sw = Synchronizer::new(SyncStrategy::SoftwareOnly, cfg);
         let mut r = rng();
-        let hw_mean: f64 =
-            (0..100).map(|k| hw.stereo_capture_offset_ms(k, &mut r)).sum::<f64>() / 100.0;
-        let sw_mean: f64 =
-            (1..101).map(|k| sw.stereo_capture_offset_ms(k, &mut r)).sum::<f64>() / 100.0;
+        let hw_mean: f64 = (0..100)
+            .map(|k| hw.stereo_capture_offset_ms(k, &mut r))
+            .sum::<f64>()
+            / 100.0;
+        let sw_mean: f64 = (1..101)
+            .map(|k| sw.stereo_capture_offset_ms(k, &mut r))
+            .sum::<f64>()
+            / 100.0;
         assert!(hw_mean < 0.01, "hardware stereo offset {hw_mean} ms");
         assert!(sw_mean > 3.0, "software stereo offset {sw_mean} ms");
     }
@@ -392,12 +416,19 @@ mod tests {
         let hw = Synchronizer::new(SyncStrategy::HardwareAssisted, cfg.clone());
         let sw = Synchronizer::new(SyncStrategy::SoftwareOnly, cfg);
         let mut r = rng();
-        let hw_mean: f64 =
-            (0..100).map(|k| hw.camera_imu_offset_ms(k, &mut r)).sum::<f64>() / 100.0;
-        let sw_mean: f64 =
-            (1..101).map(|k| sw.camera_imu_offset_ms(k, &mut r)).sum::<f64>() / 100.0;
+        let hw_mean: f64 = (0..100)
+            .map(|k| hw.camera_imu_offset_ms(k, &mut r))
+            .sum::<f64>()
+            / 100.0;
+        let sw_mean: f64 = (1..101)
+            .map(|k| sw.camera_imu_offset_ms(k, &mut r))
+            .sum::<f64>()
+            / 100.0;
         assert!(hw_mean < 0.5, "hardware cam-imu offset {hw_mean} ms");
-        assert!(sw_mean > hw_mean * 4.0, "software should be much worse: {sw_mean} vs {hw_mean}");
+        assert!(
+            sw_mean > hw_mean * 4.0,
+            "software should be much worse: {sw_mean} vs {hw_mean}"
+        );
     }
 
     #[test]
@@ -405,7 +436,10 @@ mod tests {
         let sync = Synchronizer::new(SyncStrategy::SoftwareOnly, SyncConfig::default());
         let t_left = sync.camera_trigger(CameraId::FrontLeft, 0);
         let t_right = sync.camera_trigger(CameraId::FrontRight, 0);
-        assert_ne!(t_left, t_right, "free-running timers must have distinct phases");
+        assert_ne!(
+            t_left, t_right,
+            "free-running timers must have distinct phases"
+        );
     }
 
     #[test]
@@ -418,7 +452,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = SyncConfig { seed: 7, ..SyncConfig::default() };
+        let cfg = SyncConfig {
+            seed: 7,
+            ..SyncConfig::default()
+        };
         let a = Synchronizer::new(SyncStrategy::SoftwareOnly, cfg.clone());
         let b = Synchronizer::new(SyncStrategy::SoftwareOnly, cfg);
         assert_eq!(a, b);

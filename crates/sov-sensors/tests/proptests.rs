@@ -1,9 +1,9 @@
 //! Property-based tests for the sensor models.
 
-use proptest::prelude::*;
 use sov_math::{Pose2, SovRng};
 use sov_sensors::camera::{Camera, Intrinsics, StereoRig};
 use sov_sensors::sync::{SyncConfig, SyncStrategy, Synchronizer};
+use sov_testkit::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -64,7 +64,11 @@ impl<T> EventQueue<T> {
     /// Creates an empty queue with the clock at zero.
     #[must_use]
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The time of the most recently popped event (simulation "now").

@@ -98,11 +98,19 @@ impl LatencyModel {
                 let ns = rng.uniform(lo.as_nanos() as f64, hi.as_nanos() as f64 + 1.0);
                 SimDuration::from_nanos(ns as u64)
             }
-            Self::Normal { mean_ms, std_ms, floor_ms } => {
+            Self::Normal {
+                mean_ms,
+                std_ms,
+                floor_ms,
+            } => {
                 let ms = rng.normal(mean_ms, std_ms).max(floor_ms).max(0.0);
                 SimDuration::from_millis_f64(ms)
             }
-            Self::LogNormal { median_ms, sigma, floor_ms } => {
+            Self::LogNormal {
+                median_ms,
+                sigma,
+                floor_ms,
+            } => {
                 let ms = floor_ms + rng.log_normal(median_ms.max(1e-9).ln(), sigma);
                 SimDuration::from_millis_f64(ms.max(0.0))
             }
@@ -128,9 +136,11 @@ impl LatencyModel {
             Self::Uniform { lo, hi } => (lo + hi) / 2,
             // Truncation bias is negligible at the 2σ floor used here.
             Self::Normal { mean_ms, .. } => SimDuration::from_millis_f64(mean_ms.max(0.0)),
-            Self::LogNormal { median_ms, sigma, floor_ms } => {
-                SimDuration::from_millis_f64(floor_ms + median_ms * (sigma * sigma / 2.0).exp())
-            }
+            Self::LogNormal {
+                median_ms,
+                sigma,
+                floor_ms,
+            } => SimDuration::from_millis_f64(floor_ms + median_ms * (sigma * sigma / 2.0).exp()),
         }
     }
 }
@@ -176,15 +186,24 @@ mod tests {
         let m = LatencyModel::normal_millis(100.0, 10.0);
         let mut rng = SovRng::seed_from_u64(3);
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| m.sample(&mut rng).as_millis_f64()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample(&mut rng).as_millis_f64())
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 100.0).abs() < 0.5, "mean was {mean}");
     }
 
     #[test]
     fn log_normal_has_long_tail() {
-        let m = LatencyModel::LogNormal { median_ms: 10.0, sigma: 0.8, floor_ms: 140.0 };
+        let m = LatencyModel::LogNormal {
+            median_ms: 10.0,
+            sigma: 0.8,
+            floor_ms: 140.0,
+        };
         let mut rng = SovRng::seed_from_u64(4);
-        let mut s: Vec<f64> = (0..20_000).map(|_| m.sample(&mut rng).as_millis_f64()).collect();
+        let mut s: Vec<f64> = (0..20_000)
+            .map(|_| m.sample(&mut rng).as_millis_f64())
+            .collect();
         s.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = s[s.len() / 2];
         let p99 = s[(s.len() as f64 * 0.99) as usize];
@@ -201,7 +220,11 @@ mod tests {
             LatencyModel::constant_millis(3.0),
             LatencyModel::uniform_millis(1.0, 2.0),
             LatencyModel::normal_millis(30.0, 5.0),
-            LatencyModel::LogNormal { median_ms: 5.0, sigma: 0.5, floor_ms: 2.0 },
+            LatencyModel::LogNormal {
+                median_ms: 5.0,
+                sigma: 0.5,
+                floor_ms: 2.0,
+            },
         ];
         let mut rng = SovRng::seed_from_u64(5);
         for m in &models {

@@ -119,7 +119,10 @@ impl SimDuration {
     /// Panics (debug builds) if `secs` is negative or non-finite.
     #[must_use]
     pub fn from_secs_f64(secs: f64) -> Self {
-        debug_assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        debug_assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
         Self((secs * 1e9).round() as u64)
     }
 
@@ -130,7 +133,10 @@ impl SimDuration {
     /// Panics (debug builds) if `ms` is negative or non-finite.
     #[must_use]
     pub fn from_millis_f64(ms: f64) -> Self {
-        debug_assert!(ms.is_finite() && ms >= 0.0, "duration must be finite and non-negative");
+        debug_assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be finite and non-negative"
+        );
         Self((ms * 1e6).round() as u64)
     }
 

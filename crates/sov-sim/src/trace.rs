@@ -88,7 +88,10 @@ impl FrameBreakdown {
     /// Duration of one stage (zero if absent).
     #[must_use]
     pub fn stage(&self, stage: Stage) -> SimDuration {
-        self.per_stage.get(&stage).copied().unwrap_or(SimDuration::ZERO)
+        self.per_stage
+            .get(&stage)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -124,7 +127,12 @@ impl TraceLog {
     /// Panics (debug builds) if `end < start`.
     pub fn record(&mut self, frame: u64, stage: Stage, start: SimTime, end: SimTime) {
         debug_assert!(end >= start, "span must end after it starts");
-        self.spans.push(Span { frame, stage, start, end });
+        self.spans.push(Span {
+            frame,
+            stage,
+            start,
+            end,
+        });
     }
 
     /// All recorded spans in insertion order.
@@ -185,8 +193,18 @@ mod tests {
     fn frame_aggregation() {
         let mut log = TraceLog::new();
         log.record(0, Stage::Sensing, SimTime::ZERO, SimTime::from_millis(80));
-        log.record(0, Stage::Perception, SimTime::from_millis(80), SimTime::from_millis(160));
-        log.record(0, Stage::Planning, SimTime::from_millis(160), SimTime::from_millis(163));
+        log.record(
+            0,
+            Stage::Perception,
+            SimTime::from_millis(80),
+            SimTime::from_millis(160),
+        );
+        log.record(
+            0,
+            Stage::Planning,
+            SimTime::from_millis(160),
+            SimTime::from_millis(163),
+        );
         let frames = log.frames();
         let fb = &frames[&0];
         assert_eq!(fb.stage(Stage::Sensing).as_millis_f64(), 80.0);
@@ -200,8 +218,18 @@ mod tests {
         let mut log = TraceLog::new();
         // Localization and scene understanding run in parallel inside
         // perception (Fig. 5).
-        log.record(1, Stage::Perception, SimTime::ZERO, SimTime::from_millis(24));
-        log.record(1, Stage::Perception, SimTime::ZERO, SimTime::from_millis(77));
+        log.record(
+            1,
+            Stage::Perception,
+            SimTime::ZERO,
+            SimTime::from_millis(24),
+        );
+        log.record(
+            1,
+            Stage::Perception,
+            SimTime::ZERO,
+            SimTime::from_millis(77),
+        );
         let frames = log.frames();
         let fb = &frames[&1];
         assert_eq!(fb.total().as_millis_f64(), 77.0);
@@ -218,7 +246,9 @@ mod tests {
         }
         let frames = log.frames();
         assert_eq!(frames.len(), 5);
-        assert!(frames.values().all(|fb| fb.total() == SimDuration::from_millis(10)));
+        assert!(frames
+            .values()
+            .all(|fb| fb.total() == SimDuration::from_millis(10)));
     }
 
     #[test]

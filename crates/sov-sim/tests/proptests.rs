@@ -1,10 +1,10 @@
 //! Property-based tests for the simulation kernel.
 
-use proptest::prelude::*;
+use sov_math::SovRng;
 use sov_sim::event::EventQueue;
 use sov_sim::latency::LatencyModel;
 use sov_sim::time::{SimDuration, SimTime};
-use sov_math::SovRng;
+use sov_testkit::prelude::*;
 
 proptest! {
     #[test]

@@ -28,7 +28,10 @@ impl DrivingTimeModel {
     /// The paper's vehicle: 6 kWh pack, 0.6 kW average base load.
     #[must_use]
     pub fn perceptin_defaults() -> Self {
-        Self { capacity_kwh: 6.0, base_load_kw: 0.6 }
+        Self {
+            capacity_kwh: 6.0,
+            base_load_kw: 0.6,
+        }
     }
 
     /// Driving time (hours) on a single charge with autonomy drawing
@@ -52,9 +55,16 @@ impl DrivingTimeModel {
     /// Fractional revenue loss for a site operating `operating_hours` per
     /// day (Sec. III-B's "3% revenue lost per day" example).
     #[must_use]
-    pub fn revenue_loss_fraction(&self, p_ad_base_kw: f64, p_ad_extra_kw: f64, operating_hours: f64) -> f64 {
+    pub fn revenue_loss_fraction(
+        &self,
+        p_ad_base_kw: f64,
+        p_ad_extra_kw: f64,
+        operating_hours: f64,
+    ) -> f64 {
         let before = self.driving_time_h(p_ad_base_kw).min(operating_hours);
-        let after = self.driving_time_h(p_ad_base_kw + p_ad_extra_kw).min(operating_hours);
+        let after = self
+            .driving_time_h(p_ad_base_kw + p_ad_extra_kw)
+            .min(operating_hours);
         (before - after) / operating_hours
     }
 }
@@ -82,11 +92,31 @@ impl PowerComponent {
 #[must_use]
 pub fn table1_power_breakdown() -> Vec<PowerComponent> {
     vec![
-        PowerComponent { name: "Main computing server (dynamic)", power_w: 118.0, quantity: 1 },
-        PowerComponent { name: "Main computing server (idle)", power_w: 31.0, quantity: 1 },
-        PowerComponent { name: "Embedded vision module (FPGA+cameras/IMU/GPS)", power_w: 11.0, quantity: 1 },
-        PowerComponent { name: "Radar", power_w: 13.0 / 6.0, quantity: 6 },
-        PowerComponent { name: "Sonar", power_w: 2.0 / 8.0, quantity: 8 },
+        PowerComponent {
+            name: "Main computing server (dynamic)",
+            power_w: 118.0,
+            quantity: 1,
+        },
+        PowerComponent {
+            name: "Main computing server (idle)",
+            power_w: 31.0,
+            quantity: 1,
+        },
+        PowerComponent {
+            name: "Embedded vision module (FPGA+cameras/IMU/GPS)",
+            power_w: 11.0,
+            quantity: 1,
+        },
+        PowerComponent {
+            name: "Radar",
+            power_w: 13.0 / 6.0,
+            quantity: 6,
+        },
+        PowerComponent {
+            name: "Sonar",
+            power_w: 2.0 / 8.0,
+            quantity: 8,
+        },
     ]
 }
 
@@ -94,7 +124,10 @@ pub fn table1_power_breakdown() -> Vec<PowerComponent> {
 /// idle + vision module + radars + sonars = 175 W.
 #[must_use]
 pub fn table1_total_pad_w() -> f64 {
-    table1_power_breakdown().iter().map(PowerComponent::total_w).sum()
+    table1_power_breakdown()
+        .iter()
+        .map(PowerComponent::total_w)
+        .sum()
 }
 
 /// Reference LiDAR powers from Table I (not used by the paper's vehicle).
@@ -130,7 +163,10 @@ impl Battery {
     #[must_use]
     pub fn full(capacity_kwh: f64) -> Self {
         assert!(capacity_kwh > 0.0, "capacity must be positive");
-        Self { capacity_kwh, remaining_kwh: capacity_kwh }
+        Self {
+            capacity_kwh,
+            remaining_kwh: capacity_kwh,
+        }
     }
 
     /// Remaining energy (kWh).
@@ -196,8 +232,8 @@ mod tests {
         let m = DrivingTimeModel::perceptin_defaults();
         // Paper: Waymo's LiDAR config would reduce driving time by a
         // further 0.8 h compared to the current system.
-        let delta =
-            m.driving_time_h(0.175) - m.driving_time_h(0.175 + LidarPower::waymo_suite_w() / 1000.0);
+        let delta = m.driving_time_h(0.175)
+            - m.driving_time_h(0.175 + LidarPower::waymo_suite_w() / 1000.0);
         assert!((delta - 0.8).abs() < 0.1, "lidar cost {delta} h");
         assert!((LidarPower::waymo_suite_w() - 92.0).abs() < 1e-9);
     }

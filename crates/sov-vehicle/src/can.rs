@@ -41,7 +41,11 @@ pub struct FrameTooLargeError(pub usize);
 
 impl std::fmt::Display for FrameTooLargeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CAN payload of {} bytes exceeds the 8-byte classical CAN limit", self.0)
+        write!(
+            f,
+            "CAN payload of {} bytes exceeds the 8-byte classical CAN limit",
+            self.0
+        )
     }
 }
 
@@ -57,7 +61,10 @@ impl Ord for Pending {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; invert so the lowest id (highest
         // priority) pops first, FIFO within an id.
-        other.id.cmp(&self.id).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .id
+            .cmp(&self.id)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -147,7 +154,11 @@ impl CanBus {
         if self.frames.len() <= seq as usize {
             self.frames.resize(seq as usize + 1, None);
         }
-        self.frames[seq as usize] = Some(CanFrame { id, data, enqueued_at: now });
+        self.frames[seq as usize] = Some(CanFrame {
+            id,
+            data,
+            enqueued_at: now,
+        });
         Ok(())
     }
 
@@ -155,7 +166,11 @@ impl CanBus {
     /// earlier than `now`. Returns deliveries in bus order.
     pub fn deliver_all(&mut self, now: SimTime) -> Vec<Delivery> {
         let mut out = Vec::new();
-        let mut clock = if self.busy_until > now { self.busy_until } else { now };
+        let mut clock = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
         while let Some(pending) = self.queue.pop() {
             let frame = self.frames[pending.seq as usize]
                 .take()
@@ -165,7 +180,10 @@ impl CanBus {
                 clock = frame.enqueued_at;
             }
             clock += self.frame_time(frame.data.len());
-            out.push(Delivery { frame, delivered_at: clock });
+            out.push(Delivery {
+                frame,
+                delivered_at: clock,
+            });
         }
         self.busy_until = clock;
         out
@@ -191,8 +209,12 @@ mod tests {
     #[test]
     fn single_frame_latency_well_under_1ms() {
         let mut bus = CanBus::new_500kbps();
-        bus.send(CanId::CONTROL_COMMAND, vec![1, 2, 3, 4, 5, 6, 7, 8], SimTime::ZERO)
-            .unwrap();
+        bus.send(
+            CanId::CONTROL_COMMAND,
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            SimTime::ZERO,
+        )
+        .unwrap();
         let deliveries = bus.deliver_all(SimTime::ZERO);
         assert_eq!(deliveries.len(), 1);
         let lat = deliveries[0].latency().as_millis_f64();
@@ -205,9 +227,12 @@ mod tests {
     #[test]
     fn arbitration_prefers_low_ids() {
         let mut bus = CanBus::new_500kbps();
-        bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO).unwrap();
-        bus.send(CanId::CONTROL_COMMAND, vec![0; 8], SimTime::ZERO).unwrap();
-        bus.send(CanId::REACTIVE_OVERRIDE, vec![0; 8], SimTime::ZERO).unwrap();
+        bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO)
+            .unwrap();
+        bus.send(CanId::CONTROL_COMMAND, vec![0; 8], SimTime::ZERO)
+            .unwrap();
+        bus.send(CanId::REACTIVE_OVERRIDE, vec![0; 8], SimTime::ZERO)
+            .unwrap();
         let order: Vec<CanId> = bus
             .deliver_all(SimTime::ZERO)
             .into_iter()
@@ -215,7 +240,11 @@ mod tests {
             .collect();
         assert_eq!(
             order,
-            vec![CanId::REACTIVE_OVERRIDE, CanId::CONTROL_COMMAND, CanId::TELEMETRY]
+            vec![
+                CanId::REACTIVE_OVERRIDE,
+                CanId::CONTROL_COMMAND,
+                CanId::TELEMETRY
+            ]
         );
     }
 
@@ -223,7 +252,8 @@ mod tests {
     fn fifo_within_same_id() {
         let mut bus = CanBus::new_500kbps();
         for i in 0..5u8 {
-            bus.send(CanId::CONTROL_COMMAND, vec![i], SimTime::ZERO).unwrap();
+            bus.send(CanId::CONTROL_COMMAND, vec![i], SimTime::ZERO)
+                .unwrap();
         }
         let payloads: Vec<u8> = bus
             .deliver_all(SimTime::ZERO)
@@ -237,7 +267,8 @@ mod tests {
     fn queueing_delay_accumulates() {
         let mut bus = CanBus::new_500kbps();
         for _ in 0..10 {
-            bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO).unwrap();
+            bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO)
+                .unwrap();
         }
         let deliveries = bus.deliver_all(SimTime::ZERO);
         let first = deliveries.first().unwrap().latency();
@@ -248,7 +279,9 @@ mod tests {
     #[test]
     fn oversized_frame_rejected() {
         let mut bus = CanBus::new_500kbps();
-        let err = bus.send(CanId::TELEMETRY, vec![0; 9], SimTime::ZERO).unwrap_err();
+        let err = bus
+            .send(CanId::TELEMETRY, vec![0; 9], SimTime::ZERO)
+            .unwrap_err();
         assert_eq!(err, FrameTooLargeError(9));
         assert_eq!(bus.pending(), 0);
     }
@@ -256,10 +289,12 @@ mod tests {
     #[test]
     fn bus_stays_busy_across_calls() {
         let mut bus = CanBus::new_500kbps();
-        bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO).unwrap();
+        bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO)
+            .unwrap();
         let d1 = bus.deliver_all(SimTime::ZERO);
         // A frame sent immediately after must wait for the bus to free.
-        bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO).unwrap();
+        bus.send(CanId::TELEMETRY, vec![0; 8], SimTime::ZERO)
+            .unwrap();
         let d2 = bus.deliver_all(SimTime::ZERO);
         assert!(d2[0].delivered_at > d1[0].delivered_at);
     }

@@ -30,7 +30,13 @@ impl CostComponent {
 
 impl fmt::Display for CostComponent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} × {}: ${:.0}", self.name, self.quantity, self.total_usd())
+        write!(
+            f,
+            "{} × {}: ${:.0}",
+            self.name,
+            self.quantity,
+            self.total_usd()
+        )
     }
 }
 
@@ -52,10 +58,26 @@ impl VehicleBom {
         Self {
             name: "Our vehicle (camera-based)",
             components: vec![
-                CostComponent { name: "Cameras (×4) + IMU", unit_price_usd: 1_000.0, quantity: 1 },
-                CostComponent { name: "Radar", unit_price_usd: 500.0, quantity: 6 },
-                CostComponent { name: "Sonar", unit_price_usd: 200.0, quantity: 8 },
-                CostComponent { name: "GPS", unit_price_usd: 1_000.0, quantity: 1 },
+                CostComponent {
+                    name: "Cameras (×4) + IMU",
+                    unit_price_usd: 1_000.0,
+                    quantity: 1,
+                },
+                CostComponent {
+                    name: "Radar",
+                    unit_price_usd: 500.0,
+                    quantity: 6,
+                },
+                CostComponent {
+                    name: "Sonar",
+                    unit_price_usd: 200.0,
+                    quantity: 8,
+                },
+                CostComponent {
+                    name: "GPS",
+                    unit_price_usd: 1_000.0,
+                    quantity: 1,
+                },
             ],
             retail_price_usd: 70_000.0,
         }
@@ -67,8 +89,16 @@ impl VehicleBom {
         Self {
             name: "LiDAR-based vehicle (e.g. Waymo)",
             components: vec![
-                CostComponent { name: "Long-range LiDAR", unit_price_usd: 80_000.0, quantity: 1 },
-                CostComponent { name: "Short-range LiDAR", unit_price_usd: 4_000.0, quantity: 4 },
+                CostComponent {
+                    name: "Long-range LiDAR",
+                    unit_price_usd: 80_000.0,
+                    quantity: 1,
+                },
+                CostComponent {
+                    name: "Short-range LiDAR",
+                    unit_price_usd: 4_000.0,
+                    quantity: 4,
+                },
             ],
             retail_price_usd: 300_000.0,
         }
@@ -173,7 +203,10 @@ mod tests {
         // Sec. III-C: "$70,000 ... allows the tourist site to charge each
         // passenger only $1 per trip."
         let per_trip = tco.cost_per_trip_usd();
-        assert!((0.5..=1.0).contains(&per_trip), "cost per trip ${per_trip:.2}");
+        assert!(
+            (0.5..=1.0).contains(&per_trip),
+            "cost per trip ${per_trip:.2}"
+        );
         assert!(tco.breakeven_trip_price_usd(0.2) < 1.2);
     }
 
@@ -183,12 +216,19 @@ mod tests {
             vehicle_usd: VehicleBom::lidar_based().retail_price_usd,
             ..TcoModel::tourist_site_defaults()
         };
-        assert!(tco.cost_per_trip_usd() > 2.0, "LiDAR TCO per trip must blow the $1 budget");
+        assert!(
+            tco.cost_per_trip_usd() > 2.0,
+            "LiDAR TCO per trip must blow the $1 budget"
+        );
     }
 
     #[test]
     fn component_display() {
-        let c = CostComponent { name: "Radar", unit_price_usd: 500.0, quantity: 6 };
+        let c = CostComponent {
+            name: "Radar",
+            unit_price_usd: 500.0,
+            quantity: 6,
+        };
         assert_eq!(format!("{c}"), "Radar × 6: $3000");
     }
 }

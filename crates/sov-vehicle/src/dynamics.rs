@@ -30,7 +30,11 @@ impl ControlCommand {
     /// A full emergency brake at the vehicle's maximum deceleration.
     #[must_use]
     pub fn emergency_brake(max_decel_mps2: f64) -> Self {
-        Self { throttle_mps2: 0.0, brake_mps2: max_decel_mps2, yaw_rate_rps: 0.0 }
+        Self {
+            throttle_mps2: 0.0,
+            brake_mps2: max_decel_mps2,
+            yaw_rate_rps: 0.0,
+        }
     }
 
     /// Coasting (no inputs).
@@ -97,7 +101,13 @@ impl VehicleState {
     /// Advances the state under `accel` and `yaw_rate` for `dt` seconds,
     /// clamping speed into `[0, params.max_speed]`.
     #[must_use]
-    pub fn step(&self, accel_mps2: f64, yaw_rate_rps: f64, dt: f64, params: &VehicleParams) -> Self {
+    pub fn step(
+        &self,
+        accel_mps2: f64,
+        yaw_rate_rps: f64,
+        dt: f64,
+        params: &VehicleParams,
+    ) -> Self {
         let new_speed = (self.speed_mps + accel_mps2 * dt).clamp(0.0, params.max_speed_mps);
         // Integrate position with the average speed over the step.
         let avg_speed = 0.5 * (self.speed_mps + new_speed);
@@ -126,7 +136,12 @@ impl LatencyBudget {
     /// T_data = 1 ms, T_mech = 19 ms.
     #[must_use]
     pub fn perceptin_defaults() -> Self {
-        Self { speed_mps: 5.6, decel_mps2: 4.0, t_data_s: 0.001, t_mech_s: 0.019 }
+        Self {
+            speed_mps: 5.6,
+            decel_mps2: 4.0,
+            t_data_s: 0.001,
+            t_mech_s: 0.019,
+        }
     }
 
     /// Theoretical lower bound of obstacle avoidance: the braking distance
@@ -222,14 +237,20 @@ mod tests {
             state = state.step(-params.max_decel_mps2, 0.0, dt, &params);
             dist += prev.distance(&state.pose);
         }
-        assert!((dist - params.braking_distance_m(5.6)).abs() < 0.05, "stopped in {dist} m");
+        assert!(
+            (dist - params.braking_distance_m(5.6)).abs() < 0.05,
+            "stopped in {dist} m"
+        );
         assert_eq!(state.speed_mps, 0.0);
     }
 
     #[test]
     fn speed_clamped_at_cap() {
         let params = VehicleParams::perceptin_defaults();
-        let mut state = VehicleState { pose: Pose2::identity(), speed_mps: 8.5 };
+        let mut state = VehicleState {
+            pose: Pose2::identity(),
+            speed_mps: 8.5,
+        };
         for _ in 0..100 {
             state = state.step(2.0, 0.0, 0.1, &params);
         }

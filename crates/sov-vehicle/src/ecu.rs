@@ -163,16 +163,26 @@ mod tests {
     use super::*;
 
     fn ecu() -> Ecu {
-        Ecu::new(EcuConfig::perceptin_defaults(), VehicleParams::perceptin_defaults())
+        Ecu::new(
+            EcuConfig::perceptin_defaults(),
+            VehicleParams::perceptin_defaults(),
+        )
     }
 
     #[test]
     fn command_takes_effect_after_t_mech() {
         let mut ecu = ecu();
-        let cmd = ControlCommand { throttle_mps2: 1.0, brake_mps2: 0.0, yaw_rate_rps: 0.0 };
+        let cmd = ControlCommand {
+            throttle_mps2: 1.0,
+            brake_mps2: 0.0,
+            yaw_rate_rps: 0.0,
+        };
         ecu.accept_command(cmd, SimTime::ZERO);
         // Before 19 ms: still coasting.
-        assert_eq!(ecu.actuation(SimTime::from_millis(10)), ControlCommand::coast());
+        assert_eq!(
+            ecu.actuation(SimTime::from_millis(10)),
+            ControlCommand::coast()
+        );
         // At/after 19 ms: active.
         assert_eq!(ecu.actuation(SimTime::from_millis(19)), cmd);
         assert_eq!(ecu.active_source(), ActuationSource::Proactive);
@@ -196,7 +206,11 @@ mod tests {
         let _ = ecu.actuation(SimTime::from_millis(19));
         // Proactive command during override is ignored.
         ecu.accept_command(
-            ControlCommand { throttle_mps2: 2.0, brake_mps2: 0.0, yaw_rate_rps: 0.0 },
+            ControlCommand {
+                throttle_mps2: 2.0,
+                brake_mps2: 0.0,
+                yaw_rate_rps: 0.0,
+            },
             SimTime::from_millis(20),
         );
         let act = ecu.actuation(SimTime::from_millis(100));

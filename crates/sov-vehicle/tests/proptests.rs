@@ -1,7 +1,7 @@
 //! Property-based tests for the vehicle substrate.
 
-use proptest::prelude::*;
 use sov_sim::time::{SimDuration, SimTime};
+use sov_testkit::prelude::*;
 use sov_vehicle::battery::{Battery, DrivingTimeModel};
 use sov_vehicle::can::{CanBus, CanId};
 use sov_vehicle::dynamics::{LatencyBudget, VehicleParams, VehicleState};

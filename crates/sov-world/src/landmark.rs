@@ -94,10 +94,11 @@ impl LandmarkField {
     /// Appends extra landmarks (e.g. densifying a point-of-interest area).
     pub fn extend_from(&mut self, other: &LandmarkField) {
         let base = self.landmarks.len() as u32;
-        self.landmarks.extend(other.landmarks.iter().map(|lm| Landmark {
-            id: LandmarkId(base + lm.id.0),
-            position: lm.position,
-        }));
+        self.landmarks
+            .extend(other.landmarks.iter().map(|lm| Landmark {
+                id: LandmarkId(base + lm.id.0),
+                position: lm.position,
+            }));
     }
 }
 

@@ -193,7 +193,11 @@ impl Lane {
         let (x0, y0) = self.centerline[i];
         let (x1, y1) = self.centerline[i + 1];
         let seg_len = self.cumulative[i + 1] - self.cumulative[i];
-        let t = if seg_len > 0.0 { (s - self.cumulative[i]) / seg_len } else { 0.0 };
+        let t = if seg_len > 0.0 {
+            (s - self.cumulative[i]) / seg_len
+        } else {
+            0.0
+        };
         Pose2::new(
             x0 + (x1 - x0) * t,
             y0 + (y1 - y0) * t,
@@ -404,12 +408,7 @@ impl LaneMap {
 pub fn rectangular_loop(width: f64, height: f64, lane_width_m: f64, speed_mps: f64) -> LaneMap {
     assert!(width > 0.0 && height > 0.0, "loop extents must be positive");
     let mut map = LaneMap::new();
-    let corners = [
-        (0.0, 0.0),
-        (width, 0.0),
-        (width, height),
-        (0.0, height),
-    ];
+    let corners = [(0.0, 0.0), (width, 0.0), (width, height), (0.0, height)];
     for i in 0..4 {
         let a = corners[i];
         let b = corners[(i + 1) % 4];
@@ -452,8 +451,10 @@ pub fn two_lane_loop(width: f64, height: f64, lane_width_m: f64, speed_mps: f64)
         );
     }
     for i in 0..4u32 {
-        map.connect(LaneId(4 + i), LaneId(4 + (i + 1) % 4)).expect("lanes exist");
-        map.set_adjacent(LaneId(i), LaneId(4 + i)).expect("lanes exist");
+        map.connect(LaneId(4 + i), LaneId(4 + (i + 1) % 4))
+            .expect("lanes exist");
+        map.set_adjacent(LaneId(i), LaneId(4 + i))
+            .expect("lanes exist");
     }
     map
 }
@@ -478,7 +479,10 @@ pub fn rounded_loop(
     lane_width_m: f64,
     speed_mps: f64,
 ) -> LaneMap {
-    assert!(width > 0.0 && height > 0.0 && corner_radius > 0.0, "extents must be positive");
+    assert!(
+        width > 0.0 && height > 0.0 && corner_radius > 0.0,
+        "extents must be positive"
+    );
     assert!(
         2.0 * corner_radius <= width && 2.0 * corner_radius <= height,
         "corner radius must fit the loop extents"
@@ -497,7 +501,11 @@ pub fn rounded_loop(
         ((0.0, height - r), (0.0, -1.0), (r, r)),
     ];
     for (i, &((sx, sy), (dx, dy), (cx, cy))) in sides.iter().enumerate() {
-        let straight_len = if i % 2 == 0 { width - 2.0 * r } else { height - 2.0 * r };
+        let straight_len = if i % 2 == 0 {
+            width - 2.0 * r
+        } else {
+            height - 2.0 * r
+        };
         let mut pts = vec![(sx, sy), (sx + dx * straight_len, sy + dy * straight_len)];
         // Quarter arc from the straight's end heading to the next side's.
         let heading = dy.atan2(dx);
@@ -512,7 +520,8 @@ pub fn rounded_loop(
         );
     }
     for i in 0..4u32 {
-        map.connect(LaneId(i), LaneId((i + 1) % 4)).expect("lanes exist");
+        map.connect(LaneId(i), LaneId((i + 1) % 4))
+            .expect("lanes exist");
     }
     map
 }
@@ -540,7 +549,12 @@ mod tests {
             Err(LaneError::InvalidSpeedLimit(_))
         ));
         assert!(matches!(
-            Lane::new(LaneId(0), vec![(0.0, 0.0), (0.0, 0.0), (1.0, 0.0)], 2.0, 5.0),
+            Lane::new(
+                LaneId(0),
+                vec![(0.0, 0.0), (0.0, 0.0), (1.0, 0.0)],
+                2.0,
+                5.0
+            ),
             Err(LaneError::DegenerateSegment(1))
         ));
     }
@@ -655,7 +669,11 @@ mod tests {
         assert_eq!(route.len(), 4);
         // Length ≈ straights + full circle: 2(80+40) + 2π·10 ≈ 302.8.
         let expected = 2.0 * (80.0 + 40.0) + std::f64::consts::TAU * 10.0;
-        assert!((map.total_length_m() - expected).abs() < 1.0, "len {}", map.total_length_m());
+        assert!(
+            (map.total_length_m() - expected).abs() < 1.0,
+            "len {}",
+            map.total_length_m()
+        );
         // Heading continuity: walk each lane at 0.5 m steps; no jump
         // exceeds what a 12-segment quarter arc implies (~7.5° + slack).
         for lane in map.iter() {

@@ -104,10 +104,8 @@ fn annotation_to_str(a: Annotation) -> &'static str {
 pub fn parse(text: &str) -> Result<LaneMap, OsmParseError> {
     let mut nodes: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
     let mut map = LaneMap::new();
-    let unknown_way = |line: usize| move |e: UnknownLaneError| OsmParseError::UnknownWay {
-        line,
-        way: e.0 .0,
-    };
+    let unknown_way =
+        |line: usize| move |e: UnknownLaneError| OsmParseError::UnknownWay { line, way: e.0 .0 };
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
         let trimmed = raw.trim();
@@ -162,8 +160,7 @@ pub fn parse(text: &str) -> Result<LaneMap, OsmParseError> {
                         "nodes" => {
                             for n in value.split(',') {
                                 node_ids.push(
-                                    n.parse()
-                                        .map_err(|_| malformed("nodes must be integers"))?,
+                                    n.parse().map_err(|_| malformed("nodes must be integers"))?,
                                 );
                             }
                         }
@@ -190,17 +187,21 @@ pub fn parse(text: &str) -> Result<LaneMap, OsmParseError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| malformed("connect needs two way ids"))?;
-                map.connect(LaneId(from), LaneId(to)).map_err(unknown_way(line))?;
+                map.connect(LaneId(from), LaneId(to))
+                    .map_err(unknown_way(line))?;
             }
             "annotate" => {
                 let way: u32 = parts
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| malformed("annotate needs a way id"))?;
-                let tag = parts.next().ok_or_else(|| malformed("annotate needs a tag"))?;
+                let tag = parts
+                    .next()
+                    .ok_or_else(|| malformed("annotate needs a tag"))?;
                 let annotation = annotation_from_str(tag)
                     .ok_or_else(|| malformed(&format!("unknown annotation '{tag}'")))?;
-                map.annotate(LaneId(way), annotation).map_err(unknown_way(line))?;
+                map.annotate(LaneId(way), annotation)
+                    .map_err(unknown_way(line))?;
             }
             "adjacent" => {
                 let left: u32 = parts
@@ -316,7 +317,10 @@ annotate 1 crosswalk
         assert_eq!(lane0.width_m(), 3.0);
         assert!((lane0.length_m() - 100.0).abs() < 1e-9);
         assert_eq!(lane0.successors(), &[LaneId(1)]);
-        assert!(map.lane(LaneId(1)).unwrap().has_annotation(Annotation::Crosswalk));
+        assert!(map
+            .lane(LaneId(1))
+            .unwrap()
+            .has_annotation(Annotation::Crosswalk));
         assert_eq!(map.lane(LaneId(1)).unwrap().speed_limit_mps(), 5.0);
     }
 
@@ -331,14 +335,20 @@ annotate 1 crosswalk
         let err = parse("node 1 0 0\nfrobnicate 3\n").unwrap_err();
         assert_eq!(
             err,
-            OsmParseError::UnknownDirective { line: 2, directive: "frobnicate".into() }
+            OsmParseError::UnknownDirective {
+                line: 2,
+                directive: "frobnicate".into()
+            }
         );
     }
 
     #[test]
     fn unknown_node_reference_errors() {
         let err = parse("way 0 nodes=1,2\n").unwrap_err();
-        assert!(matches!(err, OsmParseError::UnknownNode { line: 1, node: 1 }));
+        assert!(matches!(
+            err,
+            OsmParseError::UnknownNode { line: 1, node: 1 }
+        ));
     }
 
     #[test]
@@ -361,7 +371,11 @@ annotate 1 crosswalk
         assert_eq!(parsed.len(), original.len());
         for lane in original.iter() {
             let round = parsed.lane(lane.id()).expect("lane survives");
-            assert!((round.length_m() - lane.length_m()).abs() < 0.6, "length drift on {}", lane.id());
+            assert!(
+                (round.length_m() - lane.length_m()).abs() < 0.6,
+                "length drift on {}",
+                lane.id()
+            );
             assert_eq!(round.successors(), lane.successors());
             assert_eq!(round.right_neighbor(), lane.right_neighbor());
             assert_eq!(round.width_m(), lane.width_m());
@@ -371,10 +385,17 @@ annotate 1 crosswalk
     #[test]
     fn annotations_roundtrip() {
         let mut map = two_lane_loop(60.0, 30.0, 2.5, 8.9);
-        map.annotate(LaneId(0), Annotation::PointOfInterest).unwrap();
+        map.annotate(LaneId(0), Annotation::PointOfInterest)
+            .unwrap();
         map.annotate(LaneId(1), Annotation::GpsDegraded).unwrap();
         let parsed = parse(&serialize(&map)).unwrap();
-        assert!(parsed.lane(LaneId(0)).unwrap().has_annotation(Annotation::PointOfInterest));
-        assert!(parsed.lane(LaneId(1)).unwrap().has_annotation(Annotation::GpsDegraded));
+        assert!(parsed
+            .lane(LaneId(0))
+            .unwrap()
+            .has_annotation(Annotation::PointOfInterest));
+        assert!(parsed
+            .lane(LaneId(1))
+            .unwrap()
+            .has_annotation(Annotation::GpsDegraded));
     }
 }

@@ -115,7 +115,11 @@ impl ComplexityProfile {
             let (s0, c0) = w[0];
             let (s1, c1) = w[1];
             if frac <= s1 {
-                let t = if s1 > s0 { (frac - s0) / (s1 - s0) } else { 0.0 };
+                let t = if s1 > s0 {
+                    (frac - s0) / (s1 - s0)
+                } else {
+                    0.0
+                };
                 return c0 + (c1 - c0) * t;
             }
         }
@@ -146,11 +150,10 @@ impl Scenario {
     /// Whether GPS is degraded at route fraction `frac`.
     #[must_use]
     pub fn gps_degraded_at(&self, frac: f64) -> bool {
-        self.gps_outages
-            .iter()
-            .any(|&(a, b)| frac >= a && frac < b)
+        self.gps_outages.iter().any(|&(a, b)| frac >= a && frac < b)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         name: &'static str,
         seed: u64,
@@ -179,7 +182,12 @@ impl Scenario {
         );
         Self {
             name,
-            world: World { map, route, landmarks, obstacles: Vec::new() },
+            world: World {
+                map,
+                route,
+                landmarks,
+                obstacles: Vec::new(),
+            },
             complexity,
             gps_outages,
             cruise_speed_mps,
@@ -200,7 +208,12 @@ impl Scenario {
             .expect("rounded loop is connected by construction");
         let landmarks = LandmarkField::generate(1200, (-20.0, 220.0, -20.0, 140.0), &mut rng);
         s.name = "Fishers, Indiana (US) — rounded course";
-        s.world = World { map, route, landmarks, obstacles: s.world.obstacles };
+        s.world = World {
+            map,
+            route,
+            landmarks,
+            obstacles: s.world.obstacles,
+        };
         s
     }
 
@@ -508,11 +521,7 @@ mod tests {
         // Facing away: nothing.
         assert!(s
             .world
-            .nearest_frontal_obstacle(
-                &Pose2::new(50.0, 0.0, std::f64::consts::PI),
-                t,
-                0.5
-            )
+            .nearest_frontal_obstacle(&Pose2::new(50.0, 0.0, std::f64::consts::PI), t, 0.5)
             .is_none());
     }
 }

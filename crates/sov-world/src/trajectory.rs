@@ -77,7 +77,12 @@ impl Route {
             offsets.push(offsets[i] + lane.length_m());
         }
         let total_length = *offsets.last().expect("non-empty");
-        Ok(Self { lane_ids, offsets, speed_limits, total_length })
+        Ok(Self {
+            lane_ids,
+            offsets,
+            speed_limits,
+            total_length,
+        })
     }
 
     /// Total route length in meters.
@@ -157,11 +162,7 @@ mod tests {
 
     fn loop_route() -> (LaneMap, Route) {
         let map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
-        let route = Route::through(
-            &map,
-            vec![LaneId(0), LaneId(1), LaneId(2), LaneId(3)],
-        )
-        .unwrap();
+        let route = Route::through(&map, vec![LaneId(0), LaneId(1), LaneId(2), LaneId(3)]).unwrap();
         (map, route)
     }
 

@@ -57,7 +57,10 @@ fn main() {
             break; // safety valve
         }
     }
-    println!("battery exhausted after {trips} sorties / {:.1} km", total_distance / 1000.0);
+    println!(
+        "battery exhausted after {trips} sorties / {:.1} km",
+        total_distance / 1000.0
+    );
     println!(
         "driving time ≈ {:.1} h (Eq. 2 predicts {:.1} h at {:.0} W autonomy load)",
         f64::from(trips) * 60.0 / 3600.0,
@@ -83,6 +86,10 @@ fn main() {
     println!(
         "release gate across {} sites: {}",
         gate.sites.len(),
-        if gate.release_approved() { "APPROVED — deploying tonight" } else { "BLOCKED" }
+        if gate.release_approved() {
+            "APPROVED — deploying tonight"
+        } else {
+            "BLOCKED"
+        }
     );
 }

@@ -27,7 +27,10 @@ fn drive_with_obstacle(obstacle: Obstacle, seed: u64) -> sov::core::sov::DriveRe
 fn main() {
     let budget = LatencyBudget::perceptin_defaults();
     println!("latency envelopes (Eq. 1 at v = 5.6 m/s, a = 4 m/s²):");
-    println!("  braking-distance limit:      {:.1} m", budget.braking_distance_m());
+    println!(
+        "  braking-distance limit:      {:.1} m",
+        budget.braking_distance_m()
+    );
     println!(
         "  proactive path (164 ms mean): avoids objects ≥ {:.1} m",
         budget.min_avoidable_distance_m(0.164)
@@ -76,5 +79,8 @@ fn main() {
         report.proactive_fraction() * 100.0
     );
     assert_ne!(report.outcome, DriveOutcome::Collision);
-    println!("\nthe reactive path engaged {} time(s) as the last line of defense.", report.override_engagements);
+    println!(
+        "\nthe reactive path engaged {} time(s) as the last line of defense.",
+        report.override_engagements
+    );
 }

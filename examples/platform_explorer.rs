@@ -11,7 +11,10 @@ use sov::platform::rpr::{RprEngine, RprPath};
 
 fn main() {
     println!("== task latencies across candidate platforms (Fig. 6a) ==\n");
-    println!("{:<26} {:>8} {:>8} {:>8} {:>8}", "task", "CPU", "GPU", "TX2", "FPGA");
+    println!(
+        "{:<26} {:>8} {:>8} {:>8} {:>8}",
+        "task", "CPU", "GPU", "TX2", "FPGA"
+    );
     for task in [
         Task::DepthEstimation,
         Task::ObjectDetection,
@@ -33,7 +36,11 @@ fn main() {
     println!("\n== perception mapping strategies (Fig. 8) ==\n");
     for m in PerceptionMapping::fig8_strategies() {
         let lat = m.latency();
-        let ours = if m == PerceptionMapping::ours() { "  ← deployed" } else { "" };
+        let ours = if m == PerceptionMapping::ours() {
+            "  ← deployed"
+        } else {
+            ""
+        };
         println!(
             "  SU@{:<5} loc@{:<5} → perception {:>6.1} ms{ours}",
             m.scene_understanding.name(),

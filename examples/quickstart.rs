@@ -33,7 +33,10 @@ fn main() {
     let mut report = sov.drive(&scenario, 600).expect("at least one frame");
     println!("\ndrive report:");
     println!("  outcome:              {:?}", report.outcome);
-    println!("  distance:             {:.0} m over {} frames", report.distance_m, report.frames);
+    println!(
+        "  distance:             {:.0} m over {} frames",
+        report.distance_m, report.frames
+    );
     println!(
         "  computing latency:    best {:.0} ms / mean {:.0} ms / p99 {:.0} ms",
         report.computing.min(),

@@ -21,7 +21,13 @@ fn main() {
         ("software-only", SyncStrategy::SoftwareOnly),
         ("hardware-assisted", SyncStrategy::HardwareAssisted),
     ] {
-        let sync = Synchronizer::new(strategy, SyncConfig { seed, ..SyncConfig::default() });
+        let sync = Synchronizer::new(
+            strategy,
+            SyncConfig {
+                seed,
+                ..SyncConfig::default()
+            },
+        );
         let mut cam_err = 0.0;
         let mut stereo_off = 0.0;
         let mut cam_imu = 0.0;
@@ -32,16 +38,24 @@ fn main() {
             cam_imu += sync.camera_imu_offset_ms(k, &mut rng);
         }
         println!("{label}:");
-        println!("  mean camera timestamp error:   {:>7.2} ms", cam_err / n as f64);
-        println!("  mean stereo capture offset:    {:>7.2} ms", stereo_off / n as f64);
-        println!("  mean camera-IMU misassociation:{:>7.2} ms\n", cam_imu / n as f64);
+        println!(
+            "  mean camera timestamp error:   {:>7.2} ms",
+            cam_err / n as f64
+        );
+        println!(
+            "  mean stereo capture offset:    {:>7.2} ms",
+            stereo_off / n as f64
+        );
+        println!(
+            "  mean camera-IMU misassociation:{:>7.2} ms\n",
+            cam_imu / n as f64
+        );
     }
 
     println!("== consequence 1: stereo depth (Fig. 11a) ==\n");
     let world = Scenario::nara_japan(seed).world;
     let rig = StereoRig::perceptin_default();
-    let pose_of =
-        |t: SimTime| Pose2::new(20.0, 5.0, 0.2).step_unicycle(4.5, 0.04, t.as_secs_f64());
+    let pose_of = |t: SimTime| Pose2::new(20.0, 5.0, 0.2).step_unicycle(4.5, 0.04, t.as_secs_f64());
     for offset_ms in [0u64, 30, 90] {
         let mut rng = SovRng::seed_from_u64(seed ^ offset_ms);
         let mut est = depth_with_sync_offset(
@@ -71,7 +85,11 @@ fn main() {
     let mut pose = Pose2::identity();
     for i in 0..n {
         let t = i as f64 * dt;
-        let omega = if (t / 4.0) as u64 % 3 == 0 { 0.0 } else { 0.4 };
+        let omega = if ((t / 4.0) as u64).is_multiple_of(3) {
+            0.0
+        } else {
+            0.4
+        };
         pose = pose.step_unicycle(5.6, omega, dt);
         poses.push((SimTime::from_secs_f64(t), pose));
         rates.push(omega);

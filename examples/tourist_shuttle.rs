@@ -33,10 +33,17 @@ fn main() {
     println!("\ndriving time per charge (6 kWh pack, 0.6 kW base load):");
     let configs = [
         ("no autonomy", 0.0),
-        ("deployed SoV (175 W)", SovPowerModel::deployed().total_pad_kw()),
+        (
+            "deployed SoV (175 W)",
+            SovPowerModel::deployed().total_pad_kw(),
+        ),
         (
             "+1 idle server",
-            SovPowerModel { num_servers: 2, ..SovPowerModel::deployed() }.total_pad_kw(),
+            SovPowerModel {
+                num_servers: 2,
+                ..SovPowerModel::deployed()
+            }
+            .total_pad_kw(),
         ),
         (
             "+1 full-load server",
@@ -49,15 +56,18 @@ fn main() {
         ),
         (
             "LiDAR suite",
-            SovPowerModel { lidar_suite: true, ..SovPowerModel::deployed() }.total_pad_kw(),
+            SovPowerModel {
+                lidar_suite: true,
+                ..SovPowerModel::deployed()
+            }
+            .total_pad_kw(),
         ),
     ];
     for (name, pad) in configs {
         println!(
             "  {name:<24} {:>5.2} h  (revenue impact on a 10 h day: {:>4.1}%)",
             m.driving_time_h(pad),
-            (10.0f64.min(m.driving_time_h(0.175)) - 10.0f64.min(m.driving_time_h(pad)))
-                .max(0.0)
+            (10.0f64.min(m.driving_time_h(0.175)) - 10.0f64.min(m.driving_time_h(pad))).max(0.0)
                 / 10.0
                 * 100.0
         );
@@ -70,6 +80,12 @@ fn main() {
         vehicle_usd: VehicleBom::lidar_based().retail_price_usd,
         ..TcoModel::tourist_site_defaults()
     };
-    println!("  camera-based ($70k vehicle): ${:.2}/trip — the $1 fare works", camera.cost_per_trip_usd());
-    println!("  LiDAR-based ($300k vehicle): ${:.2}/trip — the $1 fare does not", lidar.cost_per_trip_usd());
+    println!(
+        "  camera-based ($70k vehicle): ${:.2}/trip — the $1 fare works",
+        camera.cost_per_trip_usd()
+    );
+    println!(
+        "  LiDAR-based ($300k vehicle): ${:.2}/trip — the $1 fare does not",
+        lidar.cost_per_trip_usd()
+    );
 }

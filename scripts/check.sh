@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, and the tier-1 suite.
+#
+# Everything here runs fully offline — the workspace has no external
+# dependencies (see DESIGN.md §3), so `--offline` only asserts that this
+# stays true.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build --release =="
+cargo build --offline --workspace --release
+
+echo "== tier-1: test =="
+cargo test --offline --workspace -q
+
+echo "All checks passed."

@@ -53,7 +53,10 @@ fn latency_profile_is_stable_across_seeds() {
         means.push(report.computing.mean());
     }
     for m in &means {
-        assert!((130.0..210.0).contains(m), "mean latency {m} ms out of family");
+        assert!(
+            (130.0..210.0).contains(m),
+            "mean latency {m} ms out of family"
+        );
     }
 }
 
@@ -73,7 +76,10 @@ fn mobile_soc_variant_would_blow_the_latency_budget() {
     let budget = VehicleConfig::perceptin_pod().latency_budget();
     let pod_d = budget.min_avoidable_distance_m(pod_mean / 1000.0);
     let tx2_d = budget.min_avoidable_distance_m(tx2_mean / 1000.0);
-    assert!(tx2_d > pod_d + 3.0, "TX2 needs {tx2_d:.1} m vs {pod_d:.1} m");
+    assert!(
+        tx2_d > pod_d + 3.0,
+        "TX2 needs {tx2_d:.1} m vs {pod_d:.1} m"
+    );
 }
 
 #[test]
@@ -98,7 +104,12 @@ fn reactive_path_covers_for_a_bad_detector() {
     // Swap in a badly mismatched model mid-deployment.
     sov_core_detector_downgrade(&mut sov);
     let report = sov.drive(&scenario, 250).unwrap();
-    assert_ne!(report.outcome, DriveOutcome::Collision, "gap {}", report.min_obstacle_gap_m);
+    assert_ne!(
+        report.outcome,
+        DriveOutcome::Collision,
+        "gap {}",
+        report.min_obstacle_gap_m
+    );
     assert!(report.min_obstacle_gap_m > 0.05);
 
     fn sov_core_detector_downgrade(sov: &mut Sov) {

@@ -18,7 +18,10 @@ fn claim_latency_mean_164ms_and_5m_avoidance() {
     let profile = ComplexityProfile::new(vec![(0.0, 0.3), (0.5, 0.6), (1.0, 0.3)]);
     let mut c = Characterization::run(&config, &profile, 12_000, 123);
     let mean = c.computing.mean();
-    assert!((140.0..190.0).contains(&mean), "mean {mean} ms (paper: 164)");
+    assert!(
+        (140.0..190.0).contains(&mean),
+        "mean {mean} ms (paper: 164)"
+    );
     let d = c.avoidable_distance_mean_m(&config);
     assert!((4.3..6.0).contains(&d), "avoidance {d} m (paper: 5)");
 }
@@ -29,7 +32,10 @@ fn claim_sensing_is_half_of_sov_latency() {
     let profile = ComplexityProfile::uniform(0.4);
     let c = Characterization::run(&config, &profile, 8_000, 7);
     let frac = c.sensing.mean() / c.computing.mean();
-    assert!((0.38..0.62).contains(&frac), "sensing fraction {frac} (paper: ~50%)");
+    assert!(
+        (0.38..0.62).contains(&frac),
+        "sensing fraction {frac} (paper: ~50%)"
+    );
 }
 
 #[test]
@@ -39,7 +45,10 @@ fn claim_fpga_offload_speeds_perception_1_6x() {
         localization: Platform::Gtx1060Gpu,
     };
     let speedup = PerceptionMapping::ours().speedup_over(&shared);
-    assert!((1.4..1.8).contains(&speedup), "speedup {speedup} (paper: 1.6×)");
+    assert!(
+        (1.4..1.8).contains(&speedup),
+        "speedup {speedup} (paper: 1.6×)"
+    );
 }
 
 #[test]
@@ -66,7 +75,10 @@ fn claim_cost_numbers() {
     let ours = VehicleBom::camera_based();
     let lidar = VehicleBom::lidar_based();
     assert_eq!(ours.retail_price_usd, 70_000.0);
-    assert!(lidar.retail_price_usd / ours.retail_price_usd > 4.0, "paper: >10× claimed vs possible");
+    assert!(
+        lidar.retail_price_usd / ours.retail_price_usd > 4.0,
+        "paper: >10× claimed vs possible"
+    );
     // "our cameras + IMU setup costs about $1,000" vs "$80,000" LiDAR.
     let cam_imu = ours
         .components
@@ -99,11 +111,19 @@ fn claim_codesign_cost_ratios() {
     let cpu = Platform::CoffeeLakeCpu;
     let kcf = Task::KcfTracking.profile(cpu).mean_latency_ms();
     let sync = Task::SpatialSync.profile(cpu).mean_latency_ms();
-    assert!((kcf / sync - 100.0).abs() < 5.0, "paper: spatial sync is 100× lighter");
-    let vio = Task::LocalizationKeyframe.profile(Platform::ZynqFpga).mean_latency_ms();
+    assert!(
+        (kcf / sync - 100.0).abs() < 5.0,
+        "paper: spatial sync is 100× lighter"
+    );
+    let vio = Task::LocalizationKeyframe
+        .profile(Platform::ZynqFpga)
+        .mean_latency_ms();
     let ekf = Task::EkfFusion.profile(cpu).mean_latency_ms();
     assert!(vio / ekf > 20.0, "paper: 1 ms EKF vs 24 ms VIO");
     let em = Task::EmPlanning.profile(cpu).mean_latency_ms();
     let mpc = Task::MpcPlanning.profile(cpu).mean_latency_ms();
-    assert!((em / mpc - 33.3).abs() < 1.0, "paper: EM planner is 33× our planner");
+    assert!(
+        (em / mpc - 33.3).abs() < 1.0,
+        "paper: EM planner is 33× our planner"
+    );
 }

@@ -34,7 +34,13 @@ fn detection_plus_radar_tracking_label_an_obstacle() {
     let world = Scenario::fishers_indiana(4).world;
     let cam = Camera::new(Intrinsics::hd1080(), 0.0, 1.2, 60.0, 0.5).unwrap();
     let mut detector = Detector::new(DetectorProfile::matched(), 4);
-    let mut radar = Radar::new(RadarConfig { instability_prob: 0.0, ..RadarConfig::default() }, 4);
+    let mut radar = Radar::new(
+        RadarConfig {
+            instability_prob: 0.0,
+            ..RadarConfig::default()
+        },
+        4,
+    );
     let mut tracker = RadarTracker::new();
     let intr = Intrinsics::hd1080();
     // Approach the static obstacle at (60, 0.3) while it is active.
@@ -44,14 +50,23 @@ fn detection_plus_radar_tracking_label_an_obstacle() {
         let pose = Pose2::new(38.0 + 0.56 * k as f64, 0.0, 0.0);
         let scan = radar.scan(&pose, 5.6, &world, t);
         tracker.update(&scan);
-        let frame = cam.capture(&pose, &world, &world.landmarks, t, &mut SovRng::seed_from_u64(k));
+        let frame = cam.capture(
+            &pose,
+            &world,
+            &world.landmarks,
+            t,
+            &mut SovRng::seed_from_u64(k),
+        );
         let detections = detector.detect(&frame, |_| ObstacleClass::StaticObject);
         let pairs = spatial_synchronize(&mut tracker, &detections, &intr, 80.0);
         if !pairs.is_empty() {
             labeled = true;
         }
     }
-    assert!(labeled, "spatial synchronization should label the radar track");
+    assert!(
+        labeled,
+        "spatial synchronization should label the radar track"
+    );
     assert!(!tracker.tracks().is_empty());
     assert!(tracker.tracks().iter().any(|t| t.class.is_some()));
 }
@@ -89,13 +104,18 @@ fn dense_stereo_on_rendered_world_views() {
     let left_img = rasterize(&left_frame, 99);
     let right_img = rasterize(&right_frame, 99);
 
-    let matcher = DenseStereoMatcher { max_disparity: 48, ..DenseStereoMatcher::default() };
+    let matcher = DenseStereoMatcher {
+        max_disparity: 48,
+        ..DenseStereoMatcher::default()
+    };
     let disparity = matcher.compute(&left_img, &right_img);
 
     // Check recovered disparity at each co-visible feature.
     let mut errors = Vec::new();
     for lf in &left_frame.features {
-        let Some(rf) = right_frame.feature(lf.landmark) else { continue };
+        let Some(rf) = right_frame.feature(lf.landmark) else {
+            continue;
+        };
         let true_disp = (lf.pixel.0 - rf.pixel.0) * scale;
         if !(3.0..45.0).contains(&true_disp) {
             continue;
@@ -108,7 +128,11 @@ fn dense_stereo_on_rendered_world_views() {
             errors.push((f64::from(d) - true_disp).abs());
         }
     }
-    assert!(errors.len() >= 5, "need co-visible rendered features, got {}", errors.len());
+    assert!(
+        errors.len() >= 5,
+        "need co-visible rendered features, got {}",
+        errors.len()
+    );
     // Median error: overlapping blobs create occlusion-like outliers that
     // a real pipeline would reject with a left-right consistency check.
     errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -148,7 +172,14 @@ fn vio_plus_gps_survives_scenario_outage_windows() {
         }
     }
     let err = vio.pose().distance(&truth);
-    assert!(err < 2.0, "fused error {err} m after {:.0} m", 5.6 * frames as f64 * dt);
+    assert!(
+        err < 2.0,
+        "fused error {err} m after {:.0} m",
+        5.6 * frames as f64 * dt
+    );
     assert!(fusion.fixes_fused() > 500);
-    assert!(fusion.fixes_gated() > 0, "multipath fixes must be gated in the outage window");
+    assert!(
+        fusion.fixes_gated() > 0,
+        "multipath fixes must be gated in the outage window"
+    );
 }
