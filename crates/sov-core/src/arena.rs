@@ -1,0 +1,7 @@
+//! Per-frame reusable buffers for the drive loop's hot path.
+//!
+//! Re-export of [`sov_runtime::arena`]; see that module for the design.
+//! `Sov::drive_with_plan` threads a [`FrameArena`] through every control
+//! tick so the steady-state obstacle/detection buffers never re-allocate.
+
+pub use sov_runtime::arena::{ArenaStats, FrameArena};

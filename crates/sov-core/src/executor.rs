@@ -221,8 +221,21 @@ pub fn try_run_pipeline<T: Send + Clone + 'static>(
                 scope.spawn(move || {
                     for (born, item) in input {
                         let mut attempt = 0u32;
+                        let mut item = Some(item);
                         let out = loop {
-                            let attempt_input = item.clone();
+                            // Clone only while a later retry could still
+                            // need the original; the final permitted
+                            // attempt consumes the item, so the common
+                            // `max_retries == 0` path moves every item
+                            // through the whole pipeline without a single
+                            // copy.
+                            let attempt_input = if attempt < policy.max_retries {
+                                item.as_ref()
+                                    .cloned()
+                                    .expect("unconsumed until last attempt")
+                            } else {
+                                item.take().expect("unconsumed until last attempt")
+                            };
                             let attempt_start = Instant::now();
                             let result =
                                 catch_unwind(AssertUnwindSafe(|| (stage.work)(attempt_input)));
@@ -334,6 +347,51 @@ mod tests {
         assert_eq!(report.latencies.len(), 20);
         assert_eq!(report.deadline_misses, 0);
         assert_eq!(report.retries, 0);
+    }
+
+    #[test]
+    fn zero_retry_pipeline_never_clones_items() {
+        /// Counts every clone it suffers.
+        #[derive(Debug)]
+        struct CloneCounter(Arc<AtomicU64>);
+        impl Clone for CloneCounter {
+            fn clone(&self) -> Self {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Self(Arc::clone(&self.0))
+            }
+        }
+        let clones = Arc::new(AtomicU64::new(0));
+        let items: Vec<CloneCounter> = (0..25).map(|_| CloneCounter(Arc::clone(&clones))).collect();
+        let stages = vec![
+            Stage::new("a", |x: CloneCounter| x),
+            Stage::new("b", |x: CloneCounter| x),
+            Stage::new("c", |x: CloneCounter| x),
+        ];
+        let policy = PipelinePolicy {
+            max_retries: 0,
+            ..PipelinePolicy::default()
+        };
+        let report = try_run_pipeline(stages, items, &policy).expect("no failures");
+        assert_eq!(report.items, 25);
+        assert_eq!(
+            clones.load(Ordering::Relaxed),
+            0,
+            "items must move through every stage without copies"
+        );
+        // With retries enabled the defensive per-attempt clone returns —
+        // one per non-final attempt opportunity per stage.
+        let items: Vec<CloneCounter> = (0..10).map(|_| CloneCounter(Arc::clone(&clones))).collect();
+        let stages = vec![Stage::new("a", |x: CloneCounter| x)];
+        let policy = PipelinePolicy {
+            max_retries: 2,
+            ..PipelinePolicy::default()
+        };
+        let _ = try_run_pipeline(stages, items, &policy).expect("no failures");
+        assert_eq!(
+            clones.load(Ordering::Relaxed),
+            10,
+            "retry-capable attempts clone exactly once per item per stage"
+        );
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //!   panic isolation, per-stage deadlines) demonstrating the task-level
 //!   parallelism of Sec. IV: throughput is set by the slowest stage while
 //!   latency is the sum of stages.
+//! * [`pool`] / [`arena`] — the complementary *intra*-frame layer
+//!   (re-exported from `sov-runtime`): a deterministic worker pool whose
+//!   chunked kernels are bit-identical to serial at any lane count, and
+//!   per-frame reusable buffers that keep the steady-state control tick
+//!   free of heap allocation.
 //! * [`health`] — stale-data watchdogs and the degradation state machine
 //!   (`Nominal → DegradedLocalization → ReactiveOnly → SafeStop`) that
 //!   keeps the vehicle safe when sensors or compute fail.
@@ -40,13 +45,17 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod characterize;
 pub mod config;
 pub mod executor;
 pub mod health;
 pub mod pipeline;
+pub mod pool;
 pub mod sov;
 
+pub use arena::FrameArena;
 pub use config::VehicleConfig;
 pub use health::{DegradationMode, HealthConfig, HealthMonitor};
+pub use pool::{PerfContext, WorkerPool};
 pub use sov::{DriveOutcome, DriveReport, Sov};

@@ -1,0 +1,11 @@
+//! The std-only persistent worker pool for deterministic intra-frame data
+//! parallelism.
+//!
+//! The implementation lives in [`sov_runtime::pool`] so that the
+//! perception and LiDAR substrates (which `sov-core` depends on, not the
+//! other way round) can accept a [`WorkerPool`] in their hot kernels; this
+//! module re-exports it as the canonical `sov_core::pool` surface used by
+//! the drive loop and the experiment harness.
+
+pub use sov_runtime::pool::WorkerPool;
+pub use sov_runtime::PerfContext;

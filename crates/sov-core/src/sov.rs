@@ -26,6 +26,7 @@
 use crate::config::VehicleConfig;
 use crate::health::{DegradationMode, HealthConfig, HealthMonitor};
 use crate::pipeline::LatencyPipeline;
+use crate::pool::PerfContext;
 use sov_fault::{FaultKind, FaultPlan};
 use sov_math::stats::Summary;
 use sov_math::{angle, SovRng};
@@ -78,7 +79,11 @@ impl fmt::Display for SovError {
 impl std::error::Error for SovError {}
 
 /// Statistics of one drive.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is exact (bitwise on every float): the determinism tests
+/// assert that a pool-enabled drive produces a report identical to the
+/// serial drive.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriveReport {
     /// Outcome.
     pub outcome: DriveOutcome,
@@ -151,6 +156,9 @@ pub struct Sov {
     latency: LatencyPipeline,
     synchronizer: Synchronizer,
     rng: SovRng,
+    /// Intra-frame parallelism + per-frame buffer reuse. Defaults to
+    /// serial; never affects any computed value (determinism invariant).
+    perf: PerfContext,
 }
 
 impl Sov {
@@ -168,6 +176,7 @@ impl Sov {
             latency: LatencyPipeline::new(&config, seed),
             synchronizer: Synchronizer::new(config.sync_strategy, config.sync_config.clone()),
             rng: SovRng::seed_from_u64(seed ^ 0x534F56),
+            perf: PerfContext::default(),
             config,
         }
     }
@@ -176,6 +185,20 @@ impl Sov {
     #[must_use]
     pub fn config(&self) -> &VehicleConfig {
         &self.config
+    }
+
+    /// Installs an intra-frame performance context (worker pool + frame
+    /// arena). A pool-enabled drive is bit-identical to a serial one —
+    /// the pool only changes who computes, never what.
+    pub fn set_perf(&mut self, perf: PerfContext) {
+        self.perf = perf;
+    }
+
+    /// The active performance context (e.g. to inspect
+    /// [`ArenaStats`](crate::arena::ArenaStats) after a drive).
+    #[must_use]
+    pub fn perf(&self) -> &PerfContext {
+        &self.perf
     }
 
     /// Mutable access to the detector, e.g. to deploy a newly trained model
@@ -277,9 +300,12 @@ impl Sov {
         queue.schedule(SimTime::from_millis(50), Ev::Gps(0));
         queue.schedule(SimTime::ZERO, Ev::Control(0));
 
-        // Latest sensor products consumed by the control tick.
+        // Latest sensor products consumed by the control tick. The
+        // detection buffer comes from the frame arena and is refilled in
+        // place at the camera rate — no steady-state allocation.
         let mut last_scan: Option<sov_sensors::radar::RadarScan> = None;
-        let mut last_detections: Vec<sov_perception::detection::Detection> = Vec::new();
+        let mut last_detections: Vec<sov_perception::detection::Detection> = self.perf.arena.take();
+        last_detections.clear();
         // Camera-frame bookkeeping for the VIO front-end.
         let mut last_camera_pose = start_pose;
         let mut last_camera_t = SimTime::ZERO;
@@ -369,13 +395,17 @@ impl Sov {
                     let cam_frame =
                         self.camera
                             .capture(&state.pose, world, &world.landmarks, t, &mut self.rng);
-                    last_detections = self.detector.detect(&cam_frame, |id| {
-                        world
-                            .obstacles
-                            .iter()
-                            .find(|o| o.id == id)
-                            .map_or(ObstacleClass::StaticObject, |o| o.class)
-                    });
+                    self.detector.detect_into(
+                        &cam_frame,
+                        |id| {
+                            world
+                                .obstacles
+                                .iter()
+                                .find(|o| o.id == id)
+                                .map_or(ObstacleClass::StaticObject, |o| o.class)
+                        },
+                        &mut last_detections,
+                    );
                     // VIO consumes frame-to-frame ego-motion. The sync
                     // design decides how well the camera timestamps align
                     // with the IMU timeline (Sec. VI-A); software-only sync
@@ -477,9 +507,10 @@ impl Sov {
                     // vehicle-frame lateral plus the vehicle's own route
                     // offset, so maneuver targets and obstacles share a
                     // frame.
-                    let mut obstacles: Vec<PlanningObstacle> = last_scan
-                        .as_ref()
-                        .map(|scan| {
+                    let mut obstacles: Vec<PlanningObstacle> = self.perf.arena.take();
+                    obstacles.clear();
+                    if let Some(scan) = last_scan.as_ref() {
+                        obstacles.extend(
                             scan.targets
                                 .iter()
                                 .filter(|tg| tg.azimuth_rad.abs() < 1.2)
@@ -489,10 +520,9 @@ impl Sov {
                                     speed_along_mps: (state.speed_mps + tg.radial_velocity_mps)
                                         .max(0.0),
                                     radius_m: 0.6,
-                                })
-                                .collect()
-                        })
-                        .unwrap_or_default();
+                                }),
+                        );
+                    }
                     // With the proactive perception path degraded the
                     // camera detections are stale — plan on radar alone.
                     if mode < DegradationMode::ReactiveOnly {
@@ -541,6 +571,10 @@ impl Sov {
                         right_lane_available: right_ok,
                     };
                     let plan = self.planner.plan(&input);
+                    // The obstacle buffer goes back to the arena so the
+                    // next tick reuses its capacity.
+                    let PlanningInput { obstacles, .. } = input;
+                    self.perf.arena.recycle(obstacles);
                     // The command reaches the ECU after computing + CAN —
                     // unless the CAN frame is lost, in which case the ECU
                     // simply keeps actuating the previous command.
@@ -585,6 +619,7 @@ impl Sov {
                 }
             }
         }
+        self.perf.arena.recycle(last_detections);
         report.energy_used_kwh = self.config.battery.capacity_kwh - battery.remaining_kwh();
         report.mode_transitions = health.transitions().len() as u64;
         report.deadline_misses = health.deadline_misses();
@@ -800,6 +835,24 @@ mod tests {
             report.min_obstacle_gap_m
         );
         assert!(report.min_obstacle_gap_m > 0.05);
+    }
+
+    #[test]
+    fn pooled_drive_report_is_identical_and_allocation_free() {
+        let scenario = Scenario::fishers_indiana(3);
+        let mut serial = Sov::new(VehicleConfig::perceptin_pod(), 3);
+        let r_serial = serial.drive(&scenario, 200).unwrap();
+        let mut pooled = Sov::new(VehicleConfig::perceptin_pod(), 3);
+        pooled.set_perf(PerfContext::with_workers(4));
+        let r_pooled = pooled.drive(&scenario, 200).unwrap();
+        assert_eq!(r_pooled, r_serial, "pool must not change the drive");
+        // With the arena warm, a further drive's steady-state control
+        // ticks allocate nothing: every buffer comes off the free list.
+        pooled.perf().arena.reset_stats();
+        let _ = pooled.drive(&scenario, 50).unwrap();
+        let stats = pooled.perf().arena.stats();
+        assert_eq!(stats.allocations, 0, "steady state must be reuse-only");
+        assert!(stats.reuses > 0, "arena must actually be exercised");
     }
 
     #[test]

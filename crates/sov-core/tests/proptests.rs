@@ -85,3 +85,82 @@ proptest! {
         prop_assert_eq!(stage_sum, expected_total, "serial spans partition the frame");
     }
 }
+
+// Determinism invariant of the intra-frame layer (`sov_core::pool`):
+// chunked pool primitives are bit-identical to serial for any worker
+// count, and a pool-enabled drive produces an unchanged DriveReport.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pool_map_reduce_bit_identical_across_lanes(
+        values in prop::collection::vec(-1000.0f64..1000.0, 1..400),
+        chunk in 1usize..64,
+        lanes in 1usize..9,
+    ) {
+        use sov_runtime::pool::map_reduce_chunks;
+        let serial = map_reduce_chunks(
+            None,
+            &values,
+            chunk,
+            |_, c| c.iter().sum::<f64>(),
+            0.0f64,
+            |acc, s| acc + s,
+        );
+        let pool = sov_core::pool::WorkerPool::new(lanes);
+        let pooled = map_reduce_chunks(
+            Some(&pool),
+            &values,
+            chunk,
+            |_, c| c.iter().sum::<f64>(),
+            0.0f64,
+            |acc, s| acc + s,
+        );
+        prop_assert_eq!(pooled.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn pool_parallel_for_bit_identical_across_lanes(
+        values in prop::collection::vec(-1000.0f64..1000.0, 1..400),
+        chunk in 1usize..64,
+        lanes in 1usize..9,
+    ) {
+        use sov_runtime::pool::for_chunks;
+        let mut serial = values.clone();
+        for_chunks(None, &mut serial, chunk, |start, c| {
+            for (i, v) in c.iter_mut().enumerate() {
+                *v = v.sin() * (start + i) as f64;
+            }
+        });
+        let pool = sov_core::pool::WorkerPool::new(lanes);
+        let mut pooled = values;
+        for_chunks(Some(&pool), &mut pooled, chunk, |start, c| {
+            for (i, v) in c.iter_mut().enumerate() {
+                *v = v.sin() * (start + i) as f64;
+            }
+        });
+        let serial_bits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let pooled_bits: Vec<u64> = pooled.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(pooled_bits, serial_bits);
+    }
+}
+
+// Whole-drive invariance is expensive per case; a few seeds suffice on
+// top of the unit test in `sov::tests`.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn pooled_drive_reports_are_unchanged(seed in 0u64..1_000, lanes in 2usize..9) {
+        use sov_core::pool::PerfContext;
+        use sov_core::sov::Sov;
+        use sov_world::scenario::Scenario;
+        let scenario = Scenario::fishers_indiana(seed);
+        let mut serial = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        let r_serial = serial.drive(&scenario, 80).expect("drive runs");
+        let mut pooled = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        pooled.set_perf(PerfContext::with_workers(lanes));
+        let r_pooled = pooled.drive(&scenario, 80).expect("drive runs");
+        prop_assert_eq!(r_pooled, r_serial);
+    }
+}

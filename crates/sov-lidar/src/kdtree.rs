@@ -6,6 +6,15 @@
 //! converts into memory-access streams for the cache study.
 
 use crate::cloud::{dist_sq, Point, PointCloud};
+use sov_runtime::pool::WorkerPool;
+
+/// Subtrees smaller than this are never split into separate build jobs.
+const SUBTREE_SPLIT_MIN: usize = 512;
+
+/// Upper bound on parallel subtree build jobs. Fixed (never derived from
+/// worker count) so the job layout — and the tree — is identical for any
+/// pool size.
+const MAX_SUBTREE_JOBS: usize = 16;
 
 /// One kd-tree node (index-based, stored in a flat arena).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,25 +56,147 @@ impl KdTree {
     /// Returns an empty tree for an empty cloud.
     #[must_use]
     pub fn build(cloud: &PointCloud) -> Self {
+        Self::build_with(cloud, None)
+    }
+
+    /// [`Self::build`] with optional intra-frame parallelism.
+    ///
+    /// The arena layout is pre-order (a node, then its whole left subtree,
+    /// then its right), so a subtree of `m` points occupies exactly `m`
+    /// contiguous arena slots whose positions are known before the subtree
+    /// is built. The top of the tree is expanded serially into at most
+    /// [`MAX_SUBTREE_JOBS`] subtree jobs owning disjoint node and index
+    /// ranges; jobs then build concurrently, and the resulting tree is
+    /// bit-identical to the serial build for any worker count.
+    #[must_use]
+    pub fn build_with(cloud: &PointCloud, pool: Option<&WorkerPool>) -> Self {
         let points: Vec<Point> = cloud.points().to_vec();
-        let mut indices: Vec<usize> = (0..points.len()).collect();
-        let mut nodes = Vec::with_capacity(points.len());
-        let root = Self::build_rec(&points, &mut indices[..], 0, &mut nodes);
+        let n = points.len();
+        if n == 0 {
+            return Self {
+                nodes: Vec::new(),
+                root: NONE,
+                points,
+            };
+        }
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut nodes = vec![
+            Node {
+                point: 0,
+                axis: 0,
+                left: NONE,
+                right: NONE,
+            };
+            n
+        ];
+        /// One pending subtree: disjoint arena and index ranges plus the
+        /// depth and absolute arena offset of its root.
+        struct Job<'a> {
+            nodes: &'a mut [Node],
+            indices: &'a mut [usize],
+            depth: usize,
+            base: usize,
+        }
+        let mut jobs: Vec<Job> = vec![Job {
+            nodes: &mut nodes,
+            indices: &mut indices,
+            depth: 0,
+            base: 0,
+        }];
+        // Serial frontier expansion: repeatedly split the largest job's
+        // root until every job is small or the job cap is reached. The
+        // split sequence depends only on the input, never the pool.
+        while jobs.len() < MAX_SUBTREE_JOBS {
+            let Some(pos) = jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.indices.len() > SUBTREE_SPLIT_MIN)
+                .max_by_key(|(_, j)| j.indices.len())
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let job = jobs.swap_remove(pos);
+            let axis = job.depth % 3;
+            job.indices.sort_by(|&a, &b| {
+                points[a][axis]
+                    .partial_cmp(&points[b][axis])
+                    .expect("finite coordinates")
+            });
+            let mid = job.indices.len() / 2;
+            let (root_node, child_nodes) = job.nodes.split_first_mut().expect("non-empty job");
+            let (left_nodes, right_nodes) = child_nodes.split_at_mut(mid);
+            let (left_indices, rest) = job.indices.split_at_mut(mid);
+            let (mid_index, right_indices) = rest.split_first_mut().expect("mid in range");
+            *root_node = Node {
+                point: *mid_index,
+                axis,
+                left: if left_indices.is_empty() {
+                    NONE
+                } else {
+                    job.base + 1
+                },
+                right: if right_indices.is_empty() {
+                    NONE
+                } else {
+                    job.base + 1 + mid
+                },
+            };
+            if !left_indices.is_empty() {
+                jobs.push(Job {
+                    nodes: left_nodes,
+                    indices: left_indices,
+                    depth: job.depth + 1,
+                    base: job.base + 1,
+                });
+            }
+            if !right_indices.is_empty() {
+                jobs.push(Job {
+                    nodes: right_nodes,
+                    indices: right_indices,
+                    depth: job.depth + 1,
+                    base: job.base + 1 + mid,
+                });
+            }
+        }
+        // Each job writes only its own ranges, so processing order cannot
+        // affect the result; chunk size 1 lets the pool balance the
+        // unequal subtree sizes.
+        let build_job = |job: &mut Job| {
+            Self::build_into(&points, job.indices, job.depth, job.base, job.nodes);
+        };
+        match pool {
+            Some(pool) => pool.parallel_for(&mut jobs, 1, |_, chunk| {
+                for job in chunk {
+                    build_job(job);
+                }
+            }),
+            None => {
+                for job in &mut jobs {
+                    build_job(job);
+                }
+            }
+        }
+        drop(jobs);
         Self {
             nodes,
-            root,
+            root: 0,
             points,
         }
     }
 
-    fn build_rec(
+    /// Serial pre-order subtree build into a pre-sized arena range.
+    /// `nodes.len() == indices.len()`; `base` is the absolute arena index
+    /// of `nodes[0]`.
+    fn build_into(
         points: &[Point],
         indices: &mut [usize],
         depth: usize,
-        nodes: &mut Vec<Node>,
-    ) -> usize {
+        base: usize,
+        nodes: &mut [Node],
+    ) {
         if indices.is_empty() {
-            return NONE;
+            return;
         }
         let axis = depth % 3;
         indices.sort_by(|&a, &b| {
@@ -74,21 +205,32 @@ impl KdTree {
                 .expect("finite coordinates")
         });
         let mid = indices.len() / 2;
-        let point = indices[mid];
-        let node_idx = nodes.len();
-        nodes.push(Node {
-            point,
+        let (root_node, child_nodes) = nodes.split_first_mut().expect("non-empty subtree");
+        let (left_nodes, right_nodes) = child_nodes.split_at_mut(mid);
+        let (left_indices, rest) = indices.split_at_mut(mid);
+        let (mid_index, right_indices) = rest.split_first_mut().expect("mid in range");
+        *root_node = Node {
+            point: *mid_index,
             axis,
-            left: NONE,
-            right: NONE,
-        });
-        let (left_slice, rest) = indices.split_at_mut(mid);
-        let right_slice = &mut rest[1..];
-        let left = Self::build_rec(points, left_slice, depth + 1, nodes);
-        let right = Self::build_rec(points, right_slice, depth + 1, nodes);
-        nodes[node_idx].left = left;
-        nodes[node_idx].right = right;
-        node_idx
+            left: if left_indices.is_empty() {
+                NONE
+            } else {
+                base + 1
+            },
+            right: if right_indices.is_empty() {
+                NONE
+            } else {
+                base + 1 + mid
+            },
+        };
+        Self::build_into(points, left_indices, depth + 1, base + 1, left_nodes);
+        Self::build_into(
+            points,
+            right_indices,
+            depth + 1,
+            base + 1 + mid,
+            right_nodes,
+        );
     }
 
     /// Number of points indexed.
@@ -176,6 +318,17 @@ impl KdTree {
     #[must_use]
     pub fn radius_search(&self, query: &Point, radius: f64) -> Vec<usize> {
         self.radius_search_traced(query, radius, &mut |_| {})
+    }
+
+    /// [`Self::radius_search`] writing into a caller-supplied buffer — the
+    /// zero-allocation form used by the clustering hot loop, which issues
+    /// one query per cloud point. `out` is cleared first; indices land in
+    /// the same traversal order as [`Self::radius_search`].
+    pub fn radius_search_into(&self, query: &Point, radius: f64, out: &mut Vec<usize>) {
+        out.clear();
+        if self.root != NONE {
+            self.radius_rec(self.root, query, radius * radius, radius, out, &mut |_| {});
+        }
     }
 
     /// Radius search with a trace callback.
@@ -371,5 +524,26 @@ mod tests {
         let tree = KdTree::build(&cloud);
         assert_eq!(tree.num_nodes(), 137);
         assert_eq!(tree.len(), 137);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        // Large enough that the frontier expansion reaches the job cap and
+        // every subtree job does real work.
+        let cloud = random_cloud(9000, 8);
+        let serial = KdTree::build(&cloud);
+        for lanes in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            let parallel = KdTree::build_with(&cloud, Some(&pool));
+            assert_eq!(parallel, serial, "lanes = {lanes}");
+        }
+        // Small clouds skip the expansion entirely and still agree.
+        let small = random_cloud(40, 9);
+        let pool = WorkerPool::new(4);
+        assert_eq!(
+            KdTree::build_with(&small, Some(&pool)),
+            KdTree::build(&small)
+        );
+        assert!(KdTree::build_with(&PointCloud::new(), Some(&pool)).is_empty());
     }
 }

@@ -19,6 +19,9 @@
 //! * [`recognition`] — normal estimation + keypoint matching.
 //! * [`reconstruction`] — voxel-grid surface reconstruction.
 //! * [`segmentation`] — Euclidean clustering.
+//! * [`soa`] — the structure-of-arrays cloud layout that realizes the
+//!   Fig. 4b traffic reduction (single-coordinate kernels read a third
+//!   of the bytes; voxel binning becomes a sort of a compact key array).
 //! * [`traffic`] — drives the four algorithms' memory-access streams
 //!   through `sov-platform`'s LLC model to regenerate Fig. 4a/4b.
 //!
@@ -44,7 +47,9 @@ pub mod recognition;
 pub mod reconstruction;
 pub mod registration;
 pub mod segmentation;
+pub mod soa;
 pub mod traffic;
 
 pub use cloud::PointCloud;
 pub use kdtree::KdTree;
+pub use soa::PointCloudSoA;

@@ -44,7 +44,9 @@ impl VoxelGrid {
         }
     }
 
-    fn key_of(p: &Point, size: f64) -> VoxelKey {
+    /// Voxel key for a point (shared with the SoA downsampler so both
+    /// layouts bin identically).
+    pub(crate) fn key_of(p: &Point, size: f64) -> VoxelKey {
         (
             (p[0] / size).floor() as i64,
             (p[1] / size).floor() as i64,

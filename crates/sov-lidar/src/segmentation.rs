@@ -6,6 +6,11 @@
 
 use crate::cloud::PointCloud;
 use crate::kdtree::{KdTree, Touch};
+use sov_runtime::pool::{map_reduce_chunks, WorkerPool};
+
+/// Points per parallel chunk in the adjacency precompute (fixed so chunk
+/// boundaries never depend on worker count).
+const POINTS_PER_CHUNK: usize = 64;
 
 /// Segmentation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +42,83 @@ pub fn euclidean_clusters(
     config: &SegmentationConfig,
 ) -> Vec<Vec<usize>> {
     euclidean_clusters_traced(cloud, tree, config, &mut |_| {})
+}
+
+/// [`euclidean_clusters`] with optional intra-frame parallelism.
+///
+/// The kd-tree radius queries — the dominant cost — are hoisted into a
+/// parallel per-point adjacency precompute (the tree is read-only, and
+/// each point's neighbor list is independent of every other's); the
+/// region growing itself then runs serially over the precomputed lists.
+/// Each chunk reuses one query buffer and appends into a flat CSR-style
+/// neighbor array, so the precompute allocates per chunk, not per point.
+/// Growth consumes exactly the lists the serial version would query, so
+/// the clusters are bit-identical for any worker count.
+#[must_use]
+pub fn euclidean_clusters_with(
+    cloud: &PointCloud,
+    tree: &KdTree,
+    config: &SegmentationConfig,
+    pool: Option<&WorkerPool>,
+) -> Vec<Vec<usize>> {
+    let n = cloud.len();
+    let (flat, counts) = map_reduce_chunks(
+        pool,
+        cloud.points(),
+        POINTS_PER_CHUNK,
+        |_, pts| {
+            let mut flat = Vec::new();
+            let mut counts = Vec::with_capacity(pts.len());
+            let mut buf = Vec::new();
+            for p in pts {
+                tree.radius_search_into(p, config.cluster_tolerance_m, &mut buf);
+                counts.push(buf.len());
+                flat.extend_from_slice(&buf);
+            }
+            (flat, counts)
+        },
+        (Vec::new(), Vec::new()),
+        |(mut flat, mut counts): (Vec<usize>, Vec<usize>), (part_flat, part_counts)| {
+            flat.extend_from_slice(&part_flat);
+            counts.extend_from_slice(&part_counts);
+            (flat, counts)
+        },
+    );
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    for &c in &counts {
+        offsets.push(offsets.last().expect("non-empty") + c);
+    }
+    let mut visited = vec![false; n];
+    let mut clusters = Vec::new();
+    for seed in 0..n {
+        if visited[seed] {
+            continue;
+        }
+        visited[seed] = true;
+        let mut cluster = vec![seed];
+        let mut frontier = vec![seed];
+        while let Some(idx) = frontier.pop() {
+            if cluster.len() >= config.max_cluster_size {
+                break;
+            }
+            for &nb in &flat[offsets[idx]..offsets[idx + 1]] {
+                if cluster.len() >= config.max_cluster_size {
+                    break;
+                }
+                if !visited[nb] {
+                    visited[nb] = true;
+                    cluster.push(nb);
+                    frontier.push(nb);
+                }
+            }
+        }
+        if cluster.len() >= config.min_cluster_size {
+            clusters.push(cluster);
+        }
+    }
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    clusters
 }
 
 /// Clustering with a memory-trace callback.
@@ -160,6 +242,36 @@ mod tests {
         let clusters = euclidean_clusters(&cloud, &tree, &cfg);
         assert!(clusters.iter().all(|c| c.len() <= 20), "capped at max size");
         assert!(clusters.len() > 2, "capping splits the blobs");
+    }
+
+    #[test]
+    fn pooled_clustering_is_bit_identical() {
+        let mut rng = SovRng::seed_from_u64(11);
+        let cloud = PointCloud::synthetic_street_scene(1500, 1, &mut rng);
+        let tree = KdTree::build(&cloud);
+        let cfg = SegmentationConfig {
+            min_cluster_size: 5,
+            ..SegmentationConfig::default()
+        };
+        let serial = euclidean_clusters(&cloud, &tree, &cfg);
+        assert_eq!(euclidean_clusters_with(&cloud, &tree, &cfg, None), serial);
+        for lanes in [2, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            let pooled = euclidean_clusters_with(&cloud, &tree, &cfg, Some(&pool));
+            assert_eq!(pooled, serial, "lanes = {lanes}");
+        }
+        // The cap path truncates growth identically too.
+        let capped = SegmentationConfig {
+            max_cluster_size: 25,
+            min_cluster_size: 1,
+            ..SegmentationConfig::default()
+        };
+        let serial_capped = euclidean_clusters(&cloud, &tree, &capped);
+        let pool = WorkerPool::new(4);
+        assert_eq!(
+            euclidean_clusters_with(&cloud, &tree, &capped, Some(&pool)),
+            serial_capped
+        );
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! Structure-of-arrays point cloud — the paper's memory-layout argument.
+//!
+//! Fig. 4b observes that LiDAR kernels are bound by memory traffic, not
+//! compute: an array-of-structures cloud (`Vec<[f64; 3]>`) drags all three
+//! coordinates through the cache even when a kernel reads only one. The
+//! [`PointCloudSoA`] layout stores `xs`/`ys`/`zs` as separate arrays so
+//! single-coordinate kernels (ground filtering reads only `z`) touch a
+//! third of the bytes, and streaming kernels (rigid transform, voxel
+//! binning) become branch-free sequential scans.
+//!
+//! Every parallel method here follows the repo's determinism invariant:
+//! chunk boundaries depend only on input length and
+//! [`POINTS_PER_CHUNK`], chunks write disjoint ranges or merge in
+//! ascending order, so results are bit-identical to the serial path for
+//! any worker count. [`PointCloudSoA::voxel_downsampled_with`] is
+//! additionally bit-identical to the AoS
+//! [`VoxelGrid`](crate::reconstruction::VoxelGrid) path (same keys, same
+//! in-cloud-order accumulation, same final sort) while replacing the
+//! hash map with a cache-friendly sort of a compact key array.
+
+use crate::cloud::{Point, PointCloud};
+use crate::reconstruction::{VoxelGrid, VoxelKey};
+use sov_runtime::pool::{for_chunks, map_reduce_chunks, WorkerPool};
+
+/// Points per parallel chunk. Fixed so chunk boundaries — and therefore
+/// merge order — never depend on worker count.
+pub const POINTS_PER_CHUNK: usize = 1024;
+
+/// Minimum cloud size before the streaming passes (transform, voxel key
+/// computation) dispatch to the pool; smaller clouds run the same chunks
+/// serially. Depends only on the input size, never the lane count.
+const MIN_PARALLEL_POINTS: usize = 1 << 15;
+
+/// Bytes read per point by a z-only kernel on the SoA layout.
+#[must_use]
+pub fn soa_ground_traffic_bytes(points: usize) -> usize {
+    points * std::mem::size_of::<f64>()
+}
+
+/// Bytes read per point by a z-only kernel on the AoS layout: the full
+/// `[f64; 3]` record crosses the cache line even though only `z` is used.
+#[must_use]
+pub fn aos_ground_traffic_bytes(points: usize) -> usize {
+    points * std::mem::size_of::<Point>()
+}
+
+/// A point cloud stored as one array per coordinate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointCloudSoA {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    zs: Vec<f64>,
+}
+
+impl PointCloudSoA {
+    /// Creates an empty cloud.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Converts an AoS cloud (one coordinate gather pass).
+    #[must_use]
+    pub fn from_cloud(cloud: &PointCloud) -> Self {
+        let n = cloud.len();
+        let mut soa = Self {
+            xs: Vec::with_capacity(n),
+            ys: Vec::with_capacity(n),
+            zs: Vec::with_capacity(n),
+        };
+        for p in cloud.points() {
+            soa.xs.push(p[0]);
+            soa.ys.push(p[1]);
+            soa.zs.push(p[2]);
+        }
+        soa
+    }
+
+    /// Builds from raw coordinate arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays have different lengths.
+    #[must_use]
+    pub fn from_arrays(xs: Vec<f64>, ys: Vec<f64>, zs: Vec<f64>) -> Self {
+        assert!(
+            xs.len() == ys.len() && ys.len() == zs.len(),
+            "coordinate arrays must have equal lengths"
+        );
+        Self { xs, ys, zs }
+    }
+
+    /// Converts back to the AoS layout (one scatter pass).
+    #[must_use]
+    pub fn to_cloud(&self) -> PointCloud {
+        PointCloud::from_points(
+            (0..self.len())
+                .map(|i| [self.xs[i], self.ys[i], self.zs[i]])
+                .collect(),
+        )
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the cloud is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, p: Point) {
+        self.xs.push(p[0]);
+        self.ys.push(p[1]);
+        self.zs.push(p[2]);
+    }
+
+    /// The point at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Point {
+        [self.xs[i], self.ys[i], self.zs[i]]
+    }
+
+    /// The x coordinates.
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y coordinates.
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The z coordinates.
+    #[must_use]
+    pub fn zs(&self) -> &[f64] {
+        &self.zs
+    }
+
+    /// Planar rigid transform (rotation `theta` about +z, then
+    /// translation), as [`PointCloud::transformed`] but over coordinate
+    /// streams; per-point arithmetic is identical, so the result matches
+    /// the AoS transform bit for bit.
+    #[must_use]
+    pub fn transformed_with(
+        &self,
+        theta: f64,
+        tx: f64,
+        ty: f64,
+        pool: Option<&WorkerPool>,
+    ) -> Self {
+        let (s, c) = theta.sin_cos();
+        let n = self.len();
+        // Streaming passes this cheap only out-earn pool dispatch on large
+        // clouds; the gate is a pure function of input size, and the serial
+        // path runs identical chunks, so the output cannot change.
+        let pool = pool.filter(|_| n >= MIN_PARALLEL_POINTS);
+        let mut xs = vec![0.0; n];
+        let mut ys = vec![0.0; n];
+        for_chunks(pool, &mut xs, POINTS_PER_CHUNK, |start, out| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let j = start + i;
+                *slot = c * self.xs[j] - s * self.ys[j] + tx;
+            }
+        });
+        for_chunks(pool, &mut ys, POINTS_PER_CHUNK, |start, out| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let j = start + i;
+                *slot = s * self.xs[j] + c * self.ys[j] + ty;
+            }
+        });
+        Self {
+            xs,
+            ys,
+            zs: self.zs.clone(),
+        }
+    }
+
+    /// Indices of points with `z <= z_max` (ascending) — the ground
+    /// pre-filter. Reads only the `zs` array: a third of the AoS traffic
+    /// (see [`soa_ground_traffic_bytes`] / [`aos_ground_traffic_bytes`]).
+    #[must_use]
+    pub fn ground_indices(&self, z_max: f64, pool: Option<&WorkerPool>) -> Vec<usize> {
+        map_reduce_chunks(
+            pool,
+            &self.zs,
+            POINTS_PER_CHUNK,
+            |start, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, z)| **z <= z_max)
+                    .map(|(i, _)| start + i)
+                    .collect::<Vec<usize>>()
+            },
+            Vec::new(),
+            |mut acc, mut part| {
+                acc.append(&mut part);
+                acc
+            },
+        )
+    }
+
+    /// Axis-aligned bounding box `(min, max)`; `None` when empty.
+    /// Per-chunk extrema merge in ascending chunk order.
+    #[must_use]
+    pub fn bounds_with(&self, pool: Option<&WorkerPool>) -> Option<(Point, Point)> {
+        if self.is_empty() {
+            return None;
+        }
+        let indices: Vec<usize> = (0..self.len()).collect();
+        map_reduce_chunks(
+            pool,
+            &indices,
+            POINTS_PER_CHUNK,
+            |_, chunk| {
+                let first = self.get(chunk[0]);
+                let mut lo = first;
+                let mut hi = first;
+                for &i in chunk {
+                    let p = self.get(i);
+                    for d in 0..3 {
+                        lo[d] = lo[d].min(p[d]);
+                        hi[d] = hi[d].max(p[d]);
+                    }
+                }
+                (lo, hi)
+            },
+            None::<(Point, Point)>,
+            |acc, (lo, hi)| match acc {
+                None => Some((lo, hi)),
+                Some((mut alo, mut ahi)) => {
+                    for d in 0..3 {
+                        alo[d] = alo[d].min(lo[d]);
+                        ahi[d] = ahi[d].max(hi[d]);
+                    }
+                    Some((alo, ahi))
+                }
+            },
+        )
+    }
+
+    /// Centroid; `None` when empty. Per-chunk partial sums merge in
+    /// ascending chunk order (deterministic for any worker count; the
+    /// association differs from the single serial sum of
+    /// [`PointCloud::centroid`], so agreement with the AoS path is
+    /// numerical, not bitwise).
+    #[must_use]
+    pub fn centroid_with(&self, pool: Option<&WorkerPool>) -> Option<Point> {
+        if self.is_empty() {
+            return None;
+        }
+        let indices: Vec<usize> = (0..self.len()).collect();
+        let sum = map_reduce_chunks(
+            pool,
+            &indices,
+            POINTS_PER_CHUNK,
+            |_, chunk| {
+                let mut s = [0.0f64; 3];
+                for &i in chunk {
+                    s[0] += self.xs[i];
+                    s[1] += self.ys[i];
+                    s[2] += self.zs[i];
+                }
+                s
+            },
+            [0.0f64; 3],
+            |mut acc, s| {
+                for d in 0..3 {
+                    acc[d] += s[d];
+                }
+                acc
+            },
+        );
+        let n = self.len() as f64;
+        Some([sum[0] / n, sum[1] / n, sum[2] / n])
+    }
+
+    /// Voxel downsample: one centroid per occupied voxel, bit-identical
+    /// to `VoxelGrid::build(..).downsampled()` on the same cloud.
+    ///
+    /// Instead of scattering into a hash map, the SoA path streams the
+    /// coordinate arrays once to produce a compact key array (parallel,
+    /// disjoint writes), sorts point indices by key (stable, so points
+    /// within a voxel keep cloud order and centroid sums accumulate in
+    /// the exact order the hash path uses), and scans the runs. The
+    /// random-access hash probes become sequential passes — the Fig. 4b
+    /// traffic argument in miniature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voxel_size_m` is not positive.
+    #[must_use]
+    pub fn voxel_downsampled_with(
+        &self,
+        voxel_size_m: f64,
+        pool: Option<&WorkerPool>,
+    ) -> PointCloud {
+        assert!(voxel_size_m > 0.0, "voxel size must be positive");
+        let n = self.len();
+        let pool = pool.filter(|_| n >= MIN_PARALLEL_POINTS);
+        let mut keys: Vec<VoxelKey> = vec![(0, 0, 0); n];
+        for_chunks(pool, &mut keys, POINTS_PER_CHUNK, |start, out| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let j = start + i;
+                *slot = VoxelGrid::key_of(&self.get(j), voxel_size_m);
+            }
+        });
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let mut points: Vec<Point> = Vec::new();
+        let mut run_start = 0usize;
+        while run_start < n {
+            let key = keys[order[run_start]];
+            let mut run_end = run_start + 1;
+            while run_end < n && keys[order[run_end]] == key {
+                run_end += 1;
+            }
+            let mut acc = [0.0f64; 3];
+            for &i in &order[run_start..run_end] {
+                acc[0] += self.xs[i];
+                acc[1] += self.ys[i];
+                acc[2] += self.zs[i];
+            }
+            let count = (run_end - run_start) as f64;
+            points.push([acc[0] / count, acc[1] / count, acc[2] / count]);
+            run_start = run_end;
+        }
+        points.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        PointCloud::from_points(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_math::SovRng;
+    use sov_runtime::pool::WorkerPool;
+
+    fn scene(n: usize) -> PointCloud {
+        let mut rng = SovRng::seed_from_u64(7);
+        PointCloud::synthetic_street_scene(n, 0, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_points() {
+        let cloud = scene(500);
+        let soa = PointCloudSoA::from_cloud(&cloud);
+        assert_eq!(soa.len(), 500);
+        assert_eq!(soa.to_cloud(), cloud);
+        assert_eq!(soa.get(17), cloud.points()[17]);
+    }
+
+    #[test]
+    fn transform_matches_aos_bitwise() {
+        let cloud = scene(700);
+        let soa = PointCloudSoA::from_cloud(&cloud);
+        let aos_t = cloud.transformed(0.37, 1.5, -2.25);
+        let serial = soa.transformed_with(0.37, 1.5, -2.25, None);
+        assert_eq!(serial.to_cloud(), aos_t);
+        for lanes in [2, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            let pooled = soa.transformed_with(0.37, 1.5, -2.25, Some(&pool));
+            assert_eq!(pooled, serial, "lanes = {lanes}");
+        }
+    }
+
+    #[test]
+    fn ground_filter_matches_aos_scan() {
+        let cloud = scene(2000);
+        let soa = PointCloudSoA::from_cloud(&cloud);
+        let expected: Vec<usize> = cloud
+            .points()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p[2] <= 0.3)
+            .map(|(i, _)| i)
+            .collect();
+        let serial = soa.ground_indices(0.3, None);
+        assert_eq!(serial, expected);
+        let pool = WorkerPool::new(4);
+        assert_eq!(soa.ground_indices(0.3, Some(&pool)), expected);
+        // The traffic ratio behind Fig. 4b: z-only reads touch 1/3 of
+        // the bytes the AoS record forces through the cache.
+        assert_eq!(
+            3 * soa_ground_traffic_bytes(soa.len()),
+            aos_ground_traffic_bytes(soa.len())
+        );
+    }
+
+    #[test]
+    fn bounds_and_centroid_agree_with_aos() {
+        let cloud = scene(1500);
+        let soa = PointCloudSoA::from_cloud(&cloud);
+        let (lo, hi) = soa.bounds_with(None).unwrap();
+        assert_eq!(Some((lo, hi)), cloud.bounds());
+        let c_aos = cloud.centroid().unwrap();
+        let c_soa = soa.centroid_with(None).unwrap();
+        for d in 0..3 {
+            assert!((c_aos[d] - c_soa[d]).abs() < 1e-9, "dim {d}");
+        }
+        // Pooled runs are bit-identical to the serial chunked path.
+        for lanes in [2, 8] {
+            let pool = WorkerPool::new(lanes);
+            assert_eq!(soa.bounds_with(Some(&pool)), Some((lo, hi)));
+            let pc = soa.centroid_with(Some(&pool)).unwrap();
+            assert_eq!(
+                pc.map(f64::to_bits),
+                c_soa.map(f64::to_bits),
+                "lanes = {lanes}"
+            );
+        }
+        assert!(PointCloudSoA::new().bounds_with(None).is_none());
+        assert!(PointCloudSoA::new().centroid_with(None).is_none());
+    }
+
+    #[test]
+    fn voxel_downsample_is_bit_identical_to_hash_grid() {
+        let cloud = scene(3000);
+        let soa = PointCloudSoA::from_cloud(&cloud);
+        let via_hash = VoxelGrid::build(&cloud, 0.5).downsampled();
+        let serial = soa.voxel_downsampled_with(0.5, None);
+        assert_eq!(serial, via_hash);
+        for lanes in [2, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            assert_eq!(
+                soa.voxel_downsampled_with(0.5, Some(&pool)),
+                via_hash,
+                "lanes = {lanes}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_arrays_panic() {
+        let _ = PointCloudSoA::from_arrays(vec![0.0], vec![0.0, 1.0], vec![0.0]);
+    }
+}

@@ -110,3 +110,51 @@ proptest! {
         prop_assert!((d0 - d1).abs() < 1e-7);
     }
 }
+
+// Determinism invariant of the intra-frame layer: every pooled LiDAR
+// kernel is bit-identical to its serial form for any worker count 1–8.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pooled_kdtree_build_bit_identical(
+        n in 600usize..2_500,
+        seed in 0u64..5_000,
+        lanes in 1usize..9,
+    ) {
+        let cloud = random_cloud(n, seed);
+        let serial = KdTree::build(&cloud);
+        let workers = sov_runtime::pool::WorkerPool::new(lanes);
+        prop_assert_eq!(KdTree::build_with(&cloud, Some(&workers)), serial);
+    }
+
+    #[test]
+    fn pooled_voxel_downsample_bit_identical(
+        n in 200usize..2_000,
+        seed in 0u64..5_000,
+        lanes in 1usize..9,
+        size_centi in 20u64..150,
+    ) {
+        let cloud = random_cloud(n, seed);
+        let size = size_centi as f64 / 100.0;
+        let soa = sov_lidar::soa::PointCloudSoA::from_cloud(&cloud);
+        let via_hash = VoxelGrid::build(&cloud, size).downsampled();
+        let workers = sov_runtime::pool::WorkerPool::new(lanes);
+        prop_assert_eq!(soa.voxel_downsampled_with(size, Some(&workers)), via_hash);
+    }
+
+    #[test]
+    fn pooled_clusters_bit_identical(
+        n in 100usize..800,
+        seed in 0u64..5_000,
+        lanes in 1usize..9,
+    ) {
+        use sov_lidar::segmentation::{euclidean_clusters, euclidean_clusters_with, SegmentationConfig};
+        let cloud = random_cloud(n, seed);
+        let tree = KdTree::build(&cloud);
+        let cfg = SegmentationConfig { min_cluster_size: 2, ..SegmentationConfig::default() };
+        let serial = euclidean_clusters(&cloud, &tree, &cfg);
+        let workers = sov_runtime::pool::WorkerPool::new(lanes);
+        prop_assert_eq!(euclidean_clusters_with(&cloud, &tree, &cfg, Some(&workers)), serial);
+    }
+}

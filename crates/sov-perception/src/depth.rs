@@ -16,6 +16,8 @@
 
 use crate::image::GrayImage;
 use sov_math::{Pose2, SovRng};
+use sov_runtime::arena::FrameArena;
+use sov_runtime::pool::{for_chunks, map_reduce_chunks, WorkerPool};
 use sov_sensors::camera::{CameraFrame, StereoRig};
 use sov_sim::time::{SimDuration, SimTime};
 use sov_world::landmark::LandmarkId;
@@ -140,7 +142,21 @@ impl DisparityMap {
         }
         self.data.iter().filter(|v| !v.is_nan()).count() as f64 / self.data.len() as f64
     }
+
+    /// Consumes the map, returning its backing buffer so a caller that
+    /// computes disparities every frame can [`FrameArena::recycle`] it.
+    #[must_use]
+    pub fn into_raw(self) -> Vec<f32> {
+        self.data
+    }
 }
+
+/// Grid rows per parallel chunk in dense-matcher phase 1 (fixed so chunk
+/// boundaries never depend on worker count).
+const GRID_ROWS_PER_CHUNK: usize = 2;
+
+/// Image rows per parallel chunk in dense-matcher phase 2.
+const ROWS_PER_CHUNK: usize = 8;
 
 /// ELAS-style dense stereo matcher: support points + interpolation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -175,6 +191,30 @@ impl DenseStereoMatcher {
     /// Panics if the images have different dimensions.
     #[must_use]
     pub fn compute(&self, left: &GrayImage, right: &GrayImage) -> DisparityMap {
+        self.compute_with(left, right, None, None)
+    }
+
+    /// [`Self::compute`] with optional intra-frame parallelism and buffer
+    /// reuse.
+    ///
+    /// Support-point grid rows (phase 1) and scanline interpolation rows
+    /// (phase 2) are chunked with fixed boundaries and merged in ascending
+    /// order; the vertical fill (phase 3) is a cheap single serial pass.
+    /// The result is bit-identical to the serial matcher for any worker
+    /// count. The disparity plane is borrowed from `arena` when supplied;
+    /// recycle it after use via [`DisparityMap::into_raw`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the images have different dimensions.
+    #[must_use]
+    pub fn compute_with(
+        &self,
+        left: &GrayImage,
+        right: &GrayImage,
+        pool: Option<&WorkerPool>,
+        arena: Option<&FrameArena>,
+    ) -> DisparityMap {
         assert_eq!(
             (left.width(), left.height()),
             (right.width(), right.height()),
@@ -182,28 +222,52 @@ impl DenseStereoMatcher {
         );
         let (w, h) = (left.width(), left.height());
         let r = self.block_radius as isize;
-        // Phase 1: support points on a sparse grid.
-        let mut support: Vec<(usize, usize, f32)> = Vec::new();
-        let mut y = self.grid_step;
-        while y + self.grid_step < h {
-            let mut x = self.grid_step;
-            while x + self.grid_step < w {
-                if let Some(d) = self.match_block(left, right, x as isize, y as isize, r) {
-                    support.push((x, y, d));
+        // Phase 1: support points on a sparse grid. Each chunk of grid rows
+        // emits its candidates in (y, x) scan order; the ascending merge
+        // reproduces the serial iteration exactly.
+        let grid_ys: Vec<usize> = (1..)
+            .map(|i| i * self.grid_step)
+            .take_while(|y| y + self.grid_step < h)
+            .collect();
+        let support: Vec<(usize, usize, f32)> = map_reduce_chunks(
+            pool,
+            &grid_ys,
+            GRID_ROWS_PER_CHUNK,
+            |_, ys| {
+                let mut rows = Vec::new();
+                for &y in ys {
+                    let mut x = self.grid_step;
+                    while x + self.grid_step < w {
+                        if let Some(d) = self.match_block(left, right, x as isize, y as isize, r) {
+                            rows.push((x, y, d));
+                        }
+                        x += self.grid_step;
+                    }
                 }
-                x += self.grid_step;
-            }
-            y += self.grid_step;
-        }
-        // Phase 2: scanline interpolation between support points.
-        let mut data = vec![f32::NAN; w * h];
+                rows
+            },
+            Vec::new(),
+            |mut acc, mut part| {
+                acc.append(&mut part);
+                acc
+            },
+        );
+        // Phase 2: scanline interpolation between support points. Chunks
+        // cover whole rows, so every write stays inside its own chunk.
+        let mut data: Vec<f32> = match arena {
+            Some(arena) => arena.take(),
+            None => Vec::new(),
+        };
+        data.clear();
+        data.resize(w * h, f32::NAN);
         for (x, y, d) in &support {
             data[y * w + x] = *d;
         }
-        for row in 0..h {
-            let row_slice = &mut data[row * w..(row + 1) * w];
-            interpolate_row(row_slice);
-        }
+        for_chunks(pool, &mut data, ROWS_PER_CHUNK * w, |_, rows| {
+            for row_slice in rows.chunks_mut(w) {
+                interpolate_row(row_slice);
+            }
+        });
         // Phase 3: vertical fill from the nearest valid row above.
         for x in 0..w {
             let mut last_valid: Option<f32> = None;
@@ -235,15 +299,31 @@ impl DenseStereoMatcher {
         y: isize,
         r: isize,
     ) -> Option<f32> {
+        let (w, h) = (left.width() as isize, left.height() as isize);
+        let interior = x - r >= 0 && x + r < w && y - r >= 0 && y + r < h;
+        let side = (2 * r + 1) as usize;
         let mut best = (0usize, f32::INFINITY);
         let mut second = f32::INFINITY;
         for d in 0..=self.max_disparity {
             let mut sad = 0.0f32;
-            for dy in -r..=r {
-                for dx in -r..=r {
-                    let l = left.get(x + dx, y + dy);
-                    let rr = right.get(x + dx - d as isize, y + dy);
-                    sad += (l - rr).abs();
+            if interior && d as isize <= x - r {
+                // Both blocks are fully inside the pair: accumulate the
+                // same (dy, dx) order straight from the backing slices.
+                for dy in -r..=r {
+                    let l0 = ((y + dy) * w + x - r) as usize;
+                    let lrow = &left.data()[l0..l0 + side];
+                    let rrow = &right.data()[l0 - d..l0 - d + side];
+                    for (l, rr) in lrow.iter().zip(rrow) {
+                        sad += (l - rr).abs();
+                    }
+                }
+            } else {
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        let l = left.get(x + dx, y + dy);
+                        let rr = right.get(x + dx - d as isize, y + dy);
+                        sad += (l - rr).abs();
+                    }
                 }
             }
             if sad < best.1 {
@@ -396,6 +476,51 @@ mod tests {
         assert!((row[3] - 6.0).abs() < 1e-6);
         assert!(row[0].is_nan(), "no extrapolation before first support");
         assert!(row[5].is_nan(), "no extrapolation after last support");
+    }
+
+    #[test]
+    fn pooled_dense_matcher_is_bit_identical() {
+        let mut rng = SovRng::seed_from_u64(5);
+        let blobs: Vec<(f64, f64, f64, f64)> = (0..30)
+            .map(|_| {
+                (
+                    rng.uniform(10.0, 86.0),
+                    rng.uniform(6.0, 42.0),
+                    rng.uniform(1.0, 2.5),
+                    rng.uniform(0.4, 0.9),
+                )
+            })
+            .collect();
+        let mut bg = SovRng::seed_from_u64(6);
+        let left = render_scene(96, 48, &blobs, 0.02, &mut bg);
+        let shifted: Vec<(f64, f64, f64, f64)> = blobs
+            .iter()
+            .map(|&(x, y, r, i)| (x - 4.0, y, r, i))
+            .collect();
+        let mut bg2 = SovRng::seed_from_u64(6);
+        let right = render_scene(96, 48, &shifted, 0.02, &mut bg2);
+        let matcher = DenseStereoMatcher {
+            max_disparity: 12,
+            ..DenseStereoMatcher::default()
+        };
+        let serial = matcher.compute(&left, &right);
+        // NaN (invalid disparity) compares unequal to itself, so equality
+        // must be checked on the raw bits.
+        let bits = |m: &DisparityMap| -> Vec<u32> { m.data.iter().map(|v| v.to_bits()).collect() };
+        let serial_bits = bits(&serial);
+        let arena = FrameArena::new();
+        for lanes in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            let pooled = matcher.compute_with(&left, &right, Some(&pool), Some(&arena));
+            assert_eq!(bits(&pooled), serial_bits, "lanes = {lanes}");
+            arena.recycle(pooled.into_raw());
+        }
+        // After the first iteration warmed the arena, the disparity plane
+        // is reused rather than reallocated.
+        arena.reset_stats();
+        let again = matcher.compute_with(&left, &right, None, Some(&arena));
+        assert_eq!(arena.stats().allocations, 0, "plane must be reused");
+        arena.recycle(again.into_raw());
     }
 
     #[test]

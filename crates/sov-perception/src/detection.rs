@@ -141,6 +141,21 @@ impl Detector {
         true_class_of: impl Fn(ObstacleId) -> ObstacleClass,
     ) -> Vec<Detection> {
         let mut out = Vec::new();
+        self.detect_into(frame, true_class_of, &mut out);
+        out
+    }
+
+    /// [`Self::detect`] writing into a caller-owned buffer (cleared
+    /// first), so a per-frame loop can reuse one allocation. The RNG
+    /// draws — and therefore the detections — are identical to
+    /// [`Self::detect`].
+    pub fn detect_into(
+        &mut self,
+        frame: &CameraFrame,
+        true_class_of: impl Fn(ObstacleId) -> ObstacleClass,
+        out: &mut Vec<Detection>,
+    ) {
+        out.clear();
         for obj in &frame.objects {
             if self.rng.bernoulli(self.profile.miss_rate) {
                 continue; // missed object — the reactive path's raison d'être
@@ -182,7 +197,6 @@ impl Detector {
                 });
             }
         }
-        out
     }
 }
 

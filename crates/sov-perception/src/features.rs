@@ -13,7 +13,16 @@
 //! which is exactly the asymmetry the runtime-partial-reconfiguration
 //! engine exploits by time-sharing one FPGA region between the two kernels.
 
-use crate::image::{ncc, GrayImage};
+use crate::image::{GrayImage, NccTemplate};
+use sov_runtime::arena::FrameArena;
+use sov_runtime::pool::{for_chunks, map_indexed, map_reduce_chunks, WorkerPool};
+
+/// Rows per parallel chunk for the score and NMS passes. Fixed so chunk
+/// boundaries — and therefore merge order — never depend on lane count.
+const ROWS_PER_CHUNK: usize = 8;
+
+/// Feature points per parallel chunk in [`track_features_with`].
+const POINTS_PER_CHUNK: usize = 4;
 
 /// One detected corner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,69 +63,149 @@ const CIRCLE: [(isize, isize); 16] = [
 /// `center − threshold`.
 #[must_use]
 pub fn fast_corners(image: &GrayImage, threshold: f32) -> Vec<Corner> {
+    fast_corners_with(image, threshold, None, None)
+}
+
+/// [`fast_corners`] with optional intra-frame parallelism and buffer reuse.
+///
+/// The score pass and the NMS pass are both chunked by rows of
+/// [`ROWS_PER_CHUNK`]; chunks write disjoint rows and per-chunk corner
+/// lists merge in ascending row order, so the result is bit-identical to
+/// the serial detector for any worker count. The score plane is borrowed
+/// from `arena` when one is supplied, making repeat calls allocation-free
+/// apart from the returned corner list.
+#[must_use]
+pub fn fast_corners_with(
+    image: &GrayImage,
+    threshold: f32,
+    pool: Option<&WorkerPool>,
+    arena: Option<&FrameArena>,
+) -> Vec<Corner> {
     let (w, h) = (image.width(), image.height());
     if w < 7 || h < 7 {
         return Vec::new();
     }
-    let mut scores = vec![0.0f32; w * h];
-    for y in 3..h - 3 {
-        for x in 3..w - 3 {
-            if let Some(score) = fast_score(image, x as isize, y as isize, threshold) {
-                scores[y * w + x] = score;
-            }
-        }
-    }
-    // Non-maximum suppression over 3×3 neighborhoods.
-    let mut corners = Vec::new();
-    for y in 3..h - 3 {
-        for x in 3..w - 3 {
-            let s = scores[y * w + x];
-            if s <= 0.0 {
+    let mut scores: Vec<f32> = match arena {
+        Some(arena) => arena.take(),
+        None => Vec::new(),
+    };
+    scores.clear();
+    scores.resize(w * h, 0.0);
+    for_chunks(pool, &mut scores, ROWS_PER_CHUNK * w, |start, rows| {
+        let y0 = start / w;
+        for (row_offset, row) in rows.chunks_mut(w).enumerate() {
+            let y = y0 + row_offset;
+            if y < 3 || y >= h - 3 {
                 continue;
             }
-            let mut is_max = true;
-            'nms: for dy in -1isize..=1 {
-                for dx in -1isize..=1 {
-                    if dx == 0 && dy == 0 {
+            for (x, slot) in row.iter_mut().enumerate().take(w - 3).skip(3) {
+                if let Some(score) = fast_score(image, x as isize, y as isize, threshold) {
+                    *slot = score;
+                }
+            }
+        }
+    });
+    // Non-maximum suppression over 3×3 neighborhoods. Each chunk scans its
+    // own rows (reading neighbor rows immutably) and emits corners in
+    // row-major order; the ascending-chunk merge preserves that order, so
+    // the stable sort below sees the exact serial sequence.
+    let score_buf = scores;
+    let scores = score_buf.as_slice();
+    let corners = map_reduce_chunks(
+        pool,
+        scores,
+        ROWS_PER_CHUNK * w,
+        |start, rows| {
+            let y0 = start / w;
+            let mut found = Vec::new();
+            for y in y0..y0 + rows.len() / w {
+                if y < 3 || y >= h - 3 {
+                    continue;
+                }
+                for x in 3..w - 3 {
+                    let s = scores[y * w + x];
+                    if s <= 0.0 {
                         continue;
                     }
-                    let nx = (x as isize + dx) as usize;
-                    let ny = (y as isize + dy) as usize;
-                    let neighbor = scores[ny * w + nx];
-                    if neighbor > s || (neighbor == s && (dy < 0 || (dy == 0 && dx < 0))) {
-                        is_max = false;
-                        break 'nms;
+                    let mut is_max = true;
+                    'nms: for dy in -1isize..=1 {
+                        for dx in -1isize..=1 {
+                            if dx == 0 && dy == 0 {
+                                continue;
+                            }
+                            let nx = (x as isize + dx) as usize;
+                            let ny = (y as isize + dy) as usize;
+                            let neighbor = scores[ny * w + nx];
+                            if neighbor > s || (neighbor == s && (dy < 0 || (dy == 0 && dx < 0))) {
+                                is_max = false;
+                                break 'nms;
+                            }
+                        }
+                    }
+                    if is_max {
+                        found.push(Corner { x, y, score: s });
                     }
                 }
             }
-            if is_max {
-                corners.push(Corner { x, y, score: s });
-            }
-        }
+            found
+        },
+        Vec::new(),
+        |mut acc: Vec<Corner>, mut part| {
+            acc.append(&mut part);
+            acc
+        },
+    );
+    if let Some(arena) = arena {
+        arena.recycle(score_buf);
     }
+    let mut corners = corners;
     corners.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
     corners
 }
 
 /// FAST-9 test at one pixel; returns the corner score if it passes.
 fn fast_score(image: &GrayImage, x: isize, y: isize, threshold: f32) -> Option<f32> {
-    let center = image.get(x, y);
-    // Classify each circle pixel: +1 brighter, −1 darker, 0 similar.
+    let (w, h) = (image.width() as isize, image.height() as isize);
+    let interior = x >= 3 && y >= 3 && x + 3 < w && y + 3 < h;
+    let data = image.data();
+    let base = y * w + x;
+    // Classify each circle pixel: +1 brighter, −1 darker, 0 similar. The
+    // detector only probes interior pixels, where the circle reads come
+    // straight from the backing slice (identical values to `get`, without
+    // its per-pixel bounds branches).
+    let center = if interior {
+        data[base as usize]
+    } else {
+        image.get(x, y)
+    };
     let mut classes = [0i8; 16];
-    let mut diffs = [0.0f32; 16];
+    let mut vals = [0.0f32; 16];
+    let (mut brighter, mut darker) = (0u32, 0u32);
     for (i, &(dx, dy)) in CIRCLE.iter().enumerate() {
-        let v = image.get(x + dx, y + dy);
-        diffs[i] = (v - center).abs();
+        let v = if interior {
+            data[(base + dy * w + dx) as usize]
+        } else {
+            image.get(x + dx, y + dy)
+        };
+        vals[i] = v;
         classes[i] = if v > center + threshold {
+            brighter += 1;
             1
         } else if v < center - threshold {
+            darker += 1;
             -1
         } else {
             0
         };
     }
-    // Longest contiguous arc of one non-zero class (wrap-around).
-    for &target in &[1i8, -1] {
+    // Longest contiguous arc of one non-zero class (wrap-around). A
+    // 9-long arc needs at least 9 circle pixels of that class, so classes
+    // with a smaller population can skip the scan entirely — an exact
+    // early-out, not a heuristic.
+    for &(target, count) in &[(1i8, brighter), (-1, darker)] {
+        if count < 9 {
+            continue;
+        }
         let mut best_run = 0usize;
         let mut run = 0usize;
         let mut best_start = 0usize;
@@ -137,8 +226,10 @@ fn fast_score(image: &GrayImage, x: isize, y: isize, threshold: f32) -> Option<f
             }
         }
         if best_run >= 9 {
+            // |v − center| summed over the arc, in arc order — identical
+            // terms and order to pre-computing every difference up front.
             let score: f32 = (best_start..best_start + best_run.min(16))
-                .map(|i| diffs[i % 16])
+                .map(|i| (vals[i % 16] - center).abs())
                 .sum();
             return Some(score);
         }
@@ -160,28 +251,52 @@ pub fn track_features(
     search_radius: isize,
     min_ncc: f64,
 ) -> Vec<Option<(usize, usize)>> {
-    points
-        .iter()
-        .map(|&(px, py)| {
-            let template = prev.patch(px as isize, py as isize, patch_size);
-            let mut best: Option<(usize, usize, f64)> = None;
-            for dy in -search_radius..=search_radius {
-                for dx in -search_radius..=search_radius {
-                    let cx = px as isize + dx;
-                    let cy = py as isize + dy;
-                    if cx < 0 || cy < 0 {
-                        continue;
-                    }
-                    let candidate = next.patch(cx, cy, patch_size);
-                    let corr = ncc(&template, &candidate);
-                    if best.is_none_or(|(_, _, c)| corr > c) {
-                        best = Some((cx as usize, cy as usize, corr));
-                    }
+    track_features_with(prev, next, points, patch_size, search_radius, min_ncc, None)
+}
+
+/// [`track_features`] with optional intra-frame parallelism.
+///
+/// Each point hoists its template statistics once into an
+/// [`NccTemplate`]; each candidate offset then correlates
+/// the two windows in place — the original tracker allocated two
+/// `patch_size²` images per candidate, ~2·(2r+1)² heap allocations per
+/// point. Points are processed in fixed chunks of [`POINTS_PER_CHUNK`] and
+/// results merge in point order, so output is bit-identical to serial for
+/// any worker count.
+#[must_use]
+pub fn track_features_with(
+    prev: &GrayImage,
+    next: &GrayImage,
+    points: &[(usize, usize)],
+    patch_size: usize,
+    search_radius: isize,
+    min_ncc: f64,
+    pool: Option<&WorkerPool>,
+) -> Vec<Option<(usize, usize)>> {
+    let run_capacity = (2 * search_radius.max(0) + 1) as usize;
+    map_indexed(pool, points, POINTS_PER_CHUNK, |_, &(px, py)| {
+        let template = NccTemplate::new(prev, (px as isize, py as isize), patch_size);
+        let mut corrs = vec![0.0f64; run_capacity];
+        let mut best: Option<(usize, usize, f64)> = None;
+        for dy in -search_radius..=search_radius {
+            let cy = py as isize + dy;
+            if cy < 0 {
+                continue;
+            }
+            // One batched NCC pass per candidate row; the run skips the
+            // cx < 0 prefix exactly as the per-candidate loop did.
+            let cx0 = (px as isize - search_radius).max(0);
+            let run = ((px as isize + search_radius) - cx0 + 1).max(0) as usize;
+            template.correlate_run(next, (cx0, cy), &mut corrs[..run]);
+            for (k, &corr) in corrs[..run].iter().enumerate() {
+                let cx = cx0 + k as isize;
+                if best.is_none_or(|(_, _, c)| corr > c) {
+                    best = Some((cx as usize, cy as usize, corr));
                 }
             }
-            best.and_then(|(x, y, c)| (c >= min_ncc).then_some((x, y)))
-        })
-        .collect()
+        }
+        best.and_then(|(x, y, c)| (c >= min_ncc).then_some((x, y)))
+    })
 }
 
 #[cfg(test)]
@@ -296,5 +411,37 @@ mod tests {
     fn tiny_image_is_safe() {
         let img = GrayImage::new(5, 5);
         assert!(fast_corners(&img, 0.1).is_empty());
+    }
+
+    #[test]
+    fn pooled_detection_is_bit_identical() {
+        let img = rectangle_image(97, 65, 20, 18, 70, 50);
+        let serial = fast_corners(&img, 0.2);
+        let arena = FrameArena::new();
+        for lanes in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            let pooled = fast_corners_with(&img, 0.2, Some(&pool), Some(&arena));
+            assert_eq!(pooled, serial, "lanes = {lanes}");
+        }
+        // The arena-backed score plane is reused, not reallocated.
+        arena.reset_stats();
+        let _ = fast_corners_with(&img, 0.2, None, Some(&arena));
+        assert_eq!(arena.stats().allocations, 0, "score plane must be reused");
+    }
+
+    #[test]
+    fn pooled_tracking_is_bit_identical() {
+        let prev = rectangle_image(96, 64, 30, 20, 60, 44);
+        let next = rectangle_image(96, 64, 35, 22, 65, 46);
+        let points: Vec<(usize, usize)> = fast_corners(&prev, 0.2)
+            .iter()
+            .map(|c| (c.x, c.y))
+            .collect();
+        let serial = track_features(&prev, &next, &points, 9, 8, 0.6);
+        for lanes in [2, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            let pooled = track_features_with(&prev, &next, &points, 9, 8, 0.6, Some(&pool));
+            assert_eq!(pooled, serial, "lanes = {lanes}");
+        }
     }
 }

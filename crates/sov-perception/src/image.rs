@@ -8,6 +8,18 @@
 //! sequences.
 
 use sov_math::SovRng;
+use sov_runtime::pool::{for_chunks, WorkerPool};
+
+/// Rows per parallel chunk for image kernels. Fixed (never derived from
+/// the worker count) so chunk boundaries — and therefore results — are
+/// identical for every pool size.
+const ROWS_PER_CHUNK: usize = 8;
+
+/// Minimum image size (pixels) before the streaming kernels (convolution,
+/// pyramid subsampling) dispatch to the pool — below this, dispatch
+/// overhead dominates the ~ns-per-pixel work. A pure function of input
+/// size, so chunking stays deterministic for every lane count.
+const MIN_PARALLEL_PIXELS: usize = 1 << 16;
 
 /// A row-major grayscale image of `f32` intensities in `[0, 1]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +89,26 @@ impl GrayImage {
         &self.data
     }
 
+    /// Builds an image from raw row-major data (values are clamped to
+    /// `[0, 1]`, preserving the image invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or `data.len() != width * height`.
+    #[must_use]
+    pub fn from_raw(width: usize, height: usize, mut data: Vec<f32>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(data.len(), width * height, "data must fill the image");
+        for v in &mut data {
+            *v = v.clamp(0.0, 1.0);
+        }
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
     /// Extracts a `size × size` patch centered at `(cx, cy)`; pixels outside
     /// the image read as 0.
     #[must_use]
@@ -135,6 +167,89 @@ pub fn render_scene(
     img
 }
 
+/// 3×3 convolution with zero padding (pixels outside the image read 0, as
+/// in [`GrayImage::get`]); outputs are clamped to `[0, 1]`.
+///
+/// With a pool, rows are processed in fixed chunks of [`ROWS_PER_CHUNK`];
+/// every output row reads only the (immutable) input, so the result is
+/// bit-identical to the serial pass at any worker count.
+#[must_use]
+pub fn convolve3x3(
+    image: &GrayImage,
+    kernel: &[[f32; 3]; 3],
+    pool: Option<&WorkerPool>,
+) -> GrayImage {
+    let (w, h) = (image.width(), image.height());
+    // Below ~2 ns/pixel of work, waking workers costs more than the
+    // convolution itself; the threshold depends only on the input size
+    // (never the lane count) and the serial path runs identical chunks,
+    // so the gate cannot change the output.
+    let pool = pool.filter(|_| w * h >= MIN_PARALLEL_PIXELS);
+    let mut out = vec![0.0f32; w * h];
+    for_chunks(pool, &mut out, ROWS_PER_CHUNK * w, |start, rows| {
+        let y0 = start / w;
+        for (dy, row) in rows.chunks_mut(w).enumerate() {
+            let y = (y0 + dy) as isize;
+            for (x, px) in row.iter_mut().enumerate() {
+                let x = x as isize;
+                let mut acc = 0.0f32;
+                for (ky, kr) in kernel.iter().enumerate() {
+                    for (kx, k) in kr.iter().enumerate() {
+                        acc += k * image.get(x + kx as isize - 1, y + ky as isize - 1);
+                    }
+                }
+                *px = acc;
+            }
+        }
+    });
+    GrayImage::from_raw(w, h, out)
+}
+
+/// The 3×3 binomial smoothing kernel (1-2-1 ⊗ 1-2-1, normalized).
+pub const SMOOTH_3X3: [[f32; 3]; 3] = [
+    [1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0],
+    [2.0 / 16.0, 4.0 / 16.0, 2.0 / 16.0],
+    [1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0],
+];
+
+/// Builds an image pyramid: level 0 is a smoothed copy of `image`, and
+/// each further level halves both dimensions by 2×2 box averaging of the
+/// previous level (smooth-then-subsample, the camera front-end's
+/// multi-scale substrate).
+///
+/// Stops early when a dimension would fall below 2 px. Deterministic for
+/// any pool size (row-chunked, read-only inputs).
+#[must_use]
+pub fn pyramid(image: &GrayImage, levels: usize, pool: Option<&WorkerPool>) -> Vec<GrayImage> {
+    let mut out = Vec::with_capacity(levels);
+    out.push(convolve3x3(image, &SMOOTH_3X3, pool));
+    for _ in 1..levels {
+        let prev = out.last().expect("level 0 pushed above");
+        let (w, h) = (prev.width() / 2, prev.height() / 2);
+        if w < 2 || h < 2 {
+            break;
+        }
+        let mut data = vec![0.0f32; w * h];
+        let pool = pool.filter(|_| w * h >= MIN_PARALLEL_PIXELS);
+        for_chunks(pool, &mut data, ROWS_PER_CHUNK * w, |start, rows| {
+            let y0 = start / w;
+            for (dy, row) in rows.chunks_mut(w).enumerate() {
+                let y = y0 + dy;
+                for (x, px) in row.iter_mut().enumerate() {
+                    let (sx, sy) = (2 * x as isize, 2 * y as isize);
+                    *px = 0.25
+                        * (prev.get(sx, sy)
+                            + prev.get(sx + 1, sy)
+                            + prev.get(sx, sy + 1)
+                            + prev.get(sx + 1, sy + 1));
+                }
+            }
+        });
+        out.push(GrayImage::from_raw(w, h, data));
+    }
+    out
+}
+
 /// Normalized cross-correlation of two equally-sized images, in `[-1, 1]`.
 ///
 /// Returns 0.0 if either image has zero variance.
@@ -163,6 +278,217 @@ pub fn ncc(a: &GrayImage, b: &GrayImage) -> f64 {
         return 0.0;
     }
     num / (va.sqrt() * vb.sqrt())
+}
+
+/// Normalized cross-correlation of two `size × size` windows centered at
+/// `(acx, acy)` in `a` and `(bcx, bcy)` in `b`, **without materializing
+/// patches**.
+///
+/// Bit-identical to `ncc(&a.patch(acx, acy, size), &b.patch(bcx, bcy,
+/// size))`: windows are read in the same row-major order, through the same
+/// zero-padding and `[0, 1]` clamp that [`GrayImage::patch`] applies, the
+/// means are accumulated in `f32` exactly as [`GrayImage::mean`] does, and
+/// the correlation accumulates in `f64` in the same element order. The
+/// only difference is that no heap allocation happens — this is the
+/// arena-era replacement for the patch-per-candidate tracker hot loop.
+#[must_use]
+pub fn ncc_window(
+    a: &GrayImage,
+    (acx, acy): (isize, isize),
+    b: &GrayImage,
+    (bcx, bcy): (isize, isize),
+    size: usize,
+) -> f64 {
+    NccTemplate::new(a, (acx, acy), size).correlate(b, (bcx, bcy))
+}
+
+/// Reads a `size × size` window centered at `(cx, cy)` into `out`
+/// (row-major), applying the same zero-padding and `[0, 1]` clamp that
+/// [`GrayImage::patch`] applies. Windows fully inside the image are copied
+/// row-by-row from the backing slice — every write path already clamps
+/// stored pixels to `[0, 1]`, so skipping the clamp there is bitwise
+/// equivalent.
+fn read_window(img: &GrayImage, (cx, cy): (isize, isize), size: usize, out: &mut Vec<f32>) {
+    out.clear();
+    let half = (size / 2) as isize;
+    let (x0, y0) = (cx - half, cy - half);
+    let (w, h) = (img.width() as isize, img.height() as isize);
+    if x0 >= 0 && y0 >= 0 && x0 + size as isize <= w && y0 + size as isize <= h {
+        let (w, x0, y0) = (img.width(), x0 as usize, y0 as usize);
+        for y in 0..size {
+            out.extend_from_slice(&img.data()[(y0 + y) * w + x0..][..size]);
+        }
+        return;
+    }
+    for y in 0..size as isize {
+        for x in 0..size as isize {
+            out.push(img.get(x0 + x, y0 + y).clamp(0.0, 1.0));
+        }
+    }
+}
+
+/// A template window with its NCC statistics hoisted, for correlating one
+/// window against many candidate positions — the tracker's hot loop.
+///
+/// [`NccTemplate::correlate`] is bit-identical to [`ncc_window`] (and so
+/// to patch-based [`ncc`]): the window values are read through the same
+/// padding/clamp semantics, the means accumulate in `f32` in the same
+/// row-major order, and each `f64` accumulator (numerator, template
+/// variance, candidate variance) sums the same terms in the same order —
+/// hoisting the template's zero-mean residuals moves work between loops
+/// but never reorders any single accumulator's additions.
+#[derive(Debug, Clone)]
+pub struct NccTemplate {
+    /// Zero-mean template residuals, row-major.
+    da: Vec<f64>,
+    /// Template variance (Σ da²), accumulated in template order.
+    va: f64,
+    size: usize,
+    /// Scratch for candidate window values, reused across correlations.
+    scratch: std::cell::RefCell<Vec<f32>>,
+}
+
+impl NccTemplate {
+    /// Hoists the NCC statistics of the `size × size` window centered at
+    /// `(acx, acy)` in `a`.
+    #[must_use]
+    pub fn new(a: &GrayImage, (acx, acy): (isize, isize), size: usize) -> Self {
+        let mut vals = Vec::with_capacity(size * size);
+        read_window(a, (acx, acy), size, &mut vals);
+        let n = (size * size) as f32;
+        let sa: f32 = vals.iter().fold(0.0, |s, &v| s + v);
+        let ma = f64::from(sa / n);
+        let mut va = 0.0f64;
+        let da: Vec<f64> = vals
+            .iter()
+            .map(|&v| {
+                let d = f64::from(v) - ma;
+                va += d * d;
+                d
+            })
+            .collect();
+        Self {
+            da,
+            va,
+            size,
+            scratch: std::cell::RefCell::new(Vec::with_capacity(size * size)),
+        }
+    }
+
+    /// NCC of the template against the window centered at `(bcx, bcy)`
+    /// in `b`; bit-identical to the corresponding [`ncc_window`] call.
+    #[must_use]
+    pub fn correlate(&self, b: &GrayImage, (bcx, bcy): (isize, isize)) -> f64 {
+        let size = self.size;
+        let n = (size * size) as f32;
+        let half = (size / 2) as isize;
+        let (x0, y0) = (bcx - half, bcy - half);
+        let (bw, bh) = (b.width() as isize, b.height() as isize);
+        let (mut sb, mut num, mut vb) = (0.0f32, 0.0f64, 0.0f64);
+        if x0 >= 0 && y0 >= 0 && x0 + size as isize <= bw && y0 + size as isize <= bh {
+            // Interior window: both passes run over contiguous rows in the
+            // same row-major order the scratch path uses.
+            let (w, x0, y0) = (b.width(), x0 as usize, y0 as usize);
+            for y in 0..size {
+                for &v in &b.data()[(y0 + y) * w + x0..][..size] {
+                    sb += v;
+                }
+            }
+            let mb = f64::from(sb / n);
+            for y in 0..size {
+                let row = &b.data()[(y0 + y) * w + x0..][..size];
+                for (da, &v) in self.da[y * size..(y + 1) * size].iter().zip(row) {
+                    let db = f64::from(v) - mb;
+                    num += da * db;
+                    vb += db * db;
+                }
+            }
+        } else {
+            let mut vals = self.scratch.borrow_mut();
+            read_window(b, (bcx, bcy), size, &mut vals);
+            sb = vals.iter().fold(0.0, |s, &v| s + v);
+            let mb = f64::from(sb / n);
+            for (da, &v) in self.da.iter().zip(vals.iter()) {
+                let db = f64::from(v) - mb;
+                num += da * db;
+                vb += db * db;
+            }
+        }
+        if self.va < 1e-12 || vb < 1e-12 {
+            return 0.0;
+        }
+        num / (self.va.sqrt() * vb.sqrt())
+    }
+
+    /// Correlates the template against a horizontal run of candidate
+    /// centers `(bx0 + k, bcy)` for `k in 0..out.len()`, writing each NCC
+    /// into `out[k]`.
+    ///
+    /// Bit-identical to calling [`NccTemplate::correlate`] once per
+    /// center: every candidate's three accumulators (f32 sum, numerator,
+    /// variance) add the same terms in the same order — independent
+    /// candidates merely interleave, which never reorders any single
+    /// chain. The interleaving matters because a lone NCC is bound by its
+    /// floating-point dependency chain; four side-by-side chains hide
+    /// that latency.
+    pub fn correlate_run(&self, b: &GrayImage, (bx0, bcy): (isize, isize), out: &mut [f64]) {
+        let size = self.size;
+        let half = (size / 2) as isize;
+        let y0 = bcy - half;
+        let first_x0 = bx0 - half;
+        let last_x0 = first_x0 + out.len() as isize - 1;
+        let run_interior = !out.is_empty()
+            && first_x0 >= 0
+            && y0 >= 0
+            && last_x0 + size as isize <= b.width() as isize
+            && y0 + size as isize <= b.height() as isize;
+        if !run_interior {
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = self.correlate(b, (bx0 + k as isize, bcy));
+            }
+            return;
+        }
+        let n = (size * size) as f32;
+        let (w, data) = (b.width(), b.data());
+        let (y0, first_x0) = (y0 as usize, first_x0 as usize);
+        let mut k = 0;
+        while k + 4 <= out.len() {
+            let x0 = first_x0 + k;
+            let mut sb = [0.0f32; 4];
+            for y in 0..size {
+                let row = &data[(y0 + y) * w + x0..][..size + 3];
+                for (x, _) in row.iter().enumerate().take(size) {
+                    for (lane, s) in sb.iter_mut().enumerate() {
+                        *s += row[x + lane];
+                    }
+                }
+            }
+            let mb = sb.map(|s| f64::from(s / n));
+            let (mut num, mut vb) = ([0.0f64; 4], [0.0f64; 4]);
+            for y in 0..size {
+                let row = &data[(y0 + y) * w + x0..][..size + 3];
+                let das = &self.da[y * size..(y + 1) * size];
+                for (x, da) in das.iter().enumerate() {
+                    for lane in 0..4 {
+                        let db = f64::from(row[x + lane]) - mb[lane];
+                        num[lane] += da * db;
+                        vb[lane] += db * db;
+                    }
+                }
+            }
+            for lane in 0..4 {
+                out[k + lane] = if self.va < 1e-12 || vb[lane] < 1e-12 {
+                    0.0
+                } else {
+                    num[lane] / (self.va.sqrt() * vb[lane].sqrt())
+                };
+            }
+            k += 4;
+        }
+        for (k, slot) in out.iter_mut().enumerate().skip(k) {
+            *slot = self.correlate(b, (bx0 + k as isize, bcy));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +549,99 @@ mod tests {
         let flat = GrayImage::new(8, 8);
         let other = GrayImage::new(8, 8);
         assert_eq!(ncc(&flat, &other), 0.0);
+    }
+
+    #[test]
+    fn from_raw_roundtrip_and_clamp() {
+        let img = GrayImage::from_raw(2, 2, vec![0.1, 0.5, 2.0, -1.0]);
+        assert_eq!(img.get(0, 0), 0.1);
+        assert_eq!(img.get(0, 1), 1.0, "clamped high");
+        assert_eq!(img.get(1, 1), 0.0, "clamped low");
+    }
+
+    #[test]
+    #[should_panic(expected = "fill the image")]
+    fn from_raw_wrong_len_panics() {
+        let _ = GrayImage::from_raw(3, 3, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn convolution_identity_and_smoothing() {
+        let mut rng = SovRng::seed_from_u64(9);
+        let img = render_scene(40, 24, &[(20.0, 12.0, 2.0, 0.9)], 0.2, &mut rng);
+        let identity = [[0.0; 3], [0.0, 1.0, 0.0], [0.0; 3]];
+        let same = convolve3x3(&img, &identity, None);
+        assert_eq!(same, img);
+        // Smoothing reduces total variation.
+        let tv = |im: &GrayImage| -> f32 {
+            let mut t = 0.0;
+            for y in 0..im.height() as isize {
+                for x in 1..im.width() as isize {
+                    t += (im.get(x, y) - im.get(x - 1, y)).abs();
+                }
+            }
+            t
+        };
+        let smooth = convolve3x3(&img, &SMOOTH_3X3, None);
+        assert!(tv(&smooth) < tv(&img));
+    }
+
+    #[test]
+    fn convolution_pooled_is_bit_identical() {
+        use sov_runtime::pool::WorkerPool;
+        let mut rng = SovRng::seed_from_u64(10);
+        let img = render_scene(61, 47, &[(30.0, 20.0, 3.0, 0.8)], 0.3, &mut rng);
+        let serial = convolve3x3(&img, &SMOOTH_3X3, None);
+        for lanes in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            assert_eq!(convolve3x3(&img, &SMOOTH_3X3, Some(&pool)), serial);
+        }
+    }
+
+    #[test]
+    fn pyramid_halves_dimensions() {
+        let mut rng = SovRng::seed_from_u64(11);
+        let img = render_scene(64, 48, &[(32.0, 24.0, 4.0, 0.9)], 0.1, &mut rng);
+        let levels = pyramid(&img, 3, None);
+        assert_eq!(levels.len(), 3);
+        assert_eq!((levels[1].width(), levels[1].height()), (32, 24));
+        assert_eq!((levels[2].width(), levels[2].height()), (16, 12));
+        // Downsampling preserves gross brightness.
+        assert!((levels[0].mean() - levels[2].mean()).abs() < 0.05);
+        // Tiny images stop early rather than degenerate.
+        let tiny = pyramid(&GrayImage::new(5, 5), 4, None);
+        assert!(tiny.len() < 4);
+    }
+
+    #[test]
+    fn pyramid_pooled_is_bit_identical() {
+        use sov_runtime::pool::WorkerPool;
+        let mut rng = SovRng::seed_from_u64(12);
+        let img = render_scene(63, 49, &[(20.0, 20.0, 3.0, 0.7)], 0.2, &mut rng);
+        let serial = pyramid(&img, 3, None);
+        let pool = WorkerPool::new(4);
+        assert_eq!(pyramid(&img, 3, Some(&pool)), serial);
+    }
+
+    #[test]
+    fn ncc_window_matches_patch_based_ncc() {
+        let mut rng = SovRng::seed_from_u64(13);
+        let a = render_scene(48, 32, &[(24.0, 16.0, 3.0, 0.9)], 0.3, &mut rng);
+        let b = render_scene(48, 32, &[(26.0, 17.0, 3.0, 0.9)], 0.3, &mut rng);
+        for &(acx, acy, bcx, bcy, size) in &[
+            (24isize, 16isize, 26isize, 17isize, 9usize),
+            (0, 0, 47, 31, 7),    // zero-padded borders
+            (-3, -3, 50, 40, 5),  // fully/partially outside
+            (10, 10, 10, 10, 11), // self-comparison
+        ] {
+            let via_patches = ncc(&a.patch(acx, acy, size), &b.patch(bcx, bcy, size));
+            let direct = ncc_window(&a, (acx, acy), &b, (bcx, bcy), size);
+            assert_eq!(
+                direct.to_bits(),
+                via_patches.to_bits(),
+                "window ({acx},{acy})↔({bcx},{bcy}) size {size}"
+            );
+        }
     }
 
     #[test]

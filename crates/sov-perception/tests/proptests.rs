@@ -117,3 +117,73 @@ proptest! {
         }
     }
 }
+
+// Determinism invariant of the intra-frame layer: every pooled perception
+// kernel is bit-identical to its serial form for any worker count 1–8.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pooled_convolution_and_pyramid_bit_identical(
+        w in 16usize..96,
+        h in 16usize..64,
+        seed in 0u64..5_000,
+        lanes in 1usize..9,
+    ) {
+        use sov_perception::image::{convolve3x3, pyramid, SMOOTH_3X3};
+        let mut rng = SovRng::seed_from_u64(seed);
+        let img = render_scene(
+            w,
+            h,
+            &[(w as f64 / 2.0, h as f64 / 2.0, 3.0, 0.8)],
+            0.3,
+            &mut rng,
+        );
+        let pool = sov_runtime::pool::WorkerPool::new(lanes);
+        prop_assert_eq!(
+            convolve3x3(&img, &SMOOTH_3X3, Some(&pool)),
+            convolve3x3(&img, &SMOOTH_3X3, None)
+        );
+        prop_assert_eq!(pyramid(&img, 3, Some(&pool)), pyramid(&img, 3, None));
+    }
+
+    #[test]
+    fn ncc_window_matches_patch_ncc_everywhere(
+        seed in 0u64..5_000,
+        acx in -5isize..64,
+        acy in -5isize..48,
+        bcx in -5isize..64,
+        bcy in -5isize..48,
+        half in 1usize..7,
+    ) {
+        use sov_perception::image::ncc_window;
+        let mut rng = SovRng::seed_from_u64(seed);
+        let a = render_scene(60, 44, &[(30.0, 22.0, 4.0, 0.9)], 0.4, &mut rng);
+        let b = render_scene(60, 44, &[(28.0, 20.0, 4.0, 0.9)], 0.4, &mut rng);
+        let size = 2 * half + 1;
+        let direct = ncc_window(&a, (acx, acy), &b, (bcx, bcy), size);
+        let via_patches = ncc(&a.patch(acx, acy, size), &b.patch(bcx, bcy, size));
+        prop_assert_eq!(direct.to_bits(), via_patches.to_bits());
+    }
+
+    #[test]
+    fn pooled_corner_detection_and_tracking_bit_identical(
+        seed in 0u64..5_000,
+        lanes in 1usize..9,
+    ) {
+        use sov_perception::features::{
+            fast_corners, fast_corners_with, track_features, track_features_with,
+        };
+        let mut rng = SovRng::seed_from_u64(seed);
+        let prev = render_scene(80, 60, &[(40.0, 30.0, 5.0, 0.9), (20.0, 15.0, 3.0, 0.7)], 0.2, &mut rng);
+        let next = render_scene(80, 60, &[(43.0, 31.0, 5.0, 0.9), (23.0, 16.0, 3.0, 0.7)], 0.2, &mut rng);
+        let pool = sov_runtime::pool::WorkerPool::new(lanes);
+        let corners = fast_corners(&prev, 0.15);
+        prop_assert_eq!(fast_corners_with(&prev, 0.15, Some(&pool), None), corners.clone());
+        let points: Vec<(usize, usize)> = corners.iter().map(|c| (c.x, c.y)).collect();
+        prop_assert_eq!(
+            track_features_with(&prev, &next, &points, 7, 5, 0.5, Some(&pool)),
+            track_features(&prev, &next, &points, 7, 5, 0.5)
+        );
+    }
+}

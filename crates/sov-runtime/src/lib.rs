@@ -1,0 +1,85 @@
+//! Deterministic intra-frame data parallelism (Sec. VI, Fig. 4).
+//!
+//! The paper's LiDAR case study shows that the real bottleneck of the
+//! perception stack is *within* a frame: irregular point-cloud kernels and
+//! image processing dominated by memory traffic and redundant data
+//! movement. Task-level pipelining (Sec. IV, `sov_core::executor`) overlaps
+//! whole stages; this crate supplies the complementary layer — data
+//! parallelism *inside* each stage — plus the allocation discipline that
+//! makes a steady-state control tick free of heap traffic:
+//!
+//! * [`pool`] — a std-only persistent [`pool::WorkerPool`] whose
+//!   `parallel_for` / `parallel_map_reduce` use **fixed chunking and an
+//!   ordered merge**, so results are bit-identical to serial execution for
+//!   every worker count. Determinism is a hard invariant of this
+//!   repository: fault draws and `DriveReport`s must not change when the
+//!   pool is enabled or resized.
+//! * [`arena`] — a per-frame [`arena::FrameArena`] of reusable typed
+//!   buffers: kernels borrow scratch vectors instead of allocating, and
+//!   recycle them at frame end with their capacity intact.
+//!
+//! The perception (`sov-perception`) and LiDAR (`sov-lidar`) hot kernels
+//! accept an optional pool and arena; `sov-core` re-exports this crate as
+//! `sov_core::pool` / `sov_core::arena` and threads a [`PerfContext`]
+//! through `Sov::drive_with_plan`.
+
+#![deny(missing_docs)]
+
+pub mod arena;
+pub mod pool;
+
+use std::sync::Arc;
+
+/// The performance context threaded through the hot path: an optional
+/// worker pool (serial when absent) plus the frame arena.
+///
+/// Cloning is cheap: the pool is shared, the arena is per-clone (arenas
+/// are deliberately not `Sync`; each thread of control owns its own).
+#[derive(Debug, Default)]
+pub struct PerfContext {
+    /// Worker pool; `None` runs every kernel serially (the reference
+    /// execution that all pooled runs must match bit for bit).
+    pub pool: Option<Arc<pool::WorkerPool>>,
+    /// Reusable per-frame scratch buffers.
+    pub arena: arena::FrameArena,
+}
+
+impl PerfContext {
+    /// A serial context: no pool, fresh arena.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// A context backed by a pool with `workers` parallel lanes.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            pool: Some(Arc::new(pool::WorkerPool::new(workers))),
+            arena: arena::FrameArena::new(),
+        }
+    }
+
+    /// The pool, if any, as a borrowed option (the form kernels accept).
+    #[must_use]
+    pub fn pool(&self) -> Option<&pool::WorkerPool> {
+        self.pool.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_context_has_no_pool() {
+        let ctx = PerfContext::serial();
+        assert!(ctx.pool().is_none());
+    }
+
+    #[test]
+    fn worker_context_reports_lanes() {
+        let ctx = PerfContext::with_workers(3);
+        assert_eq!(ctx.pool().unwrap().lanes(), 3);
+    }
+}

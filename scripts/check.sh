@@ -19,4 +19,8 @@ cargo build --offline --workspace --release
 echo "== tier-1: test =="
 cargo test --offline --workspace -q
 
+echo "== bench bins build + perf_matrix smoke =="
+cargo build --offline --release -p sov-bench --bins
+./target/release/perf_matrix --smoke
+
 echo "All checks passed."
