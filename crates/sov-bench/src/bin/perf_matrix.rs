@@ -28,7 +28,7 @@ use sov_lidar::soa::{aos_ground_traffic_bytes, soa_ground_traffic_bytes, PointCl
 use sov_math::SovRng;
 use sov_perception::depth::DenseStereoMatcher;
 use sov_perception::features::{fast_corners_with, track_features_with, Corner};
-use sov_perception::image::{convolve3x3, pyramid, GrayImage, SMOOTH_3X3};
+use sov_perception::image::{convolve3x3_with, pyramid_with, GrayImage, SMOOTH_3X3};
 use sov_runtime::arena::FrameArena;
 use sov_runtime::pool::WorkerPool;
 use std::time::Instant;
@@ -448,11 +448,11 @@ impl Cell {
         let frame_t0 = Instant::now();
 
         let t0 = Instant::now();
-        let smooth = convolve3x3(&w.prev, &SMOOTH_3X3, pool);
+        let smooth = convolve3x3_with(&w.prev, &SMOOTH_3X3, pool, arena_opt);
         lap(0, t0);
 
         let t0 = Instant::now();
-        let pyr = pyramid(&smooth, 3, pool);
+        let pyr = pyramid_with(&smooth, 3, pool, arena_opt);
         lap(1, t0);
 
         let t0 = Instant::now();
@@ -546,6 +546,10 @@ impl Cell {
 
         if cfg.arena {
             arena.recycle(disparity);
+            arena.recycle(smooth.into_raw());
+            for level in pyr {
+                arena.recycle(level.into_raw());
+            }
         }
     }
 }
@@ -676,10 +680,20 @@ fn main() {
     );
 
     if let Some(path) = json_path {
+        let host_cores =
+            std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"seed\": {seed},\n  \"frames\": {frames},\n  \"cloud_points\": {},\n",
+            "  \"seed\": {seed},\n  \"frames\": {frames},\n  \"cloud_points\": {},\n  \"host_cores\": {host_cores},\n",
             w.cloud.len()
+        ));
+        out.push_str(concat!(
+            "  \"caveats\": [\n",
+            "    \"multi-worker cells cannot beat serial when host_cores < workers; ",
+            "speedups are reported as measured on this host\",\n",
+            "    \"arena/SoA gains are allocation- and layout-bound, so they hold ",
+            "even on a single core\"\n",
+            "  ],\n"
         ));
         out.push_str(&format!(
             "  \"frame_p50_speedup_4w_soa_arena\": {speedup:.4},\n  \"cells\": [\n"

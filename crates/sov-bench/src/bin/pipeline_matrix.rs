@@ -1,0 +1,395 @@
+//! Inter-frame software-pipelining ablation (DESIGN.md §9).
+//!
+//! Three views of the same trade, all checksum-gated:
+//!
+//! 1. **Replay cells** — the committed frame-latency model of the pod
+//!    (`LatencyPipeline`) is replayed through [`FramePipeline`] with each
+//!    stage sleeping its (scaled) modeled duration. Sleeping stands in for
+//!    the sensor/DMA/accelerator waits that dominate the real stages, so
+//!    the overlap is visible on any host — including single-core CI — and
+//!    the measured throughput tracks the analytic model below.
+//! 2. **Analytic model** — `FrameLatency::pipelined_throughput_fps` /
+//!    `pipeline_speedup` averaged over the same replayed frames: the
+//!    initiation-interval bound the replay cells should approach.
+//! 3. **Drive cells** — real [`Sov::drive_with_plan`] runs at several
+//!    pipeline depths. These prove the headline invariant end to end (the
+//!    [`DriveReport`]s must be **byte-identical** to serial) and report
+//!    wall-clock as-is; on a host with fewer cores than lanes the overlap
+//!    cannot pay, which the JSON records as a caveat instead of hiding.
+//!
+//! Pipelining trades per-frame latency *up* for throughput, so every cell
+//! reports p50 **and** p99 (COLA's tail-latency caveat), never throughput
+//! alone.
+//!
+//! Flags: `--json PATH` writes the matrix (the committed baseline is
+//! `BENCH_pipeline.json`); `--smoke` shrinks the run for CI; `--frames N`
+//! overrides the replay frame count; `--seed N` reseeds the workload.
+
+use sov_core::config::VehicleConfig;
+use sov_core::pipeline::{FrameLatency, LatencyPipeline};
+use sov_core::sov::{DriveReport, Sov};
+use sov_fault::FaultPlan;
+use sov_runtime::pipeline::{FrameControl, FramePipeline, PipelineRun, StageCtx};
+use sov_runtime::pool::WorkerPool;
+use sov_runtime::PerfContext;
+use sov_world::scenario::Scenario;
+use std::time::{Duration, Instant};
+
+/// Modeled stage durations are divided by this before sleeping, keeping a
+/// full matrix under ~10 s of wall clock without changing the ratios that
+/// determine speedup.
+const TIME_SCALE: f64 = 20.0;
+
+/// SplitMix64 step — the same cheap bit mixer the perf matrix uses for its
+/// checksum gate.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic scene-complexity schedule for the replayed frames (a
+/// slow ramp with a busy burst, independent of any scenario geometry).
+fn complexity_at(k: u64) -> f64 {
+    let phase = (k % 40) as f64 / 40.0;
+    if phase < 0.75 {
+        phase
+    } else {
+        0.9
+    }
+}
+
+/// Replays the pod latency model and returns per-frame stage durations in
+/// milliseconds, already divided by [`TIME_SCALE`].
+fn replay_stages(seed: u64, frames: u64) -> (Vec<[f64; 3]>, Vec<FrameLatency>) {
+    let config = VehicleConfig::perceptin_pod();
+    let mut gen = LatencyPipeline::new(&config, seed);
+    let mut stages = Vec::with_capacity(frames as usize);
+    let mut frames_out = Vec::with_capacity(frames as usize);
+    for k in 0..frames {
+        let frame = gen.next_frame(complexity_at(k));
+        let [s, p, l] = frame.stages();
+        stages.push([
+            s.as_millis_f64() / TIME_SCALE,
+            p.as_millis_f64() / TIME_SCALE,
+            l.as_millis_f64() / TIME_SCALE,
+        ]);
+        frames_out.push(frame);
+    }
+    (stages, frames_out)
+}
+
+fn sleep_ms(ms: f64) {
+    std::thread::sleep(Duration::from_secs_f64(ms / 1e3));
+}
+
+/// One replay cell: the modeled frames pushed through [`FramePipeline`]
+/// at a given depth and lane count. Returns the run telemetry and the
+/// committed checksum (folded across frames in commit order, so any
+/// reordering or dropped frame changes it).
+fn run_replay_cell(stages: &[[f64; 3]], depth: usize, workers: usize) -> (PipelineRun, u64) {
+    let pool = (workers > 0).then(|| WorkerPool::new(workers));
+    let pipeline = FramePipeline::new(depth);
+    let mut checksum = 0u64;
+    let run = pipeline.run(
+        pool.as_ref(),
+        stages.len() as u64,
+        |k: u64, _ctx: StageCtx<'_, u64>| {
+            sleep_ms(stages[k as usize][0]);
+            mix(0x5E45, k)
+        },
+        |k: u64, s: &u64, _ctx: StageCtx<'_, u64>| {
+            sleep_ms(stages[k as usize][1]);
+            mix(*s, k ^ 0x5045_5243)
+        },
+        |k: u64, p: &u64, prev: Option<&u64>| {
+            sleep_ms(stages[k as usize][2]);
+            mix(*p ^ prev.copied().unwrap_or(0x504C414E), k)
+        },
+        |_k: u64, o: &u64| {
+            checksum = mix(checksum, *o);
+            FrameControl::Continue
+        },
+    );
+    (run, checksum)
+}
+
+/// Digest of a [`DriveReport`] for display; the equality gate itself uses
+/// the report's exact bitwise `PartialEq`.
+fn digest_report(r: &DriveReport) -> u64 {
+    let mut h = mix(0, r.frames);
+    for v in [
+        r.distance_m,
+        r.min_obstacle_gap_m,
+        r.energy_used_kwh,
+        r.final_localization_error_m,
+        r.mean_cross_track_error_m,
+        r.computing.mean(),
+    ] {
+        h = mix(h, v.to_bits());
+    }
+    for v in [
+        r.override_engagements,
+        r.override_ticks,
+        r.mode_transitions,
+        r.deadline_misses,
+        r.can_frames_lost,
+    ] {
+        h = mix(h, v);
+    }
+    for t in r.mode_ticks {
+        h = mix(h, t);
+    }
+    h
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    sov_bench::banner(
+        "Pipeline matrix",
+        "Inter-frame pipelining: depth × workers, throughput vs latency",
+    );
+    let args: Vec<String> = std::env::args().collect();
+    let seed = sov_bench::seed_from_args();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let frames: u64 = args
+        .iter()
+        .position(|a| a == "--frames")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 30 } else { 120 });
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
+    let host_cores = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
+
+    let (stages, model_frames) = replay_stages(seed, frames);
+    println!(
+        "replaying {frames} modeled frames at 1/{TIME_SCALE:.0} time scale on {host_cores} core(s)",
+    );
+
+    // --- replay cells -----------------------------------------------------
+    sov_bench::section("replay cells: measured throughput and latency");
+    println!(
+        "{:<14} | {:>9} | {:>8} | {:>8} | {:>8}",
+        "cell", "fps", "p50 ms", "p99 ms", "speedup"
+    );
+    struct ReplayRow {
+        depth: usize,
+        workers: usize,
+        fps: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+        speedup: f64,
+        checksum: u64,
+    }
+    let mut replay_rows: Vec<ReplayRow> = Vec::new();
+    let mut determinism_ok = true;
+    let mut baseline_fps = 0.0f64;
+    let mut baseline_checksum = 0u64;
+    for depth in [1usize, 2, 3, 4] {
+        for workers in [0usize, 3, 8] {
+            let (run, checksum) = run_replay_cell(&stages, depth, workers);
+            let fps = run.throughput_fps();
+            if depth == 1 && workers == 0 {
+                baseline_fps = fps;
+                baseline_checksum = checksum;
+            }
+            if checksum != baseline_checksum {
+                determinism_ok = false;
+            }
+            let row = ReplayRow {
+                depth,
+                workers,
+                fps,
+                p50_ms: ms(run.latency_percentile(0.5)),
+                p99_ms: ms(run.latency_percentile(0.99)),
+                speedup: fps / baseline_fps,
+                checksum,
+            };
+            println!(
+                "d{} w{:<10} | {:>9.1} | {:>8.3} | {:>8.3} | {:>7.2}×{}",
+                row.depth,
+                row.workers,
+                row.fps,
+                row.p50_ms,
+                row.p99_ms,
+                row.speedup,
+                if checksum == baseline_checksum {
+                    ""
+                } else {
+                    "  CHECKSUM MISMATCH"
+                },
+            );
+            replay_rows.push(row);
+        }
+    }
+
+    // --- analytic model ---------------------------------------------------
+    sov_bench::section("analytic model: initiation-interval bound");
+    let mut model_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for depth in [1usize, 2, 3, 4] {
+        let n = model_frames.len() as f64;
+        let fps: f64 = model_frames
+            .iter()
+            .map(|f| f.pipelined_throughput_fps(depth))
+            .sum::<f64>()
+            / n;
+        let speedup: f64 = model_frames
+            .iter()
+            .map(|f| f.pipeline_speedup(depth))
+            .sum::<f64>()
+            / n;
+        println!("depth {depth}: mean {fps:>6.1} fps (unscaled), mean speedup {speedup:.2}×");
+        model_rows.push((depth, fps, speedup));
+    }
+
+    // --- drive cells ------------------------------------------------------
+    sov_bench::section("drive cells: real Sov drives, byte-identical gate");
+    let drive_frames: u64 = if smoke { 60 } else { 200 };
+    let scenario = Scenario::fishers_indiana(seed);
+    let plan = FaultPlan::nominal();
+    struct DriveRow {
+        depth: usize,
+        workers: usize,
+        wall_ms: f64,
+        fps: f64,
+        digest: u64,
+        matches_serial: bool,
+    }
+    let mut drive_rows: Vec<DriveRow> = Vec::new();
+    let mut serial_report: Option<DriveReport> = None;
+    for (depth, workers) in [(1usize, 0usize), (2, 3), (3, 3), (4, 3)] {
+        let mut sov = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        if workers > 0 {
+            sov.set_perf(PerfContext::with_pipeline_workers(depth, workers));
+        }
+        let t0 = Instant::now();
+        let report = sov
+            .drive_with_plan(&scenario, drive_frames, &plan)
+            .expect("drive completes");
+        let wall = t0.elapsed();
+        let matches_serial = serial_report.as_ref().is_none_or(|s| *s == report);
+        if !matches_serial {
+            determinism_ok = false;
+        }
+        println!(
+            "d{depth} w{workers}: {:>8.1} ms wall, {:>6.1} fps, digest {:016x}{}",
+            ms(wall),
+            drive_frames as f64 / wall.as_secs_f64(),
+            digest_report(&report),
+            if matches_serial {
+                ""
+            } else {
+                "  REPORT DIVERGED FROM SERIAL"
+            },
+        );
+        drive_rows.push(DriveRow {
+            depth,
+            workers,
+            wall_ms: ms(wall),
+            fps: drive_frames as f64 / wall.as_secs_f64(),
+            digest: digest_report(&report),
+            matches_serial,
+        });
+        if serial_report.is_none() {
+            serial_report = Some(report);
+        }
+    }
+
+    // --- acceptance -------------------------------------------------------
+    let depth3 = replay_rows
+        .iter()
+        .find(|r| r.depth == 3 && r.workers == 3)
+        .expect("cell swept above");
+    sov_bench::section("acceptance");
+    println!(
+        "replay checksums and drive reports identical across all cells: {}",
+        if determinism_ok { "PASS" } else { "FAIL" },
+    );
+    println!(
+        "replay throughput, depth 3 / 3 lanes vs serial: {} (target ≥1.5×): {}",
+        sov_bench::times(depth3.speedup),
+        if depth3.speedup >= 1.5 {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+    );
+
+    if let Some(path) = json_path {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"seed\": {seed},\n  \"replay_frames\": {frames},\n  \"drive_frames\": {drive_frames},\n  \"time_scale\": {TIME_SCALE},\n  \"host_cores\": {host_cores},\n"
+        ));
+        out.push_str(concat!(
+            "  \"caveats\": [\n",
+            "    \"replay cells sleep the modeled stage durations, so overlap is visible even when host_cores < lanes\",\n",
+            "    \"drive cells are compute-bound; wall-clock speedup requires host_cores >= 3 and is reported as measured\",\n",
+            "    \"pipelining raises per-frame latency while raising throughput — compare p99, not only p50\"\n",
+            "  ],\n"
+        ));
+        out.push_str(&format!(
+            "  \"replay_speedup_depth3_3lanes\": {:.4},\n",
+            depth3.speedup
+        ));
+        out.push_str("  \"replay_cells\": [\n");
+        let rows: Vec<String> = replay_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "    {{\"depth\": {}, \"workers\": {}, \"throughput_fps\": {:.2}, ",
+                        "\"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, ",
+                        "\"speedup_vs_serial\": {:.4}, \"checksum\": \"{:016x}\"}}"
+                    ),
+                    r.depth, r.workers, r.fps, r.p50_ms, r.p99_ms, r.speedup, r.checksum,
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ],\n  \"model\": [\n");
+        let rows: Vec<String> = model_rows
+            .iter()
+            .map(|(d, fps, s)| {
+                format!(
+                    "    {{\"depth\": {d}, \"mean_throughput_fps\": {fps:.2}, \"mean_speedup\": {s:.4}}}"
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ],\n  \"drive_cells\": [\n");
+        let rows: Vec<String> = drive_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "    {{\"depth\": {}, \"workers\": {}, \"wall_ms\": {:.1}, ",
+                        "\"fps\": {:.2}, \"report_digest\": \"{:016x}\", \"matches_serial\": {}}}"
+                    ),
+                    r.depth, r.workers, r.wall_ms, r.fps, r.digest, r.matches_serial,
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        std::fs::write(&path, out).expect("write JSON report");
+        println!("\nwrote {path}");
+    }
+
+    if !determinism_ok {
+        eprintln!("determinism violation: pipelined outputs diverged from serial");
+        std::process::exit(1);
+    }
+    if depth3.speedup < 1.5 {
+        eprintln!("throughput regression: depth-3 replay speedup below 1.5×");
+        std::process::exit(1);
+    }
+}

@@ -27,27 +27,30 @@ use crate::config::VehicleConfig;
 use crate::health::{DegradationMode, HealthConfig, HealthMonitor};
 use crate::pipeline::LatencyPipeline;
 use crate::pool::PerfContext;
+use crate::FrameArena;
 use sov_fault::{FaultKind, FaultPlan};
 use sov_math::stats::Summary;
 use sov_math::{angle, SovRng};
-use sov_perception::detection::{Detector, DetectorProfile};
+use sov_perception::detection::{Detection, Detector, DetectorProfile};
 use sov_perception::fusion::{FusionConfig, GpsVioFusion};
 use sov_perception::vio::{VioConfig, VioFilter, VisualFrontEnd};
 use sov_planning::mpc::MpcPlanner;
 use sov_planning::{Planner, PlanningInput, PlanningObstacle};
-use sov_sensors::camera::Camera;
-use sov_sensors::camera::Intrinsics;
+use sov_runtime::queue::{ring, RingReceiver, RingSender};
+use sov_sensors::camera::{Camera, CameraFrame, Intrinsics};
 use sov_sensors::gps::{GnssQuality, GpsConfig, GpsReceiver};
 use sov_sensors::radar::RadarArray;
 use sov_sensors::sonar::SonarArray;
 use sov_sensors::sync::Synchronizer;
 use sov_sim::time::{SimDuration, SimTime};
 use sov_vehicle::battery::Battery;
-use sov_vehicle::dynamics::VehicleState;
+use sov_vehicle::dynamics::{ControlCommand, VehicleState};
 use sov_vehicle::ecu::Ecu;
-use sov_world::obstacle::ObstacleClass;
-use sov_world::scenario::Scenario;
+use sov_world::obstacle::{ObstacleClass, ObstacleId};
+use sov_world::scenario::{Scenario, World};
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// How a drive ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -228,6 +231,16 @@ impl Sov {
     /// # Errors
     ///
     /// Returns [`SovError::NoFrames`] if `max_frames == 0`.
+    /// When the installed [`PerfContext`] carries `pipeline_depth > 1` and
+    /// a pool with at least three lanes, the drive runs on the inter-frame
+    /// pipeline: detection executes on a perception lane and MPC planning
+    /// on a planning lane, overlapped with the event loop's sensing, with
+    /// up to `depth` frames in flight per stage. The sequencer on the
+    /// calling thread commits every result in frame order, so the
+    /// resulting [`DriveReport`] is **byte-identical** to the serial
+    /// drive for every depth and worker count (see [`PipedLanes`] for the
+    /// commit-equivalence argument); a degraded tick drains the pipeline
+    /// and serializes until the vehicle recovers to nominal.
     pub fn drive_with_plan(
         &mut self,
         scenario: &Scenario,
@@ -237,399 +250,814 @@ impl Sov {
         if max_frames == 0 {
             return Err(SovError::NoFrames);
         }
-        let dt = self.config.control_period_s();
-        let world = &scenario.world;
-        let route_len = world.route.length_m();
-        let start_pose = world
-            .route
-            .pose_at(&world.map, 0.0)
-            .expect("route built from this map");
-        let mut state = VehicleState {
-            pose: start_pose,
-            speed_mps: 0.0,
+        let Sov {
+            config,
+            planner,
+            detector,
+            camera,
+            radars,
+            sonars,
+            gps,
+            latency,
+            synchronizer,
+            rng,
+            perf,
+        } = self;
+        let perf: &PerfContext = perf;
+        let depth = perf.pipeline_depth();
+        let piped = depth > 1 && perf.pool().is_some_and(|p| p.lanes() >= 3);
+        let env = DriveEnv {
+            config,
+            camera,
+            radars,
+            sonars,
+            gps,
+            latency,
+            synchronizer,
+            rng,
+            perf,
+            scenario,
+            max_frames,
+            faults,
         };
-        let mut ecu = Ecu::new(self.config.ecu, self.config.vehicle);
-        let mut vio = VioFilter::new(start_pose, VioConfig::default());
-        let mut fusion = GpsVioFusion::new(FusionConfig::default());
-        let mut frontend = VisualFrontEnd::new(self.rng.next_u64());
-        let mut battery = Battery::full(self.config.battery.capacity_kwh);
-        let mut report = DriveReport {
-            outcome: DriveOutcome::Completed,
-            frames: 0,
-            distance_m: 0.0,
-            override_engagements: 0,
-            override_ticks: 0,
-            computing: Summary::new(),
-            min_obstacle_gap_m: f64::INFINITY,
-            energy_used_kwh: 0.0,
-            final_localization_error_m: 0.0,
-            mean_cross_track_error_m: 0.0,
-            mode_ticks: [0; 4],
-            mode_transitions: 0,
-            recovery_ms: Summary::new(),
-            deadline_misses: 0,
-            can_frames_lost: 0,
-        };
-        let mut health = HealthMonitor::new(HealthConfig::default(), SimTime::ZERO);
-        let mut cross_track_sum = 0.0f64;
-        let mut station = 0.0f64;
-        let cruise = scenario
-            .cruise_speed_mps
-            .min(self.config.vehicle.max_speed_mps);
-
-        // Multi-rate sensing driven by the discrete-event kernel: radar and
-        // sonar at 20 Hz feed the reactive path between control ticks (this
-        // is what gives the reactive path its ~30–50 ms response, Sec. IV),
-        // the camera runs at 30 FPS, GPS at 10 Hz, control at 10 Hz.
-        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-        enum Ev {
-            RadarSonar,
-            Camera(u64),
-            Gps(u64),
-            Control(u64),
+        if !piped {
+            return Ok(drive_loop(env, StageLanes::Inline { detector, planner }));
         }
-        let radar_period = SimDuration::from_millis(50);
-        let camera_period = SimDuration::from_secs_f64(1.0 / 30.0);
-        let gps_period = SimDuration::from_millis(100);
-        let control_period = SimDuration::from_secs_f64(dt);
-        let mut queue = sov_sim::event::EventQueue::new();
-        // Insertion order fixes same-instant priority: sensors before
-        // control, so a control tick always plans on fresh data.
-        queue.schedule(SimTime::ZERO, Ev::RadarSonar);
-        queue.schedule(SimTime::ZERO, Ev::Camera(0));
-        queue.schedule(SimTime::from_millis(50), Ev::Gps(0));
-        queue.schedule(SimTime::ZERO, Ev::Control(0));
+        let pool = Arc::clone(perf.pool.as_ref().expect("piped implies a pool"));
+        let world = &scenario.world;
+        // Job rings are bounded by the pipeline depth — a full ring is the
+        // back-pressure that keeps a stage at most `depth` frames ahead.
+        // Done rings hold `depth + 2` (more than can ever be in flight), so
+        // the lanes never block on returning a result and can always drain.
+        let (det_tx, det_job_rx) = ring::<DetJob>(depth);
+        let (det_done_tx, det_rx) = ring::<DetDone>(depth + 2);
+        let (plan_tx, plan_job_rx) = ring::<PlanJob>(depth);
+        let (plan_done_tx, plan_rx) = ring::<PlanDone>(depth + 2);
+        let report = pool.run_lanes(
+            vec![
+                // Perception lane: owns the detector. Jobs arrive in
+                // camera-frame order, so the detector's internal RNG
+                // consumes draws in exactly the serial sequence.
+                Box::new(move || {
+                    while let Some(DetJob { frame, mut out }) = det_job_rx.recv() {
+                        detector.detect_into(&frame, |id| true_class_of(world, id), &mut out);
+                        if det_done_tx.send(DetDone { out }).is_err() {
+                            break;
+                        }
+                    }
+                }),
+                // Planning lane: owns the MPC planner, consumes planning
+                // inputs in control-tick order.
+                Box::new(move || {
+                    while let Some(PlanJob { input }) = plan_job_rx.recv() {
+                        let plan = planner.plan(&input);
+                        let PlanningInput { obstacles, .. } = input;
+                        if plan_done_tx
+                            .send(PlanDone {
+                                command: plan.command,
+                                obstacles,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }),
+            ],
+            // Sensing + fusion + sequencing stay on the calling thread.
+            move || {
+                drive_loop(
+                    env,
+                    StageLanes::Piped(PipedLanes {
+                        det_tx,
+                        det_rx,
+                        det_inflight: 0,
+                        det_free: Vec::new(),
+                        plan_tx,
+                        plan_rx,
+                        pending: VecDeque::new(),
+                        sync_mode: false,
+                    }),
+                )
+            },
+        );
+        Ok(report)
+    }
+}
 
-        // Latest sensor products consumed by the control tick. The
-        // detection buffer comes from the frame arena and is refilled in
-        // place at the camera rate — no steady-state allocation.
-        let mut last_scan: Option<sov_sensors::radar::RadarScan> = None;
-        let mut last_detections: Vec<sov_perception::detection::Detection> = self.perf.arena.take();
-        last_detections.clear();
-        // Camera-frame bookkeeping for the VIO front-end.
-        let mut last_camera_pose = start_pose;
-        let mut last_camera_t = SimTime::ZERO;
-        // Physics integration cursor.
-        let mut physics_t = SimTime::ZERO;
-        // Counter for the radar/sonar events' fault draws.
-        let mut radar_k: u64 = 0;
+/// Ground-truth class lookup shared by the inline and piped detection
+/// paths — it must be the *same* function on both for bit-identity.
+fn true_class_of(world: &World, id: ObstacleId) -> ObstacleClass {
+    world
+        .obstacles
+        .iter()
+        .find(|o| o.id == id)
+        .map_or(ObstacleClass::StaticObject, |o| o.class)
+}
 
-        'sim: while let Some((t, ev)) = queue.pop() {
-            // Advance the vehicle to `t` under the ECU's actuation,
-            // promoting matured commands along the way.
-            while physics_t < t {
-                let step = SimDuration::from_millis(10).min(t.since(physics_t));
-                let act = ecu.actuation(physics_t);
-                let prev = state.pose;
-                state = state.step(
-                    act.net_accel_mps2(),
-                    act.yaw_rate_rps,
-                    step.as_secs_f64(),
-                    &self.config.vehicle,
-                );
-                report.distance_m += prev.distance(&state.pose);
-                physics_t += step;
+/// A camera frame headed to the perception lane plus a reusable output
+/// buffer for its detections (buffers circulate: main free-list → lane →
+/// back, so steady-state camera frames allocate no detection storage).
+struct DetJob {
+    frame: CameraFrame,
+    out: Vec<Detection>,
+}
+
+/// Finished detections coming back from the perception lane.
+struct DetDone {
+    out: Vec<Detection>,
+}
+
+/// A planning input headed to the planning lane.
+struct PlanJob {
+    input: PlanningInput,
+}
+
+/// A finished plan: the command plus the obstacle buffer, returned for
+/// recycling into the frame arena.
+struct PlanDone {
+    command: ControlCommand,
+    obstacles: Vec<PlanningObstacle>,
+}
+
+/// Sequencing metadata the main thread records when it dispatches a plan.
+struct PlanMeta {
+    /// When the command reaches the ECU (tick time + computing + CAN).
+    arrival: SimTime,
+    /// Whether the serial schedule would have offered this command to the
+    /// ECU at all (CAN frame not lost, override not engaged at dispatch).
+    accept: bool,
+    /// `ecu.overrides_engaged_count()` at dispatch; any increase by commit
+    /// time means the serial schedule would have flushed the command.
+    engage_count: u64,
+}
+
+/// The pipelined stage endpoints owned by the event loop (sequencer side).
+///
+/// # Why deferred commits are exactly serial-equivalent
+///
+/// The serial schedule calls `ecu.accept_command(cmd, arrival)` at the
+/// control tick. The pipelined sequencer calls it later — when the
+/// planning lane's result comes back — with the *same* `arrival`, subject
+/// to three rules that make the deferral unobservable:
+///
+/// 1. **Frame order.** Plans commit strictly FIFO, so the ECU's pending
+///    queue always holds commands in the serial order.
+/// 2. **Arrival barrier.** Before each event iteration advances physics to
+///    `t`, every in-flight plan with `arrival <= t` is committed
+///    (blocking). A command matures at `arrival + t_mech`, so it can never
+///    be promoted by `Ecu::actuation` before it is committed, and a
+///    command still in flight (`arrival > t`) could not have matured in
+///    the serial schedule either.
+/// 3. **Override gate.** `accept` snapshots the override state at
+///    dispatch (serial-time ignore), and the commit is skipped if
+///    `overrides_engaged_count` increased since dispatch — exactly the
+///    commands the serial schedule's engage-flush (`pending.clear()`)
+///    would have removed, because an engagement while a command sits
+///    unmatured in the serial ECU queue flushes it, and rule 2 rules out
+///    the command having matured before any such engagement.
+///
+/// Eager early commits (absorbing results as they finish) are equally
+/// safe: between the serial accept time and the eager commit time the
+/// command cannot mature (rule 2) and cannot change other promotions (the
+/// ECU promotes FIFO from the front, and all earlier commands are already
+/// committed by rule 1), so wall-clock timing never affects the drive.
+struct PipedLanes {
+    det_tx: RingSender<DetJob>,
+    det_rx: RingReceiver<DetDone>,
+    /// Camera jobs dispatched but not yet absorbed.
+    det_inflight: usize,
+    /// Detection buffers awaiting reuse (capacity-only scratch).
+    det_free: Vec<Vec<Detection>>,
+    plan_tx: RingSender<PlanJob>,
+    plan_rx: RingReceiver<PlanDone>,
+    /// Per-in-flight-plan sequencing metadata, in dispatch (frame) order.
+    pending: VecDeque<PlanMeta>,
+    /// Degraded operation: every dispatch commits immediately, i.e. the
+    /// pipeline is serialized without reordering anything.
+    sync_mode: bool,
+}
+
+impl PipedLanes {
+    /// Commits the next in-flight plan (FIFO) under the equivalence rules.
+    fn commit(&mut self, done: PlanDone, ecu: &mut Ecu, arena: &FrameArena) {
+        let meta = self.pending.pop_front().expect("one meta per plan job");
+        arena.recycle(done.obstacles);
+        if meta.accept && ecu.overrides_engaged_count() == meta.engage_count {
+            ecu.accept_command(done.command, meta.arrival);
+        }
+    }
+
+    /// Blocks until every in-flight plan has committed.
+    fn drain_plans(&mut self, ecu: &mut Ecu, arena: &FrameArena) {
+        while !self.pending.is_empty() {
+            let done = self.plan_rx.recv().expect("planning lane alive");
+            self.commit(done, ecu, arena);
+        }
+    }
+
+    /// Absorbs every finished detection without blocking (FIFO, so `last`
+    /// ends up holding the newest absorbed frame's detections).
+    fn absorb_ready_detections(&mut self, last: &mut Vec<Detection>) {
+        while self.det_inflight > 0 {
+            match self.det_rx.try_recv() {
+                Some(done) => {
+                    self.det_inflight -= 1;
+                    self.det_free.push(std::mem::replace(last, done.out));
+                }
+                None => break,
             }
-            let frac = (station / route_len).clamp(0.0, 1.0);
+        }
+    }
 
-            match ev {
-                Ev::RadarSonar => {
-                    // ---- Reactive path: straight into the ECU. ----
-                    let mut scan = self.radars.scan_all(&state.pose, state.speed_mps, world, t);
-                    if faults.strikes(FaultKind::RadarGhost, t, radar_k) {
-                        // A phantom frontal return: the reactive path and
-                        // the planner both see it, causing spurious braking
-                        // — the failure is availability, never safety.
-                        scan.targets.push(sov_sensors::radar::RadarTarget {
-                            truth: sov_world::obstacle::ObstacleId(u32::MAX),
-                            range_m: faults.uniform(FaultKind::RadarGhost, radar_k, 2.0, 12.0),
-                            azimuth_rad: 0.0,
-                            radial_velocity_mps: -state.speed_mps,
-                        });
-                    }
-                    let sonar_range = if faults.is_active(FaultKind::SonarDropout, t) {
-                        None
-                    } else {
-                        let range = self.sonars.min_frontal_range(&state.pose, world, t);
-                        health.sonar_seen(t);
-                        range
-                    };
-                    health.radar_seen(t);
-                    radar_k += 1;
-                    // Brake for obstructions in the vehicle's *swept
-                    // corridor*: ahead (|azimuth| < 90°) and within ~1.2 m
-                    // of the path centerline — a pedestrian standing beside
-                    // the lane must not slam the brakes.
-                    let radar_frontal = scan
-                        .targets
-                        .iter()
-                        .filter(|tg| {
-                            tg.azimuth_rad.abs() < std::f64::consts::FRAC_PI_2
-                                && (tg.range_m * tg.azimuth_rad.sin()).abs() < 1.2
-                        })
-                        .map(|tg| tg.range_m)
-                        .fold(f64::INFINITY, f64::min);
-                    let radar_frontal = radar_frontal.is_finite().then_some(radar_frontal);
-                    let min_range = match (radar_frontal, sonar_range) {
-                        (Some(a), Some(b)) => Some(a.min(b)),
-                        (Some(a), None) => Some(a),
-                        (None, b) => b,
-                    };
-                    let overrides_before = ecu.overrides_engaged_count();
-                    ecu.reactive_range(min_range, t);
-                    report.override_engagements += ecu.overrides_engaged_count() - overrides_before;
-                    last_scan = Some(scan);
-                    queue.schedule(t + radar_period, Ev::RadarSonar);
+    /// Blocks until every dispatched camera frame has been detected; on
+    /// return `last` holds the detections of the newest dispatched frame —
+    /// exactly the serial `last_detections` state.
+    fn sync_detections(&mut self, last: &mut Vec<Detection>) {
+        while self.det_inflight > 0 {
+            let done = self.det_rx.recv().expect("perception lane alive");
+            self.det_inflight -= 1;
+            self.det_free.push(std::mem::replace(last, done.out));
+        }
+    }
+}
+
+/// The stage components the drive loop routes work through: either owned
+/// inline (serial schedule) or behind the pipeline rings.
+enum StageLanes<'a> {
+    /// Serial: the event loop calls the detector and planner directly.
+    Inline {
+        detector: &'a mut Detector,
+        planner: &'a mut MpcPlanner,
+    },
+    /// Pipelined: detection and planning execute on dedicated pool lanes.
+    Piped(PipedLanes),
+}
+
+impl StageLanes<'_> {
+    /// Runs (or dispatches) detection for one camera frame.
+    fn detect(
+        &mut self,
+        frame: CameraFrame,
+        last: &mut Vec<Detection>,
+        world: &World,
+        arena: &FrameArena,
+    ) {
+        match self {
+            Self::Inline { detector, .. } => {
+                detector.detect_into(&frame, |id| true_class_of(world, id), last);
+            }
+            Self::Piped(p) => {
+                let out = p.det_free.pop().unwrap_or_else(|| arena.take());
+                p.det_tx
+                    .send(DetJob { frame, out })
+                    .unwrap_or_else(|_| unreachable!("perception lane outlives the drive"));
+                p.det_inflight += 1;
+                if p.sync_mode {
+                    p.sync_detections(last);
                 }
-                Ev::Camera(k)
-                    if faults.is_active(FaultKind::CameraStall, t)
-                        || faults.strikes(FaultKind::CameraDrop, t, k) =>
-                {
-                    // The frame never arrives: no detections, no VIO
-                    // update, and the camera watchdog keeps starving. The
-                    // camera clock itself keeps ticking.
-                    queue.schedule(t + camera_period, Ev::Camera(k + 1));
+            }
+        }
+    }
+
+    /// Runs (or dispatches) planning for one control tick and offers the
+    /// command to the ECU (immediately when inline; under the sequencing
+    /// rules when piped). `can_lost` marks a lost CAN frame: the plan is
+    /// still computed — the planner's state must advance identically —
+    /// but the command never reaches the ECU.
+    fn plan(
+        &mut self,
+        input: PlanningInput,
+        arrival: SimTime,
+        can_lost: bool,
+        ecu: &mut Ecu,
+        arena: &FrameArena,
+    ) {
+        match self {
+            Self::Inline { planner, .. } => {
+                let plan = planner.plan(&input);
+                let PlanningInput { obstacles, .. } = input;
+                arena.recycle(obstacles);
+                if !can_lost {
+                    ecu.accept_command(plan.command, arrival);
                 }
-                Ev::Camera(k) => {
-                    // Detection runs at the camera rate.
-                    let cam_frame =
-                        self.camera
-                            .capture(&state.pose, world, &world.landmarks, t, &mut self.rng);
-                    self.detector.detect_into(
-                        &cam_frame,
-                        |id| {
-                            world
-                                .obstacles
-                                .iter()
-                                .find(|o| o.id == id)
-                                .map_or(ObstacleClass::StaticObject, |o| o.class)
-                        },
-                        &mut last_detections,
+            }
+            Self::Piped(p) => {
+                let accept = !can_lost && !ecu.override_engaged();
+                p.pending.push_back(PlanMeta {
+                    arrival,
+                    accept,
+                    engage_count: ecu.overrides_engaged_count(),
+                });
+                p.plan_tx
+                    .send(PlanJob { input })
+                    .unwrap_or_else(|_| unreachable!("planning lane outlives the drive"));
+                if p.sync_mode {
+                    p.drain_plans(ecu, arena);
+                }
+            }
+        }
+    }
+
+    /// Per-event maintenance: absorbs finished work eagerly and enforces
+    /// the arrival barrier (rule 2 of the [`PipedLanes`] equivalence
+    /// argument) before the event loop advances physics to `t`.
+    fn pump(&mut self, t: SimTime, ecu: &mut Ecu, arena: &FrameArena, last: &mut Vec<Detection>) {
+        let Self::Piped(p) = self else { return };
+        p.absorb_ready_detections(last);
+        while !p.pending.is_empty() {
+            match p.plan_rx.try_recv() {
+                Some(done) => p.commit(done, ecu, arena),
+                None => break,
+            }
+        }
+        // The barrier gates on the first meta that would actually enter
+        // the ECU queue: a CAN-lost (or engage-skipped) frame never
+        // reaches the serial ECU, so it must not head-of-line-block the
+        // commit of a later accepted command with an earlier arrival.
+        while let Some(i) = p.pending.iter().position(|m| m.accept) {
+            if p.pending[i].arrival > t {
+                break;
+            }
+            for _ in 0..=i {
+                let done = p.plan_rx.recv().expect("planning lane alive");
+                p.commit(done, ecu, arena);
+            }
+        }
+    }
+
+    /// Barrier: after this, `last` holds the serial detection state.
+    fn sync_detections(&mut self, last: &mut Vec<Detection>) {
+        if let Self::Piped(p) = self {
+            p.sync_detections(last);
+        }
+    }
+
+    /// Health interop: entering a degraded mode drains everything in
+    /// flight (in order) and serializes subsequent dispatches; returning
+    /// to nominal resumes pipelining.
+    fn set_degraded(
+        &mut self,
+        degraded: bool,
+        ecu: &mut Ecu,
+        arena: &FrameArena,
+        last: &mut Vec<Detection>,
+    ) {
+        let Self::Piped(p) = self else { return };
+        if degraded && !p.sync_mode {
+            p.sync_detections(last);
+            p.drain_plans(ecu, arena);
+        }
+        p.sync_mode = degraded;
+    }
+
+    /// End of drive: drains all in-flight work and returns every pooled
+    /// buffer to the arena. Dropping `self` afterwards closes the job
+    /// rings, which is what lets the lanes exit.
+    fn shutdown(&mut self, ecu: &mut Ecu, arena: &FrameArena, last: &mut Vec<Detection>) {
+        let Self::Piped(p) = self else { return };
+        p.sync_detections(last);
+        p.drain_plans(ecu, arena);
+        for buf in p.det_free.drain(..) {
+            arena.recycle(buf);
+        }
+    }
+}
+
+/// Borrowed pieces of [`Sov`] (minus detector and planner, which live in
+/// [`StageLanes`]) plus the drive parameters.
+struct DriveEnv<'a> {
+    config: &'a VehicleConfig,
+    camera: &'a Camera,
+    radars: &'a mut RadarArray,
+    sonars: &'a mut SonarArray,
+    gps: &'a mut GpsReceiver,
+    latency: &'a mut LatencyPipeline,
+    synchronizer: &'a Synchronizer,
+    rng: &'a mut SovRng,
+    perf: &'a PerfContext,
+    scenario: &'a Scenario,
+    max_frames: u64,
+    faults: &'a FaultPlan,
+}
+
+/// The closed-loop event kernel shared by the serial and pipelined
+/// schedules. Every sensing, fusion, health, and bookkeeping statement is
+/// common to both paths; only detection and planning route through
+/// `lanes`, which is what makes bit-identity auditable.
+fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
+    let DriveEnv {
+        config,
+        camera,
+        radars,
+        sonars,
+        gps,
+        latency,
+        synchronizer,
+        rng,
+        perf,
+        scenario,
+        max_frames,
+        faults,
+    } = env;
+    let dt = config.control_period_s();
+    let world = &scenario.world;
+    let route_len = world.route.length_m();
+    let start_pose = world
+        .route
+        .pose_at(&world.map, 0.0)
+        .expect("route built from this map");
+    let mut state = VehicleState {
+        pose: start_pose,
+        speed_mps: 0.0,
+    };
+    let mut ecu = Ecu::new(config.ecu, config.vehicle);
+    let mut vio = VioFilter::new(start_pose, VioConfig::default());
+    let mut fusion = GpsVioFusion::new(FusionConfig::default());
+    let mut frontend = VisualFrontEnd::new(rng.next_u64());
+    let mut battery = Battery::full(config.battery.capacity_kwh);
+    let mut report = DriveReport {
+        outcome: DriveOutcome::Completed,
+        frames: 0,
+        distance_m: 0.0,
+        override_engagements: 0,
+        override_ticks: 0,
+        computing: Summary::new(),
+        min_obstacle_gap_m: f64::INFINITY,
+        energy_used_kwh: 0.0,
+        final_localization_error_m: 0.0,
+        mean_cross_track_error_m: 0.0,
+        mode_ticks: [0; 4],
+        mode_transitions: 0,
+        recovery_ms: Summary::new(),
+        deadline_misses: 0,
+        can_frames_lost: 0,
+    };
+    let mut health = HealthMonitor::new(HealthConfig::default(), SimTime::ZERO);
+    let mut cross_track_sum = 0.0f64;
+    let mut station = 0.0f64;
+    let cruise = scenario.cruise_speed_mps.min(config.vehicle.max_speed_mps);
+
+    // Multi-rate sensing driven by the discrete-event kernel: radar and
+    // sonar at 20 Hz feed the reactive path between control ticks (this
+    // is what gives the reactive path its ~30–50 ms response, Sec. IV),
+    // the camera runs at 30 FPS, GPS at 10 Hz, control at 10 Hz.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ev {
+        RadarSonar,
+        Camera(u64),
+        Gps(u64),
+        Control(u64),
+    }
+    let radar_period = SimDuration::from_millis(50);
+    let camera_period = SimDuration::from_secs_f64(1.0 / 30.0);
+    let gps_period = SimDuration::from_millis(100);
+    let control_period = SimDuration::from_secs_f64(dt);
+    let mut queue = sov_sim::event::EventQueue::new();
+    // Insertion order fixes same-instant priority: sensors before
+    // control, so a control tick always plans on fresh data.
+    queue.schedule(SimTime::ZERO, Ev::RadarSonar);
+    queue.schedule(SimTime::ZERO, Ev::Camera(0));
+    queue.schedule(SimTime::from_millis(50), Ev::Gps(0));
+    queue.schedule(SimTime::ZERO, Ev::Control(0));
+
+    // Latest sensor products consumed by the control tick. The
+    // detection buffer comes from the frame arena and is refilled in
+    // place at the camera rate — no steady-state allocation.
+    let mut last_scan: Option<sov_sensors::radar::RadarScan> = None;
+    let mut last_detections: Vec<Detection> = perf.arena.take();
+    last_detections.clear();
+    // Camera-frame bookkeeping for the VIO front-end.
+    let mut last_camera_pose = start_pose;
+    let mut last_camera_t = SimTime::ZERO;
+    // Physics integration cursor.
+    let mut physics_t = SimTime::ZERO;
+    // Counter for the radar/sonar events' fault draws.
+    let mut radar_k: u64 = 0;
+
+    'sim: while let Some((t, ev)) = queue.pop() {
+        // Absorb finished pipeline work and commit every plan whose
+        // arrival is due — *before* physics advances to `t`, so the
+        // ECU promotes commands exactly as the serial schedule would.
+        lanes.pump(t, &mut ecu, &perf.arena, &mut last_detections);
+        // Advance the vehicle to `t` under the ECU's actuation,
+        // promoting matured commands along the way.
+        while physics_t < t {
+            let step = SimDuration::from_millis(10).min(t.since(physics_t));
+            let act = ecu.actuation(physics_t);
+            let prev = state.pose;
+            state = state.step(
+                act.net_accel_mps2(),
+                act.yaw_rate_rps,
+                step.as_secs_f64(),
+                &config.vehicle,
+            );
+            report.distance_m += prev.distance(&state.pose);
+            physics_t += step;
+        }
+        let frac = (station / route_len).clamp(0.0, 1.0);
+
+        match ev {
+            Ev::RadarSonar => {
+                // ---- Reactive path: straight into the ECU. ----
+                let mut scan = radars.scan_all(&state.pose, state.speed_mps, world, t);
+                if faults.strikes(FaultKind::RadarGhost, t, radar_k) {
+                    // A phantom frontal return: the reactive path and
+                    // the planner both see it, causing spurious braking
+                    // — the failure is availability, never safety.
+                    scan.targets.push(sov_sensors::radar::RadarTarget {
+                        truth: sov_world::obstacle::ObstacleId(u32::MAX),
+                        range_m: faults.uniform(FaultKind::RadarGhost, radar_k, 2.0, 12.0),
+                        azimuth_rad: 0.0,
+                        radial_velocity_mps: -state.speed_mps,
+                    });
+                }
+                let sonar_range = if faults.is_active(FaultKind::SonarDropout, t) {
+                    None
+                } else {
+                    let range = sonars.min_frontal_range(&state.pose, world, t);
+                    health.sonar_seen(t);
+                    range
+                };
+                health.radar_seen(t);
+                radar_k += 1;
+                // Brake for obstructions in the vehicle's *swept
+                // corridor*: ahead (|azimuth| < 90°) and within ~1.2 m
+                // of the path centerline — a pedestrian standing beside
+                // the lane must not slam the brakes.
+                let radar_frontal = scan
+                    .targets
+                    .iter()
+                    .filter(|tg| {
+                        tg.azimuth_rad.abs() < std::f64::consts::FRAC_PI_2
+                            && (tg.range_m * tg.azimuth_rad.sin()).abs() < 1.2
+                    })
+                    .map(|tg| tg.range_m)
+                    .fold(f64::INFINITY, f64::min);
+                let radar_frontal = radar_frontal.is_finite().then_some(radar_frontal);
+                let min_range = match (radar_frontal, sonar_range) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (Some(a), None) => Some(a),
+                    (None, b) => b,
+                };
+                let overrides_before = ecu.overrides_engaged_count();
+                ecu.reactive_range(min_range, t);
+                report.override_engagements += ecu.overrides_engaged_count() - overrides_before;
+                last_scan = Some(scan);
+                queue.schedule(t + radar_period, Ev::RadarSonar);
+            }
+            Ev::Camera(k)
+                if faults.is_active(FaultKind::CameraStall, t)
+                    || faults.strikes(FaultKind::CameraDrop, t, k) =>
+            {
+                // The frame never arrives: no detections, no VIO
+                // update, and the camera watchdog keeps starving. The
+                // camera clock itself keeps ticking.
+                queue.schedule(t + camera_period, Ev::Camera(k + 1));
+            }
+            Ev::Camera(k) => {
+                // Detection runs at the camera rate — inline on the
+                // serial schedule, or dispatched to the perception lane
+                // (FIFO, so the detector's internal RNG consumes draws
+                // in exactly the serial frame order).
+                let cam_frame = camera.capture(&state.pose, world, &world.landmarks, t, rng);
+                lanes.detect(cam_frame, &mut last_detections, world, &perf.arena);
+                // VIO consumes frame-to-frame ego-motion. The sync
+                // design decides how well the camera timestamps align
+                // with the IMU timeline (Sec. VI-A); software-only sync
+                // corrupts the increment via the rotation–translation
+                // ambiguity leak.
+                if k > 0 {
+                    let offset_ms = synchronizer.camera_imu_offset_ms(k, rng);
+                    let shift = SimDuration::from_millis_f64(offset_ms);
+                    let mut delta = frontend.measure(
+                        &last_camera_pose,
+                        &state.pose,
+                        last_camera_t + shift,
+                        t + shift,
                     );
-                    // VIO consumes frame-to-frame ego-motion. The sync
-                    // design decides how well the camera timestamps align
-                    // with the IMU timeline (Sec. VI-A); software-only sync
-                    // corrupts the increment via the rotation–translation
-                    // ambiguity leak.
-                    if k > 0 {
-                        let offset_ms = self.synchronizer.camera_imu_offset_ms(k, &mut self.rng);
-                        let shift = SimDuration::from_millis_f64(offset_ms);
-                        let mut delta = frontend.measure(
-                            &last_camera_pose,
-                            &state.pose,
-                            last_camera_t + shift,
-                            t + shift,
-                        );
-                        let yaw_rate = ecu.actuation(t).yaw_rate_rps;
-                        let epsilon = yaw_rate * offset_ms * 1e-3;
-                        delta.lateral_m += 0.15 * epsilon * 12.0; // leak × ε × Z̄
-                                                                  // Injected IMU bias leaks spurious lateral motion
-                                                                  // into the visual-inertial increment.
-                        delta.lateral_m += faults.magnitude(FaultKind::ImuBiasJump, t, k);
-                        vio.visual_update(&delta);
-                    }
-                    last_camera_pose = state.pose;
-                    last_camera_t = t;
-                    health.camera_seen(t);
-                    queue.schedule(t + camera_period, Ev::Camera(k + 1));
+                    let yaw_rate = ecu.actuation(t).yaw_rate_rps;
+                    let epsilon = yaw_rate * offset_ms * 1e-3;
+                    delta.lateral_m += 0.15 * epsilon * 12.0; // leak × ε × Z̄
+                                                              // Injected IMU bias leaks spurious lateral motion
+                                                              // into the visual-inertial increment.
+                    delta.lateral_m += faults.magnitude(FaultKind::ImuBiasJump, t, k);
+                    vio.visual_update(&delta);
                 }
-                Ev::Gps(k) if faults.is_active(FaultKind::GpsOutage, t) => {
-                    // Tunnel/canopy outage: no fix at all. Fusion keeps
-                    // riding the VIO dead-reckoning (Sec. VI) while the
-                    // GPS watchdog starves.
-                    queue.schedule(t + gps_period, Ev::Gps(k + 1));
-                }
-                Ev::Gps(k) => {
-                    let quality = if faults.is_active(FaultKind::GpsMultipath, t) {
+                last_camera_pose = state.pose;
+                last_camera_t = t;
+                health.camera_seen(t);
+                queue.schedule(t + camera_period, Ev::Camera(k + 1));
+            }
+            Ev::Gps(k) if faults.is_active(FaultKind::GpsOutage, t) => {
+                // Tunnel/canopy outage: no fix at all. Fusion keeps
+                // riding the VIO dead-reckoning (Sec. VI) while the
+                // GPS watchdog starves.
+                queue.schedule(t + gps_period, Ev::Gps(k + 1));
+            }
+            Ev::Gps(k) => {
+                let quality = if faults.is_active(FaultKind::GpsMultipath, t) {
+                    GnssQuality::Multipath
+                } else if scenario.gps_degraded_at(frac) {
+                    if k % 2 == 0 {
                         GnssQuality::Multipath
-                    } else if scenario.gps_degraded_at(frac) {
-                        if k % 2 == 0 {
-                            GnssQuality::Multipath
-                        } else {
-                            GnssQuality::NoFix
-                        }
                     } else {
-                        GnssQuality::Strong
-                    };
-                    let fix = self.gps.fix(t, &state.pose, quality);
-                    let _ = fusion.ingest_fix(&mut vio, &fix);
-                    if quality != GnssQuality::NoFix {
-                        health.gps_seen(t);
+                        GnssQuality::NoFix
                     }
-                    queue.schedule(t + gps_period, Ev::Gps(k + 1));
+                } else {
+                    GnssQuality::Strong
+                };
+                let fix = gps.fix(t, &state.pose, quality);
+                let _ = fusion.ingest_fix(&mut vio, &fix);
+                if quality != GnssQuality::NoFix {
+                    health.gps_seen(t);
                 }
-                Ev::Control(frame) => {
-                    report.frames = frame + 1;
-                    if ecu.override_engaged() {
-                        report.override_ticks += 1;
-                    }
-                    let complexity = scenario.complexity.at(frac);
-                    let frame_latency = self.latency.next_frame(complexity);
-                    let mut computing = frame_latency.computing();
-                    // Compute faults stretch this frame's critical path:
-                    // a constant overrun (throttling/contention) and a
-                    // per-frame RPR reconfiguration spike (Sec. V-B).
-                    if let Some(w) = faults.active(FaultKind::StageOverrun, t) {
-                        computing += SimDuration::from_millis_f64(w.intensity);
-                    }
-                    let spike = faults.magnitude(FaultKind::RprDelaySpike, t, frame);
-                    if spike > 0.0 {
-                        computing += SimDuration::from_millis_f64(spike);
-                    }
-                    report.computing.record(computing.as_millis_f64());
+                queue.schedule(t + gps_period, Ev::Gps(k + 1));
+            }
+            Ev::Control(frame) => {
+                report.frames = frame + 1;
+                if ecu.override_engaged() {
+                    report.override_ticks += 1;
+                }
+                let complexity = scenario.complexity.at(frac);
+                let frame_latency = latency.next_frame(complexity);
+                let mut computing = frame_latency.computing();
+                // Compute faults stretch this frame's critical path:
+                // a constant overrun (throttling/contention) and a
+                // per-frame RPR reconfiguration spike (Sec. V-B).
+                if let Some(w) = faults.active(FaultKind::StageOverrun, t) {
+                    computing += SimDuration::from_millis_f64(w.intensity);
+                }
+                let spike = faults.magnitude(FaultKind::RprDelaySpike, t, frame);
+                if spike > 0.0 {
+                    computing += SimDuration::from_millis_f64(spike);
+                }
+                report.computing.record(computing.as_millis_f64());
 
-                    // Degradation state machine: watchdogs + compute
-                    // deadline decide the operating mode for this tick.
-                    health.compute_latency(computing);
-                    let (mode, recovered) = health.assess(t);
-                    if let Some(d) = recovered {
-                        report.recovery_ms.record(d.as_millis_f64());
-                    }
-                    report.mode_ticks[mode as usize] += 1;
-                    let ref_speed = match mode {
-                        DegradationMode::Nominal => cruise,
-                        // VIO-only localization drifts; trim speed so the
-                        // drift stays inside the lane over the outage.
-                        DegradationMode::DegradedLocalization => cruise * 0.8,
-                        // Creep inside the radar+sonar reactive envelope
-                        // (4.1 m engage range ≫ braking distance at 2 m/s).
-                        DegradationMode::ReactiveOnly => cruise.min(2.0),
-                        DegradationMode::SafeStop => 0.0,
-                    };
+                // Degradation state machine: watchdogs + compute
+                // deadline decide the operating mode for this tick.
+                health.compute_latency(computing);
+                let (mode, recovered) = health.assess(t);
+                if let Some(d) = recovered {
+                    report.recovery_ms.record(d.as_millis_f64());
+                }
+                report.mode_ticks[mode as usize] += 1;
+                let ref_speed = match mode {
+                    DegradationMode::Nominal => cruise,
+                    // VIO-only localization drifts; trim speed so the
+                    // drift stays inside the lane over the outage.
+                    DegradationMode::DegradedLocalization => cruise * 0.8,
+                    // Creep inside the radar+sonar reactive envelope
+                    // (4.1 m engage range ≫ braking distance at 2 m/s).
+                    DegradationMode::ReactiveOnly => cruise.min(2.0),
+                    DegradationMode::SafeStop => 0.0,
+                };
+                // Pipeline/health interop: a degraded tick drains the
+                // lanes and serializes (nothing is ever reordered); a
+                // nominal tick only barriers on the camera frames
+                // dispatched before this tick, so the obstacle merge
+                // below sees exactly the serial detection state.
+                lanes.set_degraded(
+                    mode != DegradationMode::Nominal,
+                    &mut ecu,
+                    &perf.arena,
+                    &mut last_detections,
+                );
+                lanes.sync_detections(&mut last_detections);
 
-                    // Localization estimate drives the lane-keeping inputs.
-                    let est = fusion.position(&vio);
-                    let (est_station, lateral) = world
-                        .route
-                        .project(&world.map, est.x, est.y)
-                        .expect("route lanes exist");
-                    // Obstacles in *route* coordinates: the radar's
-                    // vehicle-frame lateral plus the vehicle's own route
-                    // offset, so maneuver targets and obstacles share a
-                    // frame.
-                    let mut obstacles: Vec<PlanningObstacle> = self.perf.arena.take();
-                    obstacles.clear();
-                    if let Some(scan) = last_scan.as_ref() {
-                        obstacles.extend(
-                            scan.targets
-                                .iter()
-                                .filter(|tg| tg.azimuth_rad.abs() < 1.2)
-                                .map(|tg| PlanningObstacle {
-                                    station_m: tg.range_m * tg.azimuth_rad.cos(),
-                                    lateral_m: lateral + tg.range_m * tg.azimuth_rad.sin(),
-                                    speed_along_mps: (state.speed_mps + tg.radial_velocity_mps)
-                                        .max(0.0),
-                                    radius_m: 0.6,
-                                }),
-                        );
-                    }
-                    // With the proactive perception path degraded the
-                    // camera detections are stale — plan on radar alone.
-                    if mode < DegradationMode::ReactiveOnly {
-                        for det in &last_detections {
-                            let covered = obstacles
-                                .iter()
-                                .any(|o| (o.station_m - det.depth_m).abs() < 3.0);
-                            if !covered {
-                                obstacles.push(PlanningObstacle {
-                                    station_m: det.depth_m,
-                                    lateral_m: 0.0,
-                                    speed_along_mps: 0.0,
-                                    radius_m: det.class.radius_m(),
-                                });
-                            }
-                        }
-                    }
-
-                    let route_pose = world
-                        .route
-                        .pose_at(&world.map, est_station)
-                        .expect("route lanes exist");
-                    let heading_error = angle::diff(est.theta, route_pose.theta);
-                    // Lane-change availability from the map's adjacency
-                    // (the lane-granularity maneuver space of Sec. III-D).
-                    let (current_lane, _) = world.route.lane_at(est_station);
-                    let (left_ok, right_ok, lane_width) =
-                        world
-                            .map
-                            .lane(current_lane)
-                            .map_or((false, false, 2.5), |l| {
-                                (
-                                    l.left_neighbor().is_some(),
-                                    l.right_neighbor().is_some(),
-                                    l.width_m(),
-                                )
-                            });
-                    let input = PlanningInput {
-                        speed_mps: state.speed_mps,
-                        ref_speed_mps: ref_speed,
-                        lateral_offset_m: lateral,
-                        heading_error_rad: heading_error,
-                        obstacles,
-                        lane_width_m: lane_width,
-                        left_lane_available: left_ok,
-                        right_lane_available: right_ok,
-                    };
-                    let plan = self.planner.plan(&input);
-                    // The obstacle buffer goes back to the arena so the
-                    // next tick reuses its capacity.
-                    let PlanningInput { obstacles, .. } = input;
-                    self.perf.arena.recycle(obstacles);
-                    // The command reaches the ECU after computing + CAN —
-                    // unless the CAN frame is lost, in which case the ECU
-                    // simply keeps actuating the previous command.
-                    if faults.strikes(FaultKind::CanFrameLoss, t, frame) {
-                        report.can_frames_lost += 1;
-                    } else {
-                        let arrival = t + computing + SimDuration::from_millis(1);
-                        ecu.accept_command(plan.command, arrival);
-                    }
-
-                    // ---- Bookkeeping (per control tick). ----
-                    battery.drain(
-                        self.config.battery.base_load_kw + self.config.power.total_pad_kw(),
-                        control_period,
+                // Localization estimate drives the lane-keeping inputs.
+                let est = fusion.position(&vio);
+                let (est_station, lateral) = world
+                    .route
+                    .project(&world.map, est.x, est.y)
+                    .expect("route lanes exist");
+                // Obstacles in *route* coordinates: the radar's
+                // vehicle-frame lateral plus the vehicle's own route
+                // offset, so maneuver targets and obstacles share a
+                // frame.
+                let mut obstacles: Vec<PlanningObstacle> = perf.arena.take();
+                obstacles.clear();
+                if let Some(scan) = last_scan.as_ref() {
+                    obstacles.extend(
+                        scan.targets
+                            .iter()
+                            .filter(|tg| tg.azimuth_rad.abs() < 1.2)
+                            .map(|tg| PlanningObstacle {
+                                station_m: tg.range_m * tg.azimuth_rad.cos(),
+                                lateral_m: lateral + tg.range_m * tg.azimuth_rad.sin(),
+                                speed_along_mps: (state.speed_mps + tg.radial_velocity_mps)
+                                    .max(0.0),
+                                radius_m: 0.6,
+                            }),
                     );
-                    if let Some((_, gap)) =
-                        world.nearest_frontal_obstacle(&state.pose, t, std::f64::consts::PI)
-                    {
-                        report.min_obstacle_gap_m = report.min_obstacle_gap_m.min(gap);
-                        if gap <= 0.05 {
-                            report.outcome = DriveOutcome::Collision;
-                            break 'sim;
+                }
+                // With the proactive perception path degraded the
+                // camera detections are stale — plan on radar alone.
+                if mode < DegradationMode::ReactiveOnly {
+                    for det in &last_detections {
+                        let covered = obstacles
+                            .iter()
+                            .any(|o| (o.station_m - det.depth_m).abs() < 3.0);
+                        if !covered {
+                            obstacles.push(PlanningObstacle {
+                                station_m: det.depth_m,
+                                lateral_m: 0.0,
+                                speed_along_mps: 0.0,
+                                radius_m: det.class.radius_m(),
+                            });
                         }
                     }
-                    let (s_now, true_lateral) = world
-                        .route
-                        .project(&world.map, state.pose.x, state.pose.y)
-                        .expect("route lanes exist");
-                    cross_track_sum += true_lateral.abs();
-                    // Monotone progress (projection can jump at corners).
-                    if s_now > station || (station - s_now) > route_len / 2.0 {
-                        station = s_now;
-                    }
-                    if report.distance_m >= route_len {
-                        break 'sim; // one full loop completed
-                    }
-                    if frame + 1 < max_frames {
-                        queue.schedule(t + control_period, Ev::Control(frame + 1));
-                    } else {
+                }
+
+                let route_pose = world
+                    .route
+                    .pose_at(&world.map, est_station)
+                    .expect("route lanes exist");
+                let heading_error = angle::diff(est.theta, route_pose.theta);
+                // Lane-change availability from the map's adjacency
+                // (the lane-granularity maneuver space of Sec. III-D).
+                let (current_lane, _) = world.route.lane_at(est_station);
+                let (left_ok, right_ok, lane_width) =
+                    world
+                        .map
+                        .lane(current_lane)
+                        .map_or((false, false, 2.5), |l| {
+                            (
+                                l.left_neighbor().is_some(),
+                                l.right_neighbor().is_some(),
+                                l.width_m(),
+                            )
+                        });
+                let input = PlanningInput {
+                    speed_mps: state.speed_mps,
+                    ref_speed_mps: ref_speed,
+                    lateral_offset_m: lateral,
+                    heading_error_rad: heading_error,
+                    obstacles,
+                    lane_width_m: lane_width,
+                    left_lane_available: left_ok,
+                    right_lane_available: right_ok,
+                };
+                // The command reaches the ECU after computing + CAN —
+                // unless the CAN frame is lost, in which case the ECU
+                // simply keeps actuating the previous command. On the
+                // pipelined schedule the plan is computed on the
+                // planning lane and committed by the sequencer under
+                // the `PipedLanes` equivalence rules.
+                let can_lost = faults.strikes(FaultKind::CanFrameLoss, t, frame);
+                if can_lost {
+                    report.can_frames_lost += 1;
+                }
+                let arrival = t + computing + SimDuration::from_millis(1);
+                lanes.plan(input, arrival, can_lost, &mut ecu, &perf.arena);
+
+                // ---- Bookkeeping (per control tick). ----
+                battery.drain(
+                    config.battery.base_load_kw + config.power.total_pad_kw(),
+                    control_period,
+                );
+                if let Some((_, gap)) =
+                    world.nearest_frontal_obstacle(&state.pose, t, std::f64::consts::PI)
+                {
+                    report.min_obstacle_gap_m = report.min_obstacle_gap_m.min(gap);
+                    if gap <= 0.05 {
+                        report.outcome = DriveOutcome::Collision;
                         break 'sim;
                     }
                 }
+                let (s_now, true_lateral) = world
+                    .route
+                    .project(&world.map, state.pose.x, state.pose.y)
+                    .expect("route lanes exist");
+                cross_track_sum += true_lateral.abs();
+                // Monotone progress (projection can jump at corners).
+                if s_now > station || (station - s_now) > route_len / 2.0 {
+                    station = s_now;
+                }
+                if report.distance_m >= route_len {
+                    break 'sim; // one full loop completed
+                }
+                if frame + 1 < max_frames {
+                    queue.schedule(t + control_period, Ev::Control(frame + 1));
+                } else {
+                    break 'sim;
+                }
             }
         }
-        self.perf.arena.recycle(last_detections);
-        report.energy_used_kwh = self.config.battery.capacity_kwh - battery.remaining_kwh();
-        report.mode_transitions = health.transitions().len() as u64;
-        report.deadline_misses = health.deadline_misses();
-        report.mean_cross_track_error_m = cross_track_sum / report.frames.max(1) as f64;
-        report.final_localization_error_m = fusion.position(&vio).distance(&state.pose);
-        if report.outcome != DriveOutcome::Collision && state.speed_mps < 0.1 {
-            report.outcome = DriveOutcome::Stopped;
-        }
-        Ok(report)
     }
+    // Drain whatever is still in flight (the drive can end mid-frame)
+    // and hand every pooled buffer back to the arena.
+    lanes.shutdown(&mut ecu, &perf.arena, &mut last_detections);
+    perf.arena.recycle(last_detections);
+    report.energy_used_kwh = config.battery.capacity_kwh - battery.remaining_kwh();
+    report.mode_transitions = health.transitions().len() as u64;
+    report.deadline_misses = health.deadline_misses();
+    report.mean_cross_track_error_m = cross_track_sum / report.frames.max(1) as f64;
+    report.final_localization_error_m = fusion.position(&vio).distance(&state.pose);
+    if report.outcome != DriveOutcome::Collision && state.speed_mps < 0.1 {
+        report.outcome = DriveOutcome::Stopped;
+    }
+    report
 }
 
 #[cfg(test)]
@@ -851,6 +1279,67 @@ mod tests {
         pooled.perf().arena.reset_stats();
         let _ = pooled.drive(&scenario, 50).unwrap();
         let stats = pooled.perf().arena.stats();
+        assert_eq!(stats.allocations, 0, "steady state must be reuse-only");
+        assert!(stats.reuses > 0, "arena must actually be exercised");
+    }
+
+    #[test]
+    fn pipelined_drive_is_bit_identical_across_depths_and_workers() {
+        // The obstacle course exercises planner braking and mode churn;
+        // the report's exact `PartialEq` makes this a bitwise check.
+        let scenario = Scenario::fishers_indiana(3);
+        let mut serial = Sov::new(VehicleConfig::perceptin_pod(), 3);
+        let r_serial = serial.drive(&scenario, 200).unwrap();
+        for depth in 2..=4 {
+            for workers in [3, 8] {
+                let mut piped = Sov::new(VehicleConfig::perceptin_pod(), 3);
+                piped.set_perf(PerfContext::with_pipeline_workers(depth, workers));
+                let r = piped.drive(&scenario, 200).unwrap();
+                assert_eq!(r, r_serial, "depth {depth} × workers {workers}");
+            }
+        }
+        // Too few lanes for the three stages: bit-identical serial fallback.
+        let mut narrow = Sov::new(VehicleConfig::perceptin_pod(), 3);
+        narrow.set_perf(PerfContext::with_pipeline_workers(4, 2));
+        assert_eq!(narrow.drive(&scenario, 200).unwrap(), r_serial);
+    }
+
+    #[test]
+    fn pipelined_faulted_drive_matches_serial_through_degradation() {
+        use sov_sim::time::SimTime;
+        let secs = |s: u64| SimTime::from_millis(s * 1000);
+        // Overrides (sudden obstacle) + every commit-order hazard: CAN
+        // loss, camera stall (degraded modes drain the pipeline), RPR
+        // spikes (non-monotonic command arrivals), GPS outage.
+        let scenario = Scenario::fishers_indiana(8);
+        let plan = FaultPlan::new(29)
+            .with_intensity(FaultKind::CanFrameLoss, secs(1), secs(12), 0.3)
+            .with(FaultKind::CameraStall, secs(4), secs(9))
+            .with_intensity(FaultKind::RprDelaySpike, secs(2), secs(14), 350.0)
+            .with(FaultKind::GpsOutage, secs(6), secs(16));
+        let mut serial = Sov::new(VehicleConfig::perceptin_pod(), 8);
+        let r_serial = serial.drive_with_plan(&scenario, 200, &plan).unwrap();
+        assert!(r_serial.can_frames_lost > 0, "CAN fault must fire");
+        assert!(r_serial.mode_transitions > 0, "degradation must fire");
+        for depth in [2, 4] {
+            let mut piped = Sov::new(VehicleConfig::perceptin_pod(), 8);
+            piped.set_perf(PerfContext::with_pipeline(depth));
+            let r = piped.drive_with_plan(&scenario, 200, &plan).unwrap();
+            assert_eq!(r, r_serial, "depth {depth} under faults");
+        }
+    }
+
+    #[test]
+    fn pipelined_drive_is_allocation_free_in_steady_state() {
+        let scenario = Scenario::fishers_indiana(3);
+        let mut piped = Sov::new(VehicleConfig::perceptin_pod(), 3);
+        piped.set_perf(PerfContext::with_pipeline(3));
+        let _ = piped.drive(&scenario, 100).unwrap();
+        // Warm arena: detection and obstacle buffers all circulate through
+        // the rings and back without touching the allocator.
+        piped.perf().arena.reset_stats();
+        let _ = piped.drive(&scenario, 50).unwrap();
+        let stats = piped.perf().arena.stats();
         assert_eq!(stats.allocations, 0, "steady state must be reuse-only");
         assert!(stats.reuses > 0, "arena must actually be exercised");
     }

@@ -1,0 +1,61 @@
+//! Property tests for the headline guarantee of the inter-frame pipeline:
+//! a pipelined [`Sov::drive`] produces a [`DriveReport`] **byte-identical**
+//! to the serial drive for every pipeline depth and worker count — with
+//! and without fault injection.
+//!
+//! [`DriveReport`]'s `PartialEq` is exact (bitwise on every float), so
+//! `prop_assert_eq!` here really is a bit-identity check.
+
+use sov_core::config::VehicleConfig;
+use sov_core::pool::PerfContext;
+use sov_core::sov::Sov;
+use sov_fault::{FaultKind, FaultPlan};
+use sov_sim::time::SimTime;
+use sov_testkit::prelude::*;
+use sov_world::scenario::Scenario;
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_millis(s * 1000)
+}
+
+proptest! {
+    // Each case runs two full closed-loop drives; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn drive_is_bit_identical_for_any_depth_and_worker_count(
+        seed in 0u64..32,
+        depth in 1usize..5,
+        workers in 1usize..9,
+    ) {
+        let scenario = Scenario::fishers_indiana(seed);
+        let mut serial = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        let reference = serial.drive(&scenario, 120).unwrap();
+        let mut piped = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        piped.set_perf(PerfContext::with_pipeline_workers(depth, workers));
+        let report = piped.drive(&scenario, 120).unwrap();
+        prop_assert_eq!(report, reference, "depth {} × workers {}", depth, workers);
+    }
+
+    #[test]
+    fn faulted_drive_is_bit_identical_for_any_depth(
+        seed in 0u64..32,
+        depth in 2usize..5,
+        can_rate in 0.0f64..0.5,
+        spike_ms in 0.0f64..400.0,
+    ) {
+        let scenario = Scenario::fishers_indiana(seed);
+        // CAN losses and RPR arrival spikes attack the sequencer's commit
+        // rules; a camera stall forces a drain-and-serialize round trip.
+        let plan = FaultPlan::new(seed ^ 0xFA)
+            .with_intensity(FaultKind::CanFrameLoss, secs(1), secs(9), can_rate)
+            .with_intensity(FaultKind::RprDelaySpike, secs(2), secs(8), spike_ms)
+            .with(FaultKind::CameraStall, secs(4), secs(6));
+        let mut serial = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        let reference = serial.drive_with_plan(&scenario, 120, &plan).unwrap();
+        let mut piped = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        piped.set_perf(PerfContext::with_pipeline(depth));
+        let report = piped.drive_with_plan(&scenario, 120, &plan).unwrap();
+        prop_assert_eq!(report, reference, "depth {} under faults", depth);
+    }
+}

@@ -374,22 +374,126 @@ impl KdTree {
 
     /// `k` nearest neighbors of `query` as `(index, distance)`, nearest
     /// first. Returns fewer when the tree is smaller than `k`.
+    ///
+    /// Candidates are kept in a bounded max-heap over the same pruned
+    /// traversal as [`Self::nearest`], so a query visits `O(k + log n)`
+    /// nodes instead of scoring the whole cloud. Ordering is
+    /// lexicographic on `(distance, index)`, which matches a stable
+    /// full sort by distance exactly — including ties.
     #[must_use]
     pub fn k_nearest(&self, query: &Point, k: usize) -> Vec<(usize, f64)> {
-        // Simple approach: expand a radius search from the NN distance.
-        // Correct and adequate for the workloads here.
-        if k == 0 || self.is_empty() {
+        if k == 0 || self.root == NONE {
             return Vec::new();
         }
-        let mut all: Vec<(usize, f64)> = self
-            .points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i, dist_sq(query, p)))
-            .collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-        all.truncate(k);
-        all.into_iter().map(|(i, d)| (i, d.sqrt())).collect()
+        let mut heap = KnnHeap::new(k);
+        self.knn_rec(self.root, query, &mut heap);
+        heap.into_sorted()
+    }
+
+    fn knn_rec(&self, node_idx: usize, query: &Point, heap: &mut KnnHeap) {
+        if node_idx == NONE {
+            return;
+        }
+        let node = self.nodes[node_idx];
+        heap.offer(dist_sq(query, &self.points[node.point]), node.point);
+        let delta = query[node.axis] - self.points[node.point][node.axis];
+        let (near, far) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        self.knn_rec(near, query, heap);
+        // Once the heap is full the far side can only matter if the
+        // splitting plane is at most the worst kept distance; `<=` (not
+        // `<`) keeps equal-distance candidates reachable so distance
+        // ties still resolve to the lowest index.
+        if delta * delta <= heap.worst() {
+            self.knn_rec(far, query, heap);
+        }
+    }
+}
+
+/// Bounded max-heap of the best `k` `(distance², index)` candidates seen
+/// so far, ordered lexicographically so equal distances compare by index.
+/// The root holds the worst kept candidate; a better offer replaces it in
+/// `O(log k)` without allocating.
+struct KnnHeap {
+    k: usize,
+    items: Vec<(f64, usize)>,
+}
+
+/// Lexicographic `(distance², index)` comparison; total because
+/// distances are finite.
+fn knn_less(a: (f64, usize), b: (f64, usize)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+impl KnnHeap {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            items: Vec::with_capacity(k),
+        }
+    }
+
+    /// Worst distance² kept; infinite until the heap is full, so every
+    /// candidate and every subtree survives pruning while filling.
+    fn worst(&self) -> f64 {
+        if self.items.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.items[0].0
+        }
+    }
+
+    fn offer(&mut self, d_sq: f64, index: usize) {
+        let cand = (d_sq, index);
+        if self.items.len() < self.k {
+            self.items.push(cand);
+            let mut i = self.items.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if knn_less(self.items[parent], self.items[i]) {
+                    self.items.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if knn_less(cand, self.items[0]) {
+            self.items[0] = cand;
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut largest = i;
+                if l < self.items.len() && knn_less(self.items[largest], self.items[l]) {
+                    largest = l;
+                }
+                if r < self.items.len() && knn_less(self.items[largest], self.items[r]) {
+                    largest = r;
+                }
+                if largest == i {
+                    break;
+                }
+                self.items.swap(i, largest);
+                i = largest;
+            }
+        }
+    }
+
+    /// Drains into `(index, distance)` pairs sorted nearest-first.
+    fn into_sorted(self) -> Vec<(usize, f64)> {
+        let mut items = self.items;
+        items.sort_by(|a, b| {
+            if knn_less(*a, *b) {
+                std::cmp::Ordering::Less
+            } else if knn_less(*b, *a) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        items.into_iter().map(|(d, i)| (i, d.sqrt())).collect()
     }
 }
 

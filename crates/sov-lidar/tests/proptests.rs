@@ -82,6 +82,37 @@ proptest! {
     }
 
     #[test]
+    fn knn_heap_matches_brute_force_exactly(
+        n in 1usize..250,
+        seed in 0u64..5_000,
+        k in 1usize..40,
+        qx in -25.0f64..25.0,
+        qy in -25.0f64..25.0,
+        qz in -2.0f64..10.0,
+    ) {
+        let cloud = random_cloud(n, seed);
+        let tree = KdTree::build(&cloud);
+        let q = [qx, qy, qz];
+        // The stable sort resolves equal distances by cloud index, the
+        // same tie-break the bounded-heap traversal commits to.
+        let mut brute: Vec<(usize, f64)> = cloud
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, dist_sq(&q, p)))
+            .collect();
+        brute.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        brute.truncate(k);
+        let brute: Vec<(usize, f64)> = brute.into_iter().map(|(i, d)| (i, d.sqrt())).collect();
+        let knn = tree.k_nearest(&q, k);
+        prop_assert_eq!(knn.len(), brute.len());
+        for (got, want) in knn.iter().zip(&brute) {
+            prop_assert_eq!(got.0, want.0);
+            prop_assert_eq!(got.1.to_bits(), want.1.to_bits());
+        }
+    }
+
+    #[test]
     fn voxel_grid_counts_are_conservative(
         n in 1usize..500,
         seed in 0u64..5_000,

@@ -304,7 +304,44 @@ impl DenseStereoMatcher {
         let side = (2 * r + 1) as usize;
         let mut best = (0usize, f32::INFINITY);
         let mut second = f32::INFINITY;
-        for d in 0..=self.max_disparity {
+        let update = |d: usize, sad: f32, best: &mut (usize, f32), second: &mut f32| {
+            if sad < best.1 {
+                *second = best.1;
+                *best = (d, sad);
+            } else if sad < *second {
+                *second = sad;
+            }
+        };
+        let mut d = 0usize;
+        if interior {
+            // Batch candidate disparities four at a time: four independent
+            // SAD accumulator lanes share each left-row load (the same
+            // batching pattern as `GrayImage::correlate_run`). Each lane
+            // accumulates its |l - r| terms in the exact (dy, dx) order of
+            // the scalar loop, and the streaming best/second update still
+            // consumes the lanes in ascending disparity order, so the
+            // result is bit-identical to the unbatched matcher.
+            while d + 3 <= self.max_disparity && (d + 3) as isize <= x - r {
+                let mut sads = [0.0f32; 4];
+                for dy in -r..=r {
+                    let l0 = ((y + dy) * w + x - r) as usize;
+                    let lrow = &left.data()[l0..l0 + side];
+                    let rbase = l0 - d - 3;
+                    let rrow = &right.data()[rbase..rbase + side + 3];
+                    for (i, l) in lrow.iter().enumerate() {
+                        for (lane, s) in sads.iter_mut().enumerate() {
+                            *s += (l - rrow[i + 3 - lane]).abs();
+                        }
+                    }
+                }
+                for (lane, sad) in sads.into_iter().enumerate() {
+                    update(d + lane, sad, &mut best, &mut second);
+                }
+                d += 4;
+            }
+        }
+        // Scalar tail: the remaining disparities plus every border block.
+        while d <= self.max_disparity {
             let mut sad = 0.0f32;
             if interior && d as isize <= x - r {
                 // Both blocks are fully inside the pair: accumulate the
@@ -326,12 +363,8 @@ impl DenseStereoMatcher {
                     }
                 }
             }
-            if sad < best.1 {
-                second = best.1;
-                best = (d, sad);
-            } else if sad < second {
-                second = sad;
-            }
+            update(d, sad, &mut best, &mut second);
+            d += 1;
         }
         // Strict inequality with a small margin rejects texture-free ties
         // (a flat block matches every disparity equally well).
@@ -521,6 +554,77 @@ mod tests {
         let again = matcher.compute_with(&left, &right, None, Some(&arena));
         assert_eq!(arena.stats().allocations, 0, "plane must be reused");
         arena.recycle(again.into_raw());
+    }
+
+    #[test]
+    fn batched_interior_sad_matches_scalar_reference() {
+        // A scalar re-statement of the original per-disparity SAD loop
+        // (the border path generalizes it), evaluated for every candidate.
+        fn reference(
+            m: &DenseStereoMatcher,
+            left: &GrayImage,
+            right: &GrayImage,
+            x: isize,
+            y: isize,
+            r: isize,
+        ) -> Option<f32> {
+            let mut best = (0usize, f32::INFINITY);
+            let mut second = f32::INFINITY;
+            for d in 0..=m.max_disparity {
+                let mut sad = 0.0f32;
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        let l = left.get(x + dx, y + dy);
+                        let rr = right.get(x + dx - d as isize, y + dy);
+                        sad += (l - rr).abs();
+                    }
+                }
+                if sad < best.1 {
+                    second = best.1;
+                    best = (d, sad);
+                } else if sad < second {
+                    second = sad;
+                }
+            }
+            if best.1.is_finite() && best.1 + 1e-6 < m.uniqueness * second {
+                Some(best.0 as f32)
+            } else {
+                None
+            }
+        }
+        let mut rng = SovRng::seed_from_u64(9);
+        let blobs: Vec<(f64, f64, f64, f64)> = (0..40)
+            .map(|_| {
+                (
+                    rng.uniform(6.0, 90.0),
+                    rng.uniform(4.0, 44.0),
+                    rng.uniform(1.0, 2.5),
+                    rng.uniform(0.4, 0.9),
+                )
+            })
+            .collect();
+        let mut bg = SovRng::seed_from_u64(10);
+        let left = render_scene(96, 48, &blobs, 0.02, &mut bg);
+        let shifted: Vec<(f64, f64, f64, f64)> = blobs
+            .iter()
+            .map(|&(x, y, r, i)| (x - 5.0, y, r, i))
+            .collect();
+        let mut bg2 = SovRng::seed_from_u64(10);
+        let right = render_scene(96, 48, &shifted, 0.02, &mut bg2);
+        let matcher = DenseStereoMatcher {
+            max_disparity: 21, // not a multiple of 4: exercises the tail
+            ..DenseStereoMatcher::default()
+        };
+        let r = matcher.block_radius as isize;
+        // Deep interior (all-batched), partially batched (x - r limits the
+        // lanes), and border blocks must all match the scalar reference.
+        for (x, y) in [(60, 24), (30, 10), (12, 20), (7, 5), (2, 2), (95, 47)] {
+            assert_eq!(
+                matcher.match_block(&left, &right, x, y, r),
+                reference(&matcher, &left, &right, x, y, r),
+                "block at ({x}, {y})"
+            );
+        }
     }
 
     #[test]

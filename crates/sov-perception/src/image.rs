@@ -8,7 +8,18 @@
 //! sequences.
 
 use sov_math::SovRng;
+use sov_runtime::arena::FrameArena;
 use sov_runtime::pool::{for_chunks, WorkerPool};
+
+/// Borrows a zeroed `len`-element plane from `arena` (or allocates when no
+/// arena is supplied). Zero-filling keeps the arena path bit-identical to
+/// the `vec![0.0; len]` path even for writers that skip border pixels.
+fn take_plane(arena: Option<&FrameArena>, len: usize) -> Vec<f32> {
+    let mut plane = arena.map_or_else(Vec::new, FrameArena::take);
+    plane.clear();
+    plane.resize(len, 0.0f32);
+    plane
+}
 
 /// Rows per parallel chunk for image kernels. Fixed (never derived from
 /// the worker count) so chunk boundaries — and therefore results — are
@@ -123,6 +134,14 @@ impl GrayImage {
         out
     }
 
+    /// Consumes the image, returning its backing buffer so per-frame
+    /// pipelines can [`FrameArena::recycle`] it (the same discipline as
+    /// `DisparityMap::into_raw`).
+    #[must_use]
+    pub fn into_raw(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Mean intensity.
     #[must_use]
     pub fn mean(&self) -> f32 {
@@ -179,13 +198,25 @@ pub fn convolve3x3(
     kernel: &[[f32; 3]; 3],
     pool: Option<&WorkerPool>,
 ) -> GrayImage {
+    convolve3x3_with(image, kernel, pool, None)
+}
+
+/// [`convolve3x3`] with the output plane borrowed from a [`FrameArena`];
+/// recycle it after use via [`GrayImage::into_raw`].
+#[must_use]
+pub fn convolve3x3_with(
+    image: &GrayImage,
+    kernel: &[[f32; 3]; 3],
+    pool: Option<&WorkerPool>,
+    arena: Option<&FrameArena>,
+) -> GrayImage {
     let (w, h) = (image.width(), image.height());
     // Below ~2 ns/pixel of work, waking workers costs more than the
     // convolution itself; the threshold depends only on the input size
     // (never the lane count) and the serial path runs identical chunks,
     // so the gate cannot change the output.
     let pool = pool.filter(|_| w * h >= MIN_PARALLEL_PIXELS);
-    let mut out = vec![0.0f32; w * h];
+    let mut out = take_plane(arena, w * h);
     for_chunks(pool, &mut out, ROWS_PER_CHUNK * w, |start, rows| {
         let y0 = start / w;
         for (dy, row) in rows.chunks_mut(w).enumerate() {
@@ -221,15 +252,28 @@ pub const SMOOTH_3X3: [[f32; 3]; 3] = [
 /// any pool size (row-chunked, read-only inputs).
 #[must_use]
 pub fn pyramid(image: &GrayImage, levels: usize, pool: Option<&WorkerPool>) -> Vec<GrayImage> {
+    pyramid_with(image, levels, pool, None)
+}
+
+/// [`pyramid`] with every level's plane borrowed from a [`FrameArena`]; a
+/// per-frame caller recycles the levels via [`GrayImage::into_raw`] so the
+/// steady state allocates nothing.
+#[must_use]
+pub fn pyramid_with(
+    image: &GrayImage,
+    levels: usize,
+    pool: Option<&WorkerPool>,
+    arena: Option<&FrameArena>,
+) -> Vec<GrayImage> {
     let mut out = Vec::with_capacity(levels);
-    out.push(convolve3x3(image, &SMOOTH_3X3, pool));
+    out.push(convolve3x3_with(image, &SMOOTH_3X3, pool, arena));
     for _ in 1..levels {
         let prev = out.last().expect("level 0 pushed above");
         let (w, h) = (prev.width() / 2, prev.height() / 2);
         if w < 2 || h < 2 {
             break;
         }
-        let mut data = vec![0.0f32; w * h];
+        let mut data = take_plane(arena, w * h);
         let pool = pool.filter(|_| w * h >= MIN_PARALLEL_PIXELS);
         for_chunks(pool, &mut data, ROWS_PER_CHUNK * w, |start, rows| {
             let y0 = start / w;
@@ -621,6 +665,29 @@ mod tests {
         let serial = pyramid(&img, 3, None);
         let pool = WorkerPool::new(4);
         assert_eq!(pyramid(&img, 3, Some(&pool)), serial);
+    }
+
+    #[test]
+    fn arena_backed_pyramid_is_bit_identical_and_allocation_free() {
+        let arena = FrameArena::new();
+        let mut rng = SovRng::seed_from_u64(14);
+        let img = render_scene(63, 49, &[(20.0, 20.0, 3.0, 0.7)], 0.2, &mut rng);
+        let reference = pyramid(&img, 3, None);
+        // Warm the arena with one frame's worth of planes, then recycle.
+        for level in pyramid_with(&img, 3, None, Some(&arena)) {
+            arena.recycle(level.into_raw());
+        }
+        arena.reset_stats();
+        for _ in 0..3 {
+            let levels = pyramid_with(&img, 3, None, Some(&arena));
+            assert_eq!(levels, reference);
+            for level in levels {
+                arena.recycle(level.into_raw());
+            }
+        }
+        let stats = arena.stats();
+        assert_eq!(stats.allocations, 0, "steady state must not allocate");
+        assert!(stats.reuses >= 9, "every plane should come from the arena");
     }
 
     #[test]

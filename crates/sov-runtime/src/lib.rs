@@ -26,12 +26,15 @@
 #![deny(missing_docs)]
 
 pub mod arena;
+pub mod pipeline;
 pub mod pool;
+pub mod queue;
 
 use std::sync::Arc;
 
 /// The performance context threaded through the hot path: an optional
-/// worker pool (serial when absent) plus the frame arena.
+/// worker pool (serial when absent), the frame arena, and the inter-frame
+/// pipeline depth.
 ///
 /// Cloning is cheap: the pool is shared, the arena is per-clone (arenas
 /// are deliberately not `Sync`; each thread of control owns its own).
@@ -42,6 +45,13 @@ pub struct PerfContext {
     pub pool: Option<Arc<pool::WorkerPool>>,
     /// Reusable per-frame scratch buffers.
     pub arena: arena::FrameArena,
+    /// Inter-frame pipeline depth for `Sov::drive_with_plan` and
+    /// [`pipeline::FramePipeline`]: `0` or `1` keeps today's serial frame
+    /// schedule; `d > 1` overlaps up to `d` in-flight frames across the
+    /// sensing/perception/planning lanes. Requires a pool with at least
+    /// three lanes to take effect (it silently — and bit-identically —
+    /// falls back to serial otherwise).
+    pub pipeline_depth: usize,
 }
 
 impl PerfContext {
@@ -51,12 +61,35 @@ impl PerfContext {
         Self::default()
     }
 
-    /// A context backed by a pool with `workers` parallel lanes.
+    /// A context backed by a pool with `workers` parallel lanes (no
+    /// inter-frame pipelining).
     #[must_use]
     pub fn with_workers(workers: usize) -> Self {
         Self {
             pool: Some(Arc::new(pool::WorkerPool::new(workers))),
             arena: arena::FrameArena::new(),
+            pipeline_depth: 1,
+        }
+    }
+
+    /// A context that pipelines up to `depth` in-flight frames across the
+    /// three coarse stages, backed by a three-lane pool (one lane per
+    /// stage). `with_pipeline(1)` is exactly the serial schedule.
+    #[must_use]
+    pub fn with_pipeline(depth: usize) -> Self {
+        Self::with_pipeline_workers(depth, 3)
+    }
+
+    /// [`PerfContext::with_pipeline`] with an explicit pool size, for
+    /// ablations over depth × workers. Fewer than three lanes cannot host
+    /// the three stages, so such contexts run the serial schedule (still
+    /// bit-identical by construction).
+    #[must_use]
+    pub fn with_pipeline_workers(depth: usize, workers: usize) -> Self {
+        Self {
+            pool: Some(Arc::new(pool::WorkerPool::new(workers))),
+            arena: arena::FrameArena::new(),
+            pipeline_depth: depth,
         }
     }
 
@@ -64,6 +97,12 @@ impl PerfContext {
     #[must_use]
     pub fn pool(&self) -> Option<&pool::WorkerPool> {
         self.pool.as_deref()
+    }
+
+    /// Effective inter-frame pipeline depth (`0` normalizes to `1`).
+    #[must_use]
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth.max(1)
     }
 }
 
@@ -81,5 +120,17 @@ mod tests {
     fn worker_context_reports_lanes() {
         let ctx = PerfContext::with_workers(3);
         assert_eq!(ctx.pool().unwrap().lanes(), 3);
+        assert_eq!(ctx.pipeline_depth(), 1, "no inter-frame pipelining");
+    }
+
+    #[test]
+    fn pipeline_context_has_three_lanes_and_the_depth() {
+        let ctx = PerfContext::with_pipeline(3);
+        assert_eq!(ctx.pool().unwrap().lanes(), 3);
+        assert_eq!(ctx.pipeline_depth(), 3);
+        let ablate = PerfContext::with_pipeline_workers(4, 8);
+        assert_eq!(ablate.pool().unwrap().lanes(), 8);
+        assert_eq!(ablate.pipeline_depth(), 4);
+        assert_eq!(PerfContext::serial().pipeline_depth(), 1, "0 → serial");
     }
 }

@@ -1,0 +1,260 @@
+//! Bounded single-producer/single-consumer ring queues for stage-to-stage
+//! hand-off in the inter-frame pipeline.
+//!
+//! Each queue connects exactly two pipeline lanes (one producer stage, one
+//! consumer stage) and is bounded by a fixed capacity chosen at
+//! construction — the capacity *is* the pipeline depth, and a full ring is
+//! the back-pressure mechanism: [`RingSender::send`] blocks until the
+//! consumer makes room, so no stage can run ahead of the configured depth
+//! and frames are delivered strictly in FIFO order.
+//!
+//! Determinism note: the ring carries *values*, never schedules work. A
+//! consumer always observes items in the exact order the producer sent
+//! them, independent of timing, so a pipeline built from these queues
+//! reorders nothing — it only overlaps the *wall-clock* execution of
+//! adjacent frames.
+//!
+//! Shutdown is by drop: dropping the [`RingSender`] makes
+//! [`RingReceiver::recv`] return `None` once the ring drains; dropping the
+//! [`RingReceiver`] makes `send` fail, handing the unsent value back.
+//! Neither half is cloneable (the queues are strictly SPSC) and the
+//! implementation is std-only: one `Mutex`-guarded `VecDeque` plus two
+//! `Condvar`s.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Interior state shared by the two halves.
+struct State<T> {
+    ring: VecDeque<T>,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    /// Signalled on push and on sender drop.
+    not_empty: Condvar,
+    /// Signalled on pop and on receiver drop.
+    not_full: Condvar,
+}
+
+/// Producing half of a bounded SPSC ring (see the module docs).
+pub struct RingSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consuming half of a bounded SPSC ring (see the module docs).
+pub struct RingReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded SPSC ring with room for `capacity` in-flight items.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0` (a zero-depth pipeline cannot move data).
+#[must_use]
+pub fn ring<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    assert!(capacity > 0, "ring capacity must be positive");
+    let shared = Arc::new(Shared {
+        capacity,
+        state: Mutex::new(State {
+            ring: VecDeque::with_capacity(capacity),
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        RingSender {
+            shared: Arc::clone(&shared),
+        },
+        RingReceiver { shared },
+    )
+}
+
+impl<T> RingSender<T> {
+    /// Sends `value`, blocking while the ring is full (back-pressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if !state.receiver_alive {
+                return Err(value);
+            }
+            if state.ring.len() < self.shared.capacity {
+                state.ring.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl<T> RingReceiver<T> {
+    /// Receives the next item in FIFO order, blocking while the ring is
+    /// empty. Returns `None` once the ring is empty *and* the sender was
+    /// dropped (orderly shutdown).
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(value) = state.ring.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(value);
+            }
+            if !state.sender_alive {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Receives the next item if one is ready; never blocks. `None` means
+    /// "nothing available right now" (ring empty, sender alive or not).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let value = state.ring.pop_front();
+        if value.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        value
+    }
+}
+
+impl<T> Drop for RingSender<T> {
+    fn drop(&mut self) {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.sender_alive = false;
+        drop(state);
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl<T> Drop for RingReceiver<T> {
+    fn drop(&mut self) {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.receiver_alive = false;
+        drop(state);
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ring::<u32>(0);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = ring::<u32>(8);
+        for i in 0..8 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn recv_returns_none_after_sender_drop() {
+        let (tx, rx) = ring::<u32>(2);
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1), "drained before reporting closure");
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = ring::<u32>(2);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7), "value handed back");
+    }
+
+    #[test]
+    fn capacity_bounds_in_flight_items() {
+        // The producer thread tries to send `capacity + 3` items; the
+        // consumer releases them one at a time and checks the producer can
+        // never be more than `capacity` ahead.
+        let (tx, rx) = ring::<usize>(3);
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sent_clone = Arc::clone(&sent);
+        let producer = std::thread::spawn(move || {
+            for i in 0..6 {
+                tx.send(i).unwrap();
+                sent_clone.store(i + 1, Ordering::SeqCst);
+            }
+        });
+        // Wait until the ring is saturated.
+        while sent.load(Ordering::SeqCst) < 3 {
+            std::thread::yield_now();
+        }
+        // Give the producer a chance to (incorrectly) run ahead.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut received = 0;
+        while let Some(v) = rx.recv() {
+            assert_eq!(v, received, "FIFO across blocking sends");
+            received += 1;
+            assert!(
+                sent.load(Ordering::SeqCst) <= received + 3,
+                "producer exceeded the ring depth"
+            );
+            if received == 6 {
+                break;
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(received, 6);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = ring::<u64>(1);
+        let consumer = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+}

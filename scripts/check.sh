@@ -23,4 +23,7 @@ echo "== bench bins build + perf_matrix smoke =="
 cargo build --offline --release -p sov-bench --bins
 ./target/release/perf_matrix --smoke
 
+echo "== pipeline_matrix smoke (exits non-zero on checksum mismatch) =="
+./target/release/pipeline_matrix --smoke
+
 echo "All checks passed."
