@@ -12,14 +12,18 @@
 //!    `pipeline_speedup` averaged over the same replayed frames: the
 //!    initiation-interval bound the replay cells should approach.
 //! 3. **Drive cells** — real [`Sov::drive_with_plan`] runs at several
-//!    pipeline depths. These prove the headline invariant end to end (the
+//!    pipeline depths × worker counts. Workers ≥ 4 place the visual
+//!    front-end on its own sensing lane (`fe` column); 3 workers keep it
+//!    on the sequencer. These prove the headline invariant end to end (the
 //!    [`DriveReport`]s must be **byte-identical** to serial) and report
 //!    wall-clock as-is; on a host with fewer cores than lanes the overlap
 //!    cannot pay, which the JSON records as a caveat instead of hiding.
 //!
 //! Pipelining trades per-frame latency *up* for throughput, so every cell
 //! reports p50 **and** p99 (COLA's tail-latency caveat), never throughput
-//! alone.
+//! alone. Every concurrent cell additionally reports per-lane
+//! **occupancy** (busy ÷ wall for the sensing, perception, and planning
+//! lanes) so an idle stage is visible instead of averaged away.
 //!
 //! Flags: `--json PATH` writes the matrix (the committed baseline is
 //! `BENCH_pipeline.json`); `--smoke` shrinks the run for CI; `--frames N`
@@ -31,7 +35,7 @@ use sov_core::sov::{DriveReport, Sov};
 use sov_fault::FaultPlan;
 use sov_runtime::pipeline::{FrameControl, FramePipeline, PipelineRun, StageCtx};
 use sov_runtime::pool::WorkerPool;
-use sov_runtime::PerfContext;
+use sov_runtime::{LaneOccupancy, PerfContext};
 use sov_world::scenario::Scenario;
 use std::time::{Duration, Instant};
 
@@ -176,10 +180,10 @@ fn main() {
     );
 
     // --- replay cells -----------------------------------------------------
-    sov_bench::section("replay cells: measured throughput and latency");
+    sov_bench::section("replay cells: measured throughput, latency, occupancy");
     println!(
-        "{:<14} | {:>9} | {:>8} | {:>8} | {:>8}",
-        "cell", "fps", "p50 ms", "p99 ms", "speedup"
+        "{:<14} | {:>9} | {:>8} | {:>8} | {:>8} | {:>17}",
+        "cell", "fps", "p50 ms", "p99 ms", "speedup", "occ sen/per/plan"
     );
     struct ReplayRow {
         depth: usize,
@@ -188,6 +192,7 @@ fn main() {
         p50_ms: f64,
         p99_ms: f64,
         speedup: f64,
+        occupancy: [f64; 3],
         checksum: u64,
     }
     let mut replay_rows: Vec<ReplayRow> = Vec::new();
@@ -212,16 +217,20 @@ fn main() {
                 p50_ms: ms(run.latency_percentile(0.5)),
                 p99_ms: ms(run.latency_percentile(0.99)),
                 speedup: fps / baseline_fps,
+                occupancy: [run.occupancy(0), run.occupancy(1), run.occupancy(2)],
                 checksum,
             };
             println!(
-                "d{} w{:<10} | {:>9.1} | {:>8.3} | {:>8.3} | {:>7.2}×{}",
+                "d{} w{:<10} | {:>9.1} | {:>8.3} | {:>8.3} | {:>7.2}× | {:>4.2}/{:>4.2}/{:>4.2}{}",
                 row.depth,
                 row.workers,
                 row.fps,
                 row.p50_ms,
                 row.p99_ms,
                 row.speedup,
+                row.occupancy[0],
+                row.occupancy[1],
+                row.occupancy[2],
                 if checksum == baseline_checksum {
                     ""
                 } else {
@@ -234,7 +243,7 @@ fn main() {
 
     // --- analytic model ---------------------------------------------------
     sov_bench::section("analytic model: initiation-interval bound");
-    let mut model_rows: Vec<(usize, f64, f64)> = Vec::new();
+    let mut model_rows: Vec<(usize, f64, f64, [f64; 3])> = Vec::new();
     for depth in [1usize, 2, 3, 4] {
         let n = model_frames.len() as f64;
         let fps: f64 = model_frames
@@ -247,8 +256,19 @@ fn main() {
             .map(|f| f.pipeline_speedup(depth))
             .sum::<f64>()
             / n;
-        println!("depth {depth}: mean {fps:>6.1} fps (unscaled), mean speedup {speedup:.2}×");
-        model_rows.push((depth, fps, speedup));
+        let mut occ = [0.0f64; 3];
+        for f in &model_frames {
+            let o = f.lane_occupancy(depth);
+            for (acc, v) in occ.iter_mut().zip(o) {
+                *acc += v / n;
+            }
+        }
+        println!(
+            "depth {depth}: mean {fps:>6.1} fps (unscaled), mean speedup {speedup:.2}×, \
+             lane occupancy {:.2}/{:.2}/{:.2}",
+            occ[0], occ[1], occ[2]
+        );
+        model_rows.push((depth, fps, speedup, occ));
     }
 
     // --- drive cells ------------------------------------------------------
@@ -259,14 +279,27 @@ fn main() {
     struct DriveRow {
         depth: usize,
         workers: usize,
+        frontend_lane: bool,
         wall_ms: f64,
         fps: f64,
+        occupancy: Option<[f64; 3]>,
         digest: u64,
         matches_serial: bool,
     }
     let mut drive_rows: Vec<DriveRow> = Vec::new();
     let mut serial_report: Option<DriveReport> = None;
-    for (depth, workers) in [(1usize, 0usize), (2, 3), (3, 3), (4, 3)] {
+    // Workers ≥ 4 host the visual front-end on a dedicated sensing lane;
+    // exactly 3 keep it on the sequencer (detector + planner lanes only).
+    for (depth, workers) in [
+        (1usize, 0usize),
+        (2, 3),
+        (2, 4),
+        (3, 3),
+        (3, 4),
+        (4, 3),
+        (4, 4),
+    ] {
+        let frontend_lane = depth > 1 && workers >= 4;
         let mut sov = Sov::new(VehicleConfig::perceptin_pod(), seed);
         if workers > 0 {
             sov.set_perf(PerfContext::with_pipeline_workers(depth, workers));
@@ -276,12 +309,25 @@ fn main() {
             .drive_with_plan(&scenario, drive_frames, &plan)
             .expect("drive completes");
         let wall = t0.elapsed();
+        let occupancy = (depth > 1 && workers >= 3).then(|| {
+            let occ = &sov.perf().occupancy;
+            [
+                occ.fraction(LaneOccupancy::SENSING),
+                occ.fraction(LaneOccupancy::PERCEPTION),
+                occ.fraction(LaneOccupancy::PLANNING),
+            ]
+        });
         let matches_serial = serial_report.as_ref().is_none_or(|s| *s == report);
         if !matches_serial {
             determinism_ok = false;
         }
+        let occ_str = occupancy.map_or_else(
+            || "   -/-/-".to_string(),
+            |o| format!("{:.2}/{:.2}/{:.2}", o[0], o[1], o[2]),
+        );
         println!(
-            "d{depth} w{workers}: {:>8.1} ms wall, {:>6.1} fps, digest {:016x}{}",
+            "d{depth} w{workers} fe={}: {:>8.1} ms wall, {:>6.1} fps, occ {occ_str}, digest {:016x}{}",
+            if frontend_lane { "lane" } else { "seq " },
             ms(wall),
             drive_frames as f64 / wall.as_secs_f64(),
             digest_report(&report),
@@ -294,8 +340,10 @@ fn main() {
         drive_rows.push(DriveRow {
             depth,
             workers,
+            frontend_lane,
             wall_ms: ms(wall),
             fps: drive_frames as f64 / wall.as_secs_f64(),
+            occupancy,
             digest: digest_report(&report),
             matches_serial,
         });
@@ -309,6 +357,13 @@ fn main() {
         .iter()
         .find(|r| r.depth == 3 && r.workers == 3)
         .expect("cell swept above");
+    let fe_cell = drive_rows
+        .iter()
+        .find(|r| r.depth == 3 && r.workers == 4)
+        .expect("cell swept above");
+    let fe_occupied = fe_cell
+        .occupancy
+        .is_some_and(|o| o.iter().all(|&v| v > 0.0));
     sov_bench::section("acceptance");
     println!(
         "replay checksums and drive reports identical across all cells: {}",
@@ -322,6 +377,10 @@ fn main() {
         } else {
             "FAIL"
         },
+    );
+    println!(
+        "drive cell d3 w4: sensing, perception, planning lanes all busy: {}",
+        if fe_occupied { "PASS" } else { "FAIL" },
     );
 
     if let Some(path) = json_path {
@@ -348,9 +407,20 @@ fn main() {
                     concat!(
                         "    {{\"depth\": {}, \"workers\": {}, \"throughput_fps\": {:.2}, ",
                         "\"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, ",
-                        "\"speedup_vs_serial\": {:.4}, \"checksum\": \"{:016x}\"}}"
+                        "\"speedup_vs_serial\": {:.4}, ",
+                        "\"occupancy\": [{:.4}, {:.4}, {:.4}], ",
+                        "\"checksum\": \"{:016x}\"}}"
                     ),
-                    r.depth, r.workers, r.fps, r.p50_ms, r.p99_ms, r.speedup, r.checksum,
+                    r.depth,
+                    r.workers,
+                    r.fps,
+                    r.p50_ms,
+                    r.p99_ms,
+                    r.speedup,
+                    r.occupancy[0],
+                    r.occupancy[1],
+                    r.occupancy[2],
+                    r.checksum,
                 )
             })
             .collect();
@@ -358,9 +428,14 @@ fn main() {
         out.push_str("\n  ],\n  \"model\": [\n");
         let rows: Vec<String> = model_rows
             .iter()
-            .map(|(d, fps, s)| {
+            .map(|(d, fps, s, occ)| {
                 format!(
-                    "    {{\"depth\": {d}, \"mean_throughput_fps\": {fps:.2}, \"mean_speedup\": {s:.4}}}"
+                    concat!(
+                        "    {{\"depth\": {}, \"mean_throughput_fps\": {:.2}, ",
+                        "\"mean_speedup\": {:.4}, ",
+                        "\"mean_lane_occupancy\": [{:.4}, {:.4}, {:.4}]}}"
+                    ),
+                    d, fps, s, occ[0], occ[1], occ[2],
                 )
             })
             .collect();
@@ -369,12 +444,24 @@ fn main() {
         let rows: Vec<String> = drive_rows
             .iter()
             .map(|r| {
+                let occ = r.occupancy.map_or_else(
+                    || "null".to_string(),
+                    |o| format!("[{:.4}, {:.4}, {:.4}]", o[0], o[1], o[2]),
+                );
                 format!(
                     concat!(
-                        "    {{\"depth\": {}, \"workers\": {}, \"wall_ms\": {:.1}, ",
-                        "\"fps\": {:.2}, \"report_digest\": \"{:016x}\", \"matches_serial\": {}}}"
+                        "    {{\"depth\": {}, \"workers\": {}, \"frontend_lane\": {}, ",
+                        "\"wall_ms\": {:.1}, \"fps\": {:.2}, \"occupancy\": {}, ",
+                        "\"report_digest\": \"{:016x}\", \"matches_serial\": {}}}"
                     ),
-                    r.depth, r.workers, r.wall_ms, r.fps, r.digest, r.matches_serial,
+                    r.depth,
+                    r.workers,
+                    r.frontend_lane,
+                    r.wall_ms,
+                    r.fps,
+                    occ,
+                    r.digest,
+                    r.matches_serial,
                 )
             })
             .collect();
@@ -390,6 +477,10 @@ fn main() {
     }
     if depth3.speedup < 1.5 {
         eprintln!("throughput regression: depth-3 replay speedup below 1.5×");
+        std::process::exit(1);
+    }
+    if !fe_occupied {
+        eprintln!("occupancy gate: d3 w4 drive must keep all three lanes busy");
         std::process::exit(1);
     }
 }

@@ -102,6 +102,22 @@ impl FrameLatency {
         }
     }
 
+    /// Model-predicted occupancy of the three pipeline lanes at the given
+    /// depth: each stage's duration over the
+    /// [`initiation_interval`](Self::initiation_interval), i.e. the
+    /// fraction of each beat the lane spends computing once the pipeline
+    /// is full. At `depth >= 2` the bottleneck lane's occupancy is exactly
+    /// `1.0` and the others are `stage / bottleneck`; at depth 1 the three
+    /// occupancies sum to at most `1.0` (the stages time-share one beat).
+    #[must_use]
+    pub fn lane_occupancy(&self, depth: usize) -> [f64; 3] {
+        let ii = self.initiation_interval(depth).as_millis_f64();
+        if ii <= 0.0 {
+            return [0.0; 3];
+        }
+        self.stages().map(|s| s.as_millis_f64() / ii)
+    }
+
     /// Pipelined throughput (frames/second) at the given depth, from the
     /// [`initiation_interval`](Self::initiation_interval).
     #[must_use]
@@ -355,6 +371,26 @@ mod tests {
         // overlapping the stages roughly doubles throughput.
         let mean = speedups / 2000.0;
         assert!((1.5..3.0).contains(&mean), "mean pipeline speedup {mean}");
+    }
+
+    #[test]
+    fn lane_occupancy_saturates_the_bottleneck_when_pipelined() {
+        let mut pipe = LatencyPipeline::new(&VehicleConfig::perceptin_pod(), 11);
+        for _ in 0..500 {
+            let f = pipe.next_frame(0.4);
+            let serial = f.lane_occupancy(1);
+            // Depth 1: the stages time-share one T_comp beat.
+            let sum: f64 = serial.iter().sum();
+            assert!(sum <= 1.0 + 1e-12, "serial occupancies sum to {sum}");
+            // Depth ≥ 2: the bottleneck lane is fully occupied, the rest
+            // proportionally to their stage length.
+            let piped = f.lane_occupancy(3);
+            let max = piped.iter().fold(0.0f64, |a, &b| a.max(b));
+            assert!((max - 1.0).abs() < 1e-12, "bottleneck occupancy {max}");
+            for o in piped {
+                assert!((0.0..=1.0 + 1e-12).contains(&o));
+            }
+        }
     }
 
     #[test]

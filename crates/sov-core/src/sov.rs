@@ -32,12 +32,14 @@ use sov_fault::{FaultKind, FaultPlan};
 use sov_math::stats::Summary;
 use sov_math::{angle, SovRng};
 use sov_perception::detection::{Detection, Detector, DetectorProfile};
+use sov_perception::frontend::{EgoMotionRequest, FrontEnd, FrontEndOutput};
 use sov_perception::fusion::{FusionConfig, GpsVioFusion};
-use sov_perception::vio::{VioConfig, VioFilter, VisualFrontEnd};
+use sov_perception::vio::{VioConfig, VioFilter};
 use sov_planning::mpc::MpcPlanner;
 use sov_planning::{Planner, PlanningInput, PlanningObstacle};
 use sov_runtime::queue::{ring, RingReceiver, RingSender};
-use sov_sensors::camera::{Camera, CameraFrame, Intrinsics};
+use sov_runtime::LaneOccupancy;
+use sov_sensors::camera::{Camera, CameraFrame, Intrinsics, StereoRig};
 use sov_sensors::gps::{GnssQuality, GpsConfig, GpsReceiver};
 use sov_sensors::radar::RadarArray;
 use sov_sensors::sonar::SonarArray;
@@ -51,6 +53,7 @@ use sov_world::scenario::{Scenario, World};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How a drive ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -233,12 +236,14 @@ impl Sov {
     /// Returns [`SovError::NoFrames`] if `max_frames == 0`.
     /// When the installed [`PerfContext`] carries `pipeline_depth > 1` and
     /// a pool with at least three lanes, the drive runs on the inter-frame
-    /// pipeline: detection executes on a perception lane and MPC planning
-    /// on a planning lane, overlapped with the event loop's sensing, with
-    /// up to `depth` frames in flight per stage. The sequencer on the
-    /// calling thread commits every result in frame order, so the
-    /// resulting [`DriveReport`] is **byte-identical** to the serial
-    /// drive for every depth and worker count (see [`PipedLanes`] for the
+    /// pipeline: the stereo/VIO visual front-end executes on a sensing
+    /// lane (with four or more pool lanes; on the sequencer otherwise),
+    /// detection on a perception lane, and MPC planning on a planning lane
+    /// — the full three-deep overlap of Fig. 5, with up to `depth` frames
+    /// in flight per stage. The sequencer on the calling thread commits
+    /// every result in frame order, so the resulting [`DriveReport`] is
+    /// **byte-identical** to the serial drive for every depth and worker
+    /// count (see [`PipedLanes`] and [`FrontEndRoute`] for the
     /// commit-equivalence argument); a degraded tick drains the pipeline
     /// and serializes until the vehicle recovers to nominal.
     pub fn drive_with_plan(
@@ -266,6 +271,13 @@ impl Sov {
         let perf: &PerfContext = perf;
         let depth = perf.pipeline_depth();
         let piped = depth > 1 && perf.pool().is_some_and(|p| p.lanes() >= 3);
+        // The visual front-end draws its seed first — before any camera
+        // event — on every schedule, preserving the main RNG sequence.
+        let frontend = FrontEnd::new(
+            rng.next_u64(),
+            camera.intrinsics().fx,
+            StereoRig::perceptin_default().baseline_m(),
+        );
         let env = DriveEnv {
             config,
             camera,
@@ -281,66 +293,119 @@ impl Sov {
             faults,
         };
         if !piped {
-            return Ok(drive_loop(env, StageLanes::Inline { detector, planner }));
+            return Ok(drive_loop(
+                env,
+                StageLanes::Inline {
+                    detector,
+                    planner,
+                    frontend,
+                },
+            ));
         }
         let pool = Arc::clone(perf.pool.as_ref().expect("piped implies a pool"));
+        // A fourth lane hosts the visual front-end; with exactly three
+        // lanes it stays on the sequencer (still bit-identical — the
+        // route only moves *where* `FrontEnd::process` runs).
+        let frontend_lane = pool.lanes() >= 4;
         let world = &scenario.world;
+        let occupancy = Arc::clone(&perf.occupancy);
+        occupancy.reset();
         // Job rings are bounded by the pipeline depth — a full ring is the
         // back-pressure that keeps a stage at most `depth` frames ahead.
-        // Done rings hold `depth + 2` (more than can ever be in flight), so
-        // the lanes never block on returning a result and can always drain.
+        // Done rings hold `2·depth + 4`: with the sensing lane chained in
+        // front of the perception lane, up to `depth` frames can sit in
+        // each job ring plus one in each lane's hands (`2·depth + 2`
+        // total), so this capacity guarantees a lane can always deposit a
+        // result without blocking — which is what lets the sequencer
+        // block-drain any single done ring without deadlocking the chain.
         let (det_tx, det_job_rx) = ring::<DetJob>(depth);
-        let (det_done_tx, det_rx) = ring::<DetDone>(depth + 2);
+        let (det_done_tx, det_rx) = ring::<DetDone>(2 * depth + 4);
         let (plan_tx, plan_job_rx) = ring::<PlanJob>(depth);
-        let (plan_done_tx, plan_rx) = ring::<PlanDone>(depth + 2);
-        let report = pool.run_lanes(
-            vec![
-                // Perception lane: owns the detector. Jobs arrive in
-                // camera-frame order, so the detector's internal RNG
-                // consumes draws in exactly the serial sequence.
-                Box::new(move || {
-                    while let Some(DetJob { frame, mut out }) = det_job_rx.recv() {
-                        detector.detect_into(&frame, |id| true_class_of(world, id), &mut out);
-                        if det_done_tx.send(DetDone { out }).is_err() {
-                            break;
-                        }
+        let (plan_done_tx, plan_rx) = ring::<PlanDone>(2 * depth + 4);
+        let mut stages: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let fe_route = if frontend_lane {
+            let (fe_tx, fe_job_rx) = ring::<FeJob>(depth);
+            let (fe_done_tx, fe_rx) = ring::<FeDone>(2 * depth + 4);
+            let occ = Arc::clone(&occupancy);
+            let mut frontend = frontend;
+            // Sensing lane: owns the visual front-end state. Frames arrive
+            // in capture order, the output goes back to the sequencer, and
+            // the frame itself is forwarded (not copied) to the perception
+            // lane — the FIFO chain preserves the serial frame order end
+            // to end.
+            stages.push(Box::new(move || {
+                while let Some(FeJob { frame, out, req }) = fe_job_rx.recv() {
+                    let t0 = Instant::now();
+                    let product = frontend.process(&frame, req.as_ref());
+                    occ.record(LaneOccupancy::SENSING, t0.elapsed());
+                    if fe_done_tx.send(FeDone { out: product }).is_err() {
+                        break;
                     }
-                }),
-                // Planning lane: owns the MPC planner, consumes planning
-                // inputs in control-tick order.
-                Box::new(move || {
-                    while let Some(PlanJob { input }) = plan_job_rx.recv() {
-                        let plan = planner.plan(&input);
-                        let PlanningInput { obstacles, .. } = input;
-                        if plan_done_tx
-                            .send(PlanDone {
-                                command: plan.command,
-                                obstacles,
-                            })
-                            .is_err()
-                        {
-                            break;
-                        }
+                    if det_tx.send(DetJob { frame, out }).is_err() {
+                        break;
                     }
+                }
+            }));
+            FrontEndRoute::Lane {
+                fe_tx,
+                fe_rx,
+                inflight: 0,
+            }
+        } else {
+            FrontEndRoute::Sequencer { frontend, det_tx }
+        };
+        // Perception lane: owns the detector. Jobs arrive in camera-frame
+        // order, so the detector's internal RNG consumes draws in exactly
+        // the serial sequence.
+        let occ = Arc::clone(&occupancy);
+        stages.push(Box::new(move || {
+            while let Some(DetJob { frame, mut out }) = det_job_rx.recv() {
+                let t0 = Instant::now();
+                detector.detect_into(&frame, |id| true_class_of(world, id), &mut out);
+                occ.record(LaneOccupancy::PERCEPTION, t0.elapsed());
+                if det_done_tx.send(DetDone { out }).is_err() {
+                    break;
+                }
+            }
+        }));
+        // Planning lane: owns the MPC planner, consumes planning inputs in
+        // control-tick order.
+        let occ = Arc::clone(&occupancy);
+        stages.push(Box::new(move || {
+            while let Some(PlanJob { input }) = plan_job_rx.recv() {
+                let t0 = Instant::now();
+                let plan = planner.plan(&input);
+                occ.record(LaneOccupancy::PLANNING, t0.elapsed());
+                let PlanningInput { obstacles, .. } = input;
+                if plan_done_tx
+                    .send(PlanDone {
+                        command: plan.command,
+                        obstacles,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }));
+        let started = Instant::now();
+        // Fusion + sequencing stay on the calling thread.
+        let report = pool.run_lanes(stages, move || {
+            drive_loop(
+                env,
+                StageLanes::Piped(PipedLanes {
+                    frontend: fe_route,
+                    det_rx,
+                    det_inflight: 0,
+                    det_free: Vec::new(),
+                    plan_tx,
+                    plan_rx,
+                    pending: VecDeque::new(),
+                    sync_mode: false,
                 }),
-            ],
-            // Sensing + fusion + sequencing stay on the calling thread.
-            move || {
-                drive_loop(
-                    env,
-                    StageLanes::Piped(PipedLanes {
-                        det_tx,
-                        det_rx,
-                        det_inflight: 0,
-                        det_free: Vec::new(),
-                        plan_tx,
-                        plan_rx,
-                        pending: VecDeque::new(),
-                        sync_mode: false,
-                    }),
-                )
-            },
-        );
+            )
+        });
+        occupancy.set_wall(started.elapsed());
         Ok(report)
     }
 }
@@ -353,6 +418,21 @@ fn true_class_of(world: &World, id: ObstacleId) -> ObstacleClass {
         .iter()
         .find(|o| o.id == id)
         .map_or(ObstacleClass::StaticObject, |o| o.class)
+}
+
+/// A camera frame headed to the sensing lane (visual front-end), carrying
+/// the detection buffer it will forward to the perception lane and the
+/// sequencer-computed ego-motion request.
+struct FeJob {
+    frame: CameraFrame,
+    out: Vec<Detection>,
+    req: Option<EgoMotionRequest>,
+}
+
+/// The front-end product coming back from the sensing lane. `Copy`: the
+/// ring hand-off allocates nothing.
+struct FeDone {
+    out: FrontEndOutput,
 }
 
 /// A camera frame headed to the perception lane plus a reusable output
@@ -423,7 +503,8 @@ struct PlanMeta {
 /// ECU promotes FIFO from the front, and all earlier commands are already
 /// committed by rule 1), so wall-clock timing never affects the drive.
 struct PipedLanes {
-    det_tx: RingSender<DetJob>,
+    /// Where the visual front-end runs (see [`FrontEndRoute`]).
+    frontend: FrontEndRoute,
     det_rx: RingReceiver<DetDone>,
     /// Camera jobs dispatched but not yet absorbed.
     det_inflight: usize,
@@ -438,7 +519,118 @@ struct PipedLanes {
     sync_mode: bool,
 }
 
+/// Where the visual front-end stage executes on a piped drive.
+///
+/// # Why lane placement cannot change the drive
+///
+/// `FrontEnd::process` is the only mutator of the front-end's state and
+/// the only consumer of its RNG. Both routes run the *same* calls on the
+/// *same* frames in the *same* (capture) order — the lane route merely
+/// defers the `VioFilter` update from dispatch to absorb time. That
+/// deferral is unobservable because the VIO estimate is only *read* by
+/// two event kinds — GPS fix ingestion and the control tick's fused
+/// position — and both block-drain the sensing lane first
+/// ([`StageLanes::sync_frontend`]); every other event neither reads nor
+/// writes VIO state, so absorbing outputs early or late between those
+/// barriers commutes.
+#[allow(clippy::large_enum_variant)] // one of the two exists per drive
+enum FrontEndRoute {
+    /// Three-lane pools: the front-end runs on the sequencing thread at
+    /// dispatch, exactly like the serial schedule, and detection jobs go
+    /// straight to the perception lane.
+    Sequencer {
+        frontend: FrontEnd,
+        det_tx: RingSender<DetJob>,
+    },
+    /// Four-lane pools: the sensing lane owns the front-end *and* the
+    /// perception lane's job ring — each frame is processed, its output
+    /// sent back, and the frame forwarded onward without a copy.
+    Lane {
+        fe_tx: RingSender<FeJob>,
+        fe_rx: RingReceiver<FeDone>,
+        /// Frames sent to the sensing lane whose outputs have not been
+        /// absorbed yet.
+        inflight: usize,
+    },
+}
+
+/// Applies a front-end product to the VIO filter — the single commit
+/// point shared by every route, serial or piped.
+fn apply_frontend_output(out: &FrontEndOutput, vio: &mut VioFilter) {
+    if let Some(delta) = &out.delta {
+        vio.visual_update(delta);
+    }
+}
+
 impl PipedLanes {
+    /// Dispatches one camera frame to the front-end and detector stages.
+    fn dispatch_camera(
+        &mut self,
+        frame: CameraFrame,
+        req: Option<EgoMotionRequest>,
+        vio: &mut VioFilter,
+        last: &mut Vec<Detection>,
+        arena: &FrameArena,
+    ) {
+        let out = self.det_free.pop().unwrap_or_else(|| arena.take());
+        self.det_inflight += 1;
+        match &mut self.frontend {
+            FrontEndRoute::Sequencer { frontend, det_tx } => {
+                let product = frontend.process(&frame, req.as_ref());
+                apply_frontend_output(&product, vio);
+                det_tx
+                    .send(DetJob { frame, out })
+                    .unwrap_or_else(|_| unreachable!("perception lane outlives the drive"));
+            }
+            FrontEndRoute::Lane {
+                fe_tx, inflight, ..
+            } => {
+                *inflight += 1;
+                fe_tx
+                    .send(FeJob { frame, out, req })
+                    .unwrap_or_else(|_| unreachable!("sensing lane outlives the drive"));
+            }
+        }
+        if self.sync_mode {
+            self.sync_frontend(vio);
+            self.sync_detections(last);
+        }
+    }
+
+    /// Absorbs every finished front-end output without blocking (FIFO, so
+    /// the VIO filter consumes increments in capture order).
+    fn absorb_ready_frontend(&mut self, vio: &mut VioFilter) {
+        if let FrontEndRoute::Lane {
+            fe_rx, inflight, ..
+        } = &mut self.frontend
+        {
+            while *inflight > 0 {
+                match fe_rx.try_recv() {
+                    Some(done) => {
+                        *inflight -= 1;
+                        apply_frontend_output(&done.out, vio);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Blocks until every dispatched frame's front-end output has been
+    /// applied to the VIO filter — after this, the filter holds exactly
+    /// the serial visual-update state.
+    fn sync_frontend(&mut self, vio: &mut VioFilter) {
+        if let FrontEndRoute::Lane {
+            fe_rx, inflight, ..
+        } = &mut self.frontend
+        {
+            while *inflight > 0 {
+                let done = fe_rx.recv().expect("sensing lane alive");
+                *inflight -= 1;
+                apply_frontend_output(&done.out, vio);
+            }
+        }
+    }
     /// Commits the next in-flight plan (FIFO) under the equivalence rules.
     fn commit(&mut self, done: PlanDone, ecu: &mut Ecu, arena: &FrameArena) {
         let meta = self.pending.pop_front().expect("one meta per plan job");
@@ -485,38 +677,40 @@ impl PipedLanes {
 /// The stage components the drive loop routes work through: either owned
 /// inline (serial schedule) or behind the pipeline rings.
 enum StageLanes<'a> {
-    /// Serial: the event loop calls the detector and planner directly.
+    /// Serial: the event loop calls the front-end, detector, and planner
+    /// directly.
     Inline {
         detector: &'a mut Detector,
         planner: &'a mut MpcPlanner,
+        frontend: FrontEnd,
     },
-    /// Pipelined: detection and planning execute on dedicated pool lanes.
+    /// Pipelined: the front-end, detection, and planning execute on
+    /// dedicated pool lanes (the front-end stays on the sequencer when the
+    /// pool has only three lanes — see [`FrontEndRoute`]).
     Piped(PipedLanes),
 }
 
 impl StageLanes<'_> {
-    /// Runs (or dispatches) detection for one camera frame.
-    fn detect(
+    /// Runs (or dispatches) the per-camera-frame stage work: the visual
+    /// front-end (disparity, tracking, ego-motion → VIO) and detection.
+    fn camera_frame(
         &mut self,
         frame: CameraFrame,
+        req: Option<EgoMotionRequest>,
+        vio: &mut VioFilter,
         last: &mut Vec<Detection>,
         world: &World,
         arena: &FrameArena,
     ) {
         match self {
-            Self::Inline { detector, .. } => {
+            Self::Inline {
+                detector, frontend, ..
+            } => {
                 detector.detect_into(&frame, |id| true_class_of(world, id), last);
+                let product = frontend.process(&frame, req.as_ref());
+                apply_frontend_output(&product, vio);
             }
-            Self::Piped(p) => {
-                let out = p.det_free.pop().unwrap_or_else(|| arena.take());
-                p.det_tx
-                    .send(DetJob { frame, out })
-                    .unwrap_or_else(|_| unreachable!("perception lane outlives the drive"));
-                p.det_inflight += 1;
-                if p.sync_mode {
-                    p.sync_detections(last);
-                }
-            }
+            Self::Piped(p) => p.dispatch_camera(frame, req, vio, last, arena),
         }
     }
 
@@ -562,8 +756,16 @@ impl StageLanes<'_> {
     /// Per-event maintenance: absorbs finished work eagerly and enforces
     /// the arrival barrier (rule 2 of the [`PipedLanes`] equivalence
     /// argument) before the event loop advances physics to `t`.
-    fn pump(&mut self, t: SimTime, ecu: &mut Ecu, arena: &FrameArena, last: &mut Vec<Detection>) {
+    fn pump(
+        &mut self,
+        t: SimTime,
+        ecu: &mut Ecu,
+        arena: &FrameArena,
+        last: &mut Vec<Detection>,
+        vio: &mut VioFilter,
+    ) {
         let Self::Piped(p) = self else { return };
+        p.absorb_ready_frontend(vio);
         p.absorb_ready_detections(last);
         while !p.pending.is_empty() {
             match p.plan_rx.try_recv() {
@@ -593,6 +795,15 @@ impl StageLanes<'_> {
         }
     }
 
+    /// Barrier: after this, the VIO filter holds the serial visual-update
+    /// state. Must precede any event that *reads* the filter (GPS fix
+    /// ingestion, the control tick's fused position).
+    fn sync_frontend(&mut self, vio: &mut VioFilter) {
+        if let Self::Piped(p) = self {
+            p.sync_frontend(vio);
+        }
+    }
+
     /// Health interop: entering a degraded mode drains everything in
     /// flight (in order) and serializes subsequent dispatches; returning
     /// to nominal resumes pipelining.
@@ -602,9 +813,11 @@ impl StageLanes<'_> {
         ecu: &mut Ecu,
         arena: &FrameArena,
         last: &mut Vec<Detection>,
+        vio: &mut VioFilter,
     ) {
         let Self::Piped(p) = self else { return };
         if degraded && !p.sync_mode {
+            p.sync_frontend(vio);
             p.sync_detections(last);
             p.drain_plans(ecu, arena);
         }
@@ -614,8 +827,15 @@ impl StageLanes<'_> {
     /// End of drive: drains all in-flight work and returns every pooled
     /// buffer to the arena. Dropping `self` afterwards closes the job
     /// rings, which is what lets the lanes exit.
-    fn shutdown(&mut self, ecu: &mut Ecu, arena: &FrameArena, last: &mut Vec<Detection>) {
+    fn shutdown(
+        &mut self,
+        ecu: &mut Ecu,
+        arena: &FrameArena,
+        last: &mut Vec<Detection>,
+        vio: &mut VioFilter,
+    ) {
         let Self::Piped(p) = self else { return };
+        p.sync_frontend(vio);
         p.sync_detections(last);
         p.drain_plans(ecu, arena);
         for buf in p.det_free.drain(..) {
@@ -674,7 +894,6 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
     let mut ecu = Ecu::new(config.ecu, config.vehicle);
     let mut vio = VioFilter::new(start_pose, VioConfig::default());
     let mut fusion = GpsVioFusion::new(FusionConfig::default());
-    let mut frontend = VisualFrontEnd::new(rng.next_u64());
     let mut battery = Battery::full(config.battery.capacity_kwh);
     let mut report = DriveReport {
         outcome: DriveOutcome::Completed,
@@ -739,7 +958,7 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
         // Absorb finished pipeline work and commit every plan whose
         // arrival is due — *before* physics advances to `t`, so the
         // ECU promotes commands exactly as the serial schedule would.
-        lanes.pump(t, &mut ecu, &perf.arena, &mut last_detections);
+        lanes.pump(t, &mut ecu, &perf.arena, &mut last_detections, &mut vio);
         // Advance the vehicle to `t` under the ECU's actuation,
         // promoting matured commands along the way.
         while physics_t < t {
@@ -816,34 +1035,42 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
                 queue.schedule(t + camera_period, Ev::Camera(k + 1));
             }
             Ev::Camera(k) => {
-                // Detection runs at the camera rate — inline on the
-                // serial schedule, or dispatched to the perception lane
-                // (FIFO, so the detector's internal RNG consumes draws
-                // in exactly the serial frame order).
-                let cam_frame = camera.capture(&state.pose, world, &world.landmarks, t, rng);
-                lanes.detect(cam_frame, &mut last_detections, world, &perf.arena);
-                // VIO consumes frame-to-frame ego-motion. The sync
-                // design decides how well the camera timestamps align
-                // with the IMU timeline (Sec. VI-A); software-only sync
+                // The per-frame stage work — visual front-end (disparity,
+                // tracking, ego-motion) and detection — runs inline on the
+                // serial schedule or on the sensing/perception lanes
+                // (FIFO, so each stage's internal state and RNG evolve in
+                // exactly the serial frame order). Everything the
+                // ego-motion increment needs from sequencer-side state is
+                // captured *now*, at dispatch: the synchronizer's
+                // timestamp assignment (Sec. VI-A; software-only sync
                 // corrupts the increment via the rotation–translation
-                // ambiguity leak.
-                if k > 0 {
+                // ambiguity leak), the ECU's current yaw rate, and any
+                // injected IMU bias.
+                let cam_frame = camera.capture(&state.pose, world, &world.landmarks, t, rng);
+                let req = (k > 0).then(|| {
                     let offset_ms = synchronizer.camera_imu_offset_ms(k, rng);
                     let shift = SimDuration::from_millis_f64(offset_ms);
-                    let mut delta = frontend.measure(
-                        &last_camera_pose,
-                        &state.pose,
-                        last_camera_t + shift,
-                        t + shift,
-                    );
                     let yaw_rate = ecu.actuation(t).yaw_rate_rps;
                     let epsilon = yaw_rate * offset_ms * 1e-3;
-                    delta.lateral_m += 0.15 * epsilon * 12.0; // leak × ε × Z̄
-                                                              // Injected IMU bias leaks spurious lateral motion
-                                                              // into the visual-inertial increment.
-                    delta.lateral_m += faults.magnitude(FaultKind::ImuBiasJump, t, k);
-                    vio.visual_update(&delta);
-                }
+                    EgoMotionRequest {
+                        prev_pose: last_camera_pose,
+                        pose: state.pose,
+                        t_from: last_camera_t + shift,
+                        t_to: t + shift,
+                        // Leak × ε × Z̄, plus injected IMU bias leaking
+                        // spurious lateral motion into the increment.
+                        lateral_bias_m: 0.15 * epsilon * 12.0
+                            + faults.magnitude(FaultKind::ImuBiasJump, t, k),
+                    }
+                });
+                lanes.camera_frame(
+                    cam_frame,
+                    req,
+                    &mut vio,
+                    &mut last_detections,
+                    world,
+                    &perf.arena,
+                );
                 last_camera_pose = state.pose;
                 last_camera_t = t;
                 health.camera_seen(t);
@@ -856,6 +1083,9 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
                 queue.schedule(t + gps_period, Ev::Gps(k + 1));
             }
             Ev::Gps(k) => {
+                // Fix ingestion *reads* the VIO estimate: barrier on the
+                // sensing lane so the filter is in its serial state.
+                lanes.sync_frontend(&mut vio);
                 let quality = if faults.is_active(FaultKind::GpsMultipath, t) {
                     GnssQuality::Multipath
                 } else if scenario.gps_degraded_at(frac) {
@@ -915,14 +1145,18 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
                 // Pipeline/health interop: a degraded tick drains the
                 // lanes and serializes (nothing is ever reordered); a
                 // nominal tick only barriers on the camera frames
-                // dispatched before this tick, so the obstacle merge
-                // below sees exactly the serial detection state.
+                // dispatched before this tick, so the fused position and
+                // obstacle merge below see exactly the serial VIO and
+                // detection state. Front-end first: the sensing lane
+                // feeds the perception lane.
                 lanes.set_degraded(
                     mode != DegradationMode::Nominal,
                     &mut ecu,
                     &perf.arena,
                     &mut last_detections,
+                    &mut vio,
                 );
+                lanes.sync_frontend(&mut vio);
                 lanes.sync_detections(&mut last_detections);
 
                 // Localization estimate drives the lane-keeping inputs.
@@ -1047,7 +1281,7 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
     }
     // Drain whatever is still in flight (the drive can end mid-frame)
     // and hand every pooled buffer back to the arena.
-    lanes.shutdown(&mut ecu, &perf.arena, &mut last_detections);
+    lanes.shutdown(&mut ecu, &perf.arena, &mut last_detections, &mut vio);
     perf.arena.recycle(last_detections);
     report.energy_used_kwh = config.battery.capacity_kwh - battery.remaining_kwh();
     report.mode_transitions = health.transitions().len() as u64;
@@ -1290,8 +1524,10 @@ mod tests {
         let scenario = Scenario::fishers_indiana(3);
         let mut serial = Sov::new(VehicleConfig::perceptin_pod(), 3);
         let r_serial = serial.drive(&scenario, 200).unwrap();
+        // Workers 3 keeps the front-end on the sequencer, 4 gives it its
+        // own sensing lane, 8 adds idle lanes — all one bit pattern.
         for depth in 2..=4 {
-            for workers in [3, 8] {
+            for workers in [3, 4, 8] {
                 let mut piped = Sov::new(VehicleConfig::perceptin_pod(), 3);
                 piped.set_perf(PerfContext::with_pipeline_workers(depth, workers));
                 let r = piped.drive(&scenario, 200).unwrap();
@@ -1331,17 +1567,42 @@ mod tests {
 
     #[test]
     fn pipelined_drive_is_allocation_free_in_steady_state() {
+        // Both front-end routes: workers 3 (sequencer) and 4 (sensing
+        // lane — outputs are `Copy` and frames/buffers circulate, so the
+        // extra stage adds no steady-state allocation).
+        for workers in [3, 4] {
+            let scenario = Scenario::fishers_indiana(3);
+            let mut piped = Sov::new(VehicleConfig::perceptin_pod(), 3);
+            piped.set_perf(PerfContext::with_pipeline_workers(3, workers));
+            let _ = piped.drive(&scenario, 100).unwrap();
+            // Warm arena: detection and obstacle buffers all circulate
+            // through the rings and back without touching the allocator.
+            piped.perf().arena.reset_stats();
+            let _ = piped.drive(&scenario, 50).unwrap();
+            let stats = piped.perf().arena.stats();
+            assert_eq!(stats.allocations, 0, "workers {workers}: must reuse");
+            assert!(stats.reuses > 0, "workers {workers}: must exercise arena");
+        }
+    }
+
+    #[test]
+    fn piped_drive_records_busy_time_in_all_three_lanes() {
         let scenario = Scenario::fishers_indiana(3);
         let mut piped = Sov::new(VehicleConfig::perceptin_pod(), 3);
         piped.set_perf(PerfContext::with_pipeline(3));
         let _ = piped.drive(&scenario, 100).unwrap();
-        // Warm arena: detection and obstacle buffers all circulate through
-        // the rings and back without touching the allocator.
-        piped.perf().arena.reset_stats();
-        let _ = piped.drive(&scenario, 50).unwrap();
-        let stats = piped.perf().arena.stats();
-        assert_eq!(stats.allocations, 0, "steady state must be reuse-only");
-        assert!(stats.reuses > 0, "arena must actually be exercised");
+        let occ = &piped.perf().occupancy;
+        for lane in [
+            LaneOccupancy::SENSING,
+            LaneOccupancy::PERCEPTION,
+            LaneOccupancy::PLANNING,
+        ] {
+            assert!(
+                occ.busy(lane) > std::time::Duration::ZERO,
+                "lane {lane} never ran"
+            );
+        }
+        assert!(occ.wall() > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -3,6 +3,11 @@
 //! to the serial drive for every pipeline depth and worker count — with
 //! and without fault injection.
 //!
+//! The worker axis sweeps all three lane topologies: `workers >= 4` hosts
+//! the visual front-end on its own sensing lane, exactly 3 keeps the
+//! front-end on the sequencer (detector + planner lanes only), and
+//! `workers <= 2` falls back to the fully serial schedule.
+//!
 //! [`DriveReport`]'s `PartialEq` is exact (bitwise on every float), so
 //! `prop_assert_eq!` here really is a bit-identity check.
 
@@ -38,15 +43,18 @@ proptest! {
     }
 
     #[test]
-    fn faulted_drive_is_bit_identical_for_any_depth(
+    fn faulted_drive_is_bit_identical_for_any_depth_and_worker_count(
         seed in 0u64..32,
         depth in 2usize..5,
+        workers in 1usize..9,
         can_rate in 0.0f64..0.5,
         spike_ms in 0.0f64..400.0,
     ) {
         let scenario = Scenario::fishers_indiana(seed);
         // CAN losses and RPR arrival spikes attack the sequencer's commit
-        // rules; a camera stall forces a drain-and-serialize round trip.
+        // rules; a camera stall forces a drain-and-serialize round trip —
+        // with workers >= 4 that drain must empty the front-end lane
+        // before falling back to serial, mid-drive.
         let plan = FaultPlan::new(seed ^ 0xFA)
             .with_intensity(FaultKind::CanFrameLoss, secs(1), secs(9), can_rate)
             .with_intensity(FaultKind::RprDelaySpike, secs(2), secs(8), spike_ms)
@@ -54,8 +62,14 @@ proptest! {
         let mut serial = Sov::new(VehicleConfig::perceptin_pod(), seed);
         let reference = serial.drive_with_plan(&scenario, 120, &plan).unwrap();
         let mut piped = Sov::new(VehicleConfig::perceptin_pod(), seed);
-        piped.set_perf(PerfContext::with_pipeline(depth));
+        piped.set_perf(PerfContext::with_pipeline_workers(depth, workers));
         let report = piped.drive_with_plan(&scenario, 120, &plan).unwrap();
-        prop_assert_eq!(report, reference, "depth {} under faults", depth);
+        prop_assert_eq!(
+            report,
+            reference,
+            "depth {} × workers {} under faults",
+            depth,
+            workers
+        );
     }
 }

@@ -42,6 +42,19 @@ impl DepthEstimate {
     }
 }
 
+/// The disparity (px) a rig with focal length `fx_px` and baseline
+/// `baseline_m` would measure for a feature at `depth_m` — the inverse of
+/// [`StereoRig::depth_from_disparity`], used by the visual front-end to
+/// synthesize per-feature stereo measurements from the scene geometry.
+/// Returns `None` for non-positive depths (behind or on the camera plane).
+#[must_use]
+pub fn disparity_for_depth(fx_px: f64, baseline_m: f64, depth_m: f64) -> Option<f64> {
+    if depth_m <= 0.0 {
+        return None;
+    }
+    Some(fx_px * baseline_m / depth_m)
+}
+
 /// Triangulates all features visible in both frames.
 ///
 /// Features are matched by landmark identity, modeling a descriptor matcher
@@ -401,6 +414,19 @@ mod tests {
     use super::*;
     use crate::image::render_scene;
     use sov_world::scenario::Scenario;
+
+    #[test]
+    fn disparity_for_depth_inverts_rig_triangulation() {
+        let rig = StereoRig::perceptin_default();
+        let fx = 1662.0; // hd1080 focal length used by the default rig
+        for depth in [1.0, 5.0, 12.0, 40.0] {
+            let d = disparity_for_depth(fx, rig.baseline_m(), depth).unwrap();
+            let back = rig.depth_from_disparity(d).unwrap();
+            assert!((back - depth).abs() < 1e-9, "{depth} -> {d} -> {back}");
+        }
+        assert!(disparity_for_depth(fx, rig.baseline_m(), 0.0).is_none());
+        assert!(disparity_for_depth(fx, rig.baseline_m(), -3.0).is_none());
+    }
 
     #[test]
     fn feature_depths_accurate_when_synced() {

@@ -163,6 +163,110 @@ pub fn fast_corners_with(
     corners
 }
 
+/// Fused score + NMS tile pass: [`fast_corners`] without the full-frame
+/// score plane.
+#[must_use]
+pub fn fast_corners_fused(image: &GrayImage, threshold: f32) -> Vec<Corner> {
+    fast_corners_fused_with(image, threshold, None)
+}
+
+/// [`fast_corners_fused`] with optional intra-frame parallelism.
+///
+/// The two-pass detector writes a `w × h` score plane to memory and then
+/// re-reads it (plus the two neighbor rows) for suppression — the
+/// write-then-re-read traffic pattern the paper's Fig. 4 analysis calls
+/// out. The fused pass works per tile of [`ROWS_PER_CHUNK`] rows: it
+/// scores the tile's rows *plus a one-row halo* above and below into a
+/// tile-local buffer that stays cache-resident, then suppresses inside the
+/// tile immediately — halving the per-frame score-plane traffic at the
+/// cost of re-scoring two halo rows per tile (a 25% compute overhead on
+/// the cheap, mostly-early-out [`fast_score`] test).
+///
+/// # Bit-identity at tile seams
+///
+/// `fast_score` is a pure function, so a halo row recomputed by a tile
+/// holds exactly the values its owning tile computed; rows outside the
+/// scored band (`y < 3`, `y ≥ h − 3`) and the unscored column `x = w − 3`
+/// stay zero in the tile buffer exactly as in the full plane. The
+/// suppression comparison, the row-major emission order, the
+/// ascending-tile merge, and the final stable sort are all identical to
+/// the two-pass detector, so the output is bit-identical for any worker
+/// count — proptested against [`fast_corners_with`] with corners placed on
+/// tile seams.
+#[must_use]
+pub fn fast_corners_fused_with(
+    image: &GrayImage,
+    threshold: f32,
+    pool: Option<&WorkerPool>,
+) -> Vec<Corner> {
+    let (w, h) = (image.width(), image.height());
+    if w < 7 || h < 7 {
+        return Vec::new();
+    }
+    let mut corners = map_reduce_chunks(
+        pool,
+        image.data(),
+        ROWS_PER_CHUNK * w,
+        |start, rows| {
+            let y0 = start / w;
+            let rows_n = rows.len() / w;
+            // Tile-local score plane: the tile's rows plus a one-row halo
+            // on each side. Image row `y` lives at tile row `y - y0 + 1`.
+            let mut tile = vec![0.0f32; (rows_n + 2) * w];
+            let score_lo = y0.saturating_sub(1).max(3);
+            let score_hi = (y0 + rows_n + 1).min(h - 3);
+            for y in score_lo..score_hi {
+                // `y + 1 - y0` (not `y - y0 + 1`): the top halo row has
+                // `y = y0 - 1`, which would underflow the usize subtract.
+                let trow = (y + 1 - y0) * w;
+                for x in 3..w - 3 {
+                    if let Some(score) = fast_score(image, x as isize, y as isize, threshold) {
+                        tile[trow + x] = score;
+                    }
+                }
+            }
+            let mut found = Vec::new();
+            for y in y0..y0 + rows_n {
+                if y < 3 || y >= h - 3 {
+                    continue;
+                }
+                let trow = ((y - y0 + 1) * w) as isize;
+                for x in 3..w - 3 {
+                    let s = tile[trow as usize + x];
+                    if s <= 0.0 {
+                        continue;
+                    }
+                    let mut is_max = true;
+                    'nms: for dy in -1isize..=1 {
+                        for dx in -1isize..=1 {
+                            if dx == 0 && dy == 0 {
+                                continue;
+                            }
+                            let idx = (trow + dy * w as isize + x as isize + dx) as usize;
+                            let neighbor = tile[idx];
+                            if neighbor > s || (neighbor == s && (dy < 0 || (dy == 0 && dx < 0))) {
+                                is_max = false;
+                                break 'nms;
+                            }
+                        }
+                    }
+                    if is_max {
+                        found.push(Corner { x, y, score: s });
+                    }
+                }
+            }
+            found
+        },
+        Vec::new(),
+        |mut acc: Vec<Corner>, mut part| {
+            acc.append(&mut part);
+            acc
+        },
+    );
+    corners.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    corners
+}
+
 /// FAST-9 test at one pixel; returns the corner score if it passes.
 fn fast_score(image: &GrayImage, x: isize, y: isize, threshold: f32) -> Option<f32> {
     let (w, h) = (image.width() as isize, image.height() as isize);
@@ -427,6 +531,36 @@ mod tests {
         arena.reset_stats();
         let _ = fast_corners_with(&img, 0.2, None, Some(&arena));
         assert_eq!(arena.stats().allocations, 0, "score plane must be reused");
+    }
+
+    #[test]
+    fn fused_detection_matches_two_pass_on_seam_straddling_corners() {
+        // Rectangle corners on rows 7/8 and 15/16 — both sides of the
+        // 8-row tile seams, so suppression reads across chunk boundaries.
+        for (y0, y1) in [(7, 16), (8, 15), (5, 24), (20, 40)] {
+            let img = rectangle_image(64, 64, 12, y0, 50, y1);
+            let reference = fast_corners(&img, 0.2);
+            assert!(!reference.is_empty(), "rows {y0}..{y1}");
+            assert_eq!(fast_corners_fused(&img, 0.2), reference, "rows {y0}..{y1}");
+        }
+    }
+
+    #[test]
+    fn fused_detection_is_bit_identical_for_any_lane_count() {
+        let img = rectangle_image(97, 65, 20, 18, 70, 50);
+        let reference = fast_corners_with(&img, 0.2, None, None);
+        assert_eq!(fast_corners_fused(&img, 0.2), reference);
+        for lanes in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            let fused = fast_corners_fused_with(&img, 0.2, Some(&pool));
+            assert_eq!(fused, reference, "lanes = {lanes}");
+        }
+    }
+
+    #[test]
+    fn fused_detection_handles_tiny_and_flat_images() {
+        assert!(fast_corners_fused(&GrayImage::new(5, 5), 0.1).is_empty());
+        assert!(fast_corners_fused(&GrayImage::new(64, 64), 0.1).is_empty());
     }
 
     #[test]

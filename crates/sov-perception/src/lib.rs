@@ -50,6 +50,7 @@
 pub mod depth;
 pub mod detection;
 pub mod features;
+pub mod frontend;
 pub mod fusion;
 pub mod image;
 pub mod maploc;

@@ -20,6 +20,7 @@ use crate::signal::{Complex, Spectrum2d};
 use sov_sensors::camera::Intrinsics;
 use sov_sensors::radar::RadarScan;
 use sov_sim::time::SimTime;
+use sov_world::landmark::LandmarkId;
 use sov_world::obstacle::ObstacleClass;
 
 /// KCF configuration.
@@ -412,6 +413,57 @@ pub fn spatial_synchronize(
     pairs
 }
 
+/// The tracker-template table the visual front-end carries between frames:
+/// the last-seen pixel position of every landmark feature, the KLT-style
+/// association substrate at landmark granularity.
+///
+/// Entries are kept sorted by landmark id so association is a binary
+/// search, and [`FeatureTrackList::rebuild`] reuses the backing storage —
+/// steady-state frames allocate nothing once the table has grown to the
+/// scene's feature count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureTrackList {
+    entries: Vec<(LandmarkId, (f64, f64))>,
+}
+
+impl FeatureTrackList {
+    /// An empty template table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of templates held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The template pixel position for `id`, if one was seen last frame.
+    #[must_use]
+    pub fn find(&self, id: LandmarkId) -> Option<(f64, f64)> {
+        self.entries
+            .binary_search_by_key(&id, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Replaces the table with this frame's features. Ids within one frame
+    /// are unique (one observation per visible landmark), so the unstable
+    /// sort is deterministic.
+    pub fn rebuild(&mut self, features: impl IntoIterator<Item = (LandmarkId, (f64, f64))>) {
+        self.entries.clear();
+        self.entries.extend(features);
+        self.entries.sort_unstable_by_key(|e| e.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +471,25 @@ mod tests {
     use sov_math::SovRng;
     use sov_sensors::radar::RadarTarget;
     use sov_world::obstacle::ObstacleId;
+
+    #[test]
+    fn feature_track_list_associates_by_landmark_id() {
+        let mut list = FeatureTrackList::new();
+        assert!(list.is_empty());
+        // Deliberately unsorted input: rebuild must sort for the search.
+        list.rebuild([
+            (LandmarkId(9), (90.0, 9.0)),
+            (LandmarkId(2), (20.0, 2.0)),
+            (LandmarkId(5), (50.0, 5.0)),
+        ]);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.find(LandmarkId(5)), Some((50.0, 5.0)));
+        assert_eq!(list.find(LandmarkId(3)), None);
+        // Rebuild replaces, never accumulates.
+        list.rebuild([(LandmarkId(1), (1.0, 1.0))]);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.find(LandmarkId(9)), None);
+    }
 
     #[test]
     fn kcf_tracks_moving_blob() {

@@ -30,7 +30,77 @@ pub mod pipeline;
 pub mod pool;
 pub mod queue;
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Busy-time telemetry for the three coarse pipeline lanes (sensing,
+/// perception, planning) of a piped drive.
+///
+/// Each lane accumulates the wall-clock time it spent actually computing
+/// (not blocked on its rings); the sequencer records the drive's total
+/// wall time. `busy / wall` is the lane's occupancy — the quantity Fig. 5
+/// argues should approach 1 for the bottleneck stage at depth ≥ 3.
+///
+/// Purely observational: written with relaxed atomics from the lanes,
+/// read after the drive, and **never** fed back into any computed value —
+/// so it cannot perturb the bit-identity invariant.
+#[derive(Debug, Default)]
+pub struct LaneOccupancy {
+    busy_ns: [AtomicU64; 3],
+    wall_ns: AtomicU64,
+}
+
+impl LaneOccupancy {
+    /// Index of the sensing lane (visual front-end).
+    pub const SENSING: usize = 0;
+    /// Index of the perception lane (detector).
+    pub const PERCEPTION: usize = 1;
+    /// Index of the planning lane (MPC).
+    pub const PLANNING: usize = 2;
+
+    /// Clears all counters (call before a measured drive).
+    pub fn reset(&self) {
+        for b in &self.busy_ns {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.wall_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Adds `busy` compute time to `lane` (one of the index constants).
+    pub fn record(&self, lane: usize, busy: Duration) {
+        self.busy_ns[lane].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records the drive's total wall-clock time.
+    pub fn set_wall(&self, wall: Duration) {
+        self.wall_ns
+            .store(wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Accumulated busy time of `lane`.
+    #[must_use]
+    pub fn busy(&self, lane: usize) -> Duration {
+        Duration::from_nanos(self.busy_ns[lane].load(Ordering::Relaxed))
+    }
+
+    /// The recorded wall time.
+    #[must_use]
+    pub fn wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed))
+    }
+
+    /// Occupancy of `lane`: busy over wall, `0.0` before any wall time is
+    /// recorded.
+    #[must_use]
+    pub fn fraction(&self, lane: usize) -> f64 {
+        let wall = self.wall_ns.load(Ordering::Relaxed);
+        if wall == 0 {
+            return 0.0;
+        }
+        self.busy_ns[lane].load(Ordering::Relaxed) as f64 / wall as f64
+    }
+}
 
 /// The performance context threaded through the hot path: an optional
 /// worker pool (serial when absent), the frame arena, and the inter-frame
@@ -52,6 +122,9 @@ pub struct PerfContext {
     /// three lanes to take effect (it silently — and bit-identically —
     /// falls back to serial otherwise).
     pub pipeline_depth: usize,
+    /// Per-lane busy/idle telemetry of the most recent piped drive
+    /// (zeroed and refilled by each piped `Sov::drive_with_plan`).
+    pub occupancy: Arc<LaneOccupancy>,
 }
 
 impl PerfContext {
@@ -67,29 +140,32 @@ impl PerfContext {
     pub fn with_workers(workers: usize) -> Self {
         Self {
             pool: Some(Arc::new(pool::WorkerPool::new(workers))),
-            arena: arena::FrameArena::new(),
             pipeline_depth: 1,
+            ..Self::default()
         }
     }
 
     /// A context that pipelines up to `depth` in-flight frames across the
-    /// three coarse stages, backed by a three-lane pool (one lane per
-    /// stage). `with_pipeline(1)` is exactly the serial schedule.
+    /// three coarse stages, backed by a **four**-lane pool: one worker
+    /// lane each for the visual front-end (sensing), the detector
+    /// (perception), and the MPC planner, with the sequencer on the
+    /// calling thread. `with_pipeline(1)` is exactly the serial schedule.
     #[must_use]
     pub fn with_pipeline(depth: usize) -> Self {
-        Self::with_pipeline_workers(depth, 3)
+        Self::with_pipeline_workers(depth, 4)
     }
 
     /// [`PerfContext::with_pipeline`] with an explicit pool size, for
-    /// ablations over depth × workers. Fewer than three lanes cannot host
-    /// the three stages, so such contexts run the serial schedule (still
-    /// bit-identical by construction).
+    /// ablations over depth × workers. Three lanes host the detector and
+    /// planner but keep the visual front-end on the sequencer; fewer than
+    /// three cannot host the stages at all, so such contexts run the
+    /// serial schedule (every variant bit-identical by construction).
     #[must_use]
     pub fn with_pipeline_workers(depth: usize, workers: usize) -> Self {
         Self {
             pool: Some(Arc::new(pool::WorkerPool::new(workers))),
-            arena: arena::FrameArena::new(),
             pipeline_depth: depth,
+            ..Self::default()
         }
     }
 
@@ -124,13 +200,29 @@ mod tests {
     }
 
     #[test]
-    fn pipeline_context_has_three_lanes_and_the_depth() {
+    fn pipeline_context_has_four_lanes_and_the_depth() {
         let ctx = PerfContext::with_pipeline(3);
-        assert_eq!(ctx.pool().unwrap().lanes(), 3);
+        assert_eq!(ctx.pool().unwrap().lanes(), 4, "front-end lane included");
         assert_eq!(ctx.pipeline_depth(), 3);
         let ablate = PerfContext::with_pipeline_workers(4, 8);
         assert_eq!(ablate.pool().unwrap().lanes(), 8);
         assert_eq!(ablate.pipeline_depth(), 4);
         assert_eq!(PerfContext::serial().pipeline_depth(), 1, "0 → serial");
+    }
+
+    #[test]
+    fn occupancy_accumulates_and_resets() {
+        let occ = LaneOccupancy::default();
+        occ.record(LaneOccupancy::SENSING, Duration::from_millis(30));
+        occ.record(LaneOccupancy::SENSING, Duration::from_millis(20));
+        occ.record(LaneOccupancy::PLANNING, Duration::from_millis(10));
+        assert_eq!(occ.fraction(LaneOccupancy::SENSING), 0.0, "no wall yet");
+        occ.set_wall(Duration::from_millis(100));
+        assert!((occ.fraction(LaneOccupancy::SENSING) - 0.5).abs() < 1e-12);
+        assert!((occ.fraction(LaneOccupancy::PLANNING) - 0.1).abs() < 1e-12);
+        assert_eq!(occ.fraction(LaneOccupancy::PERCEPTION), 0.0);
+        occ.reset();
+        assert_eq!(occ.busy(LaneOccupancy::SENSING), Duration::ZERO);
+        assert_eq!(occ.wall(), Duration::ZERO);
     }
 }

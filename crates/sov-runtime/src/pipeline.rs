@@ -53,7 +53,7 @@
 use crate::arena::FrameArena;
 use crate::pool::WorkerPool;
 use crate::queue::ring;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Per-frame scratch handed to a pipeline stage.
@@ -95,6 +95,12 @@ pub struct PipelineRun {
     /// trades this *up* for throughput — report p99, not just p50 (COLA's
     /// tail-latency caveat).
     pub latencies: Vec<Duration>,
+    /// Accumulated compute time per stage (sense, perceive, plan+commit).
+    /// Busy time only — ring waits are excluded — so `stage_busy[i] / wall`
+    /// is stage `i`'s occupancy: the fraction of the run it actually
+    /// worked. The bottleneck stage's occupancy should approach 1 once the
+    /// pipeline is full (Fig. 5's throughput argument).
+    pub stage_busy: [Duration; 3],
 }
 
 impl PipelineRun {
@@ -106,6 +112,17 @@ impl PipelineRun {
             return 0.0;
         }
         self.frames as f64 / secs
+    }
+
+    /// Occupancy of `stage` (0 = sense, 1 = perceive, 2 = plan+commit):
+    /// its busy time over the run's wall time, `0.0` for an empty run.
+    #[must_use]
+    pub fn occupancy(&self, stage: usize) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        self.stage_busy[stage].as_secs_f64() / wall
     }
 
     /// The `p`-th percentile (0.0–1.0, nearest-rank) of per-frame latency.
@@ -188,6 +205,10 @@ impl FramePipeline {
         let mut pipelined_frames: u64 = 0;
         let mut drained = false;
         let mut prev: Option<O> = None;
+        // Per-stage busy accumulators. The lane closures are moved to
+        // worker threads, so they deposit their totals through atomics;
+        // telemetry only — never read back into any stage input.
+        let busy_ns = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
 
         if pipelined {
             let pool = pool.expect("pipelined implies a pool");
@@ -203,6 +224,7 @@ impl FramePipeline {
             let sense = &mut sense;
             let perceive = &mut perceive;
             let stop_ref = &stop;
+            let busy_ref = &busy_ns;
 
             let (c, d, p_out) = pool.run_lanes(
                 vec![
@@ -233,6 +255,8 @@ impl FramePipeline {
                                     recycled,
                                 },
                             );
+                            busy_ref[0]
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             if s_tx.send((k, s, t0)).is_err() {
                                 break;
                             }
@@ -251,6 +275,7 @@ impl FramePipeline {
                             } else {
                                 p_ret_rx.try_recv()
                             };
+                            let t1 = Instant::now();
                             let p = perceive(
                                 k,
                                 &s,
@@ -259,6 +284,8 @@ impl FramePipeline {
                                     recycled,
                                 },
                             );
+                            busy_ref[1]
+                                .fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             let _ = s_ret_tx.send(s);
                             if p_tx.send((k, p, t0)).is_err() {
                                 break;
@@ -275,10 +302,12 @@ impl FramePipeline {
                     let mut drained = false;
                     let mut prev: Option<O> = None;
                     while let Some((k, p, t0)) = p_rx.recv() {
+                        let t2 = Instant::now();
                         let o = plan(k, &p, prev.as_ref());
                         let _ = p_ret_tx.send(p);
                         latencies.push(t0.elapsed());
                         let verdict = commit(k, &o);
+                        busy_ref[2].fetch_add(t2.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         prev = Some(o);
                         committed += 1;
                         if verdict == FrameControl::Drain && !drained {
@@ -310,6 +339,8 @@ impl FramePipeline {
                     recycled: s_prev.take(),
                 },
             );
+            let t1 = Instant::now();
+            busy_ns[0].fetch_add((t1 - t0).as_nanos() as u64, Ordering::Relaxed);
             let p = perceive(
                 k,
                 &s,
@@ -318,6 +349,8 @@ impl FramePipeline {
                     recycled: p_prev.take(),
                 },
             );
+            let t2 = Instant::now();
+            busy_ns[1].fetch_add((t2 - t1).as_nanos() as u64, Ordering::Relaxed);
             s_prev = Some(s);
             let o = plan(k, &p, prev.as_ref());
             p_prev = Some(p);
@@ -325,6 +358,7 @@ impl FramePipeline {
             if commit(k, &o) == FrameControl::Drain {
                 drained = true;
             }
+            busy_ns[2].fetch_add(t2.elapsed().as_nanos() as u64, Ordering::Relaxed);
             prev = Some(o);
         }
 
@@ -336,6 +370,7 @@ impl FramePipeline {
             drained,
             wall: started.elapsed(),
             latencies,
+            stage_busy: busy_ns.map(|ns| Duration::from_nanos(ns.load(Ordering::Relaxed))),
         }
     }
 }
@@ -515,6 +550,26 @@ mod tests {
             misses, 1,
             "only the first frame allocates on the serial path"
         );
+    }
+
+    #[test]
+    fn stage_busy_accumulates_on_both_paths() {
+        let pool = WorkerPool::new(3);
+        for pool_opt in [None, Some(&pool)] {
+            let (_, run) = checksums(pool_opt, 3, 40);
+            for stage in 0..3 {
+                assert!(
+                    run.stage_busy[stage] > Duration::ZERO,
+                    "stage {stage} busy time recorded (pooled: {})",
+                    pool_opt.is_some()
+                );
+                assert!(run.occupancy(stage) > 0.0);
+                assert!(
+                    run.stage_busy[stage] <= run.wall.max(Duration::from_nanos(1)) * 2,
+                    "busy cannot wildly exceed wall for a single lane"
+                );
+            }
+        }
     }
 
     #[test]

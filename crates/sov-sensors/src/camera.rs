@@ -62,8 +62,10 @@ pub struct FeatureObservation {
     pub landmark: LandmarkId,
     /// Pixel coordinates `(u, v)`.
     pub pixel: (f64, f64),
-    /// Ground-truth depth along the optical axis (m). Available to
-    /// evaluation code only; perception must not use it.
+    /// Ground-truth depth along the optical axis (m). Input to the stereo
+    /// *measurement model* (the disparity a rig would observe) and to
+    /// evaluation code; planners and estimators must never consume it as a
+    /// free depth oracle.
     pub true_depth: f64,
 }
 

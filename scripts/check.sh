@@ -19,11 +19,15 @@ cargo build --offline --workspace --release
 echo "== tier-1: test =="
 cargo test --offline --workspace -q
 
+echo "== fused score+NMS bit-identity proptest (tile-seam corners) =="
+cargo test --offline -q -p sov-perception --test proptests fused_nms
+
 echo "== bench bins build + perf_matrix smoke =="
 cargo build --offline --release -p sov-bench --bins
 ./target/release/perf_matrix --smoke
 
-echo "== pipeline_matrix smoke (exits non-zero on checksum mismatch) =="
+echo "== pipeline_matrix smoke (front-end-lane cells; exits non-zero on =="
+echo "== checksum mismatch or an idle lane in the d3 w4 drive cell)     =="
 ./target/release/pipeline_matrix --smoke
 
 echo "All checks passed."
