@@ -40,6 +40,14 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Computing-latency tail columns (p50/p99/p99.9/max, ms). The deep
+/// tail is where COLA locates the Level-4 safety breakers; a fault that
+/// barely moves the mean can still stretch p99.9 by hundreds of ms.
+fn tail(rep: &DriveReport) -> (f64, f64, f64, f64) {
+    let mut c = rep.computing.clone();
+    (c.median(), c.p99(), c.p999(), c.max())
+}
+
 fn run_json(r: &Run, nominal_distance: f64) -> String {
     let rep = &r.report;
     let recovery = if !rep.recovery_ms.is_empty() {
@@ -47,6 +55,7 @@ fn run_json(r: &Run, nominal_distance: f64) -> String {
     } else {
         "null".to_string()
     };
+    let (p50, p99, p999, max) = tail(rep);
     format!(
         concat!(
             "    {{\"scenario\": \"{}\", \"fault\": \"{}\", \"outcome\": \"{:?}\", ",
@@ -54,7 +63,9 @@ fn run_json(r: &Run, nominal_distance: f64) -> String {
             "\"min_gap_m\": {:.3}, \"mode_ticks\": [{}, {}, {}, {}], ",
             "\"mode_transitions\": {}, \"recovery_ms_mean\": {}, ",
             "\"deadline_misses\": {}, \"can_frames_lost\": {}, ",
-            "\"override_engagements\": {}}}"
+            "\"override_engagements\": {}, ",
+            "\"computing_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, ",
+            "\"p999\": {:.3}, \"max\": {:.3}}}}}"
         ),
         json_escape(r.scenario),
         json_escape(&r.fault),
@@ -75,6 +86,10 @@ fn run_json(r: &Run, nominal_distance: f64) -> String {
         rep.deadline_misses,
         rep.can_frames_lost,
         rep.override_engagements,
+        p50,
+        p99,
+        p999,
+        max,
     )
 }
 
@@ -106,7 +121,7 @@ fn main() {
     for (name, scenario) in &scenarios {
         sov_bench::section(name);
         println!(
-            "{:<16} | {:>9} | {:>8} | {:>7} | {:>5} {:>5} {:>5} {:>5} | {:>9} | {:>6}",
+            "{:<16} | {:>9} | {:>8} | {:>7} | {:>5} {:>5} {:>5} {:>5} | {:>9} | {:>7} {:>7} | {:>6}",
             "fault",
             "outcome",
             "dist (m)",
@@ -116,11 +131,13 @@ fn main() {
             "react",
             "stop",
             "recov(ms)",
+            "p99.9ms",
+            "max ms",
             "misc"
         );
         println!(
-            "{:-<16}-+-{:->9}-+-{:->8}-+-{:->7}-+-{:-<23}-+-{:->9}-+-{:->6}",
-            "", "", "", "", "", "", ""
+            "{:-<16}-+-{:->9}-+-{:->8}-+-{:->7}-+-{:-<23}-+-{:->9}-+-{:-<15}-+-{:->6}",
+            "", "", "", "", "", "", "", ""
         );
         let baseline = drive(scenario, seed, &FaultPlan::nominal());
         let base_dist = baseline.distance_m;
@@ -131,8 +148,9 @@ fn main() {
             } else {
                 "—".to_string()
             };
+            let (_, _, p999, max) = tail(rep);
             println!(
-                "{:<16} | {:>9} | {:>8.0} | {:>6.0}% | {:>5} {:>5} {:>5} {:>5} | {:>9} | {:>6}",
+                "{:<16} | {:>9} | {:>8.0} | {:>6.0}% | {:>5} {:>5} {:>5} {:>5} | {:>9} | {:>7.0} {:>7.0} | {:>6}",
                 fault,
                 format!("{:?}", rep.outcome),
                 rep.distance_m,
@@ -142,6 +160,8 @@ fn main() {
                 rep.mode_ticks[2],
                 rep.mode_ticks[3],
                 recovery,
+                p999,
+                max,
                 misc,
             );
         };

@@ -120,6 +120,18 @@ pub struct HealthConfig {
     /// Consecutive healthy control ticks required before re-entering a
     /// more capable mode.
     pub recovery_hold_ticks: u32,
+    /// EWMA smoothing factor, per camera-frame slot, for the delivered
+    /// frame-sequence drop rate.
+    pub camera_drop_alpha: f64,
+    /// Drop rate above which the proactive path is declared unreliable
+    /// even though frames still trickle in. Intermittent loss starves
+    /// detection without ever tripping the stall watchdog; past this
+    /// rate the camera no longer counts as healthy.
+    pub max_camera_drop_rate: f64,
+    /// Sequence gaps at least this many frames long are stalls — the
+    /// watchdog's job — and reset the drop tracker instead of poisoning
+    /// it (a recovered stall must not masquerade as a high drop rate).
+    pub camera_drop_reset_gap: u64,
 }
 
 impl Default for HealthConfig {
@@ -132,6 +144,9 @@ impl Default for HealthConfig {
             compute_deadline: SimDuration::from_millis(300),
             max_consecutive_overruns: 3,
             recovery_hold_ticks: 8,
+            camera_drop_alpha: 0.15,
+            max_camera_drop_rate: 0.35,
+            camera_drop_reset_gap: 12,
         }
     }
 }
@@ -172,6 +187,11 @@ pub struct HealthMonitor {
     sonar: Watchdog,
     consecutive_overruns: u32,
     deadline_misses: u64,
+    /// Last camera frame-sequence number delivered, if any.
+    camera_last_seq: Option<u64>,
+    /// EWMA of the per-slot camera loss indicator (1 = every frame
+    /// missing, 0 = every frame delivered).
+    camera_drop_rate: f64,
     mode: DegradationMode,
     healthy_streak: u32,
     /// When the vehicle last left `Nominal` (recovery stopwatch).
@@ -191,6 +211,8 @@ impl HealthMonitor {
             config,
             consecutive_overruns: 0,
             deadline_misses: 0,
+            camera_last_seq: None,
+            camera_drop_rate: 0.0,
             mode: DegradationMode::Nominal,
             healthy_streak: 0,
             degraded_since: None,
@@ -198,9 +220,45 @@ impl HealthMonitor {
         }
     }
 
-    /// Records a camera frame delivery.
+    /// Records a camera frame delivery without sequence accounting
+    /// (feeds only the stall watchdog).
     pub fn camera_seen(&mut self, t: SimTime) {
         self.camera.feed(t);
+    }
+
+    /// Records a camera frame delivery carrying its driver-visible
+    /// frame-sequence number.
+    ///
+    /// A gap in delivered sequence numbers is the one observable trace
+    /// an intermittently dropping camera leaves: the feed never goes
+    /// silent long enough for the stall watchdog, yet detection runs on
+    /// a fraction of the frames. The monitor keeps an EWMA of the
+    /// per-slot loss indicator and declares the camera unhealthy past
+    /// [`HealthConfig::max_camera_drop_rate`]. Stall-sized gaps (at
+    /// least [`HealthConfig::camera_drop_reset_gap`] frames) reset the
+    /// tracker — a recovered stall is the watchdog's finding, not a
+    /// drop-rate one.
+    pub fn camera_delivery(&mut self, t: SimTime, seq: u64) {
+        self.camera.feed(t);
+        if let Some(prev) = self.camera_last_seq {
+            let gap = seq.saturating_sub(prev.saturating_add(1));
+            if gap >= self.config.camera_drop_reset_gap {
+                self.camera_drop_rate = 0.0;
+            } else {
+                let a = self.config.camera_drop_alpha;
+                for _ in 0..gap {
+                    self.camera_drop_rate = a + (1.0 - a) * self.camera_drop_rate;
+                }
+                self.camera_drop_rate *= 1.0 - a;
+            }
+        }
+        self.camera_last_seq = Some(seq);
+    }
+
+    /// Current camera drop-rate estimate (EWMA over frame slots).
+    #[must_use]
+    pub fn camera_drop_rate(&self) -> f64 {
+        self.camera_drop_rate
     }
 
     /// Records a usable GNSS fix delivery.
@@ -257,7 +315,8 @@ impl HealthMonitor {
     #[must_use]
     pub fn inputs(&self, now: SimTime) -> HealthInputs {
         HealthInputs {
-            camera_ok: !self.camera.stale(now),
+            camera_ok: !self.camera.stale(now)
+                && self.camera_drop_rate <= self.config.max_camera_drop_rate,
             gps_ok: !self.gps.stale(now),
             radar_ok: !self.radar.stale(now),
             sonar_ok: !self.sonar.stale(now),
@@ -567,5 +626,62 @@ mod tests {
         assert_eq!(mode, DegradationMode::Nominal);
         assert_eq!(rec, Some(SimDuration::from_millis(300)));
         assert_eq!(m.transitions().len(), 4);
+    }
+
+    /// Delivers camera frames 30 ms apart, skipping sequence numbers
+    /// where `dropped` says so, and returns the monitor.
+    fn deliver_pattern(m: &mut HealthMonitor, dropped: impl Fn(u64) -> bool, frames: u64) {
+        for seq in 0..frames {
+            let t = ms(seq * 30);
+            m.radar_seen(t);
+            m.sonar_seen(t);
+            m.gps_seen(t);
+            if !dropped(seq) {
+                m.camera_delivery(t, seq);
+            }
+        }
+    }
+
+    #[test]
+    fn intermittent_camera_drops_trip_without_a_stall() {
+        let mut m = HealthMonitor::new(HealthConfig::default(), ms(0));
+        // Every other frame lost: the watchdog never sees more than
+        // 60 ms of silence (timeout is 350 ms), but detection runs at
+        // half rate — the drop tracker must declare the camera unusable.
+        deliver_pattern(&mut m, |seq| seq % 2 == 1, 60);
+        let t = ms(60 * 30);
+        assert!(!m.camera_stale(t), "no stall: the watchdog stays happy");
+        assert!(m.camera_drop_rate() > 0.35, "rate {}", m.camera_drop_rate());
+        assert!(!m.inputs(t).camera_ok);
+        assert_eq!(m.assess(t).0, DegradationMode::ReactiveOnly);
+    }
+
+    #[test]
+    fn clean_delivery_keeps_the_drop_rate_at_zero() {
+        let mut m = HealthMonitor::new(HealthConfig::default(), ms(0));
+        deliver_pattern(&mut m, |_| false, 60);
+        assert_eq!(m.camera_drop_rate(), 0.0);
+        assert!(m.inputs(ms(60 * 30)).camera_ok);
+    }
+
+    #[test]
+    fn drop_rate_decays_after_the_fault_clears() {
+        let mut m = HealthMonitor::new(HealthConfig::default(), ms(0));
+        deliver_pattern(&mut m, |seq| seq < 60 && seq % 2 == 1, 120);
+        // Sixty clean frames later the estimate has decayed to nothing.
+        assert!(m.camera_drop_rate() < 0.01, "rate {}", m.camera_drop_rate());
+        assert!(m.inputs(ms(120 * 30)).camera_ok);
+    }
+
+    #[test]
+    fn stall_sized_gaps_reset_the_tracker_instead_of_tripping_it() {
+        let mut m = HealthMonitor::new(HealthConfig::default(), ms(0));
+        m.camera_delivery(ms(0), 0);
+        // A 150-frame stall (5 s): the watchdog's finding, not the drop
+        // tracker's. The first frame after recovery must not carry a
+        // poisoned drop estimate into the recovered mode.
+        m.camera_delivery(ms(151 * 30), 151);
+        assert_eq!(m.camera_drop_rate(), 0.0);
+        assert!(m.inputs(ms(151 * 30)).camera_ok);
     }
 }

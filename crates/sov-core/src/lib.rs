@@ -17,6 +17,10 @@
 //! * [`health`] — stale-data watchdogs and the degradation state machine
 //!   (`Nominal → DegradedLocalization → ReactiveOnly → SafeStop`) that
 //!   keeps the vehicle safe when sensors or compute fail.
+//! * [`safety`] — ground-truth safety invariants (no-collision, min-gap,
+//!   SafeStop-reachability) checked on every control tick and reported
+//!   in [`sov::DriveReport::safety`]; the executable form of the paper's
+//!   safety contract, used by the scenario-fuzzing harness.
 //! * [`pipeline`] — the frame-latency model: sensing (camera pipeline
 //!   transit) → perception (localization ∥ scene understanding, with
 //!   detection→tracking serialized) → planning, using the platform
@@ -52,10 +56,12 @@ pub mod executor;
 pub mod health;
 pub mod pipeline;
 pub mod pool;
+pub mod safety;
 pub mod sov;
 
 pub use arena::FrameArena;
 pub use config::VehicleConfig;
 pub use health::{DegradationMode, HealthConfig, HealthMonitor};
 pub use pool::{PerfContext, WorkerPool};
+pub use safety::{SafetyChecker, SafetyConfig, SafetyReport};
 pub use sov::{DriveOutcome, DriveReport, Sov};

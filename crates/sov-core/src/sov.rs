@@ -27,13 +27,14 @@ use crate::config::VehicleConfig;
 use crate::health::{DegradationMode, HealthConfig, HealthMonitor};
 use crate::pipeline::LatencyPipeline;
 use crate::pool::PerfContext;
+use crate::safety::{SafetyChecker, SafetyConfig, SafetyReport};
 use crate::FrameArena;
 use sov_fault::{FaultKind, FaultPlan};
 use sov_math::stats::Summary;
 use sov_math::{angle, SovRng};
 use sov_perception::detection::{Detection, Detector, DetectorProfile};
 use sov_perception::frontend::{EgoMotionRequest, FrontEnd, FrontEndOutput};
-use sov_perception::fusion::{FusionConfig, GpsVioFusion};
+use sov_perception::fusion::{FixOutcome, FusionConfig, GpsVioFusion};
 use sov_perception::vio::{VioConfig, VioFilter};
 use sov_planning::mpc::MpcPlanner;
 use sov_planning::{Planner, PlanningInput, PlanningObstacle};
@@ -123,6 +124,10 @@ pub struct DriveReport {
     pub deadline_misses: u64,
     /// Planner→ECU command frames lost to CAN fault injection.
     pub can_frames_lost: u64,
+    /// Per-tick safety-invariant outcome (no-collision, min-gap,
+    /// SafeStop-reachability against ground truth; see
+    /// [`crate::safety`]).
+    pub safety: SafetyReport,
 }
 
 impl DriveReport {
@@ -911,8 +916,15 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
         recovery_ms: Summary::new(),
         deadline_misses: 0,
         can_frames_lost: 0,
+        safety: SafetyReport::default(),
     };
     let mut health = HealthMonitor::new(HealthConfig::default(), SimTime::ZERO);
+    // Ground-truth invariant checker: shared-path code, so serial and
+    // pipelined drives produce bit-identical safety reports.
+    let mut safety = SafetyChecker::new(SafetyConfig {
+        max_decel_mps2: config.vehicle.max_decel_mps2,
+        ..SafetyConfig::default()
+    });
     let mut cross_track_sum = 0.0f64;
     let mut station = 0.0f64;
     let cruise = scenario.cruise_speed_mps.min(config.vehicle.max_speed_mps);
@@ -1073,7 +1085,10 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
                 );
                 last_camera_pose = state.pose;
                 last_camera_t = t;
-                health.camera_seen(t);
+                // Delivery carries the frame-sequence number so the
+                // monitor can see intermittent drops (sequence gaps)
+                // that never starve the stall watchdog.
+                health.camera_delivery(t, k);
                 queue.schedule(t + camera_period, Ev::Camera(k + 1));
             }
             Ev::Gps(k) if faults.is_active(FaultKind::GpsOutage, t) => {
@@ -1098,8 +1113,12 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
                     GnssQuality::Strong
                 };
                 let fix = gps.fix(t, &state.pose, quality);
-                let _ = fusion.ingest_fix(&mut vio, &fix);
-                if quality != GnssQuality::NoFix {
+                // Only a fix that actually corrected the filter counts
+                // as GNSS health: a gated-out (multipath) fix leaves
+                // localization running on dead-reckoned VIO, and the
+                // watchdog starving on rejections is what demotes the
+                // vehicle to DegradedLocalization speed.
+                if fusion.ingest_fix(&mut vio, &fix) == FixOutcome::Fused {
                     health.gps_seen(t);
                 }
                 queue.schedule(t + gps_period, Ev::Gps(k + 1));
@@ -1250,6 +1269,7 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
                     config.battery.base_load_kw + config.power.total_pad_kw(),
                     control_period,
                 );
+                safety.check_tick(world, &state.pose, state.speed_mps, mode, t, frame);
                 if let Some((_, gap)) =
                     world.nearest_frontal_obstacle(&state.pose, t, std::f64::consts::PI)
                 {
@@ -1288,6 +1308,7 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
     report.deadline_misses = health.deadline_misses();
     report.mean_cross_track_error_m = cross_track_sum / report.frames.max(1) as f64;
     report.final_localization_error_m = fusion.position(&vio).distance(&state.pose);
+    report.safety = safety.finish();
     if report.outcome != DriveOutcome::Collision && state.speed_mps < 0.1 {
         report.outcome = DriveOutcome::Stopped;
     }

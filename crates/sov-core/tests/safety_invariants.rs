@@ -1,0 +1,75 @@
+//! Safety-invariant acceptance on the shipped sites and the generator.
+//!
+//! Every nominal drive — the five curated deployment sites plus
+//! generated scenarios of every class — must uphold the per-tick
+//! `SafetyChecker` invariants end to end: no collision, no
+//! under-threshold pass at speed, and a reachable SafeStop at every
+//! frame. The scenario-matrix harness fuzzes the same property across
+//! the full fault matrix; this file pins the nominal baseline so a
+//! regression is caught by `cargo test` before any bench runs.
+
+use sov_core::config::VehicleConfig;
+use sov_core::sov::{DriveOutcome, Sov};
+use sov_testkit::prelude::*;
+use sov_world::generate::{ScenarioClass, ScenarioGen};
+use sov_world::scenario::Scenario;
+
+const FRAMES: u64 = 300;
+
+fn nominal_report(scenario: &Scenario) -> sov_core::sov::DriveReport {
+    let mut sov = Sov::new(VehicleConfig::perceptin_pod(), scenario.seed);
+    sov.drive(scenario, FRAMES).expect("FRAMES > 0")
+}
+
+#[test]
+fn all_sites_uphold_the_safety_invariants_nominally() {
+    for scenario in Scenario::all_sites(42) {
+        let report = nominal_report(&scenario);
+        assert_ne!(
+            report.outcome,
+            DriveOutcome::Collision,
+            "{} collided",
+            scenario.name
+        );
+        assert!(
+            report.safety.ok(),
+            "{}: {} violation(s), first {:?}",
+            scenario.name,
+            report.safety.violations,
+            report.safety.first
+        );
+        assert!(report.safety.checked_ticks > 0, "checker never ran");
+    }
+}
+
+proptest! {
+    // Each case is a full 300-frame drive; keep the count small enough
+    // for the debug-build test budget while still sweeping every class.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn generated_scenarios_uphold_the_safety_invariants_nominally(
+        class_idx in 0usize..6,
+        base in 0u64..1_000,
+        i in 0u64..8,
+    ) {
+        let class = ScenarioClass::ALL[class_idx];
+        let seed = ScenarioGen::seed_for_class(class, base, i);
+        let generated = ScenarioGen::generate(seed);
+        let report = nominal_report(&generated.scenario);
+        prop_assert!(
+            report.outcome != DriveOutcome::Collision,
+            "{} (seed {}) collided",
+            class.name(),
+            seed
+        );
+        prop_assert!(
+            report.safety.ok(),
+            "{} (seed {}): {} violation(s), first {:?}",
+            class.name(),
+            seed,
+            report.safety.violations,
+            report.safety.first
+        );
+    }
+}

@@ -176,6 +176,13 @@ impl FaultPlan {
     }
 
     /// Adds a window with an explicit intensity (builder style).
+    ///
+    /// Overlapping windows of the same kind are detected and **merged**
+    /// into disjoint spans carrying the pointwise-maximum intensity —
+    /// the effective severity [`Self::active`] already reported — so a
+    /// generated plan can never double-apply a fault, and the stored
+    /// schedule is canonical: building the same windows in any insertion
+    /// order yields an identical (`==`) plan.
     #[must_use]
     pub fn with_intensity(
         mut self,
@@ -192,10 +199,56 @@ impl FaultPlan {
             end,
             intensity,
         });
+        self.normalize(kind);
         self
     }
 
-    /// The scheduled windows.
+    /// Merges same-kind windows into disjoint spans with pointwise-max
+    /// intensity (splitting at every boundary, then coalescing adjacent
+    /// spans of equal intensity) and restores the canonical
+    /// `(kind, start)` order.
+    fn normalize(&mut self, kind: FaultKind) {
+        let same: Vec<FaultWindow> = self
+            .windows
+            .iter()
+            .filter(|w| w.kind == kind)
+            .copied()
+            .collect();
+        if same.len() > 1 {
+            let mut cuts: Vec<SimTime> = same.iter().flat_map(|w| [w.start, w.end]).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let mut merged: Vec<FaultWindow> = Vec::new();
+            for pair in cuts.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                // Boundaries cut at every start/end, so each elementary
+                // span is covered all-or-nothing by each window.
+                let Some(intensity) = same
+                    .iter()
+                    .filter(|w| w.start <= a && w.end >= b)
+                    .map(|w| w.intensity)
+                    .max_by(f64::total_cmp)
+                else {
+                    continue; // a gap between windows of this kind
+                };
+                match merged.last_mut() {
+                    Some(last) if last.end == a && last.intensity == intensity => last.end = b,
+                    _ => merged.push(FaultWindow {
+                        kind,
+                        start: a,
+                        end: b,
+                        intensity,
+                    }),
+                }
+            }
+            self.windows.retain(|w| w.kind != kind);
+            self.windows.extend(merged);
+        }
+        self.windows.sort_by_key(|x| (x.kind.code(), x.start));
+    }
+
+    /// The scheduled windows: disjoint per kind (overlaps are merged at
+    /// insertion), sorted by `(kind, start)`.
     #[must_use]
     pub fn windows(&self) -> &[FaultWindow] {
         &self.windows
@@ -207,8 +260,10 @@ impl FaultPlan {
         self.windows.is_empty()
     }
 
-    /// The active window for `kind` at `t`, if any. With overlapping
-    /// windows of the same kind, the most intense wins.
+    /// The active window for `kind` at `t`, if any. Windows are stored
+    /// disjoint per kind (overlaps merge to their pointwise-max
+    /// intensity at insertion), so at most one window covers `t`; the
+    /// `max_by` keeps the "most intense wins" contract self-evident.
     #[must_use]
     pub fn active(&self, kind: FaultKind, t: SimTime) -> Option<&FaultWindow> {
         self.windows

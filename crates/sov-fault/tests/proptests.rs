@@ -1,0 +1,108 @@
+//! Property-based tests for fault-window overlap determinism.
+//!
+//! `FaultPlan::with_intensity` merges overlapping same-kind windows into
+//! disjoint spans with pointwise-max intensity. These properties pin the
+//! two guarantees the merge must preserve: (1) the *effective* fault
+//! schedule — active intensity, strikes, magnitudes — is exactly what the
+//! overlapping windows described, and (2) the stored plan is canonical,
+//! so insertion order can never change a generated plan's behavior or
+//! identity.
+
+use sov_fault::{FaultKind, FaultPlan};
+use sov_sim::time::{SimDuration, SimTime};
+use sov_testkit::prelude::*;
+
+fn at(ds: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ds * 100)
+}
+
+/// Builds a plan from raw `(start_ds, len_ds, intensity)` triples
+/// (deciseconds, so overlaps are frequent).
+fn plan_from(seed: u64, kind: FaultKind, raw: &[(u64, u64, f64)]) -> FaultPlan {
+    raw.iter().fold(FaultPlan::new(seed), |p, &(s, l, i)| {
+        p.with_intensity(kind, at(s), at(s + l.max(1)), i)
+    })
+}
+
+/// The intensity the raw overlapping windows describe at `t`: the max
+/// over all windows covering it (the pre-merge `active()` contract).
+fn naive_intensity(raw: &[(u64, u64, f64)], t: SimTime) -> Option<f64> {
+    raw.iter()
+        .filter(|&&(s, l, _)| t >= at(s) && t < at(s + l.max(1)))
+        .map(|&(_, _, i)| i)
+        .max_by(f64::total_cmp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_windows_preserve_the_effective_schedule(
+        seed in 0u64..10_000,
+        raw in prop::collection::vec((0u64..40, 1u64..25, 0.05f64..1.0), 1..8),
+    ) {
+        let kind = FaultKind::CameraDrop;
+        let plan = plan_from(seed, kind, &raw);
+        // Sample a dense time grid spanning every window.
+        for ds in 0..70u64 {
+            let t = at(ds);
+            let merged = plan.active(kind, t).map(|w| w.intensity);
+            prop_assert_eq!(
+                merged, naive_intensity(&raw, t),
+                "intensity diverged at t={}", ds
+            );
+            // Strikes/magnitudes flow from the same intensity + the
+            // counter hash, so they must match a single-window plan of
+            // that intensity.
+            if let Some(i) = naive_intensity(&raw, t) {
+                let single = FaultPlan::new(seed).with_intensity(kind, t, at(ds + 1), i);
+                for k in 0..20u64 {
+                    prop_assert_eq!(plan.strikes(kind, t, k), single.strikes(kind, t, k));
+                    prop_assert_eq!(plan.magnitude(kind, t, k), single.magnitude(kind, t, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windows_are_disjoint_and_canonical(
+        seed in 0u64..10_000,
+        raw in prop::collection::vec((0u64..40, 1u64..25, 0.05f64..1.0), 2..8),
+    ) {
+        let kind = FaultKind::GpsOutage;
+        let plan = plan_from(seed, kind, &raw);
+        // Disjoint, ordered, non-empty spans per kind.
+        let ws = plan.windows();
+        for pair in ws.windows(2) {
+            prop_assert!(pair[0].start < pair[0].end);
+            if pair[0].kind == pair[1].kind {
+                prop_assert!(pair[0].end <= pair[1].start, "overlap survived the merge");
+            }
+        }
+        // Insertion order never matters: reversed insertion is `==`.
+        let mut rev = raw.clone();
+        rev.reverse();
+        prop_assert_eq!(plan, plan_from(seed, kind, &rev));
+    }
+
+    #[test]
+    fn merge_is_invisible_across_kinds(
+        seed in 0u64..10_000,
+        s1 in 0u64..30, l1 in 1u64..20,
+        s2 in 0u64..30, l2 in 1u64..20,
+    ) {
+        // Two different kinds never merge with each other.
+        let plan = FaultPlan::new(seed)
+            .with_intensity(FaultKind::CameraDrop, at(s1), at(s1 + l1), 0.4)
+            .with_intensity(FaultKind::RadarGhost, at(s2), at(s2 + l2), 0.2);
+        prop_assert_eq!(plan.windows().len(), 2);
+        prop_assert_eq!(
+            plan.active(FaultKind::CameraDrop, at(s1)).map(|w| w.intensity),
+            Some(0.4)
+        );
+        prop_assert_eq!(
+            plan.active(FaultKind::RadarGhost, at(s2)).map(|w| w.intensity),
+            Some(0.2)
+        );
+    }
+}

@@ -116,7 +116,10 @@ impl Summary {
             self.sorted = true;
         }
         let n = self.samples.len();
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        // Guard the ceil against upward float error at exact-integer
+        // ranks (e.g. 99.9% of 1000 samples is rank 999, but the
+        // product lands at 999.0000000000001).
+        let rank = ((p / 100.0) * n as f64 - 1e-9).ceil() as usize;
         self.samples[rank.clamp(1, n) - 1]
     }
 
@@ -128,6 +131,13 @@ impl Summary {
     /// 99th percentile, as reported in Fig. 10a.
     pub fn p99(&mut self) -> f64 {
         self.percentile(99.0)
+    }
+
+    /// 99.9th percentile — the deep tail COLA-style accounting cares
+    /// about: at 10 control Hz, p99.9 is the worst frame of every
+    /// ~100 s of driving.
+    pub fn p999(&mut self) -> f64 {
+        self.percentile(99.9)
     }
 
     /// Read-only view of the recorded samples (unsorted order is not
@@ -295,6 +305,16 @@ mod tests {
         assert_eq!(s.percentile(100.0), 100.0);
         assert_eq!(s.percentile(1.0), 1.0);
         assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn deep_tail_percentiles() {
+        let mut s: Summary = (1..=1000).map(f64::from).collect();
+        assert_eq!(s.p99(), 990.0);
+        assert_eq!(s.p999(), 999.0);
+        // With few samples p99.9 collapses onto the max by nearest rank.
+        let mut small: Summary = (1..=10).map(f64::from).collect();
+        assert_eq!(small.p999(), small.max());
     }
 
     #[test]

@@ -97,12 +97,19 @@ impl GpsVioFusion {
             GnssQuality::NoFix => unreachable!("handled above"),
         };
         let r = Matrix::from_diagonal([sigma * sigma, sigma * sigma]);
+        // Gate against the *strong-fix* noise assumption regardless of
+        // reported quality: a persistent multipath bias (metres, slowly
+        // wandering) would look statistically plausible under the
+        // inflated covariance it is fused with, and repeated updates
+        // would walk the estimate onto the reflection. Judged against
+        // the honest receiver noise it fails the gate and the corrected
+        // VIO carries the vehicle through instead.
+        let g = self.config.gnss_sigma_m;
+        let r_gate = Matrix::from_diagonal([g * g, g * g]);
         let ekf = vio.ekf_mut();
         let s = *ekf.state();
         let predicted = Vector::from_array([s[0], s[1]]);
-        // Gate every fix; with an honest covariance this only rejects
-        // genuine outliers (multipath).
-        match ekf.mahalanobis_sq(z, predicted, h, r) {
+        match ekf.mahalanobis_sq(z, predicted, h, r_gate) {
             Ok(d2) if d2 <= self.config.gate_chi2 => {
                 ekf.update(z, predicted, h, r)
                     .expect("innovation covariance is PD by construction");

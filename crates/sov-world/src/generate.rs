@@ -1,0 +1,706 @@
+//! Seeded procedural scenario generation.
+//!
+//! The five curated sites in [`crate::scenario`] reproduce the paper's
+//! deployments, but a safety argument evaluated on five hand-built worlds
+//! is an anecdote, not a measurement. [`ScenarioGen`] turns a single `u64`
+//! seed into a complete [`Scenario`] — course geometry, landmark field,
+//! complexity profile, GPS-outage windows, and a scripted cast of
+//! pedestrians, cyclists, vehicles and suddenly-revealed obstacles — so a
+//! fuzzing harness can sweep hundreds of worlds against the fault matrix.
+//!
+//! Every parameter is drawn by a **counter-based hash** of
+//! `(seed, parameter code, index)`, the same construction as
+//! `FaultPlan`'s fault draws: no draw consumes shared RNG state, so adding
+//! a parameter never shifts any other, and regeneration from the same seed
+//! is byte-identical.
+//!
+//! Generated worlds are **fair by construction**: every scripted agent is
+//! observable before it matters. Crossing agents spawn well off the
+//! corridor and walk/drive in over several seconds; suddenly-revealed
+//! ("occluded") obstacles appear at least [`MIN_REVEAL_GAP_M`] ahead of
+//! the vehicle's best-case position at reveal time. An unavoidable
+//! obstacle would make every safety invariant vacuously falsifiable; a
+//! fair one makes a violation a genuine finding about the stack.
+
+use crate::landmark::LandmarkField;
+use crate::map::{rectangular_loop, rounded_loop, two_lane_loop, Annotation, LaneId, LaneMap};
+use crate::obstacle::{Obstacle, ObstacleClass, ObstacleId};
+use crate::scenario::{ComplexityProfile, Scenario, World};
+use crate::trajectory::Route;
+use sov_math::{Pose2, SovRng};
+use sov_sim::time::SimTime;
+
+/// The scenario families the generator composes. Together they cover the
+/// stressors the paper's deployments report: crossing traffic at
+/// intersections, dense pedestrian sites, suddenly-revealed obstacles,
+/// multi-vehicle industrial parks, GPS-hostile canyons, and low-texture
+/// stretches that starve the visual front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioClass {
+    /// Crossing vehicles/cyclists converging on loop corners (crosswalks).
+    Intersection,
+    /// Staggered pedestrian (and cyclist) crossings on a narrow course.
+    PedestrianCrossing,
+    /// Static obstacles revealed suddenly ahead (occluder clears).
+    OccludedObstacle,
+    /// Lead vehicles plus crossing traffic on a two-lane course.
+    MultiVehicleTraffic,
+    /// Long GPS outage/multipath windows (urban canyon).
+    GpsCanyon,
+    /// A landmark-starved course (blank walls), hostile to VIO.
+    LowTexture,
+}
+
+impl ScenarioClass {
+    /// All classes, for sweeps.
+    pub const ALL: [ScenarioClass; 6] = [
+        ScenarioClass::Intersection,
+        ScenarioClass::PedestrianCrossing,
+        ScenarioClass::OccludedObstacle,
+        ScenarioClass::MultiVehicleTraffic,
+        ScenarioClass::GpsCanyon,
+        ScenarioClass::LowTexture,
+    ];
+
+    /// Stable display name (used as the matrix row key).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioClass::Intersection => "intersection",
+            ScenarioClass::PedestrianCrossing => "pedestrian-crossing",
+            ScenarioClass::OccludedObstacle => "occluded-obstacle",
+            ScenarioClass::MultiVehicleTraffic => "multi-vehicle",
+            ScenarioClass::GpsCanyon => "gps-canyon",
+            ScenarioClass::LowTexture => "low-texture",
+        }
+    }
+
+    /// Scenario name recorded in [`Scenario::name`].
+    #[must_use]
+    fn scenario_name(self) -> &'static str {
+        match self {
+            ScenarioClass::Intersection => "generated: intersection",
+            ScenarioClass::PedestrianCrossing => "generated: pedestrian crossing",
+            ScenarioClass::OccludedObstacle => "generated: occluded obstacle",
+            ScenarioClass::MultiVehicleTraffic => "generated: multi-vehicle traffic",
+            ScenarioClass::GpsCanyon => "generated: GPS canyon",
+            ScenarioClass::LowTexture => "generated: low texture",
+        }
+    }
+}
+
+/// Minimum distance (m) ahead of the vehicle's best-case position at
+/// which a suddenly-revealed obstacle may appear. The vehicle's worst
+/// stopping distance at its 5.6 m/s typical cruise is v²/(2·4.0) ≈ 3.9 m;
+/// 14 m leaves the proactive path several planning cycles before the
+/// reactive envelope is even reached.
+pub const MIN_REVEAL_GAP_M: f64 = 14.0;
+
+/// Acceleration (m/s²) assumed for the vehicle's *best-case* progress
+/// when placing obstacles — matches `VehicleParams::max_accel_mps2`. The
+/// real vehicle can only be at or behind this bound.
+const GEN_ACCEL_MPS2: f64 = 2.0;
+
+// Parameter codes for the counter-based draws. Each (code, index) pair is
+// an independent stream; adding a stream never shifts another.
+const P_CLASS: u64 = 0;
+const P_DIMS: u64 = 1;
+const P_SPEED: u64 = 2;
+const P_LANDMARKS: u64 = 3;
+const P_COMPLEXITY: u64 = 4;
+const P_AGENT: u64 = 5;
+const P_GPS: u64 = 6;
+const P_COUNT: u64 = 7;
+
+/// A generated scenario with its class tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedScenario {
+    /// Which family the world belongs to.
+    pub class: ScenarioClass,
+    /// The scenario itself ([`Scenario::seed`] records the seed).
+    pub scenario: Scenario,
+}
+
+/// The seeded procedural scenario generator (stateless; every method is a
+/// pure function of its seed).
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioGen;
+
+impl ScenarioGen {
+    /// A uniform value in `[0, 1)` from a splitmix64 hash of
+    /// `(seed, param, k)` — the same counter-based construction as
+    /// `FaultPlan`, so draws are independent streams.
+    fn unit(seed: u64, param: u64, k: u64) -> f64 {
+        let mut z = seed
+            ^ param.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ k.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[lo, hi)` for stream `(param, k)`.
+    fn range(seed: u64, param: u64, k: u64, lo: f64, hi: f64) -> f64 {
+        lo + Self::unit(seed, param, k) * (hi - lo)
+    }
+
+    /// Uniform index in `[0, n)` for stream `(param, k)`.
+    fn index(seed: u64, param: u64, k: u64, n: usize) -> usize {
+        ((Self::unit(seed, param, k) * n as f64) as usize).min(n - 1)
+    }
+
+    /// Derives an independent sub-seed (e.g. the per-scenario fault seed)
+    /// from `(seed, salt)` with a full splitmix64 round.
+    #[must_use]
+    pub fn derive_seed(seed: u64, salt: u64) -> u64 {
+        let mut z = seed
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The class `generate` will build for `seed`.
+    #[must_use]
+    pub fn class_of(seed: u64) -> ScenarioClass {
+        ScenarioClass::ALL[Self::index(seed, P_CLASS, 0, ScenarioClass::ALL.len())]
+    }
+
+    /// The `i`-th seed of `class` under `base`: deterministic rejection
+    /// sampling over derived seeds until [`Self::class_of`] matches, so a
+    /// harness can guarantee class coverage while every recorded seed
+    /// stays self-contained (`generate(seed)` alone rebuilds the world).
+    #[must_use]
+    pub fn seed_for_class(class: ScenarioClass, base: u64, i: u64) -> u64 {
+        let lane = Self::derive_seed(base, 0x5343_454E ^ i);
+        (0u64..)
+            .map(|j| Self::derive_seed(lane, j))
+            .find(|&s| Self::class_of(s) == class)
+            .expect("a sixth of all seeds map to each class")
+    }
+
+    /// Generates the scenario for `seed`; the class is part of the draw.
+    /// Regeneration from the same seed is byte-identical.
+    #[must_use]
+    pub fn generate(seed: u64) -> GeneratedScenario {
+        Self::generate_class(Self::class_of(seed), seed)
+    }
+
+    /// Generates a scenario of a specific class from `seed`. Note that
+    /// `generate(seed)` equals `generate_class(class_of(seed), seed)`;
+    /// forcing a different class yields a world the bare seed does not
+    /// round-trip to (use [`Self::seed_for_class`] when that matters).
+    #[must_use]
+    pub fn generate_class(class: ScenarioClass, seed: u64) -> GeneratedScenario {
+        let mut b = Builder::new(class, seed);
+        match class {
+            ScenarioClass::Intersection => b.intersection(),
+            ScenarioClass::PedestrianCrossing => b.pedestrian_crossing(),
+            ScenarioClass::OccludedObstacle => b.occluded_obstacle(),
+            ScenarioClass::MultiVehicleTraffic => b.multi_vehicle(),
+            ScenarioClass::GpsCanyon => b.gps_canyon(),
+            ScenarioClass::LowTexture => b.low_texture(),
+        }
+        GeneratedScenario {
+            class,
+            scenario: b.finish(),
+        }
+    }
+}
+
+/// Internal single-use builder: owns the course picked for the class and
+/// appends agents with sequential obstacle ids.
+struct Builder {
+    class: ScenarioClass,
+    seed: u64,
+    map: LaneMap,
+    route: Route,
+    landmark_count: usize,
+    bounds: (f64, f64, f64, f64),
+    complexity: ComplexityProfile,
+    gps_outages: Vec<(f64, f64)>,
+    cruise: f64,
+    obstacles: Vec<Obstacle>,
+    next_id: u32,
+}
+
+impl Builder {
+    fn new(class: ScenarioClass, seed: u64) -> Self {
+        // Course geometry: every class randomizes its extents; the map
+        // family is a class property.
+        let (w, h) = match class {
+            ScenarioClass::Intersection => (
+                ScenarioGen::range(seed, P_DIMS, 0, 140.0, 240.0),
+                ScenarioGen::range(seed, P_DIMS, 1, 70.0, 130.0),
+            ),
+            ScenarioClass::PedestrianCrossing => (
+                ScenarioGen::range(seed, P_DIMS, 0, 100.0, 170.0),
+                ScenarioGen::range(seed, P_DIMS, 1, 50.0, 90.0),
+            ),
+            ScenarioClass::OccludedObstacle => (
+                ScenarioGen::range(seed, P_DIMS, 0, 160.0, 240.0),
+                ScenarioGen::range(seed, P_DIMS, 1, 90.0, 130.0),
+            ),
+            ScenarioClass::MultiVehicleTraffic => (
+                ScenarioGen::range(seed, P_DIMS, 0, 200.0, 280.0),
+                ScenarioGen::range(seed, P_DIMS, 1, 100.0, 150.0),
+            ),
+            ScenarioClass::GpsCanyon => (
+                ScenarioGen::range(seed, P_DIMS, 0, 140.0, 220.0),
+                ScenarioGen::range(seed, P_DIMS, 1, 70.0, 120.0),
+            ),
+            ScenarioClass::LowTexture => (
+                ScenarioGen::range(seed, P_DIMS, 0, 160.0, 260.0),
+                ScenarioGen::range(seed, P_DIMS, 1, 80.0, 140.0),
+            ),
+        };
+        let lane_w = match class {
+            ScenarioClass::PedestrianCrossing => ScenarioGen::range(seed, P_DIMS, 2, 1.5, 2.5),
+            ScenarioClass::MultiVehicleTraffic => 3.0,
+            _ => ScenarioGen::range(seed, P_DIMS, 2, 2.0, 3.0),
+        };
+        let map = match class {
+            ScenarioClass::MultiVehicleTraffic => two_lane_loop(w, h, lane_w, 8.9),
+            ScenarioClass::OccludedObstacle => {
+                let r = ScenarioGen::range(seed, P_DIMS, 3, 14.0, 22.0);
+                rounded_loop(w, h, r, lane_w, 8.9)
+            }
+            _ => rectangular_loop(w, h, lane_w, 8.9),
+        };
+        let route = Route::through(&map, vec![LaneId(0), LaneId(1), LaneId(2), LaneId(3)])
+            .expect("generated loops are connected by construction");
+        let cruise = match class {
+            ScenarioClass::PedestrianCrossing => ScenarioGen::range(seed, P_SPEED, 0, 3.0, 4.5),
+            ScenarioClass::LowTexture | ScenarioClass::GpsCanyon => {
+                ScenarioGen::range(seed, P_SPEED, 0, 4.0, 5.6)
+            }
+            _ => ScenarioGen::range(seed, P_SPEED, 0, 4.5, 5.6),
+        };
+        let landmark_count = match class {
+            // Landmark starvation is the point of the class.
+            ScenarioClass::LowTexture => 80 + ScenarioGen::index(seed, P_LANDMARKS, 0, 140),
+            _ => 900 + ScenarioGen::index(seed, P_LANDMARKS, 0, 1100),
+        };
+        let margin = 15.0 + ScenarioGen::range(seed, P_LANDMARKS, 1, 0.0, 10.0);
+        // 3-point complexity profile in a class-dependent band.
+        let (lo, hi) = match class {
+            ScenarioClass::PedestrianCrossing => (0.5, 0.9),
+            ScenarioClass::LowTexture => (0.05, 0.25),
+            ScenarioClass::Intersection | ScenarioClass::MultiVehicleTraffic => (0.3, 0.7),
+            _ => (0.2, 0.6),
+        };
+        let complexity = ComplexityProfile::new(vec![
+            (0.0, ScenarioGen::range(seed, P_COMPLEXITY, 0, lo, hi)),
+            (0.5, ScenarioGen::range(seed, P_COMPLEXITY, 1, lo, hi)),
+            (1.0, ScenarioGen::range(seed, P_COMPLEXITY, 2, lo, hi)),
+        ]);
+        Self {
+            class,
+            seed,
+            map,
+            route,
+            landmark_count,
+            bounds: (-margin, w + margin, -margin, h + margin),
+            complexity,
+            gps_outages: Vec::new(),
+            cruise,
+            obstacles: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Best-case station (m) the vehicle can have reached `t_s` seconds
+    /// in: full-throttle acceleration to cruise, no obstacles. The real
+    /// vehicle is always at or behind this.
+    fn best_station(&self, t_s: f64) -> f64 {
+        let t_a = self.cruise / GEN_ACCEL_MPS2;
+        if t_s < t_a {
+            0.5 * GEN_ACCEL_MPS2 * t_s * t_s
+        } else {
+            self.cruise * t_s - 0.5 * GEN_ACCEL_MPS2 * t_a * t_a
+        }
+    }
+
+    /// Earliest time (s) the vehicle can arrive at station `s`.
+    fn earliest_arrival(&self, s: f64) -> f64 {
+        let t_a = self.cruise / GEN_ACCEL_MPS2;
+        let s_a = 0.5 * GEN_ACCEL_MPS2 * t_a * t_a;
+        if s < s_a {
+            (2.0 * s / GEN_ACCEL_MPS2).sqrt()
+        } else {
+            t_a + (s - s_a) / self.cruise
+        }
+    }
+
+    /// Route pose at station `s` (wrapped onto the loop).
+    fn pose_at(&self, s: f64) -> Pose2 {
+        let len = self.route.length_m();
+        self.route
+            .pose_at(&self.map, s.rem_euclid(len))
+            .expect("route built from this map")
+    }
+
+    fn push(&mut self, o: Obstacle) {
+        self.obstacles.push(o);
+        self.next_id += 1;
+    }
+
+    /// A crossing agent: spawns `d0` m to one side of the route at
+    /// station `s`, moves straight across the corridor at `speed`, and
+    /// despawns once through. `t_cross` is when it reaches the route
+    /// centerline; the agent is in the world — visible and moving — for
+    /// `d0 / speed` seconds before that, which is what makes it fair.
+    fn crossing_agent(&mut self, class: ObstacleClass, s: f64, k: u64, t_cross_s: f64) {
+        let seed = self.seed;
+        // Snap the crossing station away from lane boundaries: near a
+        // loop corner, a point `d0` to the side of one leg can sit right
+        // on the perpendicular leg — i.e. inside the corridor, which
+        // would break the fairness contract.
+        let s = {
+            let (lane, local) = self.route.lane_at(s.rem_euclid(self.route.length_m()));
+            let lane_len = self.map.lane(lane).expect("route lane").length_m();
+            s - local + local.clamp(0.12 * lane_len, 0.88 * lane_len)
+        };
+        let (d0, speed) = match class {
+            ObstacleClass::Pedestrian => (
+                ScenarioGen::range(seed, P_AGENT, k, 4.0, 8.0),
+                ScenarioGen::range(seed, P_AGENT, k + 1, 0.7, 1.4),
+            ),
+            ObstacleClass::Cyclist => (
+                ScenarioGen::range(seed, P_AGENT, k, 8.0, 16.0),
+                ScenarioGen::range(seed, P_AGENT, k + 1, 1.5, 3.0),
+            ),
+            _ => (
+                ScenarioGen::range(seed, P_AGENT, k, 12.0, 24.0),
+                ScenarioGen::range(seed, P_AGENT, k + 1, 2.0, 4.0),
+            ),
+        };
+        let side = if ScenarioGen::unit(seed, P_AGENT, k + 2) < 0.5 {
+            1.0
+        } else {
+            -1.0
+        };
+        let approach_s = d0 / speed;
+        let t_spawn = (t_cross_s - approach_s).max(0.5);
+        let pose = self.pose_at(s);
+        // Left of travel is (−sin θ, cos θ); the agent starts `side·d0`
+        // out and its velocity points back across the route.
+        let (nx, ny) = (-pose.theta.sin(), pose.theta.cos());
+        let start = Pose2::new(pose.x + side * d0 * nx, pose.y + side * d0 * ny, 0.0);
+        let vel = (-side * speed * nx, -side * speed * ny);
+        let id = ObstacleId(self.next_id);
+        let spawn = SimTime::from_secs_f64(t_spawn);
+        let despawn = SimTime::from_secs_f64(t_spawn + 2.0 * approach_s + 2.0);
+        self.push(Obstacle::moving(id, class, start, vel, spawn).until(despawn));
+    }
+
+    /// Annotates the lane containing route fraction `frac`.
+    fn annotate_at(&mut self, frac: f64, a: Annotation) {
+        let s = frac.clamp(0.0, 1.0) * self.route.length_m();
+        let (lane, _) = self.route.lane_at(s);
+        self.map.annotate(lane, a).expect("route lanes exist");
+    }
+
+    // ---- Class compositions. ----
+
+    fn intersection(&mut self) {
+        // Crossing vehicles/cyclists converge on the loop corners, timed
+        // near the vehicle's earliest possible arrival.
+        let len = self.route.length_m();
+        let n = 2 + ScenarioGen::index(self.seed, P_COUNT, 0, 3); // 2..=4
+        for i in 0..n {
+            let k = 10 + 10 * i as u64;
+            let corner = 0.25 * (1.0 + ScenarioGen::index(self.seed, P_AGENT, k + 3, 3) as f64);
+            let s = corner * len;
+            let t_c = (self.earliest_arrival(s)
+                + ScenarioGen::range(self.seed, P_AGENT, k + 4, -2.0, 4.0))
+            .clamp(5.0, 26.0);
+            let class = if ScenarioGen::unit(self.seed, P_AGENT, k + 5) < 0.35 {
+                ObstacleClass::Cyclist
+            } else {
+                ObstacleClass::Vehicle
+            };
+            self.crossing_agent(class, s, k, t_c);
+            self.annotate_at(corner, Annotation::Crosswalk);
+        }
+    }
+
+    fn pedestrian_crossing(&mut self) {
+        let len = self.route.length_m();
+        let n = 3 + ScenarioGen::index(self.seed, P_COUNT, 0, 4); // 3..=6
+        for i in 0..n {
+            let k = 10 + 10 * i as u64;
+            let frac = ScenarioGen::range(self.seed, P_AGENT, k + 3, 0.1, 0.8);
+            let s = frac * len;
+            let t_c = (self.earliest_arrival(s)
+                + ScenarioGen::range(self.seed, P_AGENT, k + 4, -3.0, 5.0))
+            .clamp(4.0, 27.0);
+            self.crossing_agent(ObstacleClass::Pedestrian, s, k, t_c);
+            if i < 2 {
+                self.annotate_at(frac, Annotation::Crosswalk);
+            }
+        }
+        // Sometimes a cyclist rides along the lane ahead.
+        if ScenarioGen::unit(self.seed, P_COUNT, 1) < 0.4 {
+            let pose = self.pose_at(ScenarioGen::range(self.seed, P_AGENT, 90, 25.0, 50.0));
+            let v = ScenarioGen::range(self.seed, P_AGENT, 91, 1.8, 2.8);
+            let id = ObstacleId(self.next_id);
+            self.push(
+                Obstacle::moving(
+                    id,
+                    ObstacleClass::Cyclist,
+                    pose,
+                    (v * pose.theta.cos(), v * pose.theta.sin()),
+                    SimTime::from_secs_f64(1.0),
+                )
+                .until(SimTime::from_secs_f64(40.0)),
+            );
+        }
+    }
+
+    fn occluded_obstacle(&mut self) {
+        // Static objects revealed suddenly: each appears at time T at
+        // least MIN_REVEAL_GAP_M ahead of the best-case vehicle position
+        // — the earliest the stack could possibly be asked to react.
+        let n = 2 + ScenarioGen::index(self.seed, P_COUNT, 0, 2); // 2..=3
+        for i in 0..n {
+            let k = 10 + 10 * i as u64;
+            let t_reveal = ScenarioGen::range(self.seed, P_AGENT, k, 5.0, 18.0);
+            let ahead = MIN_REVEAL_GAP_M + ScenarioGen::range(self.seed, P_AGENT, k + 1, 0.0, 16.0);
+            let s = self.best_station(t_reveal) + ahead;
+            let lateral = ScenarioGen::range(self.seed, P_AGENT, k + 2, -0.5, 0.5);
+            let pose = self.pose_at(s);
+            let (nx, ny) = (-pose.theta.sin(), pose.theta.cos());
+            let p = Pose2::new(pose.x + lateral * nx, pose.y + lateral * ny, 0.0);
+            let dwell = ScenarioGen::range(self.seed, P_AGENT, k + 3, 8.0, 14.0);
+            let id = ObstacleId(self.next_id);
+            self.push(
+                Obstacle::fixed(
+                    id,
+                    ObstacleClass::StaticObject,
+                    p,
+                    SimTime::from_secs_f64(t_reveal),
+                )
+                .until(SimTime::from_secs_f64(t_reveal + dwell)),
+            );
+            let frac = s.rem_euclid(self.route.length_m()) / self.route.length_m();
+            self.annotate_at(frac, Annotation::WorkZone);
+        }
+    }
+
+    fn multi_vehicle(&mut self) {
+        // Slow lead vehicles on the first straight (the overtaking
+        // pressure of Sec. III-D; the outer lane is adjacent), plus
+        // crossing traffic.
+        let n_lead = 1 + ScenarioGen::index(self.seed, P_COUNT, 0, 2); // 1..=2
+        for i in 0..n_lead {
+            let k = 10 + 10 * i as u64;
+            let x0 = ScenarioGen::range(self.seed, P_AGENT, k, 25.0, 70.0) + 45.0 * i as f64;
+            let v = ScenarioGen::range(self.seed, P_AGENT, k + 1, 1.0, 2.2);
+            let id = ObstacleId(self.next_id);
+            self.push(
+                Obstacle::moving(
+                    id,
+                    ObstacleClass::Vehicle,
+                    Pose2::new(x0, 0.0, 0.0),
+                    (v, 0.0),
+                    SimTime::ZERO,
+                )
+                .until(SimTime::from_secs_f64(90.0)),
+            );
+        }
+        let len = self.route.length_m();
+        let n_cross = 1 + ScenarioGen::index(self.seed, P_COUNT, 1, 2); // 1..=2
+        for i in 0..n_cross {
+            let k = 60 + 10 * i as u64;
+            let s = ScenarioGen::range(self.seed, P_AGENT, k + 3, 0.3, 0.7) * len;
+            let t_c = (self.earliest_arrival(s)
+                + ScenarioGen::range(self.seed, P_AGENT, k + 4, -2.0, 4.0))
+            .clamp(6.0, 26.0);
+            self.crossing_agent(ObstacleClass::Vehicle, s, k, t_c);
+        }
+    }
+
+    fn gps_canyon(&mut self) {
+        // One or two long outage windows; the paper's metal-warehouse
+        // multipath stretch, stretched.
+        let n = 1 + ScenarioGen::index(self.seed, P_COUNT, 0, 2); // 1..=2
+        let mut start = ScenarioGen::range(self.seed, P_GPS, 0, 0.12, 0.3);
+        for i in 0..n {
+            let width = ScenarioGen::range(self.seed, P_GPS, 1 + 2 * i as u64, 0.1, 0.22);
+            let end = (start + width).min(0.9);
+            self.gps_outages.push((start, end));
+            self.annotate_at(start, Annotation::GpsDegraded);
+            self.annotate_at(end, Annotation::GpsDegraded);
+            start = end + ScenarioGen::range(self.seed, P_GPS, 2 + 2 * i as u64, 0.1, 0.25);
+            if start >= 0.85 {
+                break;
+            }
+        }
+        // Light pedestrian traffic so the canyon still has agents.
+        if ScenarioGen::unit(self.seed, P_COUNT, 1) < 0.5 {
+            let len = self.route.length_m();
+            let s = ScenarioGen::range(self.seed, P_AGENT, 13, 0.2, 0.6) * len;
+            let t_c = (self.earliest_arrival(s)
+                + ScenarioGen::range(self.seed, P_AGENT, 14, -2.0, 4.0))
+            .clamp(5.0, 26.0);
+            self.crossing_agent(ObstacleClass::Pedestrian, s, 10, t_c);
+        }
+    }
+
+    fn low_texture(&mut self) {
+        // The landmark starvation is set up in `Builder::new`; add one
+        // short GPS-degraded stretch (the hostile combination: little
+        // texture *and* no fix) and one always-visible static object.
+        let start = ScenarioGen::range(self.seed, P_GPS, 0, 0.3, 0.5);
+        let end = start + ScenarioGen::range(self.seed, P_GPS, 1, 0.08, 0.15);
+        self.gps_outages.push((start, end));
+        self.annotate_at(start, Annotation::GpsDegraded);
+        let len = self.route.length_m();
+        let s = ScenarioGen::range(self.seed, P_AGENT, 10, 0.4, 0.6) * len;
+        let lateral = ScenarioGen::range(self.seed, P_AGENT, 11, -0.5, 0.5);
+        let pose = self.pose_at(s);
+        let (nx, ny) = (-pose.theta.sin(), pose.theta.cos());
+        let p = Pose2::new(pose.x + lateral * nx, pose.y + lateral * ny, 0.0);
+        let id = ObstacleId(self.next_id);
+        self.push(Obstacle::fixed(
+            id,
+            ObstacleClass::StaticObject,
+            p,
+            SimTime::ZERO,
+        ));
+    }
+
+    fn finish(self) -> Scenario {
+        let mut rng = SovRng::seed_from_u64(ScenarioGen::derive_seed(self.seed, P_LANDMARKS));
+        let landmarks = LandmarkField::generate(self.landmark_count, self.bounds, &mut rng);
+        Scenario {
+            name: self.class.scenario_name(),
+            world: World {
+                map: self.map,
+                route: self.route,
+                landmarks,
+                obstacles: self.obstacles,
+            },
+            complexity: self.complexity,
+            gps_outages: self.gps_outages,
+            cruise_speed_mps: self.cruise,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regeneration_is_identical() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            assert_eq!(ScenarioGen::generate(seed), ScenarioGen::generate(seed));
+        }
+    }
+
+    #[test]
+    fn class_of_matches_generate() {
+        for seed in 0..50u64 {
+            assert_eq!(
+                ScenarioGen::generate(seed).class,
+                ScenarioGen::class_of(seed)
+            );
+        }
+    }
+
+    #[test]
+    fn seed_for_class_round_trips() {
+        for (i, class) in ScenarioClass::ALL.into_iter().enumerate() {
+            let s = ScenarioGen::seed_for_class(class, 42, i as u64);
+            assert_eq!(ScenarioGen::class_of(s), class);
+            assert_eq!(ScenarioGen::generate(s).class, class);
+        }
+    }
+
+    #[test]
+    fn generated_worlds_are_valid() {
+        for seed in 0..30u64 {
+            let g = ScenarioGen::generate(seed);
+            let s = &g.scenario;
+            assert!(s.world.map.len() >= 4, "{} map too small", s.name);
+            assert!(s.world.route.length_m() > 100.0);
+            assert!(!s.world.landmarks.is_empty());
+            assert!(s.cruise_speed_mps <= 8.9, "micromobility speed cap");
+            for i in 0..=10 {
+                let c = s.complexity.at(f64::from(i) / 10.0);
+                assert!((0.0..=1.0).contains(&c));
+            }
+            for (a, b) in &s.gps_outages {
+                assert!(a < b && *a >= 0.0 && *b <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn class_sweep_produces_every_family() {
+        use std::collections::BTreeSet;
+        let classes: BTreeSet<&'static str> = (0..200u64)
+            .map(|s| ScenarioGen::class_of(s).name())
+            .collect();
+        assert_eq!(classes.len(), ScenarioClass::ALL.len());
+    }
+
+    #[test]
+    fn occluded_obstacles_are_fair() {
+        // Every suddenly-revealed obstacle must be at least
+        // MIN_REVEAL_GAP_M ahead of the best-case vehicle position when
+        // it appears (measured along the route).
+        for i in 0..40u64 {
+            let seed = ScenarioGen::seed_for_class(ScenarioClass::OccludedObstacle, 7, i);
+            let g = ScenarioGen::generate(seed);
+            let s = &g.scenario;
+            let len = s.world.route.length_m();
+            let b = Builder::new(g.class, seed);
+            for o in &s.world.obstacles {
+                let t0 = o.spawn_time.as_secs_f64();
+                if t0 == 0.0 {
+                    continue; // visible from the start: trivially fair
+                }
+                let (station, _) = s
+                    .world
+                    .route
+                    .project(&s.world.map, o.initial_pose.x, o.initial_pose.y)
+                    .expect("route exists");
+                let vehicle = b.best_station(t0).rem_euclid(len);
+                let ahead = (station - vehicle).rem_euclid(len);
+                assert!(
+                    ahead >= MIN_REVEAL_GAP_M - 1.0,
+                    "seed {seed}: obstacle revealed {ahead:.1} m ahead"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_agents_start_off_corridor() {
+        for i in 0..20u64 {
+            let seed = ScenarioGen::seed_for_class(ScenarioClass::PedestrianCrossing, 11, i);
+            let s = ScenarioGen::generate(seed).scenario;
+            for o in &s.world.obstacles {
+                if o.class != ObstacleClass::Pedestrian {
+                    continue;
+                }
+                let (_, lateral) = s
+                    .world
+                    .route
+                    .project(&s.world.map, o.initial_pose.x, o.initial_pose.y)
+                    .expect("route exists");
+                assert!(
+                    lateral.abs() >= 3.0,
+                    "seed {seed}: pedestrian spawns {lateral:.1} m off the route"
+                );
+            }
+        }
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`scenario`] — the five deployment sites as reproducible scenario
 //!   generators, including scene-complexity profiles that drive the latency
 //!   variation observed in Sec. V-C.
+//! * [`generate`] — a seeded procedural scenario generator
+//!   ([`generate::ScenarioGen`]) that composes intersections, crossings,
+//!   occluded obstacles, traffic, GPS canyons and low-texture stretches
+//!   from a single `u64` for the safety-fuzzing harness.
 //!
 //! # Example
 //!
@@ -32,6 +36,7 @@
 
 #![deny(missing_docs)]
 
+pub mod generate;
 pub mod landmark;
 pub mod map;
 pub mod obstacle;
@@ -39,6 +44,7 @@ pub mod osm;
 pub mod scenario;
 pub mod trajectory;
 
+pub use generate::{GeneratedScenario, ScenarioClass, ScenarioGen};
 pub use map::LaneMap;
 pub use obstacle::{Obstacle, ObstacleClass};
 pub use scenario::{Scenario, World};

@@ -1,0 +1,57 @@
+//! Property-based tests for the seeded scenario generator.
+//!
+//! The generator's contract is the same one `FaultPlan` keeps: every
+//! draw is a counter hash of `(seed, parameter, k)`, so a recorded seed
+//! — alone — rebuilds its world byte for byte. These properties pin
+//! that contract plus the structural guarantees the fuzzing harness
+//! leans on (class round-trips, sane geometry, fair agent placement).
+
+use sov_testkit::prelude::*;
+use sov_world::generate::{ScenarioClass, ScenarioGen};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn regeneration_is_byte_identical(seed in 0u64..u64::MAX) {
+        let a = ScenarioGen::generate(seed);
+        let b = ScenarioGen::generate(seed);
+        // Exact structural equality (every f64 bit-equal)...
+        prop_assert_eq!(&a, &b);
+        // ...and identical down to the rendered representation, the
+        // form a regression triple is replayed from.
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn seed_for_class_round_trips(class_idx in 0usize..6, base in 0u64..u64::MAX, i in 0u64..200) {
+        let class = ScenarioClass::ALL[class_idx];
+        let seed = ScenarioGen::seed_for_class(class, base, i);
+        // The recorded seed is self-contained: classifying it and
+        // generating from it both land on the requested class.
+        prop_assert_eq!(ScenarioGen::class_of(seed), class);
+        prop_assert_eq!(ScenarioGen::generate(seed).class, class);
+    }
+
+    #[test]
+    fn generated_worlds_are_drivable(seed in 0u64..u64::MAX) {
+        let g = ScenarioGen::generate(seed);
+        let s = &g.scenario;
+        prop_assert!(s.cruise_speed_mps > 0.0);
+        prop_assert!(s.world.route.length_m() > 50.0);
+        prop_assert_eq!(s.seed, seed, "scenario must carry its own seed");
+        for (start, end) in &s.gps_outages {
+            prop_assert!((0.0..=1.0).contains(start) && *start < *end && *end <= 1.0);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge(base in 0u64..u64::MAX, i in 0u64..100) {
+        // Two different lane indices of the same class virtually never
+        // produce the same world (the counter hash decorrelates them).
+        let class = ScenarioClass::Intersection;
+        let a = ScenarioGen::generate(ScenarioGen::seed_for_class(class, base, i));
+        let b = ScenarioGen::generate(ScenarioGen::seed_for_class(class, base, i + 1));
+        prop_assert!(a != b, "adjacent scenario lanes collided");
+    }
+}

@@ -22,6 +22,15 @@ cargo test --offline --workspace -q
 echo "== fused score+NMS bit-identity proptest (tile-seam corners) =="
 cargo test --offline -q -p sov-perception --test proptests fused_nms
 
+echo "== fault-window overlap-merge proptests =="
+cargo test --offline -q -p sov-fault --test proptests
+
+echo "== scenario-generator regeneration proptests =="
+cargo test --offline -q -p sov-world --test proptests
+
+echo "== safety-invariant nominal acceptance (sites + generated) =="
+cargo test --offline -q -p sov-core --test safety_invariants
+
 echo "== bench bins build + perf_matrix smoke =="
 cargo build --offline --release -p sov-bench --bins
 ./target/release/perf_matrix --smoke
@@ -29,5 +38,9 @@ cargo build --offline --release -p sov-bench --bins
 echo "== pipeline_matrix smoke (front-end-lane cells; exits non-zero on =="
 echo "== checksum mismatch or an idle lane in the d3 w4 drive cell)     =="
 ./target/release/pipeline_matrix --smoke
+
+echo "== scenario_matrix smoke (generated scenarios × faults, safety =="
+echo "== invariants per frame; proves worker-lane JSON invariance)   =="
+./target/release/scenario_matrix --smoke --workers 3
 
 echo "All checks passed."
