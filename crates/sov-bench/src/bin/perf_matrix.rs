@@ -18,7 +18,10 @@
 //!
 //! Flags: `--json PATH` writes the matrix (the committed baseline is
 //! `BENCH_perf.json`); `--smoke` shrinks the run for CI; `--frames N`
-//! overrides the per-cell frame count; `--seed N` reseeds the workload.
+//! overrides the per-cell frame count; `--seed N` reseeds the workload;
+//! `--unfused-corners` ablates the fused corner pass back to the two-pass
+//! detector in the `arena` cells (bit-identical outputs, so the checksum
+//! gate is unaffected).
 
 use sov_lidar::cloud::PointCloud;
 use sov_lidar::kdtree::KdTree;
@@ -27,7 +30,9 @@ use sov_lidar::segmentation::{euclidean_clusters_with, SegmentationConfig};
 use sov_lidar::soa::{aos_ground_traffic_bytes, soa_ground_traffic_bytes, PointCloudSoA};
 use sov_math::SovRng;
 use sov_perception::depth::DenseStereoMatcher;
-use sov_perception::features::{fast_corners_with, track_features_with, Corner};
+use sov_perception::features::{
+    fast_corners_two_pass_with, fast_corners_with, track_features_with, Corner,
+};
 use sov_perception::image::{convolve3x3_with, pyramid_with, GrayImage, SMOOTH_3X3};
 use sov_runtime::arena::FrameArena;
 use sov_runtime::pool::WorkerPool;
@@ -411,10 +416,15 @@ struct Cell {
     /// Whole-frame latency samples (ms).
     frame_ms: Vec<f64>,
     checksum: u64,
+    /// `--unfused-corners` ablation: the `arena` cells run the two-pass
+    /// (detect, then suppress) corner detector instead of the fused
+    /// default. Outputs are bit-identical either way, so the checksum
+    /// gate still holds; only the corner-stage latency moves.
+    two_pass_corners: bool,
 }
 
 impl Cell {
-    fn new(config: Config) -> Self {
+    fn new(config: Config, two_pass_corners: bool) -> Self {
         Self {
             config,
             pool: (config.workers > 0).then(|| WorkerPool::new(config.workers)),
@@ -428,6 +438,7 @@ impl Cell {
             stage_ms: vec![Vec::new(); STAGES.len()],
             frame_ms: Vec::new(),
             checksum: 0,
+            two_pass_corners,
         }
     }
 
@@ -456,10 +467,12 @@ impl Cell {
         lap(1, t0);
 
         let t0 = Instant::now();
-        let corners = if cfg.arena {
-            fast_corners_with(&smooth, 0.05, pool, arena_opt)
-        } else {
+        let corners = if !cfg.arena {
             legacy::fast_corners(&smooth, 0.05)
+        } else if self.two_pass_corners {
+            fast_corners_two_pass_with(&smooth, 0.05, pool, arena_opt)
+        } else {
+            fast_corners_with(&smooth, 0.05, pool, arena_opt)
         };
         lap(2, t0);
 
@@ -568,6 +581,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seed = sov_bench::seed_from_args();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let two_pass_corners = args.iter().any(|a| a == "--unfused-corners");
     let frames = args
         .iter()
         .position(|a| a == "--frames")
@@ -598,11 +612,14 @@ fn main() {
     for workers in [0usize, 2, 4, 8] {
         for soa in [false, true] {
             for arena in [false, true] {
-                cells.push(Cell::new(Config {
-                    workers,
-                    soa,
-                    arena,
-                }));
+                cells.push(Cell::new(
+                    Config {
+                        workers,
+                        soa,
+                        arena,
+                    },
+                    two_pass_corners,
+                ));
             }
         }
     }

@@ -23,7 +23,18 @@
 //! reports p50 **and** p99 (COLA's tail-latency caveat), never throughput
 //! alone. Every concurrent cell additionally reports per-lane
 //! **occupancy** (busy ÷ wall for the sensing, perception, and planning
-//! lanes) so an idle stage is visible instead of averaged away.
+//! lanes) so an idle stage is visible instead of averaged away — and, via
+//! the latency ledger, the **attribution split** of every frame's span
+//! into compute, ring-queue wait, and drain/barrier stall, each at
+//! p50/p99/p99.9/max.
+//!
+//! A fourth view, the **tail cells**, runs the depth-3 drive under a
+//! sustained compute overrun with the deadline-driven tail policy off,
+//! with priority draining, and with draining + shedding. The gate: the
+//! drained drive's p99.9 end-to-end latency must beat the undrained
+//! drive's *without changing the report* (draining is pure reordering);
+//! the improvement half is a warning, not a failure, when `host_cores`
+//! < 3 — a sequential host cannot overlap the lanes it doesn't have.
 //!
 //! Flags: `--json PATH` writes the matrix (the committed baseline is
 //! `BENCH_pipeline.json`); `--smoke` shrinks the run for CI; `--frames N`
@@ -32,10 +43,14 @@
 use sov_core::config::VehicleConfig;
 use sov_core::pipeline::{FrameLatency, LatencyPipeline};
 use sov_core::sov::{DriveReport, Sov};
-use sov_fault::FaultPlan;
+use sov_core::tail::TailReport;
+use sov_fault::{FaultKind, FaultPlan};
+use sov_math::stats::Summary;
+use sov_runtime::ledger::TailPolicy;
 use sov_runtime::pipeline::{FrameControl, FramePipeline, PipelineRun, StageCtx};
 use sov_runtime::pool::WorkerPool;
 use sov_runtime::{LaneOccupancy, PerfContext};
+use sov_sim::time::SimTime;
 use sov_world::scenario::Scenario;
 use std::time::{Duration, Instant};
 
@@ -154,6 +169,100 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// `[p50, p99, p99.9, max]` of a summary, the four points every
+/// attribution column reports.
+fn quad(s: &mut Summary) -> [f64; 4] {
+    [s.percentile(50.0), s.p99(), s.p999(), s.max()]
+}
+
+fn quad_json(q: [f64; 4]) -> String {
+    format!(
+        "{{\"p50\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3}, \"max\": {:.3}}}",
+        q[0], q[1], q[2], q[3]
+    )
+}
+
+/// The compute/queue/stall split of a replay run's frame attributions,
+/// in milliseconds at the four tail points.
+fn replay_split(run: &PipelineRun) -> [[f64; 4]; 3] {
+    let mut compute = Summary::new();
+    let mut queue = Summary::new();
+    let mut stall = Summary::new();
+    for a in &run.attribution {
+        compute.record(a.compute_ns.iter().sum::<u64>() as f64 / 1e6);
+        queue.record(a.queue_ns as f64 / 1e6);
+        stall.record(a.stall_ns as f64 / 1e6);
+    }
+    [quad(&mut compute), quad(&mut queue), quad(&mut stall)]
+}
+
+/// The same four-point split lifted out of a drive's [`TailReport`],
+/// plus the per-stage p99.9 compute row.
+struct DriveTail {
+    total: [f64; 4],
+    compute: [f64; 4],
+    queue: [f64; 4],
+    stall: [f64; 4],
+    stage_p999_compute: [f64; 3],
+    stage_p999_queue: [f64; 3],
+    stage_p999_stall: [f64; 3],
+    max_residual_ns: u64,
+    priority_drains: u64,
+    sheds: u64,
+    overruns_predicted: u64,
+}
+
+impl DriveTail {
+    fn of(tail: &TailReport) -> Self {
+        let mut t = tail.clone();
+        let stage = |s: &mut [Summary; 3]| [s[0].p999(), s[1].p999(), s[2].p999()];
+        Self {
+            total: quad(&mut t.total_ms),
+            compute: quad(&mut t.compute_ms),
+            queue: quad(&mut t.queue_ms),
+            stall: quad(&mut t.stall_ms),
+            stage_p999_compute: stage(&mut t.stage_compute_ms),
+            stage_p999_queue: stage(&mut t.stage_queue_ms),
+            stage_p999_stall: stage(&mut t.stage_stall_ms),
+            max_residual_ns: t.max_residual_ns,
+            priority_drains: t.priority_drains,
+            sheds: t.sheds,
+            overruns_predicted: t.overruns_predicted,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"total_ms\": {}, \"compute_ms\": {}, \"queue_ms\": {}, ",
+                "\"stall_ms\": {}, ",
+                "\"stage_p999_compute_ms\": [{:.3}, {:.3}, {:.3}], ",
+                "\"stage_p999_queue_ms\": [{:.3}, {:.3}, {:.3}], ",
+                "\"stage_p999_stall_ms\": [{:.3}, {:.3}, {:.3}], ",
+                "\"max_residual_ns\": {}, \"priority_drains\": {}, ",
+                "\"sheds\": {}, \"overruns_predicted\": {}}}"
+            ),
+            quad_json(self.total),
+            quad_json(self.compute),
+            quad_json(self.queue),
+            quad_json(self.stall),
+            self.stage_p999_compute[0],
+            self.stage_p999_compute[1],
+            self.stage_p999_compute[2],
+            self.stage_p999_queue[0],
+            self.stage_p999_queue[1],
+            self.stage_p999_queue[2],
+            self.stage_p999_stall[0],
+            self.stage_p999_stall[1],
+            self.stage_p999_stall[2],
+            self.max_residual_ns,
+            self.priority_drains,
+            self.sheds,
+            self.overruns_predicted,
+        )
+    }
+}
+
 fn main() {
     sov_bench::banner(
         "Pipeline matrix",
@@ -182,8 +291,8 @@ fn main() {
     // --- replay cells -----------------------------------------------------
     sov_bench::section("replay cells: measured throughput, latency, occupancy");
     println!(
-        "{:<14} | {:>9} | {:>8} | {:>8} | {:>8} | {:>17}",
-        "cell", "fps", "p50 ms", "p99 ms", "speedup", "occ sen/per/plan"
+        "{:<14} | {:>9} | {:>8} | {:>8} | {:>8} | {:>17} | {:>20}",
+        "cell", "fps", "p50 ms", "p99 ms", "speedup", "occ sen/per/plan", "p99.9 cmp/que/stl ms"
     );
     struct ReplayRow {
         depth: usize,
@@ -193,6 +302,8 @@ fn main() {
         p99_ms: f64,
         speedup: f64,
         occupancy: [f64; 3],
+        /// Compute/queue/stall attribution, each `[p50, p99, p999, max]`.
+        split: [[f64; 4]; 3],
         checksum: u64,
     }
     let mut replay_rows: Vec<ReplayRow> = Vec::new();
@@ -218,10 +329,11 @@ fn main() {
                 p99_ms: ms(run.latency_percentile(0.99)),
                 speedup: fps / baseline_fps,
                 occupancy: [run.occupancy(0), run.occupancy(1), run.occupancy(2)],
+                split: replay_split(&run),
                 checksum,
             };
             println!(
-                "d{} w{:<10} | {:>9.1} | {:>8.3} | {:>8.3} | {:>7.2}× | {:>4.2}/{:>4.2}/{:>4.2}{}",
+                "d{} w{:<10} | {:>9.1} | {:>8.3} | {:>8.3} | {:>7.2}× | {:>4.2}/{:>4.2}/{:>4.2} | {:>6.2}/{:>5.2}/{:>5.2}{}",
                 row.depth,
                 row.workers,
                 row.fps,
@@ -231,6 +343,9 @@ fn main() {
                 row.occupancy[0],
                 row.occupancy[1],
                 row.occupancy[2],
+                row.split[0][2],
+                row.split[1][2],
+                row.split[2][2],
                 if checksum == baseline_checksum {
                     ""
                 } else {
@@ -283,6 +398,7 @@ fn main() {
         wall_ms: f64,
         fps: f64,
         occupancy: Option<[f64; 3]>,
+        tail: DriveTail,
         digest: u64,
         matches_serial: bool,
     }
@@ -344,6 +460,7 @@ fn main() {
             wall_ms: ms(wall),
             fps: drive_frames as f64 / wall.as_secs_f64(),
             occupancy,
+            tail: DriveTail::of(&report.tail),
             digest: digest_report(&report),
             matches_serial,
         });
@@ -351,6 +468,105 @@ fn main() {
             serial_report = Some(report);
         }
     }
+
+    // --- tail cells -------------------------------------------------------
+    sov_bench::section("tail cells: deadline-driven draining under compute overruns");
+    let tsecs = |s: u64| SimTime::from_millis(s * 1000);
+    // Per-frame RPR delay spikes (uniform in [0, 280) ms) lift the
+    // predictor's `ewma + 2·dev` past the 300 ms Eq. 1 deadline while the
+    // *individual* misses stay mostly non-consecutive — so the vehicle
+    // stays Nominal and piped, which is exactly the regime where priority
+    // draining has in-flight commits to reorder. (A sustained overrun
+    // would trip the 3-consecutive-miss watchdog into ReactiveOnly, whose
+    // planning is already synchronous.) The shed cell instead uses a
+    // steady +350 ms overrun to cross the 1.5× escalation threshold.
+    let drain_plan = FaultPlan::new(seed ^ 0x7A11).with_intensity(
+        FaultKind::RprDelaySpike,
+        tsecs(2),
+        tsecs(14),
+        280.0,
+    );
+    let shed_plan = FaultPlan::new(seed ^ 0x7A11).with_intensity(
+        FaultKind::StageOverrun,
+        tsecs(2),
+        tsecs(14),
+        350.0,
+    );
+    let run_tail = |depth: usize, workers: usize, policy: TailPolicy, plan: &FaultPlan| {
+        let mut sov = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        let mut perf = PerfContext::serial().with_tail_policy(policy);
+        if workers > 0 {
+            perf = PerfContext::with_pipeline_workers(depth, workers).with_tail_policy(policy);
+        }
+        sov.set_perf(perf);
+        sov.drive_with_plan(&scenario, drive_frames, plan)
+            .expect("drive completes")
+    };
+    struct TailRow {
+        label: &'static str,
+        tail: DriveTail,
+        frames_shed: u64,
+        digest: u64,
+        matches_baseline: bool,
+    }
+    let base = run_tail(3, 3, TailPolicy::default(), &drain_plan);
+    let drained = run_tail(3, 3, TailPolicy::draining(), &drain_plan);
+    // Shedding changes the output, so its baseline is the *serial* drive
+    // running the same policy — bit-identity of the policy itself.
+    let shed_serial = run_tail(0, 0, TailPolicy::draining_and_shedding(), &shed_plan);
+    let shed = run_tail(3, 3, TailPolicy::draining_and_shedding(), &shed_plan);
+    let drain_identical = drained == base;
+    let shed_identical = shed == shed_serial;
+    if !drain_identical || !shed_identical {
+        determinism_ok = false;
+    }
+    let tail_rows = [
+        TailRow {
+            label: "d3 w3 policy=off",
+            tail: DriveTail::of(&base.tail),
+            frames_shed: base.frames_shed,
+            digest: digest_report(&base),
+            matches_baseline: true,
+        },
+        TailRow {
+            label: "d3 w3 drain",
+            tail: DriveTail::of(&drained.tail),
+            frames_shed: drained.frames_shed,
+            digest: digest_report(&drained),
+            matches_baseline: drain_identical,
+        },
+        TailRow {
+            label: "d3 w3 drain+shed",
+            tail: DriveTail::of(&shed.tail),
+            frames_shed: shed.frames_shed,
+            digest: digest_report(&shed),
+            matches_baseline: shed_identical,
+        },
+    ];
+    println!(
+        "{:<17} | {:>9} | {:>9} | {:>9} | {:>6} | {:>6} | {:>5}",
+        "cell", "p50 ms", "p99.9 ms", "max ms", "drains", "sheds", "ident"
+    );
+    for row in &tail_rows {
+        println!(
+            "{:<17} | {:>9.3} | {:>9.3} | {:>9.3} | {:>6} | {:>6} | {:>5}{}",
+            row.label,
+            row.tail.total[0],
+            row.tail.total[2],
+            row.tail.total[3],
+            row.tail.priority_drains,
+            row.frames_shed,
+            row.matches_baseline,
+            if row.matches_baseline {
+                ""
+            } else {
+                "  REPORT DIVERGED"
+            },
+        );
+    }
+    let p999_off = tail_rows[0].tail.total[2];
+    let p999_drain = tail_rows[1].tail.total[2];
+    let tail_improved = p999_drain < p999_off;
 
     // --- acceptance -------------------------------------------------------
     let depth3 = replay_rows
@@ -382,6 +598,28 @@ fn main() {
         "drive cell d3 w4: sensing, perception, planning lanes all busy: {}",
         if fe_occupied { "PASS" } else { "FAIL" },
     );
+    println!(
+        "tail cells: drained/shed reports identical to their baselines: {}",
+        if drain_identical && shed_identical {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+    );
+    if host_cores >= 3 {
+        println!(
+            "tail gate: d3 w3 p99.9 drive latency, drain {p999_drain:.3} ms < off {p999_off:.3} ms: {}",
+            if tail_improved { "PASS" } else { "FAIL" },
+        );
+    } else {
+        // One visible line, not a failure: a host without three cores
+        // cannot overlap the lanes, so the drain reordering has nothing
+        // to win back. The determinism half above still gates.
+        println!(
+            "warning: host_cores = {host_cores} < 3 — tail gate informational only \
+             (drain {p999_drain:.3} ms vs off {p999_off:.3} ms)"
+        );
+    }
 
     if let Some(path) = json_path {
         let mut out = String::from("{\n");
@@ -409,6 +647,7 @@ fn main() {
                         "\"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, ",
                         "\"speedup_vs_serial\": {:.4}, ",
                         "\"occupancy\": [{:.4}, {:.4}, {:.4}], ",
+                        "\"compute_ms\": {}, \"queue_ms\": {}, \"stall_ms\": {}, ",
                         "\"checksum\": \"{:016x}\"}}"
                     ),
                     r.depth,
@@ -420,6 +659,9 @@ fn main() {
                     r.occupancy[0],
                     r.occupancy[1],
                     r.occupancy[2],
+                    quad_json(r.split[0]),
+                    quad_json(r.split[1]),
+                    quad_json(r.split[2]),
                     r.checksum,
                 )
             })
@@ -452,6 +694,7 @@ fn main() {
                     concat!(
                         "    {{\"depth\": {}, \"workers\": {}, \"frontend_lane\": {}, ",
                         "\"wall_ms\": {:.1}, \"fps\": {:.2}, \"occupancy\": {}, ",
+                        "\"tail\": {}, ",
                         "\"report_digest\": \"{:016x}\", \"matches_serial\": {}}}"
                     ),
                     r.depth,
@@ -460,13 +703,44 @@ fn main() {
                     r.wall_ms,
                     r.fps,
                     occ,
+                    r.tail.json(),
                     r.digest,
                     r.matches_serial,
                 )
             })
             .collect();
         out.push_str(&rows.join(",\n"));
-        out.push_str("\n  ]\n}\n");
+        out.push_str("\n  ],\n  \"tail_cells\": [\n");
+        let rows: Vec<String> = tail_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "    {{\"cell\": \"{}\", \"tail\": {}, \"frames_shed\": {}, ",
+                        "\"report_digest\": \"{:016x}\", \"matches_baseline\": {}}}"
+                    ),
+                    r.label,
+                    r.tail.json(),
+                    r.frames_shed,
+                    r.digest,
+                    r.matches_baseline,
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str(&format!(
+            concat!(
+                "\n  ],\n  \"tail_gate\": {{\"depth\": 3, \"workers\": 3, ",
+                "\"rpr_spike_ms\": 280.0, \"p999_total_ms_off\": {:.3}, ",
+                "\"p999_total_ms_drain\": {:.3}, \"drain_improves_p999\": {}, ",
+                "\"reports_identical\": {}, \"enforced\": {}}}\n}}\n"
+            ),
+            p999_off,
+            p999_drain,
+            tail_improved,
+            drain_identical && shed_identical,
+            host_cores >= 3,
+        ));
         std::fs::write(&path, out).expect("write JSON report");
         println!("\nwrote {path}");
     }
@@ -481,6 +755,10 @@ fn main() {
     }
     if !fe_occupied {
         eprintln!("occupancy gate: d3 w4 drive must keep all three lanes busy");
+        std::process::exit(1);
+    }
+    if host_cores >= 3 && !tail_improved {
+        eprintln!("tail gate: priority draining must improve d3 w3 p99.9 drive latency");
         std::process::exit(1);
     }
 }

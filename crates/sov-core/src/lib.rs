@@ -58,6 +58,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod safety;
 pub mod sov;
+pub mod tail;
 
 pub use arena::FrameArena;
 pub use config::VehicleConfig;
@@ -65,3 +66,4 @@ pub use health::{DegradationMode, HealthConfig, HealthMonitor};
 pub use pool::{PerfContext, WorkerPool};
 pub use safety::{SafetyChecker, SafetyConfig, SafetyReport};
 pub use sov::{DriveOutcome, DriveReport, Sov};
+pub use tail::{DeadlineMonitor, TailReport};

@@ -28,6 +28,7 @@ use crate::health::{DegradationMode, HealthConfig, HealthMonitor};
 use crate::pipeline::LatencyPipeline;
 use crate::pool::PerfContext;
 use crate::safety::{SafetyChecker, SafetyConfig, SafetyReport};
+use crate::tail::{DeadlineMonitor, TailReport};
 use crate::FrameArena;
 use sov_fault::{FaultKind, FaultPlan};
 use sov_math::stats::Summary;
@@ -38,6 +39,7 @@ use sov_perception::fusion::{FixOutcome, FusionConfig, GpsVioFusion};
 use sov_perception::vio::{VioConfig, VioFilter};
 use sov_planning::mpc::MpcPlanner;
 use sov_planning::{Planner, PlanningInput, PlanningObstacle};
+use sov_runtime::ledger::{FrameSample, LatencyLedger, StageSample};
 use sov_runtime::queue::{ring, RingReceiver, RingSender};
 use sov_runtime::LaneOccupancy;
 use sov_sensors::camera::{Camera, CameraFrame, Intrinsics, StereoRig};
@@ -87,10 +89,12 @@ impl std::error::Error for SovError {}
 
 /// Statistics of one drive.
 ///
-/// `PartialEq` is exact (bitwise on every float): the determinism tests
-/// assert that a pool-enabled drive produces a report identical to the
-/// serial drive.
-#[derive(Debug, Clone, PartialEq)]
+/// `PartialEq` is exact (bitwise on every float) over every *simulated*
+/// field: the determinism tests assert that a pool-enabled drive produces
+/// a report identical to the serial drive. The [`tail`](Self::tail)
+/// breakdown is excluded — it is wall-clock telemetry and legitimately
+/// differs between schedules.
+#[derive(Debug, Clone)]
 pub struct DriveReport {
     /// Outcome.
     pub outcome: DriveOutcome,
@@ -124,10 +128,45 @@ pub struct DriveReport {
     pub deadline_misses: u64,
     /// Planner→ECU command frames lost to CAN fault injection.
     pub can_frames_lost: u64,
+    /// Camera frames deliberately shed by the deadline monitor's
+    /// escalation step ([`sov_runtime::ledger::TailPolicy::shed`]).
+    /// Simulated (deterministic per seed + policy), so it *is* part of
+    /// report equality.
+    pub frames_shed: u64,
     /// Per-tick safety-invariant outcome (no-collision, min-gap,
     /// SafeStop-reachability against ground truth; see
     /// [`crate::safety`]).
     pub safety: SafetyReport,
+    /// Wall-clock tail-latency breakdown from the drive's
+    /// [`LatencyLedger`]: end-to-end control-path latency split into
+    /// compute / queue / stall at p50/p99/p99.9/max, plus per-lane
+    /// summaries and the tail-policy counters. **Excluded from
+    /// `PartialEq`.**
+    pub tail: TailReport,
+}
+
+impl PartialEq for DriveReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Every simulated field, bitwise; `tail` deliberately excluded
+        // (wall-clock telemetry — the asymmetry it measures is real).
+        self.outcome == other.outcome
+            && self.frames == other.frames
+            && self.distance_m == other.distance_m
+            && self.override_engagements == other.override_engagements
+            && self.override_ticks == other.override_ticks
+            && self.computing == other.computing
+            && self.min_obstacle_gap_m == other.min_obstacle_gap_m
+            && self.energy_used_kwh == other.energy_used_kwh
+            && self.final_localization_error_m == other.final_localization_error_m
+            && self.mean_cross_track_error_m == other.mean_cross_track_error_m
+            && self.mode_ticks == other.mode_ticks
+            && self.mode_transitions == other.mode_transitions
+            && self.recovery_ms == other.recovery_ms
+            && self.deadline_misses == other.deadline_misses
+            && self.can_frames_lost == other.can_frames_lost
+            && self.frames_shed == other.frames_shed
+            && self.safety == other.safety
+    }
 }
 
 impl DriveReport {
@@ -274,8 +313,11 @@ impl Sov {
             perf,
         } = self;
         let perf: &PerfContext = perf;
-        let depth = perf.pipeline_depth();
-        let piped = depth > 1 && perf.pool().is_some_and(|p| p.lanes() >= 3);
+        // The single pipelining gate: piped mode without a pool (or with
+        // fewer than three lanes) normalizes to the serial schedule
+        // instead of paying ring overhead with no overlap.
+        let depth = perf.effective_pipeline_depth();
+        let piped = depth > 1;
         // The visual front-end draws its seed first — before any camera
         // event — on every schedule, preserving the main RNG sequence.
         let frontend = FrontEnd::new(
@@ -339,14 +381,41 @@ impl Sov {
             // lane — the FIFO chain preserves the serial frame order end
             // to end.
             stages.push(Box::new(move || {
-                while let Some(FeJob { frame, out, req }) = fe_job_rx.recv() {
-                    let t0 = Instant::now();
+                while let Some(FeJob {
+                    frame,
+                    out,
+                    req,
+                    k,
+                    t0,
+                }) = fe_job_rx.recv()
+                {
+                    let t1 = Instant::now();
                     let product = frontend.process(&frame, req.as_ref());
-                    occ.record(LaneOccupancy::SENSING, t0.elapsed());
-                    if fe_done_tx.send(FeDone { out: product }).is_err() {
+                    let t2 = Instant::now();
+                    occ.record(LaneOccupancy::SENSING, t2 - t1);
+                    if fe_done_tx
+                        .send(FeDone {
+                            out: product,
+                            k,
+                            t0,
+                            t1,
+                            t2,
+                        })
+                        .is_err()
+                    {
                         break;
                     }
-                    if det_tx.send(DetJob { frame, out }).is_err() {
+                    // The perception stage's queue clock starts when
+                    // sensing hands the frame off.
+                    if det_tx
+                        .send(DetJob {
+                            frame,
+                            out,
+                            k,
+                            t0: t2,
+                        })
+                        .is_err()
+                    {
                         break;
                     }
                 }
@@ -364,11 +433,18 @@ impl Sov {
         // the serial sequence.
         let occ = Arc::clone(&occupancy);
         stages.push(Box::new(move || {
-            while let Some(DetJob { frame, mut out }) = det_job_rx.recv() {
-                let t0 = Instant::now();
+            while let Some(DetJob {
+                frame,
+                mut out,
+                k,
+                t0,
+            }) = det_job_rx.recv()
+            {
+                let t1 = Instant::now();
                 detector.detect_into(&frame, |id| true_class_of(world, id), &mut out);
-                occ.record(LaneOccupancy::PERCEPTION, t0.elapsed());
-                if det_done_tx.send(DetDone { out }).is_err() {
+                let t2 = Instant::now();
+                occ.record(LaneOccupancy::PERCEPTION, t2 - t1);
+                if det_done_tx.send(DetDone { out, k, t0, t1, t2 }).is_err() {
                     break;
                 }
             }
@@ -378,14 +454,17 @@ impl Sov {
         let occ = Arc::clone(&occupancy);
         stages.push(Box::new(move || {
             while let Some(PlanJob { input }) = plan_job_rx.recv() {
-                let t0 = Instant::now();
+                let t1 = Instant::now();
                 let plan = planner.plan(&input);
-                occ.record(LaneOccupancy::PLANNING, t0.elapsed());
+                let t2 = Instant::now();
+                occ.record(LaneOccupancy::PLANNING, t2 - t1);
                 let PlanningInput { obstacles, .. } = input;
                 if plan_done_tx
                     .send(PlanDone {
                         command: plan.command,
                         obstacles,
+                        t1,
+                        t2,
                     })
                     .is_err()
                 {
@@ -432,12 +511,24 @@ struct FeJob {
     frame: CameraFrame,
     out: Vec<Detection>,
     req: Option<EgoMotionRequest>,
+    /// Camera-frame sequence number, for ledger attribution.
+    k: u64,
+    /// Dispatch (ring queue-in) stamp.
+    t0: Instant,
 }
 
-/// The front-end product coming back from the sensing lane. `Copy`: the
-/// ring hand-off allocates nothing.
+/// The front-end product coming back from the sensing lane. The stamps
+/// (`Copy`, like the output) let the sequencer attribute the frame's
+/// sensing span without any shared state.
 struct FeDone {
     out: FrontEndOutput,
+    k: u64,
+    /// Dispatch stamp, forwarded from the job.
+    t0: Instant,
+    /// Compute start on the sensing lane.
+    t1: Instant,
+    /// Compute end on the sensing lane.
+    t2: Instant,
 }
 
 /// A camera frame headed to the perception lane plus a reusable output
@@ -446,14 +537,25 @@ struct FeDone {
 struct DetJob {
     frame: CameraFrame,
     out: Vec<Detection>,
+    k: u64,
+    /// Queue-in stamp (dispatch time; sensing-lane hand-off time when the
+    /// front-end runs on its own lane).
+    t0: Instant,
 }
 
 /// Finished detections coming back from the perception lane.
 struct DetDone {
     out: Vec<Detection>,
+    k: u64,
+    t0: Instant,
+    /// Compute start on the perception lane.
+    t1: Instant,
+    /// Compute end on the perception lane.
+    t2: Instant,
 }
 
-/// A planning input headed to the planning lane.
+/// A planning input headed to the planning lane (the dispatch stamp rides
+/// in the sequencer-side [`PlanMeta`]).
 struct PlanJob {
     input: PlanningInput,
 }
@@ -463,6 +565,10 @@ struct PlanJob {
 struct PlanDone {
     command: ControlCommand,
     obstacles: Vec<PlanningObstacle>,
+    /// Compute start on the planning lane.
+    t1: Instant,
+    /// Compute end on the planning lane.
+    t2: Instant,
 }
 
 /// Sequencing metadata the main thread records when it dispatches a plan.
@@ -475,6 +581,12 @@ struct PlanMeta {
     /// `ecu.overrides_engaged_count()` at dispatch; any increase by commit
     /// time means the serial schedule would have flushed the command.
     engage_count: u64,
+    /// Control-frame index, for ledger attribution.
+    frame: u64,
+    /// Dispatch (queue-in) stamp.
+    t0: Instant,
+    /// Whether this tick planned under a degraded mode (ledger tag).
+    degraded: bool,
 }
 
 /// The pipelined stage endpoints owned by the event loop (sequencer side).
@@ -567,44 +679,79 @@ fn apply_frontend_output(out: &FrontEndOutput, vio: &mut VioFilter) {
     }
 }
 
+/// Stall attributed to a blocking absorb: the time the sequencer spent
+/// blocked (since `t_r`, the pre-recv stamp) *past* the producing lane's
+/// compute end `t2`. A result that was already waiting stalls nothing.
+fn stall_past(t_r: Instant, t2: Instant, t3: Instant) -> u64 {
+    t3.saturating_duration_since(if t_r > t2 { t_r } else { t2 })
+        .as_nanos() as u64
+}
+
 impl PipedLanes {
     /// Dispatches one camera frame to the front-end and detector stages.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_camera(
         &mut self,
         frame: CameraFrame,
         req: Option<EgoMotionRequest>,
+        k: u64,
         vio: &mut VioFilter,
         last: &mut Vec<Detection>,
         arena: &FrameArena,
+        led: &LatencyLedger,
     ) {
         let out = self.det_free.pop().unwrap_or_else(|| arena.take());
         self.det_inflight += 1;
         match &mut self.frontend {
             FrontEndRoute::Sequencer { frontend, det_tx } => {
+                let t0 = Instant::now();
                 let product = frontend.process(&frame, req.as_ref());
                 apply_frontend_output(&product, vio);
+                let t2 = Instant::now();
+                // Inline on the sequencer: pure compute, no queue/stall.
+                led.record_stage(StageSample::from_stamps(
+                    LaneOccupancy::SENSING,
+                    k,
+                    t0,
+                    t0,
+                    t2,
+                    t2,
+                    0,
+                ));
                 det_tx
-                    .send(DetJob { frame, out })
+                    .send(DetJob {
+                        frame,
+                        out,
+                        k,
+                        t0: t2,
+                    })
                     .unwrap_or_else(|_| unreachable!("perception lane outlives the drive"));
             }
             FrontEndRoute::Lane {
                 fe_tx, inflight, ..
             } => {
                 *inflight += 1;
+                let t0 = Instant::now();
                 fe_tx
-                    .send(FeJob { frame, out, req })
+                    .send(FeJob {
+                        frame,
+                        out,
+                        req,
+                        k,
+                        t0,
+                    })
                     .unwrap_or_else(|_| unreachable!("sensing lane outlives the drive"));
             }
         }
         if self.sync_mode {
-            self.sync_frontend(vio);
-            self.sync_detections(last);
+            self.sync_frontend(vio, led);
+            self.sync_detections(last, led);
         }
     }
 
     /// Absorbs every finished front-end output without blocking (FIFO, so
     /// the VIO filter consumes increments in capture order).
-    fn absorb_ready_frontend(&mut self, vio: &mut VioFilter) {
+    fn absorb_ready_frontend(&mut self, vio: &mut VioFilter, led: &LatencyLedger) {
         if let FrontEndRoute::Lane {
             fe_rx, inflight, ..
         } = &mut self.frontend
@@ -614,6 +761,16 @@ impl PipedLanes {
                     Some(done) => {
                         *inflight -= 1;
                         apply_frontend_output(&done.out, vio);
+                        let t3 = Instant::now();
+                        led.record_stage(StageSample::from_stamps(
+                            LaneOccupancy::SENSING,
+                            done.k,
+                            done.t0,
+                            done.t1,
+                            done.t2,
+                            t3,
+                            0,
+                        ));
                     }
                     None => break,
                 }
@@ -624,42 +781,90 @@ impl PipedLanes {
     /// Blocks until every dispatched frame's front-end output has been
     /// applied to the VIO filter — after this, the filter holds exactly
     /// the serial visual-update state.
-    fn sync_frontend(&mut self, vio: &mut VioFilter) {
+    fn sync_frontend(&mut self, vio: &mut VioFilter, led: &LatencyLedger) {
         if let FrontEndRoute::Lane {
             fe_rx, inflight, ..
         } = &mut self.frontend
         {
             while *inflight > 0 {
+                let t_r = Instant::now();
                 let done = fe_rx.recv().expect("sensing lane alive");
                 *inflight -= 1;
                 apply_frontend_output(&done.out, vio);
+                let t3 = Instant::now();
+                led.record_stage(StageSample::from_stamps(
+                    LaneOccupancy::SENSING,
+                    done.k,
+                    done.t0,
+                    done.t1,
+                    done.t2,
+                    t3,
+                    stall_past(t_r, done.t2, t3),
+                ));
             }
         }
     }
     /// Commits the next in-flight plan (FIFO) under the equivalence rules.
-    fn commit(&mut self, done: PlanDone, ecu: &mut Ecu, arena: &FrameArena) {
+    /// `stall` is the barrier time the sequencer spent blocked waiting for
+    /// this result (zero when it was absorbed opportunistically); `t3` is
+    /// the commit stamp.
+    fn commit(
+        &mut self,
+        done: PlanDone,
+        stall: u64,
+        t3: Instant,
+        ecu: &mut Ecu,
+        arena: &FrameArena,
+        led: &LatencyLedger,
+    ) {
         let meta = self.pending.pop_front().expect("one meta per plan job");
         arena.recycle(done.obstacles);
         if meta.accept && ecu.overrides_engaged_count() == meta.engage_count {
             ecu.accept_command(done.command, meta.arrival);
         }
+        let sample = StageSample::from_stamps(
+            LaneOccupancy::PLANNING,
+            meta.frame,
+            meta.t0,
+            done.t1,
+            done.t2,
+            t3,
+            stall,
+        );
+        led.record_stage(sample);
+        // The planning stage *is* the control path: dispatch → ECU commit
+        // is the end-to-end latency Eq. 1 bounds.
+        led.record_frame(FrameSample::from_stage(&sample, meta.degraded));
     }
 
     /// Blocks until every in-flight plan has committed.
-    fn drain_plans(&mut self, ecu: &mut Ecu, arena: &FrameArena) {
+    fn drain_plans(&mut self, ecu: &mut Ecu, arena: &FrameArena, led: &LatencyLedger) {
         while !self.pending.is_empty() {
+            let t_r = Instant::now();
             let done = self.plan_rx.recv().expect("planning lane alive");
-            self.commit(done, ecu, arena);
+            let t3 = Instant::now();
+            let stall = stall_past(t_r, done.t2, t3);
+            self.commit(done, stall, t3, ecu, arena, led);
         }
     }
 
     /// Absorbs every finished detection without blocking (FIFO, so `last`
     /// ends up holding the newest absorbed frame's detections).
-    fn absorb_ready_detections(&mut self, last: &mut Vec<Detection>) {
+    fn absorb_ready_detections(&mut self, last: &mut Vec<Detection>, led: &LatencyLedger) {
         while self.det_inflight > 0 {
             match self.det_rx.try_recv() {
                 Some(done) => {
                     self.det_inflight -= 1;
+                    let t3 = Instant::now();
+                    led.record_stage(StageSample::from_stamps(
+                        LaneOccupancy::PERCEPTION,
+                        done.k,
+                        done.t0,
+                        done.t1,
+                        done.t2,
+                        t3,
+                        0,
+                    ));
                     self.det_free.push(std::mem::replace(last, done.out));
                 }
                 None => break,
@@ -670,10 +875,21 @@ impl PipedLanes {
     /// Blocks until every dispatched camera frame has been detected; on
     /// return `last` holds the detections of the newest dispatched frame —
     /// exactly the serial `last_detections` state.
-    fn sync_detections(&mut self, last: &mut Vec<Detection>) {
+    fn sync_detections(&mut self, last: &mut Vec<Detection>, led: &LatencyLedger) {
         while self.det_inflight > 0 {
+            let t_r = Instant::now();
             let done = self.det_rx.recv().expect("perception lane alive");
             self.det_inflight -= 1;
+            let t3 = Instant::now();
+            led.record_stage(StageSample::from_stamps(
+                LaneOccupancy::PERCEPTION,
+                done.k,
+                done.t0,
+                done.t1,
+                done.t2,
+                t3,
+                stall_past(t_r, done.t2, t3),
+            ));
             self.det_free.push(std::mem::replace(last, done.out));
         }
     }
@@ -698,24 +914,49 @@ enum StageLanes<'a> {
 impl StageLanes<'_> {
     /// Runs (or dispatches) the per-camera-frame stage work: the visual
     /// front-end (disparity, tracking, ego-motion → VIO) and detection.
+    #[allow(clippy::too_many_arguments)] // the sequencer's full per-frame state
     fn camera_frame(
         &mut self,
         frame: CameraFrame,
         req: Option<EgoMotionRequest>,
+        k: u64,
         vio: &mut VioFilter,
         last: &mut Vec<Detection>,
         world: &World,
         arena: &FrameArena,
+        led: &LatencyLedger,
     ) {
         match self {
             Self::Inline {
                 detector, frontend, ..
             } => {
+                let t0 = Instant::now();
                 detector.detect_into(&frame, |id| true_class_of(world, id), last);
+                let t_mid = Instant::now();
                 let product = frontend.process(&frame, req.as_ref());
                 apply_frontend_output(&product, vio);
+                let t1 = Instant::now();
+                // Inline stages are pure compute (no rings, no barriers).
+                led.record_stage(StageSample::from_stamps(
+                    LaneOccupancy::PERCEPTION,
+                    k,
+                    t0,
+                    t0,
+                    t_mid,
+                    t_mid,
+                    0,
+                ));
+                led.record_stage(StageSample::from_stamps(
+                    LaneOccupancy::SENSING,
+                    k,
+                    t_mid,
+                    t_mid,
+                    t1,
+                    t1,
+                    0,
+                ));
             }
-            Self::Piped(p) => p.dispatch_camera(frame, req, vio, last, arena),
+            Self::Piped(p) => p.dispatch_camera(frame, req, k, vio, last, arena, led),
         }
     }
 
@@ -724,22 +965,32 @@ impl StageLanes<'_> {
     /// rules when piped). `can_lost` marks a lost CAN frame: the plan is
     /// still computed — the planner's state must advance identically —
     /// but the command never reaches the ECU.
+    #[allow(clippy::too_many_arguments)] // the sequencer's full per-tick state
     fn plan(
         &mut self,
         input: PlanningInput,
         arrival: SimTime,
         can_lost: bool,
+        frame: u64,
+        degraded: bool,
         ecu: &mut Ecu,
         arena: &FrameArena,
+        led: &LatencyLedger,
     ) {
         match self {
             Self::Inline { planner, .. } => {
+                let t0 = Instant::now();
                 let plan = planner.plan(&input);
                 let PlanningInput { obstacles, .. } = input;
                 arena.recycle(obstacles);
                 if !can_lost {
                     ecu.accept_command(plan.command, arrival);
                 }
+                let t3 = Instant::now();
+                let sample =
+                    StageSample::from_stamps(LaneOccupancy::PLANNING, frame, t0, t0, t3, t3, 0);
+                led.record_stage(sample);
+                led.record_frame(FrameSample::from_stage(&sample, degraded));
             }
             Self::Piped(p) => {
                 let accept = !can_lost && !ecu.override_engaged();
@@ -747,12 +998,15 @@ impl StageLanes<'_> {
                     arrival,
                     accept,
                     engage_count: ecu.overrides_engaged_count(),
+                    frame,
+                    t0: Instant::now(),
+                    degraded,
                 });
                 p.plan_tx
                     .send(PlanJob { input })
                     .unwrap_or_else(|_| unreachable!("planning lane outlives the drive"));
                 if p.sync_mode {
-                    p.drain_plans(ecu, arena);
+                    p.drain_plans(ecu, arena, led);
                 }
             }
         }
@@ -768,13 +1022,17 @@ impl StageLanes<'_> {
         arena: &FrameArena,
         last: &mut Vec<Detection>,
         vio: &mut VioFilter,
+        led: &LatencyLedger,
     ) {
         let Self::Piped(p) = self else { return };
-        p.absorb_ready_frontend(vio);
-        p.absorb_ready_detections(last);
+        p.absorb_ready_frontend(vio, led);
+        p.absorb_ready_detections(last, led);
         while !p.pending.is_empty() {
             match p.plan_rx.try_recv() {
-                Some(done) => p.commit(done, ecu, arena),
+                Some(done) => {
+                    let t3 = Instant::now();
+                    p.commit(done, 0, t3, ecu, arena, led);
+                }
                 None => break,
             }
         }
@@ -787,25 +1045,45 @@ impl StageLanes<'_> {
                 break;
             }
             for _ in 0..=i {
+                let t_r = Instant::now();
                 let done = p.plan_rx.recv().expect("planning lane alive");
-                p.commit(done, ecu, arena);
+                let t3 = Instant::now();
+                let stall = stall_past(t_r, done.t2, t3);
+                p.commit(done, stall, t3, ecu, arena, led);
             }
         }
     }
 
+    /// Priority draining of the control-critical path: when the deadline
+    /// monitor predicts an Eq. 1 overrun, the sequencer block-drains the
+    /// pending plan commits *before* dispatching the next speculative
+    /// camera frame, so the planner lane gets the sequencer's attention
+    /// (and, on a saturated host, the core) ahead of front-end work.
+    /// Output-invariant: commits stay FIFO and only move *earlier* in
+    /// wall-clock time, which the eager-commit equivalence rules already
+    /// cover — hence bounded-FIFO determinism is preserved.
+    fn priority_drain(&mut self, ecu: &mut Ecu, arena: &FrameArena, led: &LatencyLedger) {
+        let Self::Piped(p) = self else { return };
+        if p.pending.is_empty() {
+            return;
+        }
+        led.note_priority_drain();
+        p.drain_plans(ecu, arena, led);
+    }
+
     /// Barrier: after this, `last` holds the serial detection state.
-    fn sync_detections(&mut self, last: &mut Vec<Detection>) {
+    fn sync_detections(&mut self, last: &mut Vec<Detection>, led: &LatencyLedger) {
         if let Self::Piped(p) = self {
-            p.sync_detections(last);
+            p.sync_detections(last, led);
         }
     }
 
     /// Barrier: after this, the VIO filter holds the serial visual-update
     /// state. Must precede any event that *reads* the filter (GPS fix
     /// ingestion, the control tick's fused position).
-    fn sync_frontend(&mut self, vio: &mut VioFilter) {
+    fn sync_frontend(&mut self, vio: &mut VioFilter, led: &LatencyLedger) {
         if let Self::Piped(p) = self {
-            p.sync_frontend(vio);
+            p.sync_frontend(vio, led);
         }
     }
 
@@ -819,12 +1097,13 @@ impl StageLanes<'_> {
         arena: &FrameArena,
         last: &mut Vec<Detection>,
         vio: &mut VioFilter,
+        led: &LatencyLedger,
     ) {
         let Self::Piped(p) = self else { return };
         if degraded && !p.sync_mode {
-            p.sync_frontend(vio);
-            p.sync_detections(last);
-            p.drain_plans(ecu, arena);
+            p.sync_frontend(vio, led);
+            p.sync_detections(last, led);
+            p.drain_plans(ecu, arena, led);
         }
         p.sync_mode = degraded;
     }
@@ -838,11 +1117,12 @@ impl StageLanes<'_> {
         arena: &FrameArena,
         last: &mut Vec<Detection>,
         vio: &mut VioFilter,
+        led: &LatencyLedger,
     ) {
         let Self::Piped(p) = self else { return };
-        p.sync_frontend(vio);
-        p.sync_detections(last);
-        p.drain_plans(ecu, arena);
+        p.sync_frontend(vio, led);
+        p.sync_detections(last, led);
+        p.drain_plans(ecu, arena, led);
         for buf in p.det_free.drain(..) {
             arena.recycle(buf);
         }
@@ -916,9 +1196,20 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
         recovery_ms: Summary::new(),
         deadline_misses: 0,
         can_frames_lost: 0,
+        frames_shed: 0,
         safety: SafetyReport::default(),
+        tail: TailReport::default(),
     };
-    let mut health = HealthMonitor::new(HealthConfig::default(), SimTime::ZERO);
+    let health_cfg = HealthConfig::default();
+    let mut health = HealthMonitor::new(health_cfg, SimTime::ZERO);
+    // Tail accounting + the deadline-driven tail policy. The monitor is
+    // fed only the *modeled* computing latency — deterministic per seed
+    // and schedule-independent — so its verdicts (and any drain/shed they
+    // trigger) are identical on serial and piped drives.
+    let policy = perf.tail;
+    let led = &perf.ledger;
+    led.begin(&perf.arena);
+    let mut monitor = DeadlineMonitor::new(health_cfg.compute_deadline);
     // Ground-truth invariant checker: shared-path code, so serial and
     // pipelined drives produce bit-identical safety reports.
     let mut safety = SafetyChecker::new(SafetyConfig {
@@ -970,7 +1261,14 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
         // Absorb finished pipeline work and commit every plan whose
         // arrival is due — *before* physics advances to `t`, so the
         // ECU promotes commands exactly as the serial schedule would.
-        lanes.pump(t, &mut ecu, &perf.arena, &mut last_detections, &mut vio);
+        lanes.pump(
+            t,
+            &mut ecu,
+            &perf.arena,
+            &mut last_detections,
+            &mut vio,
+            led,
+        );
         // Advance the vehicle to `t` under the ECU's actuation,
         // promoting matured commands along the way.
         while physics_t < t {
@@ -1046,7 +1344,27 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
                 // camera clock itself keeps ticking.
                 queue.schedule(t + camera_period, Ev::Camera(k + 1));
             }
+            Ev::Camera(k) if policy.shed && monitor.shed_predicted() => {
+                // Adaptive shedding (escalation): with the predicted
+                // latency far past the deadline, the lowest-priority
+                // pending work — the next speculative camera frame — is
+                // dropped before capture. Unlike a fault, a deliberate
+                // shed still feeds the camera watchdog: the vehicle is
+                // choosing to skip the frame, not losing the sensor.
+                // Deterministic: the predicate depends only on the
+                // seeded latency model, never on wall-clock time.
+                report.frames_shed += 1;
+                led.note_shed();
+                health.camera_delivery(t, k);
+                queue.schedule(t + camera_period, Ev::Camera(k + 1));
+            }
             Ev::Camera(k) => {
+                // Priority draining: when an Eq. 1 overrun is predicted,
+                // the control-critical path (pending plan commits) is
+                // drained ahead of this speculative front-end dispatch.
+                if policy.drain && monitor.overrun_predicted() {
+                    lanes.priority_drain(&mut ecu, &perf.arena, led);
+                }
                 // The per-frame stage work — visual front-end (disparity,
                 // tracking, ego-motion) and detection — runs inline on the
                 // serial schedule or on the sensing/perception lanes
@@ -1078,10 +1396,12 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
                 lanes.camera_frame(
                     cam_frame,
                     req,
+                    k,
                     &mut vio,
                     &mut last_detections,
                     world,
                     &perf.arena,
+                    led,
                 );
                 last_camera_pose = state.pose;
                 last_camera_t = t;
@@ -1100,7 +1420,7 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
             Ev::Gps(k) => {
                 // Fix ingestion *reads* the VIO estimate: barrier on the
                 // sensing lane so the filter is in its serial state.
-                lanes.sync_frontend(&mut vio);
+                lanes.sync_frontend(&mut vio, led);
                 let quality = if faults.is_active(FaultKind::GpsMultipath, t) {
                     GnssQuality::Multipath
                 } else if scenario.gps_degraded_at(frac) {
@@ -1142,6 +1462,12 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
                     computing += SimDuration::from_millis_f64(spike);
                 }
                 report.computing.record(computing.as_millis_f64());
+                // The overrun predictor sees the same modeled stream on
+                // every schedule (bit-identity of the tail policy).
+                monitor.observe(computing.as_millis_f64());
+                if monitor.overrun_predicted() {
+                    led.note_overrun();
+                }
 
                 // Degradation state machine: watchdogs + compute
                 // deadline decide the operating mode for this tick.
@@ -1174,9 +1500,10 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
                     &perf.arena,
                     &mut last_detections,
                     &mut vio,
+                    led,
                 );
-                lanes.sync_frontend(&mut vio);
-                lanes.sync_detections(&mut last_detections);
+                lanes.sync_frontend(&mut vio, led);
+                lanes.sync_detections(&mut last_detections, led);
 
                 // Localization estimate drives the lane-keeping inputs.
                 let est = fusion.position(&vio);
@@ -1262,7 +1589,16 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
                     report.can_frames_lost += 1;
                 }
                 let arrival = t + computing + SimDuration::from_millis(1);
-                lanes.plan(input, arrival, can_lost, &mut ecu, &perf.arena);
+                lanes.plan(
+                    input,
+                    arrival,
+                    can_lost,
+                    frame,
+                    mode != DegradationMode::Nominal,
+                    &mut ecu,
+                    &perf.arena,
+                    led,
+                );
 
                 // ---- Bookkeeping (per control tick). ----
                 battery.drain(
@@ -1301,8 +1637,11 @@ fn drive_loop(env: DriveEnv<'_>, mut lanes: StageLanes<'_>) -> DriveReport {
     }
     // Drain whatever is still in flight (the drive can end mid-frame)
     // and hand every pooled buffer back to the arena.
-    lanes.shutdown(&mut ecu, &perf.arena, &mut last_detections, &mut vio);
+    lanes.shutdown(&mut ecu, &perf.arena, &mut last_detections, &mut vio, led);
     perf.arena.recycle(last_detections);
+    // Collect the tail breakdown and hand the ledger's buffers back to
+    // the arena (allocation-free across drives once warm).
+    report.tail = TailReport::collect(led, &perf.arena);
     report.energy_used_kwh = config.battery.capacity_kwh - battery.remaining_kwh();
     report.mode_transitions = health.transitions().len() as u64;
     report.deadline_misses = health.deadline_misses();

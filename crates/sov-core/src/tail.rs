@@ -1,0 +1,284 @@
+//! Deadline monitoring and tail-latency reporting (the COLA layer).
+//!
+//! The paper's Eq. 1 bounds *end-to-end* frame latency, but a bound is
+//! only as good as its tail: COLA (PAPERS.md) argues that L4 safety hangs
+//! on p99.9/max under contention, faults, and degradation, not on the
+//! median the kernel benches gate on. This module supplies the two pieces
+//! that sit on top of the [`LatencyLedger`](sov_runtime::ledger):
+//!
+//! * [`DeadlineMonitor`] — an EWMA-based overrun predictor over the
+//!   *modeled* computing latency that `drive_loop` already draws
+//!   deterministically per seed. Because the inputs are seed-deterministic
+//!   and schedule-independent, the monitor's verdicts are identical on
+//!   serial and piped drives — the property that lets its outputs steer
+//!   real scheduling decisions (priority draining, shedding) without
+//!   breaking the byte-identity invariant.
+//! * [`TailReport`] — the per-drive tail breakdown surfaced through
+//!   `DriveReport`: end-to-end frame latency split into per-stage compute,
+//!   ring-queue wait, and drain/barrier stalls, each summarized at
+//!   p50/p99/p99.9/max. Observational only: it is excluded from
+//!   `DriveReport` equality so wall-clock jitter cannot fail a
+//!   determinism gate.
+
+use sov_math::stats::Summary;
+use sov_runtime::arena::FrameArena;
+use sov_runtime::ledger::{LatencyLedger, STAGES};
+use sov_sim::time::SimDuration;
+
+/// Predicts Eq. 1 overruns from the modeled computing-latency stream.
+///
+/// Keeps an EWMA of the latency and of its absolute deviation; the
+/// prediction for the next frame is `ewma + 2 · dev` — a cheap one-sided
+/// tail estimate that reacts within a few frames to a fault-driven level
+/// shift (StageOverrun, RPR delay spikes) while ignoring benign jitter.
+///
+/// Determinism: the monitor must only ever observe values that are
+/// byte-identical across serial and piped schedules (the modeled
+/// computing latency is; wall-clock timings are NOT). Fed that way, its
+/// verdicts — and therefore any scheduling decision gated on them — are
+/// schedule-invariant.
+#[derive(Debug, Clone)]
+pub struct DeadlineMonitor {
+    deadline_ms: f64,
+    ewma_ms: f64,
+    dev_ms: f64,
+    primed: bool,
+}
+
+impl DeadlineMonitor {
+    /// Smoothing factor for the latency EWMA.
+    const ALPHA: f64 = 0.2;
+    /// Smoothing factor for the absolute-deviation EWMA.
+    const BETA: f64 = 0.2;
+    /// Escalation threshold: shedding kicks in only when the predicted
+    /// latency exceeds the deadline by this factor.
+    const SHED_FACTOR: f64 = 1.5;
+
+    /// A monitor for the given Eq. 1 deadline (typically
+    /// `HealthConfig::compute_deadline`).
+    #[must_use]
+    pub fn new(deadline: SimDuration) -> Self {
+        Self {
+            deadline_ms: deadline.as_millis_f64(),
+            ewma_ms: 0.0,
+            dev_ms: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Feeds one frame's modeled computing latency (milliseconds).
+    pub fn observe(&mut self, latency_ms: f64) {
+        if !self.primed {
+            self.primed = true;
+            self.ewma_ms = latency_ms;
+            self.dev_ms = 0.0;
+            return;
+        }
+        let err = (latency_ms - self.ewma_ms).abs();
+        self.ewma_ms += Self::ALPHA * (latency_ms - self.ewma_ms);
+        self.dev_ms += Self::BETA * (err - self.dev_ms);
+    }
+
+    /// The one-sided tail estimate for the next frame: `ewma + 2 · dev`.
+    #[must_use]
+    pub fn predicted_ms(&self) -> f64 {
+        self.ewma_ms + 2.0 * self.dev_ms
+    }
+
+    /// `true` when the predicted latency exceeds the Eq. 1 deadline —
+    /// the trigger for priority draining of the control-critical path.
+    #[must_use]
+    pub fn overrun_predicted(&self) -> bool {
+        self.primed && self.predicted_ms() > self.deadline_ms
+    }
+
+    /// `true` when the predicted latency exceeds the deadline by the
+    /// escalation factor — the trigger for shedding the lowest-priority
+    /// pending stage (the next speculative camera frame).
+    #[must_use]
+    pub fn shed_predicted(&self) -> bool {
+        self.primed && self.predicted_ms() > Self::SHED_FACTOR * self.deadline_ms
+    }
+}
+
+/// Per-drive tail-latency breakdown, collected from the
+/// [`LatencyLedger`] at drive end.
+///
+/// All durations are milliseconds. `total`, `compute`, `queue`, and
+/// `stall` summarize the *control path* (planning dispatch → ECU commit,
+/// one sample per planned frame); the `stage_*` arrays break the same
+/// components out per lane (0 = sensing, 1 = perception, 2 = planning),
+/// where sensing/perception samples are per *camera* frame.
+///
+/// Excluded from `DriveReport` equality: these are wall-clock
+/// measurements and legitimately differ between schedules — that
+/// asymmetry is the entire point of measuring them.
+#[derive(Debug, Clone, Default)]
+pub struct TailReport {
+    /// Control-path frames sampled (== planned frames).
+    pub frames: u64,
+    /// End-to-end control-path latency (dispatch → commit).
+    pub total_ms: Summary,
+    /// Compute component of `total_ms`.
+    pub compute_ms: Summary,
+    /// Ring-queue wait component of `total_ms`.
+    pub queue_ms: Summary,
+    /// Drain/barrier stall component of `total_ms`.
+    pub stall_ms: Summary,
+    /// Per-lane compute summaries (sensing, perception, planning).
+    pub stage_compute_ms: [Summary; STAGES],
+    /// Per-lane queue-wait summaries.
+    pub stage_queue_ms: [Summary; STAGES],
+    /// Per-lane stall summaries.
+    pub stage_stall_ms: [Summary; STAGES],
+    /// End-to-end latency over frames planned in `Nominal` mode only.
+    pub nominal_total_ms: Summary,
+    /// End-to-end latency over frames planned while degraded.
+    pub degraded_total_ms: Summary,
+    /// Worst accounting residual across every sample: |span − (compute +
+    /// queue + stall)|. Bounded by timer granularity; the attribution
+    /// proptest gates on it.
+    pub max_residual_ns: u64,
+    /// Priority drains executed (control path reordered ahead of
+    /// speculative front-end work).
+    pub priority_drains: u64,
+    /// Camera frames shed by the escalation step.
+    pub sheds: u64,
+    /// Frames for which the monitor predicted an Eq. 1 overrun.
+    pub overruns_predicted: u64,
+}
+
+impl TailReport {
+    /// Builds the report from `ledger`'s samples, then recycles the
+    /// ledger's buffers into `arena` (the drive is over).
+    #[must_use]
+    pub fn collect(ledger: &LatencyLedger, arena: &FrameArena) -> Self {
+        const MS: f64 = 1e6;
+        let mut out = ledger.with_samples(|stages, frames| {
+            let mut r = Self {
+                frames: frames.len() as u64,
+                ..Self::default()
+            };
+            for s in stages {
+                r.stage_compute_ms[s.stage].record(s.compute_ns as f64 / MS);
+                r.stage_queue_ms[s.stage].record(s.queue_ns as f64 / MS);
+                r.stage_stall_ms[s.stage].record(s.stall_ns as f64 / MS);
+                r.max_residual_ns = r.max_residual_ns.max(s.residual_ns());
+            }
+            for f in frames {
+                r.total_ms.record(f.total_ns as f64 / MS);
+                r.compute_ms.record(f.compute_ns as f64 / MS);
+                r.queue_ms.record(f.queue_ns as f64 / MS);
+                r.stall_ms.record(f.stall_ns as f64 / MS);
+                if f.degraded {
+                    r.degraded_total_ms.record(f.total_ns as f64 / MS);
+                } else {
+                    r.nominal_total_ms.record(f.total_ns as f64 / MS);
+                }
+                r.max_residual_ns = r.max_residual_ns.max(f.residual_ns());
+            }
+            r
+        });
+        let c = ledger.counters();
+        out.priority_drains = c.priority_drains;
+        out.sheds = c.sheds;
+        out.overruns_predicted = c.overruns_predicted;
+        ledger.finish(arena);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_runtime::ledger::{FrameSample, StageSample};
+    use std::time::Instant;
+
+    fn monitor(deadline_ms: u64) -> DeadlineMonitor {
+        DeadlineMonitor::new(SimDuration::from_millis(deadline_ms))
+    }
+
+    #[test]
+    fn nominal_stream_predicts_no_overrun() {
+        let mut m = monitor(300);
+        for i in 0..100 {
+            m.observe(160.0 + f64::from(i % 7));
+        }
+        assert!(m.predicted_ms() < 300.0);
+        assert!(!m.overrun_predicted());
+        assert!(!m.shed_predicted());
+    }
+
+    #[test]
+    fn level_shift_trips_overrun_then_shed() {
+        let mut m = monitor(300);
+        for _ in 0..20 {
+            m.observe(160.0);
+        }
+        let mut overrun_at = None;
+        let mut shed_at = None;
+        for i in 0..40 {
+            m.observe(600.0);
+            if m.overrun_predicted() && overrun_at.is_none() {
+                overrun_at = Some(i);
+            }
+            if m.shed_predicted() && shed_at.is_none() {
+                shed_at = Some(i);
+            }
+        }
+        let overrun = overrun_at.expect("overrun predicted after level shift");
+        let shed = shed_at.expect("shed predicted after sustained shift");
+        assert!(overrun <= shed, "overrun is the earlier, milder trigger");
+        assert!(overrun < 5, "predictor reacts within a few frames");
+    }
+
+    #[test]
+    fn unprimed_monitor_never_fires() {
+        let m = monitor(1);
+        assert!(!m.overrun_predicted());
+        assert!(!m.shed_predicted());
+    }
+
+    #[test]
+    fn collect_summarizes_and_recycles() {
+        let arena = FrameArena::new();
+        let ledger = LatencyLedger::default();
+        ledger.begin(&arena);
+        let base = Instant::now();
+        let [t0, t1, t2, t3] =
+            [0u64, 10, 30, 40].map(|us| base + std::time::Duration::from_micros(us));
+        ledger.record_stage(StageSample::from_stamps(2, 0, t0, t1, t2, t3, 5_000));
+        let f = FrameSample {
+            frame: 0,
+            total_ns: 40_000,
+            compute_ns: 20_000,
+            queue_ns: 15_000,
+            stall_ns: 5_000,
+            degraded: false,
+        };
+        ledger.record_frame(f);
+        ledger.record_frame(FrameSample {
+            degraded: true,
+            frame: 1,
+            ..f
+        });
+        ledger.note_priority_drain();
+        ledger.note_overrun();
+        let report = TailReport::collect(&ledger, &arena);
+        assert_eq!(report.frames, 2);
+        assert_eq!(report.total_ms.len(), 2);
+        assert_eq!(report.nominal_total_ms.len(), 1);
+        assert_eq!(report.degraded_total_ms.len(), 1);
+        assert_eq!(report.stage_compute_ms[2].len(), 1);
+        assert_eq!(report.stage_compute_ms[0].len(), 0);
+        assert_eq!(report.priority_drains, 1);
+        assert_eq!(report.sheds, 0);
+        assert_eq!(report.overruns_predicted, 1);
+        assert_eq!(report.max_residual_ns, 0, "samples telescope exactly");
+        assert!((report.total_ms.max() - 0.04).abs() < 1e-12);
+        // Buffers went back to the arena; a second collect sees nothing.
+        ledger.begin(&arena);
+        let empty = TailReport::collect(&ledger, &arena);
+        assert_eq!(empty.frames, 0);
+    }
+}

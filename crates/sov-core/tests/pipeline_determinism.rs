@@ -15,6 +15,7 @@ use sov_core::config::VehicleConfig;
 use sov_core::pool::PerfContext;
 use sov_core::sov::Sov;
 use sov_fault::{FaultKind, FaultPlan};
+use sov_runtime::ledger::TailPolicy;
 use sov_sim::time::SimTime;
 use sov_testkit::prelude::*;
 use sov_world::scenario::Scenario;
@@ -68,6 +69,79 @@ proptest! {
             report,
             reference,
             "depth {} × workers {} under faults",
+            depth,
+            workers
+        );
+    }
+
+    // ---- The tail-policy axis (ISSUE 7). ----
+    //
+    // Priority draining only *reorders* eager commits the equivalence
+    // rules already allow, so a drain-enabled piped drive must stay
+    // byte-identical to the *plain serial* drive. Shedding changes which
+    // camera frames exist, so a shed drive instead must match the serial
+    // drive running the *same* policy — the monitor is fed modeled
+    // latencies only, making its verdicts schedule-invariant.
+
+    #[test]
+    fn drained_drive_is_bit_identical_to_plain_serial(
+        seed in 0u64..32,
+        depth in 2usize..5,
+        workers in 3usize..9,
+        overrun_ms in 100.0f64..400.0,
+    ) {
+        let scenario = Scenario::fishers_indiana(seed);
+        // The overrun pushes predicted latency past the 300 ms deadline
+        // so priority drains actually fire inside the window.
+        let plan = FaultPlan::new(seed ^ 0xD7)
+            .with_intensity(FaultKind::StageOverrun, secs(2), secs(9), overrun_ms)
+            .with_intensity(FaultKind::RprDelaySpike, secs(3), secs(7), 120.0);
+        let mut serial = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        let reference = serial.drive_with_plan(&scenario, 120, &plan).unwrap();
+        let mut piped = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        piped.set_perf(
+            PerfContext::with_pipeline_workers(depth, workers)
+                .with_tail_policy(TailPolicy::draining()),
+        );
+        let report = piped.drive_with_plan(&scenario, 120, &plan).unwrap();
+        prop_assert!(
+            report.tail.overruns_predicted > 0,
+            "the fault window must trip the predictor"
+        );
+        prop_assert_eq!(
+            report,
+            reference,
+            "draining is output-invariant: depth {} × workers {}",
+            depth,
+            workers
+        );
+    }
+
+    #[test]
+    fn shed_drive_matches_serial_running_the_same_policy(
+        seed in 0u64..32,
+        depth in 2usize..5,
+        workers in 3usize..9,
+    ) {
+        let scenario = Scenario::fishers_indiana(seed);
+        // 350 ms of overrun lifts predicted latency past the 1.5×
+        // escalation threshold, so the shed arm genuinely executes.
+        let plan = FaultPlan::new(seed ^ 0x5E)
+            .with_intensity(FaultKind::StageOverrun, secs(2), secs(9), 350.0);
+        let policy = TailPolicy::draining_and_shedding();
+        let mut serial = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        serial.set_perf(PerfContext::serial().with_tail_policy(policy));
+        let reference = serial.drive_with_plan(&scenario, 120, &plan).unwrap();
+        let mut piped = Sov::new(VehicleConfig::perceptin_pod(), seed);
+        piped.set_perf(
+            PerfContext::with_pipeline_workers(depth, workers).with_tail_policy(policy),
+        );
+        let report = piped.drive_with_plan(&scenario, 120, &plan).unwrap();
+        prop_assert!(report.frames_shed > 0, "escalation must actually shed");
+        prop_assert_eq!(
+            report,
+            reference,
+            "shedding is schedule-invariant: depth {} × workers {}",
             depth,
             workers
         );

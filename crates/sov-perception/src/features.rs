@@ -66,7 +66,37 @@ pub fn fast_corners(image: &GrayImage, threshold: f32) -> Vec<Corner> {
     fast_corners_with(image, threshold, None, None)
 }
 
-/// [`fast_corners`] with optional intra-frame parallelism and buffer reuse.
+/// [`fast_corners`] with optional intra-frame parallelism — the default
+/// front-end corner pass.
+///
+/// Routes to the fused score+NMS tile pass ([`fast_corners_fused_with`]),
+/// which is bit-identical to the two-pass detector
+/// ([`fast_corners_two_pass_with`]) for every worker count but halves the
+/// score-plane memory traffic. The `arena` parameter is accepted for
+/// call-site compatibility and ignored: the fused pass keeps its score
+/// tiles cache-resident and needs no persistent full-frame plane. The
+/// two-pass detector stays available for the perf_matrix
+/// `--unfused-corners` ablation.
+#[must_use]
+pub fn fast_corners_with(
+    image: &GrayImage,
+    threshold: f32,
+    pool: Option<&WorkerPool>,
+    arena: Option<&FrameArena>,
+) -> Vec<Corner> {
+    let _ = arena; // fused tiles need no persistent score plane
+    fast_corners_fused_with(image, threshold, pool)
+}
+
+/// Two-pass FAST-9: full-frame score plane, then NMS over it. Kept as the
+/// ablation baseline the fused pass is checked against.
+#[must_use]
+pub fn fast_corners_two_pass(image: &GrayImage, threshold: f32) -> Vec<Corner> {
+    fast_corners_two_pass_with(image, threshold, None, None)
+}
+
+/// [`fast_corners_two_pass`] with optional intra-frame parallelism and
+/// buffer reuse.
 ///
 /// The score pass and the NMS pass are both chunked by rows of
 /// [`ROWS_PER_CHUNK`]; chunks write disjoint rows and per-chunk corner
@@ -75,7 +105,7 @@ pub fn fast_corners(image: &GrayImage, threshold: f32) -> Vec<Corner> {
 /// from `arena` when one is supplied, making repeat calls allocation-free
 /// apart from the returned corner list.
 #[must_use]
-pub fn fast_corners_with(
+pub fn fast_corners_two_pass_with(
     image: &GrayImage,
     threshold: f32,
     pool: Option<&WorkerPool>,
@@ -163,8 +193,8 @@ pub fn fast_corners_with(
     corners
 }
 
-/// Fused score + NMS tile pass: [`fast_corners`] without the full-frame
-/// score plane.
+/// Fused score + NMS tile pass: [`fast_corners_two_pass`] without the
+/// full-frame score plane (this is what [`fast_corners`] runs today).
 #[must_use]
 pub fn fast_corners_fused(image: &GrayImage, threshold: f32) -> Vec<Corner> {
     fast_corners_fused_with(image, threshold, None)
@@ -191,8 +221,8 @@ pub fn fast_corners_fused(image: &GrayImage, threshold: f32) -> Vec<Corner> {
 /// suppression comparison, the row-major emission order, the
 /// ascending-tile merge, and the final stable sort are all identical to
 /// the two-pass detector, so the output is bit-identical for any worker
-/// count — proptested against [`fast_corners_with`] with corners placed on
-/// tile seams.
+/// count — proptested against [`fast_corners_two_pass_with`] with corners
+/// placed on tile seams.
 #[must_use]
 pub fn fast_corners_fused_with(
     image: &GrayImage,
@@ -526,10 +556,14 @@ mod tests {
             let pool = WorkerPool::new(lanes);
             let pooled = fast_corners_with(&img, 0.2, Some(&pool), Some(&arena));
             assert_eq!(pooled, serial, "lanes = {lanes}");
+            let two_pass = fast_corners_two_pass_with(&img, 0.2, Some(&pool), Some(&arena));
+            assert_eq!(two_pass, serial, "two-pass, lanes = {lanes}");
         }
-        // The arena-backed score plane is reused, not reallocated.
+        // The two-pass detector's arena-backed score plane is reused, not
+        // reallocated (the fused default needs no score plane at all).
+        let _ = fast_corners_two_pass_with(&img, 0.2, None, Some(&arena));
         arena.reset_stats();
-        let _ = fast_corners_with(&img, 0.2, None, Some(&arena));
+        let _ = fast_corners_two_pass_with(&img, 0.2, None, Some(&arena));
         assert_eq!(arena.stats().allocations, 0, "score plane must be reused");
     }
 
@@ -539,7 +573,7 @@ mod tests {
         // 8-row tile seams, so suppression reads across chunk boundaries.
         for (y0, y1) in [(7, 16), (8, 15), (5, 24), (20, 40)] {
             let img = rectangle_image(64, 64, 12, y0, 50, y1);
-            let reference = fast_corners(&img, 0.2);
+            let reference = fast_corners_two_pass(&img, 0.2);
             assert!(!reference.is_empty(), "rows {y0}..{y1}");
             assert_eq!(fast_corners_fused(&img, 0.2), reference, "rows {y0}..{y1}");
         }
@@ -548,8 +582,13 @@ mod tests {
     #[test]
     fn fused_detection_is_bit_identical_for_any_lane_count() {
         let img = rectangle_image(97, 65, 20, 18, 70, 50);
-        let reference = fast_corners_with(&img, 0.2, None, None);
+        let reference = fast_corners_two_pass_with(&img, 0.2, None, None);
         assert_eq!(fast_corners_fused(&img, 0.2), reference);
+        assert_eq!(
+            fast_corners(&img, 0.2),
+            reference,
+            "the default pass is the fused one and matches two-pass"
+        );
         for lanes in [1, 2, 4, 8] {
             let pool = WorkerPool::new(lanes);
             let fused = fast_corners_fused_with(&img, 0.2, Some(&pool));

@@ -173,7 +173,9 @@ proptest! {
         h in 24usize..64,
         lanes in 1usize..9,
     ) {
-        use sov_perception::features::{fast_corners_fused, fast_corners_fused_with, fast_corners_with};
+        use sov_perception::features::{
+            fast_corners, fast_corners_fused, fast_corners_fused_with, fast_corners_two_pass_with,
+        };
         let mut rng = SovRng::seed_from_u64(seed);
         // Random blobs plus blobs centered *on* the 8-row tile seams, so
         // corners (and their 3×3 suppression neighborhoods) straddle
@@ -192,8 +194,11 @@ proptest! {
             seam += 8;
         }
         let img = render_scene(w, h, &blobs, 0.05, &mut rng);
-        let reference = fast_corners_with(&img, 0.08, None, None);
+        // The two-pass detector is the ablation reference the fused
+        // (now default) pass must match bit for bit.
+        let reference = fast_corners_two_pass_with(&img, 0.08, None, None);
         prop_assert_eq!(&fast_corners_fused(&img, 0.08), &reference);
+        prop_assert_eq!(&fast_corners(&img, 0.08), &reference);
         let pool = sov_runtime::pool::WorkerPool::new(lanes);
         prop_assert_eq!(&fast_corners_fused_with(&img, 0.08, Some(&pool)), &reference);
     }

@@ -26,6 +26,7 @@
 #![deny(missing_docs)]
 
 pub mod arena;
+pub mod ledger;
 pub mod pipeline;
 pub mod pool;
 pub mod queue;
@@ -125,6 +126,15 @@ pub struct PerfContext {
     /// Per-lane busy/idle telemetry of the most recent piped drive
     /// (zeroed and refilled by each piped `Sov::drive_with_plan`).
     pub occupancy: Arc<LaneOccupancy>,
+    /// End-to-end tail-latency attribution of the most recent drive:
+    /// per-stage compute / ring-queue wait / drain-stall samples, recorded
+    /// allocation-free into the arena by the sequencer (see
+    /// [`ledger::LatencyLedger`]). Write-only telemetry — never read back
+    /// into any computed value.
+    pub ledger: ledger::LatencyLedger,
+    /// Deadline-driven tail-optimization knobs (priority draining and
+    /// adaptive shedding); both off by default.
+    pub tail: ledger::TailPolicy,
 }
 
 impl PerfContext {
@@ -160,10 +170,13 @@ impl PerfContext {
     /// planner but keep the visual front-end on the sequencer; fewer than
     /// three cannot host the stages at all, so such contexts run the
     /// serial schedule (every variant bit-identical by construction).
+    /// `workers == 0` means no pool at all — the pathological
+    /// "piped but nothing to pipe onto" cell, which
+    /// [`PerfContext::effective_pipeline_depth`] normalizes to serial.
     #[must_use]
     pub fn with_pipeline_workers(depth: usize, workers: usize) -> Self {
         Self {
-            pool: Some(Arc::new(pool::WorkerPool::new(workers))),
+            pool: (workers > 0).then(|| Arc::new(pool::WorkerPool::new(workers))),
             pipeline_depth: depth,
             ..Self::default()
         }
@@ -179,6 +192,30 @@ impl PerfContext {
     #[must_use]
     pub fn pipeline_depth(&self) -> usize {
         self.pipeline_depth.max(1)
+    }
+
+    /// Returns `self` with the given tail policy installed (builder
+    /// form, for ablation cells).
+    #[must_use]
+    pub fn with_tail_policy(mut self, tail: ledger::TailPolicy) -> Self {
+        self.tail = tail;
+        self
+    }
+
+    /// The pipeline depth that will actually take effect: a depth > 1
+    /// requires a pool with at least three lanes to host the stages, so
+    /// anything less normalizes to `1` (the serial schedule). This is the
+    /// single gate both `Sov::drive_with_plan` and the benches consult —
+    /// piped mode without a worker pool falls back to serial instead of
+    /// paying ring overhead with no overlap.
+    #[must_use]
+    pub fn effective_pipeline_depth(&self) -> usize {
+        let depth = self.pipeline_depth();
+        if depth > 1 && self.pool().is_some_and(|p| p.lanes() >= 3) {
+            depth
+        } else {
+            1
+        }
     }
 }
 
@@ -208,6 +245,25 @@ mod tests {
         assert_eq!(ablate.pool().unwrap().lanes(), 8);
         assert_eq!(ablate.pipeline_depth(), 4);
         assert_eq!(PerfContext::serial().pipeline_depth(), 1, "0 → serial");
+    }
+
+    #[test]
+    fn effective_depth_requires_three_lanes() {
+        assert_eq!(PerfContext::serial().effective_pipeline_depth(), 1);
+        let no_pool = PerfContext {
+            pipeline_depth: 3,
+            ..PerfContext::default()
+        };
+        assert_eq!(no_pool.effective_pipeline_depth(), 1, "no pool → serial");
+        let narrow = PerfContext::with_pipeline_workers(3, 2);
+        assert_eq!(narrow.effective_pipeline_depth(), 1, "2 lanes → serial");
+        let zero = PerfContext::with_pipeline_workers(2, 0);
+        assert!(zero.pool().is_none(), "0 workers → no pool");
+        assert_eq!(zero.effective_pipeline_depth(), 1, "d2/w0 → serial");
+        let wide = PerfContext::with_pipeline_workers(3, 3);
+        assert_eq!(wide.effective_pipeline_depth(), 3);
+        let tail = PerfContext::serial().with_tail_policy(ledger::TailPolicy::draining());
+        assert!(tail.tail.drain && !tail.tail.shed);
     }
 
     #[test]

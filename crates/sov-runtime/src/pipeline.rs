@@ -51,6 +51,7 @@
 //! serial schedule instead of reordering frames.
 
 use crate::arena::FrameArena;
+use crate::ledger::FrameAttribution;
 use crate::pool::WorkerPool;
 use crate::queue::ring;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -101,6 +102,17 @@ pub struct PipelineRun {
     /// worked. The bottleneck stage's occupancy should approach 1 once the
     /// pipeline is full (Fig. 5's throughput argument).
     pub stage_busy: [Duration; 3],
+    /// Per-frame latency attribution, in frame order: per-stage compute
+    /// plus ring-queue wait and commit-thread stall, summing exactly to
+    /// each frame's measured sense-start → commit-end span (the COLA
+    /// accounting — see [`FrameAttribution`]). Serial-path frames have
+    /// zero queue and stall by construction.
+    pub attribution: Vec<FrameAttribution>,
+    /// `true` when a depth > 1 was requested but the run executed on the
+    /// bit-identical serial fallback (no pool, or fewer than three
+    /// lanes) — piped mode without workers must not pay ring overhead,
+    /// and benches must not present fallback numbers as pipelined ones.
+    pub serial_fallback: bool,
 }
 
 impl PipelineRun {
@@ -201,6 +213,7 @@ impl FramePipeline {
         let depth = self.depth;
         let pipelined = depth > 1 && frames > 0 && pool.is_some_and(|p| p.lanes() >= 3);
         let mut latencies: Vec<Duration> = Vec::with_capacity(frames as usize);
+        let mut attribution: Vec<FrameAttribution> = Vec::with_capacity(frames as usize);
         let mut committed: u64 = 0;
         let mut pipelined_frames: u64 = 0;
         let mut drained = false;
@@ -217,9 +230,13 @@ impl FramePipeline {
             // return rings circulate product carcasses back to their
             // producer. At most `depth + 2` products per stage ever exist,
             // so capacity `depth + 2` means return sends never block.
-            let (s_tx, s_rx) = ring::<(u64, S, Instant)>(depth);
+            // Forward payloads carry the frame's stage stamps so the
+            // sequencing stage can attribute the full span: the sensing
+            // ring adds (sense-start, sense-end); the perception ring
+            // extends that to [a0, a1, b0, b1] (perceive-start/-end).
+            let (s_tx, s_rx) = ring::<(u64, S, Instant, Instant)>(depth);
             let (s_ret_tx, s_ret_rx) = ring::<S>(depth + 2);
-            let (p_tx, p_rx) = ring::<(u64, P, Instant)>(depth);
+            let (p_tx, p_rx) = ring::<(u64, P, [Instant; 4])>(depth);
             let (p_ret_tx, p_ret_rx) = ring::<P>(depth + 2);
             let sense = &mut sense;
             let perceive = &mut perceive;
@@ -247,7 +264,7 @@ impl FramePipeline {
                             } else {
                                 s_ret_rx.try_recv()
                             };
-                            let t0 = Instant::now();
+                            let a0 = Instant::now();
                             let s = sense(
                                 k,
                                 StageCtx {
@@ -255,9 +272,9 @@ impl FramePipeline {
                                     recycled,
                                 },
                             );
-                            busy_ref[0]
-                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                            if s_tx.send((k, s, t0)).is_err() {
+                            let a1 = Instant::now();
+                            busy_ref[0].fetch_add((a1 - a0).as_nanos() as u64, Ordering::Relaxed);
+                            if s_tx.send((k, s, a0, a1)).is_err() {
                                 break;
                             }
                         }
@@ -266,7 +283,7 @@ impl FramePipeline {
                     Box::new(move || {
                         let arena = FrameArena::new();
                         let mut consumed: u64 = 0;
-                        while let Some((k, s, t0)) = s_rx.recv() {
+                        while let Some((k, s, a0, a1)) = s_rx.recv() {
                             let recycled = if consumed >= depth as u64 + 2 {
                                 match p_ret_rx.recv() {
                                     Some(p) => Some(p),
@@ -275,7 +292,7 @@ impl FramePipeline {
                             } else {
                                 p_ret_rx.try_recv()
                             };
-                            let t1 = Instant::now();
+                            let b0 = Instant::now();
                             let p = perceive(
                                 k,
                                 &s,
@@ -284,10 +301,10 @@ impl FramePipeline {
                                     recycled,
                                 },
                             );
-                            busy_ref[1]
-                                .fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            let b1 = Instant::now();
+                            busy_ref[1].fetch_add((b1 - b0).as_nanos() as u64, Ordering::Relaxed);
                             let _ = s_ret_tx.send(s);
-                            if p_tx.send((k, p, t0)).is_err() {
+                            if p_tx.send((k, p, [a0, a1, b0, b1])).is_err() {
                                 break;
                             }
                             consumed += 1;
@@ -301,13 +318,22 @@ impl FramePipeline {
                     let mut committed: u64 = 0;
                     let mut drained = false;
                     let mut prev: Option<O> = None;
-                    while let Some((k, p, t0)) = p_rx.recv() {
-                        let t2 = Instant::now();
+                    loop {
+                        // Pre-recv stamp: time spent blocked here past the
+                        // frame's perceive-end is attributed as stall, the
+                        // earlier ring residency as queue wait.
+                        let t_r = Instant::now();
+                        let Some((k, p, st)) = p_rx.recv() else { break };
+                        let c0 = Instant::now();
                         let o = plan(k, &p, prev.as_ref());
                         let _ = p_ret_tx.send(p);
-                        latencies.push(t0.elapsed());
+                        latencies.push(st[0].elapsed());
                         let verdict = commit(k, &o);
-                        busy_ref[2].fetch_add(t2.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let c1 = Instant::now();
+                        busy_ref[2].fetch_add((c1 - c0).as_nanos() as u64, Ordering::Relaxed);
+                        attribution.push(FrameAttribution::from_stamps(
+                            k, st[0], st[1], st[2], st[3], t_r, c0, c1,
+                        ));
                         prev = Some(o);
                         committed += 1;
                         if verdict == FrameControl::Drain && !drained {
@@ -358,7 +384,11 @@ impl FramePipeline {
             if commit(k, &o) == FrameControl::Drain {
                 drained = true;
             }
-            busy_ns[2].fetch_add(t2.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let t3 = Instant::now();
+            busy_ns[2].fetch_add((t3 - t2).as_nanos() as u64, Ordering::Relaxed);
+            // Degenerate stamps: stages abut, so queue and stall collapse
+            // to zero and the components sum to the span exactly.
+            attribution.push(FrameAttribution::from_stamps(k, t0, t1, t1, t2, t2, t2, t3));
             prev = Some(o);
         }
 
@@ -371,6 +401,8 @@ impl FramePipeline {
             wall: started.elapsed(),
             latencies,
             stage_busy: busy_ns.map(|ns| Duration::from_nanos(ns.load(Ordering::Relaxed))),
+            attribution,
+            serial_fallback: depth > 1 && frames > 0 && !pipelined,
         }
     }
 }
@@ -443,9 +475,35 @@ mod tests {
     fn too_few_lanes_falls_back_to_serial() {
         let pool = WorkerPool::new(2);
         let (out, run) = checksums(Some(&pool), 4, 20);
-        let (reference, _) = checksums(None, 1, 20);
+        let (reference, reference_run) = checksums(None, 1, 20);
         assert_eq!(out, reference);
         assert_eq!(run.pipelined_frames, 0, "2 lanes cannot host 3 stages");
+        assert!(run.serial_fallback, "depth 4 on 2 lanes is a fallback run");
+        assert!(!reference_run.serial_fallback, "depth 1 is not a fallback");
+    }
+
+    #[test]
+    fn attribution_components_sum_to_span_on_both_paths() {
+        let pool = WorkerPool::new(4);
+        for (pool_opt, depth) in [(None, 1usize), (Some(&pool), 3)] {
+            let (_, run) = checksums(pool_opt, depth, 40);
+            assert_eq!(run.attribution.len(), 40, "one attribution per frame");
+            for (i, a) in run.attribution.iter().enumerate() {
+                assert_eq!(a.frame, i as u64, "frame order preserved");
+                let tolerance = if pool_opt.is_some() { 1_000 } else { 0 };
+                assert!(
+                    a.residual_ns() <= tolerance,
+                    "frame {i} (depth {depth}): residual {} ns exceeds {tolerance}",
+                    a.residual_ns()
+                );
+            }
+            if pool_opt.is_none() {
+                for a in &run.attribution {
+                    assert_eq!(a.queue_ns, 0, "serial frames never queue");
+                    assert_eq!(a.stall_ns, 0, "serial frames never stall");
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,12 +31,20 @@ cargo test --offline -q -p sov-world --test proptests
 echo "== safety-invariant nominal acceptance (sites + generated) =="
 cargo test --offline -q -p sov-core --test safety_invariants
 
+echo "== latency-ledger attribution proptests (spans telescope exactly) =="
+cargo test --offline -q -p sov-core --test ledger_attribution
+
 echo "== bench bins build + perf_matrix smoke =="
 cargo build --offline --release -p sov-bench --bins
 ./target/release/perf_matrix --smoke
 
-echo "== pipeline_matrix smoke (front-end-lane cells; exits non-zero on =="
-echo "== checksum mismatch or an idle lane in the d3 w4 drive cell)     =="
+echo "== pipeline_matrix smoke (front-end-lane cells + tail gate; exits =="
+echo "== non-zero on checksum mismatch, an idle lane in the d3 w4 drive =="
+echo "== cell, or — on hosts with >= 3 cores — a drained p99.9 that     =="
+echo "== fails to beat the undrained drive)                             =="
+if [ "$(nproc 2>/dev/null || echo 0)" -lt 3 ]; then
+  echo "warning: host has < 3 cores — pipeline_matrix tail gate is informational only"
+fi
 ./target/release/pipeline_matrix --smoke
 
 echo "== scenario_matrix smoke (generated scenarios × faults, safety =="
