@@ -72,19 +72,30 @@ impl VoxelGrid {
         self.cells.contains_key(&key)
     }
 
-    /// The downsampled cloud: one centroid per occupied voxel.
+    /// Occupied voxel keys in sorted order. Every public traversal goes
+    /// through this, so hash order never escapes the grid: `HashMap`'s
+    /// per-instance random hasher seed would otherwise make traversal
+    /// order differ across runs *and* across grids within one run.
+    fn sorted_keys(&self) -> Vec<VoxelKey> {
+        let mut keys: Vec<VoxelKey> = self.cells.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The downsampled cloud: one centroid per occupied voxel, emitted
+    /// in sorted voxel-key order (bit-identical across runs and to the
+    /// SoA downsampler, whose key-sorted runs produce the same order).
     #[must_use]
     pub fn downsampled(&self) -> PointCloud {
-        let mut points: Vec<Point> = self
-            .cells
-            .values()
-            .map(|(count, acc)| {
-                let n = f64::from(*count);
+        let points: Vec<Point> = self
+            .sorted_keys()
+            .into_iter()
+            .map(|key| {
+                let (count, acc) = self.cells[&key];
+                let n = f64::from(count);
                 [acc[0] / n, acc[1] / n, acc[2] / n]
             })
             .collect();
-        // Deterministic order regardless of hash iteration.
-        points.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         PointCloud::from_points(points)
     }
 
@@ -114,9 +125,11 @@ impl VoxelGrid {
         surface
     }
 
-    /// Iterates occupied voxel keys (arbitrary order).
-    pub fn keys(&self) -> impl Iterator<Item = VoxelKey> + '_ {
-        self.cells.keys().copied()
+    /// Iterates occupied voxel keys in sorted order, so traversal order
+    /// — and anything derived from it, like the cache-simulator access
+    /// sequence in the traffic model — is identical across runs.
+    pub fn keys(&self) -> impl Iterator<Item = VoxelKey> {
+        self.sorted_keys().into_iter()
     }
 }
 
@@ -134,6 +147,40 @@ mod tests {
         assert!(down.len() < cloud.len());
         assert_eq!(down.len(), grid.occupied());
         assert!(down.len() > 100, "scene spans many voxels");
+    }
+
+    #[test]
+    fn reconstruction_is_byte_identical_across_grid_instances() {
+        // std's HashMap seeds its hasher per *instance*, so two grids
+        // over the same cloud disagree on internal iteration order —
+        // the same way two runs of the binary do. Every observable
+        // output must nonetheless match bit-for-bit.
+        let mut rng = SovRng::seed_from_u64(7);
+        let cloud = PointCloud::synthetic_street_scene(4000, 0, &mut rng);
+        let a = VoxelGrid::build(&cloud, 0.5);
+        let b = VoxelGrid::build(&cloud, 0.5);
+        let bits = |c: &PointCloud| -> Vec<u64> {
+            c.points()
+                .iter()
+                .flat_map(|p| p.iter().map(|v| v.to_bits()))
+                .collect()
+        };
+        assert_eq!(
+            bits(&a.downsampled()),
+            bits(&b.downsampled()),
+            "downsampled centroids must be byte-identical across instances"
+        );
+        let ka: Vec<VoxelKey> = a.keys().collect();
+        let kb: Vec<VoxelKey> = b.keys().collect();
+        assert_eq!(
+            ka, kb,
+            "key traversal order must not depend on the hasher seed"
+        );
+        assert!(
+            ka.windows(2).all(|w| w[0] < w[1]),
+            "keys are strictly sorted"
+        );
+        assert_eq!(a.surface_voxels(), b.surface_voxels());
     }
 
     #[test]

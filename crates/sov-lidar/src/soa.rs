@@ -336,7 +336,9 @@ impl PointCloudSoA {
             points.push([acc[0] / count, acc[1] / count, acc[2] / count]);
             run_start = run_end;
         }
-        points.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Runs are emitted in sorted key order — exactly the order
+        // `VoxelGrid::downsampled` uses, so no final re-sort is needed
+        // for bit parity.
         PointCloud::from_points(points)
     }
 }

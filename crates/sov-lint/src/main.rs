@@ -1,0 +1,50 @@
+//! `sov-lint` binary: lints the workspace and exits nonzero on findings.
+//!
+//! Usage: `cargo run -p sov-lint [--root <dir>]`. Without `--root` the
+//! workspace root is derived from this crate's manifest directory, so
+//! the binary works from any cwd inside the repo.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: sov-lint [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sov-lint: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root resolves")
+    });
+
+    let diags = match sov_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sov-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("sov-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("sov-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,51 @@
+//! The lint gate as a test: the tree must stay clean, and the scanner
+//! must still detect violations (guards against the gate rotting into a
+//! vacuous pass).
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let diags = sov_lint::lint_workspace(&workspace_root()).expect("workspace walks");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert!(
+        diags.is_empty(),
+        "determinism lint violations:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn scanner_rejects_injected_violations() {
+    // One snippet per rule, addressed as library code in a real crate, so
+    // a refactor that silently disables a rule fails here rather than
+    // letting the workspace gate pass vacuously.
+    let cases: &[(&str, &str)] = &[
+        (
+            "wall-clock",
+            "fn f() { let _ = std::time::Instant::now(); }\n",
+        ),
+        (
+            "map-iter",
+            "use std::collections::HashMap;\n\
+             fn f(m: &HashMap<u8, u8>) -> Vec<u8> { m.keys().copied().collect() }\n",
+        ),
+        ("unsafe", "fn f(p: *const u8) -> u8 { unsafe { *p } }\n"),
+        ("stdout", "fn f() { println!(\"x\"); }\n"),
+        (
+            "env-read",
+            "fn f() -> bool { std::env::var(\"X\").is_ok() }\n",
+        ),
+    ];
+    for (what, src) in cases {
+        let diags = sov_lint::lint_source("crates/sov-core/src/injected.rs", src);
+        assert!(!diags.is_empty(), "scanner must reject a {what} violation");
+    }
+}

@@ -123,6 +123,7 @@ impl FrameArena {
     /// Number of buffers currently pooled (across all types).
     #[must_use]
     pub fn pooled(&self) -> usize {
+        // sov-lint: allow(map-iter) — order-independent usize sum
         self.pools.borrow().values().map(Vec::len).sum()
     }
 }

@@ -20,6 +20,7 @@
 //! exactly serial execution.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::slice::{from_raw_parts, from_raw_parts_mut};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -51,9 +52,15 @@ struct Unit {
 }
 
 // SAFETY: `task` points at a `Sync` task (enforced by the only
-// constructor, `WorkerPool::run_unit`) that outlives the unit's use — the
-// dispatching call joins all chunks before returning.
+// constructor, `WorkerPool::run_unit`) that outlives the unit's use: the
+// dispatching call blocks on the completion barrier before returning, so
+// no lane can observe a dangling pointer after a move between threads.
 unsafe impl Send for Unit {}
+// SAFETY: every field reachable through `&Unit` is synchronized —
+// `next`/`finished` are atomics, `panicked` an atomic flag, `done` a
+// mutex/condvar pair — and `task` is only ever read as `&dyn Task`,
+// which is safe to share because the pointee is `Sync` (same
+// constructor-enforced invariant as above).
 unsafe impl Sync for Unit {}
 
 impl Unit {
@@ -314,10 +321,12 @@ impl WorkerPool {
             fn run_chunk(&self, index: usize) {
                 let start = index * self.chunk_size;
                 let end = (start + self.chunk_size).min(self.len);
-                // SAFETY: [start, end) ranges of distinct chunks are
-                // disjoint, and the slice outlives the parallel region.
-                let slice =
-                    unsafe { std::slice::from_raw_parts_mut(self.base.add(start), end - start) };
+                // SAFETY: chunk `index` owns exactly `[start, end)`:
+                // distinct chunks cover disjoint sub-ranges of one live
+                // allocation (the caller's `&mut [T]`, which outlives the
+                // parallel region), so this exclusive sub-slice aliases
+                // no other chunk's.
+                let slice = unsafe { from_raw_parts_mut(self.base.add(start), end - start) };
                 (self.f)(start, slice);
             }
         }
@@ -377,9 +386,10 @@ impl WorkerPool {
             fn run_chunk(&self, index: usize) {
                 let start = index * self.chunk_size;
                 let end = (start + self.chunk_size).min(self.len);
-                // SAFETY: disjoint input range, live for the region.
-                let chunk =
-                    unsafe { std::slice::from_raw_parts(self.items.add(start), end - start) };
+                // SAFETY: `[start, end)` is in bounds of the caller's
+                // `&[T]` (live for the whole parallel region), and the
+                // shared reads need no exclusivity.
+                let chunk = unsafe { from_raw_parts(self.items.add(start), end - start) };
                 let value = (self.map)(start, chunk);
                 // SAFETY: slot `index` is written by exactly this chunk.
                 unsafe { *self.slots.add(index) = Some(value) };

@@ -14,6 +14,10 @@
 //!   groups) that times closures with `std::time::Instant` and prints
 //!   mean ns/iter.
 //!
+//! It additionally hosts [`model`], a loom-style bounded-schedule model
+//! checker used to verify the `sov-runtime` concurrency protocols under
+//! exhaustively enumerated interleavings (DESIGN.md §13).
+//!
 //! Both are deliberately tiny: if the real `proptest`/`criterion` become
 //! fetchable again, switching back is a one-line import change per file.
 
@@ -359,6 +363,7 @@ pub mod prelude {
 }
 
 pub mod bench;
+pub mod model;
 
 #[cfg(test)]
 mod tests {

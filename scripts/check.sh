@@ -4,14 +4,26 @@
 # Everything here runs fully offline — the workspace has no external
 # dependencies (see DESIGN.md §3), so `--offline` only asserts that this
 # stays true.
+#
+# `./scripts/check.sh --deep` additionally re-runs the concurrency-core
+# unit tests under Miri and ThreadSanitizer where the toolchain supports
+# them (each is skipped with a one-line note otherwise).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+DEEP=0
+if [ "${1:-}" = "--deep" ]; then
+  DEEP=1
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== sov-lint determinism house rules (DESIGN.md 13) =="
+cargo run --offline --release -q -p sov-lint
 
 echo "== tier-1: build --release =="
 cargo build --offline --workspace --release
@@ -33,6 +45,33 @@ cargo test --offline -q -p sov-core --test safety_invariants
 
 echo "== latency-ledger attribution proptests (spans telescope exactly) =="
 cargo test --offline -q -p sov-core --test ledger_attribution
+
+echo "== bounded-schedule model checking of the concurrency core    =="
+echo "== (SPSC ring protocol, pool chunk claiming, pipeline drain;  =="
+echo "== exhaustive interleavings + seeded-broken-variant checks)   =="
+cargo test --offline -q -p sov-runtime --test model_protocols
+
+if [ "$DEEP" -eq 1 ]; then
+  echo "== deep: queue/pool unit tests under Miri =="
+  # `cargo miri --version` (not `command -v cargo-miri`): rustup installs
+  # a proxy shim even when the component itself is absent.
+  if cargo miri --version >/dev/null 2>&1; then
+    cargo miri test --offline -q -p sov-runtime queue:: pool::
+  elif cargo +nightly miri --version >/dev/null 2>&1; then
+    cargo +nightly miri test --offline -q -p sov-runtime queue:: pool::
+  else
+    echo "skip: Miri not installed on this toolchain"
+  fi
+
+  echo "== deep: queue/pool unit tests under ThreadSanitizer =="
+  if rustc +nightly --version >/dev/null 2>&1 &&
+    rustup component list --toolchain nightly 2>/dev/null | grep -q "^rust-src.*(installed)"; then
+    RUSTFLAGS="-Z sanitizer=thread" cargo +nightly test --offline -q -Z build-std \
+      --target "$(rustc -vV | sed -n 's/host: //p')" -p sov-runtime queue:: pool::
+  else
+    echo "skip: nightly rust-src (required for -Z sanitizer=thread) not installed"
+  fi
+fi
 
 echo "== bench bins build + perf_matrix smoke =="
 cargo build --offline --release -p sov-bench --bins
