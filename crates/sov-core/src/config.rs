@@ -134,6 +134,15 @@ impl VehicleConfig {
     pub fn control_period_s(&self) -> f64 {
         1.0 / self.control_rate_hz
     }
+
+    /// Total electrical load while driving (kW): the vehicle base load
+    /// `P_V` plus this configuration's autonomy draw `P_AD` — the
+    /// denominator of Eq. 2 and the per-vehicle drain rate the fleet
+    /// energy model charges for every driven second.
+    #[must_use]
+    pub fn total_load_kw(&self) -> f64 {
+        self.battery.base_load_kw + self.power.total_pad_kw()
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +157,17 @@ mod tests {
         assert_eq!(pod.sync_strategy, SyncStrategy::HardwareAssisted);
         assert!((pod.power.total_pad_w() - 175.0).abs() < 1e-9);
         assert_eq!(pod.control_rate_hz, 10.0);
+    }
+
+    #[test]
+    fn total_load_is_base_plus_autonomy_draw() {
+        let pod = VehicleConfig::perceptin_pod();
+        // Table I / Eq. 2: 0.6 kW vehicle base load + 175 W autonomy.
+        assert!((pod.total_load_kw() - 0.775).abs() < 1e-9);
+        assert!(
+            (pod.total_load_kw() - pod.battery.base_load_kw - pod.power.total_pad_kw()).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! Dense all-pairs routing over a [`LaneMap`] for fleet dispatch.
+//!
+//! The dispatcher and every vehicle tick need three queries — "how far is
+//! vehicle V from pickup P", "move V a few meters along the shortest path
+//! to P", and "give me a uniformly random position" — millions of times per
+//! simulated day. Running the lane map's BFS per query would dominate the
+//! workload, so [`RouteTable`] compiles the map once into dense arrays:
+//! lanes re-indexed `0..n` in ascending [`LaneId`] order, an all-pairs
+//! shortest-distance matrix (Dijkstra per source with deterministic
+//! tie-breaking), and a cumulative-length table for `O(log n)` position
+//! sampling. After construction every query is a handful of array reads,
+//! the table is immutable and `Sync`, and — because the build is serial
+//! and the tie-breaks are total — two tables built from equal maps are
+//! identical, which is what lets sharded fleet ticks reproduce the serial
+//! reference byte for byte.
+
+use sov_math::Pose2;
+use sov_world::map::{Lane, LaneId, LaneMap};
+
+/// A position on the network: dense lane index plus arclength within it.
+///
+/// `lane` indexes the [`RouteTable`]'s dense ordering (ascending
+/// [`LaneId`]), not the raw lane id — use [`RouteTable::lane_id`] to map
+/// back when talking to `sov-world`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetPos {
+    /// Dense lane index in `[0, RouteTable::len())`.
+    pub lane: u32,
+    /// Arclength along the lane's centerline (meters).
+    pub s: f64,
+}
+
+/// Result of one [`RouteTable::advance`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Advance {
+    /// Distance actually moved (meters); at most the requested budget.
+    pub moved_m: f64,
+    /// Whether the destination was reached exactly.
+    pub arrived: bool,
+}
+
+/// Compiled routing tables over a strongly connected [`LaneMap`].
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    /// Lanes in ascending id order (dense index → lane).
+    lanes: Vec<Lane>,
+    /// Dense successor lists, parallel to `lanes`.
+    succ: Vec<Vec<u32>>,
+    /// `cum[i]` = total length of lanes `0..i`; `cum[n]` = network length.
+    cum: Vec<f64>,
+    /// `dist[a * n + b]` = shortest distance start(a) → start(b), where
+    /// traversing a lane costs its centerline length.
+    dist: Vec<f64>,
+}
+
+impl RouteTable {
+    /// Compiles the routing tables for `map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is empty or not strongly connected — fleet
+    /// dispatch requires every position to be reachable from every other.
+    #[must_use]
+    pub fn new(map: &LaneMap) -> Self {
+        assert!(!map.is_empty(), "fleet map must have at least one lane");
+        let lanes: Vec<Lane> = map.iter().cloned().collect();
+        let n = lanes.len();
+        let index_of = |id: LaneId| -> u32 {
+            lanes
+                .binary_search_by_key(&id, Lane::id)
+                .expect("successor ids exist in the map") as u32
+        };
+        let succ: Vec<Vec<u32>> = lanes
+            .iter()
+            .map(|lane| lane.successors().iter().map(|&id| index_of(id)).collect())
+            .collect();
+        let mut cum = Vec::with_capacity(n + 1);
+        cum.push(0.0);
+        for lane in &lanes {
+            cum.push(cum.last().expect("non-empty") + lane.length_m());
+        }
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut visited = vec![false; n];
+        for source in 0..n {
+            let row = &mut dist[source * n..(source + 1) * n];
+            row[source] = 0.0;
+            visited.iter_mut().for_each(|v| *v = false);
+            // Scan-based Dijkstra: O(n²) per source, fully serial, ties
+            // broken on the lower dense index — bit-for-bit reproducible.
+            for _ in 0..n {
+                let mut u = usize::MAX;
+                let mut best = f64::INFINITY;
+                for (i, &d) in row.iter().enumerate() {
+                    if !visited[i] && d < best {
+                        best = d;
+                        u = i;
+                    }
+                }
+                if u == usize::MAX {
+                    break;
+                }
+                visited[u] = true;
+                let through = row[u] + lanes[u].length_m();
+                for &v in &succ[u] {
+                    let v = v as usize;
+                    if through < row[v] {
+                        row[v] = through;
+                    }
+                }
+            }
+            assert!(
+                row.iter().all(|d| d.is_finite()),
+                "fleet map must be strongly connected (lane {} unreachable)",
+                row.iter().position(|d| !d.is_finite()).unwrap_or(0)
+            );
+        }
+        Self {
+            lanes,
+            succ,
+            cum,
+            dist,
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the table has no lanes (never true: `new` rejects it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// The original [`LaneId`] of a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    #[must_use]
+    pub fn lane_id(&self, lane: u32) -> LaneId {
+        self.lanes[lane as usize].id()
+    }
+
+    /// Centerline length of a lane (meters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    #[must_use]
+    pub fn lane_length(&self, lane: u32) -> f64 {
+        self.lanes[lane as usize].length_m()
+    }
+
+    /// Speed limit of a lane (m/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    #[must_use]
+    pub fn speed_limit(&self, lane: u32) -> f64 {
+        self.lanes[lane as usize].speed_limit_mps()
+    }
+
+    /// Total centerline length of the network (meters).
+    #[must_use]
+    pub fn total_length_m(&self) -> f64 {
+        *self.cum.last().expect("cum has n+1 entries")
+    }
+
+    /// World pose at a network position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position's lane is out of range.
+    #[must_use]
+    pub fn pose(&self, pos: FleetPos) -> Pose2 {
+        self.lanes[pos.lane as usize].pose_at(pos.s)
+    }
+
+    /// Maps `u ∈ [0, 1)` to a network position, uniform by arclength.
+    ///
+    /// Dense mirror of [`LaneMap::sample_position`]: identical semantics
+    /// (lanes laid end to end in ascending id order), but `O(log n)` via
+    /// the cumulative-length table.
+    #[must_use]
+    pub fn sample(&self, u: f64) -> FleetPos {
+        let target = u.clamp(0.0, 1.0 - f64::EPSILON) * self.total_length_m();
+        // partition_point: first lane whose *end* lies beyond target.
+        let i = self.cum[1..].partition_point(|&end| end <= target);
+        let i = i.min(self.lanes.len() - 1);
+        FleetPos {
+            lane: i as u32,
+            s: (target - self.cum[i]).min(self.lanes[i].length_m()),
+        }
+    }
+
+    /// Shortest distance from the start of lane `a` to the start of lane
+    /// `b` (meters; traversing a lane costs its length, `b` itself is not
+    /// traversed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn start_to_start(&self, a: u32, b: u32) -> f64 {
+        self.dist[a as usize * self.lanes.len() + b as usize]
+    }
+
+    /// Shortest distance from the **end** of lane `a` to the start of lane
+    /// `b` — the first hop of every route that leaves lane `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn end_to_start(&self, a: u32, b: u32) -> f64 {
+        let mut best = f64::INFINITY;
+        for &s in &self.succ[a as usize] {
+            let d = self.start_to_start(s, b);
+            if d < best {
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// Shortest driving distance from `from` to `to` along the lane graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either lane index is out of range.
+    #[must_use]
+    pub fn travel_distance(&self, from: FleetPos, to: FleetPos) -> f64 {
+        if from.lane == to.lane && from.s <= to.s {
+            return to.s - from.s;
+        }
+        (self.lane_length(from.lane) - from.s) + self.end_to_start(from.lane, to.lane) + to.s
+    }
+
+    /// The successor of `lane` on the shortest path toward `dest_lane`,
+    /// tie-broken on the lower dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range, or if `lane` has no
+    /// successors (impossible for a strongly connected map).
+    #[must_use]
+    pub fn next_hop(&self, lane: u32, dest_lane: u32) -> u32 {
+        let mut best = f64::INFINITY;
+        let mut hop = u32::MAX;
+        for &s in &self.succ[lane as usize] {
+            let d = self.start_to_start(s, dest_lane);
+            if d < best {
+                best = d;
+                hop = s;
+            }
+        }
+        assert!(hop != u32::MAX, "strongly connected maps have no dead ends");
+        hop
+    }
+
+    /// Moves `pos` up to `budget_m` meters along the shortest path to
+    /// `dest`. Arrival is exact: when the destination lies within the
+    /// budget, `pos` is set to `dest` bit-for-bit and
+    /// [`Advance::arrived`] is `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane index is out of range or `budget_m` is negative
+    /// (debug builds).
+    pub fn advance(&self, pos: &mut FleetPos, dest: FleetPos, budget_m: f64) -> Advance {
+        debug_assert!(budget_m >= 0.0, "advance budget cannot be negative");
+        let mut budget = budget_m;
+        let mut moved = 0.0;
+        // Each iteration either exhausts the budget or crosses into the
+        // next lane of a shortest path, whose remaining distance strictly
+        // decreases — the loop terminates without an explicit cap.
+        loop {
+            if pos.lane == dest.lane && pos.s <= dest.s {
+                let gap = dest.s - pos.s;
+                if gap <= budget {
+                    *pos = dest;
+                    return Advance {
+                        moved_m: moved + gap,
+                        arrived: true,
+                    };
+                }
+                pos.s += budget;
+                return Advance {
+                    moved_m: moved + budget,
+                    arrived: false,
+                };
+            }
+            let remain = self.lane_length(pos.lane) - pos.s;
+            if budget < remain {
+                pos.s += budget;
+                return Advance {
+                    moved_m: moved + budget,
+                    arrived: false,
+                };
+            }
+            moved += remain;
+            budget -= remain;
+            pos.lane = self.next_hop(pos.lane, dest.lane);
+            pos.s = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sov_world::map::{grid_network, rectangular_loop};
+
+    fn table() -> RouteTable {
+        RouteTable::new(&grid_network(3, 3, 50.0, 2.5, 8.0))
+    }
+
+    #[test]
+    fn sample_matches_lane_map_sampler() {
+        let map = grid_network(3, 4, 80.0, 2.5, 8.0);
+        let t = RouteTable::new(&map);
+        for k in 0..100 {
+            let u = f64::from(k) / 100.0;
+            let (id, s) = map.sample_position(u).expect("non-empty");
+            let pos = t.sample(u);
+            assert_eq!(t.lane_id(pos.lane), id, "u = {u}");
+            assert!((pos.s - s).abs() < 1e-9, "u = {u}: {} vs {s}", pos.s);
+        }
+    }
+
+    #[test]
+    fn travel_distance_same_lane() {
+        let t = table();
+        let a = FleetPos { lane: 0, s: 10.0 };
+        let b = FleetPos { lane: 0, s: 35.0 };
+        assert!((t.travel_distance(a, b) - 25.0).abs() < 1e-12);
+        // Behind on the same lane: must loop around, strictly positive.
+        let back = t.travel_distance(b, a);
+        assert!(back > 25.0, "loop-around distance {back}");
+    }
+
+    #[test]
+    fn travel_distance_is_consistent_with_dijkstra() {
+        let t = table();
+        // From the start of lane a to the start of lane b equals the
+        // matrix entry.
+        for a in 0..t.len() as u32 {
+            for b in 0..t.len() as u32 {
+                let d =
+                    t.travel_distance(FleetPos { lane: a, s: 0.0 }, FleetPos { lane: b, s: 0.0 });
+                assert!(
+                    (d - t.start_to_start(a, b)).abs() < 1e-9,
+                    "{a} → {b}: {d} vs {}",
+                    t.start_to_start(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advance_reaches_destination_exactly() {
+        let t = table();
+        let dest = t.sample(0.73);
+        let mut pos = t.sample(0.11);
+        let total = t.travel_distance(pos, dest);
+        let mut moved = 0.0;
+        let mut arrived = false;
+        for _ in 0..10_000 {
+            let a = t.advance(&mut pos, dest, 7.0);
+            moved += a.moved_m;
+            if a.arrived {
+                arrived = true;
+                break;
+            }
+        }
+        assert!(arrived, "never arrived");
+        assert_eq!(pos, dest, "arrival must be exact");
+        assert!(
+            (moved - total).abs() < 1e-6,
+            "moved {moved} vs shortest {total}"
+        );
+    }
+
+    #[test]
+    fn advance_zero_budget_is_a_no_op() {
+        let t = table();
+        let mut pos = t.sample(0.4);
+        let before = pos;
+        let a = t.advance(&mut pos, t.sample(0.9), 0.0);
+        assert_eq!(pos, before);
+        assert_eq!(a.moved_m, 0.0);
+        assert!(!a.arrived);
+    }
+
+    #[test]
+    fn advance_already_there() {
+        let t = table();
+        let dest = t.sample(0.5);
+        let mut pos = dest;
+        let a = t.advance(&mut pos, dest, 3.0);
+        assert!(a.arrived);
+        assert_eq!(a.moved_m, 0.0);
+    }
+
+    #[test]
+    fn loop_map_distances() {
+        // 100 × 50 loop: start(0) → start(2) is 100 + 50 = 150 m.
+        let t = RouteTable::new(&rectangular_loop(100.0, 50.0, 2.5, 8.9));
+        assert!((t.start_to_start(0, 2) - 150.0).abs() < 1e-9);
+        assert!((t.start_to_start(2, 0) - 150.0).abs() < 1e-9);
+        assert!((t.total_length_m() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_map_rejected() {
+        let _ = RouteTable::new(&LaneMap::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "strongly connected")]
+    fn disconnected_map_rejected() {
+        use sov_world::map::Lane;
+        let mut map = LaneMap::new();
+        for i in 0..2 {
+            map.insert(
+                Lane::new(
+                    LaneId(i),
+                    vec![(0.0, f64::from(i)), (10.0, f64::from(i))],
+                    2.0,
+                    5.0,
+                )
+                .expect("valid"),
+            );
+        }
+        // No connections at all: nothing reachable from anything.
+        let _ = RouteTable::new(&map);
+    }
+}

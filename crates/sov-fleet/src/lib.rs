@@ -1,0 +1,64 @@
+//! Fleet-scale ride serving: thousands of vehicles as one sharded,
+//! deterministic workload.
+//!
+//! Every other perf layer in this workspace (arena/SoA kernels, the
+//! worker pool, frame pipelining, tail levers) scales a *single* vehicle.
+//! This crate adds the deployment axis the paper's economics (Sec. III-B/C,
+//! Eq. 2, Table II) are really about: a whole micromobility fleet serving
+//! ride demand, where per-vehicle watts and dollars multiply by the fleet
+//! size and availability lost to charging is revenue lost.
+//!
+//! * [`graph`] — [`graph::RouteTable`]: a `LaneMap` compiled to dense
+//!   all-pairs shortest-distance tables with deterministic tie-breaking;
+//!   `O(log n)` uniform position sampling, `O(1)` distance queries,
+//!   exact-arrival `advance` along shortest paths.
+//! * [`request`] — [`request::RideGen`]: seeded Poisson ride demand with
+//!   origins/destinations uniform by arclength over the network.
+//! * [`vehicle`] — [`vehicle::FleetVehicle`]: the per-vehicle serving
+//!   state machine (idle → to-pickup → onboard → idle/charging) with
+//!   battery accounting and an arena-backed lookahead control kernel.
+//! * [`sim`] — [`sim::FleetSim`]: the four-phase tick (serial arrivals,
+//!   serial nearest-available dispatch, **sharded** vehicle advance over
+//!   `sov-runtime`'s `WorkerPool` with fixed chunking, serial ordered
+//!   merge) and the aggregate [`sim::FleetReport`].
+//!
+//! # Determinism
+//!
+//! The fleet report is **byte-identical to the serial reference for any
+//! worker or shard count**. The argument is the house invariant
+//! (DESIGN.md §8/§14) applied to a new job shape: chunk boundaries depend
+//! only on fleet size and the configured chunk size; each vehicle step
+//! writes nothing but its own vehicle; and every stochastic or
+//! order-sensitive phase (demand, dispatch, summary merges, checksum)
+//! runs serially in a fixed order. The `fleet_matrix` bench bin and the
+//! crate's proptests gate on exactly this property.
+//!
+//! # Example
+//!
+//! ```
+//! use sov_fleet::sim::{FleetConfig, FleetSim};
+//! use sov_runtime::pool::WorkerPool;
+//!
+//! let cfg = FleetConfig {
+//!     ticks: 120,
+//!     grid_rows: 4,
+//!     grid_cols: 4,
+//!     ..FleetConfig::perceptin_fleet(16)
+//! };
+//! let serial = FleetSim::new(cfg.clone()).run(None);
+//! let pool = WorkerPool::new(4);
+//! let sharded = FleetSim::new(cfg).run(Some(&pool));
+//! assert_eq!(serial, sharded); // byte-identical, any pool size
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod graph;
+pub mod request;
+pub mod sim;
+pub mod vehicle;
+
+pub use graph::{FleetPos, RouteTable};
+pub use request::{RideGen, RideRequest};
+pub use sim::{FleetConfig, FleetFaultPlan, FleetReport, FleetSim};
+pub use vehicle::{Duty, FleetVehicle};

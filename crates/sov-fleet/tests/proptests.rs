@@ -1,0 +1,114 @@
+//! Property tests for the fleet tick's two load-bearing claims.
+//!
+//! 1. **Byte-identity**: the fleet report is identical — every `f64`
+//!    bit-equal, every `Summary` sample in the same order — whether the
+//!    vehicle advance runs serially or sharded over a `WorkerPool` of any
+//!    size, for any shard (chunk) size, with or without stall-fault
+//!    injection on a subset of vehicles.
+//! 2. **Allocation-free steady state**: after a warm-up tick, the control
+//!    kernel's per-thread arena serves every scratch take from its pool —
+//!    zero heap allocations per tick.
+
+use sov_fleet::sim::{FleetConfig, FleetFaultPlan, FleetSim};
+use sov_fleet::vehicle::{reset_scratch_stats, scratch_stats};
+use sov_runtime::pool::WorkerPool;
+use sov_testkit::prelude::*;
+
+/// A small-but-busy fleet the property cases perturb: every run completes
+/// rides, exercises dispatch queues, and finishes in milliseconds.
+fn base_cfg(seed: u64, vehicles: u32, chunk: usize) -> FleetConfig {
+    FleetConfig {
+        seed,
+        ticks: 180,
+        chunk,
+        grid_rows: 4,
+        grid_cols: 4,
+        block_m: 60.0,
+        // Over-drive demand so queues form and dispatch order matters.
+        requests_per_tick: f64::from(vehicles) * 0.012,
+        ..FleetConfig::perceptin_fleet(vehicles)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn report_is_byte_identical_across_workers_and_shards(
+        seed in 0u64..u64::MAX,
+        vehicles in 8u32..40,
+        chunk in 1usize..48,
+    ) {
+        let cfg = base_cfg(seed, vehicles, chunk);
+        let reference = FleetSim::new(cfg.clone()).run(None);
+        prop_assert!(reference.rides_completed > 0, "workload too idle to test");
+        for lanes in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            let sharded = FleetSim::new(cfg.clone()).run(Some(&pool));
+            prop_assert_eq!(&reference, &sharded, "lanes {}, chunk {}", lanes, chunk);
+        }
+    }
+
+    #[test]
+    fn report_is_byte_identical_under_fault_injection(
+        seed in 0u64..u64::MAX,
+        fault_seed in 0u64..u64::MAX,
+        fraction in 0.1f64..0.9,
+        chunk in 1usize..48,
+    ) {
+        let cfg = FleetConfig {
+            fault: Some(FleetFaultPlan {
+                seed: fault_seed,
+                from_tick: 40,
+                until_tick: 120,
+                fraction,
+            }),
+            ..base_cfg(seed, 24, chunk)
+        };
+        let reference = FleetSim::new(cfg.clone()).run(None);
+        prop_assert!(reference.stalled_ticks > 0, "fault window never stalled anyone");
+        for lanes in [2usize, 4, 8] {
+            let pool = WorkerPool::new(lanes);
+            let sharded = FleetSim::new(cfg.clone()).run(Some(&pool));
+            prop_assert_eq!(&reference, &sharded, "faulted run, lanes {}", lanes);
+        }
+    }
+
+    #[test]
+    fn checksum_is_sensitive_to_the_seed(seed in 0u64..u64::MAX - 1) {
+        let a = FleetSim::new(base_cfg(seed, 16, 8)).run(None);
+        let b = FleetSim::new(base_cfg(seed + 1, 16, 8)).run(None);
+        prop_assert!(a.checksum != b.checksum, "adjacent seeds collided");
+    }
+}
+
+#[test]
+fn steady_state_fleet_tick_is_allocation_free() {
+    // Serial run on this thread so the thread-local scratch arena sees
+    // every control-kernel take.
+    let mut sim = FleetSim::new(base_cfg(7, 32, 8));
+    // Warm-up: enough ticks for vehicles to start driving (the kernel
+    // only runs on driving ticks) and for the arena to pool its buffer.
+    for _ in 0..60 {
+        sim.tick_once(None);
+    }
+    assert!(
+        sim.vehicles().iter().any(|v| v.driving_ticks > 0),
+        "warm-up never drove — the assertion below would be vacuous"
+    );
+    reset_scratch_stats();
+    for _ in 0..120 {
+        sim.tick_once(None);
+    }
+    let stats = scratch_stats();
+    assert!(
+        stats.takes > 0,
+        "steady state never used the kernel scratch"
+    );
+    assert_eq!(
+        stats.allocations, 0,
+        "steady-state fleet tick allocated scratch ({} takes, {} allocs)",
+        stats.takes, stats.allocations
+    );
+    assert_eq!(stats.reuses, stats.takes, "every take must hit the pool");
+}

@@ -187,6 +187,24 @@ impl Battery {
         self.remaining_kwh = (self.remaining_kwh - used).max(0.0);
         self.remaining_kwh > 0.0
     }
+
+    /// Recharges at `rate_kw` for `dt`, clamped at capacity; returns the
+    /// energy actually accepted (kWh). Fleet vehicles rotate through
+    /// charging stalls between sorties (the Eq. 2 availability cost made
+    /// explicit: a vehicle on charge serves no rides).
+    pub fn recharge(&mut self, rate_kw: f64, dt: SimDuration) -> f64 {
+        debug_assert!(rate_kw >= 0.0, "charge rate cannot be negative");
+        let offered = rate_kw * dt.as_secs_f64() / 3600.0;
+        let accepted = offered.min(self.capacity_kwh - self.remaining_kwh);
+        self.remaining_kwh += accepted;
+        accepted
+    }
+
+    /// Whether the pack is at full capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.remaining_kwh >= self.capacity_kwh
+    }
 }
 
 #[cfg(test)]
@@ -260,5 +278,21 @@ mod tests {
         // Drain far beyond capacity.
         assert!(!b.drain(10.0, SimDuration::from_secs(36_000)));
         assert_eq!(b.remaining_kwh(), 0.0);
+    }
+
+    #[test]
+    fn recharge_clamps_at_capacity() {
+        let mut b = Battery::full(6.0);
+        b.drain(6.0, SimDuration::from_secs(3600)); // empty
+        assert_eq!(b.remaining_kwh(), 0.0);
+        // 3 kW for one hour accepts 3 kWh.
+        let got = b.recharge(3.0, SimDuration::from_secs(3600));
+        assert!((got - 3.0).abs() < 1e-12);
+        assert!(!b.is_full());
+        // Offering far more than the headroom accepts only the headroom.
+        let got = b.recharge(30.0, SimDuration::from_secs(3600));
+        assert!((got - 3.0).abs() < 1e-12);
+        assert!(b.is_full());
+        assert_eq!(b.soc(), 1.0);
     }
 }

@@ -354,6 +354,37 @@ impl LaneMap {
             .min_by(|a, b| a.2.abs().partial_cmp(&b.2.abs()).expect("finite"))
     }
 
+    /// Maps a normalized coordinate `u ∈ [0, 1)` to a position on the
+    /// network — the lane containing arclength `u · total_length` when all
+    /// lanes are laid end to end in id order, plus the offset within it.
+    ///
+    /// This is the uniform-by-arclength sampler the fleet workload
+    /// generator draws ride origins/destinations from: because lanes are
+    /// walked in ascending id order the mapping is deterministic, and
+    /// because the coordinate is scaled by centerline length, every meter
+    /// of the network is equally likely.
+    ///
+    /// Returns `None` for an empty map. `u` is clamped to `[0, 1)`.
+    #[must_use]
+    pub fn sample_position(&self, u: f64) -> Option<(LaneId, f64)> {
+        if self.lanes.is_empty() {
+            return None;
+        }
+        let total = self.total_length_m();
+        let mut target = u.clamp(0.0, 1.0 - f64::EPSILON) * total;
+        let mut last = None;
+        for lane in self.lanes.values() {
+            let len = lane.length_m();
+            if target < len {
+                return Some((lane.id(), target));
+            }
+            target -= len;
+            last = Some(lane.id());
+        }
+        // Float round-off past the last lane: clamp to its end.
+        last.map(|id| (id, self.lanes[&id].length_m()))
+    }
+
     /// Breadth-first route (list of lane ids) from `start` to `goal`.
     ///
     /// # Errors
@@ -522,6 +553,71 @@ pub fn rounded_loop(
     for i in 0..4u32 {
         map.connect(LaneId(i), LaneId((i + 1) % 4))
             .expect("lanes exist");
+    }
+    map
+}
+
+/// Builds a Manhattan street grid of `rows × cols` intersections spaced
+/// `block_m` apart, with **two directed lanes per block edge** (one per
+/// travel direction) — the city-scale network the fleet subsystem
+/// dispatches over.
+///
+/// Lane ids are assigned deterministically: horizontal edges first
+/// (row-major, forward then reverse lane), then vertical edges, so the
+/// same `(rows, cols)` always yields the same map. At every intersection
+/// each incoming lane connects to every outgoing lane **except its own
+/// reverse** (no U-turns); the grid is strongly connected for
+/// `rows, cols ≥ 2`.
+///
+/// # Panics
+///
+/// Panics if `rows < 2`, `cols < 2`, or `block_m` is not positive.
+#[must_use]
+pub fn grid_network(
+    rows: u32,
+    cols: u32,
+    block_m: f64,
+    lane_width_m: f64,
+    speed_mps: f64,
+) -> LaneMap {
+    assert!(rows >= 2 && cols >= 2, "a grid needs at least 2×2 nodes");
+    assert!(block_m > 0.0, "block length must be positive");
+    let mut map = LaneMap::new();
+    let node = |r: u32, c: u32| (f64::from(c) * block_m, f64::from(r) * block_m);
+    // (from-node, to-node) per directed lane, in id order.
+    let mut ends: Vec<((u32, u32), (u32, u32))> = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols - 1 {
+            ends.push(((r, c), (r, c + 1)));
+            ends.push(((r, c + 1), (r, c)));
+        }
+    }
+    for r in 0..rows - 1 {
+        for c in 0..cols {
+            ends.push(((r, c), (r + 1, c)));
+            ends.push(((r + 1, c), (r, c)));
+        }
+    }
+    for (i, &(a, b)) in ends.iter().enumerate() {
+        let lane = Lane::new(
+            LaneId(i as u32),
+            vec![node(a.0, a.1), node(b.0, b.1)],
+            lane_width_m,
+            speed_mps,
+        )
+        .expect("valid by construction");
+        map.insert(lane);
+    }
+    // Connect incoming → outgoing at every node, skipping the U-turn onto
+    // a lane's own reverse (lanes are created in forward/reverse pairs, so
+    // the reverse of id `i` is `i ^ 1`).
+    for (i, &(_, to)) in ends.iter().enumerate() {
+        for (j, &(from, _)) in ends.iter().enumerate() {
+            if from == to && j != (i ^ 1) {
+                map.connect(LaneId(i as u32), LaneId(j as u32))
+                    .expect("lanes exist");
+            }
+        }
     }
     map
 }
@@ -713,5 +809,66 @@ mod tests {
         assert!(map.is_empty());
         assert!(map.nearest_lane(0.0, 0.0).is_none());
         assert_eq!(map.total_length_m(), 0.0);
+        assert!(map.sample_position(0.5).is_none());
+    }
+
+    #[test]
+    fn sample_position_is_uniform_by_arclength() {
+        let map = rectangular_loop(100.0, 50.0, 2.5, 8.9);
+        // Total 300 m: u = 0 starts lane 0; u just under 100/300 is still
+        // on lane 0; u = 100/300 starts lane 1 (the 50 m side).
+        assert_eq!(map.sample_position(0.0), Some((LaneId(0), 0.0)));
+        let (id, s) = map.sample_position(100.0 / 300.0 - 1e-9).unwrap();
+        assert_eq!(id, LaneId(0));
+        assert!((s - 100.0).abs() < 1e-3);
+        let (id, s) = map.sample_position(100.0 / 300.0).unwrap();
+        assert_eq!(id, LaneId(1));
+        assert!(s.abs() < 1e-9);
+        // Clamped at the top of the range.
+        let (id, _) = map.sample_position(1.0).unwrap();
+        assert_eq!(id, LaneId(3));
+    }
+
+    #[test]
+    fn grid_network_shape_and_ids_are_deterministic() {
+        let a = grid_network(3, 4, 80.0, 2.5, 8.0);
+        let b = grid_network(3, 4, 80.0, 2.5, 8.0);
+        assert_eq!(a, b, "same parameters must build the identical map");
+        // Edges: horizontal 3·3 + vertical 2·4 = 17, two lanes each.
+        assert_eq!(a.len(), 34);
+        assert!((a.total_length_m() - 34.0 * 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_network_is_strongly_connected_without_u_turns() {
+        let map = grid_network(3, 3, 50.0, 2.5, 8.0);
+        // No lane lists its own reverse (id ^ 1) as a successor.
+        for lane in map.iter() {
+            let rev = LaneId(lane.id().0 ^ 1);
+            assert!(
+                !lane.successors().contains(&rev),
+                "{} may not U-turn onto {}",
+                lane.id(),
+                rev
+            );
+            assert!(!lane.successors().is_empty(), "dead end at {}", lane.id());
+        }
+        // Every ordered lane pair is routable.
+        for a in map.iter() {
+            for b in map.iter() {
+                assert!(
+                    map.route(a.id(), b.id()).unwrap().is_some(),
+                    "no route {} → {}",
+                    a.id(),
+                    b.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2×2")]
+    fn grid_network_rejects_degenerate_grids() {
+        let _ = grid_network(1, 5, 50.0, 2.5, 8.0);
     }
 }

@@ -90,4 +90,16 @@ echo "== scenario_matrix smoke (generated scenarios × faults, safety =="
 echo "== invariants per frame; proves worker-lane JSON invariance)   =="
 ./target/release/scenario_matrix --smoke --workers 3
 
+echo "== fleet determinism proptests (byte-identity across workers × =="
+echo "== shard sizes × fault injection; allocation-free steady state) =="
+cargo test --offline -q -p sov-fleet --test proptests
+
+echo "== fleet_matrix smoke (sharded ride serving; exits non-zero on a =="
+echo "== report that diverges from serial, or — on hosts with >= 3     =="
+echo "== cores — sharded throughput that fails to beat serial)         =="
+if [ "$(nproc 2>/dev/null || echo 0)" -lt 3 ]; then
+  echo "warning: host has < 3 cores — fleet_matrix throughput gate is informational only"
+fi
+./target/release/fleet_matrix --smoke
+
 echo "All checks passed."

@@ -25,6 +25,12 @@
 //! * [`cloud`] — the offline cloud services of Fig. 1: telemetry uplink
 //!   policy, environment-specialized model training, map annotation, and
 //!   the release-gating simulation service.
+//! * [`fleet`] — fleet-scale ride serving: seeded Poisson demand over the
+//!   lane graph, deterministic nearest-available dispatch, and vehicle
+//!   ticks sharded across the worker pool with byte-identical reports for
+//!   any worker count.
+//! * [`runtime`] — the deterministic concurrency substrate: worker pool,
+//!   frame pipeline, arenas, and the latency ledger.
 //!
 //! # Quickstart
 //!
@@ -41,11 +47,13 @@
 
 pub use sov_cloud as cloud;
 pub use sov_core as core;
+pub use sov_fleet as fleet;
 pub use sov_lidar as lidar;
 pub use sov_math as math;
 pub use sov_perception as perception;
 pub use sov_planning as planning;
 pub use sov_platform as platform;
+pub use sov_runtime as runtime;
 pub use sov_sensors as sensors;
 pub use sov_sim as sim;
 pub use sov_vehicle as vehicle;
