@@ -8,35 +8,48 @@
 //! ride demand, where per-vehicle watts and dollars multiply by the fleet
 //! size and availability lost to charging is revenue lost.
 //!
-//! * [`graph`] — [`graph::RouteTable`]: a `LaneMap` compiled to dense
-//!   all-pairs shortest-distance tables with deterministic tie-breaking;
-//!   `O(log n)` uniform position sampling, `O(1)` distance queries,
-//!   exact-arrival `advance` along shortest paths.
+//! * [`graph`] — [`graph::RouteTable`]: a `LaneMap` compiled to CSR
+//!   adjacency with on-demand binary-heap Dijkstra ([`graph::RouteField`]
+//!   per destination, `O(E log N)` per miss — no dense N×N matrix) behind
+//!   a deterministic FIFO-evicting [`graph::RouteCache`]; `O(log n)`
+//!   uniform position sampling and exact-arrival `advance_with` along
+//!   shortest paths.
+//! * [`index`] — [`index::SpatialIndex`]: fixed-geometry grid buckets
+//!   over available vehicles; nearest-available queries expand rings of
+//!   buckets with an exact Euclidean lower bound instead of scanning the
+//!   whole fleet, with tie behavior (distance, then lower id) identical
+//!   to the linear scan.
 //! * [`request`] — [`request::RideGen`]: seeded Poisson ride demand with
 //!   origins/destinations uniform by arclength over the network.
 //! * [`vehicle`] — [`vehicle::FleetVehicle`]: the per-vehicle serving
 //!   state machine (idle → to-pickup → onboard → idle/charging) with
-//!   battery accounting and an arena-backed lookahead control kernel.
+//!   battery accounting, an arena-backed lookahead control kernel, and a
+//!   stall-timeout coupling that hands a not-yet-picked-up ride back for
+//!   deterministic re-dispatch.
 //! * [`sim`] — [`sim::FleetSim`]: the four-phase tick (serial arrivals,
-//!   serial nearest-available dispatch, **sharded** vehicle advance over
-//!   `sov-runtime`'s `WorkerPool` with fixed chunking, serial ordered
-//!   merge) and the aggregate [`sim::FleetReport`].
+//!   indexed **sharded** dispatch with a serial FIFO commit, sharded
+//!   vehicle advance over `sov-runtime`'s `WorkerPool` with fixed
+//!   chunking, serial ordered merge) and the aggregate
+//!   [`sim::FleetReport`].
 //!
 //! # Determinism
 //!
-//! The fleet report is **byte-identical to the serial reference for any
-//! worker or shard count**. The argument is the house invariant
-//! (DESIGN.md §8/§14) applied to a new job shape: chunk boundaries depend
-//! only on fleet size and the configured chunk size; each vehicle step
-//! writes nothing but its own vehicle; and every stochastic or
-//! order-sensitive phase (demand, dispatch, summary merges, checksum)
-//! runs serially in a fixed order. The `fleet_matrix` bench bin and the
+//! The fleet report is **byte-identical to the serial linear-scan
+//! reference for any dispatch mode, worker or shard count, and
+//! route-cache capacity**. The argument is the house invariant
+//! (DESIGN.md §8/§14/§15) applied to new job shapes: chunk boundaries
+//! depend only on input sizes and config; the parallel dispatch stage is
+//! a read-only search against a pre-dispatch snapshot whose results a
+//! serial pass commits in strict FIFO order; cache residency changes
+//! which Dijkstra runs, never the field values; and every stochastic or
+//! order-sensitive phase (demand, commit, summary merges, checksum) runs
+//! serially in a fixed order. The `fleet_matrix` bench bin and the
 //! crate's proptests gate on exactly this property.
 //!
 //! # Example
 //!
 //! ```
-//! use sov_fleet::sim::{FleetConfig, FleetSim};
+//! use sov_fleet::sim::{DispatchMode, FleetConfig, FleetSim};
 //! use sov_runtime::pool::WorkerPool;
 //!
 //! let cfg = FleetConfig {
@@ -45,20 +58,28 @@
 //!     grid_cols: 4,
 //!     ..FleetConfig::perceptin_fleet(16)
 //! };
-//! let serial = FleetSim::new(cfg.clone()).run(None);
+//! let indexed = FleetSim::new(cfg.clone()).run(None);
 //! let pool = WorkerPool::new(4);
-//! let sharded = FleetSim::new(cfg).run(Some(&pool));
-//! assert_eq!(serial, sharded); // byte-identical, any pool size
+//! let sharded = FleetSim::new(cfg.clone()).run(Some(&pool));
+//! assert_eq!(indexed, sharded); // byte-identical, any pool size
+//! let linear = FleetSim::new(FleetConfig {
+//!     dispatch: DispatchMode::Linear,
+//!     ..cfg
+//! })
+//! .run(None);
+//! assert_eq!(indexed, linear); // ... and any dispatch mode
 //! ```
 
 #![deny(missing_docs)]
 
 pub mod graph;
+pub mod index;
 pub mod request;
 pub mod sim;
 pub mod vehicle;
 
-pub use graph::{FleetPos, RouteTable};
+pub use graph::{Bounds, FleetPos, RouteCache, RouteField, RouteTable};
+pub use index::{Candidate, CandidateList, SpatialIndex, MAX_CANDIDATES};
 pub use request::{RideGen, RideRequest};
-pub use sim::{FleetConfig, FleetFaultPlan, FleetReport, FleetSim};
+pub use sim::{DispatchMode, DispatchStats, FleetConfig, FleetFaultPlan, FleetReport, FleetSim};
 pub use vehicle::{Duty, FleetVehicle};

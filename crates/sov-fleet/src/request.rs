@@ -7,7 +7,7 @@
 //! so a seed fully determines the demand trace independent of worker
 //! count.
 
-use crate::graph::{FleetPos, RouteTable};
+use crate::graph::{FleetPos, RouteCache, RouteTable};
 use sov_math::SovRng;
 
 /// One ride request.
@@ -69,19 +69,33 @@ impl RideGen {
     ///
     /// The arrival count is Poisson-distributed via Knuth's product
     /// method; each request then draws an origin and up to
-    /// [`MAX_DEST_DRAWS`] destinations from the network sampler.
-    pub fn generate(&mut self, tick: u64, table: &RouteTable, out: &mut Vec<RideRequest>) {
+    /// [`MAX_DEST_DRAWS`] destinations from the network sampler. Direct
+    /// distances are answered through `cache`, which also pre-warms the
+    /// destination fields the dispatcher and the ride itself will reuse —
+    /// generation runs on the serial phase, so the cache's state stays a
+    /// pure function of the demand trace.
+    pub fn generate(
+        &mut self,
+        tick: u64,
+        table: &RouteTable,
+        cache: &mut RouteCache,
+        out: &mut Vec<RideRequest>,
+    ) {
+        let mut direct_to = |origin: FleetPos, dest: FleetPos| {
+            let field = cache.field(table, dest.lane);
+            table.travel_distance_with(origin, dest, &field)
+        };
         let arrivals = self.poisson();
         for _ in 0..arrivals {
             let origin = table.sample(self.rng.next_f64());
             let mut dest = table.sample(self.rng.next_f64());
-            let mut direct = table.travel_distance(origin, dest);
+            let mut direct = direct_to(origin, dest);
             for _ in 1..MAX_DEST_DRAWS {
                 if direct >= self.min_trip_m {
                     break;
                 }
                 dest = table.sample(self.rng.next_f64());
-                direct = table.travel_distance(origin, dest);
+                direct = direct_to(origin, dest);
             }
             out.push(RideRequest {
                 id: self.next_id,
@@ -126,9 +140,13 @@ mod tests {
         let mut a = RideGen::new(7, 2.5, 100.0);
         let mut b = RideGen::new(7, 2.5, 100.0);
         let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        let mut cache_a = RouteCache::new(&t, usize::MAX);
+        // Different cache capacities must not change the trace: the cache
+        // memoizes exact fields, it never changes a distance.
+        let mut cache_b = RouteCache::new(&t, 1);
         for tick in 0..50 {
-            a.generate(tick, &t, &mut out_a);
-            b.generate(tick, &t, &mut out_b);
+            a.generate(tick, &t, &mut cache_a, &mut out_a);
+            b.generate(tick, &t, &mut cache_b, &mut out_b);
         }
         assert_eq!(out_a, out_b);
         assert_eq!(a.generated(), out_a.len() as u64);
@@ -138,9 +156,10 @@ mod tests {
     fn poisson_mean_tracks_rate() {
         let t = table();
         let mut gen = RideGen::new(11, 3.0, 0.0);
+        let mut cache = RouteCache::new(&t, usize::MAX);
         let mut out = Vec::new();
         for tick in 0..2000 {
-            gen.generate(tick, &t, &mut out);
+            gen.generate(tick, &t, &mut cache, &mut out);
         }
         let mean = out.len() as f64 / 2000.0;
         assert!((mean - 3.0).abs() < 0.15, "Poisson mean {mean}");
@@ -150,9 +169,10 @@ mod tests {
     fn request_ids_are_dense_and_increasing() {
         let t = table();
         let mut gen = RideGen::new(3, 4.0, 50.0);
+        let mut cache = RouteCache::new(&t, 4);
         let mut out = Vec::new();
         for tick in 0..100 {
-            gen.generate(tick, &t, &mut out);
+            gen.generate(tick, &t, &mut cache, &mut out);
         }
         for (i, r) in out.iter().enumerate() {
             assert_eq!(r.id, i as u64);
@@ -163,10 +183,12 @@ mod tests {
     fn min_trip_is_mostly_respected() {
         let t = table();
         let mut gen = RideGen::new(5, 5.0, 120.0);
+        let mut cache = RouteCache::new(&t, usize::MAX);
         let mut out = Vec::new();
         for tick in 0..200 {
-            gen.generate(tick, &t, &mut out);
+            gen.generate(tick, &t, &mut cache, &mut out);
         }
+        assert!(cache.hits() > 0, "repeated destinations must hit the cache");
         assert!(!out.is_empty());
         let short = out.iter().filter(|r| r.direct_m < 120.0).count();
         // The retry budget makes short trips rare, not impossible.

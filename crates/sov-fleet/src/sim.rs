@@ -4,10 +4,18 @@
 //! Every tick runs four phases:
 //!
 //! 1. **Arrivals** (serial): the seeded Poisson generator appends this
-//!    tick's requests to the FIFO queue.
-//! 2. **Dispatch** (serial): while an idle vehicle exists, the head
-//!    request is assigned to the nearest available vehicle, ties broken
-//!    on the lower vehicle id.
+//!    tick's requests to the FIFO queue, warming the route cache with
+//!    each trip's destination field.
+//! 2. **Dispatch**: strict-FIFO — the head request goes to the nearest
+//!    available vehicle, ties broken on the lower vehicle id. Two
+//!    implementations produce identical bytes: the retained
+//!    [`DispatchMode::Linear`] reference (serial O(V) scan per request)
+//!    and the default [`DispatchMode::Indexed`] path — a spatial-index
+//!    ring search per request, fanned across the `WorkerPool` in
+//!    config-fixed chunks against a **pre-dispatch snapshot** of the
+//!    fleet, followed by a serial FIFO commit pass that resolves
+//!    conflicts exactly as the incremental scan would (see
+//!    [`FleetSim::phase_dispatch`]).
 //! 3. **Advance** (sharded): the vehicle array is split into fixed-size
 //!    chunks via [`for_chunks`]; each chunk steps its vehicles. Chunk
 //!    boundaries depend only on fleet size and the configured chunk size
@@ -15,24 +23,29 @@
 //!    own vehicle plus shared immutable state, so any pool produces the
 //!    same bytes as the serial sweep (the DESIGN.md §8 argument applied
 //!    to a new job shape).
-//! 4. **Merge** (serial): completed-ride events are drained in ascending
+//! 4. **Merge** (serial): completed-ride events drain in ascending
 //!    vehicle id order into the wait/travel summaries and the running
-//!    checksum.
+//!    checksum, and rides returned by the stall-timeout coupling go back
+//!    to the **head** of the queue in ascending request-id order.
 //!
-//! Because phases 1, 2 and 4 are serial and phase 3 is
-//! boundary-deterministic and write-disjoint, [`FleetSim::report`] is
-//! byte-identical for every worker/shard count — the property the
+//! Because phases 1 and 4 are serial, phase 3 is boundary-deterministic
+//! and write-disjoint, and phase 2's parallel stage is a read-only search
+//! against a snapshot whose results are committed serially in FIFO order,
+//! [`FleetSim::report`] is byte-identical for every dispatch mode, worker
+//! count, shard size, and route-cache capacity — the property the
 //! proptests and the `fleet_matrix` bench gate on.
 
-use crate::graph::RouteTable;
+use crate::graph::{RouteCache, RouteField, RouteTable};
+use crate::index::{CandidateList, SpatialIndex, MAX_CANDIDATES};
 use crate::request::{RideGen, RideRequest};
-use crate::vehicle::{FleetVehicle, StepParams};
+use crate::vehicle::{Assignment, FleetVehicle, StepParams};
 use sov_math::stats::Summary;
 use sov_runtime::pool::{for_chunks, WorkerPool};
 use sov_vehicle::battery::{table1_total_pad_w, DrivingTimeModel};
 use sov_vehicle::cost::TcoModel;
 use sov_world::map::grid_network;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// SplitMix64-style fold used for the report checksum and the stall-fault
 /// draw: cheap, stateless, and identical on every platform.
@@ -74,6 +87,47 @@ impl FleetFaultPlan {
     }
 }
 
+/// Which dispatcher implementation serves the queue.
+///
+/// Both produce byte-identical reports; `Linear` is retained as the
+/// executable specification the indexed path is proptested against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Serial O(V) scan per request — the 0.9.0 reference semantics.
+    Linear,
+    /// Spatial-index ring search, sharded over the worker pool, with a
+    /// serial FIFO conflict-resolution commit. Falls back to `Linear`
+    /// when the map's lane connections are not geometrically contiguous
+    /// ([`RouteTable::max_connection_gap_m`]` > 0`), where the index's
+    /// Euclidean pruning bound would be unsound.
+    Indexed,
+}
+
+/// Deterministic dispatch work counters.
+///
+/// Deliberately **not** part of [`FleetReport`]: the report must stay
+/// byte-identical across dispatch modes, while these counters are exactly
+/// what differs (the indexed path's reason to exist). Every field is a
+/// pure function of config + seed — identical across worker counts — and
+/// `fleet_matrix` records them per cell and gates the ≥ 2× evaluation
+/// reduction on them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Vehicle-to-pickup distance evaluations performed by dispatch.
+    pub distance_evals: u64,
+    /// Rides assigned to vehicles.
+    pub dispatched: u64,
+    /// Rides returned to the queue by the stall-timeout coupling.
+    pub requeues: u64,
+    /// Commit-pass conflicts that exhausted a candidate list and re-ran
+    /// the ring search against the claimed set.
+    pub fallback_searches: u64,
+    /// Route-cache lookups served from a resident field.
+    pub route_cache_hits: u64,
+    /// Route-cache lookups that ran a fresh Dijkstra.
+    pub route_cache_misses: u64,
+}
+
 /// Fleet workload configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -112,6 +166,19 @@ pub struct FleetConfig {
     /// Shard size: vehicles per parallel chunk. Part of the workload
     /// definition — chunk boundaries must not depend on the worker count.
     pub chunk: usize,
+    /// Dispatcher implementation (byte-identical either way).
+    pub dispatch: DispatchMode,
+    /// Shard size of the sharded candidate search: queued requests per
+    /// parallel chunk. Config-fixed for the same reason as `chunk`.
+    pub dispatch_chunk: usize,
+    /// Route-cache capacity in compiled fields (`usize::MAX` = unbounded,
+    /// `0` = memoization off). Changes work done, never bytes produced.
+    pub route_cache: usize,
+    /// Spatial-index bucket edge length (meters).
+    pub index_cell_m: f64,
+    /// Consecutive stalled ticks before a not-yet-picked-up ride returns
+    /// to the head of the queue (`None` disables the coupling).
+    pub stall_requeue_ticks: Option<u64>,
     /// Cost model for the per-ride economics.
     pub tco: TcoModel,
     /// Optional stall-fault injection.
@@ -146,6 +213,11 @@ impl FleetConfig {
             reserve_soc: 0.15,
             lookahead: 8,
             chunk: 64,
+            dispatch: DispatchMode::Indexed,
+            dispatch_chunk: 16,
+            route_cache: 256,
+            index_cell_m: 80.0,
+            stall_requeue_ticks: Some(90),
             tco: TcoModel::tourist_site_defaults(),
             fault: None,
         }
@@ -158,10 +230,11 @@ impl FleetConfig {
 /// Deterministic aggregate report of a fleet run.
 ///
 /// Every field is computed on the serial phases in a fixed order, so two
-/// runs of the same [`FleetConfig`] — serial or sharded over any pool —
-/// compare equal field for field, bit for bit. Compare reports **before**
-/// querying percentiles: `Summary::percentile` sorts in place, which
-/// changes its internal (PartialEq-visible) state.
+/// runs of the same [`FleetConfig`] — serial or sharded over any pool,
+/// linear or indexed dispatch, any route-cache capacity — compare equal
+/// field for field, bit for bit. Compare reports **before** querying
+/// percentiles: `Summary::percentile` sorts in place, which changes its
+/// internal (PartialEq-visible) state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
     /// Fleet size.
@@ -205,8 +278,9 @@ pub struct FleetReport {
     /// Eq. 2 driving time lost to the autonomy load, pro-rated over the
     /// charge actually consumed (hours).
     pub autonomy_time_lost_h: f64,
-    /// Order-sensitive fold over every completed ride and the final
-    /// aggregates — the cheap byte-identity witness the bench gates on.
+    /// Order-sensitive fold over every completed ride, every requeue, and
+    /// the final aggregates — the cheap byte-identity witness the bench
+    /// gates on.
     pub checksum: u64,
 }
 
@@ -215,16 +289,32 @@ pub struct FleetReport {
 pub struct FleetSim {
     cfg: FleetConfig,
     table: RouteTable,
+    cache: RouteCache,
+    index: Option<SpatialIndex>,
     gen: RideGen,
     vehicles: Vec<FleetVehicle>,
     queue: VecDeque<RideRequest>,
     tick: u64,
+    /// Which phase runs next (0 = arrivals … 3 = merge): phases are
+    /// public so the bench can time them individually, and this guard
+    /// keeps external callers honest about the order.
+    phase: u8,
     wait_s: Summary,
     travel_s: Summary,
     rides_completed: u64,
     peak_queue: usize,
     checksum: u64,
+    stats: DispatchStats,
+    // Retained scratch (capacity reused every tick; steady state does not
+    // grow any of these).
     arrivals: Vec<RideRequest>,
+    batch: Vec<RideRequest>,
+    fields: Vec<(Arc<RouteField>, Arc<RouteField>)>,
+    cands: Vec<CandidateList>,
+    /// Claim stamps for the commit pass: `claimed[v] == tick + 1` marks
+    /// vehicle `v` as taken this tick (no per-tick clearing needed).
+    claimed: Vec<u64>,
+    requeued: Vec<Assignment>,
 }
 
 impl FleetSim {
@@ -234,12 +324,16 @@ impl FleetSim {
     /// # Panics
     ///
     /// Panics on a degenerate configuration (no vehicles, non-positive
-    /// tick, or a grid smaller than 2×2).
+    /// tick, chunk, or index cell, or a grid smaller than 2×2).
     #[must_use]
     pub fn new(cfg: FleetConfig) -> Self {
         assert!(cfg.vehicles > 0, "a fleet needs at least one vehicle");
         assert!(cfg.tick_s > 0.0, "tick length must be positive");
         assert!(cfg.chunk > 0, "chunk size must be positive");
+        assert!(
+            cfg.dispatch_chunk > 0,
+            "dispatch chunk size must be positive"
+        );
         let map = grid_network(
             cfg.grid_rows,
             cfg.grid_cols,
@@ -248,26 +342,44 @@ impl FleetSim {
             cfg.lane_speed_mps,
         );
         let table = RouteTable::new(&map);
-        let vehicles = (0..cfg.vehicles)
+        // The index's ring pruning lower-bounds road distance with
+        // straight-line distance, which is only sound when successive
+        // lanes touch. grid_network guarantees it exactly; for any other
+        // geometry the indexed mode silently serves via the linear
+        // reference (reports are mode-invariant, so this is safe).
+        let index = (cfg.dispatch == DispatchMode::Indexed && table.max_connection_gap_m() == 0.0)
+            .then(|| SpatialIndex::new(&table, cfg.index_cell_m));
+        let cache = RouteCache::new(&table, cfg.route_cache);
+        let vehicles: Vec<FleetVehicle> = (0..cfg.vehicles)
             .map(|i| {
                 let u = (f64::from(i) + 0.5) / f64::from(cfg.vehicles);
                 FleetVehicle::new(i, table.sample(u), cfg.capacity_kwh)
             })
             .collect();
         let gen = RideGen::new(cfg.seed, cfg.requests_per_tick, cfg.min_trip_m);
+        let claimed = vec![0u64; vehicles.len()];
         Self {
             cfg,
             table,
+            cache,
+            index,
             gen,
             vehicles,
             queue: VecDeque::new(),
             tick: 0,
+            phase: 0,
             wait_s: Summary::new(),
             travel_s: Summary::new(),
             rides_completed: 0,
             peak_queue: 0,
             checksum: 0x5056_2d46_4c45_4554, // "PV-FLEET"
+            stats: DispatchStats::default(),
             arrivals: Vec::new(),
+            batch: Vec::new(),
+            fields: Vec::new(),
+            cands: Vec::new(),
+            claimed,
+            requeued: Vec::new(),
         }
     }
 
@@ -295,21 +407,70 @@ impl FleetSim {
         &self.vehicles
     }
 
-    /// Runs one tick. `pool` shards the vehicle advance; `None` runs the
-    /// identical chunks serially (bit-identical output either way).
+    /// Deterministic dispatch work counters (identical for every worker
+    /// count; differ across dispatch modes — that difference is the
+    /// speedup the bench records).
+    #[must_use]
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        DispatchStats {
+            route_cache_hits: self.cache.hits(),
+            route_cache_misses: self.cache.misses(),
+            ..self.stats
+        }
+    }
+
+    /// Runs one tick. `pool` shards the dispatch candidate search and the
+    /// vehicle advance; `None` runs the identical chunks serially
+    /// (bit-identical output either way).
     pub fn tick_once(&mut self, pool: Option<&WorkerPool>) {
-        // Phase 1: arrivals (serial; one seeded stream).
+        self.phase_arrivals();
+        self.phase_dispatch(pool);
+        self.phase_advance(pool);
+        self.phase_merge();
+    }
+
+    /// Phase 1 — arrivals (serial; one seeded stream through one cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called out of phase order.
+    pub fn phase_arrivals(&mut self) {
+        assert_eq!(self.phase, 0, "phase_arrivals out of order");
+        self.phase = 1;
         self.gen
-            .generate(self.tick, &self.table, &mut self.arrivals);
+            .generate(self.tick, &self.table, &mut self.cache, &mut self.arrivals);
         for r in self.arrivals.drain(..) {
             self.queue.push_back(r);
         }
         self.peak_queue = self.peak_queue.max(self.queue.len());
+    }
 
-        // Phase 2: dispatch (serial; nearest available, ties on id).
-        self.dispatch();
+    /// Phase 2 — strict-FIFO dispatch: the head request goes to the
+    /// nearest available vehicle (shortest driving distance to the
+    /// pickup, ties broken on the lower vehicle id); when no vehicle is
+    /// available the queue waits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called out of phase order.
+    pub fn phase_dispatch(&mut self, pool: Option<&WorkerPool>) {
+        assert_eq!(self.phase, 1, "phase_dispatch out of order");
+        self.phase = 2;
+        if self.index.is_some() {
+            self.dispatch_indexed(pool);
+        } else {
+            self.dispatch_linear();
+        }
+    }
 
-        // Phase 3: sharded advance (fixed chunks, write-disjoint).
+    /// Phase 3 — sharded vehicle advance (fixed chunks, write-disjoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called out of phase order.
+    pub fn phase_advance(&mut self, pool: Option<&WorkerPool>) {
+        assert_eq!(self.phase, 2, "phase_advance out of order");
+        self.phase = 3;
         let params = StepParams {
             table: &self.table,
             tick: self.tick,
@@ -320,14 +481,26 @@ impl FleetSim {
             reserve_soc: self.cfg.reserve_soc,
             lookahead: self.cfg.lookahead,
             fault: self.cfg.fault.as_ref(),
+            stall_requeue_ticks: self.cfg.stall_requeue_ticks,
         };
         for_chunks(pool, &mut self.vehicles, self.cfg.chunk, |_, chunk| {
             for v in chunk {
                 v.step(&params);
             }
         });
+    }
 
-        // Phase 4: ordered merge (serial; ascending vehicle id).
+    /// Phase 4 — ordered merge (serial): completed rides drain in
+    /// ascending vehicle id; stall-returned rides go back to the **head**
+    /// of the queue in ascending request id (the oldest abandoned request
+    /// is served first — strict FIFO restored deterministically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called out of phase order.
+    pub fn phase_merge(&mut self) {
+        assert_eq!(self.phase, 3, "phase_merge out of order");
+        self.phase = 0;
         let dt = self.cfg.tick_s;
         for v in &mut self.vehicles {
             for e in v.completed.drain(..) {
@@ -337,6 +510,19 @@ impl FleetSim {
                 self.checksum = mix(self.checksum, e.request_id);
                 self.checksum = mix(self.checksum, e.wait_ticks);
                 self.checksum = mix(self.checksum, e.travel_ticks ^ (u64::from(v.id) << 32));
+            }
+            if let Some(a) = v.returned.take() {
+                self.requeued.push(a);
+            }
+        }
+        if !self.requeued.is_empty() {
+            // Ascending request id, then push_front in reverse: the queue
+            // head ends up in original arrival order.
+            self.requeued.sort_unstable_by_key(|a| a.request_id);
+            while let Some(a) = self.requeued.pop() {
+                self.stats.requeues += 1;
+                self.checksum = mix(self.checksum, a.request_id ^ 0x5245_5155_4555_4544);
+                self.queue.push_front(a.to_request());
             }
         }
         self.tick += 1;
@@ -350,18 +536,19 @@ impl FleetSim {
         self.report()
     }
 
-    /// Strict-FIFO dispatch: the head request goes to the nearest
-    /// available vehicle (shortest driving distance to the pickup, ties
-    /// broken on the lower vehicle id); when no vehicle is available the
-    /// queue waits.
-    fn dispatch(&mut self) {
-        while let Some(req) = self.queue.front() {
+    /// The retained linear-scan dispatcher: the executable specification
+    /// of dispatch semantics, and the serving path for maps the spatial
+    /// index cannot prune soundly.
+    fn dispatch_linear(&mut self) {
+        while let Some(&req) = self.queue.front() {
+            let field = self.cache.field(&self.table, req.origin.lane);
             let mut best: Option<(f64, u32)> = None;
             for v in &self.vehicles {
                 if !v.is_available() {
                     continue;
                 }
-                let d = self.table.travel_distance(v.pos, req.origin);
+                self.stats.distance_evals += 1;
+                let d = self.table.travel_distance_with(v.pos, req.origin, &field);
                 let better = match best {
                     None => true,
                     Some((bd, _)) => d < bd,
@@ -374,7 +561,130 @@ impl FleetSim {
                 break;
             };
             let req = self.queue.pop_front().expect("front checked above");
-            self.vehicles[id as usize].assign(&req, self.tick);
+            let to_dest = self.cache.field(&self.table, req.dest.lane);
+            self.vehicles[id as usize].assign(&req, self.tick, field, to_dest);
+            self.stats.dispatched += 1;
+        }
+    }
+
+    /// Indexed + sharded dispatch. Equivalence with the linear scan:
+    ///
+    /// * `batch_n = min(queue, available)` requests will all be served —
+    ///   the linear loop assigns exactly one vehicle per iteration until
+    ///   the queue or the available set runs dry, and nothing else
+    ///   changes availability within the phase.
+    /// * The parallel stage searches a **snapshot** (index rebuilt before
+    ///   the batch; no writes until commit), so every candidate list is
+    ///   the exact top-`MAX_CANDIDATES` of `(distance, id)` over the
+    ///   pre-dispatch fleet — independent of worker count and batch
+    ///   order.
+    /// * The serial commit walks the batch in FIFO order. For request
+    ///   `i`, vehicles claimed by requests `< i` are exactly the ones the
+    ///   linear scan would have seen as busy; the first unclaimed
+    ///   candidate is therefore the linear scan's winner (any vehicle
+    ///   outside the list ranks after every list entry). If all
+    ///   candidates are claimed, the ring search re-runs with the claimed
+    ///   set as its skip predicate — same comparator, so same winner.
+    fn dispatch_indexed(&mut self, pool: Option<&WorkerPool>) {
+        let avail = self.vehicles.iter().filter(|v| v.is_available()).count();
+        let batch_n = avail.min(self.queue.len());
+        if batch_n == 0 {
+            return;
+        }
+        self.batch.clear();
+        self.batch.extend(self.queue.iter().take(batch_n).copied());
+        // Serial pre-pass: resolve both route fields per request through
+        // the cache (cache mutation stays on the serial phase).
+        self.fields.clear();
+        for i in 0..batch_n {
+            let (origin, dest) = (self.batch[i].origin.lane, self.batch[i].dest.lane);
+            let to_origin = self.cache.field(&self.table, origin);
+            let to_dest = self.cache.field(&self.table, dest);
+            self.fields.push((to_origin, to_dest));
+        }
+        let index = self
+            .index
+            .as_mut()
+            .expect("indexed dispatch requires index");
+        index.rebuild(
+            &self.table,
+            self.vehicles
+                .iter()
+                .filter(|v| v.is_available())
+                .map(|v| (v.id, v.pos)),
+        );
+        // Sharded candidate search against the snapshot.
+        self.cands.clear();
+        self.cands.resize(batch_n, CandidateList::default());
+        {
+            let index: &SpatialIndex = self.index.as_ref().expect("built above");
+            let table = &self.table;
+            let batch: &[RideRequest] = &self.batch;
+            let fields: &[(Arc<RouteField>, Arc<RouteField>)] = &self.fields;
+            let vehicles: &[FleetVehicle] = &self.vehicles;
+            for_chunks(
+                pool,
+                &mut self.cands,
+                self.cfg.dispatch_chunk,
+                |start, chunk| {
+                    for (k, out) in chunk.iter_mut().enumerate() {
+                        let i = start + k;
+                        // Request i can lose at most i candidates to
+                        // earlier commits, so the top-(i + 1) suffice for
+                        // an exact winner; deeper batches rely on the
+                        // fallback re-search. Depth depends only on the
+                        // batch position — never on the worker count.
+                        let depth = (i + 1).min(MAX_CANDIDATES);
+                        index.nearest(
+                            table,
+                            &fields[i].0,
+                            batch[i].origin,
+                            depth,
+                            |id| vehicles[id as usize].pos,
+                            |_| false,
+                            out,
+                        );
+                    }
+                },
+            );
+        }
+        // Serial FIFO commit: conflict resolution in request order.
+        let stamp = self.tick + 1;
+        for i in 0..batch_n {
+            self.stats.distance_evals += u64::from(self.cands[i].evals);
+            let winner = self.cands[i]
+                .iter()
+                .find(|c| self.claimed[c.id as usize] != stamp)
+                .copied();
+            let chosen = match winner {
+                Some(c) => c,
+                None => {
+                    // Every snapshot candidate was claimed by an earlier
+                    // request: re-search, skipping the claimed set. An
+                    // unclaimed available vehicle exists because
+                    // batch_n ≤ available and only i < batch_n claims
+                    // happened so far.
+                    self.stats.fallback_searches += 1;
+                    let index = self.index.as_ref().expect("built above");
+                    let mut out = CandidateList::default();
+                    index.nearest(
+                        &self.table,
+                        &self.fields[i].0,
+                        self.batch[i].origin,
+                        1,
+                        |id| self.vehicles[id as usize].pos,
+                        |id| self.claimed[id as usize] == stamp,
+                        &mut out,
+                    );
+                    self.stats.distance_evals += u64::from(out.evals);
+                    out.get(0).expect("an unclaimed available vehicle remains")
+                }
+            };
+            self.claimed[chosen.id as usize] = stamp;
+            let req = self.queue.pop_front().expect("batch prefix of the queue");
+            let (to_origin, to_dest) = self.fields[i].clone();
+            self.vehicles[chosen.id as usize].assign(&req, self.tick, to_origin, to_dest);
+            self.stats.dispatched += 1;
         }
     }
 
@@ -503,6 +813,65 @@ mod tests {
     }
 
     #[test]
+    fn indexed_and_linear_dispatch_are_byte_identical() {
+        let indexed = FleetSim::new(small_cfg()).run(None);
+        let linear = FleetSim::new(FleetConfig {
+            dispatch: DispatchMode::Linear,
+            ..small_cfg()
+        })
+        .run(None);
+        assert_eq!(indexed, linear, "dispatch modes must agree bit for bit");
+    }
+
+    #[test]
+    fn indexed_dispatch_evaluates_fewer_distances() {
+        // A fleet big enough for ring pruning to bite.
+        let cfg = FleetConfig {
+            ticks: 300,
+            grid_rows: 8,
+            grid_cols: 8,
+            ..FleetConfig::perceptin_fleet(200)
+        };
+        let mut indexed = FleetSim::new(cfg.clone());
+        let mut linear = FleetSim::new(FleetConfig {
+            dispatch: DispatchMode::Linear,
+            ..cfg
+        });
+        let a = indexed.run(None);
+        let b = linear.run(None);
+        assert_eq!(a, b, "modes diverged");
+        let (ie, le) = (
+            indexed.dispatch_stats().distance_evals,
+            linear.dispatch_stats().distance_evals,
+        );
+        assert!(ie > 0 && le > 0, "dispatch never evaluated a distance");
+        assert!(
+            ie * 2 <= le,
+            "index must cut distance evaluations ≥ 2× (indexed {ie} vs linear {le})"
+        );
+        assert_eq!(
+            indexed.dispatch_stats().dispatched,
+            linear.dispatch_stats().dispatched
+        );
+    }
+
+    #[test]
+    fn dispatch_stats_are_worker_invariant() {
+        let serial = {
+            let mut sim = FleetSim::new(small_cfg());
+            let _ = sim.run(None);
+            sim.dispatch_stats()
+        };
+        let pool = WorkerPool::new(4);
+        let pooled = {
+            let mut sim = FleetSim::new(small_cfg());
+            let _ = sim.run(Some(&pool));
+            sim.dispatch_stats()
+        };
+        assert_eq!(serial, pooled, "work counters must not see the pool");
+    }
+
+    #[test]
     fn different_seeds_give_different_checksums() {
         let a = FleetSim::new(small_cfg()).run(None);
         let b = FleetSim::new(FleetConfig {
@@ -560,6 +929,82 @@ mod tests {
     }
 
     #[test]
+    fn stall_timeout_requeues_and_eventually_serves_the_ride() {
+        // Stall the whole fleet shortly after dispatch begins, with a
+        // timeout short enough to trigger inside the window. Every
+        // assigned-but-not-picked-up ride must return to the queue, and
+        // once the window clears the fleet must finish serving.
+        let cfg = FleetConfig {
+            ticks: 600,
+            stall_requeue_ticks: Some(10),
+            fault: Some(FleetFaultPlan {
+                seed: 3,
+                from_tick: 30,
+                until_tick: 120,
+                fraction: 1.0,
+            }),
+            ..small_cfg()
+        };
+        let mut sim = FleetSim::new(cfg.clone());
+        let rep = sim.run(None);
+        let stats = sim.dispatch_stats();
+        assert!(stats.requeues > 0, "stall window never requeued a ride");
+        // A requeued ride is dispatched again: assignments exceed unique
+        // requests served.
+        assert!(stats.dispatched > rep.rides_completed + rep.rides_in_progress);
+        assert!(rep.rides_completed > 0, "fleet never recovered");
+        assert_eq!(
+            rep.requests,
+            rep.rides_completed + rep.rides_in_progress + rep.rides_unserved,
+            "requeue must not lose or duplicate requests"
+        );
+        // The coupling changes outcomes — and stays byte-identical
+        // across worker counts (the proptests sweep this harder).
+        let pool = WorkerPool::new(4);
+        let pooled = FleetSim::new(cfg).run(Some(&pool));
+        assert_eq!(rep, pooled);
+        let no_requeue = FleetSim::new(FleetConfig {
+            stall_requeue_ticks: None,
+            ticks: 600,
+            fault: Some(FleetFaultPlan {
+                seed: 3,
+                from_tick: 30,
+                until_tick: 120,
+                fraction: 1.0,
+            }),
+            ..small_cfg()
+        })
+        .run(None);
+        assert_ne!(rep.checksum, no_requeue.checksum);
+    }
+
+    #[test]
+    fn small_battery_forces_charging_cycle() {
+        // A pack tiny enough to cross the reserve threshold within the
+        // run: vehicles must visit Charging and the report must say so.
+        // (The committed full-scale cells show charging_fraction 0.0000
+        // because a 6 kWh pack outlasts a 6 000 s day — the trigger
+        // itself is live, which is what this pins down.)
+        let mut sim = FleetSim::new(FleetConfig {
+            capacity_kwh: 0.05,
+            ticks: 1200,
+            ..small_cfg()
+        });
+        let rep = sim.run(None);
+        assert!(
+            rep.charging_fraction > 0.0,
+            "reserve-SoC trigger never fired (charging_fraction = 0)"
+        );
+        assert!(rep.rides_completed > 0, "tiny pack must still serve rides");
+        assert!(
+            sim.vehicles()
+                .iter()
+                .any(|v| v.charging_ticks > 0 && v.battery.soc() > 0.0),
+            "some vehicle must have actually charged"
+        );
+    }
+
+    #[test]
     fn dispatch_prefers_nearest_available() {
         // Freeze movement (vanishing speed limit) so positions at and
         // after dispatch coincide, then check no still-idle vehicle was
@@ -600,5 +1045,12 @@ mod tests {
             sim.tick_once(None);
         }
         assert_eq!(sim.report(), sim.report());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn phases_must_run_in_order() {
+        let mut sim = FleetSim::new(small_cfg());
+        sim.phase_dispatch(None);
     }
 }

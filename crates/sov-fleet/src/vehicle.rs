@@ -13,12 +13,13 @@
 //! steady-state fleet tick performs zero heap allocation
 //! ([`scratch_stats`] exposes the counters the tests assert on).
 
-use crate::graph::{FleetPos, RouteTable};
+use crate::graph::{FleetPos, RouteField, RouteTable};
 use crate::request::RideRequest;
 use crate::sim::FleetFaultPlan;
 use sov_runtime::arena::{ArenaStats, FrameArena};
 use sov_sim::time::SimDuration;
 use sov_vehicle::battery::Battery;
+use std::sync::Arc;
 
 thread_local! {
     /// Per-thread scratch pool for the control kernel. Worker-local state
@@ -55,7 +56,11 @@ pub enum Duty {
 }
 
 /// An accepted ride being served.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Carries the compiled route fields for both legs so the per-tick
+/// advance never recomputes routing: `to_origin` is dropped at pickup
+/// (that leg is over), `to_dest` lives for the ride.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// The request id.
     pub request_id: u64,
@@ -70,6 +75,25 @@ pub struct Assignment {
     pub dest: FleetPos,
     /// Shortest origin → destination distance (meters).
     pub direct_m: f64,
+    /// Route field toward the pickup lane; `None` once picked up.
+    pub to_origin: Option<Arc<RouteField>>,
+    /// Route field toward the drop-off lane.
+    pub to_dest: Arc<RouteField>,
+}
+
+impl Assignment {
+    /// Reconstructs the original request (for deterministic requeue after
+    /// a stall timeout).
+    #[must_use]
+    pub fn to_request(&self) -> RideRequest {
+        RideRequest {
+            id: self.request_id,
+            tick: self.request_tick,
+            origin: self.origin,
+            dest: self.dest,
+            direct_m: self.direct_m,
+        }
+    }
 }
 
 /// A completed ride, recorded by the vehicle that served it and drained
@@ -108,6 +132,10 @@ pub struct StepParams<'a> {
     pub lookahead: u32,
     /// Optional stall-fault plan.
     pub fault: Option<&'a FleetFaultPlan>,
+    /// Consecutive stalled ticks after which a not-yet-picked-up ride is
+    /// returned for requeue (`None` disables the coupling). Onboard rides
+    /// are never returned — the passenger is already in the pod.
+    pub stall_requeue_ticks: Option<u64>,
 }
 
 /// One vehicle of the fleet.
@@ -121,6 +149,14 @@ pub struct FleetVehicle {
     pub battery: Battery,
     duty: Duty,
     assignment: Option<Assignment>,
+    /// Consecutive stalled ticks ending at the current tick.
+    stall_run: u64,
+    /// Whether the most recent step found this vehicle stalled — a
+    /// stalled-but-idle vehicle is not dispatchable.
+    stalled_now: bool,
+    /// A ride abandoned by the stall-timeout coupling, awaiting the
+    /// serial merge's requeue (at most one per tick).
+    pub returned: Option<Assignment>,
     /// Completed rides awaiting the serial merge (drained every tick).
     pub completed: Vec<RideEvent>,
     /// Total distance driven (meters).
@@ -151,6 +187,9 @@ impl FleetVehicle {
             battery: Battery::full(capacity_kwh),
             duty: Duty::Idle,
             assignment: None,
+            stall_run: 0,
+            stalled_now: false,
+            returned: None,
             completed,
             odometer_m: 0.0,
             energy_kwh: 0.0,
@@ -174,18 +213,37 @@ impl FleetVehicle {
     }
 
     /// Whether the dispatcher may assign a ride to this vehicle.
+    ///
+    /// Idle and not stalled as of the last step: a frozen pod cannot
+    /// start driving toward a pickup.
     #[must_use]
     pub fn is_available(&self) -> bool {
-        self.duty == Duty::Idle
+        self.duty == Duty::Idle && !self.stalled_now
     }
 
-    /// Accepts a ride (dispatcher only).
+    /// Whether the most recent step found this vehicle stall-faulted.
+    #[must_use]
+    pub fn currently_stalled(&self) -> bool {
+        self.stalled_now
+    }
+
+    /// Accepts a ride (dispatcher only), carrying the compiled route
+    /// fields for both legs.
     ///
     /// # Panics
     ///
-    /// Panics if the vehicle is not available.
-    pub fn assign(&mut self, request: &RideRequest, tick: u64) {
+    /// Panics if the vehicle is not available, or (debug builds) if a
+    /// field routes to the wrong lane.
+    pub fn assign(
+        &mut self,
+        request: &RideRequest,
+        tick: u64,
+        to_origin: Arc<RouteField>,
+        to_dest: Arc<RouteField>,
+    ) {
         assert!(self.is_available(), "dispatching to a busy vehicle");
+        debug_assert_eq!(to_origin.dest(), request.origin.lane);
+        debug_assert_eq!(to_dest.dest(), request.dest.lane);
         self.assignment = Some(Assignment {
             request_id: request.id,
             request_tick: request.tick,
@@ -193,6 +251,8 @@ impl FleetVehicle {
             origin: request.origin,
             dest: request.dest,
             direct_m: request.direct_m,
+            to_origin: Some(to_origin),
+            to_dest,
         });
         self.duty = Duty::ToPickup;
     }
@@ -201,10 +261,24 @@ impl FleetVehicle {
     /// shared immutable `params` — the sharding contract.
     pub fn step(&mut self, p: &StepParams<'_>) {
         if p.fault.is_some_and(|f| f.stalled(self.id, p.tick)) {
+            self.stalled_now = true;
             self.stalled_ticks += 1;
+            self.stall_run += 1;
             self.drain(p.idle_load_kw, p.dt_s);
+            // Per-ride fault coupling: a pod frozen past the timeout on
+            // its way to a pickup gives the ride back for requeue. The
+            // trigger is a pure function of the fault plan and the tick,
+            // so it cannot perturb serial/sharded byte-identity.
+            if let Some(limit) = p.stall_requeue_ticks {
+                if self.duty == Duty::ToPickup && self.stall_run >= limit {
+                    self.returned = self.assignment.take();
+                    self.duty = Duty::Idle;
+                }
+            }
             return;
         }
+        self.stalled_now = false;
+        self.stall_run = 0;
         match self.duty {
             Duty::Charging => {
                 self.charging_ticks += 1;
@@ -223,14 +297,22 @@ impl FleetVehicle {
             Duty::ToPickup | Duty::Onboard => {
                 self.driving_ticks += 1;
                 self.drain(p.drive_load_kw, p.dt_s);
-                let a = self.assignment.expect("driving implies an assignment");
-                let target = if self.duty == Duty::ToPickup {
-                    a.origin
-                } else {
-                    a.dest
-                };
                 let budget = p.table.speed_limit(self.pos.lane) * p.dt_s;
-                let adv = p.table.advance(&mut self.pos, target, budget);
+                let a = self
+                    .assignment
+                    .as_ref()
+                    .expect("driving implies an assignment");
+                let (target, field) = if self.duty == Duty::ToPickup {
+                    (
+                        a.origin,
+                        a.to_origin
+                            .as_ref()
+                            .expect("pickup field lives until pickup"),
+                    )
+                } else {
+                    (a.dest, &a.to_dest)
+                };
+                let adv = p.table.advance_with(&mut self.pos, target, budget, field);
                 self.odometer_m += adv.moved_m;
                 self.control_kernel(p);
                 if adv.arrived {
@@ -246,6 +328,8 @@ impl FleetVehicle {
         if self.duty == Duty::ToPickup {
             let a = self.assignment.as_mut().expect("arrived with assignment");
             a.pickup_tick = p.tick;
+            // The pickup leg is over; release its route field.
+            a.to_origin = None;
             self.duty = Duty::Onboard;
         } else {
             let a = self.assignment.take().expect("arrived with assignment");
@@ -326,25 +410,36 @@ mod tests {
             reserve_soc: 0.15,
             lookahead: 8,
             fault: None,
+            stall_requeue_ticks: None,
         }
     }
 
     fn some_request(table: &RouteTable) -> RideRequest {
         let mut gen = RideGen::new(1, 1.0, 100.0);
+        let mut cache = crate::graph::RouteCache::new(table, usize::MAX);
         let mut out = Vec::new();
         let mut tick = 0;
         while out.is_empty() {
-            gen.generate(tick, table, &mut out);
+            gen.generate(tick, table, &mut cache, &mut out);
             tick += 1;
         }
         out[0]
+    }
+
+    fn assign(v: &mut FleetVehicle, table: &RouteTable, req: &RideRequest, tick: u64) {
+        v.assign(
+            req,
+            tick,
+            Arc::new(table.field_to(req.origin.lane)),
+            Arc::new(table.field_to(req.dest.lane)),
+        );
     }
 
     #[test]
     fn serves_a_ride_end_to_end() {
         let (table, mut v) = setup();
         let req = some_request(&table);
-        v.assign(&req, 5);
+        assign(&mut v, &table, &req, 5);
         assert_eq!(v.duty(), Duty::ToPickup);
         assert!(!v.is_available());
         let mut tick = 5;
@@ -394,7 +489,7 @@ mod tests {
     fn stalled_vehicle_does_not_move() {
         let (table, mut v) = setup();
         let req = some_request(&table);
-        v.assign(&req, 0);
+        assign(&mut v, &table, &req, 0);
         let plan = FleetFaultPlan {
             seed: 1,
             from_tick: 0,
@@ -415,7 +510,111 @@ mod tests {
     fn double_dispatch_rejected() {
         let (table, mut v) = setup();
         let req = some_request(&table);
-        v.assign(&req, 0);
-        v.assign(&req, 0);
+        assign(&mut v, &table, &req, 0);
+        assign(&mut v, &table, &req, 0);
+    }
+
+    #[test]
+    fn stall_timeout_returns_the_ride_exactly_once() {
+        let (table, mut v) = setup();
+        let req = some_request(&table);
+        assign(&mut v, &table, &req, 0);
+        let plan = FleetFaultPlan {
+            seed: 1,
+            from_tick: 0,
+            until_tick: 1000,
+            fraction: 1.0,
+        };
+        let mut p = params(&table, 0);
+        p.fault = Some(&plan);
+        p.stall_requeue_ticks = Some(5);
+        // Four stalled ticks: still holding the ride.
+        for tick in 0..4 {
+            p.tick = tick;
+            v.step(&p);
+            assert!(v.returned.is_none(), "returned before the timeout");
+            assert_eq!(v.duty(), Duty::ToPickup);
+        }
+        // Fifth consecutive stall crosses the threshold: ride comes back.
+        p.tick = 4;
+        v.step(&p);
+        let returned = v.returned.take().expect("timeout must return the ride");
+        assert_eq!(returned.to_request(), req);
+        assert_eq!(v.duty(), Duty::Idle);
+        assert!(v.assignment().is_none());
+        assert!(
+            !v.is_available(),
+            "still stalled: must not be dispatchable this tick"
+        );
+        // Further stalled ticks do not return anything else.
+        p.tick = 5;
+        v.step(&p);
+        assert!(v.returned.is_none());
+    }
+
+    #[test]
+    fn onboard_rides_survive_stall_timeouts() {
+        let (table, mut v) = setup();
+        let req = some_request(&table);
+        assign(&mut v, &table, &req, 0);
+        // Drive (fault-free) until pickup.
+        let mut p = params(&table, 0);
+        let mut tick = 0;
+        while v.duty() == Duty::ToPickup {
+            p.tick = tick;
+            v.step(&p);
+            tick += 1;
+            assert!(tick < 10_000, "never reached the pickup");
+        }
+        assert_eq!(v.duty(), Duty::Onboard);
+        // Stall far past the timeout: the passenger stays aboard.
+        let plan = FleetFaultPlan {
+            seed: 1,
+            from_tick: tick,
+            until_tick: tick + 50,
+            fraction: 1.0,
+        };
+        p.fault = Some(&plan);
+        p.stall_requeue_ticks = Some(5);
+        for _ in 0..50 {
+            p.tick = tick;
+            v.step(&p);
+            tick += 1;
+        }
+        assert!(v.returned.is_none(), "onboard rides must never requeue");
+        assert_eq!(v.duty(), Duty::Onboard);
+        // Stall run resets once the fault clears; the ride completes.
+        p.fault = None;
+        while v.completed.is_empty() {
+            p.tick = tick;
+            v.step(&p);
+            tick += 1;
+            assert!(tick < 10_000, "ride never completed after the stall");
+        }
+        assert_eq!(v.completed[0].request_id, req.id);
+    }
+
+    #[test]
+    fn interrupted_stall_runs_do_not_accumulate() {
+        let (table, mut v) = setup();
+        let req = some_request(&table);
+        assign(&mut v, &table, &req, 0);
+        // Alternate stalled / clear ticks: the consecutive-run counter
+        // resets every clear tick, so a timeout of 2 never fires.
+        let plan = FleetFaultPlan {
+            seed: 1,
+            from_tick: 0,
+            until_tick: 1000,
+            fraction: 1.0,
+        };
+        let mut p = params(&table, 0);
+        p.stall_requeue_ticks = Some(2);
+        for tick in 0..40 {
+            p.tick = tick;
+            p.fault = (tick % 2 == 0).then_some(&plan);
+            v.step(&p);
+            assert!(v.returned.is_none(), "interrupted runs must not trigger");
+        }
+        assert_eq!(v.duty(), Duty::ToPickup);
     }
 }

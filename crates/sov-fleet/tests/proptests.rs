@@ -1,15 +1,21 @@
-//! Property tests for the fleet tick's two load-bearing claims.
+//! Property tests for the fleet tick's three load-bearing claims.
 //!
 //! 1. **Byte-identity**: the fleet report is identical — every `f64`
 //!    bit-equal, every `Summary` sample in the same order — whether the
 //!    vehicle advance runs serially or sharded over a `WorkerPool` of any
 //!    size, for any shard (chunk) size, with or without stall-fault
 //!    injection on a subset of vehicles.
-//! 2. **Allocation-free steady state**: after a warm-up tick, the control
+//! 2. **Dispatch equivalence**: the indexed + sharded dispatcher produces
+//!    the same bytes as the retained serial linear-scan reference across
+//!    worker counts, dispatch shard sizes, spatial-index cell sizes, and
+//!    route-cache capacities (including capacity 1 and unbounded), with
+//!    the stall-requeue coupling live — and its deterministic work
+//!    counters are identical for every worker count.
+//! 3. **Allocation-free steady state**: after a warm-up tick, the control
 //!    kernel's per-thread arena serves every scratch take from its pool —
-//!    zero heap allocations per tick.
+//!    zero heap allocations per tick — with the spatial index active.
 
-use sov_fleet::sim::{FleetConfig, FleetFaultPlan, FleetSim};
+use sov_fleet::sim::{DispatchMode, FleetConfig, FleetFaultPlan, FleetSim};
 use sov_fleet::vehicle::{reset_scratch_stats, scratch_stats};
 use sov_runtime::pool::WorkerPool;
 use sov_testkit::prelude::*;
@@ -63,6 +69,9 @@ proptest! {
                 until_tick: 120,
                 fraction,
             }),
+            // Short enough to fire inside the window, so the requeue
+            // coupling is exercised under sharding too.
+            stall_requeue_ticks: Some(20),
             ..base_cfg(seed, 24, chunk)
         };
         let reference = FleetSim::new(cfg.clone()).run(None);
@@ -82,11 +91,75 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // The tentpole gate: indexed + sharded dispatch is byte-identical to
+    // the serial linear-scan reference across every configuration axis,
+    // and its work counters cannot see the worker pool.
+    #[test]
+    fn dispatch_equivalence_across_modes_workers_and_caches(
+        seed in 0u64..u64::MAX,
+        vehicles in 8u32..48,
+        chunk in 1usize..48,
+        dispatch_chunk in 1usize..24,
+        cache_axis in 0usize..3,
+        index_cell_m in 30.0f64..150.0,
+        fault_axis in 0u32..2,
+    ) {
+        let route_cache = [1usize, 8, usize::MAX][cache_axis];
+        let fault = (fault_axis == 1).then_some(FleetFaultPlan {
+            seed: seed ^ 0xFA17,
+            from_tick: 40,
+            until_tick: 120,
+            fraction: 0.5,
+        });
+        let linear_cfg = FleetConfig {
+            dispatch: DispatchMode::Linear,
+            stall_requeue_ticks: Some(20),
+            fault,
+            route_cache,
+            ..base_cfg(seed, vehicles, chunk)
+        };
+        let reference = FleetSim::new(linear_cfg.clone()).run(None);
+        prop_assert!(reference.rides_completed > 0, "workload too idle to test");
+        let indexed_cfg = FleetConfig {
+            dispatch: DispatchMode::Indexed,
+            dispatch_chunk,
+            index_cell_m,
+            ..linear_cfg
+        };
+        let mut serial_stats = None;
+        for lanes in [0usize, 2, 8] {
+            let pool = (lanes > 0).then(|| WorkerPool::new(lanes));
+            let mut sim = FleetSim::new(indexed_cfg.clone());
+            let report = sim.run(pool.as_ref());
+            prop_assert_eq!(
+                &reference, &report,
+                "indexed != linear (lanes {}, dchunk {}, cache {}, cell {})",
+                lanes, dispatch_chunk, route_cache, index_cell_m
+            );
+            let stats = sim.dispatch_stats();
+            match serial_stats {
+                None => serial_stats = Some(stats),
+                Some(first) => prop_assert_eq!(
+                    first, stats,
+                    "work counters diverged across worker counts (lanes {})",
+                    lanes
+                ),
+            }
+        }
+    }
+}
+
 #[test]
 fn steady_state_fleet_tick_is_allocation_free() {
     // Serial run on this thread so the thread-local scratch arena sees
-    // every control-kernel take.
+    // every control-kernel take. base_cfg defaults to indexed dispatch,
+    // so the spatial index (rebuild + ring search) is on the measured
+    // path.
     let mut sim = FleetSim::new(base_cfg(7, 32, 8));
+    assert_eq!(sim.config().dispatch, DispatchMode::Indexed);
     // Warm-up: enough ticks for vehicles to start driving (the kernel
     // only runs on driving ticks) and for the arena to pool its buffer.
     for _ in 0..60 {

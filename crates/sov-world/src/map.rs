@@ -152,6 +152,12 @@ impl Lane {
         &self.successors
     }
 
+    /// The raw centerline polyline, in meters.
+    #[must_use]
+    pub fn centerline(&self) -> &[(f64, f64)] {
+        &self.centerline
+    }
+
     /// Semantic annotations on this lane.
     #[must_use]
     pub fn annotations(&self) -> &[Annotation] {
@@ -610,11 +616,19 @@ pub fn grid_network(
     }
     // Connect incoming → outgoing at every node, skipping the U-turn onto
     // a lane's own reverse (lanes are created in forward/reverse pairs, so
-    // the reverse of id `i` is `i ^ 1`).
+    // the reverse of id `i` is `i ^ 1`). Outgoing lanes are bucketed per
+    // node first — ascending id within each bucket, so successor order is
+    // the same as the naive all-pairs scan — which keeps the pass
+    // O(lanes × degree) and OSM-scale grids loadable.
+    let node_index = |(r, c): (u32, u32)| (r * cols + c) as usize;
+    let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); (rows * cols) as usize];
+    for (j, &(from, _)) in ends.iter().enumerate() {
+        outgoing[node_index(from)].push(j as u32);
+    }
     for (i, &(_, to)) in ends.iter().enumerate() {
-        for (j, &(from, _)) in ends.iter().enumerate() {
-            if from == to && j != (i ^ 1) {
-                map.connect(LaneId(i as u32), LaneId(j as u32))
+        for &j in &outgoing[node_index(to)] {
+            if j as usize != (i ^ 1) {
+                map.connect(LaneId(i as u32), LaneId(j))
                     .expect("lanes exist");
             }
         }

@@ -94,12 +94,22 @@ echo "== fleet determinism proptests (byte-identity across workers × =="
 echo "== shard sizes × fault injection; allocation-free steady state) =="
 cargo test --offline -q -p sov-fleet --test proptests
 
-echo "== fleet_matrix smoke (sharded ride serving; exits non-zero on a =="
-echo "== report that diverges from serial, or — on hosts with >= 3     =="
-echo "== cores — sharded throughput that fails to beat serial)         =="
+echo "== fleet dispatch-equivalence proptest (indexed + sharded vs the =="
+echo "== serial linear scan across workers × dispatch shards × route-  =="
+echo "== cache capacities × index cell sizes × stall requeues)         =="
+cargo test --offline -q -p sov-fleet --test proptests dispatch_equivalence
+
+echo "== fleet_matrix smoke (ride serving with the spatial index on: one =="
+echo "== linear reference cell + the indexed worker sweep; exits non-    =="
+echo "== zero on any report diverging from the reference, work counters  =="
+echo "== that see the pool, or an eval reduction below 2x)               =="
 if [ "$(nproc 2>/dev/null || echo 0)" -lt 3 ]; then
   echo "warning: host has < 3 cores — fleet_matrix throughput gate is informational only"
 fi
 ./target/release/fleet_matrix --smoke
+
+echo "== fleet_matrix smoke, index off (pure linear-scan sweep: the =="
+echo "== sharded advance must stay byte-identical without the index) =="
+./target/release/fleet_matrix --smoke --dispatch linear
 
 echo "All checks passed."

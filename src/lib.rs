@@ -26,9 +26,11 @@
 //!   policy, environment-specialized model training, map annotation, and
 //!   the release-gating simulation service.
 //! * [`fleet`] — fleet-scale ride serving: seeded Poisson demand over the
-//!   lane graph, deterministic nearest-available dispatch, and vehicle
-//!   ticks sharded across the worker pool with byte-identical reports for
-//!   any worker count.
+//!   lane graph, nearest-available dispatch via a deterministic spatial
+//!   index with a sharded candidate search and serial FIFO commit, sparse
+//!   on-demand routing behind a FIFO route cache, and vehicle ticks
+//!   sharded across the worker pool — reports byte-identical for any
+//!   dispatch mode, worker count, and cache capacity.
 //! * [`runtime`] — the deterministic concurrency substrate: worker pool,
 //!   frame pipeline, arenas, and the latency ledger.
 //!
